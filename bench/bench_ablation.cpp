@@ -1,0 +1,110 @@
+// Ablations over AdaFL's design choices (DESIGN.md §4): utility threshold
+// tau, selection cap K, similarity metric, warm-up length, compression
+// bounds and shaping, DGC momentum correction, error-feedback accumulation,
+// and the server trust-region clip.
+//
+// Each block varies one knob from the default configuration on the non-IID
+// MNIST task and reports final accuracy + upload bytes.
+#include "bench_common.h"
+
+using namespace adafl;
+using namespace adafl::bench;
+
+namespace {
+
+struct Outcome {
+  double acc;
+  std::int64_t bytes;
+  std::int64_t updates;
+};
+
+Outcome run(const Task& task, int rounds,
+            const std::function<void(core::AdaFlSyncConfig&)>& tweak) {
+  core::AdaFlSyncConfig cfg;
+  cfg.rounds = rounds;
+  cfg.client = task.client;
+  cfg.eval_every = rounds;
+  cfg.seed = 42;
+  tweak(cfg);
+  core::AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts,
+                           &task.test);
+  auto log = t.run();
+  return {log.final_accuracy(), log.ledger.total_upload_bytes(),
+          log.ledger.delivered_updates()};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== AdaFL ablations (MNIST CNN, non-IID) ==\n";
+  Task task = mnist_task(10, Dist::kNonIid, 1, 1200, 300);
+  const int rounds = scaled(50);
+  std::vector<std::vector<std::string>> csv;
+  metrics::Table table({"knob", "setting", "final acc", "upload", "updates"});
+
+  auto emit = [&](const std::string& knob, const std::string& setting,
+                  const Outcome& o) {
+    table.add_row({knob, setting, metrics::fmt_pct(o.acc),
+                   metrics::fmt_bytes(o.bytes), std::to_string(o.updates)});
+    csv.push_back({knob, setting, metrics::fmt_f(o.acc, 4),
+                   std::to_string(o.bytes), std::to_string(o.updates)});
+  };
+
+  emit("baseline", "defaults",
+       run(task, rounds, [](core::AdaFlSyncConfig&) {}));
+
+  for (double tau : {0.0, 0.3, 0.6}) {
+    emit("tau", metrics::fmt_f(tau, 2),
+         run(task, rounds,
+             [&](core::AdaFlSyncConfig& c) { c.params.tau = tau; }));
+  }
+
+  for (int k : {2, 3, 8}) {
+    emit("K", std::to_string(k), run(task, rounds, [&](auto& c) {
+           c.params.max_selected = k;
+         }));
+  }
+
+  for (auto metric : {core::SimilarityMetric::kL2Kernel,
+                      core::SimilarityMetric::kEuclideanKernel}) {
+    emit("similarity", core::to_string(metric),
+         run(task, rounds,
+             [&](auto& c) { c.params.utility.metric = metric; }));
+  }
+
+  for (int warm : {0, 10}) {
+    emit("warmup", std::to_string(warm), run(task, rounds, [&](auto& c) {
+           c.params.compression.warmup_rounds = warm;
+         }));
+  }
+
+  for (double rmax : {16.0, 64.0, 500.0}) {
+    emit("ratio_max", metrics::fmt_f(rmax, 0) + "x",
+         run(task, rounds,
+             [&](auto& c) { c.params.compression.ratio_max = rmax; }));
+  }
+
+  emit("shaping", "1 (log-linear)", run(task, rounds, [](auto& c) {
+         c.params.compression.shaping = 1.0;
+       }));
+
+  emit("dgc", "momentum-corrected (0.9)", run(task, rounds, [](auto& c) {
+         c.params.dgc.momentum = 0.9f;
+         c.params.dgc.momentum_correction = true;
+         c.params.dgc.clip_norm = 5.0;
+       }));
+
+  emit("error feedback", "off (discard unselected)",
+       run(task, rounds,
+           [](auto& c) { c.params.accumulate_unselected = false; }));
+
+  emit("trust clip", "off", run(task, rounds, [](auto& c) {
+         c.params.server_trust_clip = false;
+       }));
+
+  table.print(std::cout);
+  save_csv("ablation", {"knob", "setting", "final_acc", "upload_bytes",
+                        "updates"},
+           csv);
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Shared experiment plumbing for the bench_* binaries.
+//
+// Each bench binary regenerates one table or figure from the paper
+// (DESIGN.md §3 maps experiment -> binary). Scales are calibrated for a
+// single CPU core; set ADAFL_BENCH_SCALE to grow/shrink rounds and
+// durations (e.g. 2.0 for longer, higher-fidelity runs; 0.3 for a smoke
+// pass). Results are also written as CSV under bench_results/.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/adafl_async.h"
+#include "core/adafl_sync.h"
+#include "data/synthetic.h"
+#include "fl/async_trainer.h"
+#include "fl/sync_trainer.h"
+#include "metrics/plot.h"
+#include "metrics/table.h"
+
+namespace adafl::bench {
+
+/// Global scale knob from ADAFL_BENCH_SCALE (default 1.0).
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("ADAFL_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return s;
+}
+
+/// Rounds/durations scaled by ADAFL_BENCH_SCALE, with a floor of `min_v`.
+inline int scaled(int base, int min_v = 4) {
+  return std::max(min_v, static_cast<int>(base * scale()));
+}
+inline double scaled(double base, double min_v = 1.0) {
+  return std::max(min_v, base * scale());
+}
+
+/// One self-contained FL task: datasets, partition, and model factory.
+struct Task {
+  data::Dataset train;
+  data::Dataset test;
+  data::Partition parts;
+  nn::ModelFactory factory;
+  fl::ClientTrainConfig client;
+  std::string name;
+};
+
+enum class Dist { kIid, kNonIid };
+
+inline const char* to_string(Dist d) {
+  return d == Dist::kIid ? "IID" : "non-IID";
+}
+
+/// MNIST-like task: 1x16x16, 10 classes, the paper's two-conv CNN.
+inline Task mnist_task(int clients, Dist dist, std::uint64_t seed,
+                       std::int64_t train_n = 1500,
+                       std::int64_t test_n = 400) {
+  Task t{data::make_synthetic(data::mnist_like(train_n, seed)),
+         data::make_synthetic(data::mnist_like(test_n, seed + 9000)),
+         {},
+         nullptr,
+         {},
+         "MNIST"};
+  tensor::Rng rng(seed + 17);
+  t.parts = dist == Dist::kIid
+                ? data::partition_iid(t.train.size(), clients, rng)
+                : data::partition_shards(t.train.labels(), clients, 3, rng);
+  t.factory = nn::paper_cnn_factory(t.train.spec(), seed + 3);
+  t.client.batch_size = 20;
+  t.client.local_steps = 5;
+  t.client.lr = 0.05f;
+  return t;
+}
+
+/// CIFAR10-like task with the residual CNN (Fig. 1's ResNet row).
+inline Task cifar10_task(int clients, Dist dist, std::uint64_t seed,
+                         std::int64_t train_n = 1000,
+                         std::int64_t test_n = 300) {
+  Task t{data::make_synthetic(data::cifar10_like(train_n, seed)),
+         data::make_synthetic(data::cifar10_like(test_n, seed + 9000)),
+         {},
+         nullptr,
+         {},
+         "CIFAR-10"};
+  tensor::Rng rng(seed + 17);
+  t.parts = dist == Dist::kIid
+                ? data::partition_iid(t.train.size(), clients, rng)
+                : data::partition_shards(t.train.labels(), clients, 3, rng);
+  t.factory = nn::resnet_lite_factory(t.train.spec(), seed + 3);
+  t.client.batch_size = 12;
+  t.client.local_steps = 4;
+  t.client.lr = 0.09f;
+  return t;
+}
+
+/// CIFAR100-like task with the VGG-style CNN (Tables I/II second rows).
+inline Task cifar100_task(int clients, Dist dist, std::uint64_t seed,
+                          std::int64_t train_n = 1000,
+                          std::int64_t test_n = 300) {
+  Task t{data::make_synthetic(data::cifar100_like(train_n, seed)),
+         data::make_synthetic(data::cifar100_like(test_n, seed + 9000)),
+         {},
+         nullptr,
+         {},
+         "CIFAR-100"};
+  tensor::Rng rng(seed + 17);
+  t.parts = dist == Dist::kIid
+                ? data::partition_iid(t.train.size(), clients, rng)
+                : data::partition_shards(t.train.labels(), clients, 4, rng);
+  t.factory = nn::vgg_lite_factory(t.train.spec(), seed + 3);
+  t.client.batch_size = 12;
+  t.client.local_steps = 4;
+  t.client.lr = 0.05f;
+  return t;
+}
+
+/// Writes a CSV into bench_results/, creating the directory on demand.
+inline void save_csv(const std::string& name,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows) {
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/" + name + ".csv";
+  metrics::write_csv(path, header, rows);
+  std::cout << "[csv] " << path << "\n";
+}
+
+/// Renders a panel of curves as an ASCII chart (the bench "figure").
+inline void print_chart(const std::vector<metrics::NamedSeries>& curves) {
+  if (curves.empty()) return;
+  metrics::AsciiChart chart(64, 14);
+  for (const auto& c : curves) chart.add(c.label, c.series);
+  chart.print(std::cout);
+}
+
+/// Prints a labelled accuracy series as "x y" pairs (one figure curve).
+inline void print_series(const std::string& label, const metrics::Series& s,
+                         const char* x_name) {
+  std::cout << "curve: " << label << "\n  " << x_name << ":";
+  for (double x : s.x) std::cout << ' ' << metrics::fmt_f(x, 1);
+  std::cout << "\n  acc:";
+  for (double y : s.y) std::cout << ' ' << metrics::fmt_f(y, 3);
+  std::cout << "\n";
+}
+
+}  // namespace adafl::bench

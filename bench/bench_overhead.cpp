@@ -1,0 +1,154 @@
+// Q3 / overhead study: cost of the utility-score computation and of DGC
+// compression relative to local training, on the paper's CNN gradient size.
+//
+// The paper measured CPU cycles with perf on a Raspberry Pi cluster and
+// found the utility score adds ~0.05% over baseline training; compression
+// costs more but is offset by the training skipped for low-utility clients.
+// Here both terms are measured with google-benchmark on the same host, so
+// the *ratios* are comparable (DESIGN.md §2).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "compress/dgc.h"
+#include "core/utility.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+
+namespace {
+
+using namespace adafl;
+
+constexpr std::int64_t kGradDim = 56080;  // paper CNN at 16x16 inputs
+
+std::vector<float> random_vec(std::int64_t n, std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void BM_LocalTrainingStep(benchmark::State& state) {
+  const nn::ImageSpec spec{1, 16, 16, 10};
+  nn::Model model = nn::make_paper_cnn(spec, 1);
+  auto data = data::make_synthetic(data::mnist_like(64, 1));
+  std::vector<std::int32_t> idx(20);
+  for (int i = 0; i < 20; ++i) idx[static_cast<std::size_t>(i)] = i;
+  nn::Batch batch = data.gather(idx);
+  nn::Sgd opt(0.05f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.train_batch(batch, opt));
+  }
+  state.SetLabel("one 20-example SGD step (the unit clients repeat)");
+}
+BENCHMARK(BM_LocalTrainingStep);
+
+void BM_UtilityScore(benchmark::State& state) {
+  auto g = random_vec(kGradDim, 2);
+  auto ghat = random_vec(kGradDim, 3);
+  core::UtilityConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::utility_score(cfg, g, ghat, 1.0e6, 2.0e6));
+  }
+  state.SetLabel("Eq. 6 on a full CNN gradient");
+}
+BENCHMARK(BM_UtilityScore);
+
+void BM_UtilityScoreMetric(benchmark::State& state) {
+  auto g = random_vec(kGradDim, 2);
+  auto ghat = random_vec(kGradDim, 3);
+  const auto metric = static_cast<core::SimilarityMetric>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::similarity01(metric, g, ghat));
+  }
+  state.SetLabel(core::to_string(metric));
+}
+BENCHMARK(BM_UtilityScoreMetric)->DenseRange(0, 2);
+
+void BM_DgcCompress(benchmark::State& state) {
+  const double ratio = static_cast<double>(state.range(0));
+  compress::DgcConfig cfg;
+  cfg.ratio = ratio;
+  cfg.momentum = 0.0f;
+  cfg.momentum_correction = false;
+  cfg.clip_norm = 0.0;
+  compress::DgcCompressor comp(kGradDim, cfg);
+  auto g = random_vec(kGradDim, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comp.compress(g));
+  }
+  state.SetLabel("DGC top-k at ratio " + std::to_string(state.range(0)) +
+                 "x");
+}
+BENCHMARK(BM_DgcCompress)->Arg(4)->Arg(64)->Arg(210);
+
+void BM_DgcAccumulateOnly(benchmark::State& state) {
+  compress::DgcConfig cfg;
+  cfg.momentum = 0.9f;
+  cfg.momentum_correction = true;
+  cfg.clip_norm = 5.0;
+  compress::DgcCompressor comp(kGradDim, cfg);
+  auto g = random_vec(kGradDim, 5);
+  for (auto _ : state) {
+    comp.accumulate(g);
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel("skip-round bookkeeping for unselected clients");
+}
+BENCHMARK(BM_DgcAccumulateOnly);
+
+}  // namespace
+
+// Reports, in addition to the google-benchmark table, the paper-style
+// overhead ratio: utility-score time vs one local training round.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Paper-style summary: measure both terms directly.
+  using clock = std::chrono::steady_clock;
+  const nn::ImageSpec spec{1, 16, 16, 10};
+  nn::Model model = nn::make_paper_cnn(spec, 1);
+  auto data = data::make_synthetic(data::mnist_like(128, 1));
+  std::vector<std::int32_t> idx(20);
+  for (int i = 0; i < 20; ++i) idx[static_cast<std::size_t>(i)] = i;
+  nn::Batch batch = data.gather(idx);
+  nn::Sgd opt(0.05f);
+
+  auto t0 = clock::now();
+  constexpr int kSteps = 50;  // one simulated round = 5 steps; measure 10x
+  for (int i = 0; i < kSteps; ++i) model.train_batch(batch, opt);
+  const double train_s = std::chrono::duration<double>(clock::now() - t0)
+                             .count() / 10.0;  // per 5-step round
+
+  auto g = random_vec(kGradDim, 2);
+  auto ghat = random_vec(kGradDim, 3);
+  core::UtilityConfig ucfg;
+  t0 = clock::now();
+  constexpr int kReps = 2000;
+  double sink = 0.0;
+  for (int i = 0; i < kReps; ++i)
+    sink += core::utility_score(ucfg, g, ghat, 1e6, 2e6);
+  const double score_s =
+      std::chrono::duration<double>(clock::now() - t0).count() / kReps;
+
+  compress::DgcCompressor comp(kGradDim, {64.0, 0.0f, 0.0, false, false});
+  t0 = clock::now();
+  constexpr int kCReps = 200;
+  for (int i = 0; i < kCReps; ++i) benchmark::DoNotOptimize(comp.compress(g));
+  const double compress_s =
+      std::chrono::duration<double>(clock::now() - t0).count() / kCReps;
+
+  std::printf("\n== paper-style overhead summary (per training round) ==\n");
+  std::printf("local training round      : %10.3f ms\n", train_s * 1e3);
+  std::printf("utility score (Eq. 6)     : %10.3f ms  (+%.3f%%)\n",
+              score_s * 1e3, 100.0 * score_s / train_s);
+  std::printf("DGC compression (64x)     : %10.3f ms  (+%.3f%%)\n",
+              compress_s * 1e3, 100.0 * compress_s / train_s);
+  std::printf("(paper: utility score ~ +0.05%% of training cycles; "
+              "compression larger but offset by skipped training)\n");
+  (void)sink;
+  return 0;
+}

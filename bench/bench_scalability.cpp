@@ -1,0 +1,69 @@
+// Scalability study (paper §V "experiments with 20 to 100 clients"):
+// AdaFL vs FedAvg as the fleet grows, at fixed total data volume.
+//
+// Expected shape: AdaFL's accuracy stays comparable to FedAvg while its
+// upload volume grows much slower with fleet size (selection caps the
+// number of transmitting clients; compression shrinks each message).
+#include "bench_common.h"
+
+using namespace adafl;
+using namespace adafl::bench;
+
+int main() {
+  std::cout << "== Scalability: 10 - 100 clients (MNIST CNN, non-IID) ==\n";
+  std::vector<std::vector<std::string>> csv;
+  metrics::Table table({"clients", "method", "final acc", "updates",
+                        "upload", "upload/client"});
+
+  const int client_counts[] = {10, 20, 50, 100};
+  for (int n : client_counts) {
+    // Fixed total data: bigger fleets mean smaller local shards, like a
+    // real deployment.
+    Task task = mnist_task(n, Dist::kNonIid, 1, /*train_n=*/2000,
+                           /*test_n=*/300);
+    task.client.local_steps = 3;
+    const int rounds = scaled(30);
+
+    fl::SyncConfig avg_cfg;
+    avg_cfg.algo = fl::Algorithm::kFedAvg;
+    avg_cfg.rounds = rounds;
+    avg_cfg.participation = 0.5;
+    avg_cfg.client = task.client;
+    avg_cfg.eval_every = rounds;
+    avg_cfg.seed = 42;
+    fl::SyncTrainer fedavg(avg_cfg, task.factory, &task.train, task.parts,
+                           &task.test);
+    auto avg_log = fedavg.run();
+
+    core::AdaFlSyncConfig ada_cfg;
+    ada_cfg.rounds = rounds;
+    ada_cfg.client = task.client;
+    ada_cfg.eval_every = rounds;
+    ada_cfg.seed = 42;
+    // K scales like the baselines' r_p = 0.5 ceiling.
+    ada_cfg.params.max_selected = n / 2;
+    core::AdaFlSyncTrainer adafl(ada_cfg, task.factory, &task.train,
+                                 task.parts, &task.test);
+    auto ada_log = adafl.run();
+
+    auto emit = [&](const char* name, const fl::TrainLog& log) {
+      table.add_row({std::to_string(n), name,
+                     metrics::fmt_pct(log.final_accuracy()),
+                     std::to_string(log.ledger.delivered_updates()),
+                     metrics::fmt_bytes(log.ledger.total_upload_bytes()),
+                     metrics::fmt_bytes(log.ledger.total_upload_bytes() / n)});
+      csv.push_back({std::to_string(n), name,
+                     metrics::fmt_f(log.final_accuracy(), 4),
+                     std::to_string(log.ledger.delivered_updates()),
+                     std::to_string(log.ledger.total_upload_bytes())});
+    };
+    emit("FedAvg", avg_log);
+    emit("AdaFL", ada_log);
+  }
+
+  table.print(std::cout);
+  save_csv("scalability",
+           {"clients", "method", "final_acc", "updates", "upload_bytes"},
+           csv);
+  return 0;
+}

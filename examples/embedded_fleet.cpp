@@ -1,0 +1,75 @@
+// Scenario: the paper's overhead setup — a Raspberry-Pi-class cluster
+// training the MNIST CNN, with one workstation-class straggler-free node
+// for contrast. Demonstrates DeviceProfile-based heterogeneous compute,
+// the empirical-study fault injectors, and per-run statistics over repeats.
+//
+// Run: ./build/examples/embedded_fleet
+#include <iostream>
+
+#include "data/synthetic.h"
+#include "fl/sync_trainer.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+using namespace adafl;
+
+int main() {
+  const auto train = data::make_synthetic(data::mnist_like(1500, 31));
+  const auto test = data::make_synthetic(data::mnist_like(300, 9031));
+  const auto factory = nn::paper_cnn_factory(train.spec(), 5);
+
+  fl::ClientTrainConfig client;
+  client.batch_size = 20;
+  client.local_steps = 5;
+  client.lr = 0.05f;
+
+  // Nine Raspberry-Pi-class nodes plus one workstation: the Pi cluster
+  // dominates the simulated round time.
+  std::vector<fl::DeviceProfile> devices(9, fl::raspberry_pi());
+  devices.push_back(fl::workstation());
+
+  std::cout << "Device fleet:\n";
+  for (std::size_t i = 0; i < devices.size(); ++i)
+    std::cout << "  node " << i << ": " << devices[i].name << " ("
+              << metrics::fmt_f(devices[i].base_sec_per_sample * 1e3, 2)
+              << " ms/sample)\n";
+
+  // Repeat over seeds and report mean +- stddev, as the paper repeats each
+  // experiment 10 times. Three repeats keep this example fast.
+  metrics::RunningStat acc_clean, acc_faulty;
+  metrics::RunningStat time_clean;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    tensor::Rng prng(seed);
+    const auto parts = data::partition_shards(train.labels(), 10, 2, prng);
+
+    fl::SyncConfig cfg;
+    cfg.algo = fl::Algorithm::kFedAvg;
+    cfg.rounds = 60;
+    cfg.participation = 1.0;
+    cfg.client = client;
+    cfg.eval_every = 60;
+    cfg.seed = seed;
+    fl::SyncTrainer clean(cfg, factory, &train, parts, &test, devices);
+    const auto clean_log = clean.run();
+    acc_clean.add(clean_log.final_accuracy());
+    time_clean.add(clean_log.total_time);
+
+    cfg.faults.kind = fl::FaultKind::kDropout;
+    cfg.faults.unreliable_fraction = 0.2;
+    fl::SyncTrainer faulty(cfg, factory, &train, parts, &test, devices);
+    acc_faulty.add(faulty.run().final_accuracy());
+  }
+
+  metrics::Table table({"condition", "final acc (mean)", "stddev"});
+  table.add_row({"clean", metrics::fmt_pct(acc_clean.mean()),
+                 metrics::fmt_pct(acc_clean.stddev())});
+  table.add_row({"20% dropout", metrics::fmt_pct(acc_faulty.mean()),
+                 metrics::fmt_pct(acc_faulty.stddev())});
+  table.print(std::cout);
+
+  std::cout << "\nSimulated training time on the Pi fleet: "
+            << metrics::fmt_f(time_clean.mean(), 1)
+            << "s for 60 rounds — the paper's insight: a moderate dropout "
+               "level costs almost no accuracy.\n";
+  return 0;
+}

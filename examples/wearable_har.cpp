@@ -1,0 +1,101 @@
+// Scenario: the paper's motivating deployment — wearable devices doing
+// human-activity recognition over 3-axis accelerometer windows, training
+// federated on cellular-class links with AdaFL vs FedAvg.
+//
+// Demonstrates the 1-D conv stack (Conv1d/MaxPool1d), the synthetic HAR
+// dataset, Dirichlet non-IID partitioning (each person's activity mix
+// differs), and AdaFL's cost advantage on an embedded fleet.
+//
+// Run: ./build/examples/wearable_har
+#include <iostream>
+
+#include "core/adafl_sync.h"
+#include "data/har.h"
+#include "fl/sync_trainer.h"
+#include "metrics/plot.h"
+#include "metrics/table.h"
+
+using namespace adafl;
+
+int main() {
+  // --- 1. Data: 6 activities, 64-step windows, 12 wearables with skewed
+  //        personal activity mixes.
+  data::HarConfig cfg;
+  cfg.num_samples = 1200;
+  cfg.length = 64;
+  cfg.activities = 6;
+  cfg.noise_stddev = 0.5;  // noisy wearable sensors
+  cfg.seed = 1;
+  const auto train = data::make_har(cfg);
+  auto test_cfg = cfg;
+  test_cfg.num_samples = 300;
+  test_cfg.seed = 9001;
+  const auto test = data::make_har(test_cfg);
+
+  constexpr int kDevices = 12;
+  tensor::Rng prng(3);
+  const auto parts =
+      data::partition_dirichlet(train.labels(), kDevices, 0.5, prng);
+  const auto factory = data::har_cnn_factory(cfg.length, cfg.activities, 5);
+
+  fl::ClientTrainConfig client;
+  client.batch_size = 16;
+  client.local_steps = 4;
+  client.lr = 0.05f;
+
+  const auto links = net::make_fleet(kDevices, 1.0, net::LinkQuality::kGood,
+                                     net::LinkQuality::kCellular);
+  const std::vector<fl::DeviceProfile> devices(
+      kDevices, fl::raspberry_pi());  // wearable-class compute
+  const int rounds = 35;
+
+  // --- 2. FedAvg baseline on the cellular fleet.
+  fl::SyncConfig avg_cfg;
+  avg_cfg.algo = fl::Algorithm::kFedAvg;
+  avg_cfg.rounds = rounds;
+  avg_cfg.participation = 0.5;
+  avg_cfg.client = client;
+  avg_cfg.links = links;
+  avg_cfg.eval_every = 5;
+  avg_cfg.seed = 7;
+  fl::SyncTrainer fedavg(avg_cfg, factory, &train, parts, &test, devices);
+  const auto avg_log = fedavg.run();
+
+  // --- 3. AdaFL on the same fleet.
+  core::AdaFlSyncConfig ada_cfg;
+  ada_cfg.rounds = rounds;
+  ada_cfg.client = client;
+  ada_cfg.links = links;
+  ada_cfg.eval_every = 5;
+  ada_cfg.seed = 7;
+  ada_cfg.params.max_selected = 6;
+  // Calibrate the bandwidth reference to this deployment: on an all-
+  // cellular fleet the default (broadband) bw_ref would push every
+  // utility score below tau and starve selection.
+  ada_cfg.params.utility.bw_ref = net::preset(net::LinkQuality::kCellular).up_bw;
+  ada_cfg.params.compression.warmup_rounds = 8;
+  ada_cfg.params.compression.ratio_max = 32.0;  // gentler ceiling for the tiny model
+  core::AdaFlSyncTrainer adafl(ada_cfg, factory, &train, parts, &test,
+                               devices);
+  const auto ada_log = adafl.run();
+
+  // --- 4. Report.
+  metrics::Table table(
+      {"method", "final acc", "sim. time", "upload", "updates"});
+  auto row = [&](const char* name, const fl::TrainLog& log) {
+    table.add_row({name, metrics::fmt_pct(log.final_accuracy()),
+                   metrics::fmt_f(log.total_time, 1) + "s",
+                   metrics::fmt_bytes(log.ledger.total_upload_bytes()),
+                   std::to_string(log.ledger.delivered_updates())});
+  };
+  row("FedAvg", avg_log);
+  row("AdaFL", ada_log);
+  table.print(std::cout);
+
+  std::cout << "\naccuracy vs round:\n";
+  metrics::AsciiChart chart(60, 12);
+  chart.add("FedAvg", avg_log.accuracy_vs_round());
+  chart.add("AdaFL", ada_log.accuracy_vs_round());
+  chart.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Umbrella header: everything a downstream user needs with one include.
+//
+//   #include "adafl.h"
+//
+// Sub-library headers remain individually includable for faster builds.
+#pragma once
+
+#include "compress/codec.h"     // IWYU pragma: export
+#include "compress/dgc.h"       // IWYU pragma: export
+#include "compress/wire.h"      // IWYU pragma: export
+#include "core/adafl_async.h"   // IWYU pragma: export
+#include "core/adafl_sync.h"    // IWYU pragma: export
+#include "core/compression_ctrl.h"  // IWYU pragma: export
+#include "core/selection.h"     // IWYU pragma: export
+#include "core/utility.h"       // IWYU pragma: export
+#include "data/dataset.h"       // IWYU pragma: export
+#include "data/partition.h"     // IWYU pragma: export
+#include "data/synthetic.h"     // IWYU pragma: export
+#include "fl/async_trainer.h"   // IWYU pragma: export
+#include "fl/client.h"          // IWYU pragma: export
+#include "fl/fedat.h"           // IWYU pragma: export
+#include "fl/sync_trainer.h"    // IWYU pragma: export
+#include "metrics/ledger.h"     // IWYU pragma: export
+#include "metrics/plot.h"       // IWYU pragma: export
+#include "metrics/stats.h"      // IWYU pragma: export
+#include "metrics/table.h"      // IWYU pragma: export
+#include "net/event_queue.h"    // IWYU pragma: export
+#include "net/link.h"           // IWYU pragma: export
+#include "net/trace_io.h"       // IWYU pragma: export
+#include "nn/batchnorm.h"       // IWYU pragma: export
+#include "nn/checkpoint.h"      // IWYU pragma: export
+#include "nn/models.h"          // IWYU pragma: export
+#include "tensor/ops.h"         // IWYU pragma: export
+#include "tensor/tensor.h"      // IWYU pragma: export

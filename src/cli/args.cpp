@@ -1,0 +1,90 @@
+#include "cli/args.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace adafl::cli {
+
+ArgParser::ArgParser(std::string program) : program_(std::move(program)) {}
+
+ArgParser& ArgParser::option(const std::string& key,
+                             const std::string& default_value,
+                             const std::string& help) {
+  ADAFL_CHECK_MSG(!key.empty() && key.substr(0, 2) != "--",
+                  "ArgParser: declare keys without the -- prefix");
+  ADAFL_CHECK_MSG(options_.find(key) == options_.end(),
+                  "ArgParser: duplicate option " << key);
+  order_.push_back(key);
+  options_[key] = Option{default_value, help};
+  return *this;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (token.substr(0, 2) != "--") {
+      error_ = "unexpected positional argument `" + token + "`";
+      return false;
+    }
+    const auto eq = token.find('=');
+    const std::string key =
+        token.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+    auto it = options_.find(key);
+    if (it == options_.end()) {
+      error_ = "unknown option --" + key;
+      return false;
+    }
+    it->second.value = eq == std::string::npos ? "1" : token.substr(eq + 1);
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& key) const {
+  auto it = options_.find(key);
+  ADAFL_CHECK_MSG(it != options_.end(), "ArgParser: undeclared key " << key);
+  return it->second.value;
+}
+
+int ArgParser::get_int(const std::string& key) const {
+  const std::string v = get(key);
+  std::size_t pos = 0;
+  const int out = std::stoi(v, &pos);
+  ADAFL_CHECK_MSG(pos == v.size(), "ArgParser: --" << key << "=" << v
+                                                   << " is not an integer");
+  return out;
+}
+
+double ArgParser::get_double(const std::string& key) const {
+  const std::string v = get(key);
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  ADAFL_CHECK_MSG(pos == v.size(), "ArgParser: --" << key << "=" << v
+                                                   << " is not a number");
+  return out;
+}
+
+bool ArgParser::get_bool(const std::string& key) const {
+  std::string v = get(key);
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [--key=value ...]\n\noptions:\n";
+  for (const auto& key : order_) {
+    const auto& opt = options_.at(key);
+    os << "  --" << key;
+    if (!opt.value.empty()) os << " (default: " << opt.value << ")";
+    os << "\n      " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace adafl::cli

@@ -1,0 +1,48 @@
+// Minimal --key=value argument parser for the command-line tools.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace adafl::cli {
+
+/// Parses `--key=value` / `--flag` style arguments. Keys must be declared
+/// before parse() so typos are hard errors; every declared key carries a
+/// help line for usage().
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program);
+
+  /// Declares an option with a default (shown in usage()).
+  ArgParser& option(const std::string& key, const std::string& default_value,
+                    const std::string& help);
+
+  /// Parses argv; returns false (and fills error()) on unknown keys or
+  /// malformed tokens. `--help` sets help_requested().
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& key) const;
+  int get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;  ///< "1|true|yes" = true
+
+  bool help_requested() const { return help_requested_; }
+  const std::string& error() const { return error_; }
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string value;
+    std::string help;
+  };
+  std::string program_;
+  std::vector<std::string> order_;
+  std::map<std::string, Option> options_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace adafl::cli

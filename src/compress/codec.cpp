@@ -1,0 +1,158 @@
+#include "compress/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/check.h"
+#include "tensor/tensor.h"
+
+namespace adafl::compress {
+
+namespace {
+
+constexpr std::int64_t kHeaderBytes = 8;  // kind + dense_size on the wire
+
+std::int64_t bits_to_bytes(std::int64_t bits) { return (bits + 7) / 8; }
+
+}  // namespace
+
+std::vector<float> EncodedGradient::decode() const {
+  std::vector<float> out(static_cast<std::size_t>(dense_size), 0.0f);
+  switch (kind) {
+    case CodecKind::kIdentity:
+      ADAFL_CHECK(static_cast<std::int64_t>(values.size()) == dense_size);
+      std::copy(values.begin(), values.end(), out.begin());
+      break;
+    case CodecKind::kTopK:
+      ADAFL_CHECK(indices.size() == values.size());
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        ADAFL_CHECK(indices[i] < out.size());
+        out[indices[i]] = values[i];
+      }
+      break;
+    case CodecKind::kQsgd:
+    case CodecKind::kTernary:
+      ADAFL_CHECK(static_cast<std::int64_t>(levels.size()) == dense_size);
+      for (std::size_t i = 0; i < levels.size(); ++i)
+        out[i] = scale * static_cast<float>(levels[i]) /
+                 (kind == CodecKind::kQsgd
+                      ? static_cast<float>(std::max(quant_levels, 1))
+                      : 1.0f);
+      break;
+  }
+  return out;
+}
+
+double EncodedGradient::compression_ratio() const {
+  ADAFL_CHECK_MSG(wire_bytes > 0, "compression_ratio: empty message");
+  return static_cast<double>(dense_size) * 4.0 /
+         static_cast<double>(wire_bytes);
+}
+
+EncodedGradient IdentityCodec::encode(std::span<const float> grad,
+                                      Rng& /*rng*/) {
+  EncodedGradient e;
+  e.kind = CodecKind::kIdentity;
+  e.dense_size = static_cast<std::int64_t>(grad.size());
+  e.values.assign(grad.begin(), grad.end());
+  e.wire_bytes = kHeaderBytes + e.dense_size * 4;
+  return e;
+}
+
+TopKCodec::TopKCodec(double ratio) : ratio_(ratio) {
+  ADAFL_CHECK_MSG(ratio >= 1.0, "TopKCodec: ratio must be >= 1");
+}
+
+EncodedGradient TopKCodec::encode(std::span<const float> grad, Rng& /*rng*/) {
+  const std::int64_t n = static_cast<std::int64_t>(grad.size());
+  const std::int64_t k =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                    static_cast<double>(n) / ratio_));
+  return encode_top_k(grad, k);
+}
+
+std::string TopKCodec::name() const {
+  return "topk(1/" + std::to_string(static_cast<int>(ratio_)) + ")";
+}
+
+QsgdCodec::QsgdCodec(int levels) : levels_(levels) {
+  ADAFL_CHECK_MSG(levels >= 1 && levels <= 127, "QsgdCodec: levels in [1,127]");
+}
+
+EncodedGradient QsgdCodec::encode(std::span<const float> grad, Rng& rng) {
+  EncodedGradient e;
+  e.kind = CodecKind::kQsgd;
+  e.dense_size = static_cast<std::int64_t>(grad.size());
+  e.quant_levels = levels_;
+  const double norm = tensor::l2_norm(grad);
+  e.scale = static_cast<float>(norm);
+  e.levels.resize(grad.size());
+  if (norm > 0.0) {
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      const double r = std::abs(grad[i]) / norm * levels_;  // in [0, s]
+      const double lo = std::floor(r);
+      const double hi_prob = r - lo;
+      double q = lo + (rng.bernoulli(hi_prob) ? 1.0 : 0.0);
+      if (grad[i] < 0) q = -q;
+      e.levels[i] = static_cast<std::int8_t>(q);
+    }
+  }
+  // ceil(log2(2s+1)) bits per element + 4-byte scale.
+  const std::int64_t bits_per =
+      static_cast<std::int64_t>(std::ceil(std::log2(2.0 * levels_ + 1.0)));
+  e.wire_bytes = kHeaderBytes + 4 + bits_to_bytes(e.dense_size * bits_per);
+  return e;
+}
+
+std::string QsgdCodec::name() const {
+  return "qsgd(s=" + std::to_string(levels_) + ")";
+}
+
+EncodedGradient TernaryCodec::encode(std::span<const float> grad, Rng& rng) {
+  EncodedGradient e;
+  e.kind = CodecKind::kTernary;
+  e.dense_size = static_cast<std::int64_t>(grad.size());
+  float mx = 0.0f;
+  for (float v : grad) mx = std::max(mx, std::abs(v));
+  e.scale = mx;
+  e.levels.resize(grad.size());
+  if (mx > 0.0f) {
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      const double p = std::abs(grad[i]) / mx;
+      std::int8_t b = rng.bernoulli(p) ? 1 : 0;
+      if (grad[i] < 0) b = static_cast<std::int8_t>(-b);
+      e.levels[i] = b;
+    }
+  }
+  e.wire_bytes = kHeaderBytes + 4 + bits_to_bytes(e.dense_size * 2);
+  return e;
+}
+
+std::vector<std::uint32_t> top_k_by_magnitude(std::span<const float> values,
+                                              std::int64_t k) {
+  const std::int64_t n = static_cast<std::int64_t>(values.size());
+  ADAFL_CHECK_MSG(k >= 1 && k <= n, "top_k_by_magnitude: k=" << k << " n=" << n);
+  std::vector<std::uint32_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::nth_element(idx.begin(), idx.begin() + (k - 1), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return std::abs(values[a]) > std::abs(values[b]);
+                   });
+  idx.resize(static_cast<std::size_t>(k));
+  return idx;
+}
+
+EncodedGradient encode_top_k(std::span<const float> values, std::int64_t k) {
+  EncodedGradient e;
+  e.kind = CodecKind::kTopK;
+  e.dense_size = static_cast<std::int64_t>(values.size());
+  e.indices = top_k_by_magnitude(values, k);
+  e.values.reserve(e.indices.size());
+  for (auto i : e.indices) e.values.push_back(values[i]);
+  // 4-byte index + 4-byte value per entry.
+  e.wire_bytes = kHeaderBytes + static_cast<std::int64_t>(e.indices.size()) * 8;
+  return e;
+}
+
+}  // namespace adafl::compress

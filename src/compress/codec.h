@@ -1,0 +1,102 @@
+// Gradient compression codecs with exact wire-size accounting.
+//
+// FL transports in this repo exchange EncodedGradient messages; wire_bytes
+// is what the network simulator charges and what the communication ledger
+// records, so compression ratios translate directly into simulated
+// bandwidth/time savings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace adafl::compress {
+
+using tensor::Rng;
+
+/// How a gradient message is represented on the wire.
+enum class CodecKind { kIdentity, kTopK, kQsgd, kTernary };
+
+/// A compressed gradient message. Only the fields relevant to `kind` are
+/// populated; decode() reconstructs the dense vector.
+struct EncodedGradient {
+  CodecKind kind = CodecKind::kIdentity;
+  std::int64_t dense_size = 0;  ///< length of the original vector
+  std::int64_t wire_bytes = 0;  ///< simulated transmission size
+
+  std::vector<std::uint32_t> indices;  ///< kTopK coordinate list
+  std::vector<float> values;           ///< kIdentity dense / kTopK values
+  std::vector<std::int8_t> levels;     ///< kQsgd / kTernary codes
+  float scale = 1.0f;                  ///< quantizer scale
+  int quant_levels = 0;                ///< QSGD level count s
+
+  /// Reconstructs the dense gradient (zeros where nothing was sent).
+  std::vector<float> decode() const;
+
+  /// Achieved compression ratio = dense float32 bytes / wire bytes.
+  double compression_ratio() const;
+};
+
+/// Stateless codec interface. Stateful schemes (DGC) live in dgc.h.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Encodes `grad`; `rng` drives stochastic rounding where applicable.
+  virtual EncodedGradient encode(std::span<const float> grad, Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// No compression: dense float32 payload.
+class IdentityCodec final : public Codec {
+ public:
+  EncodedGradient encode(std::span<const float> grad, Rng& rng) override;
+  std::string name() const override { return "identity"; }
+};
+
+/// Magnitude top-k sparsification at a fixed ratio (keep n/ratio entries).
+class TopKCodec final : public Codec {
+ public:
+  explicit TopKCodec(double ratio);
+  EncodedGradient encode(std::span<const float> grad, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  double ratio_;
+};
+
+/// QSGD (Alistarh et al.): stochastic uniform quantization to `s` levels
+/// with an L2 scale.
+class QsgdCodec final : public Codec {
+ public:
+  explicit QsgdCodec(int levels);
+  EncodedGradient encode(std::span<const float> grad, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  int levels_;
+};
+
+/// TernGrad (Wen et al.): stochastic ternarization {-1, 0, +1} scaled by
+/// max|g|.
+class TernaryCodec final : public Codec {
+ public:
+  EncodedGradient encode(std::span<const float> grad, Rng& rng) override;
+  std::string name() const override { return "ternary"; }
+};
+
+// ---- Shared helpers ----
+
+/// Returns the indices of the k largest |values| (k >= 1), unordered.
+std::vector<std::uint32_t> top_k_by_magnitude(std::span<const float> values,
+                                              std::int64_t k);
+
+/// Builds a top-k sparse message from `values` at the given keep count.
+EncodedGradient encode_top_k(std::span<const float> values, std::int64_t k);
+
+}  // namespace adafl::compress

@@ -1,0 +1,74 @@
+#include "compress/dgc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+#include "tensor/tensor.h"
+
+namespace adafl::compress {
+
+DgcCompressor::DgcCompressor(std::int64_t dim, DgcConfig cfg)
+    : dim_(dim),
+      cfg_(cfg),
+      u_(static_cast<std::size_t>(dim), 0.0f),
+      v_(static_cast<std::size_t>(dim), 0.0f) {
+  ADAFL_CHECK_MSG(dim > 0, "DgcCompressor: dim must be positive");
+  ADAFL_CHECK_MSG(cfg.ratio >= 1.0, "DgcCompressor: ratio must be >= 1");
+  ADAFL_CHECK_MSG(cfg.momentum >= 0.0f && cfg.momentum < 1.0f,
+                  "DgcCompressor: momentum in [0,1)");
+  ADAFL_CHECK_MSG(cfg.clip_norm >= 0.0, "DgcCompressor: clip_norm >= 0");
+}
+
+EncodedGradient DgcCompressor::compress(std::span<const float> grad,
+                                        double ratio_override) {
+  ADAFL_CHECK_MSG(static_cast<std::int64_t>(grad.size()) == dim_,
+                  "DgcCompressor::compress: gradient length "
+                      << grad.size() << " vs dim " << dim_);
+  const double ratio = ratio_override > 0.0 ? ratio_override : cfg_.ratio;
+  ADAFL_CHECK_MSG(ratio >= 1.0, "DgcCompressor: ratio override must be >= 1");
+
+  // Local gradient clipping + momentum correction + accumulation.
+  accumulate(grad);
+
+  const std::int64_t k = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(dim_) / ratio));
+  EncodedGradient e = encode_top_k(v_, k);
+
+  // Momentum factor masking: clear transmitted coordinates in both u and v.
+  for (auto idx : e.indices) {
+    v_[idx] = 0.0f;
+    if (cfg_.momentum_correction) u_[idx] = 0.0f;
+  }
+  return e;
+}
+
+void DgcCompressor::accumulate(std::span<const float> grad) {
+  ADAFL_CHECK_MSG(static_cast<std::int64_t>(grad.size()) == dim_,
+                  "DgcCompressor::accumulate: gradient length "
+                      << grad.size() << " vs dim " << dim_);
+  float clip_scale = 1.0f;
+  if (cfg_.clip_norm > 0.0) {
+    const double norm = tensor::l2_norm(grad);
+    if (norm > cfg_.clip_norm)
+      clip_scale = static_cast<float>(cfg_.clip_norm / norm);
+  }
+  if (cfg_.momentum_correction) {
+    for (std::size_t i = 0; i < u_.size(); ++i) {
+      u_[i] = cfg_.momentum * u_[i] + grad[i] * clip_scale;
+      v_[i] += u_[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < v_.size(); ++i)
+      v_[i] += grad[i] * clip_scale;
+  }
+}
+
+void DgcCompressor::reset() {
+  std::fill(u_.begin(), u_.end(), 0.0f);
+  std::fill(v_.begin(), v_.end(), 0.0f);
+}
+
+double DgcCompressor::residual_norm() const { return tensor::l2_norm(v_); }
+
+}  // namespace adafl::compress

@@ -1,0 +1,60 @@
+// Deep Gradient Compression (Lin et al., ICLR 2018) — the compression
+// backbone AdaFL builds on (paper §IV "Adaptive Gradient Compression").
+//
+// Per client, DGC keeps two local state vectors:
+//   u (momentum)      : u <- m*u + clip(g)
+//   v (accumulation)  : v <- v + u
+// Each round the top-k entries of |v| are transmitted; at the transmitted
+// coordinates both u and v are cleared (momentum factor masking), so unsent
+// gradient mass keeps accumulating locally and is eventually sent.
+#pragma once
+
+#include "compress/codec.h"
+
+namespace adafl::compress {
+
+/// DGC parameters. `ratio` is the *compression ratio*: k = dim / ratio
+/// coordinates are sent per round (ratio 1 = dense).
+struct DgcConfig {
+  double ratio = 100.0;
+  float momentum = 0.9f;          ///< momentum-correction factor
+  double clip_norm = 5.0;         ///< local gradient clipping (0 disables)
+  bool momentum_correction = true;
+  bool warm_up_dense = false;     ///< send dense during warm-up rounds
+};
+
+/// Stateful per-client DGC compressor. The compression ratio may be
+/// overridden per call — this is the knob AdaFL's controller turns.
+class DgcCompressor {
+ public:
+  DgcCompressor(std::int64_t dim, DgcConfig cfg);
+
+  /// Accumulates `grad` into local state and returns the sparse message for
+  /// this round. `ratio_override` > 0 replaces cfg.ratio for this call.
+  EncodedGradient compress(std::span<const float> grad,
+                           double ratio_override = 0.0);
+
+  /// Accumulates `grad` into local state (clipping + momentum correction)
+  /// WITHOUT emitting a message. AdaFL uses this for clients skipped by node
+  /// selection: nothing is transmitted this round, but the gradient mass is
+  /// retained and rides along with a future transmission.
+  void accumulate(std::span<const float> grad);
+
+  /// Clears accumulated state (e.g. after a global model reset).
+  void reset();
+
+  std::int64_t dim() const { return dim_; }
+  const DgcConfig& config() const { return cfg_; }
+
+  /// Accumulated-but-unsent gradient mass (L2 of v); exposed for tests and
+  /// diagnostics.
+  double residual_norm() const;
+
+ private:
+  std::int64_t dim_;
+  DgcConfig cfg_;
+  std::vector<float> u_;  ///< momentum state
+  std::vector<float> v_;  ///< accumulated velocity
+};
+
+}  // namespace adafl::compress

@@ -1,0 +1,215 @@
+#include "compress/wire.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/check.h"
+
+namespace adafl::compress {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float f) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, &f, 4);
+  put_u32(out, v);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t& off) {
+  ADAFL_CHECK_MSG(off + 4 <= b.size(), "wire: truncated u32");
+  std::uint32_t v = static_cast<std::uint32_t>(b[off]) |
+                    (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+                    (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+                    (static_cast<std::uint32_t>(b[off + 3]) << 24);
+  off += 4;
+  return v;
+}
+
+float get_f32(std::span<const std::uint8_t> b, std::size_t& off) {
+  const std::uint32_t v = get_u32(b, off);
+  float f = 0.0f;
+  std::memcpy(&f, &v, 4);
+  return f;
+}
+
+int level_bits(int quant_levels) {
+  return static_cast<int>(std::ceil(std::log2(2.0 * quant_levels + 1.0)));
+}
+
+/// Signed level -> zig-zag code (0, -1, 1, -2, 2, ... -> 0, 1, 2, 3, 4).
+std::uint32_t zigzag(std::int8_t v) {
+  const std::int32_t x = v;
+  return static_cast<std::uint32_t>((x << 1) ^ (x >> 31));
+}
+
+std::int8_t unzigzag(std::uint32_t u) {
+  return static_cast<std::int8_t>(static_cast<std::int32_t>(u >> 1) ^
+                                  -static_cast<std::int32_t>(u & 1));
+}
+
+}  // namespace
+
+void BitWriter::put(std::uint32_t value, int bits) {
+  ADAFL_CHECK_MSG(bits >= 1 && bits <= 32, "BitWriter: bits in [1,32]");
+  ADAFL_CHECK_MSG(bits == 32 || value < (1u << bits),
+                  "BitWriter: value does not fit in " << bits << " bits");
+  for (int i = 0; i < bits; ++i) {
+    if (bit_pos_ == 0) bytes_.push_back(0);
+    if (value & (1u << i))
+      bytes_.back() |= static_cast<std::uint8_t>(1u << bit_pos_);
+    bit_pos_ = (bit_pos_ + 1) % 8;
+  }
+}
+
+std::uint32_t BitReader::get(int bits) {
+  ADAFL_CHECK_MSG(bits >= 1 && bits <= 32, "BitReader: bits in [1,32]");
+  std::uint32_t v = 0;
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte = pos_ / 8;
+    ADAFL_CHECK_MSG(byte < bytes_.size(), "BitReader: out of data");
+    if (bytes_[byte] & (1u << (pos_ % 8))) v |= (1u << i);
+    ++pos_;
+  }
+  return v;
+}
+
+std::int64_t wire_size(const EncodedGradient& e) {
+  std::int64_t n = 8;  // kind + reserved + dense_size
+  switch (e.kind) {
+    case CodecKind::kIdentity:
+      n += e.dense_size * 4;
+      break;
+    case CodecKind::kTopK:
+      n += static_cast<std::int64_t>(e.indices.size()) * 8;
+      break;
+    case CodecKind::kQsgd:
+      n += 4 + 1 +
+           (e.dense_size * level_bits(std::max(e.quant_levels, 1)) + 7) / 8;
+      break;
+    case CodecKind::kTernary:
+      n += 4 + (e.dense_size * 2 + 7) / 8;
+      break;
+  }
+  return n;
+}
+
+std::vector<std::uint8_t> serialize(const EncodedGradient& e) {
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(wire_size(e)));
+  out.push_back(static_cast<std::uint8_t>(e.kind));
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  put_u32(out, static_cast<std::uint32_t>(e.dense_size));
+  switch (e.kind) {
+    case CodecKind::kIdentity:
+      ADAFL_CHECK(static_cast<std::int64_t>(e.values.size()) == e.dense_size);
+      for (float v : e.values) put_f32(out, v);
+      break;
+    case CodecKind::kTopK:
+      ADAFL_CHECK(e.indices.size() == e.values.size());
+      for (std::size_t i = 0; i < e.indices.size(); ++i) {
+        put_u32(out, e.indices[i]);
+        put_f32(out, e.values[i]);
+      }
+      break;
+    case CodecKind::kQsgd: {
+      ADAFL_CHECK(static_cast<std::int64_t>(e.levels.size()) == e.dense_size);
+      ADAFL_CHECK(e.quant_levels >= 1 && e.quant_levels <= 127);
+      put_f32(out, e.scale);
+      out.push_back(static_cast<std::uint8_t>(e.quant_levels));
+      BitWriter bw;
+      const int bits = level_bits(e.quant_levels);
+      for (auto l : e.levels) bw.put(zigzag(l), bits);
+      auto packed = bw.take();
+      out.insert(out.end(), packed.begin(), packed.end());
+      break;
+    }
+    case CodecKind::kTernary: {
+      ADAFL_CHECK(static_cast<std::int64_t>(e.levels.size()) == e.dense_size);
+      put_f32(out, e.scale);
+      BitWriter bw;
+      for (auto l : e.levels) {
+        ADAFL_CHECK_MSG(l >= -1 && l <= 1, "wire: non-ternary level");
+        bw.put(zigzag(l), 2);
+      }
+      auto packed = bw.take();
+      out.insert(out.end(), packed.begin(), packed.end());
+      break;
+    }
+  }
+  ADAFL_CHECK(static_cast<std::int64_t>(out.size()) == wire_size(e));
+  return out;
+}
+
+EncodedGradient deserialize(std::span<const std::uint8_t> bytes) {
+  ADAFL_CHECK_MSG(bytes.size() >= 8, "wire: buffer shorter than header");
+  EncodedGradient e;
+  const std::uint8_t kind_raw = bytes[0];
+  ADAFL_CHECK_MSG(kind_raw <= static_cast<std::uint8_t>(CodecKind::kTernary),
+                  "wire: unknown codec kind " << int(kind_raw));
+  e.kind = static_cast<CodecKind>(kind_raw);
+  std::size_t off = 4;
+  e.dense_size = get_u32(bytes, off);
+  switch (e.kind) {
+    case CodecKind::kIdentity: {
+      ADAFL_CHECK_MSG(
+          bytes.size() == off + static_cast<std::size_t>(e.dense_size) * 4,
+          "wire: identity payload size mismatch");
+      e.values.resize(static_cast<std::size_t>(e.dense_size));
+      for (auto& v : e.values) v = get_f32(bytes, off);
+      break;
+    }
+    case CodecKind::kTopK: {
+      ADAFL_CHECK_MSG((bytes.size() - off) % 8 == 0,
+                      "wire: top-k payload not a multiple of 8");
+      const std::size_t count = (bytes.size() - off) / 8;
+      e.indices.resize(count);
+      e.values.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        e.indices[i] = get_u32(bytes, off);
+        ADAFL_CHECK_MSG(e.indices[i] <
+                            static_cast<std::uint32_t>(e.dense_size),
+                        "wire: top-k index out of range");
+        e.values[i] = get_f32(bytes, off);
+      }
+      break;
+    }
+    case CodecKind::kQsgd: {
+      e.scale = get_f32(bytes, off);
+      ADAFL_CHECK_MSG(off < bytes.size(), "wire: truncated qsgd header");
+      e.quant_levels = bytes[off++];
+      ADAFL_CHECK_MSG(e.quant_levels >= 1, "wire: bad qsgd level count");
+      BitReader br(bytes.subspan(off));
+      const int bits = level_bits(e.quant_levels);
+      e.levels.resize(static_cast<std::size_t>(e.dense_size));
+      for (auto& l : e.levels) {
+        l = unzigzag(br.get(bits));
+        ADAFL_CHECK_MSG(std::abs(l) <= e.quant_levels,
+                        "wire: qsgd level out of range");
+      }
+      break;
+    }
+    case CodecKind::kTernary: {
+      e.scale = get_f32(bytes, off);
+      BitReader br(bytes.subspan(off));
+      e.levels.resize(static_cast<std::size_t>(e.dense_size));
+      for (auto& l : e.levels) {
+        l = unzigzag(br.get(2));
+        ADAFL_CHECK_MSG(l >= -1 && l <= 1, "wire: bad ternary code");
+      }
+      break;
+    }
+  }
+  e.wire_bytes = static_cast<std::int64_t>(bytes.size());
+  return e;
+}
+
+}  // namespace adafl::compress

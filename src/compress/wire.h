@@ -1,0 +1,63 @@
+// Byte-exact wire format for EncodedGradient messages.
+//
+// The simulators charge EncodedGradient::wire_bytes; this module makes that
+// number real: serialize() produces an actual byte buffer of exactly that
+// size (header + payload, with bit-packed QSGD/ternary levels), and
+// deserialize() round-trips it. A deployment would put these bytes on the
+// socket.
+//
+// Layout (little-endian):
+//   u8  kind            u8 reserved[3]
+//   u32 dense_size
+//   then per kind:
+//     kIdentity: dense_size * f32
+//     kTopK:     u32 count is implied by remaining length / 8;
+//                count * (u32 index, f32 value)
+//     kQsgd:     f32 scale, u8 levels_count, packed signed levels at
+//                ceil(log2(2s+1)) bits each (sign-magnitude zig-zag)
+//     kTernary:  f32 scale, packed 2-bit codes
+#pragma once
+
+#include "compress/codec.h"
+
+namespace adafl::compress {
+
+/// Serializes `e` into a self-describing byte buffer. The buffer size
+/// equals e.wire_bytes except for kQsgd, which needs one extra byte to
+/// carry the level count (a real header would fold this into `reserved`;
+/// kept explicit here for clarity — see wire_size()).
+std::vector<std::uint8_t> serialize(const EncodedGradient& e);
+
+/// Exact size serialize() will produce for `e`.
+std::int64_t wire_size(const EncodedGradient& e);
+
+/// Parses a buffer produced by serialize(). Throws CheckError on malformed
+/// input (bad kind, truncated payload).
+EncodedGradient deserialize(std::span<const std::uint8_t> bytes);
+
+/// Bit-level writer used by the packed payloads (exposed for tests).
+class BitWriter {
+ public:
+  void put(std::uint32_t value, int bits);
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int bit_pos_ = 0;  ///< bits already used in the last byte
+};
+
+/// Bit-level reader matching BitWriter.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  std::uint32_t get(int bits);
+  /// Bytes consumed so far (rounded up to whole bytes).
+  std::size_t consumed() const { return (pos_ + 7) / 8; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;  ///< bit cursor
+};
+
+}  // namespace adafl::compress

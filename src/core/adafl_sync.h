@@ -1,0 +1,59 @@
+// AdaFL synchronous trainer (paper §IV, Fig. 2): utility-scored adaptive
+// node selection (Algorithm 1) + per-client adaptive DGC compression, on top
+// of FedAvg-style weighted aggregation.
+#pragma once
+
+#include "compress/dgc.h"
+#include "core/config.h"
+#include "fl/sync_trainer.h"
+
+namespace adafl::core {
+
+/// Configuration of one AdaFL synchronous run.
+struct AdaFlSyncConfig {
+  AdaFlParams params;
+  int rounds = 40;
+  fl::ClientTrainConfig client;
+  std::vector<net::LinkConfig> links;  ///< empty = ideal network
+  int eval_every = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregate statistics specific to AdaFL (used by Tables I/II columns).
+struct AdaFlStats {
+  std::int64_t selected_updates = 0;  ///< compressed uploads performed
+  std::int64_t skipped_clients = 0;   ///< train-but-no-upload occurrences
+  double min_ratio_used = 0.0;        ///< smallest compression ratio applied
+  double max_ratio_used = 0.0;        ///< largest compression ratio applied
+  double mean_selected_per_round = 0.0;
+};
+
+/// Runs AdaFL in the synchronous (top-k topology) setting.
+class AdaFlSyncTrainer {
+ public:
+  AdaFlSyncTrainer(AdaFlSyncConfig cfg, nn::ModelFactory factory,
+                   const data::Dataset* train, data::Partition parts,
+                   const data::Dataset* test,
+                   std::vector<fl::DeviceProfile> devices = {});
+
+  fl::TrainLog run();
+
+  const AdaFlStats& stats() const { return stats_; }
+  const std::vector<float>& global() const { return global_; }
+
+ private:
+  AdaFlSyncConfig cfg_;
+  nn::ModelFactory factory_;
+  const data::Dataset* test_;
+  std::vector<fl::FlClient> clients_;
+  std::vector<net::Link> links_;
+  std::vector<compress::DgcCompressor> compressors_;
+  CompressionController controller_;
+  std::vector<float> global_;
+  std::vector<float> global_gradient_;  ///< g_hat: last aggregated update
+  nn::Model eval_model_;
+  tensor::Rng rng_;
+  AdaFlStats stats_;
+};
+
+}  // namespace adafl::core

@@ -1,0 +1,37 @@
+#include "core/compression_ctrl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace adafl::core {
+
+CompressionController::CompressionController(CompressionCtrlConfig cfg)
+    : cfg_(cfg) {
+  ADAFL_CHECK_MSG(cfg.ratio_min >= 1.0, "CompressionController: ratio_min >= 1");
+  ADAFL_CHECK_MSG(cfg.ratio_max >= cfg.ratio_min,
+                  "CompressionController: ratio_max >= ratio_min");
+  ADAFL_CHECK_MSG(cfg.warmup_rounds >= 0,
+                  "CompressionController: warmup_rounds >= 0");
+  ADAFL_CHECK_MSG(cfg.shaping > 0.0, "CompressionController: shaping > 0");
+}
+
+double CompressionController::ratio_for(double normalized_score,
+                                        int round) const {
+  ADAFL_CHECK_MSG(normalized_score >= 0.0 && normalized_score <= 1.0,
+                  "CompressionController: score " << normalized_score
+                                                  << " outside [0,1]");
+  ADAFL_CHECK_MSG(round >= 1, "CompressionController: rounds are 1-based");
+  if (in_warmup(round)) return cfg_.ratio_min;
+  const double lmin = std::log(cfg_.ratio_min);
+  const double lmax = std::log(cfg_.ratio_max);
+  // score 1 -> ratio_min, score 0 -> ratio_max; shaping bends mid scores
+  // toward ratio_min.
+  const double s = 1.0 - std::pow(1.0 - normalized_score, cfg_.shaping);
+  // Clamp: exp/log round-trip can land a hair outside the bounds.
+  return std::clamp(std::exp(lmax + s * (lmin - lmax)), cfg_.ratio_min,
+                    cfg_.ratio_max);
+}
+
+}  // namespace adafl::core

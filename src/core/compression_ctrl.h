@@ -1,0 +1,38 @@
+// Adaptive gradient-compression controller (paper §IV): maps a client's
+// utility score to a DGC compression ratio. Higher utility -> lower
+// compression (more information preserved); lower utility -> aggressive
+// compression. During warm-up every client gets the minimum ratio.
+#pragma once
+
+namespace adafl::core {
+
+/// Ratio bounds; the paper reports 4x..210x (sync) and 4x..105x (async).
+struct CompressionCtrlConfig {
+  double ratio_min = 4.0;    ///< applied to the highest-utility client
+  double ratio_max = 210.0;  ///< applied to the lowest-utility client
+  int warmup_rounds = 5;     ///< rounds with ratio_min for everyone
+  /// Curvature of the score->ratio mapping: effective score is
+  /// 1-(1-s)^shaping, so with shaping > 1 mid-utility clients stay near
+  /// ratio_min and only genuinely low-utility clients approach ratio_max
+  /// (the paper's "up to 210x"). shaping = 1 is plain log-linear.
+  double shaping = 3.0;
+};
+
+/// Stateless score->ratio mapping with warm-up handling.
+class CompressionController {
+ public:
+  explicit CompressionController(CompressionCtrlConfig cfg);
+
+  /// Compression ratio for a client whose min-max-normalized utility score
+  /// is `normalized_score` in [0,1], at communication round `round`
+  /// (1-based). Log-linear: ratio = exp(lerp(log rmax, log rmin, score)).
+  double ratio_for(double normalized_score, int round) const;
+
+  bool in_warmup(int round) const { return round <= cfg_.warmup_rounds; }
+  const CompressionCtrlConfig& config() const { return cfg_; }
+
+ private:
+  CompressionCtrlConfig cfg_;
+};
+
+}  // namespace adafl::core

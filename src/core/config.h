@@ -1,0 +1,42 @@
+// Shared AdaFL parameters (utility scoring + selection + compression).
+#pragma once
+
+#include "compress/dgc.h"
+#include "core/compression_ctrl.h"
+#include "core/utility.h"
+
+namespace adafl::core {
+
+/// The knobs of the AdaFL framework itself, shared by the synchronous and
+/// asynchronous trainers.
+struct AdaFlParams {
+  UtilityConfig utility;
+  double tau = 0.5;         ///< Algorithm 1 utility threshold
+  int max_selected = 5;     ///< Algorithm 1 K (sync top-k topology)
+  CompressionCtrlConfig compression{4.0, 210.0, 5};
+  /// Base DGC behaviour (ratio is overridden per client by the controller).
+  /// NOTE: DGC's momentum correction was designed for per-iteration SGD
+  /// gradients; AdaFL compresses whole-round weight deltas, where momentum
+  /// across rounds amplifies updates by ~1/(1-m) and destabilizes the
+  /// server. Default is therefore momentum 0 (pure error-feedback
+  /// accumulation); the ablation bench sweeps this knob.
+  compress::DgcConfig dgc{/*ratio=*/64.0, /*momentum=*/0.0f,
+                          /*clip_norm=*/0.0, /*momentum_correction=*/false,
+                          /*warm_up_dense=*/false};
+  /// If true, clients skipped by selection keep accumulating their deltas in
+  /// DGC state (error feedback); if false their updates are discarded.
+  bool accumulate_unselected = true;
+  /// Async freshness guard: a client skipped this many times in a row
+  /// uploads anyway (at maximum compression). Prevents the degenerate case
+  /// where every client gates itself below tau and the run livelocks.
+  int max_consecutive_skips = 5;
+  /// Server-side trust region: clip the applied aggregate's L2 norm to the
+  /// (weighted mean) norm of the participants' raw deltas. Sparse top-k
+  /// messages carry each client's largest accumulated coordinates with no
+  /// cross-client cancellation, so the raw aggregate is biased large; the
+  /// clip prevents the overshoot/oscillation this causes. Disable for the
+  /// ablation bench.
+  bool server_trust_clip = true;
+};
+
+}  // namespace adafl::core

@@ -1,0 +1,53 @@
+#include "core/selection.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace adafl::core {
+
+SelectionResult select_clients(const std::vector<double>& scores, int k,
+                               double tau) {
+  ADAFL_CHECK_MSG(k >= 1, "select_clients: K must be >= 1");
+  ADAFL_CHECK_MSG(tau >= 0.0 && tau <= 1.0, "select_clients: tau in [0,1]");
+  SelectionResult r;
+  // Client Filtering: C_filtered = { i : S_i >= tau }.
+  std::vector<int> filtered;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    ADAFL_CHECK_MSG(scores[i] >= 0.0 && scores[i] <= 1.0,
+                    "select_clients: score " << scores[i] << " outside [0,1]");
+    if (scores[i] >= tau)
+      filtered.push_back(static_cast<int>(i));
+    else
+      r.below_threshold.push_back(static_cast<int>(i));
+  }
+  // Client Ranking and Selection: sort by S_i descending, take first K'.
+  std::stable_sort(filtered.begin(), filtered.end(), [&](int a, int b) {
+    return scores[static_cast<std::size_t>(a)] >
+           scores[static_cast<std::size_t>(b)];
+  });
+  const std::size_t k_prime =
+      std::min<std::size_t>(static_cast<std::size_t>(k), filtered.size());
+  r.selected.assign(filtered.begin(),
+                    filtered.begin() + static_cast<std::ptrdiff_t>(k_prime));
+  return r;
+}
+
+std::vector<double> normalize_selected(const std::vector<double>& scores,
+                                       const std::vector<int>& ids) {
+  std::vector<double> out(ids.size(), 1.0);
+  if (ids.size() < 2) return out;
+  double lo = scores[static_cast<std::size_t>(ids[0])];
+  double hi = lo;
+  for (int i : ids) {
+    const double s = scores[static_cast<std::size_t>(i)];
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  if (hi - lo < 1e-12) return out;  // all equal
+  for (std::size_t j = 0; j < ids.size(); ++j)
+    out[j] = (scores[static_cast<std::size_t>(ids[j])] - lo) / (hi - lo);
+  return out;
+}
+
+}  // namespace adafl::core

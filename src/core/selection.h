@@ -1,0 +1,31 @@
+// Adaptive node selection — paper Algorithm 1, verbatim semantics.
+#pragma once
+
+#include <vector>
+
+namespace adafl::core {
+
+/// Result of one selection pass.
+struct SelectionResult {
+  /// Selected client indices, sorted by utility score descending (ties keep
+  /// lower index first). Satisfies Algorithm 1's constraints:
+  ///   |selected| <= K;  all selected have S_i >= tau;
+  ///   every selected score >= every non-selected score among the filtered.
+  std::vector<int> selected;
+  /// Indices filtered out by the tau threshold.
+  std::vector<int> below_threshold;
+};
+
+/// Algorithm 1 (Adaptive Node Selection): filters clients by S_i >= tau,
+/// ranks the survivors by score descending, and returns the top
+/// K' = min(K, |filtered|). Preconditions: K >= 1, tau in [0,1], scores in
+/// [0,1].
+SelectionResult select_clients(const std::vector<double>& scores, int k,
+                               double tau);
+
+/// Min-max normalizes the scores of `ids` (a subset of indices into
+/// `scores`) into [0,1]. A single client — or all-equal scores — maps to 1.
+std::vector<double> normalize_selected(const std::vector<double>& scores,
+                                       const std::vector<int>& ids);
+
+}  // namespace adafl::core

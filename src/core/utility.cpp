@@ -1,0 +1,68 @@
+#include "core/utility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+#include "tensor/tensor.h"
+
+namespace adafl::core {
+
+const char* to_string(SimilarityMetric m) {
+  switch (m) {
+    case SimilarityMetric::kCosine:
+      return "cosine";
+    case SimilarityMetric::kL2Kernel:
+      return "l2-kernel";
+    case SimilarityMetric::kEuclideanKernel:
+      return "euclidean-kernel";
+  }
+  return "?";
+}
+
+namespace {
+
+double distance_ratio(std::span<const float> a, std::span<const float> b) {
+  ADAFL_CHECK_MSG(a.size() == b.size(), "similarity01: length mismatch");
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    d2 += d * d;
+  }
+  const double na = tensor::l2_norm(a);
+  const double nb = tensor::l2_norm(b);
+  constexpr double kEps = 1e-12;
+  return std::sqrt(d2) / (na + nb + kEps);
+}
+
+}  // namespace
+
+double similarity01(SimilarityMetric metric, std::span<const float> a,
+                    std::span<const float> b) {
+  switch (metric) {
+    case SimilarityMetric::kCosine:
+      return 0.5 * (1.0 + tensor::cosine_similarity(a, b));
+    case SimilarityMetric::kL2Kernel:
+      return 1.0 / (1.0 + distance_ratio(a, b));
+    case SimilarityMetric::kEuclideanKernel:
+      return std::exp(-distance_ratio(a, b));
+  }
+  return 0.0;
+}
+
+double utility_score(const UtilityConfig& cfg, std::span<const float> g_local,
+                     std::span<const float> g_global, double up_bw,
+                     double down_bw) {
+  ADAFL_CHECK_MSG(cfg.w_sim >= 0.0 && cfg.w_bw >= 0.0 &&
+                      cfg.w_sim + cfg.w_bw > 0.0,
+                  "utility_score: weights must be non-negative, not both 0");
+  ADAFL_CHECK_MSG(cfg.bw_ref > 0.0, "utility_score: bw_ref must be positive");
+  ADAFL_CHECK_MSG(up_bw >= 0.0 && down_bw >= 0.0,
+                  "utility_score: bandwidths must be non-negative");
+  const double sim = similarity01(cfg.metric, g_local, g_global);
+  const double bw =
+      std::clamp(std::min(up_bw, down_bw) / cfg.bw_ref, 0.0, 1.0);
+  return (cfg.w_sim * sim + cfg.w_bw * bw) / (cfg.w_sim + cfg.w_bw);
+}
+
+}  // namespace adafl::core

@@ -1,0 +1,49 @@
+// Utility score (paper Eq. 6): S_i = f(B_down, B_up, U(g_i, g_hat)).
+//
+// The paper leaves f unspecified; DESIGN.md §4.1 documents our instantiation:
+// a convex combination of a [0,1]-mapped gradient-similarity term and a
+// normalized bandwidth term. Both the similarity metric and the weights are
+// configurable (the paper mentions cosine, L2 and Euclidean alternatives).
+#pragma once
+
+#include <span>
+
+#include "net/link.h"
+
+namespace adafl::core {
+
+/// Gradient similarity metrics from paper §IV.
+enum class SimilarityMetric { kCosine, kL2Kernel, kEuclideanKernel };
+
+const char* to_string(SimilarityMetric m);
+
+/// Parameters of the utility function.
+struct UtilityConfig {
+  SimilarityMetric metric = SimilarityMetric::kCosine;
+  double w_sim = 0.7;      ///< weight of the similarity term
+  double w_bw = 0.3;       ///< weight of the bandwidth term
+  /// Bandwidth (bytes/s) that maps the bw term to 1.0. CALIBRATE THIS TO
+  /// THE DEPLOYMENT: on a fleet whose best uplink is far below bw_ref the
+  /// bandwidth term drags every score down and tau can starve selection
+  /// (see examples/wearable_har.cpp). A good default is the fleet's
+  /// typical healthy uplink.
+  double bw_ref = 2.5e6;
+};
+
+/// Maps a similarity metric to [0,1]:
+///  - kCosine:          (1 + cos(a,b)) / 2   (0.5 when either vector ~ 0)
+///  - kL2Kernel:        1 / (1 + ||a-b|| / (||a|| + ||b||))
+///  - kEuclideanKernel: exp(-||a-b|| / (||a|| + ||b||))
+/// Both kernel variants return 1 for identical non-zero vectors and decay
+/// with distance; all are monotone in alignment.
+double similarity01(SimilarityMetric metric, std::span<const float> a,
+                    std::span<const float> b);
+
+/// The utility score S_i in [0,1]. `up_bw`/`down_bw` are the client's
+/// current effective bandwidths (bytes/s); pass bw_ref when no network is
+/// simulated (bandwidth term = 1).
+double utility_score(const UtilityConfig& cfg, std::span<const float> g_local,
+                     std::span<const float> g_global, double up_bw,
+                     double down_bw);
+
+}  // namespace adafl::core

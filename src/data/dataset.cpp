@@ -1,0 +1,84 @@
+#include "data/dataset.h"
+
+namespace adafl::data {
+
+Dataset::Dataset(Tensor images, std::vector<std::int32_t> labels)
+    : images_(std::move(images)), labels_(std::move(labels)) {
+  ADAFL_CHECK_MSG(images_.shape().rank() == 4,
+                  "Dataset: images must be [N,C,H,W], got "
+                      << images_.shape().to_string());
+  ADAFL_CHECK_MSG(
+      images_.shape()[0] == static_cast<std::int64_t>(labels_.size()),
+      "Dataset: " << images_.shape()[0] << " images vs " << labels_.size()
+                  << " labels");
+}
+
+ImageSpec Dataset::spec() const {
+  ADAFL_CHECK_MSG(size() > 0, "Dataset::spec on empty dataset");
+  std::int64_t classes = 0;
+  for (auto l : labels_)
+    classes = std::max<std::int64_t>(classes, l + 1);
+  return ImageSpec{images_.shape()[1], images_.shape()[2], images_.shape()[3],
+                   classes};
+}
+
+Batch Dataset::gather(std::span<const std::int32_t> indices) const {
+  ADAFL_CHECK_MSG(!indices.empty(), "Dataset::gather: empty index list");
+  const std::int64_t c = images_.shape()[1], h = images_.shape()[2],
+                     w = images_.shape()[3];
+  const std::int64_t img = c * h * w;
+  Batch b;
+  b.inputs = Tensor({static_cast<std::int64_t>(indices.size()), c, h, w});
+  b.labels.reserve(indices.size());
+  float* dst = b.inputs.data();
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const std::int32_t i = indices[k];
+    ADAFL_CHECK_MSG(i >= 0 && i < size(), "Dataset::gather: index " << i
+                                                                    << " out of "
+                                                                    << size());
+    const float* src = images_.data() + static_cast<std::int64_t>(i) * img;
+    std::copy(src, src + img, dst + static_cast<std::int64_t>(k) * img);
+    b.labels.push_back(labels_[static_cast<std::size_t>(i)]);
+  }
+  return b;
+}
+
+Batch Dataset::all() const {
+  Batch b;
+  b.inputs = images_;
+  b.labels = labels_;
+  return b;
+}
+
+BatchLoader::BatchLoader(const Dataset* dataset,
+                         std::vector<std::int32_t> indices,
+                         std::int64_t batch_size, Rng rng)
+    : dataset_(dataset),
+      indices_(std::move(indices)),
+      batch_size_(batch_size),
+      rng_(rng) {
+  ADAFL_CHECK_MSG(dataset_ != nullptr, "BatchLoader: null dataset");
+  ADAFL_CHECK_MSG(!indices_.empty(), "BatchLoader: empty index list");
+  ADAFL_CHECK_MSG(batch_size_ > 0, "BatchLoader: batch_size must be positive");
+  rng_.shuffle(indices_);
+}
+
+Batch BatchLoader::next() {
+  const std::size_t n = indices_.size();
+  if (cursor_ >= n) {
+    cursor_ = 0;
+    rng_.shuffle(indices_);
+  }
+  const std::size_t take =
+      std::min(static_cast<std::size_t>(batch_size_), n - cursor_);
+  Batch b = dataset_->gather({indices_.data() + cursor_, take});
+  cursor_ += take;
+  return b;
+}
+
+std::int64_t BatchLoader::batches_per_epoch() const {
+  const std::int64_t n = num_examples();
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace adafl::data

@@ -1,0 +1,63 @@
+// Dataset container and batching for supervised image classification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+#include "nn/models.h"
+
+namespace adafl::data {
+
+using nn::Batch;
+using nn::ImageSpec;
+using tensor::Rng;
+using tensor::Tensor;
+
+/// In-memory labelled image set: images [N, C, H, W] + N labels.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Tensor images, std::vector<std::int32_t> labels);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels_.size()); }
+  const Tensor& images() const { return images_; }
+  const std::vector<std::int32_t>& labels() const { return labels_; }
+  ImageSpec spec() const;
+
+  /// Gathers the examples at `indices` into a contiguous batch.
+  Batch gather(std::span<const std::int32_t> indices) const;
+
+  /// The whole dataset as one batch (for evaluation).
+  Batch all() const;
+
+ private:
+  Tensor images_;
+  std::vector<std::int32_t> labels_;
+};
+
+/// Cycling mini-batch iterator over a subset of a dataset, reshuffled every
+/// epoch with its own RNG (deterministic under a fixed seed).
+class BatchLoader {
+ public:
+  /// `indices` selects this loader's examples (e.g. one client's partition).
+  BatchLoader(const Dataset* dataset, std::vector<std::int32_t> indices,
+              std::int64_t batch_size, Rng rng);
+
+  /// Next mini-batch; wraps to a fresh shuffled epoch at the end.
+  Batch next();
+
+  std::int64_t num_examples() const {
+    return static_cast<std::int64_t>(indices_.size());
+  }
+  std::int64_t batches_per_epoch() const;
+
+ private:
+  const Dataset* dataset_;
+  std::vector<std::int32_t> indices_;
+  std::int64_t batch_size_;
+  std::size_t cursor_ = 0;
+  Rng rng_;
+};
+
+}  // namespace adafl::data

@@ -1,0 +1,102 @@
+#include "data/har.h"
+
+#include <array>
+#include <cmath>
+
+#include "nn/activation.h"
+#include "nn/conv1d.h"
+#include "nn/linear.h"
+#include "nn/sequential.h"
+
+namespace adafl::data {
+
+namespace {
+
+/// Per-activity, per-axis oscillation parameters.
+struct AxisPattern {
+  double freq;    ///< cycles per window
+  double amp;
+  double phase;
+  double drift;   ///< linear trend across the window
+};
+
+}  // namespace
+
+Dataset make_har(const HarConfig& cfg) {
+  ADAFL_CHECK_MSG(cfg.num_samples > 0 && cfg.length >= 8,
+                  "make_har: need samples and length >= 8");
+  ADAFL_CHECK_MSG(cfg.activities >= 2, "make_har: need >= 2 activities");
+  constexpr int kAxes = 3;
+
+  // Deterministic class prototypes.
+  std::vector<std::array<AxisPattern, kAxes>> protos(
+      static_cast<std::size_t>(cfg.activities));
+  {
+    Rng root(cfg.proto_seed);
+    for (auto& proto : protos) {
+      Rng rng = root.fork(static_cast<std::uint64_t>(&proto - &protos[0]) + 1);
+      for (auto& ax : proto) {
+        ax.freq = rng.uniform(0.8, 6.0);
+        ax.amp = rng.uniform(0.4, 1.2);
+        ax.phase = rng.uniform(0.0, 6.28318);
+        ax.drift = rng.uniform(-0.4, 0.4);
+      }
+    }
+  }
+
+  Rng rng(cfg.seed);
+  Tensor signals({cfg.num_samples, kAxes, 1, cfg.length});
+  std::vector<std::int32_t> labels(static_cast<std::size_t>(cfg.num_samples));
+  for (std::int64_t i = 0; i < cfg.num_samples; ++i) {
+    const int cls = static_cast<int>(i % cfg.activities);
+    labels[static_cast<std::size_t>(i)] = cls;
+    const auto& proto = protos[static_cast<std::size_t>(cls)];
+    const double phase_jitter = rng.uniform(0.0, 6.28318);
+    for (int a = 0; a < kAxes; ++a) {
+      const auto& ax = proto[static_cast<std::size_t>(a)];
+      const double amp =
+          ax.amp * (1.0 + rng.uniform(-cfg.amp_jitter, cfg.amp_jitter));
+      float* out = signals.data() + (i * kAxes + a) * cfg.length;
+      for (std::int64_t t = 0; t < cfg.length; ++t) {
+        const double u = static_cast<double>(t) / cfg.length;
+        const double v = amp * std::sin(6.28318 * ax.freq * u + ax.phase +
+                                        phase_jitter) +
+                         ax.drift * u +
+                         rng.normal(0.0, cfg.noise_stddev);
+        out[t] = static_cast<float>(v);
+      }
+    }
+  }
+  return Dataset(std::move(signals), std::move(labels));
+}
+
+nn::Model make_har_cnn(std::int64_t length, int activities,
+                       std::uint64_t seed) {
+  ADAFL_CHECK_MSG(length >= 8 && length % 4 == 0,
+                  "make_har_cnn: length must be >= 8 and divisible by 4");
+  nn::Rng rng(seed);
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Conv1d>(3, 16, 5, rng, 1, 2);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::MaxPool1d>(2);
+  net->emplace<nn::Conv1d>(16, 32, 5, rng, 1, 2);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::MaxPool1d>(2);
+  net->emplace<nn::Flatten>();
+  net->emplace<nn::Linear>(32 * (length / 4), 64, rng);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::Linear>(64, activities, rng);
+  nn::Model model(std::move(net));
+  // Zero-init the classifier head (same rationale as the image models).
+  auto params = model.params();
+  params[params.size() - 2].value->fill(0.0f);
+  params[params.size() - 1].value->fill(0.0f);
+  return model;
+}
+
+nn::ModelFactory har_cnn_factory(std::int64_t length, int activities,
+                                 std::uint64_t seed) {
+  return [=] { return make_har_cnn(length, activities, seed); };
+}
+
+}  // namespace adafl::data

@@ -1,0 +1,115 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/check.h"
+
+namespace adafl::data {
+
+Partition partition_iid(std::int64_t n, int num_clients, tensor::Rng& rng) {
+  ADAFL_CHECK_MSG(num_clients > 0, "partition_iid: num_clients <= 0");
+  ADAFL_CHECK_MSG(n >= num_clients, "partition_iid: fewer examples than clients");
+  std::vector<std::int32_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  Partition parts(static_cast<std::size_t>(num_clients));
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    parts[i % static_cast<std::size_t>(num_clients)].push_back(idx[i]);
+  return parts;
+}
+
+Partition partition_shards(const std::vector<std::int32_t>& labels,
+                           int num_clients, int shards_per_client,
+                           tensor::Rng& rng) {
+  ADAFL_CHECK_MSG(num_clients > 0 && shards_per_client > 0,
+                  "partition_shards: bad arguments");
+  const std::int64_t n = static_cast<std::int64_t>(labels.size());
+  const int num_shards = num_clients * shards_per_client;
+  ADAFL_CHECK_MSG(n >= num_shards,
+                  "partition_shards: " << n << " examples for " << num_shards
+                                       << " shards");
+  // Sort example indices by label (stable: ties keep original order).
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return labels[static_cast<std::size_t>(a)] <
+                            labels[static_cast<std::size_t>(b)];
+                   });
+  // Deal shards randomly to clients.
+  std::vector<int> shard_ids(static_cast<std::size_t>(num_shards));
+  std::iota(shard_ids.begin(), shard_ids.end(), 0);
+  rng.shuffle(shard_ids);
+  Partition parts(static_cast<std::size_t>(num_clients));
+  const std::int64_t shard_len = n / num_shards;
+  for (int s = 0; s < num_shards; ++s) {
+    const int client = s / shards_per_client;
+    const int shard = shard_ids[static_cast<std::size_t>(s)];
+    const std::int64_t lo = static_cast<std::int64_t>(shard) * shard_len;
+    // Last shard absorbs the remainder.
+    const std::int64_t hi =
+        (shard == num_shards - 1) ? n : lo + shard_len;
+    for (std::int64_t i = lo; i < hi; ++i)
+      parts[static_cast<std::size_t>(client)].push_back(
+          order[static_cast<std::size_t>(i)]);
+  }
+  return parts;
+}
+
+Partition partition_dirichlet(const std::vector<std::int32_t>& labels,
+                              int num_clients, double alpha,
+                              tensor::Rng& rng) {
+  ADAFL_CHECK_MSG(num_clients > 0 && alpha > 0.0,
+                  "partition_dirichlet: bad arguments");
+  ADAFL_CHECK_MSG(static_cast<int>(labels.size()) >= num_clients,
+                  "partition_dirichlet: fewer examples than clients");
+  std::int32_t num_classes = 0;
+  for (auto l : labels) num_classes = std::max(num_classes, l + 1);
+
+  // Bucket indices per class, shuffled.
+  std::vector<std::vector<std::int32_t>> by_class(
+      static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    by_class[static_cast<std::size_t>(labels[i])].push_back(
+        static_cast<std::int32_t>(i));
+  for (auto& v : by_class) rng.shuffle(v);
+
+  Partition parts(static_cast<std::size_t>(num_clients));
+  for (auto& cls : by_class) {
+    // Dirichlet(alpha) proportions over clients.
+    std::vector<double> p(static_cast<std::size_t>(num_clients));
+    double sum = 0.0;
+    for (auto& v : p) {
+      v = rng.gamma(alpha);
+      sum += v;
+    }
+    std::size_t taken = 0;
+    double cum = 0.0;
+    for (int c = 0; c < num_clients; ++c) {
+      cum += p[static_cast<std::size_t>(c)] / sum;
+      const std::size_t until =
+          (c == num_clients - 1)
+              ? cls.size()
+              : std::min(cls.size(),
+                         static_cast<std::size_t>(cum * cls.size() + 0.5));
+      for (; taken < until; ++taken)
+        parts[static_cast<std::size_t>(c)].push_back(cls[taken]);
+    }
+  }
+
+  // Guarantee no empty client: move one example from the largest part.
+  for (auto& part : parts) {
+    if (!part.empty()) continue;
+    auto largest = std::max_element(
+        parts.begin(), parts.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    ADAFL_CHECK_MSG(largest->size() > 1,
+                    "partition_dirichlet: cannot rebalance empty client");
+    part.push_back(largest->back());
+    largest->pop_back();
+  }
+  return parts;
+}
+
+}  // namespace adafl::data

@@ -1,0 +1,34 @@
+// Client data partitioners: IID, shard-based non-IID (McMahan et al.), and
+// Dirichlet non-IID.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace adafl::data {
+
+/// One index list per client.
+using Partition = std::vector<std::vector<std::int32_t>>;
+
+/// Splits [0, n) uniformly at random into `num_clients` near-equal parts.
+Partition partition_iid(std::int64_t n, int num_clients, tensor::Rng& rng);
+
+/// McMahan-style non-IID: sorts examples by label, cuts the sorted order
+/// into `num_clients * shards_per_client` shards, and deals
+/// `shards_per_client` random shards to each client — so each client sees
+/// only a few classes.
+Partition partition_shards(const std::vector<std::int32_t>& labels,
+                           int num_clients, int shards_per_client,
+                           tensor::Rng& rng);
+
+/// Dirichlet non-IID: for each class, splits its examples across clients by
+/// a Dirichlet(alpha) draw. Smaller alpha = more skew. Guarantees every
+/// client receives at least one example by rebalancing from the largest
+/// clients afterwards.
+Partition partition_dirichlet(const std::vector<std::int32_t>& labels,
+                              int num_clients, double alpha,
+                              tensor::Rng& rng);
+
+}  // namespace adafl::data

@@ -1,0 +1,141 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+namespace adafl::data {
+
+namespace {
+
+/// Smooth class prototype: a small random mixture of 2-D sinusoids per
+/// channel, deterministic in (proto_seed, class, channel). Values ~[-1, 1].
+class PrototypeBank {
+ public:
+  PrototypeBank(const ImageSpec& spec, std::uint64_t proto_seed)
+      : spec_(spec) {
+    protos_.reserve(static_cast<std::size_t>(spec.classes));
+    Rng root(proto_seed);
+    for (std::int64_t cls = 0; cls < spec.classes; ++cls) {
+      Rng rng = root.fork(static_cast<std::uint64_t>(cls) + 1);
+      Tensor p({spec.channels, spec.height, spec.width});
+      for (std::int64_t c = 0; c < spec.channels; ++c) {
+        // Four sinusoidal components with random frequency/phase/weight.
+        struct Wave {
+          double fy, fx, phase, weight;
+        };
+        Wave waves[4];
+        for (auto& wv : waves) {
+          wv.fy = rng.uniform(0.5, 2.5);
+          wv.fx = rng.uniform(0.5, 2.5);
+          wv.phase = rng.uniform(0.0, 6.28318);
+          wv.weight = rng.uniform(0.4, 1.0) * (rng.bernoulli(0.5) ? 1 : -1);
+        }
+        for (std::int64_t y = 0; y < spec.height; ++y)
+          for (std::int64_t x = 0; x < spec.width; ++x) {
+            double v = 0.0;
+            const double yn = static_cast<double>(y) / spec_.height;
+            const double xn = static_cast<double>(x) / spec_.width;
+            for (const auto& wv : waves)
+              v += wv.weight *
+                   std::sin(6.28318 * (wv.fy * yn + wv.fx * xn) + wv.phase);
+            p.at({c, y, x}) = static_cast<float>(v / 2.5);
+          }
+      }
+      protos_.push_back(std::move(p));
+    }
+  }
+
+  const Tensor& of(std::int64_t cls) const {
+    return protos_[static_cast<std::size_t>(cls)];
+  }
+
+ private:
+  ImageSpec spec_;
+  std::vector<Tensor> protos_;
+};
+
+}  // namespace
+
+Dataset make_synthetic(const SyntheticConfig& cfg) {
+  ADAFL_CHECK_MSG(cfg.num_samples > 0, "make_synthetic: num_samples <= 0");
+  ADAFL_CHECK_MSG(cfg.spec.classes >= 2, "make_synthetic: need >= 2 classes");
+  ADAFL_CHECK_MSG(cfg.noise_stddev >= 0.0 && cfg.label_noise >= 0.0 &&
+                      cfg.label_noise <= 1.0,
+                  "make_synthetic: bad noise parameters");
+  const ImageSpec& s = cfg.spec;
+  PrototypeBank bank(s, cfg.proto_seed);
+  Rng rng(cfg.seed);
+
+  Tensor images({cfg.num_samples, s.channels, s.height, s.width});
+  std::vector<std::int32_t> labels(static_cast<std::size_t>(cfg.num_samples));
+  const std::int64_t img = s.channels * s.height * s.width;
+
+  for (std::int64_t i = 0; i < cfg.num_samples; ++i) {
+    const std::int64_t cls = i % s.classes;  // balanced
+    labels[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(cls);
+    const Tensor& proto = bank.of(cls);
+    const int dy = cfg.max_shift
+                       ? static_cast<int>(rng.uniform_index(
+                             static_cast<std::uint64_t>(2 * cfg.max_shift + 1))) -
+                             cfg.max_shift
+                       : 0;
+    const int dx = cfg.max_shift
+                       ? static_cast<int>(rng.uniform_index(
+                             static_cast<std::uint64_t>(2 * cfg.max_shift + 1))) -
+                             cfg.max_shift
+                       : 0;
+    float* dst = images.data() + i * img;
+    for (std::int64_t c = 0; c < s.channels; ++c)
+      for (std::int64_t y = 0; y < s.height; ++y)
+        for (std::int64_t x = 0; x < s.width; ++x) {
+          // Toroidal shift keeps energy constant across examples.
+          const std::int64_t sy = (y + dy + s.height) % s.height;
+          const std::int64_t sx = (x + dx + s.width) % s.width;
+          const float base = proto.at({c, sy, sx});
+          *dst++ = base + static_cast<float>(rng.normal(0.0, cfg.noise_stddev));
+        }
+  }
+
+  if (cfg.label_noise > 0.0) {
+    for (auto& l : labels)
+      if (rng.bernoulli(cfg.label_noise))
+        l = static_cast<std::int32_t>(
+            rng.uniform_index(static_cast<std::uint64_t>(s.classes)));
+  }
+
+  return Dataset(std::move(images), std::move(labels));
+}
+
+SyntheticConfig mnist_like(std::int64_t num_samples, std::uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.spec = ImageSpec{1, 16, 16, 10};
+  cfg.num_samples = num_samples;
+  cfg.noise_stddev = 0.45;
+  cfg.max_shift = 2;
+  cfg.proto_seed = 42;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SyntheticConfig cifar10_like(std::int64_t num_samples, std::uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.spec = ImageSpec{3, 16, 16, 10};
+  cfg.num_samples = num_samples;
+  cfg.noise_stddev = 0.5;
+  cfg.max_shift = 3;
+  cfg.proto_seed = 1042;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SyntheticConfig cifar100_like(std::int64_t num_samples, std::uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.spec = ImageSpec{3, 16, 16, 20};
+  cfg.num_samples = num_samples;
+  cfg.noise_stddev = 0.6;
+  cfg.max_shift = 3;
+  cfg.proto_seed = 2042;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace adafl::data

@@ -1,0 +1,206 @@
+#include "fl/async_trainer.h"
+
+#include <cmath>
+
+namespace adafl::fl {
+
+namespace {
+constexpr std::int64_t kMsgHeaderBytes = 8;
+}
+
+AsyncTrainer::AsyncTrainer(AsyncConfig cfg, nn::ModelFactory factory,
+                           const data::Dataset* train, data::Partition parts,
+                           const data::Dataset* test,
+                           std::vector<DeviceProfile> devices)
+    : cfg_(std::move(cfg)),
+      factory_(std::move(factory)),
+      test_(test),
+      clients_([&] {
+        // Apply the straggler slowdown to the unreliable prefix before the
+        // clients are constructed.
+        const int n = static_cast<int>(parts.size());
+        const int n_unreliable = static_cast<int>(
+            std::lround(n * cfg_.faults.unreliable_fraction));
+        std::vector<DeviceProfile> devs =
+            devices.empty() ? std::vector<DeviceProfile>(
+                                  static_cast<std::size_t>(n), workstation())
+                            : devices;
+        ADAFL_CHECK_MSG(static_cast<int>(devs.size()) == n,
+                        "AsyncTrainer: need 0 or " << n << " devices");
+        if (cfg_.faults.straggler_slowdown > 1.0)
+          for (int i = 0; i < n_unreliable; ++i)
+            devs[static_cast<std::size_t>(i)] = straggler(
+                devs[static_cast<std::size_t>(i)],
+                cfg_.faults.straggler_slowdown);
+        return make_clients(factory_, train, parts, cfg_.client, devs,
+                            cfg_.seed ^ 0xA51C57ULL);
+      }()),
+      eval_model_(factory_()),
+      rng_(cfg_.seed) {
+  ADAFL_CHECK_MSG(test_ != nullptr, "AsyncTrainer: null test set");
+  ADAFL_CHECK_MSG(cfg_.duration > 0, "AsyncTrainer: duration must be positive");
+  ADAFL_CHECK_MSG(
+      cfg_.links.empty() || cfg_.links.size() == clients_.size(),
+      "AsyncTrainer: need 0 or " << clients_.size() << " link configs");
+  ADAFL_CHECK_MSG(cfg_.buffer_size > 0, "AsyncTrainer: buffer_size >= 1");
+  global_ = eval_model_.get_flat();
+  tensor::Rng link_rng = rng_.fork(0xFEED);
+  for (std::size_t i = 0; i < cfg_.links.size(); ++i)
+    links_.emplace_back(cfg_.links[i], link_rng.fork(i + 1));
+}
+
+TrainLog AsyncTrainer::run() {
+  TrainLog log;
+  log_ = &log;
+  dense_bytes_ =
+      kMsgHeaderBytes + 4 * static_cast<std::int64_t>(global_.size());
+  log.dense_update_bytes = dense_bytes_;
+  delivered_ = 0;
+  delivered_since_eval_ = 0;
+  loss_since_eval_ = 0.0;
+  losses_since_eval_ = 0;
+  buffer_sum_.assign(global_.size(), 0.0f);
+  buffered_ = 0;
+
+  // Kick off every client's first cycle, slightly staggered so version
+  // counters differentiate.
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const double jitter = rng_.uniform(0.0, 0.01);
+    queue_.schedule(jitter, [this, i] { start_cycle(static_cast<int>(i)); });
+  }
+
+  // Periodic evaluation.
+  for (double t = cfg_.eval_interval; t <= cfg_.duration;
+       t += cfg_.eval_interval) {
+    queue_.schedule(t, [this, t] {
+      eval_model_.set_flat(global_);
+      RoundRecord rec;
+      rec.round = delivered_;
+      rec.time = t;
+      rec.test_accuracy = eval_model_.accuracy(test_->all());
+      rec.mean_train_loss =
+          losses_since_eval_ > 0
+              ? loss_since_eval_ / static_cast<double>(losses_since_eval_)
+              : 0.0;
+      rec.participants = delivered_since_eval_;
+      log_->records.push_back(rec);
+      delivered_since_eval_ = 0;
+      loss_since_eval_ = 0.0;
+      losses_since_eval_ = 0;
+    });
+  }
+
+  queue_.run_until(cfg_.duration);
+  log.total_time = queue_.now();
+  log.applied_updates = delivered_;
+  log_ = nullptr;
+  return log;
+}
+
+void AsyncTrainer::start_cycle(int client_id) {
+  if (cfg_.max_updates > 0 && delivered_ >= cfg_.max_updates) return;
+  FlClient& cl = clients_[static_cast<std::size_t>(client_id)];
+  const std::int64_t version_at_start = version_;
+
+  // Download leg.
+  double down_t = 0.0;
+  if (!links_.empty()) {
+    auto tr = links_[static_cast<std::size_t>(client_id)].download(
+        dense_bytes_, queue_.now());
+    down_t = tr.duration;
+  }
+  const bool unreliable =
+      client_id < static_cast<int>(std::lround(
+                      static_cast<double>(clients_.size()) *
+                      cfg_.faults.unreliable_fraction));
+  if (unreliable && cfg_.faults.straggler_slowdown > 1.0)
+    down_t *= cfg_.faults.straggler_slowdown;
+  log_->ledger.record_download(client_id, dense_bytes_);
+
+  // Local training happens "now" algorithmically but costs simulated time.
+  auto res = cl.train_from(global_);
+  std::vector<float> local(global_.size());
+  for (std::size_t i = 0; i < local.size(); ++i)
+    local[i] = global_[i] - res.delta[i];
+
+  // Upload leg.
+  double up_t = 0.0;
+  bool ok = true;
+  if (!links_.empty()) {
+    auto tr = links_[static_cast<std::size_t>(client_id)].upload(dense_bytes_,
+                                                                 queue_.now());
+    up_t = tr.duration;
+    ok = tr.delivered;
+  }
+  if (unreliable && cfg_.faults.straggler_slowdown > 1.0)
+    up_t *= cfg_.faults.straggler_slowdown;
+  if (unreliable && cfg_.faults.dropout_prob > 0.0 &&
+      rng_.bernoulli(cfg_.faults.dropout_prob))
+    ok = false;
+
+  const double arrival = down_t + res.compute_seconds + up_t;
+  const float loss = res.mean_loss;
+  if (ok) {
+    queue_.schedule_in(
+        arrival, [this, client_id, local = std::move(local),
+                  delta = std::move(res.delta), version_at_start, loss]() mutable {
+          on_arrival(client_id, std::move(local), std::move(delta),
+                     version_at_start, loss);
+        });
+  } else {
+    // Lost upload: bytes were spent, nothing arrives; client retries with a
+    // fresh cycle after the wasted round-trip.
+    queue_.schedule_in(arrival, [this, client_id] { start_cycle(client_id); });
+  }
+  log_->ledger.record_upload(client_id, dense_bytes_, ok);
+}
+
+void AsyncTrainer::on_arrival(int client_id, std::vector<float> local,
+                              std::vector<float> delta,
+                              std::int64_t version_at_start, float loss) {
+  // The update cap applies to *applied* updates: in-flight arrivals beyond
+  // the cap are discarded.
+  if (cfg_.max_updates > 0 && delivered_ >= cfg_.max_updates) return;
+  const std::int64_t staleness = version_ - version_at_start;
+  switch (cfg_.algo) {
+    case AsyncAlgorithm::kFedAsync:
+      apply_fedasync(local, staleness);
+      break;
+    case AsyncAlgorithm::kFedBuff:
+      apply_fedbuff(delta, staleness);
+      break;
+  }
+  ++delivered_;
+  ++delivered_since_eval_;
+  loss_since_eval_ += loss;
+  ++losses_since_eval_;
+  // Client immediately begins its next cycle.
+  start_cycle(client_id);
+}
+
+void AsyncTrainer::apply_fedasync(std::span<const float> local,
+                                  std::int64_t staleness) {
+  const float a =
+      cfg_.alpha * std::pow(1.0f + static_cast<float>(staleness),
+                            -cfg_.staleness_exponent);
+  for (std::size_t i = 0; i < global_.size(); ++i)
+    global_[i] = (1.0f - a) * global_[i] + a * local[i];
+  ++version_;
+}
+
+void AsyncTrainer::apply_fedbuff(std::span<const float> delta,
+                                 std::int64_t staleness) {
+  const float s =
+      1.0f / std::sqrt(1.0f + static_cast<float>(staleness));
+  for (std::size_t i = 0; i < buffer_sum_.size(); ++i)
+    buffer_sum_[i] += s * delta[i];
+  if (++buffered_ < cfg_.buffer_size) return;
+  const float step = cfg_.server_lr / static_cast<float>(buffered_);
+  for (std::size_t i = 0; i < global_.size(); ++i)
+    global_[i] -= step * buffer_sum_[i];
+  std::fill(buffer_sum_.begin(), buffer_sum_.end(), 0.0f);
+  buffered_ = 0;
+  ++version_;
+}
+
+}  // namespace adafl::fl

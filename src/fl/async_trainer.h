@@ -1,0 +1,85 @@
+// Event-driven asynchronous FL: FedAsync (Xie et al.) and FedBuff (Nguyen
+// et al.), with straggler (staleness) and dropout fault injection for the
+// paper's §III async study.
+#pragma once
+
+#include "fl/client.h"
+#include "fl/types.h"
+#include "net/event_queue.h"
+#include "net/link.h"
+
+namespace adafl::fl {
+
+/// Fault model for asynchronous runs.
+struct AsyncFaults {
+  double unreliable_fraction = 0.0;  ///< first round(N*f) clients affected
+  /// > 1 slows unreliable clients' compute AND transfers by this factor —
+  /// the paper's "3x slower" staleness condition.
+  double straggler_slowdown = 1.0;
+  /// Probability an unreliable client's upload is lost — the dropout
+  /// condition.
+  double dropout_prob = 0.0;
+};
+
+/// Configuration of one asynchronous run. The run stops at `duration`
+/// simulated seconds, or earlier once `max_updates` deliveries were applied
+/// (0 = no cap).
+struct AsyncConfig {
+  AsyncAlgorithm algo = AsyncAlgorithm::kFedAsync;
+  double duration = 2000.0;
+  int max_updates = 0;
+  float alpha = 0.6f;              ///< FedAsync base mixing weight
+  float staleness_exponent = 0.5f; ///< poly-staleness a: alpha*(1+s)^-a
+  int buffer_size = 5;             ///< FedBuff K
+  float server_lr = 1.0f;          ///< FedBuff aggregate step
+  ClientTrainConfig client;
+  std::vector<net::LinkConfig> links;  ///< empty = ideal network
+  double eval_interval = 50.0;
+  std::uint64_t seed = 1;
+  AsyncFaults faults;
+};
+
+/// Runs an asynchronous FL experiment on a discrete-event simulator.
+class AsyncTrainer {
+ public:
+  AsyncTrainer(AsyncConfig cfg, nn::ModelFactory factory,
+               const data::Dataset* train, data::Partition parts,
+               const data::Dataset* test,
+               std::vector<DeviceProfile> devices = {});
+
+  TrainLog run();
+
+  const std::vector<float>& global() const { return global_; }
+
+ private:
+  void start_cycle(int client_id);
+  void on_arrival(int client_id, std::vector<float> local,
+                  std::vector<float> delta, std::int64_t version_at_start,
+                  float loss);
+  void apply_fedasync(std::span<const float> local, std::int64_t staleness);
+  void apply_fedbuff(std::span<const float> delta, std::int64_t staleness);
+
+  AsyncConfig cfg_;
+  nn::ModelFactory factory_;
+  const data::Dataset* test_;
+  std::vector<FlClient> clients_;
+  std::vector<net::Link> links_;
+  std::vector<float> global_;
+  std::int64_t version_ = 0;
+  nn::Model eval_model_;
+  tensor::Rng rng_;
+  net::EventQueue queue_;
+
+  // Run-scoped accumulators (reset in run()).
+  TrainLog* log_ = nullptr;
+  std::int64_t dense_bytes_ = 0;
+  int delivered_ = 0;
+  int delivered_since_eval_ = 0;
+  double loss_since_eval_ = 0.0;
+  int losses_since_eval_ = 0;
+  // FedBuff buffer.
+  std::vector<float> buffer_sum_;
+  int buffered_ = 0;
+};
+
+}  // namespace adafl::fl

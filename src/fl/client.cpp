@@ -1,0 +1,118 @@
+#include "fl/client.h"
+
+namespace adafl::fl {
+
+FlClient::FlClient(int id, const nn::ModelFactory& factory,
+                   const data::Dataset* train_data,
+                   std::vector<std::int32_t> indices, ClientTrainConfig cfg,
+                   DeviceProfile device, std::uint64_t seed)
+    : id_(id),
+      cfg_(cfg),
+      device_(std::move(device)),
+      model_(factory()),
+      loader_(train_data, std::move(indices), cfg.batch_size,
+              tensor::Rng(seed)),
+      opt_(cfg.lr, cfg.momentum) {
+  ADAFL_CHECK_MSG(cfg.local_steps > 0, "FlClient: local_steps must be positive");
+}
+
+FlClient::LocalResult FlClient::train_from(std::span<const float> global) {
+  return train_impl(global, {}, nullptr);
+}
+
+FlClient::LocalResult FlClient::train_scaffold(
+    std::span<const float> global, std::span<const float> c_global,
+    std::vector<float>* delta_c) {
+  ADAFL_CHECK_MSG(delta_c != nullptr, "train_scaffold: delta_c required");
+  ADAFL_CHECK_MSG(
+      static_cast<std::int64_t>(c_global.size()) == model_.param_count(),
+      "train_scaffold: control variate length mismatch");
+  return train_impl(global, c_global, delta_c);
+}
+
+FlClient::LocalResult FlClient::train_impl(std::span<const float> global,
+                                           std::span<const float> c_global,
+                                           std::vector<float>* delta_c) {
+  const std::int64_t d = model_.param_count();
+  ADAFL_CHECK_MSG(static_cast<std::int64_t>(global.size()) == d,
+                  "FlClient: global model length " << global.size() << " vs "
+                                                   << d);
+  const bool scaffold = !c_global.empty();
+  if (scaffold && c_local_.empty())
+    c_local_.assign(static_cast<std::size_t>(d), 0.0f);
+
+  model_.set_flat(global);
+  // Local SGD momentum is round-local: a fresh round starts from new global
+  // weights, so stale velocity from a previous round does not apply.
+  opt_.reset();
+
+  double loss_sum = 0.0;
+  std::int64_t samples_seen = 0;
+  const auto params = model_.params();
+  for (int step = 0; step < cfg_.local_steps; ++step) {
+    nn::Batch batch = loader_.next();
+    samples_seen += batch.size();
+    model_.zero_grad();
+    loss_sum += model_.compute_gradients(batch);
+    std::size_t off = 0;
+    for (const auto& p : params) {
+      auto g = p.grad->flat();
+      const auto w = p.value->flat();
+      if (cfg_.prox_mu > 0.0f) {
+        // FedProx: grad += mu * (w - w_global)
+        for (std::size_t i = 0; i < g.size(); ++i)
+          g[i] += cfg_.prox_mu * (w[i] - global[off + i]);
+      }
+      if (scaffold) {
+        // SCAFFOLD: grad += c - c_i
+        for (std::size_t i = 0; i < g.size(); ++i)
+          g[i] += c_global[off + i] - c_local_[off + i];
+      }
+      off += g.size();
+    }
+    opt_.step(params);
+  }
+
+  LocalResult r;
+  r.mean_loss = static_cast<float>(loss_sum / cfg_.local_steps);
+  r.num_examples = num_examples();
+  r.compute_seconds = device_.seconds_for(samples_seen);
+  const std::vector<float> local = model_.get_flat();
+  r.delta.resize(static_cast<std::size_t>(d));
+  for (std::size_t i = 0; i < r.delta.size(); ++i)
+    r.delta[i] = global[i] - local[i];
+
+  if (scaffold) {
+    // c_i^+ = c_i - c + (w_g - w_local) / (K * lr)  (SCAFFOLD option II)
+    const float inv = 1.0f / (static_cast<float>(cfg_.local_steps) * cfg_.lr);
+    delta_c->assign(static_cast<std::size_t>(d), 0.0f);
+    for (std::size_t i = 0; i < c_local_.size(); ++i) {
+      const float c_new = c_local_[i] - c_global[i] + r.delta[i] * inv;
+      (*delta_c)[i] = c_new - c_local_[i];
+      c_local_[i] = c_new;
+    }
+  }
+  return r;
+}
+
+std::vector<FlClient> make_clients(const nn::ModelFactory& factory,
+                                   const data::Dataset* train_data,
+                                   const data::Partition& parts,
+                                   const ClientTrainConfig& cfg,
+                                   const std::vector<DeviceProfile>& devices,
+                                   std::uint64_t seed) {
+  ADAFL_CHECK_MSG(!parts.empty(), "make_clients: empty partition");
+  ADAFL_CHECK_MSG(devices.empty() || devices.size() == parts.size(),
+                  "make_clients: need 0 or " << parts.size() << " devices");
+  std::vector<FlClient> clients;
+  clients.reserve(parts.size());
+  tensor::Rng root(seed);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const DeviceProfile dev = devices.empty() ? workstation() : devices[i];
+    clients.emplace_back(static_cast<int>(i), factory, train_data, parts[i],
+                         cfg, dev, root.fork(i + 1).next_u64());
+  }
+  return clients;
+}
+
+}  // namespace adafl::fl

@@ -1,0 +1,78 @@
+// FlClient: one federated client — local data, local model, local training.
+#pragma once
+
+#include <optional>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "fl/device.h"
+#include "nn/models.h"
+
+namespace adafl::fl {
+
+/// Local-training hyperparameters, shared by every protocol.
+struct ClientTrainConfig {
+  std::int64_t batch_size = 32;
+  int local_steps = 10;   ///< SGD mini-batch steps per round
+  float lr = 0.05f;
+  float momentum = 0.0f;
+  float prox_mu = 0.0f;   ///< > 0 adds the FedProx proximal term mu/2*||w-w_g||^2
+};
+
+/// One client. Owns an independently-constructed model of the global
+/// architecture, its data partition, and its simulated device profile.
+class FlClient {
+ public:
+  FlClient(int id, const nn::ModelFactory& factory,
+           const data::Dataset* train_data, std::vector<std::int32_t> indices,
+           ClientTrainConfig cfg, DeviceProfile device, std::uint64_t seed);
+
+  /// Result of one local-training round.
+  struct LocalResult {
+    std::vector<float> delta;   ///< w_global - w_local (pseudo-gradient)
+    float mean_loss = 0.0f;
+    std::int64_t num_examples = 0;   ///< |D_i|, the FedAvg weighting
+    double compute_seconds = 0.0;    ///< simulated device time spent
+  };
+
+  /// Loads `global`, runs cfg.local_steps SGD steps (with the FedProx
+  /// proximal term if cfg.prox_mu > 0), and returns the weight delta.
+  LocalResult train_from(std::span<const float> global);
+
+  /// SCAFFOLD local step: corrects each gradient with (c - c_i), then
+  /// updates the client control variate. `delta_c` receives c_i^+ - c_i
+  /// (to be averaged into the server's c).
+  LocalResult train_scaffold(std::span<const float> global,
+                             std::span<const float> c_global,
+                             std::vector<float>* delta_c);
+
+  int id() const { return id_; }
+  std::int64_t num_examples() const { return loader_.num_examples(); }
+  std::int64_t param_count() const { return model_.param_count(); }
+  const DeviceProfile& device() const { return device_; }
+  const ClientTrainConfig& config() const { return cfg_; }
+
+ private:
+  LocalResult train_impl(std::span<const float> global,
+                         std::span<const float> c_global,
+                         std::vector<float>* delta_c);
+
+  int id_;
+  ClientTrainConfig cfg_;
+  DeviceProfile device_;
+  nn::Model model_;
+  data::BatchLoader loader_;
+  nn::Sgd opt_;
+  std::vector<float> c_local_;  ///< SCAFFOLD control variate (lazy-init)
+};
+
+/// Builds one FlClient per partition entry. `devices` may be empty (all
+/// workstation()) or have one entry per client.
+std::vector<FlClient> make_clients(const nn::ModelFactory& factory,
+                                   const data::Dataset* train_data,
+                                   const data::Partition& parts,
+                                   const ClientTrainConfig& cfg,
+                                   const std::vector<DeviceProfile>& devices,
+                                   std::uint64_t seed);
+
+}  // namespace adafl::fl

@@ -1,0 +1,35 @@
+// Simulated compute profiles for heterogeneous devices (DESIGN.md §2: the
+// paper's workstation + Raspberry-Pi cluster become speed-factor models).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adafl::fl {
+
+/// Compute-time model of one device. Simulated training time is
+///   seconds_for(samples) = base_sec_per_sample * slowdown * samples.
+struct DeviceProfile {
+  std::string name = "workstation";
+  double base_sec_per_sample = 1.0e-3;
+  double slowdown = 1.0;  ///< straggler multiplier (3.0 = paper's 3x-slower)
+
+  double seconds_for(std::int64_t samples) const {
+    return base_sec_per_sample * slowdown * static_cast<double>(samples);
+  }
+};
+
+/// GPU-class trainer (the paper's i9 + RTX 3090 host).
+inline DeviceProfile workstation() { return {"workstation", 2.0e-4, 1.0}; }
+
+/// Embedded-class trainer (the paper's Raspberry Pi cluster nodes).
+inline DeviceProfile raspberry_pi() { return {"raspberry-pi", 6.0e-3, 1.0}; }
+
+/// Any profile slowed down by `factor` (used for staleness experiments).
+inline DeviceProfile straggler(DeviceProfile base, double factor) {
+  base.name += "-straggler";
+  base.slowdown *= factor;
+  return base;
+}
+
+}  // namespace adafl::fl

@@ -1,0 +1,189 @@
+#include "fl/fedat.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace adafl::fl {
+
+namespace {
+constexpr std::int64_t kMsgHeaderBytes = 8;
+}
+
+FedAtTrainer::FedAtTrainer(FedAtConfig cfg, nn::ModelFactory factory,
+                           const data::Dataset* train, data::Partition parts,
+                           const data::Dataset* test,
+                           std::vector<DeviceProfile> devices)
+    : cfg_(std::move(cfg)),
+      factory_(std::move(factory)),
+      test_(test),
+      clients_(make_clients(factory_, train, parts, cfg_.client, devices,
+                            cfg_.seed ^ 0xFEDA7ULL)),
+      eval_model_(factory_()),
+      rng_(cfg_.seed) {
+  ADAFL_CHECK_MSG(test_ != nullptr, "FedAtTrainer: null test set");
+  ADAFL_CHECK_MSG(cfg_.num_tiers >= 1, "FedAtTrainer: num_tiers >= 1");
+  ADAFL_CHECK_MSG(cfg_.num_tiers <= static_cast<int>(clients_.size()),
+                  "FedAtTrainer: more tiers than clients");
+  ADAFL_CHECK_MSG(cfg_.duration > 0, "FedAtTrainer: duration must be positive");
+  ADAFL_CHECK_MSG(
+      cfg_.links.empty() || cfg_.links.size() == clients_.size(),
+      "FedAtTrainer: need 0 or " << clients_.size() << " link configs");
+  global_ = eval_model_.get_flat();
+  tensor::Rng link_rng = rng_.fork(0x7157);
+  for (std::size_t i = 0; i < cfg_.links.size(); ++i)
+    links_.emplace_back(cfg_.links[i], link_rng.fork(i + 1));
+
+  // --- Tiering: sort clients by estimated response time (one local round
+  // on their device + a dense round trip on their link), then cut into
+  // near-equal contiguous tiers — FedAT's profiling step.
+  const std::int64_t d =
+      static_cast<std::int64_t>(global_.size()) * 4 + kMsgHeaderBytes;
+  std::vector<double> response(clients_.size());
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const auto& cl = clients_[i];
+    double t = cl.device().seconds_for(cfg_.client.local_steps *
+                                       cfg_.client.batch_size);
+    if (!links_.empty()) {
+      const auto& lc = cfg_.links[i];
+      t += 2.0 * lc.latency + static_cast<double>(d) / lc.up_bw +
+           static_cast<double>(d) / lc.down_bw;
+    }
+    response[i] = t;
+  }
+  std::vector<int> order(clients_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return response[static_cast<std::size_t>(a)] <
+           response[static_cast<std::size_t>(b)];
+  });
+  tier_of_.assign(clients_.size(), 0);
+  tiers_.assign(static_cast<std::size_t>(cfg_.num_tiers), {});
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    const int tier = static_cast<int>(r * static_cast<std::size_t>(
+                                              cfg_.num_tiers) /
+                                      order.size());
+    tier_of_[static_cast<std::size_t>(order[r])] = tier;
+    tiers_[static_cast<std::size_t>(tier)].push_back(order[r]);
+  }
+  tier_model_.assign(static_cast<std::size_t>(cfg_.num_tiers), global_);
+  tier_rounds_.assign(static_cast<std::size_t>(cfg_.num_tiers), 0);
+}
+
+TrainLog FedAtTrainer::run() {
+  TrainLog log;
+  log_ = &log;
+  dense_bytes_ =
+      kMsgHeaderBytes + 4 * static_cast<std::int64_t>(global_.size());
+  log.dense_update_bytes = dense_bytes_;
+  applied_ = 0;
+  delivered_since_eval_ = 0;
+  loss_since_eval_ = 0.0;
+  losses_since_eval_ = 0;
+
+  for (int t = 0; t < cfg_.num_tiers; ++t) {
+    queue_.schedule(rng_.uniform(0.0, 0.01),
+                    [this, t] { start_tier_round(t); });
+  }
+  for (double t = cfg_.eval_interval; t <= cfg_.duration;
+       t += cfg_.eval_interval) {
+    queue_.schedule(t, [this, t] {
+      eval_model_.set_flat(global_);
+      RoundRecord rec;
+      rec.round = static_cast<int>(applied_);
+      rec.time = t;
+      rec.test_accuracy = eval_model_.accuracy(test_->all());
+      rec.mean_train_loss =
+          losses_since_eval_ > 0
+              ? loss_since_eval_ / static_cast<double>(losses_since_eval_)
+              : 0.0;
+      rec.participants = delivered_since_eval_;
+      log_->records.push_back(rec);
+      delivered_since_eval_ = 0;
+      loss_since_eval_ = 0.0;
+      losses_since_eval_ = 0;
+    });
+  }
+
+  queue_.run_until(cfg_.duration);
+  log.total_time = queue_.now();
+  log.applied_updates = applied_;
+  log_ = nullptr;
+  return log;
+}
+
+void FedAtTrainer::start_tier_round(int tier) {
+  auto& members = tiers_[static_cast<std::size_t>(tier)];
+  // Intra-tier synchronous round against the tier's view of the global
+  // model: all members train, the tier waits for its slowest member.
+  std::vector<float> sum_delta(global_.size(), 0.0f);
+  double weight_sum = 0.0;
+  double loss_sum = 0.0;
+  double round_time = 0.0;
+  for (int id : members) {
+    FlClient& cl = clients_[static_cast<std::size_t>(id)];
+    double down_t = 0.0, up_t = 0.0;
+    if (!links_.empty()) {
+      auto tr = links_[static_cast<std::size_t>(id)].download(dense_bytes_,
+                                                              queue_.now());
+      down_t = tr.duration;
+    }
+    log_->ledger.record_download(id, dense_bytes_);
+    auto res = cl.train_from(global_);
+    if (!links_.empty()) {
+      auto tr = links_[static_cast<std::size_t>(id)].upload(dense_bytes_,
+                                                            queue_.now());
+      up_t = tr.duration;
+    }
+    log_->ledger.record_upload(id, dense_bytes_, true);
+    const float w = static_cast<float>(res.num_examples);
+    for (std::size_t i = 0; i < sum_delta.size(); ++i)
+      sum_delta[i] += w * res.delta[i];
+    weight_sum += w;
+    loss_sum += res.mean_loss;
+    round_time = std::max(round_time, down_t + res.compute_seconds + up_t);
+  }
+  ADAFL_CHECK(weight_sum > 0.0);
+  const float inv = static_cast<float>(1.0 / weight_sum);
+  for (auto& v : sum_delta) v *= inv;
+  const float mean_loss =
+      static_cast<float>(loss_sum / static_cast<double>(members.size()));
+  queue_.schedule_in(round_time,
+                     [this, tier, delta = std::move(sum_delta), mean_loss]() mutable {
+                       on_tier_arrival(tier, std::move(delta), mean_loss);
+                     });
+}
+
+void FedAtTrainer::on_tier_arrival(int tier, std::vector<float> tier_delta,
+                                   float loss) {
+  // The tier's model advances from the global it trained against.
+  auto& model = tier_model_[static_cast<std::size_t>(tier)];
+  model = global_;
+  for (std::size_t i = 0; i < model.size(); ++i) model[i] -= tier_delta[i];
+  ++tier_rounds_[static_cast<std::size_t>(tier)];
+  ++applied_;
+  ++delivered_since_eval_;
+  loss_since_eval_ += loss;
+  ++losses_since_eval_;
+  rebuild_global();
+  start_tier_round(tier);
+}
+
+void FedAtTrainer::rebuild_global() {
+  // Inverse-frequency tier weighting (FedAT's T-weighting, normalized):
+  // tiers that have updated more often get proportionally less weight, so
+  // slow tiers' data is not drowned out.
+  std::vector<double> w(tier_model_.size());
+  double sum = 0.0;
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    w[k] = 1.0 / (1.0 + static_cast<double>(tier_rounds_[k]));
+    sum += w[k];
+  }
+  std::fill(global_.begin(), global_.end(), 0.0f);
+  for (std::size_t k = 0; k < tier_model_.size(); ++k) {
+    const float p = static_cast<float>(w[k] / sum);
+    const auto& m = tier_model_[k];
+    for (std::size_t i = 0; i < global_.size(); ++i) global_[i] += p * m[i];
+  }
+}
+
+}  // namespace adafl::fl

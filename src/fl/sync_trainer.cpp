@@ -1,0 +1,277 @@
+#include "fl/sync_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+
+namespace adafl::fl {
+
+namespace {
+
+constexpr std::int64_t kMsgHeaderBytes = 8;
+
+/// Simulated server-side aggregation overhead per round.
+constexpr double kServerOverheadSeconds = 0.002;
+
+}  // namespace
+
+SyncTrainer::SyncTrainer(SyncConfig cfg, nn::ModelFactory factory,
+                         const data::Dataset* train, data::Partition parts,
+                         const data::Dataset* test,
+                         std::vector<DeviceProfile> devices)
+    : cfg_(std::move(cfg)),
+      factory_(std::move(factory)),
+      test_(test),
+      clients_(make_clients(factory_, train, parts, cfg_.client, devices,
+                            cfg_.seed ^ 0xC11E57ULL)),
+      eval_model_(factory_()),
+      rng_(cfg_.seed) {
+  ADAFL_CHECK_MSG(test_ != nullptr, "SyncTrainer: null test set");
+  ADAFL_CHECK_MSG(cfg_.rounds > 0, "SyncTrainer: rounds must be positive");
+  ADAFL_CHECK_MSG(cfg_.participation > 0.0 && cfg_.participation <= 1.0,
+                  "SyncTrainer: participation in (0,1]");
+  ADAFL_CHECK_MSG(
+      cfg_.links.empty() || cfg_.links.size() == clients_.size(),
+      "SyncTrainer: need 0 or " << clients_.size() << " link configs");
+  global_ = eval_model_.get_flat();
+  tensor::Rng link_rng = rng_.fork(0xBEEF);
+  for (std::size_t i = 0; i < cfg_.links.size(); ++i)
+    links_.emplace_back(cfg_.links[i], link_rng.fork(i + 1));
+}
+
+std::vector<float> SyncTrainer::robust_aggregate(
+    const std::vector<std::vector<float>>& deltas) const {
+  ADAFL_CHECK_MSG(!deltas.empty(), "robust_aggregate: no deltas");
+  const std::size_t d = deltas.front().size();
+  const std::size_t n = deltas.size();
+  std::vector<float> out(d, 0.0f);
+  std::vector<float> column(n);
+  std::size_t lo = 0, hi = n;  // [lo, hi) kept after trimming
+  if (cfg_.aggregation == Aggregation::kTrimmedMean) {
+    const auto cut = static_cast<std::size_t>(
+        static_cast<double>(n) * cfg_.trim_fraction);
+    lo = cut;
+    hi = n - cut;
+    if (lo >= hi) {  // over-trimmed: fall back to the median element
+      lo = n / 2;
+      hi = lo + 1;
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t k = 0; k < n; ++k) column[k] = deltas[k][i];
+    std::sort(column.begin(), column.end());
+    if (cfg_.aggregation == Aggregation::kCoordinateMedian) {
+      out[i] = (n % 2 == 1) ? column[n / 2]
+                            : 0.5f * (column[n / 2 - 1] + column[n / 2]);
+    } else {
+      double acc = 0.0;
+      for (std::size_t k = lo; k < hi; ++k) acc += column[k];
+      out[i] = static_cast<float>(acc / static_cast<double>(hi - lo));
+    }
+  }
+  return out;
+}
+
+TrainLog SyncTrainer::run() {
+  const std::int64_t d = static_cast<std::int64_t>(global_.size());
+  const std::int64_t dense_bytes = kMsgHeaderBytes + 4 * d;
+  const int n = static_cast<int>(clients_.size());
+  const int per_round =
+      std::max(1, static_cast<int>(std::ceil(n * cfg_.participation)));
+  const int n_unreliable = static_cast<int>(
+      std::lround(n * cfg_.faults.unreliable_fraction));
+
+  TrainLog log;
+  log.dense_update_bytes = dense_bytes;
+  std::int64_t applied_total = 0;
+
+  // FedAdam server optimizer / SCAFFOLD server control variate. The
+  // optimizer is only constructed when the algorithm actually uses it, so
+  // server_lr is free to stay unset for the other algorithms.
+  // FedAdam uses the adaptive-FL server defaults from Reddi et al.:
+  // beta2 = 0.99 and a LARGE epsilon (1e-3). With the conventional 1e-8 the
+  // first rounds take ~lr-sized sign steps on every coordinate, which can
+  // throw the model into a region it never recovers from.
+  std::optional<nn::FlatAdam> server_adam;
+  if (cfg_.algo == Algorithm::kFedAdam)
+    server_adam.emplace(cfg_.server_lr, cfg_.server_beta1, cfg_.server_beta2,
+                        cfg_.server_eps);
+  std::vector<float> c_global;
+  if (cfg_.algo == Algorithm::kScaffold)
+    c_global.assign(static_cast<std::size_t>(d), 0.0f);
+
+  // Pending (stale) updates for the data-loss fault.
+  struct Pending {
+    std::vector<float> delta;
+    std::int64_t weight = 0;
+    float loss = 0.0f;
+  };
+  std::vector<std::optional<Pending>> pending(clients_.size());
+
+  double clock = 0.0;
+  std::vector<int> ids(clients_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+
+  for (int round = 1; round <= cfg_.rounds; ++round) {
+    rng_.shuffle(ids);
+    std::vector<float> sum_delta(static_cast<std::size_t>(d), 0.0f);
+    // Robust rules need every delivered delta, not just the running sum.
+    const bool robust = cfg_.aggregation != Aggregation::kWeightedMean;
+    std::vector<std::vector<float>> delivered_deltas;
+    std::vector<float> sum_dc;  // SCAFFOLD
+    if (cfg_.algo == Algorithm::kScaffold)
+      sum_dc.assign(static_cast<std::size_t>(d), 0.0f);
+    double weight_sum = 0.0;
+    double loss_sum = 0.0;
+    int delivered = 0;
+    int scaffold_deliveries = 0;
+    double round_time = 0.0;
+
+    for (int k = 0; k < per_round; ++k) {
+      const int id = ids[static_cast<std::size_t>(k)];
+      FlClient& cl = clients_[static_cast<std::size_t>(id)];
+      const bool unreliable = id < n_unreliable;
+      double t_client = 0.0;
+
+      // --- Data-loss fault: alternate train-only / deliver-stale rounds.
+      if (cfg_.faults.kind == FaultKind::kDataLoss && unreliable) {
+        auto& slot = pending[static_cast<std::size_t>(id)];
+        if (!slot.has_value()) {
+          // Train against the current global model; delivery happens on the
+          // client's next participation, by which time it is stale.
+          double down_t = 0.0;
+          if (!links_.empty()) {
+            auto tr = links_[static_cast<std::size_t>(id)].download(
+                dense_bytes, clock);
+            down_t = tr.duration;
+            log.ledger.record_download(id, dense_bytes);
+          } else {
+            log.ledger.record_download(id, dense_bytes);
+          }
+          auto res = cl.train_from(global_);
+          slot = Pending{std::move(res.delta), res.num_examples, res.mean_loss};
+          t_client = down_t + res.compute_seconds;
+        } else {
+          // Deliver the stale pending update.
+          double up_t = 0.0;
+          bool ok = true;
+          if (!links_.empty()) {
+            auto tr =
+                links_[static_cast<std::size_t>(id)].upload(dense_bytes, clock);
+            up_t = tr.duration;
+            ok = tr.delivered;
+          }
+          log.ledger.record_upload(id, dense_bytes, ok);
+          if (ok) {
+            const double w = static_cast<double>(slot->weight);
+            for (std::size_t i = 0; i < sum_delta.size(); ++i)
+              sum_delta[i] += static_cast<float>(w) * slot->delta[i];
+            if (robust) delivered_deltas.push_back(slot->delta);
+            weight_sum += w;
+            loss_sum += slot->loss;
+            ++delivered;
+          }
+          slot.reset();
+          t_client = up_t;
+        }
+        round_time = std::max(round_time, t_client);
+        continue;
+      }
+
+      // --- Normal path (with optional dropout fault).
+      double down_t = 0.0, up_t = 0.0;
+      if (!links_.empty()) {
+        auto tr =
+            links_[static_cast<std::size_t>(id)].download(dense_bytes, clock);
+        down_t = tr.duration;
+      }
+      log.ledger.record_download(id, dense_bytes);
+
+      FlClient::LocalResult res;
+      std::vector<float> dc;
+      if (cfg_.algo == Algorithm::kScaffold)
+        res = cl.train_scaffold(global_, c_global, &dc);
+      else
+        res = cl.train_from(global_);
+
+      bool deliver = true;
+      if (cfg_.faults.kind == FaultKind::kDropout && unreliable)
+        deliver = rng_.bernoulli(0.5);
+      if (cfg_.faults.kind == FaultKind::kByzantine && unreliable) {
+        // Sign-flip attack with amplification.
+        for (auto& v : res.delta) v *= -3.0f;
+      }
+
+      if (deliver) {
+        bool ok = true;
+        if (!links_.empty()) {
+          auto tr =
+              links_[static_cast<std::size_t>(id)].upload(dense_bytes, clock);
+          up_t = tr.duration;
+          ok = tr.delivered;
+        }
+        log.ledger.record_upload(id, dense_bytes, ok);
+        if (ok) {
+          const double w = static_cast<double>(res.num_examples);
+          for (std::size_t i = 0; i < sum_delta.size(); ++i)
+            sum_delta[i] += static_cast<float>(w) * res.delta[i];
+          if (robust) delivered_deltas.push_back(res.delta);
+          weight_sum += w;
+          loss_sum += res.mean_loss;
+          ++delivered;
+          if (cfg_.algo == Algorithm::kScaffold) {
+            for (std::size_t i = 0; i < sum_dc.size(); ++i)
+              sum_dc[i] += dc[i];
+            ++scaffold_deliveries;
+          }
+        }
+      }
+      round_time = std::max(round_time, down_t + res.compute_seconds + up_t);
+    }
+
+    // --- Server aggregation.
+    if (weight_sum > 0.0) {
+      const float inv = static_cast<float>(1.0 / weight_sum);
+      for (auto& v : sum_delta) v *= inv;
+      if (robust) sum_delta = robust_aggregate(delivered_deltas);
+      switch (cfg_.algo) {
+        case Algorithm::kFedAvg:
+        case Algorithm::kFedProx:
+        case Algorithm::kScaffold:
+          for (std::size_t i = 0; i < global_.size(); ++i)
+            global_[i] -= sum_delta[i];
+          break;
+        case Algorithm::kFedAdam:
+          server_adam->step(global_, sum_delta);
+          break;
+      }
+      if (cfg_.algo == Algorithm::kScaffold && scaffold_deliveries > 0) {
+        // c += (1/N) * sum(delta_c) — SCAFFOLD server update.
+        const float s = 1.0f / static_cast<float>(n);
+        for (std::size_t i = 0; i < c_global.size(); ++i)
+          c_global[i] += s * sum_dc[i];
+      }
+    }
+
+    applied_total += delivered;
+    clock += round_time + kServerOverheadSeconds;
+
+    if (round % cfg_.eval_every == 0 || round == cfg_.rounds) {
+      eval_model_.set_flat(global_);
+      RoundRecord rec;
+      rec.round = round;
+      rec.time = clock;
+      rec.test_accuracy = eval_model_.accuracy(test_->all());
+      rec.mean_train_loss =
+          delivered > 0 ? loss_sum / static_cast<double>(delivered) : 0.0;
+      rec.participants = delivered;
+      log.records.push_back(rec);
+    }
+  }
+  log.total_time = clock;
+  log.applied_updates = applied_total;
+  return log;
+}
+
+}  // namespace adafl::fl

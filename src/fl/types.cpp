@@ -1,0 +1,60 @@
+#include "fl/types.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace adafl::fl {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kFedAvg:
+      return "FedAvg";
+    case Algorithm::kFedAdam:
+      return "FedAdam";
+    case Algorithm::kFedProx:
+      return "FedProx";
+    case Algorithm::kScaffold:
+      return "SCAFFOLD";
+  }
+  return "?";
+}
+
+const char* to_string(AsyncAlgorithm a) {
+  switch (a) {
+    case AsyncAlgorithm::kFedAsync:
+      return "FedAsync";
+    case AsyncAlgorithm::kFedBuff:
+      return "FedBuff";
+  }
+  return "?";
+}
+
+double TrainLog::final_accuracy() const {
+  ADAFL_CHECK_MSG(!records.empty(), "TrainLog::final_accuracy: no records");
+  return records.back().test_accuracy;
+}
+
+double TrainLog::best_accuracy() const {
+  ADAFL_CHECK_MSG(!records.empty(), "TrainLog::best_accuracy: no records");
+  return std::max_element(records.begin(), records.end(),
+                          [](const RoundRecord& a, const RoundRecord& b) {
+                            return a.test_accuracy < b.test_accuracy;
+                          })
+      ->test_accuracy;
+}
+
+metrics::Series TrainLog::accuracy_vs_round() const {
+  metrics::Series s;
+  for (const auto& r : records)
+    s.add(static_cast<double>(r.round), r.test_accuracy);
+  return s;
+}
+
+metrics::Series TrainLog::accuracy_vs_time() const {
+  metrics::Series s;
+  for (const auto& r : records) s.add(r.time, r.test_accuracy);
+  return s;
+}
+
+}  // namespace adafl::fl

@@ -1,0 +1,48 @@
+// Shared types for the federated-learning protocols.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/ledger.h"
+#include "metrics/stats.h"
+
+namespace adafl::fl {
+
+/// Synchronous aggregation algorithms implemented in SyncTrainer.
+enum class Algorithm { kFedAvg, kFedAdam, kFedProx, kScaffold };
+
+/// Asynchronous algorithms implemented in AsyncTrainer.
+enum class AsyncAlgorithm { kFedAsync, kFedBuff };
+
+const char* to_string(Algorithm a);
+const char* to_string(AsyncAlgorithm a);
+
+/// One evaluation point in a training run.
+struct RoundRecord {
+  int round = 0;              ///< communication round (sync) / update count (async)
+  double time = 0.0;          ///< simulated seconds since training start
+  double test_accuracy = 0.0;
+  double mean_train_loss = 0.0;
+  int participants = 0;       ///< delivered updates contributing since last record
+};
+
+/// Full record of one FL run: evaluation trace + communication ledger.
+struct TrainLog {
+  std::vector<RoundRecord> records;
+  metrics::CommLedger ledger;
+  std::int64_t dense_update_bytes = 0;  ///< wire size of one uncompressed update
+  double total_time = 0.0;              ///< simulated wall-clock of the run
+  /// Updates actually applied to the global model. Can be lower than
+  /// ledger.delivered_updates(): an async run's `max_updates` cap discards
+  /// deliveries that were already in flight when the cap was reached.
+  std::int64_t applied_updates = 0;
+
+  double final_accuracy() const;
+  /// Best test accuracy seen at any evaluation point.
+  double best_accuracy() const;
+  metrics::Series accuracy_vs_round() const;
+  metrics::Series accuracy_vs_time() const;
+};
+
+}  // namespace adafl::fl

@@ -1,0 +1,56 @@
+// Communication-cost ledger: every byte a protocol puts on the wire is
+// recorded here, so Tables I/II cost columns come from actual accounting
+// rather than analytical estimates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace adafl::metrics {
+
+/// Per-direction traffic counters for one FL run.
+class CommLedger {
+ public:
+  /// Records a client->server update transmission. `delivered` = false means
+  /// the bytes were sent but lost (they still consumed client bandwidth).
+  void record_upload(int client_id, std::int64_t bytes, bool delivered);
+
+  /// Records a server->client model broadcast leg.
+  void record_download(int client_id, std::int64_t bytes);
+
+  std::int64_t total_upload_bytes() const { return up_bytes_; }
+  std::int64_t total_download_bytes() const { return down_bytes_; }
+  std::int64_t total_bytes() const { return up_bytes_ + down_bytes_; }
+
+  /// Number of *delivered* client->server updates (the paper's
+  /// "update frequency" column).
+  std::int64_t delivered_updates() const { return delivered_updates_; }
+  std::int64_t attempted_updates() const { return attempted_updates_; }
+
+  std::int64_t upload_bytes_of(int client_id) const;
+  std::int64_t updates_of(int client_id) const;
+
+  /// Paper-style cost reduction versus an ideal schedule of
+  /// `ideal_updates` dense uploads of `dense_bytes` each:
+  ///   1 - total_upload_bytes / (ideal_updates * dense_bytes).
+  double upload_cost_reduction(std::int64_t ideal_updates,
+                               std::int64_t dense_bytes) const;
+
+  /// Smallest / largest delivered update payloads (Tables' "gradient size").
+  std::int64_t min_update_bytes() const { return min_update_bytes_; }
+  std::int64_t max_update_bytes() const { return max_update_bytes_; }
+
+  void reset();
+
+ private:
+  std::int64_t up_bytes_ = 0;
+  std::int64_t down_bytes_ = 0;
+  std::int64_t delivered_updates_ = 0;
+  std::int64_t attempted_updates_ = 0;
+  std::int64_t min_update_bytes_ = 0;
+  std::int64_t max_update_bytes_ = 0;
+  std::map<int, std::int64_t> per_client_bytes_;
+  std::map<int, std::int64_t> per_client_updates_;
+};
+
+}  // namespace adafl::metrics

@@ -1,0 +1,41 @@
+// ASCII chart rendering for Series — the bench binaries' "figures".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/stats.h"
+
+namespace adafl::metrics {
+
+/// One named curve of an AsciiChart.
+struct NamedSeries {
+  std::string label;
+  Series series;
+};
+
+/// Renders one or more series into a character grid with y-axis labels and
+/// per-curve glyphs. Intended for terminal output of accuracy curves.
+class AsciiChart {
+ public:
+  /// `width`/`height` are the plot area in characters (axes excluded).
+  AsciiChart(int width = 64, int height = 16);
+
+  /// Adds a curve; at most 8 curves (distinct glyphs).
+  AsciiChart& add(std::string label, Series series);
+
+  /// Fixes the y range (default: min/max over all curves, padded).
+  AsciiChart& y_range(double lo, double hi);
+
+  /// Renders the chart plus a legend line per curve.
+  void print(std::ostream& os) const;
+
+ private:
+  int width_, height_;
+  bool fixed_range_ = false;
+  double y_lo_ = 0.0, y_hi_ = 1.0;
+  std::vector<NamedSeries> curves_;
+};
+
+}  // namespace adafl::metrics

@@ -1,0 +1,62 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace adafl::metrics {
+
+void RunningStat::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+Summary summarize(std::span<const double> xs) {
+  RunningStat rs;
+  for (double x : xs) rs.add(x);
+  return Summary{rs.mean(), rs.stddev(), rs.min(), rs.max(), rs.count()};
+}
+
+double Series::final_y() const {
+  ADAFL_CHECK_MSG(!y.empty(), "Series::final_y on empty series");
+  return y.back();
+}
+
+double Series::y_at(double query) const {
+  ADAFL_CHECK_MSG(!x.empty(), "Series::y_at on empty series");
+  auto it = std::upper_bound(x.begin(), x.end(), query);
+  if (it == x.begin()) return y.front();
+  const std::size_t i = static_cast<std::size_t>(it - x.begin()) - 1;
+  return y[i];
+}
+
+Series mean_series(std::span<const Series> runs) {
+  ADAFL_CHECK_MSG(!runs.empty(), "mean_series: no runs");
+  const std::size_t n = runs.front().size();
+  for (const auto& r : runs)
+    ADAFL_CHECK_MSG(r.size() == n, "mean_series: ragged series");
+  Series out;
+  out.x = runs.front().x;
+  out.y.assign(n, 0.0);
+  for (const auto& r : runs)
+    for (std::size_t i = 0; i < n; ++i) out.y[i] += r.y[i];
+  for (auto& v : out.y) v /= static_cast<double>(runs.size());
+  return out;
+}
+
+}  // namespace adafl::metrics

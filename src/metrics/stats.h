@@ -1,0 +1,61 @@
+// Running statistics and series helpers for experiment reporting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adafl::metrics {
+
+/// Welford running mean/variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample vector.
+struct Summary {
+  double mean = 0.0, stddev = 0.0, min = 0.0, max = 0.0;
+  std::int64_t count = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// An (x, y) series, e.g. accuracy vs round or vs simulated seconds.
+struct Series {
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xi, double yi) {
+    x.push_back(xi);
+    y.push_back(yi);
+  }
+  std::size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
+
+  /// Last y value; series must be non-empty.
+  double final_y() const;
+
+  /// y at the largest x <= query (step interpolation); series must be
+  /// non-empty and x ascending. Returns the first y if query < x.front().
+  double y_at(double query) const;
+};
+
+/// Pointwise mean of equal-length series (e.g. across repeat seeds).
+Series mean_series(std::span<const Series> runs);
+
+}  // namespace adafl::metrics

@@ -1,0 +1,42 @@
+// Console table and CSV writers used by the bench harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace adafl::metrics {
+
+/// Column-aligned console table. Cells are strings; the caller formats
+/// numbers (fmt_pct / fmt_bytes helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header rule and 2-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "93.42%" with the given decimals.
+std::string fmt_pct(double fraction, int decimals = 2);
+
+/// "1.64MB" / "420KB" / "96B" (powers of 1000, paper-style).
+std::string fmt_bytes(std::int64_t bytes);
+
+/// Fixed-decimal float.
+std::string fmt_f(double v, int decimals = 2);
+
+/// Writes a CSV file; each row must have header.size() cells. Throws
+/// std::runtime_error if the file cannot be opened.
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace adafl::metrics

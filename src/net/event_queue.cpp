@@ -1,0 +1,34 @@
+#include "net/event_queue.h"
+
+namespace adafl::net {
+
+void EventQueue::schedule(double time, Callback fn) {
+  ADAFL_CHECK_MSG(time >= now_, "EventQueue::schedule: time "
+                                    << time << " is before now " << now_);
+  ADAFL_CHECK_MSG(fn != nullptr, "EventQueue::schedule: null callback");
+  heap_.push(Entry{time, seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move the callback out via a copy of
+  // the entry (callbacks are cheap to move, and top is popped immediately).
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = e.time;
+  e.fn();
+  return true;
+}
+
+void EventQueue::run_until(double t_end) {
+  ADAFL_CHECK_MSG(t_end >= now_, "EventQueue::run_until: t_end in the past");
+  while (!heap_.empty() && heap_.top().time <= t_end) run_next();
+  now_ = std::max(now_, t_end);
+}
+
+void EventQueue::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace adafl::net

@@ -1,0 +1,60 @@
+// Discrete-event scheduler driving the asynchronous FL simulations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace adafl::net {
+
+/// Minimal discrete-event queue. Events fire in (time, insertion-order); a
+/// fired event may schedule further events. Time never moves backwards.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute simulated time `time` (>= now()).
+  void schedule(double time, Callback fn);
+
+  /// Schedules `fn` `delay` seconds from now.
+  void schedule_in(double delay, Callback fn) {
+    ADAFL_CHECK_MSG(delay >= 0.0, "EventQueue: negative delay");
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Pops and runs the earliest event. Returns false if the queue is empty.
+  bool run_next();
+
+  /// Runs events until the queue empties or the next event is after `t_end`
+  /// (that event stays queued). Sets now() to min(t_end, last event time).
+  void run_until(double t_end);
+
+  /// Runs everything (queue must not self-sustain forever).
+  void run_all();
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among equal times
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace adafl::net

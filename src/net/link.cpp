@@ -1,0 +1,165 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace adafl::net {
+
+BandwidthTrace BandwidthTrace::constant() { return BandwidthTrace(); }
+
+BandwidthTrace BandwidthTrace::periodic(double period_good, double period_bad,
+                                        double degraded, double offset) {
+  ADAFL_CHECK_MSG(period_good > 0 && period_bad > 0,
+                  "BandwidthTrace::periodic: periods must be positive");
+  ADAFL_CHECK_MSG(degraded > 0 && degraded <= 1.0,
+                  "BandwidthTrace::periodic: degraded must be in (0,1]");
+  BandwidthTrace t;
+  t.kind_ = Kind::kPeriodic;
+  t.period_good_ = period_good;
+  t.period_bad_ = period_bad;
+  t.degraded_ = degraded;
+  t.offset_ = offset;
+  return t;
+}
+
+BandwidthTrace BandwidthTrace::random_walk(std::uint64_t seed, double step_s,
+                                           double volatility, double floor,
+                                           double horizon_s) {
+  ADAFL_CHECK_MSG(step_s > 0 && horizon_s > 0,
+                  "BandwidthTrace::random_walk: bad time parameters");
+  ADAFL_CHECK_MSG(floor > 0 && floor <= 1.0,
+                  "BandwidthTrace::random_walk: floor must be in (0,1]");
+  BandwidthTrace t;
+  t.kind_ = Kind::kSteps;
+  t.step_s_ = step_s;
+  Rng rng(seed);
+  double v = 1.0;
+  const std::size_t n = static_cast<std::size_t>(horizon_s / step_s) + 1;
+  t.steps_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.steps_.push_back(v);
+    v *= std::exp(rng.normal(0.0, volatility));
+    v = std::clamp(v, floor, 1.0);
+  }
+  return t;
+}
+
+BandwidthTrace BandwidthTrace::from_steps(double step_s,
+                                          std::vector<double> steps) {
+  ADAFL_CHECK_MSG(step_s > 0.0, "BandwidthTrace::from_steps: step_s > 0");
+  ADAFL_CHECK_MSG(!steps.empty(), "BandwidthTrace::from_steps: empty steps");
+  for (double v : steps)
+    ADAFL_CHECK_MSG(v > 0.0 && v <= 1.0,
+                    "BandwidthTrace::from_steps: multiplier " << v
+                                                              << " not in (0,1]");
+  BandwidthTrace t;
+  t.kind_ = Kind::kSteps;
+  t.step_s_ = step_s;
+  t.steps_ = std::move(steps);
+  return t;
+}
+
+double BandwidthTrace::multiplier(double t) const {
+  ADAFL_CHECK_MSG(t >= 0.0, "BandwidthTrace::multiplier: negative time");
+  switch (kind_) {
+    case Kind::kConstant:
+      return 1.0;
+    case Kind::kPeriodic: {
+      const double cycle = period_good_ + period_bad_;
+      const double phase = std::fmod(t + offset_, cycle);
+      return phase < period_good_ ? 1.0 : degraded_;
+    }
+    case Kind::kSteps: {
+      const std::size_t i =
+          std::min(static_cast<std::size_t>(t / step_s_), steps_.size() - 1);
+      return steps_[i];
+    }
+  }
+  return 1.0;
+}
+
+Link::Link(LinkConfig cfg, BandwidthTrace up_trace, BandwidthTrace down_trace,
+           Rng rng)
+    : cfg_(cfg),
+      up_trace_(std::move(up_trace)),
+      down_trace_(std::move(down_trace)),
+      rng_(rng) {
+  ADAFL_CHECK_MSG(cfg.up_bw > 0 && cfg.down_bw > 0,
+                  "Link: bandwidths must be positive");
+  ADAFL_CHECK_MSG(cfg.latency >= 0 && cfg.jitter >= 0,
+                  "Link: latency/jitter must be non-negative");
+  ADAFL_CHECK_MSG(cfg.drop_prob >= 0 && cfg.drop_prob < 1.0,
+                  "Link: drop_prob must be in [0,1)");
+}
+
+TransferResult Link::upload(std::int64_t bytes, double now) {
+  return transfer(bytes, up_bandwidth(now));
+}
+
+TransferResult Link::download(std::int64_t bytes, double now) {
+  return transfer(bytes, down_bandwidth(now));
+}
+
+double Link::up_bandwidth(double now) const {
+  return cfg_.up_bw * up_trace_.multiplier(now);
+}
+
+double Link::down_bandwidth(double now) const {
+  return cfg_.down_bw * down_trace_.multiplier(now);
+}
+
+TransferResult Link::transfer(std::int64_t bytes, double bw) {
+  ADAFL_CHECK_MSG(bytes >= 0, "Link::transfer: negative byte count");
+  TransferResult r;
+  if (cfg_.drop_prob > 0.0 && rng_.bernoulli(cfg_.drop_prob)) {
+    r.delivered = false;
+    // The sender still spends a timeout's worth of time discovering the
+    // loss; modelled as latency + serialization of what was sent.
+    r.duration = cfg_.latency + static_cast<double>(bytes) / bw;
+    return r;
+  }
+  double jitter = 0.0;
+  if (cfg_.jitter > 0.0) jitter = rng_.uniform(-cfg_.jitter, cfg_.jitter);
+  r.delivered = true;
+  r.duration = std::max(
+      0.0, cfg_.latency + jitter + static_cast<double>(bytes) / bw);
+  return r;
+}
+
+LinkConfig preset(LinkQuality q) {
+  switch (q) {
+    case LinkQuality::kExcellent:
+      return {.up_bw = 12.5e6, .down_bw = 25.0e6, .latency = 0.005,
+              .jitter = 0.001, .drop_prob = 0.0};
+    case LinkQuality::kGood:
+      return {.up_bw = 2.5e6, .down_bw = 5.0e6, .latency = 0.02,
+              .jitter = 0.005, .drop_prob = 0.0};
+    case LinkQuality::kCongested:
+      return {.up_bw = 0.25e6, .down_bw = 0.5e6, .latency = 0.12,
+              .jitter = 0.03, .drop_prob = 0.0};
+    case LinkQuality::kLossy:
+      return {.up_bw = 1.0e6, .down_bw = 2.0e6, .latency = 0.08,
+              .jitter = 0.02, .drop_prob = 0.25};
+    case LinkQuality::kCellular:
+      return {.up_bw = 0.6e6, .down_bw = 1.5e6, .latency = 0.06,
+              .jitter = 0.015, .drop_prob = 0.05};
+  }
+  return {};
+}
+
+std::vector<LinkConfig> make_fleet(int n, double unreliable_fraction,
+                                   LinkQuality good, LinkQuality bad) {
+  ADAFL_CHECK_MSG(n > 0, "make_fleet: n must be positive");
+  ADAFL_CHECK_MSG(unreliable_fraction >= 0.0 && unreliable_fraction <= 1.0,
+                  "make_fleet: fraction must be in [0,1]");
+  const int n_bad = static_cast<int>(std::lround(n * unreliable_fraction));
+  std::vector<LinkConfig> fleet;
+  fleet.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    fleet.push_back(preset(i < n_bad ? bad : good));
+  return fleet;
+}
+
+}  // namespace adafl::net

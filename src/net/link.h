@@ -1,0 +1,107 @@
+// Link model: per-client uplink/downlink bandwidth, latency, jitter and
+// loss, with optional time-varying bandwidth traces (ns-3 stand-in per
+// DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace adafl::net {
+
+using tensor::Rng;
+
+/// Static link parameters. Bandwidths are bytes/second; times are seconds.
+struct LinkConfig {
+  double up_bw = 1.0e6;       ///< uplink bandwidth (bytes/s)
+  double down_bw = 2.0e6;     ///< downlink bandwidth (bytes/s)
+  double latency = 0.05;      ///< one-way propagation delay (s)
+  double jitter = 0.0;        ///< uniform ±jitter added per transfer (s)
+  double drop_prob = 0.0;     ///< probability a transfer is lost entirely
+};
+
+/// Piecewise-constant multiplier on a link's nominal bandwidth, modelling
+/// congestion episodes over simulated time.
+class BandwidthTrace {
+ public:
+  /// Always 1.0 (no variation).
+  static BandwidthTrace constant();
+
+  /// Alternates 1.0 for `period_good` seconds then `degraded` for
+  /// `period_bad` seconds, starting at phase `offset`.
+  static BandwidthTrace periodic(double period_good, double period_bad,
+                                 double degraded, double offset = 0.0);
+
+  /// Multiplicative random walk sampled every `step_s` seconds, clamped to
+  /// [floor, 1.0]; deterministic in `seed`.
+  static BandwidthTrace random_walk(std::uint64_t seed, double step_s,
+                                    double volatility, double floor,
+                                    double horizon_s);
+
+  /// Piecewise-constant trace from explicit per-step multipliers (one value
+  /// per `step_s` interval; the last value holds forever). Used by the
+  /// trace-file loader (net/trace_io.h). All values must be in (0, 1].
+  static BandwidthTrace from_steps(double step_s, std::vector<double> steps);
+
+  /// Bandwidth multiplier at simulated time `t` (>= 0).
+  double multiplier(double t) const;
+
+ private:
+  enum class Kind { kConstant, kPeriodic, kSteps };
+  Kind kind_ = Kind::kConstant;
+  // periodic
+  double period_good_ = 0, period_bad_ = 0, degraded_ = 1, offset_ = 0;
+  // steps
+  double step_s_ = 1.0;
+  std::vector<double> steps_;
+};
+
+/// Outcome of one simulated transfer.
+struct TransferResult {
+  bool delivered = true;
+  double duration = 0.0;  ///< seconds from send start to full receipt
+};
+
+/// One client's link. Owns its RNG so transfer outcomes are deterministic
+/// per (seed, call sequence).
+class Link {
+ public:
+  Link(LinkConfig cfg, Rng rng)
+      : Link(cfg, BandwidthTrace::constant(), BandwidthTrace::constant(),
+             rng) {}
+  Link(LinkConfig cfg, BandwidthTrace up_trace, BandwidthTrace down_trace,
+       Rng rng);
+
+  /// Simulates sending `bytes` client->server starting at time `now`.
+  TransferResult upload(std::int64_t bytes, double now);
+
+  /// Simulates sending `bytes` server->client starting at time `now`.
+  TransferResult download(std::int64_t bytes, double now);
+
+  /// Effective bandwidths at time `now` (trace applied).
+  double up_bandwidth(double now) const;
+  double down_bandwidth(double now) const;
+
+  const LinkConfig& config() const { return cfg_; }
+
+ private:
+  TransferResult transfer(std::int64_t bytes, double bw);
+
+  LinkConfig cfg_;
+  BandwidthTrace up_trace_, down_trace_;
+  Rng rng_;
+};
+
+/// Named link quality presets used across benches and examples.
+enum class LinkQuality { kExcellent, kGood, kCongested, kLossy, kCellular };
+
+/// Preset parameters for a quality class.
+LinkConfig preset(LinkQuality q);
+
+/// Builds a fleet of `n` link configs where the first
+/// round(n*unreliable_fraction) clients get `bad` and the rest get `good`.
+std::vector<LinkConfig> make_fleet(int n, double unreliable_fraction,
+                                   LinkQuality good, LinkQuality bad);
+
+}  // namespace adafl::net

@@ -1,0 +1,44 @@
+// Loading and saving bandwidth traces (the ns-3 stand-in's file interface).
+//
+// Trace files are two-column CSV: `time_s,multiplier` with ascending times;
+// the multiplier holds until the next row (piecewise-constant), exactly the
+// semantics of BandwidthTrace. An optional header row is skipped.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+
+namespace adafl::net {
+
+/// One (time, multiplier) step of a stored trace.
+struct TracePoint {
+  double time = 0.0;
+  double multiplier = 1.0;
+};
+
+/// Parses a trace from a stream. Throws std::runtime_error on syntax
+/// errors, non-ascending times, or multipliers outside (0, 1].
+std::vector<TracePoint> parse_trace(std::istream& in);
+
+/// Reads a trace file (see parse_trace).
+std::vector<TracePoint> load_trace_file(const std::string& path);
+
+/// Writes a trace file in the canonical format.
+void save_trace_file(const std::string& path,
+                     const std::vector<TracePoint>& points);
+
+/// Converts loaded points into a BandwidthTrace by resampling onto a fixed
+/// grid of `step_s` (the trace holds its last multiplier beyond the final
+/// point).
+BandwidthTrace trace_from_points(const std::vector<TracePoint>& points,
+                                 double step_s);
+
+/// Samples an existing BandwidthTrace into points (for round-tripping and
+/// for exporting generated traces).
+std::vector<TracePoint> sample_trace(const BandwidthTrace& trace,
+                                     double step_s, double horizon_s);
+
+}  // namespace adafl::net

@@ -1,0 +1,103 @@
+#include "nn/activation.h"
+
+#include <cmath>
+
+namespace adafl::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
+  mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  const auto in = x.flat();
+  auto m = mask_.flat();
+  auto out = y.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const bool pos = in[i] > 0.0f;
+    m[i] = pos ? 1.0f : 0.0f;
+    out[i] = pos ? in[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  ADAFL_CHECK_MSG(!mask_.empty(), "ReLU::backward before forward");
+  ADAFL_CHECK(grad_out.shape() == mask_.shape());
+  Tensor dx(grad_out.shape());
+  const auto g = grad_out.flat();
+  const auto m = mask_.flat();
+  auto d = dx.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) d[i] = g[i] * m[i];
+  return dx;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
+  output_ = Tensor(x.shape());
+  const auto in = x.flat();
+  auto out = output_.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = std::tanh(in[i]);
+  return output_;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  ADAFL_CHECK_MSG(!output_.empty(), "Tanh::backward before forward");
+  ADAFL_CHECK(grad_out.shape() == output_.shape());
+  Tensor dx(grad_out.shape());
+  const auto g = grad_out.flat();
+  const auto y = output_.flat();
+  auto d = dx.flat();
+  for (std::size_t i = 0; i < g.size(); ++i)
+    d[i] = g[i] * (1.0f - y[i] * y[i]);
+  return dx;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+  ADAFL_CHECK_MSG(x.shape().rank() >= 2,
+                  "Flatten: input " << x.shape().to_string());
+  in_shape_ = x.shape();
+  const std::int64_t n = x.shape()[0];
+  return x.reshaped({n, x.size() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  ADAFL_CHECK_MSG(in_shape_.rank() >= 2, "Flatten::backward before forward");
+  return grad_out.reshaped(in_shape_);
+}
+
+Dropout::Dropout(double p, Rng rng) : p_(p), rng_(rng) {
+  ADAFL_CHECK_MSG(p >= 0.0 && p < 1.0, "Dropout: p must be in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool training) {
+  if (!training || p_ == 0.0) {
+    mask_ = Tensor();
+    return x;
+  }
+  mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  const float keep = 1.0f - static_cast<float>(p_);
+  const auto in = x.flat();
+  auto m = mask_.flat();
+  auto out = y.flat();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float keep_i = rng_.bernoulli(1.0 - p_) ? (1.0f / keep) : 0.0f;
+    m[i] = keep_i;
+    out[i] = in[i] * keep_i;
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;  // eval-mode forward
+  ADAFL_CHECK(grad_out.shape() == mask_.shape());
+  Tensor dx(grad_out.shape());
+  const auto g = grad_out.flat();
+  const auto m = mask_.flat();
+  auto d = dx.flat();
+  for (std::size_t i = 0; i < g.size(); ++i) d[i] = g[i] * m[i];
+  return dx;
+}
+
+std::string Dropout::name() const {
+  return "Dropout(" + std::to_string(p_) + ")";
+}
+
+}  // namespace adafl::nn

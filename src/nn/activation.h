@@ -1,0 +1,57 @@
+// Elementwise activations and shape adapters.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace adafl::nn {
+
+/// Rectified linear unit, elementwise.
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  ///< 1 where input > 0
+};
+
+/// Hyperbolic tangent, elementwise.
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor output_;
+};
+
+/// Reshapes [N, ...] to [N, features]. Inverse applied on backward.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape in_shape_;
+};
+
+/// Inverted dropout; identity during evaluation. The RNG is owned by the
+/// layer so that training remains deterministic under a fixed seed.
+class Dropout final : public Layer {
+ public:
+  Dropout(double p, Rng rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override;
+
+ private:
+  double p_;
+  Rng rng_;
+  Tensor mask_;
+};
+
+}  // namespace adafl::nn

@@ -1,0 +1,123 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace adafl::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({channels}, 1.0f),
+      beta_({channels}),
+      gamma_grad_({channels}),
+      beta_grad_({channels}),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f) {
+  ADAFL_CHECK_MSG(channels > 0, "BatchNorm2d: channels must be positive");
+  ADAFL_CHECK_MSG(momentum > 0.0f && momentum <= 1.0f,
+                  "BatchNorm2d: momentum in (0,1]");
+  ADAFL_CHECK_MSG(eps > 0.0f, "BatchNorm2d: eps must be positive");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
+  ADAFL_CHECK_MSG(x.shape().rank() == 4 && x.shape()[1] == channels_,
+                  "BatchNorm2d: input " << x.shape().to_string());
+  const std::int64_t n = x.shape()[0], h = x.shape()[2], w = x.shape()[3];
+  const std::int64_t plane = h * w;
+  const std::int64_t per_channel = n * plane;
+  Tensor y(x.shape());
+  x_hat_ = Tensor(x.shape());
+  inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+  trained_forward_ = training;
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double mean, var;
+    if (training) {
+      double sum = 0.0, sq = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * plane;
+        for (std::int64_t k = 0; k < plane; ++k) {
+          sum += p[k];
+          sq += static_cast<double>(p[k]) * p[k];
+        }
+      }
+      mean = sum / static_cast<double>(per_channel);
+      var = sq / static_cast<double>(per_channel) - mean * mean;
+      var = std::max(var, 0.0);
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
+                         momentum_ * static_cast<float>(mean);
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] +
+                        momentum_ * static_cast<float>(var);
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const float is = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    inv_std_[static_cast<std::size_t>(c)] = is;
+    const float g = gamma_[c], b = beta_[c], m = static_cast<float>(mean);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* p = x.data() + (i * channels_ + c) * plane;
+      float* xh = x_hat_.data() + (i * channels_ + c) * plane;
+      float* py = y.data() + (i * channels_ + c) * plane;
+      for (std::int64_t k = 0; k < plane; ++k) {
+        xh[k] = (p[k] - m) * is;
+        py[k] = g * xh[k] + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  ADAFL_CHECK_MSG(!x_hat_.empty(), "BatchNorm2d::backward before forward");
+  ADAFL_CHECK(grad_out.shape() == x_hat_.shape());
+  const std::int64_t n = grad_out.shape()[0], h = grad_out.shape()[2],
+                     w = grad_out.shape()[3];
+  const std::int64_t plane = h * w;
+  const double m = static_cast<double>(n * plane);
+  Tensor dx(grad_out.shape());
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* dy = grad_out.data() + (i * channels_ + c) * plane;
+      const float* xh = x_hat_.data() + (i * channels_ + c) * plane;
+      for (std::int64_t k = 0; k < plane; ++k) {
+        sum_dy += dy[k];
+        sum_dy_xhat += static_cast<double>(dy[k]) * xh[k];
+      }
+    }
+    gamma_grad_[c] += static_cast<float>(sum_dy_xhat);
+    beta_grad_[c] += static_cast<float>(sum_dy);
+    const float g = gamma_[c];
+    const float is = inv_std_[static_cast<std::size_t>(c)];
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* dy = grad_out.data() + (i * channels_ + c) * plane;
+      const float* xh = x_hat_.data() + (i * channels_ + c) * plane;
+      float* pdx = dx.data() + (i * channels_ + c) * plane;
+      if (trained_forward_) {
+        // Full batch-statistics backward.
+        for (std::int64_t k = 0; k < plane; ++k)
+          pdx[k] = static_cast<float>(
+              g * is *
+              (dy[k] - sum_dy / m - xh[k] * sum_dy_xhat / m));
+      } else {
+        // Eval mode: statistics are constants.
+        for (std::int64_t k = 0; k < plane; ++k) pdx[k] = g * is * dy[k];
+      }
+    }
+  }
+  return dx;
+}
+
+void BatchNorm2d::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&gamma_, &gamma_grad_});
+  out.push_back({&beta_, &beta_grad_});
+}
+
+std::string BatchNorm2d::name() const {
+  return "BatchNorm2d(" + std::to_string(channels_) + ")";
+}
+
+}  // namespace adafl::nn

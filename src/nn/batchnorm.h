@@ -1,0 +1,40 @@
+// 2-D batch normalization with running statistics.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace adafl::nn {
+
+/// BatchNorm over NCHW inputs: per-channel standardization with learnable
+/// scale/shift. Training mode normalizes by batch statistics and updates
+/// running estimates; evaluation mode uses the running estimates.
+///
+/// Note for FL use: the learnable gamma/beta are exchanged like any other
+/// parameters, while the running statistics stay device-local (the FedBN
+/// convention) — they are not part of ParamRef and therefore not part of
+/// Model::get_flat().
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_, eps_;
+  Tensor gamma_, beta_, gamma_grad_, beta_grad_;
+  Tensor running_mean_, running_var_;
+  // Cached forward state for backward.
+  Tensor x_hat_;          ///< normalized input
+  std::vector<float> inv_std_;
+  bool trained_forward_ = false;
+};
+
+}  // namespace adafl::nn

@@ -1,0 +1,92 @@
+#include "nn/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace adafl::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'D', 'F', 'L'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  os.write(buf, 4);
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  os.write(buf, 8);
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  char buf[4];
+  is.read(buf, 4);
+  if (!is) throw std::runtime_error("checkpoint: truncated header");
+  std::uint32_t v = 0;
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  char buf[8];
+  is.read(buf, 8);
+  if (!is) throw std::runtime_error("checkpoint: truncated header");
+  std::uint64_t v = 0;
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+void check_header(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("checkpoint: bad magic (not an ADFL file)");
+  const std::uint32_t version = read_u32(is);
+  if (version != kVersion)
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
+}
+
+}  // namespace
+
+void save_checkpoint(const Model& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  os.write(kMagic, 4);
+  write_u32(os, kVersion);
+  const auto flat = model.get_flat();
+  write_u64(os, flat.size());
+  os.write(reinterpret_cast<const char*>(flat.data()),
+           static_cast<std::streamsize>(flat.size() * sizeof(float)));
+  if (!os) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void load_checkpoint(Model& model, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  check_header(is);
+  const std::uint64_t count = read_u64(is);
+  if (static_cast<std::int64_t>(count) != model.param_count())
+    throw std::runtime_error(
+        "checkpoint: parameter count mismatch (file has " +
+        std::to_string(count) + ", model has " +
+        std::to_string(model.param_count()) + ")");
+  std::vector<float> flat(count);
+  is.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!is) throw std::runtime_error("checkpoint: truncated payload");
+  model.set_flat(flat);
+}
+
+std::int64_t checkpoint_param_count(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  check_header(is);
+  return static_cast<std::int64_t>(read_u64(is));
+}
+
+}  // namespace adafl::nn

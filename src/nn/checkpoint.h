@@ -1,0 +1,25 @@
+// Model checkpointing: save/load flat parameter vectors to a small binary
+// format with an integrity header.
+//
+// Format: magic "ADFL" (4 bytes), u32 version, u64 param_count, then
+// param_count little-endian f32 values.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace adafl::nn {
+
+/// Writes the model's parameters to `path`. Throws std::runtime_error on
+/// I/O failure.
+void save_checkpoint(const Model& model, const std::string& path);
+
+/// Loads parameters from `path` into `model`. Throws std::runtime_error on
+/// I/O failure, bad magic/version, or a parameter-count mismatch.
+void load_checkpoint(Model& model, const std::string& path);
+
+/// Reads just the parameter count from a checkpoint header (for tooling).
+std::int64_t checkpoint_param_count(const std::string& path);
+
+}  // namespace adafl::nn

@@ -1,0 +1,96 @@
+#include "nn/conv2d.h"
+
+#include "nn/init.h"
+
+namespace adafl::nn {
+
+using tensor::Conv2dGeom;
+
+Conv2d::Conv2d(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
+               Rng& rng, std::int64_t stride, std::int64_t pad)
+    : in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      w_({out_c, in_c * kernel * kernel}),
+      b_({out_c}),
+      w_grad_({out_c, in_c * kernel * kernel}),
+      b_grad_({out_c}) {
+  ADAFL_CHECK_MSG(in_c > 0 && out_c > 0 && kernel > 0 && stride > 0 && pad >= 0,
+                  "Conv2d: invalid geometry");
+  kaiming_uniform(w_, in_c * kernel * kernel, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+  ADAFL_CHECK_MSG(x.shape().rank() == 4 && x.shape()[1] == in_c_,
+                  "Conv2d::forward: input " << x.shape().to_string());
+  input_ = x;
+  const std::int64_t n = x.shape()[0], h = x.shape()[2], w = x.shape()[3];
+  geom_ = Conv2dGeom{in_c_, h, w, kernel_, stride_, pad_};
+  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  ADAFL_CHECK_MSG(oh > 0 && ow > 0, "Conv2d: output would be empty for input "
+                                        << x.shape().to_string());
+  Tensor out({n, out_c_, oh, ow});
+  Tensor cols({in_c_ * kernel_ * kernel_, oh * ow});
+  const std::int64_t img = in_c_ * h * w;
+  const std::int64_t oimg = out_c_ * oh * ow;
+  for (std::int64_t i = 0; i < n; ++i) {
+    tensor::im2col({x.data() + i * img, static_cast<std::size_t>(img)}, geom_,
+                   cols);
+    Tensor y = tensor::matmul(w_, cols);  // [out_c, oh*ow]
+    float* dst = out.data() + i * oimg;
+    const float* src = y.data();
+    for (std::int64_t c = 0; c < out_c_; ++c) {
+      const float bias = b_[c];
+      for (std::int64_t p = 0; p < oh * ow; ++p)
+        dst[c * oh * ow + p] = src[c * oh * ow + p] + bias;
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  ADAFL_CHECK_MSG(!input_.empty(), "Conv2d::backward before forward");
+  const std::int64_t n = input_.shape()[0];
+  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
+  ADAFL_CHECK(grad_out.shape() ==
+              tensor::Shape({n, out_c_, oh, ow}));
+  Tensor dx(input_.shape());
+  Tensor cols({in_c_ * kernel_ * kernel_, oh * ow});
+  const std::int64_t img = geom_.in_c * geom_.in_h * geom_.in_w;
+  const std::int64_t oimg = out_c_ * oh * ow;
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Recompute the column matrix (cheaper than caching N of them).
+    tensor::im2col({input_.data() + i * img, static_cast<std::size_t>(img)},
+                   geom_, cols);
+    Tensor dy({out_c_, oh * ow});
+    std::copy(grad_out.data() + i * oimg, grad_out.data() + (i + 1) * oimg,
+              dy.data());
+    // dW += dY * cols^T ; dcols = W^T * dY
+    w_grad_ += tensor::matmul_nt(dy, cols);
+    for (std::int64_t c = 0; c < out_c_; ++c) {
+      double acc = 0.0;
+      const float* row = dy.data() + c * oh * ow;
+      for (std::int64_t p = 0; p < oh * ow; ++p) acc += row[p];
+      b_grad_[c] += static_cast<float>(acc);
+    }
+    Tensor dcols = tensor::matmul_tn(w_, dy);
+    tensor::col2im(dcols, geom_,
+                   {dx.data() + i * img, static_cast<std::size_t>(img)});
+  }
+  return dx;
+}
+
+void Conv2d::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&w_, &w_grad_});
+  out.push_back({&b_, &b_grad_});
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(in_c_) + "->" + std::to_string(out_c_) +
+         ",k" + std::to_string(kernel_) + ",s" + std::to_string(stride_) +
+         ",p" + std::to_string(pad_) + ")";
+}
+
+}  // namespace adafl::nn

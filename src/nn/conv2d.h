@@ -1,0 +1,31 @@
+// 2-D convolution over NCHW tensors via im2col + matmul.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace adafl::nn {
+
+/// Square-kernel 2-D convolution. Input [N, in_c, H, W], output
+/// [N, out_c, out_h, out_w]. Weight layout is [out_c, in_c*k*k].
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
+         Rng& rng, std::int64_t stride = 1, std::int64_t pad = 0);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  std::string name() const override;
+
+ private:
+  std::int64_t in_c_ = 0, out_c_ = 0, kernel_ = 0, stride_ = 1, pad_ = 0;
+  Tensor w_;       ///< [out_c, in_c*k*k]
+  Tensor b_;       ///< [out_c]
+  Tensor w_grad_;
+  Tensor b_grad_;
+  Tensor input_;   ///< cached [N, in_c, H, W]
+  tensor::Conv2dGeom geom_;
+};
+
+}  // namespace adafl::nn

@@ -1,0 +1,22 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace adafl::nn {
+
+void kaiming_uniform(tensor::Tensor& w, std::int64_t fan_in,
+                     tensor::Rng& rng) {
+  ADAFL_CHECK_MSG(fan_in > 0, "kaiming_uniform: fan_in must be positive");
+  const float b = std::sqrt(6.0f / static_cast<float>(fan_in));
+  for (auto& v : w.flat()) v = static_cast<float>(rng.uniform(-b, b));
+}
+
+void xavier_uniform(tensor::Tensor& w, std::int64_t fan_in,
+                    std::int64_t fan_out, tensor::Rng& rng) {
+  ADAFL_CHECK_MSG(fan_in > 0 && fan_out > 0,
+                  "xavier_uniform: fans must be positive");
+  const float b = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (auto& v : w.flat()) v = static_cast<float>(rng.uniform(-b, b));
+}
+
+}  // namespace adafl::nn

@@ -1,0 +1,17 @@
+// Weight initializers (Kaiming / Xavier uniform).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace adafl::nn {
+
+/// Kaiming-uniform fill: U[-b, b] with b = sqrt(6 / fan_in). Suitable for
+/// ReLU networks; `fan_in` must be > 0.
+void kaiming_uniform(tensor::Tensor& w, std::int64_t fan_in,
+                     tensor::Rng& rng);
+
+/// Xavier-uniform fill: U[-b, b] with b = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(tensor::Tensor& w, std::int64_t fan_in,
+                    std::int64_t fan_out, tensor::Rng& rng);
+
+}  // namespace adafl::nn

@@ -1,0 +1,57 @@
+// Layer abstraction: explicit forward/backward with cached activations.
+//
+// adafl deliberately uses layer-local backprop instead of a tape-based
+// autograd: the FL algorithms in this repo only ever need whole-model
+// gradients of feed-forward networks, and explicit backward passes keep the
+// numerical semantics exact and testable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace adafl::nn {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Non-owning reference to one trainable parameter and its gradient buffer.
+/// Both tensors are owned by the layer and share a shape.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+/// Base class for all layers. A layer owns its parameters and the
+/// activations cached between forward() and backward().
+///
+/// Contract: backward(grad_out) may only be called after forward() on the
+/// same input batch, and accumulates into the parameter gradients (callers
+/// zero them via zero_grad()).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output; `training` toggles train-only behaviour
+  /// (e.g. dropout).
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Appends references to this layer's parameters (default: none).
+  virtual void collect_params(std::vector<ParamRef>& out) { (void)out; }
+
+  /// Short diagnostic name, e.g. "Conv2d(1->20,k5)".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace adafl::nn

@@ -1,0 +1,37 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace adafl::nn {
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::int32_t> labels) {
+  ADAFL_CHECK_MSG(logits.shape().rank() == 2,
+                  "softmax_cross_entropy: logits "
+                      << logits.shape().to_string());
+  const std::int64_t n = logits.shape()[0], c = logits.shape()[1];
+  ADAFL_CHECK_MSG(static_cast<std::int64_t>(labels.size()) == n,
+                  "softmax_cross_entropy: " << labels.size() << " labels for "
+                                            << n << " rows");
+  tensor::Tensor logp = tensor::log_softmax_rows(logits);
+  LossResult r;
+  r.grad = tensor::Tensor(logits.shape());
+  double loss = 0.0;
+  const float invn = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t y = labels[static_cast<std::size_t>(i)];
+    ADAFL_CHECK_MSG(y >= 0 && y < c, "label " << y << " out of range [0, " << c
+                                              << ")");
+    loss -= logp[i * c + y];
+    // dL/dlogits = (softmax - onehot) / N
+    for (std::int64_t j = 0; j < c; ++j)
+      r.grad[i * c + j] = std::exp(logp[i * c + j]) * invn;
+    r.grad[i * c + y] -= invn;
+  }
+  r.loss = static_cast<float>(loss / static_cast<double>(n));
+  return r;
+}
+
+}  // namespace adafl::nn

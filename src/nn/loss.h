@@ -1,0 +1,23 @@
+// Classification loss: softmax cross-entropy with integer labels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace adafl::nn {
+
+/// Result of a loss evaluation: mean loss over the batch and the gradient of
+/// the mean loss with respect to the logits.
+struct LossResult {
+  float loss = 0.0f;
+  tensor::Tensor grad;  ///< same shape as the logits
+};
+
+/// Mean softmax cross-entropy over a [N, C] logits batch. `labels` holds N
+/// class indices in [0, C).
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::int32_t> labels);
+
+}  // namespace adafl::nn

@@ -1,0 +1,103 @@
+#include "nn/model.h"
+
+namespace adafl::nn {
+
+Model::Model(std::unique_ptr<Layer> net) : net_(std::move(net)) {
+  ADAFL_CHECK_MSG(net_ != nullptr, "Model: null network");
+  net_->collect_params(params_);
+  for (const auto& p : params_) {
+    ADAFL_CHECK(p.value != nullptr && p.grad != nullptr);
+    ADAFL_CHECK(p.value->shape() == p.grad->shape());
+    param_count_ += p.value->size();
+  }
+}
+
+Tensor Model::forward(const Tensor& x, bool training) {
+  return net_->forward(x, training);
+}
+
+float Model::compute_gradients(const Batch& batch) {
+  ADAFL_CHECK_MSG(batch.size() > 0, "compute_gradients: empty batch");
+  Tensor logits = net_->forward(batch.inputs, /*training=*/true);
+  LossResult lr = softmax_cross_entropy(logits, batch.labels);
+  net_->backward(lr.grad);
+  return lr.loss;
+}
+
+float Model::train_batch(const Batch& batch, Optimizer& opt) {
+  zero_grad();
+  const float loss = compute_gradients(batch);
+  opt.step(params_);
+  return loss;
+}
+
+double Model::accuracy(const Batch& batch) {
+  ADAFL_CHECK_MSG(batch.size() > 0, "accuracy: empty batch");
+  Tensor logits = net_->forward(batch.inputs, /*training=*/false);
+  const std::int64_t n = logits.shape()[0], c = logits.shape()[1];
+  ADAFL_CHECK(n == batch.size());
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = j;
+    if (best == batch.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+void Model::zero_grad() {
+  for (const auto& p : params_) p.grad->fill(0.0f);
+}
+
+std::vector<float> Model::get_flat() const {
+  std::vector<float> out(static_cast<std::size_t>(param_count_));
+  std::size_t off = 0;
+  for (const auto& p : params_) {
+    const auto v = p.value->flat();
+    std::copy(v.begin(), v.end(), out.begin() + static_cast<std::ptrdiff_t>(off));
+    off += v.size();
+  }
+  return out;
+}
+
+void Model::set_flat(std::span<const float> flat) {
+  ADAFL_CHECK_MSG(static_cast<std::int64_t>(flat.size()) == param_count_,
+                  "set_flat: length " << flat.size() << " vs param_count "
+                                      << param_count_);
+  std::size_t off = 0;
+  for (const auto& p : params_) {
+    auto v = p.value->flat();
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+              flat.begin() + static_cast<std::ptrdiff_t>(off + v.size()),
+              v.begin());
+    off += v.size();
+  }
+}
+
+std::vector<float> Model::get_flat_grad() const {
+  std::vector<float> out(static_cast<std::size_t>(param_count_));
+  std::size_t off = 0;
+  for (const auto& p : params_) {
+    const auto g = p.grad->flat();
+    std::copy(g.begin(), g.end(), out.begin() + static_cast<std::ptrdiff_t>(off));
+    off += g.size();
+  }
+  return out;
+}
+
+void Model::add_flat(std::span<const float> delta, float alpha) {
+  ADAFL_CHECK_MSG(static_cast<std::int64_t>(delta.size()) == param_count_,
+                  "add_flat: length " << delta.size() << " vs param_count "
+                                      << param_count_);
+  std::size_t off = 0;
+  for (const auto& p : params_) {
+    auto v = p.value->flat();
+    for (std::size_t i = 0; i < v.size(); ++i)
+      v[i] += alpha * delta[off + i];
+    off += v.size();
+  }
+}
+
+}  // namespace adafl::nn

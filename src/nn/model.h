@@ -1,0 +1,77 @@
+// Model: a network + loss with flat parameter/gradient access.
+//
+// FL protocols exchange whole-model parameter vectors; Model provides the
+// flat view (get_flat/set_flat/flat_grad) that src/fl and src/core operate
+// on, plus batch-level train/eval helpers.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace adafl::nn {
+
+/// Batch of supervised examples: images [N, C, H, W] (or any rank-2+ input)
+/// paired with N integer labels.
+struct Batch {
+  Tensor inputs;
+  std::vector<std::int32_t> labels;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels.size()); }
+};
+
+/// Owns a network and exposes training primitives over it. Move-only.
+class Model {
+ public:
+  explicit Model(std::unique_ptr<Layer> net);
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  /// Runs the network; `training` enables dropout etc.
+  Tensor forward(const Tensor& x, bool training = false);
+
+  /// Forward + loss + backward, leaving gradients in the parameters
+  /// (accumulated on top of whatever is there). Returns the mean batch loss.
+  float compute_gradients(const Batch& batch);
+
+  /// zero_grad + compute_gradients + optimizer step. Returns the batch loss.
+  float train_batch(const Batch& batch, Optimizer& opt);
+
+  /// Fraction of `batch` classified correctly (argmax of logits).
+  double accuracy(const Batch& batch);
+
+  void zero_grad();
+
+  std::span<const ParamRef> params() const { return params_; }
+
+  /// Total number of scalar parameters.
+  std::int64_t param_count() const { return param_count_; }
+
+  /// Copies all parameters into a fresh flat vector (layer declaration order).
+  std::vector<float> get_flat() const;
+
+  /// Overwrites all parameters from `flat`; length must equal param_count().
+  void set_flat(std::span<const float> flat);
+
+  /// Copies all gradients into a fresh flat vector.
+  std::vector<float> get_flat_grad() const;
+
+  /// Adds `delta` (flat, length param_count()) scaled by `alpha` to the
+  /// parameters: w += alpha * delta.
+  void add_flat(std::span<const float> delta, float alpha);
+
+ private:
+  std::unique_ptr<Layer> net_;
+  std::vector<ParamRef> params_;
+  std::int64_t param_count_ = 0;
+};
+
+/// Factory producing independent, identically-architected models. Clients in
+/// an FL run each build one and then load the global weights.
+using ModelFactory = std::function<Model()>;
+
+}  // namespace adafl::nn

@@ -1,0 +1,141 @@
+#include "nn/models.h"
+
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+#include "nn/sequential.h"
+
+namespace adafl::nn {
+
+namespace {
+
+/// Spatial size after an unpadded conv-k then 2x2 pool.
+std::int64_t conv_pool(std::int64_t s, std::int64_t k) {
+  return (s - k + 1) / 2;
+}
+
+/// Zeroes the classifier head (the last Linear's weight and bias). Initial
+/// logits are then exactly uniform, which removes a class of bad
+/// initializations where early ReLU saturation creates a long plateau that
+/// round-averaged federated optimization cannot escape (centralized SGD
+/// can; FedAvg keeps resetting onto it).
+Model with_zero_head(Model m) {
+  auto params = m.params();
+  ADAFL_CHECK(params.size() >= 2);
+  params[params.size() - 2].value->fill(0.0f);
+  params[params.size() - 1].value->fill(0.0f);
+  return m;
+}
+
+}  // namespace
+
+Model make_paper_cnn(const ImageSpec& spec, std::uint64_t seed,
+                     std::int64_t fc_units) {
+  ADAFL_CHECK_MSG(spec.height >= 14 && spec.width >= 14,
+                  "make_paper_cnn: needs >=14x14 input, got "
+                      << spec.height << "x" << spec.width);
+  Rng rng(seed);
+  const std::int64_t h1 = conv_pool(spec.height, 5);
+  const std::int64_t w1 = conv_pool(spec.width, 5);
+  const std::int64_t h2 = conv_pool(h1, 5);
+  const std::int64_t w2 = conv_pool(w1, 5);
+  ADAFL_CHECK(h2 >= 1 && w2 >= 1);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(spec.channels, 20, 5, rng);
+  net->emplace<MaxPool2d>(2);
+  net->emplace<ReLU>();
+  net->emplace<Conv2d>(20, 50, 5, rng);
+  net->emplace<MaxPool2d>(2);
+  net->emplace<ReLU>();
+  net->emplace<Flatten>();
+  net->emplace<Linear>(50 * h2 * w2, fc_units, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(fc_units, spec.classes, rng);
+  return with_zero_head(Model(std::move(net)));
+}
+
+Model make_mlp(const ImageSpec& spec, std::int64_t hidden,
+               std::uint64_t seed) {
+  Rng rng(seed);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Flatten>();
+  net->emplace<Linear>(spec.channels * spec.height * spec.width, hidden, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(hidden, spec.classes, rng);
+  return Model(std::move(net));
+}
+
+namespace {
+
+/// Body of a residual block: conv3(s) -> ReLU -> conv3(1), padded.
+std::unique_ptr<Layer> residual_body(std::int64_t in_c, std::int64_t out_c,
+                                     std::int64_t stride, Rng& rng) {
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(in_c, out_c, 3, rng, stride, 1);
+  body->emplace<ReLU>();
+  body->emplace<Conv2d>(out_c, out_c, 3, rng, 1, 1);
+  return body;
+}
+
+}  // namespace
+
+Model make_resnet_lite(const ImageSpec& spec, std::uint64_t seed) {
+  ADAFL_CHECK_MSG(spec.height >= 8 && spec.width >= 8,
+                  "make_resnet_lite: needs >=8x8 input");
+  Rng rng(seed);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(spec.channels, 16, 3, rng, 1, 1);
+  net->emplace<ReLU>();
+  net->add(std::make_unique<ResidualBlock>(residual_body(16, 32, 2, rng), 16,
+                                           32, 2, rng));
+  net->add(std::make_unique<ResidualBlock>(residual_body(32, 64, 2, rng), 32,
+                                           64, 2, rng));
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(64, spec.classes, rng);
+  return with_zero_head(Model(std::move(net)));
+}
+
+Model make_vgg_lite(const ImageSpec& spec, std::uint64_t seed) {
+  ADAFL_CHECK_MSG(spec.height >= 8 && spec.width >= 8,
+                  "make_vgg_lite: needs >=8x8 input");
+  Rng rng(seed);
+  const std::int64_t h3 = spec.height / 8;  // three 2x2 pools
+  const std::int64_t w3 = spec.width / 8;
+  ADAFL_CHECK(h3 >= 1 && w3 >= 1);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(spec.channels, 16, 3, rng, 1, 1);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(2);
+  net->emplace<Conv2d>(16, 32, 3, rng, 1, 1);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(2);
+  net->emplace<Conv2d>(32, 64, 3, rng, 1, 1);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(2);
+  net->emplace<Flatten>();
+  net->emplace<Linear>(64 * h3 * w3, 128, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(128, spec.classes, rng);
+  return with_zero_head(Model(std::move(net)));
+}
+
+ModelFactory paper_cnn_factory(const ImageSpec& spec, std::uint64_t seed,
+                               std::int64_t fc_units) {
+  return [=] { return make_paper_cnn(spec, seed, fc_units); };
+}
+
+ModelFactory mlp_factory(const ImageSpec& spec, std::int64_t hidden,
+                         std::uint64_t seed) {
+  return [=] { return make_mlp(spec, hidden, seed); };
+}
+
+ModelFactory resnet_lite_factory(const ImageSpec& spec, std::uint64_t seed) {
+  return [=] { return make_resnet_lite(spec, seed); };
+}
+
+ModelFactory vgg_lite_factory(const ImageSpec& spec, std::uint64_t seed) {
+  return [=] { return make_vgg_lite(spec, seed); };
+}
+
+}  // namespace adafl::nn

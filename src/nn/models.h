@@ -1,0 +1,49 @@
+// Model factories for the architectures used in the paper's evaluation.
+//
+// The paper trains (a) a two-conv-layer CNN on MNIST, (b) ResNet-50 on
+// CIFAR-10, and (c) VGG-Net on CIFAR-100. Per DESIGN.md §2, (b) and (c) are
+// replaced by scaled-down networks that keep the architectural features the
+// experiments rely on (residual connections / deep conv stacks) while
+// remaining CPU-trainable.
+#pragma once
+
+#include "nn/model.h"
+
+namespace adafl::nn {
+
+/// Geometry of the image classification task a model is built for.
+struct ImageSpec {
+  std::int64_t channels = 1;
+  std::int64_t height = 28;
+  std::int64_t width = 28;
+  std::int64_t classes = 10;
+};
+
+/// The paper's MNIST CNN: two 5x5 convolutions (20 and 50 output channels),
+/// each followed by 2x2 max pooling, then a 500-unit ReLU layer and the
+/// classifier head. Requires height/width >= 14 so both conv/pool stages fit.
+Model make_paper_cnn(const ImageSpec& spec, std::uint64_t seed,
+                     std::int64_t fc_units = 500);
+
+/// Small multilayer perceptron (flatten -> hidden -> ReLU -> classes); used
+/// by fast tests and micro-examples.
+Model make_mlp(const ImageSpec& spec, std::int64_t hidden, std::uint64_t seed);
+
+/// Residual CNN standing in for ResNet-50: 3x3 stem, two strided residual
+/// blocks (16->32->64 channels), global average pooling, linear head.
+Model make_resnet_lite(const ImageSpec& spec, std::uint64_t seed);
+
+/// VGG-style CNN standing in for VGG-Net: three conv3-ReLU-pool stages
+/// (16/32/64 channels) and a 128-unit fully-connected stage.
+Model make_vgg_lite(const ImageSpec& spec, std::uint64_t seed);
+
+/// Factory helpers: each call yields an independently-initialized model of
+/// the same architecture (clients then overwrite weights from the server).
+ModelFactory paper_cnn_factory(const ImageSpec& spec, std::uint64_t seed,
+                               std::int64_t fc_units = 500);
+ModelFactory mlp_factory(const ImageSpec& spec, std::int64_t hidden,
+                         std::uint64_t seed);
+ModelFactory resnet_lite_factory(const ImageSpec& spec, std::uint64_t seed);
+ModelFactory vgg_lite_factory(const ImageSpec& spec, std::uint64_t seed);
+
+}  // namespace adafl::nn

@@ -1,0 +1,101 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace adafl::nn {
+
+namespace {
+
+void sync_state(std::vector<Tensor>& state,
+                std::span<const ParamRef> params) {
+  if (state.size() == params.size()) return;
+  ADAFL_CHECK_MSG(state.empty(),
+                  "optimizer reused with a different parameter list");
+  state.reserve(params.size());
+  for (const auto& p : params) state.emplace_back(p.value->shape());
+}
+
+}  // namespace
+
+Sgd::Sgd(float lr, float momentum, float weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  ADAFL_CHECK_MSG(lr > 0.0f, "Sgd: lr must be positive");
+  ADAFL_CHECK_MSG(momentum >= 0.0f && momentum < 1.0f, "Sgd: bad momentum");
+}
+
+void Sgd::step(std::span<const ParamRef> params) {
+  if (momentum_ > 0.0f) sync_state(velocity_, params);
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    auto w = params[k].value->flat();
+    const auto g = params[k].grad->flat();
+    ADAFL_CHECK(w.size() == g.size());
+    if (momentum_ > 0.0f) {
+      auto v = velocity_[k].flat();
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        const float grad = g[i] + weight_decay_ * w[i];
+        v[i] = momentum_ * v[i] + grad;
+        w[i] -= lr_ * v[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
+    }
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  ADAFL_CHECK_MSG(lr > 0.0f, "Adam: lr must be positive");
+}
+
+void Adam::step(std::span<const ParamRef> params) {
+  sync_state(m_, params);
+  sync_state(v_, params);
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    auto w = params[k].value->flat();
+    const auto g = params[k].grad->flat();
+    auto m = m_[k].flat();
+    auto v = v_[k].flat();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+FlatAdam::FlatAdam(float lr, float beta1, float beta2, float eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  ADAFL_CHECK_MSG(lr > 0.0f, "FlatAdam: lr must be positive");
+}
+
+void FlatAdam::step(std::span<float> w, std::span<const float> g) {
+  ADAFL_CHECK_MSG(w.size() == g.size(), "FlatAdam: w/g length mismatch");
+  if (m_.empty()) {
+    m_.assign(w.size(), 0.0f);
+    v_.assign(w.size(), 0.0f);
+  }
+  ADAFL_CHECK_MSG(m_.size() == w.size(),
+                  "FlatAdam reused with a different vector length");
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * g[i];
+    v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * g[i] * g[i];
+    w[i] -= lr_ * (m_[i] / bc1) / (std::sqrt(v_[i] / bc2) + eps_);
+  }
+}
+
+void FlatAdam::reset() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+}  // namespace adafl::nn

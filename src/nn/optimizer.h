@@ -1,0 +1,88 @@
+// First-order optimizers over Layer parameters and over flat vectors.
+//
+// Layer-based optimizers (Sgd, Adam) drive local client training; the flat
+// variants (FlatSgd, FlatAdam) implement *server-side* optimizers that treat
+// the aggregated client delta as a pseudo-gradient (FedAdam, Reddi et al.).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace adafl::nn {
+
+/// Interface for optimizers stepping Layer parameters in place.
+/// State buffers are keyed by position in `params`, so the same optimizer
+/// instance must always be used with the same parameter list.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in `params`.
+  virtual void step(std::span<const ParamRef> params) = 0;
+
+  /// Clears internal state (momentum/moment buffers).
+  virtual void reset() = 0;
+
+  /// Current learning rate.
+  virtual float lr() const = 0;
+  virtual void set_lr(float lr) = 0;
+};
+
+/// SGD with optional Nesterov-free momentum and decoupled weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f, float weight_decay = 0.0f);
+
+  void step(std::span<const ParamRef> params) override;
+  void reset() override { velocity_.clear(); }
+  float lr() const override { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f);
+
+  void step(std::span<const ParamRef> params) override;
+  void reset() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+  float lr() const override { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::vector<Tensor> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+/// Adam over a single flat parameter vector: w -= update(g). Used by the
+/// FedAdam server, where g is the aggregated client delta.
+class FlatAdam {
+ public:
+  explicit FlatAdam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                    float eps = 1e-8f);
+
+  /// w and g must have the same, call-invariant length.
+  void step(std::span<float> w, std::span<const float> g);
+
+  void reset();
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::vector<float> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace adafl::nn

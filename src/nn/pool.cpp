@@ -1,0 +1,102 @@
+#include "nn/pool.h"
+
+namespace adafl::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride)
+    : window_(window), stride_(stride == 0 ? window : stride) {
+  ADAFL_CHECK_MSG(window_ > 0 && stride_ > 0, "MaxPool2d: invalid geometry");
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
+  ADAFL_CHECK_MSG(x.shape().rank() == 4,
+                  "MaxPool2d::forward: input " << x.shape().to_string());
+  in_shape_ = x.shape();
+  const std::int64_t n = x.shape()[0], c = x.shape()[1], h = x.shape()[2],
+                     w = x.shape()[3];
+  ADAFL_CHECK_MSG(h >= window_ && w >= window_,
+                  "MaxPool2d: window " << window_ << " larger than input "
+                                       << h << "x" << w);
+  const std::int64_t oh = (h - window_) / stride_ + 1;
+  const std::int64_t ow = (w - window_) / stride_ + 1;
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(static_cast<std::size_t>(n * c * oh * ow), 0);
+  const float* px = x.data();
+  float* po = out.data();
+  std::int64_t oidx = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = px + (i * c + ch) * h * w;
+      for (std::int64_t oi = 0; oi < oh; ++oi) {
+        for (std::int64_t oj = 0; oj < ow; ++oj) {
+          const std::int64_t i0 = oi * stride_, j0 = oj * stride_;
+          float best = plane[i0 * w + j0];
+          std::int64_t best_at = i0 * w + j0;
+          for (std::int64_t ki = 0; ki < window_; ++ki)
+            for (std::int64_t kj = 0; kj < window_; ++kj) {
+              const std::int64_t at = (i0 + ki) * w + (j0 + kj);
+              if (plane[at] > best) {
+                best = plane[at];
+                best_at = at;
+              }
+            }
+          po[oidx] = best;
+          argmax_[static_cast<std::size_t>(oidx)] =
+              (i * c + ch) * h * w + best_at;
+          ++oidx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  ADAFL_CHECK_MSG(in_shape_.rank() == 4, "MaxPool2d::backward before forward");
+  ADAFL_CHECK(grad_out.size() == static_cast<std::int64_t>(argmax_.size()));
+  Tensor dx(in_shape_);
+  float* pdx = dx.data();
+  const float* pg = grad_out.data();
+  for (std::size_t k = 0; k < argmax_.size(); ++k)
+    pdx[argmax_[k]] += pg[k];
+  return dx;
+}
+
+std::string MaxPool2d::name() const {
+  return "MaxPool2d(" + std::to_string(window_) + ")";
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*training*/) {
+  ADAFL_CHECK_MSG(x.shape().rank() == 4,
+                  "GlobalAvgPool: input " << x.shape().to_string());
+  in_shape_ = x.shape();
+  const std::int64_t n = x.shape()[0], c = x.shape()[1],
+                     hw = x.shape()[2] * x.shape()[3];
+  Tensor out({n, c});
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (i * c + ch) * hw;
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < hw; ++p) acc += plane[p];
+      out[i * c + ch] = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  ADAFL_CHECK_MSG(in_shape_.rank() == 4,
+                  "GlobalAvgPool::backward before forward");
+  const std::int64_t n = in_shape_[0], c = in_shape_[1],
+                     hw = in_shape_[2] * in_shape_[3];
+  ADAFL_CHECK(grad_out.shape() == Shape({n, c}));
+  Tensor dx(in_shape_);
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out[i * c + ch] * inv;
+      float* plane = dx.data() + (i * c + ch) * hw;
+      for (std::int64_t p = 0; p < hw; ++p) plane[p] = g;
+    }
+  return dx;
+}
+
+}  // namespace adafl::nn

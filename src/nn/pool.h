@@ -1,0 +1,35 @@
+// Max pooling over NCHW tensors.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace adafl::nn {
+
+/// 2-D max pooling with a square window; stride defaults to the window size
+/// (non-overlapping, as in the paper's CNN).
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t window, std::int64_t stride = 0);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override;
+
+ private:
+  std::int64_t window_ = 2, stride_ = 2;
+  Shape in_shape_;
+  std::vector<std::int64_t> argmax_;  ///< winning input index per output cell
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace adafl::nn

@@ -1,0 +1,89 @@
+#include "nn/sequential.h"
+
+#include "nn/conv2d.h"
+
+namespace adafl::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  ADAFL_CHECK_MSG(layer != nullptr, "Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool training) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, training);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+void Sequential::collect_params(std::vector<ParamRef>& out) {
+  for (auto& l : layers_) l->collect_params(out);
+}
+
+std::string Sequential::name() const {
+  std::string s = "Sequential[";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i) s += ", ";
+    s += layers_[i]->name();
+  }
+  return s + "]";
+}
+
+ResidualBlock::ResidualBlock(std::unique_ptr<Layer> body, std::int64_t in_c,
+                             std::int64_t out_c, std::int64_t stride,
+                             Rng& rng)
+    : body_(std::move(body)) {
+  ADAFL_CHECK_MSG(body_ != nullptr, "ResidualBlock: null body");
+  if (in_c != out_c || stride != 1)
+    projection_ = std::make_unique<Conv2d>(in_c, out_c, /*kernel=*/1, rng,
+                                           stride, /*pad=*/0);
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool training) {
+  Tensor f = body_->forward(x, training);
+  Tensor skip = projection_ ? projection_->forward(x, training) : x;
+  ADAFL_CHECK_MSG(f.shape() == skip.shape(),
+                  "ResidualBlock: body output " << f.shape().to_string()
+                                                << " vs skip "
+                                                << skip.shape().to_string());
+  f += skip;
+  relu_mask_ = Tensor(f.shape());
+  auto m = relu_mask_.flat();
+  auto v = f.flat();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const bool pos = v[i] > 0.0f;
+    m[i] = pos ? 1.0f : 0.0f;
+    if (!pos) v[i] = 0.0f;
+  }
+  return f;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  ADAFL_CHECK_MSG(!relu_mask_.empty(), "ResidualBlock::backward before forward");
+  ADAFL_CHECK(grad_out.shape() == relu_mask_.shape());
+  Tensor g(grad_out.shape());
+  {
+    const auto go = grad_out.flat();
+    const auto m = relu_mask_.flat();
+    auto gv = g.flat();
+    for (std::size_t i = 0; i < gv.size(); ++i) gv[i] = go[i] * m[i];
+  }
+  Tensor dx_body = body_->backward(g);
+  Tensor dx_skip = projection_ ? projection_->backward(g) : g;
+  dx_body += dx_skip;
+  return dx_body;
+}
+
+void ResidualBlock::collect_params(std::vector<ParamRef>& out) {
+  body_->collect_params(out);
+  if (projection_) projection_->collect_params(out);
+}
+
+}  // namespace adafl::nn

@@ -1,0 +1,50 @@
+// Lightweight precondition / invariant checking for the adafl libraries.
+//
+// ADAFL_CHECK is used for conditions that indicate API misuse or corrupted
+// state; it throws (never aborts) so that callers and tests can observe the
+// failure. Following the C++ Core Guidelines (I.5/I.6, E.12), preconditions
+// are part of the interface contract and are documented at the call sites.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace adafl {
+
+/// Error thrown when an ADAFL_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ADAFL_CHECK failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace adafl
+
+/// Checks `cond`; on failure throws adafl::CheckError with an optional
+/// streamed message: ADAFL_CHECK(n > 0) << "n was " << n;  (message is lazy).
+#define ADAFL_CHECK(cond)                                                   \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::adafl::detail::check_failed(#cond, __FILE__, __LINE__, std::string())
+
+/// Variant carrying a message built with a stream expression.
+#define ADAFL_CHECK_MSG(cond, msgexpr)                                      \
+  if (cond) {                                                               \
+  } else {                                                                  \
+    std::ostringstream adafl_check_os_;                                     \
+    adafl_check_os_ << msgexpr;                                             \
+    ::adafl::detail::check_failed(#cond, __FILE__, __LINE__,                \
+                                  adafl_check_os_.str());                   \
+  }                                                                         \
+  static_assert(true, "require trailing semicolon")

@@ -1,0 +1,174 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adafl::tensor {
+
+namespace {
+
+void require_rank2(const Tensor& t, const char* who) {
+  ADAFL_CHECK_MSG(t.shape().rank() == 2,
+                  who << ": expected rank-2 tensor, got "
+                      << t.shape().to_string());
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul");
+  require_rank2(b, "matmul");
+  const std::int64_t m = a.shape()[0], k = a.shape()[1];
+  ADAFL_CHECK_MSG(b.shape()[0] == k, "matmul: inner dims " << k << " vs "
+                                                           << b.shape()[0]);
+  const std::int64_t n = b.shape()[1];
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: unit-stride access on B and C.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_tn");
+  require_rank2(b, "matmul_tn");
+  const std::int64_t k = a.shape()[0], m = a.shape()[1];
+  ADAFL_CHECK_MSG(b.shape()[0] == k, "matmul_tn: inner dims " << k << " vs "
+                                                              << b.shape()[0]);
+  const std::int64_t n = b.shape()[1];
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_nt");
+  require_rank2(b, "matmul_nt");
+  const std::int64_t m = a.shape()[0], k = a.shape()[1];
+  ADAFL_CHECK_MSG(b.shape()[1] == k, "matmul_nt: inner dims " << k << " vs "
+                                                              << b.shape()[1]);
+  const std::int64_t n = b.shape()[0];
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  require_rank2(a, "transpose2d");
+  const std::int64_t m = a.shape()[0], n = a.shape()[1];
+  Tensor t({n, m});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      t[j * m + i] = a[i * n + j];
+  return t;
+}
+
+void im2col(std::span<const float> image, const Conv2dGeom& g, Tensor& cols) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  ADAFL_CHECK_MSG(
+      cols.shape() == Shape({g.in_c * g.kernel * g.kernel, oh * ow}),
+      "im2col: cols shape " << cols.shape().to_string());
+  ADAFL_CHECK(static_cast<std::int64_t>(image.size()) ==
+              g.in_c * g.in_h * g.in_w);
+  float* out = cols.data();
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const float* img_c = image.data() + c * g.in_h * g.in_w;
+    for (std::int64_t ki = 0; ki < g.kernel; ++ki) {
+      for (std::int64_t kj = 0; kj < g.kernel; ++kj) {
+        for (std::int64_t oi = 0; oi < oh; ++oi) {
+          const std::int64_t ii = oi * g.stride + ki - g.pad;
+          for (std::int64_t oj = 0; oj < ow; ++oj) {
+            const std::int64_t jj = oj * g.stride + kj - g.pad;
+            const bool inside =
+                ii >= 0 && ii < g.in_h && jj >= 0 && jj < g.in_w;
+            *out++ = inside ? img_c[ii * g.in_w + jj] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& cols, const Conv2dGeom& g,
+            std::span<float> image_grad) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  ADAFL_CHECK(cols.shape() == Shape({g.in_c * g.kernel * g.kernel, oh * ow}));
+  ADAFL_CHECK(static_cast<std::int64_t>(image_grad.size()) ==
+              g.in_c * g.in_h * g.in_w);
+  const float* in = cols.data();
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    float* img_c = image_grad.data() + c * g.in_h * g.in_w;
+    for (std::int64_t ki = 0; ki < g.kernel; ++ki) {
+      for (std::int64_t kj = 0; kj < g.kernel; ++kj) {
+        for (std::int64_t oi = 0; oi < oh; ++oi) {
+          const std::int64_t ii = oi * g.stride + ki - g.pad;
+          for (std::int64_t oj = 0; oj < ow; ++oj) {
+            const std::int64_t jj = oj * g.stride + kj - g.pad;
+            const float v = *in++;
+            if (ii >= 0 && ii < g.in_h && jj >= 0 && jj < g.in_w)
+              img_c[ii * g.in_w + jj] += v;
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  Tensor p = log_softmax_rows(logits);
+  for (auto& v : p.flat()) v = std::exp(v);
+  return p;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  require_rank2(logits, "log_softmax_rows");
+  const std::int64_t n = logits.shape()[0], c = logits.shape()[1];
+  ADAFL_CHECK(c > 0);
+  Tensor out({n, c});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    float* orow = out.data() + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) sum += std::exp(row[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(sum));
+    for (std::int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
+  }
+  return out;
+}
+
+}  // namespace adafl::tensor

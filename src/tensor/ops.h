@@ -1,0 +1,48 @@
+// Dense kernels shared by the nn/ layers: matmul, im2col/col2im, pooling,
+// softmax. All tensors are row-major float32.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace adafl::tensor {
+
+/// C[m,n] = A[m,k] * B[k,n]. Shapes are validated.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C[m,n] = A[k,m]^T * B[k,n] — A is consumed transposed (used in backward
+/// passes; avoids materializing the transpose).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C[m,n] = A[m,k] * B[n,k]^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+Tensor transpose2d(const Tensor& a);
+
+/// Geometry of a 2-D convolution / pooling window.
+struct Conv2dGeom {
+  std::int64_t in_c = 0, in_h = 0, in_w = 0;
+  std::int64_t kernel = 1;   ///< square kernel size
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+};
+
+/// im2col for one image: input [C,H,W] -> columns [C*k*k, out_h*out_w].
+/// `cols` must already have that shape (reused across batch items).
+void im2col(std::span<const float> image, const Conv2dGeom& g, Tensor& cols);
+
+/// col2im: scatters gradient columns [C*k*k, out_h*out_w] back into an image
+/// gradient [C,H,W] (accumulating).
+void col2im(const Tensor& cols, const Conv2dGeom& g,
+            std::span<float> image_grad);
+
+/// Row-wise softmax of a [n, c] tensor.
+Tensor softmax_rows(const Tensor& logits);
+
+/// Row-wise log-softmax of a [n, c] tensor (numerically stable).
+Tensor log_softmax_rows(const Tensor& logits);
+
+}  // namespace adafl::tensor

@@ -1,0 +1,146 @@
+// Deterministic, seedable random number generation for the whole project.
+//
+// Every stochastic component in adafl takes an explicit seed (no global RNG),
+// so experiments are reproducible and repeats vary only the seed. The
+// generator is xoshiro256** seeded via SplitMix64, both public-domain
+// algorithms by Blackman & Vigna.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace adafl::tensor {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state and
+/// to derive independent child seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** PRNG with convenience distributions. Copyable value type;
+/// copies evolve independently.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x8AD4F1E5u) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire-style rejection-free mapping is fine here; bias is < 2^-53 for
+    // the n values used in this project.
+    return static_cast<std::uint64_t>(uniform() * static_cast<double>(n));
+  }
+
+  /// Standard normal via Box–Muller (one value per call; cache unused half).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 6.283185307179586 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Gamma(alpha, 1) via Marsaglia–Tsang; used by the Dirichlet partitioner.
+  double gamma(double alpha) {
+    if (alpha < 1.0) {
+      const double u = uniform();
+      return gamma(alpha + 1.0) * std::pow(u, 1.0 / alpha);
+    }
+    const double d = alpha - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x = 0.0;
+      double v = 0.0;
+      do {
+        x = normal();
+        v = 1.0 + c * x;
+      } while (v <= 0.0);
+      v = v * v * v;
+      const double u = uniform();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+      if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+    }
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child RNG; distinct streams for distinct tags.
+  Rng fork(std::uint64_t tag) {
+    SplitMix64 sm(next_u64() ^ (tag * 0x9E3779B97F4A7C15ULL + 0x1234ABCDULL));
+    return Rng(sm.next());
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace adafl::tensor

@@ -1,0 +1,65 @@
+// Shape: the dimension list of a dense row-major tensor.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace adafl::tensor {
+
+/// Immutable-ish list of tensor dimensions. All dimensions must be >= 0; a
+/// rank-0 Shape denotes a scalar with numel() == 1.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  /// Number of dimensions.
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Size along dimension `i`; negative `i` counts from the back.
+  std::int64_t operator[](int i) const {
+    const int r = rank();
+    if (i < 0) i += r;
+    ADAFL_CHECK_MSG(i >= 0 && i < r, "dim " << i << " out of rank " << r);
+    return dims_[static_cast<std::size_t>(i)];
+  }
+
+  /// Total number of elements (product of dims; 1 for a scalar).
+  std::int64_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
+                           std::multiplies<>());
+  }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Human-readable form, e.g. "[2, 3, 4]".
+  std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  void validate() const {
+    for (auto d : dims_)
+      ADAFL_CHECK_MSG(d >= 0, "negative dimension in shape " << to_string());
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace adafl::tensor

@@ -1,0 +1,136 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adafl::tensor {
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  ADAFL_CHECK_MSG(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                  "value count " << data_.size() << " does not match shape "
+                                 << shape_.to_string());
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_)
+    v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_)
+    v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  ADAFL_CHECK_MSG(new_shape.numel() == shape_.numel(),
+                  "reshape " << shape_.to_string() << " -> "
+                             << new_shape.to_string() << " changes numel");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  ADAFL_CHECK_MSG(shape_ == rhs.shape_, "shape mismatch in += : "
+                                            << shape_.to_string() << " vs "
+                                            << rhs.shape_.to_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  ADAFL_CHECK_MSG(shape_ == rhs.shape_, "shape mismatch in -= : "
+                                            << shape_.to_string() << " vs "
+                                            << rhs.shape_.to_string());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+void Tensor::axpy(float alpha, const Tensor& rhs) {
+  ADAFL_CHECK_MSG(shape_ == rhs.shape_, "shape mismatch in axpy: "
+                                            << shape_.to_string() << " vs "
+                                            << rhs.shape_.to_string());
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * rhs.data_[i];
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::min() const {
+  ADAFL_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  ADAFL_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::l2_norm() const {
+  return static_cast<float>(adafl::tensor::l2_norm(flat()));
+}
+
+std::int64_t Tensor::argmax() const {
+  ADAFL_CHECK(!data_.empty());
+  return static_cast<std::int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+std::size_t Tensor::offset(std::initializer_list<std::int64_t> idx) const {
+  ADAFL_CHECK_MSG(static_cast<int>(idx.size()) == shape_.rank(),
+                  "index rank " << idx.size() << " vs tensor rank "
+                                << shape_.rank());
+  std::size_t off = 0;
+  int d = 0;
+  for (std::int64_t i : idx) {
+    const std::int64_t dim = shape_[d];
+    ADAFL_CHECK_MSG(i >= 0 && i < dim,
+                    "index " << i << " out of bounds for dim " << d << " ("
+                             << dim << ")");
+    off = off * static_cast<std::size_t>(dim) + static_cast<std::size_t>(i);
+    ++d;
+  }
+  return off;
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  ADAFL_CHECK_MSG(a.size() == b.size(),
+                  "dot: length mismatch " << a.size() << " vs " << b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  return acc;
+}
+
+double l2_norm(std::span<const float> a) {
+  double acc = 0.0;
+  for (float v : a) acc += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(acc);
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  const double na = l2_norm(a);
+  const double nb = l2_norm(b);
+  constexpr double kEps = 1e-12;
+  if (na < kEps || nb < kEps) return 0.0;
+  return dot(a, b) / (na * nb);
+}
+
+}  // namespace adafl::tensor

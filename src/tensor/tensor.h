@@ -1,0 +1,108 @@
+// Tensor: dense, row-major, float32, value-semantic. The numerical substrate
+// for the nn/, compress/, fl/ and core/ libraries.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/shape.h"
+
+namespace adafl::tensor {
+
+/// Dense row-major float tensor with value semantics (copies copy storage).
+/// Element access is bounds-checked through at(); hot loops should use
+/// flat() / data() and do their own indexing.
+class Tensor {
+ public:
+  /// Empty tensor: rank 0 *and* no storage; distinct from a scalar.
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), value) {}
+
+  /// Adopts `values`, which must have exactly shape.numel() elements.
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+
+  /// I.i.d. N(mean, stddev) entries drawn from `rng`.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+
+  /// I.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor rand(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  /// Bounds-checked multi-dimensional access; `idx` must have rank() entries.
+  float& at(std::initializer_list<std::int64_t> idx) {
+    return data_[offset(idx)];
+  }
+  float at(std::initializer_list<std::int64_t> idx) const {
+    return data_[offset(idx)];
+  }
+
+  /// Unchecked linear access.
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Returns a tensor viewing the same data with a new shape (same numel).
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Sets every element to `v`.
+  void fill(float v);
+
+  // ---- In-place arithmetic (shapes must match exactly) ----
+  Tensor& operator+=(const Tensor& rhs);
+  Tensor& operator-=(const Tensor& rhs);
+  Tensor& operator*=(float s);
+
+  /// this += alpha * rhs  (BLAS axpy).
+  void axpy(float alpha, const Tensor& rhs);
+
+  // ---- Reductions ----
+  float sum() const;
+  float min() const;
+  float max() const;
+  /// Euclidean (L2) norm of the flattened tensor.
+  float l2_norm() const;
+  /// Index of the maximum element (first on ties); precondition: non-empty.
+  std::int64_t argmax() const;
+
+ private:
+  std::size_t offset(std::initializer_list<std::int64_t> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// ---- Free functions over flat float spans (shared by compress/, core/) ----
+
+/// Dot product; spans must be the same length.
+double dot(std::span<const float> a, std::span<const float> b);
+
+/// L2 norm.
+double l2_norm(std::span<const float> a);
+
+/// Cosine similarity in [-1, 1]; returns 0 when either vector is ~zero.
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+}  // namespace adafl::tensor

@@ -1,0 +1,44 @@
+// Shared miniature FL task used by the trainer tests: a small synthetic
+// dataset + MLP, sized so a full run finishes in well under a second.
+#pragma once
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+
+namespace adafl::fl::testing {
+
+struct MiniTask {
+  data::Dataset train;
+  data::Dataset test;
+  data::Partition parts;
+  nn::ModelFactory factory;
+  ClientTrainConfig client;
+};
+
+/// 8x8 single-channel, 4 classes, `clients` partitions (IID by default).
+inline MiniTask make_mini_task(int clients = 4, bool iid = true,
+                               std::uint64_t seed = 1) {
+  data::SyntheticConfig cfg;
+  cfg.spec = {1, 8, 8, 4};
+  cfg.num_samples = 160;
+  cfg.noise_stddev = 0.3;
+  cfg.max_shift = 1;
+  cfg.proto_seed = 77;
+  cfg.seed = seed;
+  MiniTask t{data::make_synthetic(cfg), data::Dataset{}, {}, nullptr, {}};
+  auto test_cfg = cfg;
+  test_cfg.num_samples = 80;
+  test_cfg.seed = seed + 1000;
+  t.test = data::make_synthetic(test_cfg);
+  tensor::Rng rng(seed + 7);
+  t.parts = iid ? data::partition_iid(t.train.size(), clients, rng)
+                : data::partition_shards(t.train.labels(), clients, 2, rng);
+  t.factory = nn::mlp_factory(cfg.spec, 24, seed + 3);
+  t.client.batch_size = 10;
+  t.client.local_steps = 4;
+  t.client.lr = 0.1f;
+  return t;
+}
+
+}  // namespace adafl::fl::testing

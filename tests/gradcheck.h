@@ -1,0 +1,89 @@
+// Numerical gradient checking helper shared by the layer tests.
+//
+// For a layer f and random probe weights w, define L(x, theta) =
+// <f(x; theta), w>. Then dL/dOut = w, so backward(w) must match central
+// finite differences of L with respect to x (and each parameter).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "nn/layer.h"
+
+namespace adafl::nn::testing {
+
+struct GradCheckOptions {
+  float eps = 1e-2f;       ///< finite-difference step (float32-friendly)
+  float tol = 2e-2f;       ///< absolute+relative mixed tolerance
+  int max_probes = 40;     ///< coordinates checked per tensor (stride-sampled)
+};
+
+inline void expect_grad_near(float analytic, float numeric, float tol,
+                             const std::string& what, std::size_t idx) {
+  const float scale = std::max({1.0f, std::abs(analytic), std::abs(numeric)});
+  EXPECT_NEAR(analytic, numeric, tol * scale)
+      << what << " gradient mismatch at flat index " << idx;
+}
+
+/// Checks dL/dx and dL/dtheta for a single layer on input `x`.
+inline void check_layer_gradients(Layer& layer, tensor::Tensor x,
+                                  std::uint64_t seed,
+                                  GradCheckOptions opt = {}) {
+  tensor::Rng rng(seed);
+
+  auto loss_of = [&](const tensor::Tensor& probe,
+                     const tensor::Tensor& input) {
+    // Deterministic layers only: forward in training mode must be pure.
+    tensor::Tensor out = layer.forward(input, /*training=*/true);
+    return static_cast<float>(tensor::dot(out.flat(), probe.flat()));
+  };
+
+  // Build the probe from the output shape.
+  tensor::Tensor out0 = layer.forward(x, true);
+  tensor::Tensor probe = tensor::Tensor::randn(out0.shape(), rng);
+
+  // Analytic gradients.
+  std::vector<ParamRef> params;
+  layer.collect_params(params);
+  for (auto& p : params) p.grad->fill(0.0f);
+  layer.forward(x, true);
+  tensor::Tensor dx = layer.backward(probe);
+  ASSERT_EQ(dx.shape(), x.shape());
+
+  // Numeric dL/dx.
+  {
+    const std::int64_t n = x.size();
+    const std::int64_t stride =
+        std::max<std::int64_t>(1, n / opt.max_probes);
+    for (std::int64_t i = 0; i < n; i += stride) {
+      tensor::Tensor xp = x, xm = x;
+      xp[i] += opt.eps;
+      xm[i] -= opt.eps;
+      const float num =
+          (loss_of(probe, xp) - loss_of(probe, xm)) / (2.0f * opt.eps);
+      expect_grad_near(dx[i], num, opt.tol, "input",
+                       static_cast<std::size_t>(i));
+    }
+  }
+
+  // Numeric dL/dtheta for every parameter tensor.
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto w = params[pi].value->flat();
+    const auto g = params[pi].grad->flat();
+    const std::size_t n = w.size();
+    const std::size_t stride =
+        std::max<std::size_t>(1, n / static_cast<std::size_t>(opt.max_probes));
+    for (std::size_t i = 0; i < n; i += stride) {
+      const float orig = w[i];
+      w[i] = orig + opt.eps;
+      const float lp = loss_of(probe, x);
+      w[i] = orig - opt.eps;
+      const float lm = loss_of(probe, x);
+      w[i] = orig;
+      const float num = (lp - lm) / (2.0f * opt.eps);
+      expect_grad_near(g[i], num, opt.tol,
+                       "param[" + std::to_string(pi) + "]", i);
+    }
+  }
+}
+
+}  // namespace adafl::nn::testing

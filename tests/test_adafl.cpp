@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/adafl_async.h"
+#include "core/adafl_sync.h"
+#include "fl/sync_trainer.h"
+#include "fl_fixtures.h"
+
+namespace adafl::core {
+namespace {
+
+using fl::testing::make_mini_task;
+
+AdaFlSyncConfig sync_config(const fl::testing::MiniTask& task, int rounds) {
+  AdaFlSyncConfig cfg;
+  cfg.rounds = rounds;
+  cfg.client = task.client;
+  cfg.seed = 5;
+  cfg.params.max_selected = 2;
+  cfg.params.compression.warmup_rounds = 3;
+  cfg.params.compression.ratio_max = 32.0;
+  return cfg;
+}
+
+TEST(AdaFlSync, LearnsAboveChance) {
+  auto task = make_mini_task();
+  AdaFlSyncTrainer t(sync_config(task, 20), task.factory, &task.train,
+                     task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_GT(log.final_accuracy(), 0.5);
+}
+
+TEST(AdaFlSync, WarmupHasFullParticipation) {
+  auto task = make_mini_task(4);
+  auto cfg = sync_config(task, 3);  // all rounds inside warm-up
+  AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_EQ(log.ledger.delivered_updates(), 3 * 4);
+  // During warm-up everyone compresses at ratio_min.
+  EXPECT_DOUBLE_EQ(t.stats().min_ratio_used, cfg.params.compression.ratio_min);
+  EXPECT_DOUBLE_EQ(t.stats().max_ratio_used, cfg.params.compression.ratio_min);
+}
+
+TEST(AdaFlSync, SelectionCapsParticipationAfterWarmup) {
+  auto task = make_mini_task(4);
+  auto cfg = sync_config(task, 10);
+  cfg.params.max_selected = 2;
+  AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  // Warm-up: 3 rounds x 4 clients; after: at most 2 per round.
+  EXPECT_LE(log.ledger.delivered_updates(), 3 * 4 + 7 * 2);
+  EXPECT_GT(t.stats().skipped_clients, 0);
+}
+
+TEST(AdaFlSync, CompressionRatiosStayWithinBounds) {
+  auto task = make_mini_task(4);
+  auto cfg = sync_config(task, 12);
+  AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  t.run();
+  EXPECT_GE(t.stats().min_ratio_used, cfg.params.compression.ratio_min);
+  EXPECT_LE(t.stats().max_ratio_used, cfg.params.compression.ratio_max);
+}
+
+TEST(AdaFlSync, UploadsFarCheaperThanDense) {
+  auto task = make_mini_task(4);
+  auto cfg = sync_config(task, 12);
+  AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  const auto dense_equivalent =
+      log.ledger.delivered_updates() * log.dense_update_bytes;
+  EXPECT_LT(log.ledger.total_upload_bytes(), dense_equivalent / 2);
+}
+
+TEST(AdaFlSync, DeterministicUnderSeed) {
+  auto task = make_mini_task();
+  auto cfg = sync_config(task, 6);
+  auto run = [&] {
+    AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+    return t.run();
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i)
+    EXPECT_EQ(a.records[i].test_accuracy, b.records[i].test_accuracy);
+  EXPECT_EQ(a.ledger.total_upload_bytes(), b.ledger.total_upload_bytes());
+}
+
+TEST(AdaFlSync, MeanSelectedTracksK) {
+  auto task = make_mini_task(4);
+  auto cfg = sync_config(task, 20);
+  cfg.params.max_selected = 2;
+  cfg.params.tau = 0.0;  // no threshold filtering
+  AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  t.run();
+  // 3 warm-up rounds of 4 + 17 rounds of 2 = (12 + 34) / 20 = 2.3.
+  EXPECT_NEAR(t.stats().mean_selected_per_round, 2.3, 1e-9);
+}
+
+TEST(AdaFlSync, HighTauStallsSelection) {
+  auto task = make_mini_task(4);
+  auto cfg = sync_config(task, 8);
+  cfg.params.tau = 1.0;  // nothing passes after warm-up
+  AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_EQ(log.ledger.delivered_updates(), 3 * 4);  // warm-up only
+}
+
+TEST(AdaFlSync, InvalidConfigThrows) {
+  auto task = make_mini_task(2);
+  auto cfg = sync_config(task, 0);
+  EXPECT_THROW(AdaFlSyncTrainer(cfg, task.factory, &task.train, task.parts,
+                                &task.test),
+               CheckError);
+}
+
+AdaFlAsyncConfig async_config(const fl::testing::MiniTask& task) {
+  AdaFlAsyncConfig cfg;
+  cfg.duration = 6.0;
+  cfg.eval_interval = 1.0;
+  cfg.client = task.client;
+  cfg.seed = 5;
+  cfg.params.compression.warmup_rounds = 2;
+  cfg.params.compression.ratio_max = 32.0;
+  return cfg;
+}
+
+TEST(AdaFlAsync, LearnsAboveChance) {
+  auto task = make_mini_task();
+  AdaFlAsyncTrainer t(async_config(task), task.factory, &task.train,
+                      task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_GT(log.final_accuracy(), 0.5);
+  EXPECT_GT(log.ledger.delivered_updates(), 0);
+}
+
+TEST(AdaFlAsync, CompressedUploadsAreSmall) {
+  auto task = make_mini_task();
+  AdaFlAsyncTrainer t(async_config(task), task.factory, &task.train,
+                      task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_LT(log.ledger.max_update_bytes(), log.dense_update_bytes);
+}
+
+TEST(AdaFlAsync, HighTauSkipsUploads) {
+  auto task = make_mini_task();
+  auto cfg = async_config(task);
+  cfg.params.tau = 1.0;
+  cfg.duration = 3.0;
+  AdaFlAsyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  t.run();
+  EXPECT_GT(t.stats().skipped_clients, 0);
+}
+
+TEST(AdaFlAsync, DeterministicUnderSeed) {
+  auto task = make_mini_task();
+  auto cfg = async_config(task);
+  cfg.duration = 2.0;
+  auto run = [&] {
+    AdaFlAsyncTrainer t(cfg, task.factory, &task.train, task.parts,
+                        &task.test);
+    return t.run();
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i)
+    EXPECT_EQ(a.records[i].test_accuracy, b.records[i].test_accuracy);
+}
+
+TEST(AdaFlAsync, MaxUpdatesCapRespected) {
+  auto task = make_mini_task();
+  auto cfg = async_config(task);
+  cfg.max_updates = 5;
+  AdaFlAsyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_EQ(log.applied_updates, 5);
+}
+
+}  // namespace
+}  // namespace adafl::core

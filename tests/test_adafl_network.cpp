@@ -1,0 +1,91 @@
+// Integration: AdaFL's bandwidth-aware behaviour on simulated networks.
+#include <gtest/gtest.h>
+
+#include "core/adafl_sync.h"
+#include "fl_fixtures.h"
+
+namespace adafl::core {
+namespace {
+
+using fl::testing::make_mini_task;
+
+AdaFlSyncConfig config_with_links(const fl::testing::MiniTask& task,
+                                  std::vector<net::LinkConfig> links) {
+  AdaFlSyncConfig cfg;
+  cfg.rounds = 12;
+  cfg.client = task.client;
+  cfg.links = std::move(links);
+  cfg.eval_every = 12;
+  cfg.seed = 5;
+  cfg.params.max_selected = 2;
+  cfg.params.compression.warmup_rounds = 2;
+  cfg.params.compression.ratio_max = 32.0;
+  return cfg;
+}
+
+TEST(AdaFlNetwork, CongestedClientsUploadFewerBytes) {
+  auto task = make_mini_task(4);
+  // Clients 0,1 congested; 2,3 good.
+  auto cfg = config_with_links(
+      task, net::make_fleet(4, 0.5, net::LinkQuality::kGood,
+                            net::LinkQuality::kCongested));
+  // Make the bandwidth term decisive.
+  cfg.params.utility.w_sim = 0.2;
+  cfg.params.utility.w_bw = 0.8;
+  AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  const auto congested =
+      log.ledger.upload_bytes_of(0) + log.ledger.upload_bytes_of(1);
+  const auto good =
+      log.ledger.upload_bytes_of(2) + log.ledger.upload_bytes_of(3);
+  EXPECT_LT(congested, good);
+}
+
+TEST(AdaFlNetwork, UtilityScoreSeesLiveBandwidth) {
+  // A congested client's score must be strictly below an identical client
+  // on a good link when only bandwidth differs.
+  UtilityConfig cfg;
+  std::vector<float> g{1.0f, 0.0f}, ghat{1.0f, 0.0f};
+  const auto good = net::preset(net::LinkQuality::kGood);
+  const auto bad = net::preset(net::LinkQuality::kCongested);
+  EXPECT_GT(utility_score(cfg, g, ghat, good.up_bw, good.down_bw),
+            utility_score(cfg, g, ghat, bad.up_bw, bad.down_bw));
+}
+
+TEST(AdaFlNetwork, SimulatedTimeBeatsDenseFedAvgOnSameNetwork) {
+  auto task = make_mini_task(4);
+  const auto links = net::make_fleet(4, 0.5, net::LinkQuality::kGood,
+                                     net::LinkQuality::kCongested);
+  // Dense FedAvg on the constrained network.
+  fl::SyncConfig avg;
+  avg.algo = fl::Algorithm::kFedAvg;
+  avg.rounds = 12;
+  avg.participation = 1.0;
+  avg.client = task.client;
+  avg.links = links;
+  avg.eval_every = 12;
+  avg.seed = 5;
+  fl::SyncTrainer fedavg(avg, task.factory, &task.train, task.parts,
+                         &task.test);
+  const double t_avg = fedavg.run().total_time;
+  // AdaFL on the identical network.
+  auto cfg = config_with_links(task, links);
+  AdaFlSyncTrainer ada(cfg, task.factory, &task.train, task.parts,
+                       &task.test);
+  const double t_ada = ada.run().total_time;
+  EXPECT_LT(t_ada, t_avg);
+}
+
+TEST(AdaFlNetwork, LossyLinksLoseSomeUpdates) {
+  auto task = make_mini_task(4);
+  auto cfg = config_with_links(
+      task, net::make_fleet(4, 1.0, net::LinkQuality::kGood,
+                            net::LinkQuality::kLossy));
+  cfg.rounds = 20;
+  AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_LT(log.ledger.delivered_updates(), log.ledger.attempted_updates());
+}
+
+}  // namespace
+}  // namespace adafl::core

@@ -1,0 +1,96 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/check.h"
+
+namespace adafl::cli {
+namespace {
+
+ArgParser make() {
+  ArgParser p("prog");
+  p.option("algo", "fedavg", "algorithm")
+      .option("rounds", "40", "round count")
+      .option("lr", "0.05", "learning rate")
+      .option("verbose", "0", "chatty output");
+  return p;
+}
+
+bool parse(ArgParser& p, std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get("algo"), "fedavg");
+  EXPECT_EQ(p.get_int("rounds"), 40);
+  EXPECT_DOUBLE_EQ(p.get_double("lr"), 0.05);
+  EXPECT_FALSE(p.get_bool("verbose"));
+}
+
+TEST(ArgParser, ParsesKeyValues) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--algo=adafl-sync", "--rounds=80", "--lr=0.1"}));
+  EXPECT_EQ(p.get("algo"), "adafl-sync");
+  EXPECT_EQ(p.get_int("rounds"), 80);
+  EXPECT_DOUBLE_EQ(p.get_double("lr"), 0.1);
+}
+
+TEST(ArgParser, BareFlagMeansTrue) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--verbose"}));
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(ArgParser, BoolSpellings) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--verbose=TRUE"}));
+  EXPECT_TRUE(p.get_bool("verbose"));
+  ArgParser q = make();
+  ASSERT_TRUE(parse(q, {"--verbose=off"}));
+  EXPECT_FALSE(q.get_bool("verbose"));
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  ArgParser p = make();
+  EXPECT_FALSE(parse(p, {"--nope=1"}));
+  EXPECT_NE(p.error().find("--nope"), std::string::npos);
+}
+
+TEST(ArgParser, PositionalArgumentFails) {
+  ArgParser p = make();
+  EXPECT_FALSE(parse(p, {"positional"}));
+}
+
+TEST(ArgParser, HelpFlagDetected) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--help"}));
+  EXPECT_TRUE(p.help_requested());
+}
+
+TEST(ArgParser, UsageListsOptionsAndDefaults) {
+  ArgParser p = make();
+  const std::string u = p.usage();
+  EXPECT_NE(u.find("--rounds"), std::string::npos);
+  EXPECT_NE(u.find("default: 40"), std::string::npos);
+  EXPECT_NE(u.find("learning rate"), std::string::npos);
+}
+
+TEST(ArgParser, TypedGetterValidation) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--rounds=abc"}));
+  EXPECT_ANY_THROW(p.get_int("rounds"));
+  EXPECT_THROW(p.get("undeclared"), CheckError);
+}
+
+TEST(ArgParser, DuplicateDeclarationThrows) {
+  ArgParser p("x");
+  p.option("a", "1", "first");
+  EXPECT_THROW(p.option("a", "2", "again"), CheckError);
+}
+
+}  // namespace
+}  // namespace adafl::cli

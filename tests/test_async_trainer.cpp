@@ -1,0 +1,157 @@
+#include "fl/async_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "fl_fixtures.h"
+
+namespace adafl::fl {
+namespace {
+
+using testing::make_mini_task;
+
+AsyncConfig base_config(AsyncAlgorithm algo) {
+  AsyncConfig cfg;
+  cfg.algo = algo;
+  cfg.duration = 6.0;       // simulated seconds; mini-task cycles are ~20ms
+  cfg.eval_interval = 1.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+class AsyncAlgorithmTest : public ::testing::TestWithParam<AsyncAlgorithm> {};
+
+TEST_P(AsyncAlgorithmTest, LearnsAboveChance) {
+  auto task = make_mini_task();
+  AsyncConfig cfg = base_config(GetParam());
+  cfg.client = task.client;
+  AsyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_GT(log.final_accuracy(), 0.5) << to_string(GetParam());
+  EXPECT_GT(log.ledger.delivered_updates(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AsyncAlgorithmTest,
+                         ::testing::Values(AsyncAlgorithm::kFedAsync,
+                                           AsyncAlgorithm::kFedBuff),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(AsyncTrainer, DeterministicUnderSeed) {
+  auto task = make_mini_task();
+  AsyncConfig cfg = base_config(AsyncAlgorithm::kFedAsync);
+  cfg.duration = 2.0;
+  cfg.client = task.client;
+  auto run = [&] {
+    AsyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+    return t.run();
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i)
+    EXPECT_EQ(a.records[i].test_accuracy, b.records[i].test_accuracy);
+  EXPECT_EQ(a.ledger.total_upload_bytes(), b.ledger.total_upload_bytes());
+}
+
+TEST(AsyncTrainer, EvalRecordsFollowTheInterval) {
+  auto task = make_mini_task();
+  AsyncConfig cfg = base_config(AsyncAlgorithm::kFedAsync);
+  cfg.duration = 3.0;
+  cfg.eval_interval = 0.5;
+  cfg.client = task.client;
+  AsyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  ASSERT_EQ(log.records.size(), 6u);
+  EXPECT_DOUBLE_EQ(log.records[0].time, 0.5);
+  EXPECT_DOUBLE_EQ(log.records.back().time, 3.0);
+}
+
+TEST(AsyncTrainer, MaxUpdatesStopsAcceptingWork) {
+  auto task = make_mini_task();
+  AsyncConfig cfg = base_config(AsyncAlgorithm::kFedAsync);
+  cfg.client = task.client;
+  cfg.max_updates = 7;
+  AsyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_EQ(log.applied_updates, 7);
+  // Transport may have delivered a few more that the cap discarded.
+  EXPECT_GE(log.ledger.delivered_updates(), log.applied_updates);
+}
+
+TEST(AsyncTrainer, StragglersDeliverFewerUpdates) {
+  auto task = make_mini_task(4);
+  AsyncConfig cfg = base_config(AsyncAlgorithm::kFedAsync);
+  cfg.client = task.client;
+  cfg.duration = 4.0;
+  cfg.faults.unreliable_fraction = 0.5;  // clients 0,1 slowed 3x
+  cfg.faults.straggler_slowdown = 3.0;
+  AsyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  const auto slow = log.ledger.updates_of(0) + log.ledger.updates_of(1);
+  const auto fast = log.ledger.updates_of(2) + log.ledger.updates_of(3);
+  EXPECT_LT(slow, fast);
+  EXPECT_GT(slow, 0);
+}
+
+TEST(AsyncTrainer, DropoutFaultWastesUploads) {
+  auto task = make_mini_task(4);
+  AsyncConfig cfg = base_config(AsyncAlgorithm::kFedAsync);
+  cfg.client = task.client;
+  cfg.duration = 4.0;
+  cfg.faults.unreliable_fraction = 0.5;
+  cfg.faults.dropout_prob = 0.5;
+  AsyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_GT(log.ledger.attempted_updates(), log.ledger.delivered_updates());
+}
+
+TEST(AsyncTrainer, FedBuffAppliesInBatchesOfK) {
+  auto task = make_mini_task(4);
+  AsyncConfig cfg = base_config(AsyncAlgorithm::kFedBuff);
+  cfg.client = task.client;
+  cfg.buffer_size = 4;
+  cfg.max_updates = 11;  // 2 full buffers applied, 3 left buffered
+  AsyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto initial = task.factory().get_flat();
+  auto log = t.run();
+  EXPECT_EQ(log.applied_updates, 11);
+  EXPECT_NE(t.global(), initial);  // at least one buffer flush happened
+}
+
+TEST(AsyncTrainer, LinksAddLatencyToCycles) {
+  auto task = make_mini_task(2);
+  AsyncConfig cfg = base_config(AsyncAlgorithm::kFedAsync);
+  cfg.client = task.client;
+  cfg.duration = 3.0;
+  AsyncTrainer ideal(cfg, task.factory, &task.train, task.parts, &task.test);
+  const auto n_ideal = ideal.run().ledger.delivered_updates();
+  cfg.links = net::make_fleet(2, 1.0, net::LinkQuality::kGood,
+                              net::LinkQuality::kCongested);
+  AsyncTrainer slow(cfg, task.factory, &task.train, task.parts, &task.test);
+  const auto n_slow = slow.run().ledger.delivered_updates();
+  EXPECT_LT(n_slow, n_ideal);
+}
+
+TEST(AsyncTrainer, InvalidConfigThrows) {
+  auto task = make_mini_task(2);
+  AsyncConfig cfg = base_config(AsyncAlgorithm::kFedAsync);
+  cfg.client = task.client;
+  cfg.duration = 0.0;
+  EXPECT_THROW(
+      AsyncTrainer(cfg, task.factory, &task.train, task.parts, &task.test),
+      CheckError);
+  cfg.duration = 1.0;
+  cfg.buffer_size = 0;
+  EXPECT_THROW(
+      AsyncTrainer(cfg, task.factory, &task.train, task.parts, &task.test),
+      CheckError);
+  cfg.buffer_size = 1;
+  cfg.links.resize(1);
+  EXPECT_THROW(
+      AsyncTrainer(cfg, task.factory, &task.train, task.parts, &task.test),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace adafl::fl

@@ -1,0 +1,88 @@
+#include "nn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.h"
+
+namespace adafl::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+TEST(BatchNorm2d, TrainingOutputIsStandardizedPerChannel) {
+  BatchNorm2d bn(2);
+  Rng rng(1);
+  Tensor x = Tensor::randn({4, 2, 3, 3}, rng, 5.0f, 3.0f);
+  Tensor y = bn.forward(x, /*training=*/true);
+  // Per channel: mean ~0, var ~1 (gamma=1, beta=0 initially).
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (std::int64_t i = 0; i < 4; ++i)
+      for (std::int64_t k = 0; k < 9; ++k) {
+        const float v = y[(i * 2 + c) * 9 + k];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    const double mean = sum / 36.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 36.0 - mean * mean, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, RunningStatsConvergeToDataStats) {
+  BatchNorm2d bn(1, /*momentum=*/0.5f);
+  Rng rng(2);
+  for (int step = 0; step < 40; ++step) {
+    Tensor x = Tensor::randn({8, 1, 2, 2}, rng, 3.0f, 2.0f);
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0f, 0.4f);
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 1.0f);
+}
+
+TEST(BatchNorm2d, EvalModeUsesRunningStats) {
+  BatchNorm2d bn(1, 1.0f);  // momentum 1: running stats = last batch
+  Rng rng(3);
+  Tensor x = Tensor::randn({8, 1, 2, 2}, rng, 2.0f, 1.0f);
+  bn.forward(x, true);
+  // Constant eval input: output should be (c - mean)/sqrt(var+eps).
+  Tensor c({1, 1, 2, 2}, 2.0f);
+  Tensor y = bn.forward(c, false);
+  const float expected =
+      (2.0f - bn.running_mean()[0]) /
+      std::sqrt(bn.running_var()[0] + 1e-5f);
+  for (float v : y.flat()) EXPECT_NEAR(v, expected, 1e-5);
+}
+
+TEST(BatchNorm2d, GradientCheckTrainingMode) {
+  Rng rng(4);
+  BatchNorm2d bn(3);
+  Tensor x = Tensor::randn({2, 3, 3, 3}, rng);
+  testing::check_layer_gradients(bn, x, 42);
+}
+
+TEST(BatchNorm2d, CollectsGammaBeta) {
+  BatchNorm2d bn(5);
+  std::vector<ParamRef> params;
+  bn.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].value->size(), 5);
+  EXPECT_EQ(params[1].value->size(), 5);
+  // Running stats are NOT parameters (FedBN convention).
+}
+
+TEST(BatchNorm2d, InvalidConfigThrows) {
+  EXPECT_THROW(BatchNorm2d(0), CheckError);
+  EXPECT_THROW(BatchNorm2d(2, 0.0f), CheckError);
+  EXPECT_THROW(BatchNorm2d(2, 0.1f, 0.0f), CheckError);
+  BatchNorm2d bn(2);
+  Tensor wrong({1, 3, 2, 2});
+  EXPECT_THROW(bn.forward(wrong, true), CheckError);
+  EXPECT_THROW(bn.backward(Tensor({1, 2, 2, 2})), CheckError);
+}
+
+}  // namespace
+}  // namespace adafl::nn

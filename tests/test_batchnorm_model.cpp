@@ -1,0 +1,82 @@
+// Integration: BatchNorm2d inside a trainable model, including the FedBN
+// property that running statistics are NOT federated.
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+#include "nn/model.h"
+#include "nn/sequential.h"
+
+namespace adafl::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+Model bn_model(std::uint64_t seed) {
+  Rng rng(seed);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(1, 4, 3, rng, 1, 1);
+  net->emplace<BatchNorm2d>(4);
+  net->emplace<ReLU>();
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(4, 3, rng);
+  return Model(std::move(net));
+}
+
+Batch toy_batch(std::uint64_t seed) {
+  Rng rng(seed);
+  Batch b;
+  b.inputs = Tensor::randn({9, 1, 6, 6}, rng);
+  for (int i = 0; i < 9; ++i) b.labels.push_back(i % 3);
+  return b;
+}
+
+TEST(BatchNormModel, TrainsOnToyTask) {
+  Model m = bn_model(1);
+  Batch b = toy_batch(2);
+  Sgd opt(0.1f, 0.9f);
+  float first = 0.0f, last = 0.0f;
+  for (int i = 0; i < 80; ++i) {
+    const float loss = m.train_batch(b, opt);
+    if (i == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, 0.5f * first);
+}
+
+TEST(BatchNormModel, RunningStatsAreNotInFlatParams) {
+  Model a = bn_model(1);
+  Model b = bn_model(1);
+  // Train only `a`: its BN running stats drift, its weights change.
+  Batch batch = toy_batch(2);
+  Sgd opt(0.1f);
+  for (int i = 0; i < 5; ++i) a.train_batch(batch, opt);
+  // Copy a's *parameters* into b (the federated exchange).
+  b.set_flat(a.get_flat());
+  EXPECT_EQ(a.get_flat(), b.get_flat());
+  // Eval outputs still differ because running stats stayed local to `a` —
+  // exactly the FedBN property documented in batchnorm.h.
+  Tensor xa = a.forward(batch.inputs, false);
+  Tensor xb = b.forward(batch.inputs, false);
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < xa.size(); ++i)
+    diff += std::abs(xa[i] - xb[i]);
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(BatchNormModel, EvalIsDeterministicAfterTraining) {
+  Model m = bn_model(3);
+  Batch b = toy_batch(4);
+  Sgd opt(0.05f);
+  for (int i = 0; i < 3; ++i) m.train_batch(b, opt);
+  Tensor y1 = m.forward(b.inputs, false);
+  Tensor y2 = m.forward(b.inputs, false);
+  for (std::int64_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+}  // namespace
+}  // namespace adafl::nn

@@ -1,0 +1,79 @@
+#include "nn/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/models.h"
+
+namespace adafl::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const ImageSpec spec{1, 16, 16, 4};
+  Model a = make_mlp(spec, 8, 1);
+  Model b = make_mlp(spec, 8, 2);  // different init
+  ASSERT_NE(a.get_flat(), b.get_flat());
+
+  const std::string path = temp_path("adafl_ckpt.bin");
+  save_checkpoint(a, path);
+  load_checkpoint(b, path);
+  EXPECT_EQ(a.get_flat(), b.get_flat());
+  EXPECT_EQ(checkpoint_param_count(path), a.param_count());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ArchitectureMismatchThrows) {
+  const ImageSpec spec{1, 16, 16, 4};
+  Model a = make_mlp(spec, 8, 1);
+  Model big = make_mlp(spec, 16, 1);
+  const std::string path = temp_path("adafl_ckpt2.bin");
+  save_checkpoint(a, path);
+  EXPECT_THROW(load_checkpoint(big, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BadMagicThrows) {
+  const std::string path = temp_path("adafl_notckpt.bin");
+  std::ofstream(path) << "this is not a checkpoint";
+  const ImageSpec spec{1, 16, 16, 4};
+  Model m = make_mlp(spec, 8, 1);
+  EXPECT_THROW(load_checkpoint(m, path), std::runtime_error);
+  EXPECT_THROW(checkpoint_param_count(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedPayloadThrows) {
+  const ImageSpec spec{1, 16, 16, 4};
+  Model a = make_mlp(spec, 8, 1);
+  const std::string path = temp_path("adafl_ckpt3.bin");
+  save_checkpoint(a, path);
+  // Truncate the file.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(load_checkpoint(a, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  const ImageSpec spec{1, 16, 16, 4};
+  Model m = make_mlp(spec, 8, 1);
+  EXPECT_THROW(load_checkpoint(m, "/nonexistent/ckpt.bin"),
+               std::runtime_error);
+  EXPECT_THROW(save_checkpoint(m, "/nonexistent/ckpt.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adafl::nn

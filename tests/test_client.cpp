@@ -1,0 +1,144 @@
+#include "fl/client.h"
+
+#include <gtest/gtest.h>
+
+#include "fl_fixtures.h"
+#include "tensor/tensor.h"
+
+namespace adafl::fl {
+namespace {
+
+using testing::make_mini_task;
+
+TEST(FlClient, TrainFromReturnsDeltaOfCorrectLength) {
+  auto task = make_mini_task();
+  FlClient c(0, task.factory, &task.train, task.parts[0], task.client,
+             workstation(), 5);
+  auto model = task.factory();
+  const auto global = model.get_flat();
+  auto r = c.train_from(global);
+  EXPECT_EQ(static_cast<std::int64_t>(r.delta.size()), model.param_count());
+  EXPECT_GT(tensor::l2_norm(r.delta), 0.0);
+  EXPECT_EQ(r.num_examples, static_cast<std::int64_t>(task.parts[0].size()));
+  EXPECT_GT(r.compute_seconds, 0.0);
+}
+
+TEST(FlClient, ApplyingOwnDeltaReducesLocalLoss) {
+  auto task = make_mini_task(2);
+  FlClient c(0, task.factory, &task.train, task.parts[0], task.client,
+             workstation(), 5);
+  auto model = task.factory();
+  auto global = model.get_flat();
+  auto r = c.train_from(global);
+  // w_local = global - delta should fit the client's data better.
+  auto batch = task.train.gather(task.parts[0]);
+  model.set_flat(global);
+  model.zero_grad();
+  const float loss_before = model.compute_gradients(batch);
+  model.add_flat(r.delta, -1.0f);
+  model.zero_grad();
+  const float loss_after = model.compute_gradients(batch);
+  EXPECT_LT(loss_after, loss_before);
+}
+
+TEST(FlClient, DeterministicUnderSeed) {
+  auto task = make_mini_task();
+  FlClient a(0, task.factory, &task.train, task.parts[0], task.client,
+             workstation(), 9);
+  FlClient b(0, task.factory, &task.train, task.parts[0], task.client,
+             workstation(), 9);
+  auto model = task.factory();
+  const auto global = model.get_flat();
+  EXPECT_EQ(a.train_from(global).delta, b.train_from(global).delta);
+}
+
+TEST(FlClient, ComputeTimeScalesWithDeviceSlowdown) {
+  auto task = make_mini_task();
+  FlClient fast(0, task.factory, &task.train, task.parts[0], task.client,
+                workstation(), 9);
+  FlClient slow(1, task.factory, &task.train, task.parts[0], task.client,
+                straggler(workstation(), 3.0), 9);
+  auto model = task.factory();
+  const auto global = model.get_flat();
+  const double tf = fast.train_from(global).compute_seconds;
+  const double ts = slow.train_from(global).compute_seconds;
+  EXPECT_NEAR(ts / tf, 3.0, 1e-9);
+}
+
+TEST(FlClient, ProxTermShrinksDelta) {
+  auto task = make_mini_task();
+  auto prox_cfg = task.client;
+  prox_cfg.prox_mu = 5.0f;  // strong pull toward the global model
+  FlClient plain(0, task.factory, &task.train, task.parts[0], task.client,
+                 workstation(), 9);
+  FlClient prox(0, task.factory, &task.train, task.parts[0], prox_cfg,
+                workstation(), 9);
+  auto model = task.factory();
+  const auto global = model.get_flat();
+  const double d_plain = tensor::l2_norm(plain.train_from(global).delta);
+  const double d_prox = tensor::l2_norm(prox.train_from(global).delta);
+  EXPECT_LT(d_prox, d_plain);
+}
+
+TEST(FlClient, ScaffoldControlVariateIdentity) {
+  // SCAFFOLD option II: delta_c = -c + delta / (K * lr) on the first round
+  // (c_i starts at 0).
+  auto task = make_mini_task();
+  FlClient c(0, task.factory, &task.train, task.parts[0], task.client,
+             workstation(), 9);
+  auto model = task.factory();
+  const auto global = model.get_flat();
+  std::vector<float> c_global(global.size(), 0.01f);
+  std::vector<float> delta_c;
+  auto r = c.train_scaffold(global, c_global, &delta_c);
+  const float inv = 1.0f / (task.client.local_steps * task.client.lr);
+  for (std::size_t i = 0; i < delta_c.size(); i += 97) {
+    const float expected = -c_global[i] + r.delta[i] * inv;
+    EXPECT_NEAR(delta_c[i], expected, 1e-5f + 1e-4f * std::abs(expected));
+  }
+}
+
+TEST(FlClient, ScaffoldRequiresOutputParameter) {
+  auto task = make_mini_task();
+  FlClient c(0, task.factory, &task.train, task.parts[0], task.client,
+             workstation(), 9);
+  auto model = task.factory();
+  const auto global = model.get_flat();
+  std::vector<float> c_global(global.size(), 0.0f);
+  EXPECT_THROW(c.train_scaffold(global, c_global, nullptr), CheckError);
+}
+
+TEST(FlClient, WrongGlobalLengthThrows) {
+  auto task = make_mini_task();
+  FlClient c(0, task.factory, &task.train, task.parts[0], task.client,
+             workstation(), 9);
+  std::vector<float> wrong(10, 0.0f);
+  EXPECT_THROW(c.train_from(wrong), CheckError);
+}
+
+TEST(MakeClients, BuildsOnePerPartition) {
+  auto task = make_mini_task(6);
+  auto clients =
+      make_clients(task.factory, &task.train, task.parts, task.client, {}, 4);
+  ASSERT_EQ(clients.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(clients[static_cast<std::size_t>(i)].id(), i);
+}
+
+TEST(MakeClients, DeviceCountMismatchThrows) {
+  auto task = make_mini_task(4);
+  std::vector<DeviceProfile> devs(3, workstation());
+  EXPECT_THROW(
+      make_clients(task.factory, &task.train, task.parts, task.client, devs, 4),
+      CheckError);
+}
+
+TEST(DeviceProfile, SecondsScaleLinearly) {
+  auto p = raspberry_pi();
+  EXPECT_DOUBLE_EQ(p.seconds_for(100), 100 * p.base_sec_per_sample);
+  auto s = straggler(p, 2.0);
+  EXPECT_DOUBLE_EQ(s.seconds_for(100), 2.0 * p.seconds_for(100));
+  EXPECT_NE(s.name, p.name);
+}
+
+}  // namespace
+}  // namespace adafl::fl

@@ -1,0 +1,76 @@
+#include "core/compression_ctrl.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/check.h"
+
+namespace adafl::core {
+namespace {
+
+CompressionCtrlConfig cfg(double rmin, double rmax, int warm,
+                          double shaping = 1.0) {
+  CompressionCtrlConfig c;
+  c.ratio_min = rmin;
+  c.ratio_max = rmax;
+  c.warmup_rounds = warm;
+  c.shaping = shaping;
+  return c;
+}
+
+TEST(CompressionController, WarmupPinsMinimumRatio) {
+  CompressionController ctrl(cfg(4, 210, 3));
+  EXPECT_TRUE(ctrl.in_warmup(1));
+  EXPECT_TRUE(ctrl.in_warmup(3));
+  EXPECT_FALSE(ctrl.in_warmup(4));
+  EXPECT_DOUBLE_EQ(ctrl.ratio_for(0.0, 2), 4.0);
+}
+
+TEST(CompressionController, EndpointsMapToBounds) {
+  CompressionController ctrl(cfg(4, 210, 0));
+  EXPECT_NEAR(ctrl.ratio_for(1.0, 1), 4.0, 1e-9);
+  EXPECT_NEAR(ctrl.ratio_for(0.0, 1), 210.0, 1e-9);
+}
+
+TEST(CompressionController, MonotoneDecreasingInScore) {
+  CompressionController ctrl(cfg(4, 210, 0, 3.0));
+  double prev = 1e18;
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    const double r = ctrl.ratio_for(s, 1);
+    EXPECT_LE(r, prev + 1e-9);
+    EXPECT_GE(r, 4.0 - 1e-9);
+    EXPECT_LE(r, 210.0 + 1e-9);
+    prev = r;
+  }
+}
+
+TEST(CompressionController, ShapingBendsTowardMinRatio) {
+  CompressionController linear(cfg(4, 210, 0, 1.0));
+  CompressionController shaped(cfg(4, 210, 0, 3.0));
+  // Mid-utility clients get much less compression with shaping > 1.
+  EXPECT_LT(shaped.ratio_for(0.5, 1), linear.ratio_for(0.5, 1));
+  // Endpoints are unchanged.
+  EXPECT_NEAR(shaped.ratio_for(0.0, 1), 210.0, 1e-9);
+  EXPECT_NEAR(shaped.ratio_for(1.0, 1), 4.0, 1e-9);
+}
+
+TEST(CompressionController, DegenerateEqualBounds) {
+  CompressionController ctrl(cfg(8, 8, 0));
+  EXPECT_DOUBLE_EQ(ctrl.ratio_for(0.3, 1), 8.0);
+}
+
+TEST(CompressionController, InvalidConfigThrows) {
+  EXPECT_THROW(CompressionController(cfg(0.5, 10, 0)), CheckError);
+  EXPECT_THROW(CompressionController(cfg(10, 5, 0)), CheckError);
+  EXPECT_THROW(CompressionController(cfg(4, 210, -1)), CheckError);
+  EXPECT_THROW(CompressionController(cfg(4, 210, 0, 0.0)), CheckError);
+}
+
+TEST(CompressionController, InvalidQueryThrows) {
+  CompressionController ctrl(cfg(4, 210, 0));
+  EXPECT_THROW(ctrl.ratio_for(-0.1, 1), CheckError);
+  EXPECT_THROW(ctrl.ratio_for(1.1, 1), CheckError);
+  EXPECT_THROW(ctrl.ratio_for(0.5, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace adafl::core

@@ -1,0 +1,132 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace adafl::data {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+Dataset tiny_dataset() {
+  // 6 images of 1x2x2, pixel values = 10*i + k.
+  Tensor images({6, 1, 2, 2});
+  for (std::int64_t i = 0; i < 6; ++i)
+    for (std::int64_t k = 0; k < 4; ++k)
+      images[i * 4 + k] = static_cast<float>(10 * i + k);
+  return Dataset(std::move(images), {0, 1, 2, 0, 1, 2});
+}
+
+TEST(Dataset, SizeAndSpec) {
+  Dataset ds = tiny_dataset();
+  EXPECT_EQ(ds.size(), 6);
+  const auto spec = ds.spec();
+  EXPECT_EQ(spec.channels, 1);
+  EXPECT_EQ(spec.height, 2);
+  EXPECT_EQ(spec.width, 2);
+  EXPECT_EQ(spec.classes, 3);
+}
+
+TEST(Dataset, LabelCountMismatchThrows) {
+  Tensor images({2, 1, 2, 2});
+  EXPECT_THROW(Dataset(std::move(images), {0}), CheckError);
+}
+
+TEST(Dataset, NonImageRankThrows) {
+  Tensor images({2, 4});
+  EXPECT_THROW(Dataset(std::move(images), {0, 1}), CheckError);
+}
+
+TEST(Dataset, GatherCopiesSelectedExamples) {
+  Dataset ds = tiny_dataset();
+  std::vector<std::int32_t> idx{4, 0};
+  auto b = ds.gather(idx);
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_EQ(b.labels[0], 1);
+  EXPECT_EQ(b.labels[1], 0);
+  EXPECT_FLOAT_EQ(b.inputs[0], 40.0f);  // first pixel of image 4
+  EXPECT_FLOAT_EQ(b.inputs[4], 0.0f);   // first pixel of image 0
+}
+
+TEST(Dataset, GatherOutOfRangeThrows) {
+  Dataset ds = tiny_dataset();
+  std::vector<std::int32_t> idx{6};
+  EXPECT_THROW(ds.gather(idx), CheckError);
+  std::vector<std::int32_t> neg{-1};
+  EXPECT_THROW(ds.gather(neg), CheckError);
+}
+
+TEST(Dataset, AllReturnsWholeSet) {
+  Dataset ds = tiny_dataset();
+  auto b = ds.all();
+  EXPECT_EQ(b.size(), 6);
+  EXPECT_EQ(b.labels, ds.labels());
+}
+
+TEST(BatchLoader, CoversEveryExampleEachEpoch) {
+  Dataset ds = tiny_dataset();
+  std::vector<std::int32_t> idx{0, 1, 2, 3, 4, 5};
+  BatchLoader loader(&ds, idx, 2, Rng(1));
+  std::multiset<float> seen;
+  for (int b = 0; b < 3; ++b) {
+    auto batch = loader.next();
+    for (std::int64_t i = 0; i < batch.size(); ++i)
+      seen.insert(batch.inputs[i * 4]);  // first pixel identifies image
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  for (std::int64_t i = 0; i < 6; ++i)
+    EXPECT_EQ(seen.count(static_cast<float>(10 * i)), 1u);
+}
+
+TEST(BatchLoader, WrapsWithReshuffle) {
+  Dataset ds = tiny_dataset();
+  std::vector<std::int32_t> idx{0, 1, 2, 3, 4, 5};
+  BatchLoader loader(&ds, idx, 4, Rng(2));
+  auto b1 = loader.next();
+  EXPECT_EQ(b1.size(), 4);
+  auto b2 = loader.next();  // remainder of epoch
+  EXPECT_EQ(b2.size(), 2);
+  auto b3 = loader.next();  // new epoch
+  EXPECT_EQ(b3.size(), 4);
+}
+
+TEST(BatchLoader, DeterministicUnderSeed) {
+  Dataset ds = tiny_dataset();
+  std::vector<std::int32_t> idx{0, 1, 2, 3, 4, 5};
+  BatchLoader a(&ds, idx, 2, Rng(3));
+  BatchLoader b(&ds, idx, 2, Rng(3));
+  for (int i = 0; i < 5; ++i) {
+    auto ba = a.next(), bb = b.next();
+    EXPECT_EQ(ba.labels, bb.labels);
+  }
+}
+
+TEST(BatchLoader, SubsetRestrictsExamples) {
+  Dataset ds = tiny_dataset();
+  std::vector<std::int32_t> idx{1, 3};
+  BatchLoader loader(&ds, idx, 2, Rng(4));
+  for (int e = 0; e < 4; ++e) {
+    auto b = loader.next();
+    for (auto l : b.labels) EXPECT_TRUE(l == 1 || l == 0);
+  }
+  EXPECT_EQ(loader.num_examples(), 2);
+  EXPECT_EQ(loader.batches_per_epoch(), 1);
+}
+
+TEST(BatchLoader, EmptyIndexListThrows) {
+  Dataset ds = tiny_dataset();
+  EXPECT_THROW(BatchLoader(&ds, {}, 2, Rng(1)), CheckError);
+}
+
+TEST(BatchLoader, BatchesPerEpochRoundsUp) {
+  Dataset ds = tiny_dataset();
+  std::vector<std::int32_t> idx{0, 1, 2, 3, 4};
+  BatchLoader loader(&ds, idx, 2, Rng(1));
+  EXPECT_EQ(loader.batches_per_epoch(), 3);
+}
+
+}  // namespace
+}  // namespace adafl::data

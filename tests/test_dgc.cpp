@@ -1,0 +1,167 @@
+#include "compress/dgc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace adafl::compress {
+namespace {
+
+using tensor::Rng;
+
+DgcConfig plain_config(double ratio) {
+  DgcConfig cfg;
+  cfg.ratio = ratio;
+  cfg.momentum = 0.0f;
+  cfg.clip_norm = 0.0;
+  cfg.momentum_correction = false;
+  return cfg;
+}
+
+std::vector<float> random_grad(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> g(n);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  return g;
+}
+
+TEST(Dgc, SendsTopKOfAccumulatedState) {
+  DgcCompressor c(8, plain_config(4.0));  // k = 2
+  std::vector<float> g{1, 0, 0, 0, -3, 0, 2, 0};
+  auto e = c.compress(g);
+  auto d = e.decode();
+  EXPECT_EQ(d[4], -3.0f);
+  EXPECT_EQ(d[6], 2.0f);
+  EXPECT_EQ(d[0], 0.0f);  // below top-2, retained as residual
+}
+
+TEST(Dgc, ErrorFeedbackConservesMass) {
+  // Without momentum: sum of everything sent + residual == sum of inputs.
+  DgcCompressor c(64, plain_config(8.0));
+  std::vector<double> total_in(64, 0.0), total_sent(64, 0.0);
+  for (int round = 0; round < 20; ++round) {
+    auto g = random_grad(64, 100 + static_cast<std::uint64_t>(round));
+    for (std::size_t i = 0; i < 64; ++i) total_in[i] += g[i];
+    auto d = c.compress(g).decode();
+    for (std::size_t i = 0; i < 64; ++i) total_sent[i] += d[i];
+  }
+  // residual = total_in - total_sent must match residual_norm().
+  double res2 = 0.0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double r = total_in[i] - total_sent[i];
+    res2 += r * r;
+  }
+  EXPECT_NEAR(std::sqrt(res2), c.residual_norm(), 1e-3);
+}
+
+TEST(Dgc, EverythingEventuallyFlushes) {
+  // Feed one gradient, then zeros; after enough rounds the full vector has
+  // been transmitted and the residual is empty.
+  DgcCompressor c(16, plain_config(8.0));  // k = 2 per round
+  auto g = random_grad(16, 5);
+  std::vector<float> zeros(16, 0.0f);
+  std::vector<double> sent(16, 0.0);
+  for (auto d = c.compress(g).decode(); true; d = c.compress(zeros).decode()) {
+    for (std::size_t i = 0; i < 16; ++i) sent[i] += d[i];
+    if (c.residual_norm() < 1e-7) break;
+  }
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_NEAR(sent[i], g[i], 1e-5);
+}
+
+TEST(Dgc, ClippingBoundsAccumulatedIncrement) {
+  DgcConfig cfg = plain_config(1.0);  // dense send
+  cfg.clip_norm = 1.0;
+  DgcCompressor c(4, cfg);
+  std::vector<float> g{10, 0, 0, 0};  // norm 10 -> clipped to norm 1
+  auto d = c.compress(g).decode();
+  EXPECT_NEAR(tensor::l2_norm(d), 1.0, 1e-5);
+}
+
+TEST(Dgc, MomentumCorrectionAmplifiesUnsentCoordinates) {
+  // A coordinate repeatedly below the top-k accumulates with momentum:
+  // after two rounds of g=1 its velocity is 1 + (0.9 + 1) = 2.9 instead of
+  // the momentum-free 2.0.
+  DgcConfig cfg;
+  cfg.ratio = 2.0;  // k = 1 of 2; coord 0 dominates every round
+  cfg.momentum = 0.9f;
+  cfg.momentum_correction = true;
+  cfg.clip_norm = 0.0;
+  DgcCompressor c(2, cfg);
+  std::vector<float> g{5.0f, 1.0f};
+  c.compress(g);  // sends coord 0
+  c.compress(g);  // sends coord 0 again; coord 1 keeps accumulating
+  std::vector<float> zeros{0.0f, 0.0f};
+  auto d = c.compress(zeros).decode();  // now coord 1 wins
+  EXPECT_EQ(d[0], 0.0f);
+  EXPECT_NEAR(d[1], 1.0f + 0.9f + 1.0f + 0.81f + 0.9f, 1e-4);
+}
+
+TEST(Dgc, MomentumMaskingClearsSentCoordinates) {
+  DgcConfig cfg;
+  cfg.ratio = 2.0;  // k=1 of 2
+  cfg.momentum = 0.9f;
+  cfg.momentum_correction = true;
+  cfg.clip_norm = 0.0;
+  DgcCompressor c(2, cfg);
+  // Coord 0 dominates and is sent; its u and v must be cleared.
+  std::vector<float> g{5.0f, 1.0f};
+  auto e = c.compress(g);
+  ASSERT_EQ(e.indices.size(), 1u);
+  EXPECT_EQ(e.indices[0], 0u);
+  // Next round both coords get zero gradient: only coord 1's residual (with
+  // momentum) remains.
+  std::vector<float> zeros{0.0f, 0.0f};
+  auto d = c.compress(zeros).decode();
+  EXPECT_EQ(d[0], 0.0f);
+  EXPECT_GT(d[1], 1.0f);  // 1 + 0.9*1 accumulated
+}
+
+TEST(Dgc, RatioOverrideChangesSupportSize) {
+  DgcCompressor c(100, plain_config(10.0));
+  auto g = random_grad(100, 7);
+  auto e1 = c.compress(g);  // default ratio 10 -> k=10
+  EXPECT_EQ(e1.indices.size(), 10u);
+  auto e2 = c.compress(g, 50.0);  // override -> k=2
+  EXPECT_EQ(e2.indices.size(), 2u);
+}
+
+TEST(Dgc, AccumulateTransmitsNothingButKeepsMass) {
+  DgcCompressor c(8, plain_config(2.0));
+  auto g = random_grad(8, 9);
+  c.accumulate(g);
+  EXPECT_NEAR(c.residual_norm(), tensor::l2_norm(g), 1e-5);
+  // A later compress of zeros flushes the accumulated top-k.
+  std::vector<float> zeros(8, 0.0f);
+  auto d = c.compress(zeros).decode();
+  EXPECT_GT(tensor::l2_norm(d), 0.0);
+}
+
+TEST(Dgc, ResetClearsState) {
+  DgcCompressor c(8, plain_config(2.0));
+  c.accumulate(random_grad(8, 10));
+  c.reset();
+  EXPECT_EQ(c.residual_norm(), 0.0);
+}
+
+TEST(Dgc, WrongLengthThrows) {
+  DgcCompressor c(8, plain_config(2.0));
+  std::vector<float> g(4, 1.0f);
+  EXPECT_THROW(c.compress(g), CheckError);
+  EXPECT_THROW(c.accumulate(g), CheckError);
+}
+
+TEST(Dgc, InvalidConfigThrows) {
+  EXPECT_THROW(DgcCompressor(0, plain_config(2.0)), CheckError);
+  EXPECT_THROW(DgcCompressor(8, plain_config(0.5)), CheckError);
+  DgcConfig bad = plain_config(2.0);
+  bad.momentum = 1.0f;
+  EXPECT_THROW(DgcCompressor(8, bad), CheckError);
+  DgcCompressor c(8, plain_config(2.0));
+  std::vector<float> g(8, 1.0f);
+  EXPECT_THROW(c.compress(g, 0.5), CheckError);
+}
+
+}  // namespace
+}  // namespace adafl::compress

@@ -1,0 +1,85 @@
+#include "net/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace adafl::net {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<double> fire_times;
+  std::function<void()> chain = [&] {
+    fire_times.push_back(q.now());
+    if (fire_times.size() < 4) q.schedule_in(1.5, chain);
+  };
+  q.schedule(0.0, chain);
+  q.run_all();
+  ASSERT_EQ(fire_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(fire_times[3], 4.5);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEventsQueued) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(5.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  q.run_until(7.0);
+  EXPECT_DOUBLE_EQ(q.now(), 7.0);
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule(2.0, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule(1.0, [] {}), CheckError);
+  EXPECT_THROW(q.schedule_in(-0.1, [] {}), CheckError);
+}
+
+TEST(EventQueue, NullCallbackThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(1.0, nullptr), CheckError);
+}
+
+TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_next());
+}
+
+TEST(EventQueue, RunUntilBackwardsThrows) {
+  EventQueue q;
+  q.run_until(5.0);
+  EXPECT_THROW(q.run_until(4.0), CheckError);
+}
+
+}  // namespace
+}  // namespace adafl::net

@@ -1,0 +1,125 @@
+#include "data/har.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gradcheck.h"
+#include "nn/conv1d.h"
+#include "nn/optimizer.h"
+
+namespace adafl::data {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Conv1d, OutputShape) {
+  Rng rng(1);
+  nn::Conv1d conv(3, 8, 5, rng, 1, 2);
+  Tensor x = Tensor::randn({2, 3, 1, 32}, rng);
+  EXPECT_EQ(conv.forward(x, false).shape(), Shape({2, 8, 1, 32}));
+}
+
+TEST(Conv1d, StridedUnpaddedShape) {
+  Rng rng(1);
+  nn::Conv1d conv(1, 2, 3, rng, 2, 0);
+  Tensor x = Tensor::randn({1, 1, 1, 11}, rng);
+  EXPECT_EQ(conv.forward(x, false).shape(), Shape({1, 2, 1, 5}));
+}
+
+TEST(Conv1d, GradientCheck) {
+  Rng rng(2);
+  nn::Conv1d conv(2, 3, 3, rng, 1, 1);
+  Tensor x = Tensor::randn({2, 2, 1, 9}, rng);
+  nn::testing::check_layer_gradients(conv, x, 50);
+}
+
+TEST(Conv1d, GradientCheckStrided) {
+  Rng rng(3);
+  nn::Conv1d conv(1, 2, 5, rng, 2, 2);
+  Tensor x = Tensor::randn({1, 1, 1, 12}, rng);
+  nn::testing::check_layer_gradients(conv, x, 51);
+}
+
+TEST(Conv1d, RejectsNonSignalInput) {
+  Rng rng(4);
+  nn::Conv1d conv(3, 4, 3, rng);
+  Tensor image({1, 3, 4, 4});
+  EXPECT_THROW(conv.forward(image, false), CheckError);
+}
+
+TEST(MaxPool1d, SelectsMaxAndRoutesGradient) {
+  nn::MaxPool1d pool(2);
+  Tensor x({1, 1, 1, 4}, std::vector<float>{1, 7, 3, 2});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_EQ(y[0], 7.0f);
+  EXPECT_EQ(y[1], 3.0f);
+  Tensor g({1, 1, 1, 2}, std::vector<float>{1.0f, 2.0f});
+  Tensor dx = pool.backward(g);
+  EXPECT_EQ(dx[1], 1.0f);
+  EXPECT_EQ(dx[2], 2.0f);
+  EXPECT_EQ(dx[0], 0.0f);
+}
+
+TEST(MaxPool1d, WindowLongerThanSignalThrows) {
+  nn::MaxPool1d pool(8);
+  Tensor x({1, 1, 1, 4});
+  EXPECT_THROW(pool.forward(x, false), CheckError);
+}
+
+TEST(Har, ShapesAndBalancedLabels) {
+  HarConfig cfg;
+  cfg.num_samples = 60;
+  cfg.activities = 6;
+  Dataset ds = make_har(cfg);
+  EXPECT_EQ(ds.images().shape(), Shape({60, 3, 1, 64}));
+  std::map<int, int> counts;
+  for (auto l : ds.labels()) counts[l]++;
+  EXPECT_EQ(counts.size(), 6u);
+  for (auto& [cls, n] : counts) EXPECT_EQ(n, 10);
+}
+
+TEST(Har, DeterministicUnderSeed) {
+  HarConfig cfg;
+  cfg.num_samples = 20;
+  auto a = make_har(cfg);
+  auto b = make_har(cfg);
+  for (std::int64_t i = 0; i < a.images().size(); ++i)
+    EXPECT_EQ(a.images()[i], b.images()[i]);
+}
+
+TEST(Har, CnnLearnsTheTask) {
+  HarConfig cfg;
+  cfg.num_samples = 240;
+  cfg.activities = 4;
+  cfg.length = 32;
+  Dataset train = make_har(cfg);
+  auto test_cfg = cfg;
+  test_cfg.num_samples = 80;
+  test_cfg.seed = 999;
+  Dataset test = make_har(test_cfg);
+  nn::Model model = make_har_cnn(32, 4, 3);
+  std::vector<std::int32_t> idx(static_cast<std::size_t>(train.size()));
+  for (std::int64_t i = 0; i < train.size(); ++i)
+    idx[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+  BatchLoader loader(&train, idx, 16, Rng(5));
+  nn::Sgd opt(0.05f, 0.9f);
+  for (int step = 0; step < 120; ++step) {
+    auto b = loader.next();
+    model.train_batch(b, opt);
+  }
+  EXPECT_GT(model.accuracy(test.all()), 0.7);
+}
+
+TEST(Har, InvalidConfigThrows) {
+  HarConfig cfg;
+  cfg.num_samples = 0;
+  EXPECT_THROW(make_har(cfg), CheckError);
+  EXPECT_THROW(make_har_cnn(30, 4, 1), CheckError);  // not divisible by 4
+}
+
+}  // namespace
+}  // namespace adafl::data

@@ -1,0 +1,148 @@
+// Cross-module integration tests: full FedAvg-vs-AdaFL comparisons on a
+// small but non-trivial task, exercising data -> nn -> fl -> core -> metrics
+// together.
+#include <gtest/gtest.h>
+
+#include "core/adafl_async.h"
+#include "core/adafl_sync.h"
+#include "data/synthetic.h"
+#include "fl/async_trainer.h"
+#include "fl/sync_trainer.h"
+
+namespace adafl {
+namespace {
+
+struct Task {
+  data::Dataset train;
+  data::Dataset test;
+  data::Partition parts;
+  nn::ModelFactory factory;
+  fl::ClientTrainConfig client;
+};
+
+Task make_task(bool iid) {
+  data::SyntheticConfig cfg;
+  cfg.spec = {1, 8, 8, 4};
+  cfg.num_samples = 400;
+  cfg.noise_stddev = 0.35;
+  cfg.max_shift = 1;
+  cfg.proto_seed = 55;
+  cfg.seed = 2;
+  Task t{data::make_synthetic(cfg), {}, {}, nullptr, {}};
+  auto test_cfg = cfg;
+  test_cfg.num_samples = 120;
+  test_cfg.seed = 9002;
+  t.test = data::make_synthetic(test_cfg);
+  tensor::Rng rng(3);
+  t.parts = iid ? data::partition_iid(t.train.size(), 5, rng)
+                : data::partition_shards(t.train.labels(), 5, 2, rng);
+  t.factory = nn::mlp_factory(cfg.spec, 32, 7);
+  t.client.batch_size = 16;
+  t.client.local_steps = 5;
+  t.client.lr = 0.1f;
+  return t;
+}
+
+TEST(Integration, AdaFlMatchesFedAvgAccuracyAtFractionOfCost) {
+  Task task = make_task(/*iid=*/true);
+  const int rounds = 30;
+
+  fl::SyncConfig avg_cfg;
+  avg_cfg.algo = fl::Algorithm::kFedAvg;
+  avg_cfg.rounds = rounds;
+  avg_cfg.participation = 0.6;
+  avg_cfg.client = task.client;
+  avg_cfg.seed = 4;
+  fl::SyncTrainer fedavg(avg_cfg, task.factory, &task.train, task.parts,
+                         &task.test);
+  auto avg_log = fedavg.run();
+
+  core::AdaFlSyncConfig ada_cfg;
+  ada_cfg.rounds = rounds;
+  ada_cfg.client = task.client;
+  ada_cfg.seed = 4;
+  ada_cfg.params.max_selected = 3;
+  ada_cfg.params.compression.warmup_rounds = 4;
+  ada_cfg.params.compression.ratio_max = 32.0;
+  core::AdaFlSyncTrainer adafl(ada_cfg, task.factory, &task.train, task.parts,
+                               &task.test);
+  auto ada_log = adafl.run();
+
+  EXPECT_GT(avg_log.final_accuracy(), 0.7);
+  // AdaFL must stay within a modest accuracy band of FedAvg...
+  EXPECT_GT(ada_log.best_accuracy(), avg_log.best_accuracy() - 0.15);
+  // ...while uploading several times less.
+  EXPECT_LT(ada_log.ledger.total_upload_bytes(),
+            avg_log.ledger.total_upload_bytes() / 3);
+}
+
+TEST(Integration, AdaFlAsyncCheaperThanFedAsync) {
+  Task task = make_task(/*iid=*/true);
+
+  fl::AsyncConfig async_cfg;
+  async_cfg.algo = fl::AsyncAlgorithm::kFedAsync;
+  async_cfg.duration = 5.0;
+  async_cfg.eval_interval = 1.0;
+  async_cfg.client = task.client;
+  async_cfg.seed = 6;
+  fl::AsyncTrainer fedasync(async_cfg, task.factory, &task.train, task.parts,
+                            &task.test);
+  auto async_log = fedasync.run();
+
+  core::AdaFlAsyncConfig ada_cfg;
+  ada_cfg.duration = 5.0;
+  ada_cfg.eval_interval = 1.0;
+  ada_cfg.client = task.client;
+  ada_cfg.seed = 6;
+  ada_cfg.params.compression.warmup_rounds = 2;
+  ada_cfg.params.compression.ratio_max = 32.0;
+  core::AdaFlAsyncTrainer adafl(ada_cfg, task.factory, &task.train,
+                                task.parts, &task.test);
+  auto ada_log = adafl.run();
+
+  EXPECT_GT(async_log.final_accuracy(), 0.6);
+  EXPECT_GT(ada_log.final_accuracy(), 0.6);
+  // Same simulated time budget, far fewer bytes on the uplink.
+  EXPECT_LT(ada_log.ledger.total_upload_bytes(),
+            async_log.ledger.total_upload_bytes() / 2);
+}
+
+TEST(Integration, NonIidIsHarderThanIidForFedAvg) {
+  Task iid = make_task(true);
+  Task noniid = make_task(false);
+  auto run = [&](Task& task) {
+    fl::SyncConfig cfg;
+    cfg.algo = fl::Algorithm::kFedAvg;
+    cfg.rounds = 12;
+    cfg.client = task.client;
+    cfg.seed = 8;
+    fl::SyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+    return t.run().final_accuracy();
+  };
+  // Qualitative paper phenomenon: non-IID slows convergence.
+  EXPECT_GT(run(iid), run(noniid) - 0.02);
+}
+
+TEST(Integration, ModerateDropoutBarelyHurtsAccuracy) {
+  // The paper's headline empirical insight (Fig. 1): ~20% unreliable
+  // clients change final accuracy only marginally.
+  Task task = make_task(true);
+  auto run = [&](double unreliable) {
+    fl::SyncConfig cfg;
+    cfg.algo = fl::Algorithm::kFedAvg;
+    cfg.rounds = 25;
+    cfg.client = task.client;
+    cfg.seed = 10;
+    cfg.faults.kind = fl::FaultKind::kDropout;
+    cfg.faults.unreliable_fraction = unreliable;
+    fl::SyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+    return t.run().final_accuracy();
+  };
+  const double clean = run(0.0);
+  const double faulty = run(0.2);
+  EXPECT_GT(clean, 0.7);
+  EXPECT_GT(faulty, clean - 0.1);
+}
+
+}  // namespace
+}  // namespace adafl

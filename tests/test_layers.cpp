@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+#include "nn/sequential.h"
+
+namespace adafl::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Linear, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear lin(3, 2, rng);
+  Tensor x({4, 3}, 1.0f);
+  Tensor y = lin.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({4, 2}));
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(1);
+  Linear lin(3, 2, rng);
+  Tensor x({4, 5});
+  EXPECT_THROW(lin.forward(x, false), CheckError);
+}
+
+TEST(Linear, BackwardBeforeForwardThrows) {
+  Rng rng(1);
+  Linear lin(3, 2, rng);
+  EXPECT_THROW(lin.backward(Tensor({1, 2})), CheckError);
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(2);
+  Linear lin(5, 4, rng);
+  Tensor x = Tensor::randn({3, 5}, rng);
+  testing::check_layer_gradients(lin, x, 99);
+}
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(3);
+  Conv2d conv(2, 6, 3, rng, /*stride=*/2, /*pad=*/1);
+  Tensor x = Tensor::randn({2, 2, 9, 9}, rng);
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({2, 6, 5, 5}));
+}
+
+TEST(Conv2d, GradientCheck) {
+  Rng rng(4);
+  Conv2d conv(2, 3, 3, rng, 1, 1);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  testing::check_layer_gradients(conv, x, 100);
+}
+
+TEST(Conv2d, GradientCheckStridedUnpadded) {
+  Rng rng(5);
+  Conv2d conv(1, 2, 3, rng, 2, 0);
+  Tensor x = Tensor::randn({1, 1, 7, 7}, rng);
+  testing::check_layer_gradients(conv, x, 101);
+}
+
+TEST(Conv2d, MatchesHandComputedValue) {
+  Rng rng(6);
+  Conv2d conv(1, 1, 2, rng, 1, 0);
+  // Overwrite weights with a known kernel.
+  std::vector<ParamRef> params;
+  conv.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  auto w = params[0].value->flat();  // [1, 4]
+  w[0] = 1;
+  w[1] = 0;
+  w[2] = 0;
+  w[3] = -1;  // difference of diagonal pixels
+  params[1].value->fill(0.5f);       // bias
+  Tensor x({1, 1, 2, 2}, std::vector<float>{3, 7, 2, 10});
+  Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.size(), 1);
+  EXPECT_FLOAT_EQ(y[0], 3 - 10 + 0.5f);
+}
+
+TEST(MaxPool2d, ForwardSelectsMaxima) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 4},
+           std::vector<float>{1, 5, 2, 0, 3, -1, 7, 7});
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 7.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 9, 2, 3});
+  pool.forward(x, false);
+  Tensor g({1, 1, 1, 1}, std::vector<float>{2.5f});
+  Tensor dx = pool.backward(g);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[1], 2.5f);
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);
+  EXPECT_FLOAT_EQ(dx[3], 0.0f);
+}
+
+TEST(MaxPool2d, WindowLargerThanInputThrows) {
+  MaxPool2d pool(4);
+  Tensor x({1, 1, 2, 2});
+  EXPECT_THROW(pool.forward(x, false), CheckError);
+}
+
+TEST(GlobalAvgPool, ForwardAveragesAndBackwardSpreads) {
+  GlobalAvgPool gap;
+  Tensor x({1, 2, 2, 2}, std::vector<float>{1, 2, 3, 4, 10, 10, 10, 10});
+  Tensor y = gap.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 10.0f);
+  Tensor g({1, 2}, std::vector<float>{4.0f, 8.0f});
+  Tensor dx = gap.backward(g);
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);
+  EXPECT_FLOAT_EQ(dx[4], 2.0f);
+}
+
+TEST(ReLU, ForwardBackward) {
+  ReLU relu;
+  Tensor x({4}, std::vector<float>{-1, 0, 2, -3});
+  Tensor y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  Tensor g({4}, std::vector<float>{1, 1, 1, 1});
+  Tensor dx = relu.backward(g);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[2], 1.0f);
+}
+
+TEST(Tanh, GradientCheck) {
+  Rng rng(7);
+  Tanh t;
+  Tensor x = Tensor::randn({2, 6}, rng);
+  testing::check_layer_gradients(t, x, 102);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten f;
+  Rng rng(8);
+  Tensor x = Tensor::randn({2, 3, 4, 5}, rng);
+  Tensor y = f.forward(x, false);
+  EXPECT_EQ(y.shape(), Shape({2, 60}));
+  Tensor dx = f.backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout d(0.5, Rng(1));
+  Rng rng(9);
+  Tensor x = Tensor::randn({100}, rng);
+  Tensor y = d.forward(x, /*training=*/false);
+  for (std::int64_t i = 0; i < x.size(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Dropout, TrainingPreservesExpectation) {
+  Dropout d(0.4, Rng(2));
+  Tensor x({20000}, 1.0f);
+  Tensor y = d.forward(x, true);
+  double sum = 0.0;
+  for (float v : y.flat()) sum += v;
+  EXPECT_NEAR(sum / 20000.0, 1.0, 0.05);
+}
+
+TEST(Dropout, InvalidProbabilityThrows) {
+  EXPECT_THROW(Dropout(1.0, Rng(1)), CheckError);
+  EXPECT_THROW(Dropout(-0.1, Rng(1)), CheckError);
+}
+
+TEST(Sequential, ComposesForwardAndBackward) {
+  Rng rng(10);
+  Sequential seq;
+  seq.emplace<Linear>(6, 4, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Linear>(4, 2, rng);
+  Tensor x = Tensor::randn({3, 6}, rng);
+  testing::check_layer_gradients(seq, x, 103);
+}
+
+TEST(Sequential, CollectsAllParams) {
+  Rng rng(11);
+  Sequential seq;
+  seq.emplace<Linear>(3, 3, rng);
+  seq.emplace<Linear>(3, 2, rng);
+  std::vector<ParamRef> params;
+  seq.collect_params(params);
+  EXPECT_EQ(params.size(), 4u);  // two weights + two biases
+}
+
+TEST(Sequential, AddNullThrows) {
+  Sequential seq;
+  EXPECT_THROW(seq.add(nullptr), CheckError);
+}
+
+TEST(ResidualBlock, IdentitySkipGradientCheck) {
+  Rng rng(12);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(2, 2, 3, rng, 1, 1);
+  ResidualBlock block(std::move(body), 2, 2, 1, rng);
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  testing::check_layer_gradients(block, x, 104);
+}
+
+TEST(ResidualBlock, ProjectionSkipGradientCheck) {
+  Rng rng(13);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(2, 4, 3, rng, 2, 1);
+  ResidualBlock block(std::move(body), 2, 4, 2, rng);
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  testing::check_layer_gradients(block, x, 105);
+}
+
+TEST(ResidualBlock, OutputIsNonNegative) {
+  Rng rng(14);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(1, 1, 3, rng, 1, 1);
+  ResidualBlock block(std::move(body), 1, 1, 1, rng);
+  Tensor x = Tensor::randn({2, 1, 4, 4}, rng);
+  Tensor y = block.forward(x, false);
+  for (float v : y.flat()) EXPECT_GE(v, 0.0f);  // final ReLU
+}
+
+}  // namespace
+}  // namespace adafl::nn

@@ -1,0 +1,147 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/check.h"
+
+namespace adafl::net {
+namespace {
+
+using tensor::Rng;
+
+TEST(BandwidthTrace, ConstantIsAlwaysOne) {
+  auto t = BandwidthTrace::constant();
+  EXPECT_EQ(t.multiplier(0.0), 1.0);
+  EXPECT_EQ(t.multiplier(1e6), 1.0);
+}
+
+TEST(BandwidthTrace, PeriodicAlternates) {
+  auto t = BandwidthTrace::periodic(10.0, 5.0, 0.2);
+  EXPECT_EQ(t.multiplier(0.0), 1.0);
+  EXPECT_EQ(t.multiplier(9.9), 1.0);
+  EXPECT_EQ(t.multiplier(10.1), 0.2);
+  EXPECT_EQ(t.multiplier(14.9), 0.2);
+  EXPECT_EQ(t.multiplier(15.1), 1.0);  // next cycle
+}
+
+TEST(BandwidthTrace, PeriodicOffsetShiftsPhase) {
+  auto t = BandwidthTrace::periodic(10.0, 5.0, 0.2, 12.0);
+  EXPECT_EQ(t.multiplier(0.0), 0.2);  // phase 12 is inside the bad window
+}
+
+TEST(BandwidthTrace, RandomWalkBoundedAndDeterministic) {
+  auto a = BandwidthTrace::random_walk(7, 1.0, 0.3, 0.1, 100.0);
+  auto b = BandwidthTrace::random_walk(7, 1.0, 0.3, 0.1, 100.0);
+  for (double t = 0.0; t < 100.0; t += 3.7) {
+    const double m = a.multiplier(t);
+    EXPECT_GE(m, 0.1);
+    EXPECT_LE(m, 1.0);
+    EXPECT_EQ(m, b.multiplier(t));
+  }
+}
+
+TEST(BandwidthTrace, RandomWalkClampsBeyondHorizon) {
+  auto t = BandwidthTrace::random_walk(7, 1.0, 0.3, 0.1, 10.0);
+  EXPECT_EQ(t.multiplier(1e9), t.multiplier(10.0));
+}
+
+TEST(BandwidthTrace, InvalidArgsThrow) {
+  EXPECT_THROW(BandwidthTrace::periodic(0.0, 1.0, 0.5), CheckError);
+  EXPECT_THROW(BandwidthTrace::periodic(1.0, 1.0, 1.5), CheckError);
+  EXPECT_THROW(BandwidthTrace::random_walk(1, 0.0, 0.1, 0.5, 10), CheckError);
+  auto t = BandwidthTrace::constant();
+  EXPECT_THROW(t.multiplier(-1.0), CheckError);
+}
+
+TEST(Link, TransferDurationIsLatencyPlusSerialization) {
+  LinkConfig cfg;
+  cfg.up_bw = 1000.0;
+  cfg.down_bw = 2000.0;
+  cfg.latency = 0.5;
+  cfg.jitter = 0.0;
+  Link link(cfg, Rng(1));
+  auto up = link.upload(3000, 0.0);
+  EXPECT_TRUE(up.delivered);
+  EXPECT_DOUBLE_EQ(up.duration, 0.5 + 3.0);
+  auto down = link.download(3000, 0.0);
+  EXPECT_DOUBLE_EQ(down.duration, 0.5 + 1.5);
+}
+
+TEST(Link, JitterStaysWithinBounds) {
+  LinkConfig cfg;
+  cfg.up_bw = 1e6;
+  cfg.latency = 0.1;
+  cfg.jitter = 0.05;
+  Link link(cfg, Rng(2));
+  for (int i = 0; i < 200; ++i) {
+    auto r = link.upload(0, 0.0);
+    EXPECT_GE(r.duration, 0.05 - 1e-12);
+    EXPECT_LE(r.duration, 0.15 + 1e-12);
+  }
+}
+
+TEST(Link, DropProbabilityObserved) {
+  LinkConfig cfg;
+  cfg.drop_prob = 0.4;
+  Link link(cfg, Rng(3));
+  int dropped = 0;
+  constexpr int n = 5000;
+  for (int i = 0; i < n; ++i)
+    if (!link.upload(100, 0.0).delivered) ++dropped;
+  EXPECT_NEAR(static_cast<double>(dropped) / n, 0.4, 0.03);
+}
+
+TEST(Link, TraceScalesBandwidth) {
+  LinkConfig cfg;
+  cfg.up_bw = 1000.0;
+  cfg.latency = 0.0;
+  Link link(cfg, BandwidthTrace::periodic(10, 10, 0.5),
+            BandwidthTrace::constant(), Rng(4));
+  EXPECT_DOUBLE_EQ(link.upload(1000, 0.0).duration, 1.0);
+  EXPECT_DOUBLE_EQ(link.upload(1000, 15.0).duration, 2.0);  // degraded window
+}
+
+TEST(Link, InvalidConfigThrows) {
+  LinkConfig bad;
+  bad.up_bw = 0.0;
+  EXPECT_THROW(Link(bad, Rng(1)), CheckError);
+  LinkConfig bad2;
+  bad2.drop_prob = 1.0;
+  EXPECT_THROW(Link(bad2, Rng(1)), CheckError);
+  LinkConfig ok;
+  Link link(ok, Rng(1));
+  EXPECT_THROW(link.upload(-1, 0.0), CheckError);
+}
+
+TEST(Presets, AreOrderedByQuality) {
+  EXPECT_GT(preset(LinkQuality::kExcellent).up_bw,
+            preset(LinkQuality::kGood).up_bw);
+  EXPECT_GT(preset(LinkQuality::kGood).up_bw,
+            preset(LinkQuality::kCongested).up_bw);
+  EXPECT_GT(preset(LinkQuality::kLossy).drop_prob, 0.0);
+}
+
+TEST(MakeFleet, SplitsByFraction) {
+  auto fleet = make_fleet(10, 0.3, LinkQuality::kGood, LinkQuality::kLossy);
+  ASSERT_EQ(fleet.size(), 10u);
+  for (int i = 0; i < 3; ++i) EXPECT_GT(fleet[i].drop_prob, 0.0);
+  for (int i = 3; i < 10; ++i) EXPECT_EQ(fleet[i].drop_prob, 0.0);
+}
+
+TEST(MakeFleet, RoundsToNearest) {
+  auto fleet = make_fleet(10, 0.25, LinkQuality::kGood, LinkQuality::kLossy);
+  int bad = 0;
+  for (const auto& c : fleet)
+    if (c.drop_prob > 0.0) ++bad;
+  EXPECT_EQ(bad, 3);  // lround(2.5) == 3
+}
+
+TEST(MakeFleet, InvalidArgsThrow) {
+  EXPECT_THROW(make_fleet(0, 0.5, LinkQuality::kGood, LinkQuality::kLossy),
+               CheckError);
+  EXPECT_THROW(make_fleet(5, 1.5, LinkQuality::kGood, LinkQuality::kLossy),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace adafl::net

@@ -1,0 +1,83 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace adafl::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits({2, 4}, 0.0f);
+  std::vector<std::int32_t> labels{1, 3};
+  auto r = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionNearZeroLoss) {
+  Tensor logits({1, 3}, std::vector<float>{100.0f, 0.0f, 0.0f});
+  std::vector<std::int32_t> labels{0};
+  auto r = softmax_cross_entropy(logits, labels);
+  EXPECT_LT(r.loss, 1e-4);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsSoftmaxMinusOnehotOverN) {
+  Tensor logits({1, 3}, std::vector<float>{1.0f, 2.0f, 3.0f});
+  std::vector<std::int32_t> labels{2};
+  auto r = softmax_cross_entropy(logits, labels);
+  Tensor p = tensor::softmax_rows(logits);
+  EXPECT_NEAR(r.grad[0], p[0], 1e-6);
+  EXPECT_NEAR(r.grad[1], p[1], 1e-6);
+  EXPECT_NEAR(r.grad[2], p[2] - 1.0f, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  Rng rng(3);
+  Tensor logits = Tensor::randn({5, 7}, rng);
+  std::vector<std::int32_t> labels{0, 1, 2, 3, 4};
+  auto r = softmax_cross_entropy(logits, labels);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < 7; ++j) s += r.grad[i * 7 + j];
+    EXPECT_NEAR(s, 0.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NumericalGradientCheck) {
+  Rng rng(4);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  std::vector<std::int32_t> labels{1, 0, 4};
+  auto r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float num = (softmax_cross_entropy(lp, labels).loss -
+                       softmax_cross_entropy(lm, labels).loss) /
+                      (2 * eps);
+    EXPECT_NEAR(r.grad[i], num, 1e-3) << "at " << i;
+  }
+}
+
+TEST(SoftmaxCrossEntropy, LabelOutOfRangeThrows) {
+  Tensor logits({1, 3});
+  std::vector<std::int32_t> bad{3};
+  EXPECT_THROW(softmax_cross_entropy(logits, bad), CheckError);
+  std::vector<std::int32_t> neg{-1};
+  EXPECT_THROW(softmax_cross_entropy(logits, neg), CheckError);
+}
+
+TEST(SoftmaxCrossEntropy, LabelCountMismatchThrows) {
+  Tensor logits({2, 3});
+  std::vector<std::int32_t> labels{0};
+  EXPECT_THROW(softmax_cross_entropy(logits, labels), CheckError);
+}
+
+}  // namespace
+}  // namespace adafl::nn

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "metrics/ledger.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+namespace adafl::metrics {
+namespace {
+
+TEST(RunningStat, MatchesDirectComputation) {
+  RunningStat rs;
+  const double xs[] = {1.0, 2.0, 4.0, 8.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 4);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.75);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 8.0);
+  // Sample stddev of {1,2,4,8}: var = (7.5625+3.0625+.0625+18.0625)/3.
+  EXPECT_NEAR(rs.stddev(), std::sqrt(28.75 / 3.0), 1e-12);
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat rs;
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+  rs.add(5.0);
+  EXPECT_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+TEST(Summarize, VectorSummary) {
+  std::vector<double> xs{2.0, 4.0, 6.0};
+  auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+}
+
+TEST(Series, FinalAndStepLookup) {
+  Series s;
+  s.add(1.0, 0.1);
+  s.add(2.0, 0.5);
+  s.add(4.0, 0.9);
+  EXPECT_DOUBLE_EQ(s.final_y(), 0.9);
+  EXPECT_DOUBLE_EQ(s.y_at(0.5), 0.1);  // before first x -> first y
+  EXPECT_DOUBLE_EQ(s.y_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.y_at(3.9), 0.5);
+  EXPECT_DOUBLE_EQ(s.y_at(100.0), 0.9);
+}
+
+TEST(Series, EmptyThrows) {
+  Series s;
+  EXPECT_THROW(s.final_y(), CheckError);
+  EXPECT_THROW(s.y_at(1.0), CheckError);
+}
+
+TEST(MeanSeries, PointwiseAverage) {
+  Series a, b;
+  a.add(1, 0.0);
+  a.add(2, 1.0);
+  b.add(1, 2.0);
+  b.add(2, 3.0);
+  Series runs[] = {a, b};
+  auto m = mean_series(runs);
+  EXPECT_DOUBLE_EQ(m.y[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.y[1], 2.0);
+}
+
+TEST(MeanSeries, RaggedThrows) {
+  Series a, b;
+  a.add(1, 0.0);
+  Series runs[] = {a, b};
+  EXPECT_THROW(mean_series(runs), CheckError);
+}
+
+TEST(CommLedger, TracksBytesAndUpdates) {
+  CommLedger l;
+  l.record_upload(0, 100, true);
+  l.record_upload(1, 300, false);  // lost
+  l.record_download(0, 50);
+  EXPECT_EQ(l.total_upload_bytes(), 400);
+  EXPECT_EQ(l.total_download_bytes(), 50);
+  EXPECT_EQ(l.total_bytes(), 450);
+  EXPECT_EQ(l.delivered_updates(), 1);
+  EXPECT_EQ(l.attempted_updates(), 2);
+  EXPECT_EQ(l.upload_bytes_of(0), 100);  // uploads only
+  EXPECT_EQ(l.updates_of(0), 1);
+  EXPECT_EQ(l.updates_of(1), 0);
+}
+
+TEST(CommLedger, MinMaxDeliveredSizes) {
+  CommLedger l;
+  l.record_upload(0, 500, true);
+  l.record_upload(0, 100, true);
+  l.record_upload(0, 9999, false);  // lost: excluded from min/max
+  EXPECT_EQ(l.min_update_bytes(), 100);
+  EXPECT_EQ(l.max_update_bytes(), 500);
+}
+
+TEST(CommLedger, CostReductionFormula) {
+  CommLedger l;
+  l.record_upload(0, 500, true);
+  // ideal: 10 updates x 100 bytes = 1000; spent 500 -> 50% reduction.
+  EXPECT_DOUBLE_EQ(l.upload_cost_reduction(10, 100), 0.5);
+}
+
+TEST(CommLedger, InvalidArgsThrow) {
+  CommLedger l;
+  EXPECT_THROW(l.record_upload(0, -1, true), CheckError);
+  EXPECT_THROW(l.upload_cost_reduction(0, 100), CheckError);
+}
+
+TEST(CommLedger, ResetClears) {
+  CommLedger l;
+  l.record_upload(0, 100, true);
+  l.reset();
+  EXPECT_EQ(l.total_bytes(), 0);
+  EXPECT_EQ(l.delivered_updates(), 0);
+}
+
+TEST(Formatting, Percent) {
+  EXPECT_EQ(fmt_pct(0.9343), "93.43%");
+  EXPECT_EQ(fmt_pct(0.5, 0), "50%");
+  EXPECT_EQ(fmt_pct(-0.705, 1), "-70.5%");
+}
+
+TEST(Formatting, Bytes) {
+  EXPECT_EQ(fmt_bytes(96), "96B");
+  EXPECT_EQ(fmt_bytes(8000), "8KB");
+  EXPECT_EQ(fmt_bytes(1640000), "1.64MB");
+}
+
+TEST(Formatting, Fixed) {
+  EXPECT_EQ(fmt_f(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_f(2.0, 0), "2");
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RaggedRowThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), CheckError);
+}
+
+TEST(Csv, WritesAndReadsBack) {
+  const std::string path = ::testing::TempDir() + "adafl_test.csv";
+  write_csv(path, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(f, line);
+  EXPECT_EQ(line, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(write_csv("/nonexistent-dir/x.csv", {"a"}, {}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adafl::metrics

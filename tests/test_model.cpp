@@ -1,0 +1,128 @@
+#include "nn/model.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include "nn/linear.h"
+#include "nn/sequential.h"
+
+namespace adafl::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+Model small_model(std::uint64_t seed) {
+  Rng rng(seed);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Flatten>();
+  net->emplace<Linear>(8, 6, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(6, 3, rng);
+  return Model(std::move(net));
+}
+
+Batch random_batch(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Batch b;
+  b.inputs = Tensor::randn({n, 8}, rng);
+  for (std::int64_t i = 0; i < n; ++i)
+    b.labels.push_back(static_cast<std::int32_t>(rng.uniform_index(3)));
+  return b;
+}
+
+TEST(Model, ParamCountMatchesArchitecture) {
+  Model m = small_model(1);
+  EXPECT_EQ(m.param_count(), 8 * 6 + 6 + 6 * 3 + 3);
+}
+
+TEST(Model, FlatRoundTrip) {
+  Model m = small_model(1);
+  auto flat = m.get_flat();
+  for (auto& v : flat) v += 1.0f;
+  m.set_flat(flat);
+  EXPECT_EQ(m.get_flat(), flat);
+}
+
+TEST(Model, SetFlatLengthMismatchThrows) {
+  Model m = small_model(1);
+  std::vector<float> wrong(10, 0.0f);
+  EXPECT_THROW(m.set_flat(wrong), CheckError);
+}
+
+TEST(Model, AddFlatAppliesScaledDelta) {
+  Model m = small_model(1);
+  const auto before = m.get_flat();
+  std::vector<float> delta(before.size(), 2.0f);
+  m.add_flat(delta, -0.5f);
+  const auto after = m.get_flat();
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_FLOAT_EQ(after[i], before[i] - 1.0f);
+}
+
+TEST(Model, ZeroGradClearsGradients) {
+  Model m = small_model(2);
+  Batch b = random_batch(4, 3);
+  m.compute_gradients(b);
+  m.zero_grad();
+  for (float g : m.get_flat_grad()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(Model, GradientsAccumulateAcrossCalls) {
+  Model m = small_model(2);
+  Batch b = random_batch(4, 3);
+  m.zero_grad();
+  m.compute_gradients(b);
+  const auto g1 = m.get_flat_grad();
+  m.compute_gradients(b);
+  const auto g2 = m.get_flat_grad();
+  for (std::size_t i = 0; i < g1.size(); ++i)
+    EXPECT_NEAR(g2[i], 2.0f * g1[i], 1e-5f + 1e-3f * std::abs(g1[i]));
+}
+
+TEST(Model, TrainingReducesLossOnFixedBatch) {
+  Model m = small_model(4);
+  Batch b = random_batch(16, 5);
+  Sgd opt(0.1f);
+  float first = 0.0f, last = 0.0f;
+  for (int i = 0; i < 60; ++i) {
+    const float loss = m.train_batch(b, opt);
+    if (i == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, 0.5f * first);
+}
+
+TEST(Model, AccuracyOnMemorizedBatchReachesOne) {
+  Model m = small_model(6);
+  Batch b = random_batch(8, 7);
+  Sgd opt(0.2f);
+  for (int i = 0; i < 200; ++i) m.train_batch(b, opt);
+  EXPECT_GT(m.accuracy(b), 0.99);
+}
+
+TEST(Model, EmptyBatchThrows) {
+  Model m = small_model(1);
+  Batch empty;
+  EXPECT_THROW(m.compute_gradients(empty), CheckError);
+  EXPECT_THROW(m.accuracy(empty), CheckError);
+}
+
+TEST(Model, NullNetworkThrows) {
+  EXPECT_THROW(Model(nullptr), CheckError);
+}
+
+TEST(Model, SameSeedFactoriesAgree) {
+  Model a = small_model(42);
+  Model b = small_model(42);
+  EXPECT_EQ(a.get_flat(), b.get_flat());
+}
+
+TEST(Model, DifferentSeedsDiffer) {
+  Model a = small_model(1);
+  Model b = small_model(2);
+  EXPECT_NE(a.get_flat(), b.get_flat());
+}
+
+}  // namespace
+}  // namespace adafl::nn

@@ -1,0 +1,67 @@
+// Property sweep: flat parameter round-trips and gradient-length agreement
+// across every architecture in the model zoo (these invariants are what the
+// whole FL layer depends on).
+#include <gtest/gtest.h>
+
+#include "data/har.h"
+#include "nn/models.h"
+
+namespace adafl::nn {
+namespace {
+
+ModelFactory factory_for(int arch) {
+  const ImageSpec img{3, 16, 16, 5};
+  switch (arch) {
+    case 0:
+      return mlp_factory(img, 12, 3);
+    case 1:
+      return paper_cnn_factory(img, 3, /*fc_units=*/24);
+    case 2:
+      return resnet_lite_factory(img, 3);
+    case 3:
+      return vgg_lite_factory(img, 3);
+    default:
+      return data::har_cnn_factory(16, 5, 3);
+  }
+}
+
+class FlatPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlatPropertyTest, GetSetFlatRoundTrips) {
+  Model m = factory_for(GetParam())();
+  auto flat = m.get_flat();
+  ASSERT_EQ(static_cast<std::int64_t>(flat.size()), m.param_count());
+  // Perturb deterministically, write back, read again.
+  for (std::size_t i = 0; i < flat.size(); ++i)
+    flat[i] += 0.001f * static_cast<float>(i % 7);
+  m.set_flat(flat);
+  EXPECT_EQ(m.get_flat(), flat);
+}
+
+TEST_P(FlatPropertyTest, GradientVectorMatchesParamCount) {
+  Model m = factory_for(GetParam())();
+  tensor::Rng rng(9);
+  Batch b;
+  const bool is_har = GetParam() == 4;
+  b.inputs = is_har ? tensor::Tensor::randn({4, 3, 1, 16}, rng)
+                    : tensor::Tensor::randn({4, 3, 16, 16}, rng);
+  for (int i = 0; i < 4; ++i) b.labels.push_back(i % 5);
+  m.zero_grad();
+  m.compute_gradients(b);
+  const auto g = m.get_flat_grad();
+  EXPECT_EQ(static_cast<std::int64_t>(g.size()), m.param_count());
+  double norm = 0.0;
+  for (float v : g) norm += static_cast<double>(v) * v;
+  EXPECT_GT(norm, 0.0);  // gradients actually flow everywhere
+}
+
+TEST_P(FlatPropertyTest, FactoryIsDeterministic) {
+  auto f = factory_for(GetParam());
+  EXPECT_EQ(f().get_flat(), f().get_flat());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, FlatPropertyTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace adafl::nn

@@ -1,0 +1,112 @@
+#include "nn/models.h"
+
+#include <gtest/gtest.h>
+
+namespace adafl::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(PaperCnn, ForwardShape28x28) {
+  ImageSpec spec{1, 28, 28, 10};
+  Model m = make_paper_cnn(spec, 1);
+  Rng rng(2);
+  Tensor x = Tensor::randn({2, 1, 28, 28}, rng);
+  EXPECT_EQ(m.forward(x).shape(), Shape({2, 10}));
+}
+
+TEST(PaperCnn, ForwardShape16x16) {
+  ImageSpec spec{1, 16, 16, 10};
+  Model m = make_paper_cnn(spec, 1);
+  Rng rng(2);
+  Tensor x = Tensor::randn({3, 1, 16, 16}, rng);
+  EXPECT_EQ(m.forward(x).shape(), Shape({3, 10}));
+}
+
+TEST(PaperCnn, ParamCountAt28x28MatchesLeNetStyle) {
+  // conv1 20*(25+... layout [20, 25]+20, conv2 [50, 20*25]+50,
+  // fc1 [500, 50*16]+500, fc2 [10, 500]+10.
+  ImageSpec spec{1, 28, 28, 10};
+  Model m = make_paper_cnn(spec, 1);
+  const std::int64_t expected = (20 * 25 + 20) + (50 * 500 + 50) +
+                                (500 * 800 + 500) + (10 * 500 + 10);
+  EXPECT_EQ(m.param_count(), expected);
+}
+
+TEST(PaperCnn, TooSmallInputThrows) {
+  ImageSpec spec{1, 10, 10, 10};
+  EXPECT_THROW(make_paper_cnn(spec, 1), CheckError);
+}
+
+TEST(ResNetLite, ForwardShape) {
+  ImageSpec spec{3, 16, 16, 10};
+  Model m = make_resnet_lite(spec, 1);
+  Rng rng(2);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  EXPECT_EQ(m.forward(x).shape(), Shape({2, 10}));
+}
+
+TEST(VggLite, ForwardShape) {
+  ImageSpec spec{3, 16, 16, 20};
+  Model m = make_vgg_lite(spec, 1);
+  Rng rng(2);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  EXPECT_EQ(m.forward(x).shape(), Shape({2, 20}));
+}
+
+TEST(Mlp, ForwardShape) {
+  ImageSpec spec{1, 8, 8, 4};
+  Model m = make_mlp(spec, 16, 1);
+  Rng rng(2);
+  Tensor x = Tensor::randn({5, 1, 8, 8}, rng);
+  EXPECT_EQ(m.forward(x).shape(), Shape({5, 4}));
+}
+
+TEST(Factories, ProduceIdenticalModelsPerSeed) {
+  ImageSpec spec{1, 16, 16, 10};
+  auto f = paper_cnn_factory(spec, 7);
+  Model a = f();
+  Model b = f();
+  EXPECT_EQ(a.get_flat(), b.get_flat());
+}
+
+// Every architecture must be able to fit a small random batch — a smoke
+// test that gradients flow end to end.
+struct ArchCase {
+  const char* name;
+  ModelFactory factory;
+};
+
+class ArchTrainingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArchTrainingTest, LossDecreasesOnFixedBatch) {
+  const ImageSpec spec{3, 16, 16, 4};
+  ModelFactory factories[] = {
+      mlp_factory(spec, 16, 1),
+      paper_cnn_factory(spec, 1, /*fc_units=*/32),
+      resnet_lite_factory(spec, 1),
+      vgg_lite_factory(spec, 1),
+  };
+  Model m = factories[GetParam()]();
+  Rng rng(9);
+  Batch b;
+  b.inputs = Tensor::randn({8, 3, 16, 16}, rng);
+  for (int i = 0; i < 8; ++i)
+    b.labels.push_back(static_cast<std::int32_t>(i % 4));
+  Sgd opt(0.05f, 0.9f);
+  float first = 0.0f, last = 0.0f;
+  for (int i = 0; i < 30; ++i) {
+    const float loss = m.train_batch(b, opt);
+    if (i == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, ArchTrainingTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace adafl::nn

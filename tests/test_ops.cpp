@@ -1,0 +1,178 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adafl::tensor {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  return c;
+}
+
+void expect_close(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::int64_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], tol) << "at index " << i;
+}
+
+TEST(MatMul, MatchesNaive) {
+  Rng rng(1);
+  Tensor a = Tensor::randn({7, 5}, rng);
+  Tensor b = Tensor::randn({5, 9}, rng);
+  expect_close(matmul(a, b), naive_matmul(a, b));
+}
+
+TEST(MatMul, InnerDimMismatchThrows) {
+  Tensor a({2, 3}), b({4, 2});
+  EXPECT_THROW(matmul(a, b), CheckError);
+}
+
+TEST(MatMul, RankCheck) {
+  Tensor a({6}), b({6});
+  EXPECT_THROW(matmul(a, b), CheckError);
+}
+
+TEST(MatMul, TnMatchesExplicitTranspose) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({5, 7}, rng);  // used as A^T: result is 7 x n
+  Tensor b = Tensor::randn({5, 3}, rng);
+  expect_close(matmul_tn(a, b), matmul(transpose2d(a), b));
+}
+
+TEST(MatMul, NtMatchesExplicitTranspose) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({4, 6}, rng);
+  Tensor b = Tensor::randn({5, 6}, rng);
+  expect_close(matmul_nt(a, b), matmul(a, transpose2d(b)));
+}
+
+TEST(Transpose2d, Involution) {
+  Rng rng(4);
+  Tensor a = Tensor::randn({3, 8}, rng);
+  expect_close(transpose2d(transpose2d(a)), a, 0.0f);
+}
+
+TEST(Im2Col, IdentityKernelReproducesImage) {
+  // kernel 1, stride 1: columns equal the image, row-major per channel.
+  Rng rng(5);
+  Conv2dGeom g{2, 3, 4, 1, 1, 0};
+  Tensor img = Tensor::randn({2 * 3 * 4}, rng);
+  Tensor cols({2, 12});
+  im2col(img.flat(), g, cols);
+  for (std::int64_t i = 0; i < img.size(); ++i) EXPECT_EQ(cols[i], img[i]);
+}
+
+TEST(Im2Col, KnownSmallCase) {
+  // 1x3x3 image, kernel 2, stride 1 -> 4 columns of length 4.
+  Conv2dGeom g{1, 3, 3, 2, 1, 0};
+  Tensor img({9}, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor cols({4, 4});
+  im2col(img.flat(), g, cols);
+  // Column for output (0,0) reads pixels (0,0),(0,1),(1,0),(1,1) = 1,2,4,5.
+  EXPECT_EQ(cols.at({0, 0}), 1.0f);
+  EXPECT_EQ(cols.at({1, 0}), 2.0f);
+  EXPECT_EQ(cols.at({2, 0}), 4.0f);
+  EXPECT_EQ(cols.at({3, 0}), 5.0f);
+  // Column for output (1,1) = pixels 5,6,8,9.
+  EXPECT_EQ(cols.at({0, 3}), 5.0f);
+  EXPECT_EQ(cols.at({3, 3}), 9.0f);
+}
+
+TEST(Im2Col, PaddingYieldsZeros) {
+  Conv2dGeom g{1, 2, 2, 3, 1, 1};
+  Tensor img({4}, std::vector<float>{1, 2, 3, 4});
+  Tensor cols({9, 4});
+  im2col(img.flat(), g, cols);
+  // First column, first kernel tap (ki=0,kj=0) reads (-1,-1): padded zero.
+  EXPECT_EQ(cols.at({0, 0}), 0.0f);
+}
+
+TEST(Col2Im, IsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property of the backward pass.
+  Rng rng(6);
+  Conv2dGeom g{2, 5, 5, 3, 2, 1};
+  const std::int64_t img_n = 2 * 5 * 5;
+  Tensor x = Tensor::randn({img_n}, rng);
+  Tensor cols({2 * 9, g.out_h() * g.out_w()});
+  im2col(x.flat(), g, cols);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  std::vector<float> xgrad(static_cast<std::size_t>(img_n), 0.0f);
+  col2im(y, g, xgrad);
+  const double lhs = dot(cols.flat(), y.flat());
+  const double rhs = dot(x.flat(), xgrad);
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(7);
+  Tensor logits = Tensor::randn({6, 10}, rng, 0.0f, 5.0f);
+  Tensor p = softmax_rows(logits);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < 10; ++j) {
+      EXPECT_GT(p[i * 10 + j], 0.0f);
+      s += p[i * 10 + j];
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(LogSoftmax, NumericallyStableForLargeLogits) {
+  Tensor logits({1, 3}, std::vector<float>{1000.0f, 1000.0f, 1000.0f});
+  Tensor lp = log_softmax_rows(logits);
+  for (std::int64_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(lp[j], std::log(1.0 / 3.0), 1e-4);
+}
+
+TEST(LogSoftmax, MatchesDirectComputation) {
+  Tensor logits({1, 3}, std::vector<float>{0.0f, 1.0f, 2.0f});
+  Tensor lp = log_softmax_rows(logits);
+  const double z = std::exp(0.0) + std::exp(1.0) + std::exp(2.0);
+  for (std::int64_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(lp[j], static_cast<double>(j) - std::log(z), 1e-5);
+}
+
+// Parameterized sweep: im2col/col2im adjointness across geometries.
+struct GeomCase {
+  std::int64_t c, h, w, k, s, p;
+};
+
+class Im2ColGeomTest : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(Im2ColGeomTest, AdjointHoldsAcrossGeometries) {
+  const auto gc = GetParam();
+  Conv2dGeom g{gc.c, gc.h, gc.w, gc.k, gc.s, gc.p};
+  ASSERT_GT(g.out_h(), 0);
+  ASSERT_GT(g.out_w(), 0);
+  Rng rng(17);
+  const std::int64_t img_n = gc.c * gc.h * gc.w;
+  Tensor x = Tensor::randn({img_n}, rng);
+  Tensor cols({gc.c * gc.k * gc.k, g.out_h() * g.out_w()});
+  im2col(x.flat(), g, cols);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  std::vector<float> xgrad(static_cast<std::size_t>(img_n), 0.0f);
+  col2im(y, g, xgrad);
+  EXPECT_NEAR(dot(cols.flat(), y.flat()), dot(x.flat(), xgrad), 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColGeomTest,
+    ::testing::Values(GeomCase{1, 4, 4, 2, 1, 0}, GeomCase{3, 8, 8, 3, 1, 1},
+                      GeomCase{2, 7, 5, 3, 2, 1}, GeomCase{1, 6, 6, 5, 1, 2},
+                      GeomCase{4, 9, 9, 3, 3, 0},
+                      GeomCase{2, 10, 10, 1, 2, 0}));
+
+}  // namespace
+}  // namespace adafl::tensor

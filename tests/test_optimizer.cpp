@@ -1,0 +1,157 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adafl::nn {
+namespace {
+
+using tensor::Tensor;
+
+struct Param {
+  Tensor w, g;
+  ParamRef ref() { return {&w, &g}; }
+};
+
+TEST(Sgd, PlainStep) {
+  Param p{Tensor({2}, std::vector<float>{1, 2}),
+          Tensor({2}, std::vector<float>{0.5f, -1.0f})};
+  Sgd opt(0.1f);
+  ParamRef refs[] = {p.ref()};
+  opt.step(refs);
+  EXPECT_FLOAT_EQ(p.w[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.w[1], 2.0f + 0.1f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p{Tensor({1}, std::vector<float>{0.0f}),
+          Tensor({1}, std::vector<float>{1.0f})};
+  Sgd opt(1.0f, 0.5f);
+  ParamRef refs[] = {p.ref()};
+  opt.step(refs);  // v=1, w=-1
+  EXPECT_FLOAT_EQ(p.w[0], -1.0f);
+  opt.step(refs);  // v=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(p.w[0], -2.5f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Param p{Tensor({1}, std::vector<float>{10.0f}),
+          Tensor({1}, std::vector<float>{0.0f})};
+  Sgd opt(0.1f, 0.0f, 0.5f);
+  ParamRef refs[] = {p.ref()};
+  opt.step(refs);
+  EXPECT_FLOAT_EQ(p.w[0], 10.0f - 0.1f * 0.5f * 10.0f);
+}
+
+TEST(Sgd, InvalidHyperparamsThrow) {
+  EXPECT_THROW(Sgd(0.0f), CheckError);
+  EXPECT_THROW(Sgd(0.1f, 1.0f), CheckError);
+}
+
+TEST(Sgd, ResetClearsVelocity) {
+  Param p{Tensor({1}, std::vector<float>{0.0f}),
+          Tensor({1}, std::vector<float>{1.0f})};
+  Sgd opt(1.0f, 0.9f);
+  ParamRef refs[] = {p.ref()};
+  opt.step(refs);
+  opt.reset();
+  p.w[0] = 0.0f;
+  opt.step(refs);
+  EXPECT_FLOAT_EQ(p.w[0], -1.0f);  // no leftover momentum
+}
+
+TEST(Adam, FirstStepIsSignedLr) {
+  // With bias correction, the first Adam step is ~lr * sign(g).
+  Param p{Tensor({2}, std::vector<float>{0.0f, 0.0f}),
+          Tensor({2}, std::vector<float>{0.3f, -7.0f})};
+  Adam opt(0.01f);
+  ParamRef refs[] = {p.ref()};
+  opt.step(refs);
+  EXPECT_NEAR(p.w[0], -0.01f, 1e-4);
+  EXPECT_NEAR(p.w[1], 0.01f, 1e-4);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2.
+  Param p{Tensor({1}, std::vector<float>{0.0f}), Tensor({1})};
+  Adam opt(0.1f);
+  ParamRef refs[] = {p.ref()};
+  for (int i = 0; i < 500; ++i) {
+    p.g[0] = 2.0f * (p.w[0] - 3.0f);
+    opt.step(refs);
+  }
+  EXPECT_NEAR(p.w[0], 3.0f, 0.05f);
+}
+
+TEST(Adam, ReuseWithDifferentParamListThrows) {
+  Param p{Tensor({1}), Tensor({1})};
+  Adam opt(0.1f);
+  ParamRef one[] = {p.ref()};
+  opt.step(one);
+  Param q{Tensor({1}), Tensor({1})};
+  ParamRef two[] = {p.ref(), q.ref()};
+  EXPECT_THROW(opt.step(two), CheckError);
+}
+
+TEST(FlatAdam, MatchesAdamOnSameTrajectory) {
+  Param p{Tensor({3}, std::vector<float>{1, -2, 0.5f}), Tensor({3})};
+  std::vector<float> w{1, -2, 0.5f};
+  Adam layer_opt(0.05f);
+  FlatAdam flat_opt(0.05f);
+  ParamRef refs[] = {p.ref()};
+  tensor::Rng rng(5);
+  for (int step = 0; step < 20; ++step) {
+    std::vector<float> g(3);
+    for (auto& v : g) v = static_cast<float>(rng.normal());
+    for (int i = 0; i < 3; ++i) p.g[i] = g[i];
+    layer_opt.step(refs);
+    flat_opt.step(w, g);
+    for (int i = 0; i < 3; ++i) EXPECT_NEAR(p.w[i], w[i], 1e-5);
+  }
+}
+
+TEST(FlatAdam, LengthChangeThrows) {
+  FlatAdam opt(0.1f);
+  std::vector<float> w(4, 0.0f), g(4, 1.0f);
+  opt.step(w, g);
+  std::vector<float> w2(5, 0.0f), g2(5, 1.0f);
+  EXPECT_THROW(opt.step(w2, g2), CheckError);
+}
+
+TEST(FlatAdam, ResetAllowsNewLength) {
+  FlatAdam opt(0.1f);
+  std::vector<float> w(4, 0.0f), g(4, 1.0f);
+  opt.step(w, g);
+  opt.reset();
+  std::vector<float> w2(5, 0.0f), g2(5, 1.0f);
+  EXPECT_NO_THROW(opt.step(w2, g2));
+}
+
+TEST(FlatAdam, MismatchedSpansThrow) {
+  FlatAdam opt(0.1f);
+  std::vector<float> w(4, 0.0f), g(3, 1.0f);
+  EXPECT_THROW(opt.step(w, g), CheckError);
+}
+
+// Parameterized: SGD with any valid momentum decreases a quadratic.
+class SgdMomentumTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(SgdMomentumTest, DecreasesQuadraticLoss) {
+  Param p{Tensor({1}, std::vector<float>{5.0f}), Tensor({1})};
+  Sgd opt(0.05f, GetParam());
+  ParamRef refs[] = {p.ref()};
+  auto loss = [&] { return (p.w[0] - 1.0f) * (p.w[0] - 1.0f); };
+  const float initial = loss();
+  for (int i = 0; i < 100; ++i) {
+    p.g[0] = 2.0f * (p.w[0] - 1.0f);
+    opt.step(refs);
+  }
+  EXPECT_LT(loss(), 0.01f * initial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Momenta, SgdMomentumTest,
+                         ::testing::Values(0.0f, 0.5f, 0.9f));
+
+}  // namespace
+}  // namespace adafl::nn

@@ -1,0 +1,143 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/check.h"
+
+#include <algorithm>
+#include <set>
+
+namespace adafl::data {
+namespace {
+
+using tensor::Rng;
+
+std::vector<std::int32_t> cyclic_labels(std::int64_t n, int classes) {
+  std::vector<std::int32_t> labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    labels[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(i % classes);
+  return labels;
+}
+
+void expect_exact_cover(const Partition& parts, std::int64_t n) {
+  std::set<std::int32_t> seen;
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    seen.insert(p.begin(), p.end());
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(n));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), static_cast<std::int32_t>(n - 1));
+}
+
+TEST(PartitionIid, ExactCoverAndBalance) {
+  Rng rng(1);
+  auto parts = partition_iid(103, 10, rng);
+  ASSERT_EQ(parts.size(), 10u);
+  expect_exact_cover(parts, 103);
+  for (const auto& p : parts) {
+    EXPECT_GE(p.size(), 10u);
+    EXPECT_LE(p.size(), 11u);
+  }
+}
+
+TEST(PartitionIid, FewerExamplesThanClientsThrows) {
+  Rng rng(1);
+  EXPECT_THROW(partition_iid(3, 10, rng), CheckError);
+}
+
+TEST(PartitionIid, DeterministicUnderSeed) {
+  Rng a(2), b(2);
+  EXPECT_EQ(partition_iid(50, 5, a), partition_iid(50, 5, b));
+}
+
+TEST(PartitionShards, ExactCover) {
+  Rng rng(3);
+  auto labels = cyclic_labels(200, 10);
+  auto parts = partition_shards(labels, 10, 2, rng);
+  ASSERT_EQ(parts.size(), 10u);
+  expect_exact_cover(parts, 200);
+}
+
+TEST(PartitionShards, EachClientSeesFewClasses) {
+  Rng rng(4);
+  auto labels = cyclic_labels(1000, 10);
+  auto parts = partition_shards(labels, 10, 2, rng);
+  for (const auto& p : parts) {
+    std::set<std::int32_t> classes;
+    for (auto i : p) classes.insert(labels[static_cast<std::size_t>(i)]);
+    // Two shards cover at most 4 label values (shard may straddle a
+    // boundary), far fewer than all 10.
+    EXPECT_LE(classes.size(), 4u);
+  }
+}
+
+TEST(PartitionShards, TooFewExamplesThrows) {
+  Rng rng(5);
+  auto labels = cyclic_labels(10, 2);
+  EXPECT_THROW(partition_shards(labels, 10, 2, rng), CheckError);
+}
+
+TEST(PartitionDirichlet, ExactCoverNoEmptyClients) {
+  Rng rng(6);
+  auto labels = cyclic_labels(500, 10);
+  auto parts = partition_dirichlet(labels, 10, 0.3, rng);
+  ASSERT_EQ(parts.size(), 10u);
+  expect_exact_cover(parts, 500);
+  for (const auto& p : parts) EXPECT_FALSE(p.empty());
+}
+
+TEST(PartitionDirichlet, SmallAlphaIsMoreSkewedThanLarge) {
+  auto labels = cyclic_labels(2000, 10);
+  auto skew_of = [&](double alpha, std::uint64_t seed) {
+    Rng rng(seed);
+    auto parts = partition_dirichlet(labels, 10, alpha, rng);
+    // Mean over clients of (max class share).
+    double total = 0.0;
+    for (const auto& p : parts) {
+      std::vector<int> counts(10, 0);
+      for (auto i : p) counts[static_cast<std::size_t>(
+          labels[static_cast<std::size_t>(i)])]++;
+      const int mx = *std::max_element(counts.begin(), counts.end());
+      total += static_cast<double>(mx) / static_cast<double>(p.size());
+    }
+    return total / static_cast<double>(parts.size());
+  };
+  // Average across seeds to damp variance.
+  double skew_small = 0.0, skew_large = 0.0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    skew_small += skew_of(0.1, 10 + s);
+    skew_large += skew_of(10.0, 20 + s);
+  }
+  EXPECT_GT(skew_small, skew_large);
+}
+
+TEST(PartitionDirichlet, InvalidArgsThrow) {
+  Rng rng(8);
+  auto labels = cyclic_labels(100, 5);
+  EXPECT_THROW(partition_dirichlet(labels, 0, 0.5, rng), CheckError);
+  EXPECT_THROW(partition_dirichlet(labels, 5, 0.0, rng), CheckError);
+}
+
+// Property sweep: all partitioners produce an exact cover for various
+// client counts.
+class PartitionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionPropertyTest, AllStrategiesCoverExactly) {
+  const int clients = GetParam();
+  const std::int64_t n = 60 * clients;
+  auto labels = cyclic_labels(n, 10);
+  Rng rng(static_cast<std::uint64_t>(clients));
+  expect_exact_cover(partition_iid(n, clients, rng), n);
+  expect_exact_cover(partition_shards(labels, clients, 2, rng), n);
+  expect_exact_cover(partition_dirichlet(labels, clients, 0.5, rng), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClientCounts, PartitionPropertyTest,
+                         ::testing::Values(2, 5, 10, 20, 50));
+
+}  // namespace
+}  // namespace adafl::data

@@ -1,0 +1,93 @@
+#include "metrics/plot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tensor/check.h"
+
+namespace adafl::metrics {
+namespace {
+
+Series ramp() {
+  Series s;
+  for (int i = 0; i <= 10; ++i) s.add(i, i / 10.0);
+  return s;
+}
+
+TEST(AsciiChart, RendersCurveAndLegend) {
+  AsciiChart chart(32, 8);
+  chart.add("ramp", ramp());
+  std::ostringstream os;
+  chart.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = ramp"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);  // axis corner
+}
+
+TEST(AsciiChart, MultipleCurvesUseDistinctGlyphs) {
+  Series flat;
+  flat.add(0, 0.5);
+  flat.add(10, 0.5);
+  AsciiChart chart(32, 8);
+  chart.add("a", ramp()).add("b", flat);
+  std::ostringstream os;
+  chart.print(os);
+  EXPECT_NE(os.str().find("o = b"), std::string::npos);
+}
+
+TEST(AsciiChart, RampIsMonotoneInTheGrid) {
+  AsciiChart chart(20, 10);
+  chart.add("r", ramp());
+  std::ostringstream os;
+  chart.print(os);
+  // Collect (row, col) of each '*': columns must not decrease as rows rise.
+  std::istringstream is(os.str());
+  std::string line;
+  int prev_col = 1 << 30;
+  int rows_seen = 0;
+  while (std::getline(is, line)) {
+    const auto bar = line.find('|');
+    if (bar == std::string::npos) break;
+    const auto star = line.find('*', bar);
+    if (star == std::string::npos) continue;
+    const int col = static_cast<int>(star - bar);
+    EXPECT_LE(col, prev_col);  // higher y -> later x for an increasing ramp
+    prev_col = col;
+    ++rows_seen;
+  }
+  EXPECT_GT(rows_seen, 4);
+}
+
+TEST(AsciiChart, FixedYRangeClamps) {
+  AsciiChart chart(16, 6);
+  chart.y_range(0.0, 1.0);
+  Series s;
+  s.add(0, 5.0);  // above the range: clamped to the top row
+  s.add(1, 5.0);
+  chart.add("hot", s);
+  std::ostringstream os;
+  EXPECT_NO_THROW(chart.print(os));
+}
+
+TEST(AsciiChart, Validation) {
+  EXPECT_THROW(AsciiChart(2, 2), CheckError);
+  AsciiChart chart(16, 6);
+  EXPECT_THROW(chart.add("empty", Series{}), CheckError);
+  EXPECT_THROW(chart.y_range(1.0, 1.0), CheckError);
+  std::ostringstream os;
+  EXPECT_THROW(chart.print(os), CheckError);  // nothing to plot
+}
+
+TEST(AsciiChart, SinglePointSeries) {
+  AsciiChart chart(16, 6);
+  Series s;
+  s.add(3.0, 0.7);
+  chart.add("dot", s);
+  std::ostringstream os;
+  EXPECT_NO_THROW(chart.print(os));
+}
+
+}  // namespace
+}  // namespace adafl::metrics

@@ -1,0 +1,82 @@
+// Robust aggregation + Byzantine fault injection (the "resilient" extension
+// of the sync trainer).
+#include <gtest/gtest.h>
+
+#include "fl/sync_trainer.h"
+#include "fl_fixtures.h"
+
+namespace adafl::fl {
+namespace {
+
+using testing::make_mini_task;
+
+SyncConfig robust_config(Aggregation agg, double byzantine_fraction,
+                         int rounds = 15) {
+  SyncConfig cfg;
+  cfg.algo = Algorithm::kFedAvg;
+  cfg.rounds = rounds;
+  cfg.participation = 1.0;
+  cfg.aggregation = agg;
+  cfg.seed = 3;
+  if (byzantine_fraction > 0.0) {
+    cfg.faults.kind = FaultKind::kByzantine;
+    cfg.faults.unreliable_fraction = byzantine_fraction;
+  }
+  return cfg;
+}
+
+double run_acc(const testing::MiniTask& task, const SyncConfig& base) {
+  SyncConfig cfg = base;
+  cfg.client = task.client;
+  SyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  return t.run().final_accuracy();
+}
+
+TEST(RobustAggregation, CleanRunsMatchAcrossRules) {
+  auto task = make_mini_task(5);
+  const double mean = run_acc(task, robust_config(Aggregation::kWeightedMean, 0.0));
+  const double trimmed =
+      run_acc(task, robust_config(Aggregation::kTrimmedMean, 0.0));
+  const double median =
+      run_acc(task, robust_config(Aggregation::kCoordinateMedian, 0.0));
+  // Without attackers all three rules learn the IID task.
+  EXPECT_GT(mean, 0.5);
+  EXPECT_GT(trimmed, 0.5);
+  EXPECT_GT(median, 0.5);
+}
+
+TEST(RobustAggregation, ByzantineBreaksMeanButNotMedian) {
+  auto task = make_mini_task(5);
+  // One of five clients sign-flips with 3x amplification.
+  const double mean =
+      run_acc(task, robust_config(Aggregation::kWeightedMean, 0.2));
+  const double median =
+      run_acc(task, robust_config(Aggregation::kCoordinateMedian, 0.2));
+  EXPECT_GT(median, 0.5);
+  EXPECT_GT(median, mean + 0.1);  // robust rule clearly wins under attack
+}
+
+TEST(RobustAggregation, TrimmedMeanSurvivesAttack) {
+  auto task = make_mini_task(5);
+  SyncConfig cfg = robust_config(Aggregation::kTrimmedMean, 0.2);
+  cfg.trim_fraction = 0.2;  // drops exactly the one attacker per side
+  const double trimmed = run_acc(task, cfg);
+  EXPECT_GT(trimmed, 0.5);
+}
+
+TEST(RobustAggregation, OverTrimmingFallsBackToMedianElement) {
+  auto task = make_mini_task(4);
+  SyncConfig cfg = robust_config(Aggregation::kTrimmedMean, 0.0, 5);
+  cfg.trim_fraction = 0.5;  // trims everything -> median-element fallback
+  EXPECT_NO_THROW(run_acc(task, cfg));
+}
+
+TEST(RobustAggregation, MedianWorksWithEvenClientCount) {
+  auto task = make_mini_task(4);
+  const double acc =
+      run_acc(task, robust_config(Aggregation::kCoordinateMedian, 0.0));
+  EXPECT_GT(acc, 0.4);
+}
+
+}  // namespace
+}  // namespace adafl::fl

@@ -1,0 +1,63 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace adafl::tensor {
+namespace {
+
+TEST(Shape, DefaultIsScalar) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, InitializerListAndNumel) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 4);
+}
+
+TEST(Shape, NegativeIndexCountsFromBack) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s[-1], 4);
+  EXPECT_EQ(s[-3], 2);
+}
+
+TEST(Shape, OutOfRangeIndexThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s[2], CheckError);
+  EXPECT_THROW(s[-3], CheckError);
+}
+
+TEST(Shape, NegativeDimensionThrows) {
+  EXPECT_THROW(Shape({2, -1}), CheckError);
+}
+
+TEST(Shape, ZeroDimensionGivesZeroNumel) {
+  Shape s{3, 0, 2};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_NE(Shape({1, 2}), Shape({1, 2, 1}));
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+TEST(Shape, VectorConstructor) {
+  std::vector<std::int64_t> dims{5, 6};
+  Shape s(dims);
+  EXPECT_EQ(s.numel(), 30);
+  EXPECT_EQ(s.dims(), dims);
+}
+
+}  // namespace
+}  // namespace adafl::tensor

@@ -1,0 +1,181 @@
+#include "fl/sync_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "fl_fixtures.h"
+
+namespace adafl::fl {
+namespace {
+
+using testing::make_mini_task;
+
+SyncConfig base_config(Algorithm algo, int rounds = 12) {
+  SyncConfig cfg;
+  cfg.algo = algo;
+  cfg.rounds = rounds;
+  cfg.participation = 1.0;
+  cfg.seed = 3;
+  return cfg;
+}
+
+// Every synchronous algorithm must learn the mini task well above chance
+// (25% for 4 classes).
+class SyncAlgorithmTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(SyncAlgorithmTest, LearnsAboveChance) {
+  auto task = make_mini_task();
+  SyncConfig cfg = base_config(GetParam(), 15);
+  cfg.client = task.client;
+  cfg.server_lr = 0.02f;  // FedAdam server step
+  if (GetParam() == Algorithm::kFedProx) cfg.client.prox_mu = 0.01f;
+  SyncTrainer trainer(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = trainer.run();
+  EXPECT_GT(log.final_accuracy(), 0.5) << to_string(GetParam());
+  EXPECT_EQ(log.records.size(), 15u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SyncAlgorithmTest,
+                         ::testing::Values(Algorithm::kFedAvg,
+                                           Algorithm::kFedAdam,
+                                           Algorithm::kFedProx,
+                                           Algorithm::kScaffold),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(SyncTrainer, DeterministicUnderSeed) {
+  auto task = make_mini_task();
+  SyncConfig cfg = base_config(Algorithm::kFedAvg, 5);
+  cfg.client = task.client;
+  auto run = [&] {
+    SyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+    return t.run();
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i)
+    EXPECT_EQ(a.records[i].test_accuracy, b.records[i].test_accuracy);
+}
+
+TEST(SyncTrainer, ParticipationControlsUpdateCount) {
+  auto task = make_mini_task(4);
+  SyncConfig cfg = base_config(Algorithm::kFedAvg, 10);
+  cfg.client = task.client;
+  cfg.participation = 0.5;
+  SyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_EQ(log.ledger.delivered_updates(), 10 * 2);
+}
+
+TEST(SyncTrainer, DropoutFaultLosesUpdates) {
+  auto task = make_mini_task(4);
+  SyncConfig cfg = base_config(Algorithm::kFedAvg, 20);
+  cfg.client = task.client;
+  cfg.faults.kind = FaultKind::kDropout;
+  cfg.faults.unreliable_fraction = 0.5;  // clients 0,1 drop w.p. 0.5
+  SyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  const auto delivered = log.ledger.delivered_updates();
+  EXPECT_LT(delivered, 20 * 4);
+  EXPECT_GT(delivered, 20 * 2);  // reliable half always delivers
+}
+
+TEST(SyncTrainer, DataLossFaultHalvesUnreliableUpdates) {
+  auto task = make_mini_task(4);
+  SyncConfig cfg = base_config(Algorithm::kFedAvg, 20);
+  cfg.client = task.client;
+  cfg.faults.kind = FaultKind::kDataLoss;
+  cfg.faults.unreliable_fraction = 0.5;
+  SyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  // Unreliable clients deliver every other participation: 2 clients * 10.
+  EXPECT_EQ(log.ledger.delivered_updates(), 20 * 2 + 2 * 10);
+}
+
+TEST(SyncTrainer, LedgerCountsDenseTraffic) {
+  auto task = make_mini_task(2);
+  SyncConfig cfg = base_config(Algorithm::kFedAvg, 3);
+  cfg.client = task.client;
+  SyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  const auto dense = log.dense_update_bytes;
+  EXPECT_EQ(log.ledger.total_upload_bytes(), 3 * 2 * dense);
+  EXPECT_EQ(log.ledger.total_download_bytes(), 3 * 2 * dense);
+  EXPECT_EQ(log.ledger.min_update_bytes(), dense);
+  EXPECT_EQ(log.ledger.max_update_bytes(), dense);
+}
+
+TEST(SyncTrainer, SimulatedClockAdvancesWithLinks) {
+  auto task = make_mini_task(2);
+  SyncConfig cfg = base_config(Algorithm::kFedAvg, 4);
+  cfg.client = task.client;
+  cfg.links = net::make_fleet(2, 0.0, net::LinkQuality::kGood,
+                              net::LinkQuality::kGood);
+  SyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  EXPECT_GT(log.total_time, 0.0);
+  // Later records have later times.
+  for (std::size_t i = 1; i < log.records.size(); ++i)
+    EXPECT_GT(log.records[i].time, log.records[i - 1].time);
+}
+
+TEST(SyncTrainer, CongestedLinksSlowTheRound) {
+  auto task = make_mini_task(2);
+  SyncConfig cfg = base_config(Algorithm::kFedAvg, 4);
+  cfg.client = task.client;
+  cfg.links = net::make_fleet(2, 0.0, net::LinkQuality::kGood,
+                              net::LinkQuality::kGood);
+  SyncTrainer fast(cfg, task.factory, &task.train, task.parts, &task.test);
+  const double t_fast = fast.run().total_time;
+  cfg.links = net::make_fleet(2, 1.0, net::LinkQuality::kGood,
+                              net::LinkQuality::kCongested);
+  SyncTrainer slow(cfg, task.factory, &task.train, task.parts, &task.test);
+  const double t_slow = slow.run().total_time;
+  EXPECT_GT(t_slow, t_fast);
+}
+
+TEST(SyncTrainer, EvalEveryThinsRecords) {
+  auto task = make_mini_task(2);
+  SyncConfig cfg = base_config(Algorithm::kFedAvg, 10);
+  cfg.client = task.client;
+  cfg.eval_every = 4;
+  SyncTrainer t(cfg, task.factory, &task.train, task.parts, &task.test);
+  auto log = t.run();
+  // Rounds 4, 8, 10 (final round always recorded).
+  ASSERT_EQ(log.records.size(), 3u);
+  EXPECT_EQ(log.records.back().round, 10);
+}
+
+TEST(SyncTrainer, InvalidConfigThrows) {
+  auto task = make_mini_task(2);
+  SyncConfig cfg = base_config(Algorithm::kFedAvg, 0);
+  cfg.client = task.client;
+  EXPECT_THROW(
+      SyncTrainer(cfg, task.factory, &task.train, task.parts, &task.test),
+      CheckError);
+  cfg.rounds = 5;
+  cfg.participation = 0.0;
+  EXPECT_THROW(
+      SyncTrainer(cfg, task.factory, &task.train, task.parts, &task.test),
+      CheckError);
+  cfg.participation = 1.0;
+  cfg.links.resize(1);  // wrong count for 2 clients
+  EXPECT_THROW(
+      SyncTrainer(cfg, task.factory, &task.train, task.parts, &task.test),
+      CheckError);
+}
+
+TEST(TrainLogHelpers, SeriesAndBest) {
+  TrainLog log;
+  log.records.push_back({1, 0.5, 0.3, 1.0, 2});
+  log.records.push_back({2, 1.0, 0.8, 0.5, 2});
+  log.records.push_back({3, 1.5, 0.7, 0.4, 2});
+  EXPECT_DOUBLE_EQ(log.final_accuracy(), 0.7);
+  EXPECT_DOUBLE_EQ(log.best_accuracy(), 0.8);
+  EXPECT_EQ(log.accuracy_vs_round().x.size(), 3u);
+  EXPECT_DOUBLE_EQ(log.accuracy_vs_time().y_at(1.2), 0.8);
+}
+
+}  // namespace
+}  // namespace adafl::fl

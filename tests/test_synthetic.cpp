@@ -1,0 +1,127 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace adafl::data {
+namespace {
+
+TEST(Synthetic, ShapesMatchSpec) {
+  SyntheticConfig cfg;
+  cfg.spec = {3, 8, 8, 5};
+  cfg.num_samples = 20;
+  Dataset ds = make_synthetic(cfg);
+  EXPECT_EQ(ds.size(), 20);
+  EXPECT_EQ(ds.images().shape(), tensor::Shape({20, 3, 8, 8}));
+}
+
+TEST(Synthetic, LabelsAreBalancedRoundRobin) {
+  SyntheticConfig cfg;
+  cfg.spec.classes = 4;
+  cfg.num_samples = 40;
+  Dataset ds = make_synthetic(cfg);
+  std::map<int, int> counts;
+  for (auto l : ds.labels()) counts[l]++;
+  EXPECT_EQ(counts.size(), 4u);
+  for (auto& [cls, n] : counts) EXPECT_EQ(n, 10);
+}
+
+TEST(Synthetic, DeterministicUnderSeed) {
+  auto a = make_synthetic(mnist_like(50, 3));
+  auto b = make_synthetic(mnist_like(50, 3));
+  EXPECT_EQ(a.labels(), b.labels());
+  for (std::int64_t i = 0; i < a.images().size(); ++i)
+    EXPECT_EQ(a.images()[i], b.images()[i]);
+}
+
+TEST(Synthetic, DifferentSampleSeedsShareClassStructure) {
+  // Same proto_seed, different seeds: a nearest-class-mean classifier fit
+  // on one split must transfer to the other (shared prototypes).
+  auto train = make_synthetic(mnist_like(400, 1));
+  auto test = make_synthetic(mnist_like(200, 2));
+  const auto spec = train.spec();
+  const std::int64_t d = spec.channels * spec.height * spec.width;
+  // Class means from train.
+  std::vector<std::vector<double>> mean(
+      static_cast<std::size_t>(spec.classes),
+      std::vector<double>(static_cast<std::size_t>(d), 0.0));
+  std::vector<int> counts(static_cast<std::size_t>(spec.classes), 0);
+  for (std::int64_t i = 0; i < train.size(); ++i) {
+    const int y = train.labels()[static_cast<std::size_t>(i)];
+    counts[static_cast<std::size_t>(y)]++;
+    for (std::int64_t k = 0; k < d; ++k)
+      mean[static_cast<std::size_t>(y)][static_cast<std::size_t>(k)] +=
+          train.images()[i * d + k];
+  }
+  for (std::size_t c = 0; c < mean.size(); ++c)
+    for (auto& v : mean[c]) v /= counts[c];
+  // Classify test by nearest mean.
+  int correct = 0;
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    double best = 1e300;
+    int arg = -1;
+    for (std::size_t c = 0; c < mean.size(); ++c) {
+      double dist = 0.0;
+      for (std::int64_t k = 0; k < d; ++k) {
+        const double diff = test.images()[i * d + k] -
+                            mean[c][static_cast<std::size_t>(k)];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        arg = static_cast<int>(c);
+      }
+    }
+    if (arg == test.labels()[static_cast<std::size_t>(i)]) ++correct;
+  }
+  // Prototypes + modest noise: should beat chance (10%) by a wide margin.
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.5);
+}
+
+TEST(Synthetic, LabelNoiseFlipsRoughlyExpectedFraction) {
+  SyntheticConfig clean = mnist_like(2000, 5);
+  SyntheticConfig noisy = clean;
+  noisy.label_noise = 0.3;
+  auto a = make_synthetic(clean);
+  auto b = make_synthetic(noisy);
+  int flips = 0;
+  for (std::size_t i = 0; i < a.labels().size(); ++i)
+    if (a.labels()[i] != b.labels()[i]) ++flips;
+  // 30% redrawn uniformly -> ~27% actually differ.
+  EXPECT_NEAR(flips / 2000.0, 0.27, 0.05);
+}
+
+TEST(Synthetic, ZeroShiftZeroNoiseIsPrototypeExactly) {
+  SyntheticConfig cfg;
+  cfg.spec = {1, 8, 8, 3};
+  cfg.num_samples = 6;
+  cfg.noise_stddev = 0.0;
+  cfg.max_shift = 0;
+  Dataset ds = make_synthetic(cfg);
+  // Samples 0 and 3 are both class 0 -> identical images.
+  const std::int64_t d = 64;
+  for (std::int64_t k = 0; k < d; ++k)
+    EXPECT_EQ(ds.images()[k], ds.images()[3 * d + k]);
+}
+
+TEST(Synthetic, InvalidConfigThrows) {
+  SyntheticConfig cfg;
+  cfg.num_samples = 0;
+  EXPECT_THROW(make_synthetic(cfg), CheckError);
+  cfg.num_samples = 10;
+  cfg.spec.classes = 1;
+  EXPECT_THROW(make_synthetic(cfg), CheckError);
+  cfg.spec.classes = 2;
+  cfg.label_noise = 1.5;
+  EXPECT_THROW(make_synthetic(cfg), CheckError);
+}
+
+TEST(Synthetic, ConvenienceConfigsHaveDocumentedShapes) {
+  EXPECT_EQ(mnist_like(10, 1).spec.channels, 1);
+  EXPECT_EQ(cifar10_like(10, 1).spec.channels, 3);
+  EXPECT_EQ(cifar100_like(10, 1).spec.classes, 20);
+}
+
+}  // namespace
+}  // namespace adafl::data

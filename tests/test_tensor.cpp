@@ -1,0 +1,151 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace adafl::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(Tensor, ZeroFilledConstruction) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FillValueConstruction) {
+  Tensor t({4}, 2.5f);
+  for (float v : t.flat()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, VectorAdoption) {
+  Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+}
+
+TEST(Tensor, VectorAdoptionLengthMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), CheckError);
+}
+
+TEST(Tensor, MultiDimAccessRowMajor) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  t.at({0, 0}) = 1.0f;
+  EXPECT_EQ(t[0], 1.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at({2, 0}), CheckError);
+  EXPECT_THROW(t.at({0, 3}), CheckError);
+  EXPECT_THROW(t.at({0}), CheckError);  // wrong rank
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  EXPECT_EQ(r.at({2, 1}), 6.0f);
+}
+
+TEST(Tensor, ReshapeNumelMismatchThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.reshaped({4, 2}), CheckError);
+}
+
+TEST(Tensor, InPlaceAddSub) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  a += b;
+  EXPECT_EQ(a[0], 5.0f);
+  EXPECT_EQ(a[2], 9.0f);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0f);
+}
+
+TEST(Tensor, ShapeMismatchArithmeticThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a += b, CheckError);
+  EXPECT_THROW(a -= b, CheckError);
+  EXPECT_THROW(a.axpy(1.0f, b), CheckError);
+}
+
+TEST(Tensor, ScalarMultiply) {
+  Tensor a({2}, std::vector<float>{3, -4});
+  a *= 0.5f;
+  EXPECT_EQ(a[0], 1.5f);
+  EXPECT_EQ(a[1], -2.0f);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a({2}, std::vector<float>{1, 1});
+  Tensor b({2}, std::vector<float>{2, 3});
+  a.axpy(2.0f, b);
+  EXPECT_EQ(a[0], 5.0f);
+  EXPECT_EQ(a[1], 7.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, std::vector<float>{1, -2, 3, 0.5f});
+  EXPECT_FLOAT_EQ(t.sum(), 2.5f);
+  EXPECT_FLOAT_EQ(t.min(), -2.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_EQ(t.argmax(), 2);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(1 + 4 + 9 + 0.25), 1e-5);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+  Tensor t({3}, std::vector<float>{5, 5, 1});
+  EXPECT_EQ(t.argmax(), 0);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(5);
+  Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+  double sum = 0.0;
+  for (float v : t.flat()) sum += v;
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.1);
+}
+
+TEST(Tensor, RandRange) {
+  Rng rng(5);
+  Tensor t = Tensor::rand({1000}, rng, -1.0f, 1.0f);
+  for (float v : t.flat()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Tensor, FillOverwrites) {
+  Tensor t({3}, 1.0f);
+  t.fill(9.0f);
+  for (float v : t.flat()) EXPECT_EQ(v, 9.0f);
+}
+
+TEST(FlatOps, DotAndNorm) {
+  std::vector<float> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_NEAR(l2_norm(a), std::sqrt(14.0), 1e-12);
+}
+
+TEST(FlatOps, DotLengthMismatchThrows) {
+  std::vector<float> a{1, 2}, b{1};
+  EXPECT_THROW(dot(a, b), CheckError);
+}
+
+TEST(FlatOps, CosineSimilarityCases) {
+  std::vector<float> a{1, 0}, b{0, 1}, c{2, 0}, d{-3, 0}, zero{0, 0};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity(a, c), 1.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity(a, d), -1.0, 1e-12);
+  EXPECT_EQ(cosine_similarity(a, zero), 0.0);  // zero-vector convention
+}
+
+}  // namespace
+}  // namespace adafl::tensor

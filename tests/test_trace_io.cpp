@@ -1,0 +1,93 @@
+#include "net/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/check.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace adafl::net {
+namespace {
+
+TEST(TraceIo, ParsesSimpleCsv) {
+  std::istringstream in("0,1.0\n10,0.5\n20,0.25\n");
+  auto pts = parse_trace(in);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[1].time, 10.0);
+  EXPECT_EQ(pts[1].multiplier, 0.5);
+}
+
+TEST(TraceIo, SkipsHeaderAndComments) {
+  std::istringstream in(
+      "time_s,multiplier\n# congestion episode\n0,1.0\n\n5,0.4\n");
+  auto pts = parse_trace(in);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[1].multiplier, 0.4);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  std::istringstream bad1("0,1.0\n5\n");
+  EXPECT_THROW(parse_trace(bad1), std::runtime_error);
+  std::istringstream bad2("0,1.0\n5,abc\n");
+  EXPECT_THROW(parse_trace(bad2), std::runtime_error);
+  std::istringstream bad3("0,1.0\n5,1.5\n");  // multiplier > 1
+  EXPECT_THROW(parse_trace(bad3), std::runtime_error);
+  std::istringstream bad4("5,1.0\n5,0.5\n");  // non-ascending
+  EXPECT_THROW(parse_trace(bad4), std::runtime_error);
+  std::istringstream empty("# nothing\n");
+  EXPECT_THROW(parse_trace(empty), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "adafl_trace.csv";
+  save_trace_file(path, {{0.0, 1.0}, {3.5, 0.3}, {9.0, 0.8}});
+  auto pts = load_trace_file(path);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[1].time, 3.5);
+  EXPECT_EQ(pts[1].multiplier, 0.3);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_file("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+TEST(TraceIo, PointsToTracePreservesSteps) {
+  auto trace = trace_from_points({{0.0, 1.0}, {10.0, 0.5}, {20.0, 0.25}},
+                                 /*step_s=*/1.0);
+  EXPECT_EQ(trace.multiplier(0.0), 1.0);
+  EXPECT_EQ(trace.multiplier(9.5), 1.0);
+  EXPECT_EQ(trace.multiplier(10.5), 0.5);
+  EXPECT_EQ(trace.multiplier(19.5), 0.5);
+  EXPECT_EQ(trace.multiplier(25.0), 0.25);
+  EXPECT_EQ(trace.multiplier(1e6), 0.25);  // last value holds
+}
+
+TEST(TraceIo, SampleThenRebuildRoundTrips) {
+  auto original = BandwidthTrace::periodic(7.0, 3.0, 0.4);
+  auto pts = sample_trace(original, 0.5, 30.0);
+  auto rebuilt = trace_from_points(pts, 0.5);
+  for (double t = 0.0; t < 30.0; t += 0.5)
+    EXPECT_EQ(rebuilt.multiplier(t), original.multiplier(t)) << "t=" << t;
+}
+
+TEST(BandwidthTraceFromSteps, ValidatesInput) {
+  EXPECT_THROW(BandwidthTrace::from_steps(0.0, {1.0}), CheckError);
+  EXPECT_THROW(BandwidthTrace::from_steps(1.0, {}), CheckError);
+  EXPECT_THROW(BandwidthTrace::from_steps(1.0, {1.5}), CheckError);
+  EXPECT_THROW(BandwidthTrace::from_steps(1.0, {0.0}), CheckError);
+}
+
+TEST(BandwidthTraceFromSteps, LinkIntegration) {
+  LinkConfig cfg;
+  cfg.up_bw = 1000.0;
+  cfg.latency = 0.0;
+  Link link(cfg, BandwidthTrace::from_steps(10.0, {1.0, 0.5}),
+            BandwidthTrace::constant(), tensor::Rng(1));
+  EXPECT_DOUBLE_EQ(link.upload(1000, 5.0).duration, 1.0);
+  EXPECT_DOUBLE_EQ(link.upload(1000, 15.0).duration, 2.0);
+}
+
+}  // namespace
+}  // namespace adafl::net

@@ -1,0 +1,120 @@
+#include "core/utility.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/check.h"
+
+namespace adafl::core {
+namespace {
+
+TEST(Similarity01, CosineMapsToUnitInterval) {
+  std::vector<float> a{1, 0}, b{2, 0}, c{-1, 0}, d{0, 3};
+  EXPECT_NEAR(similarity01(SimilarityMetric::kCosine, a, b), 1.0, 1e-9);
+  EXPECT_NEAR(similarity01(SimilarityMetric::kCosine, a, c), 0.0, 1e-9);
+  EXPECT_NEAR(similarity01(SimilarityMetric::kCosine, a, d), 0.5, 1e-9);
+}
+
+TEST(Similarity01, CosineZeroVectorIsNeutral) {
+  std::vector<float> a{1, 2}, z{0, 0};
+  EXPECT_NEAR(similarity01(SimilarityMetric::kCosine, a, z), 0.5, 1e-9);
+}
+
+TEST(Similarity01, KernelsAreOneForIdenticalVectors) {
+  std::vector<float> a{1, -2, 3};
+  EXPECT_NEAR(similarity01(SimilarityMetric::kL2Kernel, a, a), 1.0, 1e-6);
+  EXPECT_NEAR(similarity01(SimilarityMetric::kEuclideanKernel, a, a), 1.0,
+              1e-6);
+}
+
+TEST(Similarity01, KernelsDecayWithDistance) {
+  std::vector<float> a{1, 0}, near{0.9f, 0.1f}, far{-1, 0};
+  for (auto m : {SimilarityMetric::kL2Kernel,
+                 SimilarityMetric::kEuclideanKernel}) {
+    const double s_near = similarity01(m, a, near);
+    const double s_far = similarity01(m, a, far);
+    EXPECT_GT(s_near, s_far) << to_string(m);
+    EXPECT_GE(s_far, 0.0);
+    EXPECT_LE(s_near, 1.0);
+  }
+}
+
+TEST(Similarity01, LengthMismatchThrows) {
+  std::vector<float> a{1, 2}, b{1};
+  EXPECT_THROW(similarity01(SimilarityMetric::kL2Kernel, a, b), CheckError);
+}
+
+TEST(UtilityScore, InUnitInterval) {
+  UtilityConfig cfg;
+  std::vector<float> g{1, 2, 3}, ghat{3, 2, 1};
+  const double s = utility_score(cfg, g, ghat, 1e6, 1e6);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(UtilityScore, MonotoneInBandwidth) {
+  UtilityConfig cfg;
+  std::vector<float> g{1, 0}, ghat{1, 0};
+  const double slow = utility_score(cfg, g, ghat, 0.1e6, 0.1e6);
+  const double fast = utility_score(cfg, g, ghat, 5e6, 5e6);
+  EXPECT_GT(fast, slow);
+}
+
+TEST(UtilityScore, BandwidthTermSaturatesAtReference) {
+  UtilityConfig cfg;
+  std::vector<float> g{1, 0}, ghat{1, 0};
+  const double at_ref = utility_score(cfg, g, ghat, cfg.bw_ref, cfg.bw_ref);
+  const double above = utility_score(cfg, g, ghat, 10 * cfg.bw_ref,
+                                     10 * cfg.bw_ref);
+  EXPECT_DOUBLE_EQ(at_ref, above);
+}
+
+TEST(UtilityScore, MinOfUpDownGoverns) {
+  UtilityConfig cfg;
+  std::vector<float> g{1, 0}, ghat{1, 0};
+  const double asym = utility_score(cfg, g, ghat, 0.1e6, 100e6);
+  const double sym = utility_score(cfg, g, ghat, 0.1e6, 0.1e6);
+  EXPECT_DOUBLE_EQ(asym, sym);
+}
+
+TEST(UtilityScore, MonotoneInAlignment) {
+  UtilityConfig cfg;
+  std::vector<float> ghat{1, 0};
+  std::vector<float> aligned{1, 0}, orthogonal{0, 1}, opposed{-1, 0};
+  const double bw = cfg.bw_ref;
+  EXPECT_GT(utility_score(cfg, aligned, ghat, bw, bw),
+            utility_score(cfg, orthogonal, ghat, bw, bw));
+  EXPECT_GT(utility_score(cfg, orthogonal, ghat, bw, bw),
+            utility_score(cfg, opposed, ghat, bw, bw));
+}
+
+TEST(UtilityScore, WeightsAreNormalized) {
+  // With w_sim = w_bw and perfect similarity + zero bandwidth, score = 0.5.
+  UtilityConfig cfg;
+  cfg.w_sim = 2.0;
+  cfg.w_bw = 2.0;
+  std::vector<float> g{1, 0};
+  EXPECT_NEAR(utility_score(cfg, g, g, 0.0, 0.0), 0.5, 1e-9);
+}
+
+TEST(UtilityScore, InvalidConfigThrows) {
+  UtilityConfig cfg;
+  cfg.w_sim = 0.0;
+  cfg.w_bw = 0.0;
+  std::vector<float> g{1};
+  EXPECT_THROW(utility_score(cfg, g, g, 1, 1), CheckError);
+  UtilityConfig cfg2;
+  cfg2.bw_ref = 0.0;
+  EXPECT_THROW(utility_score(cfg2, g, g, 1, 1), CheckError);
+  UtilityConfig cfg3;
+  EXPECT_THROW(utility_score(cfg3, g, g, -1.0, 1), CheckError);
+}
+
+TEST(SimilarityMetricNames, AreStable) {
+  EXPECT_STREQ(to_string(SimilarityMetric::kCosine), "cosine");
+  EXPECT_STREQ(to_string(SimilarityMetric::kL2Kernel), "l2-kernel");
+  EXPECT_STREQ(to_string(SimilarityMetric::kEuclideanKernel),
+               "euclidean-kernel");
+}
+
+}  // namespace
+}  // namespace adafl::core

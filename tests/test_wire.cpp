@@ -1,0 +1,152 @@
+#include "compress/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/check.h"
+
+namespace adafl::compress {
+namespace {
+
+using tensor::Rng;
+
+std::vector<float> random_grad(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> g(n);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  return g;
+}
+
+void expect_same_decode(const EncodedGradient& a, const EncodedGradient& b) {
+  const auto da = a.decode();
+  const auto db = b.decode();
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) EXPECT_EQ(da[i], db[i]);
+}
+
+TEST(Wire, BitWriterReaderRoundTrip) {
+  BitWriter w;
+  w.put(5, 3);
+  w.put(0, 1);
+  w.put(1023, 10);
+  w.put(1, 1);
+  const auto bytes = w.bytes();
+  EXPECT_EQ(bytes.size(), 2u);  // 15 bits
+  BitReader r(bytes);
+  EXPECT_EQ(r.get(3), 5u);
+  EXPECT_EQ(r.get(1), 0u);
+  EXPECT_EQ(r.get(10), 1023u);
+  EXPECT_EQ(r.get(1), 1u);
+}
+
+TEST(Wire, BitWriterRejectsOverflow) {
+  BitWriter w;
+  EXPECT_THROW(w.put(8, 3), CheckError);
+  EXPECT_THROW(w.put(0, 0), CheckError);
+}
+
+TEST(Wire, BitReaderRejectsOverread) {
+  BitWriter w;
+  w.put(1, 4);
+  BitReader r(w.bytes());
+  r.get(4);
+  // Remaining 4 padding bits exist in the byte; reading past them throws.
+  r.get(4);
+  EXPECT_THROW(r.get(1), CheckError);
+}
+
+TEST(Wire, IdentityRoundTrip) {
+  auto g = random_grad(33, 1);
+  Rng rng(2);
+  IdentityCodec codec;
+  auto e = codec.encode(g, rng);
+  auto bytes = serialize(e);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), wire_size(e));
+  EXPECT_EQ(wire_size(e), e.wire_bytes);  // identity: sizes agree exactly
+  expect_same_decode(e, deserialize(bytes));
+}
+
+TEST(Wire, TopKRoundTrip) {
+  auto g = random_grad(500, 3);
+  Rng rng(4);
+  TopKCodec codec(25.0);
+  auto e = codec.encode(g, rng);
+  auto bytes = serialize(e);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), e.wire_bytes);
+  expect_same_decode(e, deserialize(bytes));
+}
+
+TEST(Wire, QsgdRoundTrip) {
+  auto g = random_grad(257, 5);  // odd size exercises bit padding
+  Rng rng(6);
+  QsgdCodec codec(7);
+  auto e = codec.encode(g, rng);
+  auto bytes = serialize(e);
+  // QSGD wire carries one extra byte (explicit level count).
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), e.wire_bytes + 1);
+  auto d = deserialize(bytes);
+  EXPECT_EQ(d.quant_levels, 7);
+  EXPECT_EQ(d.scale, e.scale);
+  expect_same_decode(e, d);
+}
+
+TEST(Wire, TernaryRoundTrip) {
+  auto g = random_grad(129, 7);
+  Rng rng(8);
+  TernaryCodec codec;
+  auto e = codec.encode(g, rng);
+  auto bytes = serialize(e);
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), e.wire_bytes);
+  expect_same_decode(e, deserialize(bytes));
+}
+
+TEST(Wire, RejectsTruncatedBuffers) {
+  auto g = random_grad(64, 9);
+  Rng rng(10);
+  TopKCodec codec(8.0);
+  auto bytes = serialize(codec.encode(g, rng));
+  bytes.pop_back();
+  EXPECT_THROW(deserialize(bytes), CheckError);
+  std::vector<std::uint8_t> tiny(4, 0);
+  EXPECT_THROW(deserialize(tiny), CheckError);
+}
+
+TEST(Wire, RejectsUnknownKind) {
+  std::vector<std::uint8_t> bytes(8, 0);
+  bytes[0] = 99;
+  EXPECT_THROW(deserialize(bytes), CheckError);
+}
+
+TEST(Wire, RejectsOutOfRangeTopKIndex) {
+  auto g = random_grad(16, 11);
+  Rng rng(12);
+  TopKCodec codec(4.0);
+  auto bytes = serialize(codec.encode(g, rng));
+  // Corrupt the first index to dense_size.
+  bytes[8] = 16;
+  bytes[9] = bytes[10] = bytes[11] = 0;
+  EXPECT_THROW(deserialize(bytes), CheckError);
+}
+
+// Round-trip property across sizes and codecs.
+class WirePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WirePropertyTest, AllCodecsRoundTrip) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  auto g = random_grad(n, 100 + n);
+  Rng rng(200 + n);
+  IdentityCodec ident;
+  TopKCodec topk(4.0);
+  QsgdCodec qsgd(15);
+  TernaryCodec tern;
+  for (Codec* codec :
+       std::initializer_list<Codec*>{&ident, &topk, &qsgd, &tern}) {
+    auto e = codec->encode(g, rng);
+    expect_same_decode(e, deserialize(serialize(e)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WirePropertyTest,
+                         ::testing::Values(1, 2, 7, 8, 9, 63, 64, 65, 1000));
+
+}  // namespace
+}  // namespace adafl::compress
