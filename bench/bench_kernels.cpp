@@ -1,0 +1,187 @@
+// Kernel/threading micro-benchmarks for the deterministic execution layer.
+//
+// Times the blocked matmul kernels, Conv2d forward/backward, DGC compression,
+// and one full synchronous FL round at 1/2/4/8 worker threads, and writes the
+// results to bench_results/BENCH_kernels.json. Because the execution layer is
+// bitwise deterministic, every timing below computes the exact same numbers
+// at every thread count — only the wall clock changes.
+//
+// Usage:
+//   bench_kernels                  # full sweep
+//   ADAFL_BENCH_SCALE=0.3 bench_kernels   # quicker smoke pass
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "compress/dgc.h"
+#include "core/parallel.h"
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace adafl;
+
+/// Wall-clock of the best of `reps` runs (min filters scheduler noise).
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string bench;
+  std::int64_t size = 0;
+  int threads = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;  ///< 0 when a FLOP count is not meaningful
+};
+
+void write_json(const std::vector<Row>& rows) {
+  std::filesystem::create_directories("bench_results");
+  const std::string path = "bench_results/BENCH_kernels.json";
+  std::ofstream os(path);
+  os << std::setprecision(6);
+  os << "{\n  \"hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "    {\"bench\": \"" << r.bench
+       << "\", \"size\": " << r.size << ", \"threads\": " << r.threads
+       << ", \"seconds\": " << r.seconds;
+    if (r.gflops > 0.0) os << ", \"gflops\": " << r.gflops;
+    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "[json] " << path << "\n";
+}
+
+void report(const Row& r) {
+  std::cout << "  " << std::left << std::setw(16) << r.bench << " size="
+            << std::setw(7) << r.size << " threads=" << r.threads << "  "
+            << std::fixed << std::setprecision(4) << r.seconds << " s";
+  if (r.gflops > 0.0)
+    std::cout << "  (" << std::setprecision(2) << r.gflops << " GFLOP/s)";
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const int reps_big = std::max(1, static_cast<int>(2 * bench::scale()));
+  const int reps_small = std::max(2, static_cast<int>(5 * bench::scale()));
+  std::vector<Row> rows;
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+
+  // Fixed inputs shared across thread counts so every config multiplies the
+  // same matrices.
+  tensor::Rng rng(42);
+  std::vector<std::int64_t> sizes{256, 512, 1024};
+  std::vector<std::pair<tensor::Tensor, tensor::Tensor>> mats;
+  for (auto n : sizes)
+    mats.emplace_back(tensor::Tensor::randn({n, n}, rng),
+                      tensor::Tensor::randn({n, n}, rng));
+
+  const std::int64_t conv_batch = 16;
+  tensor::Tensor conv_in =
+      tensor::Tensor::randn({conv_batch, 8, 16, 16}, rng);
+
+  const std::int64_t dgc_dim = 1 << 18;
+  std::vector<float> dgc_grad(static_cast<std::size_t>(dgc_dim));
+  for (auto& v : dgc_grad) v = static_cast<float>(rng.normal());
+
+  for (int threads : thread_counts) {
+    core::set_num_threads(threads);
+    std::cout << "--- threads=" << threads << " ---\n";
+
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      const auto n = sizes[si];
+      const int reps = n >= 1024 ? reps_big : reps_small;
+      const double flops = 2.0 * static_cast<double>(n) * n * n;
+      tensor::Tensor out;
+      Row r{"matmul", n, threads,
+            best_seconds(reps,
+                         [&] {
+                           out = tensor::matmul(mats[si].first,
+                                                mats[si].second);
+                         }),
+            0.0};
+      r.gflops = flops / r.seconds * 1e-9;
+      report(r);
+      rows.push_back(r);
+
+      Row rnt{"matmul_nt", n, threads,
+              best_seconds(reps,
+                           [&] {
+                             out = tensor::matmul_nt(mats[si].first,
+                                                     mats[si].second);
+                           }),
+              0.0};
+      rnt.gflops = flops / rnt.seconds * 1e-9;
+      report(rnt);
+      rows.push_back(rnt);
+    }
+
+    {
+      tensor::Rng layer_rng(7);
+      nn::Conv2d conv(8, 16, 3, layer_rng, 1, 1);
+      tensor::Tensor y = conv.forward(conv_in, true);
+      Row fwd{"conv2d_fwd", conv_batch, threads,
+              best_seconds(reps_small,
+                           [&] { y = conv.forward(conv_in, true); }),
+              0.0};
+      report(fwd);
+      rows.push_back(fwd);
+      Row bwd{"conv2d_bwd", conv_batch, threads,
+              best_seconds(reps_small, [&] { (void)conv.backward(y); }), 0.0};
+      report(bwd);
+      rows.push_back(bwd);
+    }
+
+    {
+      compress::DgcCompressor dgc(dgc_dim, {});
+      Row r{"dgc_compress", dgc_dim, threads,
+            best_seconds(reps_small, [&] { (void)dgc.compress(dgc_grad); }),
+            0.0};
+      report(r);
+      rows.push_back(r);
+    }
+
+    {
+      // One synchronous FedAvg round over 8 CNN clients — the end-to-end
+      // number the per-client parallelism targets.
+      auto task = bench::mnist_task(8, bench::Dist::kIid, 1, 480, 120);
+      fl::SyncConfig cfg;
+      cfg.rounds = 1;
+      cfg.participation = 1.0;
+      cfg.client = task.client;
+      cfg.seed = 1;
+      Row r{"sync_round", 8, threads,
+            best_seconds(1,
+                         [&] {
+                           fl::SyncTrainer t(cfg, task.factory, &task.train,
+                                             task.parts, &task.test);
+                           (void)t.run();
+                         }),
+            0.0};
+      report(r);
+      rows.push_back(r);
+    }
+  }
+  core::set_num_threads(0);
+
+  write_json(rows);
+  return 0;
+}

@@ -54,16 +54,34 @@ std::string ArgParser::get(const std::string& key) const {
 int ArgParser::get_int(const std::string& key) const {
   const std::string v = get(key);
   std::size_t pos = 0;
-  const int out = std::stoi(v, &pos);
+  int out = 0;
+  try {
+    out = std::stoi(v, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;  // non-numeric / out of range: same error below
+  }
   ADAFL_CHECK_MSG(pos == v.size(), "ArgParser: --" << key << "=" << v
                                                    << " is not an integer");
+  return out;
+}
+
+int ArgParser::get_int_at_least(const std::string& key, int min_value) const {
+  const int out = get_int(key);
+  ADAFL_CHECK_MSG(out >= min_value, "ArgParser: --" << key << "=" << out
+                                                    << " must be >= "
+                                                    << min_value);
   return out;
 }
 
 double ArgParser::get_double(const std::string& key) const {
   const std::string v = get(key);
   std::size_t pos = 0;
-  const double out = std::stod(v, &pos);
+  double out = 0.0;
+  try {
+    out = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
   ADAFL_CHECK_MSG(pos == v.size(), "ArgParser: --" << key << "=" << v
                                                    << " is not a number");
   return out;

@@ -26,6 +26,9 @@ class ArgParser {
 
   std::string get(const std::string& key) const;
   int get_int(const std::string& key) const;
+  /// get_int plus a lower bound: values below `min_value` are hard errors
+  /// (e.g. --threads rejects negatives; 0 means "auto").
+  int get_int_at_least(const std::string& key, int min_value) const;
   double get_double(const std::string& key) const;
   bool get_bool(const std::string& key) const;  ///< "1|true|yes" = true
 

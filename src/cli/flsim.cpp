@@ -12,6 +12,7 @@
 #include "cli/args.h"
 #include "core/adafl_async.h"
 #include "core/adafl_sync.h"
+#include "core/parallel.h"
 #include "data/synthetic.h"
 #include "fl/async_trainer.h"
 #include "fl/fedat.h"
@@ -124,6 +125,10 @@ int main(int argc, char** argv) {
       .option("train-samples", "1500", "synthetic training examples")
       .option("test-samples", "400", "synthetic test examples")
       .option("seed", "1", "experiment seed")
+      .option("threads", "0",
+              "worker threads for client training and kernels "
+              "(0 = auto: ADAFL_THREADS or hardware concurrency); results "
+              "are bitwise identical at any thread count")
       .option("csv", "", "write the accuracy curve to this CSV path")
       .option("chart", "1", "render the ASCII accuracy chart");
   if (!args.parse(argc, argv)) {
@@ -136,6 +141,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    core::set_num_threads(args.get_int_at_least("threads", 0));
     const auto task = build_task(args);
     const int clients = args.get_int("clients");
     const auto links = build_links(args, clients);
@@ -145,6 +151,14 @@ int main(int argc, char** argv) {
     client.lr = static_cast<float>(args.get_double("lr"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
     const std::string algo = args.get("algo");
+
+    // One-line run config (threads resolved, not the raw flag) so logs and
+    // benchmark CSV provenance record exactly what executed.
+    std::cout << "run-config: algo=" << algo << " dataset="
+              << args.get("dataset") << " model=" << args.get("model")
+              << " dist=" << args.get("dist") << " clients=" << clients
+              << " seed=" << seed << " threads=" << core::num_threads()
+              << "\n";
 
     fl::TrainLog log;
     bool by_time = false;

@@ -135,11 +135,21 @@ std::vector<std::uint32_t> top_k_by_magnitude(std::span<const float> values,
   ADAFL_CHECK_MSG(k >= 1 && k <= n, "top_k_by_magnitude: k=" << k << " n=" << n);
   std::vector<std::uint32_t> idx(static_cast<std::size_t>(n));
   std::iota(idx.begin(), idx.end(), 0u);
+  // Magnitude ties break toward the lower index, so the *set* of selected
+  // coordinates is the same on every standard library (nth_element alone
+  // leaves both the order and the tie winners implementation-defined, which
+  // would leak into the wire bytes and downstream digests).
   std::nth_element(idx.begin(), idx.begin() + (k - 1), idx.end(),
                    [&](std::uint32_t a, std::uint32_t b) {
-                     return std::abs(values[a]) > std::abs(values[b]);
+                     const float ma = std::abs(values[a]);
+                     const float mb = std::abs(values[b]);
+                     if (ma != mb) return ma > mb;
+                     return a < b;
                    });
   idx.resize(static_cast<std::size_t>(k));
+  // Ascending index order: a canonical on-wire layout (and better locality
+  // for the decoder's scatter).
+  std::sort(idx.begin(), idx.end());
   return idx;
 }
 

@@ -92,7 +92,10 @@ class TernaryCodec final : public Codec {
 
 // ---- Shared helpers ----
 
-/// Returns the indices of the k largest |values| (k >= 1), unordered.
+/// Returns the indices of the k largest |values| (k >= 1), sorted ascending.
+/// Ties in magnitude break toward the lower index, so the selection (and the
+/// resulting wire bytes) is identical across standard-library
+/// implementations.
 std::vector<std::uint32_t> top_k_by_magnitude(std::span<const float> values,
                                               std::int64_t k);
 

@@ -76,6 +76,20 @@ Batch BatchLoader::next() {
   return b;
 }
 
+std::int64_t BatchLoader::peek_samples(int steps) const {
+  const std::size_t n = indices_.size();
+  std::size_t cursor = cursor_;
+  std::int64_t total = 0;
+  for (int s = 0; s < steps; ++s) {
+    if (cursor >= n) cursor = 0;
+    const std::size_t take =
+        std::min(static_cast<std::size_t>(batch_size_), n - cursor);
+    total += static_cast<std::int64_t>(take);
+    cursor += take;
+  }
+  return total;
+}
+
 std::int64_t BatchLoader::batches_per_epoch() const {
   const std::int64_t n = num_examples();
   return (n + batch_size_ - 1) / batch_size_;

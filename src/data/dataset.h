@@ -47,6 +47,12 @@ class BatchLoader {
   /// Next mini-batch; wraps to a fresh shuffled epoch at the end.
   Batch next();
 
+  /// Total number of examples the next `steps` calls to next() will yield.
+  /// Pure function of the cursor position (batch boundaries don't depend on
+  /// the shuffle), so it consumes no RNG and leaves the loader untouched —
+  /// used to predict simulated compute time before training actually runs.
+  std::int64_t peek_samples(int steps) const;
+
   std::int64_t num_examples() const {
     return static_cast<std::int64_t>(indices_.size());
   }

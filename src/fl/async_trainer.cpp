@@ -1,6 +1,9 @@
 #include "fl/async_trainer.h"
 
 #include <cmath>
+#include <utility>
+
+#include "core/parallel.h"
 
 namespace adafl::fl {
 
@@ -61,6 +64,8 @@ TrainLog AsyncTrainer::run() {
   losses_since_eval_ = 0;
   buffer_sum_.assign(global_.size(), 0.0f);
   buffered_ = 0;
+  training_.clear();
+  training_.resize(clients_.size());
 
   // Kick off every client's first cycle, slightly staggered so version
   // counters differentiate.
@@ -91,6 +96,14 @@ TrainLog AsyncTrainer::run() {
   }
 
   queue_.run_until(cfg_.duration);
+  // Join training tasks whose arrival events fell past the horizon: the
+  // client state they mutate must settle before run() returns (the serial
+  // schedule trained at cycle start, so these trainings "happened" too).
+  for (auto& p : training_)
+    if (p) {
+      p->done.get();
+      p.reset();
+    }
   log.total_time = queue_.now();
   log.applied_updates = delivered_;
   log_ = nullptr;
@@ -101,6 +114,11 @@ void AsyncTrainer::start_cycle(int client_id) {
   if (cfg_.max_updates > 0 && delivered_ >= cfg_.max_updates) return;
   FlClient& cl = clients_[static_cast<std::size_t>(client_id)];
   const std::int64_t version_at_start = version_;
+
+  // A lost upload schedules a retry cycle without consuming the previous
+  // training task; settle it first — the client's loader/model state must
+  // be quiescent before we read it or train again.
+  take_training(client_id);
 
   // Download leg.
   double down_t = 0.0;
@@ -118,10 +136,24 @@ void AsyncTrainer::start_cycle(int client_id) {
   log_->ledger.record_download(client_id, dense_bytes_);
 
   // Local training happens "now" algorithmically but costs simulated time.
-  auto res = cl.train_from(global_);
-  std::vector<float> local(global_.size());
-  for (std::size_t i = 0; i < local.size(); ++i)
-    local[i] = global_[i] - res.delta[i];
+  // The actual number crunching is dispatched to the thread pool against a
+  // snapshot of the current global model — the result is identical to the
+  // serial schedule, it just overlaps in wall-clock time with other
+  // clients' cycles. The simulated compute time is predicted up front (the
+  // loader's batch boundaries don't depend on training), so the arrival
+  // event can be scheduled before the task finishes.
+  const double compute_t = cl.predicted_compute_seconds();
+  auto task = std::make_unique<PendingTrain>();
+  task->predicted_seconds = compute_t;
+  auto snapshot = std::make_shared<std::vector<float>>(global_);
+  PendingTrain* t = task.get();
+  task->done = core::submit_task([t, &cl, snapshot] {
+    t->res = cl.train_from(*snapshot);
+    t->local.resize(snapshot->size());
+    for (std::size_t i = 0; i < t->local.size(); ++i)
+      t->local[i] = (*snapshot)[i] - t->res.delta[i];
+  });
+  training_[static_cast<std::size_t>(client_id)] = std::move(task);
 
   // Upload leg.
   double up_t = 0.0;
@@ -138,21 +170,30 @@ void AsyncTrainer::start_cycle(int client_id) {
       rng_.bernoulli(cfg_.faults.dropout_prob))
     ok = false;
 
-  const double arrival = down_t + res.compute_seconds + up_t;
-  const float loss = res.mean_loss;
+  const double arrival = down_t + compute_t + up_t;
   if (ok) {
-    queue_.schedule_in(
-        arrival, [this, client_id, local = std::move(local),
-                  delta = std::move(res.delta), version_at_start, loss]() mutable {
-          on_arrival(client_id, std::move(local), std::move(delta),
-                     version_at_start, loss);
-        });
+    queue_.schedule_in(arrival, [this, client_id, version_at_start] {
+      auto done = take_training(client_id);
+      on_arrival(client_id, std::move(done->local), std::move(done->res.delta),
+                 version_at_start, done->res.mean_loss);
+    });
   } else {
     // Lost upload: bytes were spent, nothing arrives; client retries with a
     // fresh cycle after the wasted round-trip.
     queue_.schedule_in(arrival, [this, client_id] { start_cycle(client_id); });
   }
   log_->ledger.record_upload(client_id, dense_bytes_, ok);
+}
+
+std::unique_ptr<AsyncTrainer::PendingTrain> AsyncTrainer::take_training(
+    int client_id) {
+  auto task = std::move(training_[static_cast<std::size_t>(client_id)]);
+  if (!task) return nullptr;
+  task->done.get();
+  ADAFL_CHECK_MSG(task->res.compute_seconds == task->predicted_seconds,
+                  "AsyncTrainer: predicted compute time diverged for client "
+                      << client_id);
+  return task;
 }
 
 void AsyncTrainer::on_arrival(int client_id, std::vector<float> local,

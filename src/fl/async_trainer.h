@@ -3,6 +3,9 @@
 // paper's §III async study.
 #pragma once
 
+#include <future>
+#include <memory>
+
 #include "fl/client.h"
 #include "fl/types.h"
 #include "net/event_queue.h"
@@ -52,12 +55,26 @@ class AsyncTrainer {
   const std::vector<float>& global() const { return global_; }
 
  private:
+  /// One client's local training running on the thread pool. The task
+  /// trains against a snapshot of the global model taken when the cycle
+  /// started (exactly what the serial schedule trains on), and fills res /
+  /// local; the future's completion publishes them to the main thread.
+  struct PendingTrain {
+    std::future<void> done;
+    FlClient::LocalResult res;
+    std::vector<float> local;          ///< snapshot - delta
+    double predicted_seconds = 0.0;    ///< must match res.compute_seconds
+  };
+
   void start_cycle(int client_id);
   void on_arrival(int client_id, std::vector<float> local,
                   std::vector<float> delta, std::int64_t version_at_start,
                   float loss);
   void apply_fedasync(std::span<const float> local, std::int64_t staleness);
   void apply_fedbuff(std::span<const float> delta, std::int64_t staleness);
+  /// Blocks until client_id's in-flight training (if any) finished and
+  /// returns it; the slot is cleared.
+  std::unique_ptr<PendingTrain> take_training(int client_id);
 
   AsyncConfig cfg_;
   nn::ModelFactory factory_;
@@ -80,6 +97,9 @@ class AsyncTrainer {
   // FedBuff buffer.
   std::vector<float> buffer_sum_;
   int buffered_ = 0;
+  // Per-client in-flight training tasks (at most one per client: a client's
+  // next cycle starts only after its previous result was consumed).
+  std::vector<std::unique_ptr<PendingTrain>> training_;
 };
 
 }  // namespace adafl::fl

@@ -46,6 +46,14 @@ class FlClient {
                              std::span<const float> c_global,
                              std::vector<float>* delta_c);
 
+  /// Simulated compute time the *next* train_from / train_scaffold call
+  /// will report, without running it (pure read of the loader cursor).
+  /// Lets the async trainer schedule an arrival event before the training
+  /// task has actually finished on the thread pool.
+  double predicted_compute_seconds() const {
+    return device_.seconds_for(loader_.peek_samples(cfg_.local_steps));
+  }
+
   int id() const { return id_; }
   std::int64_t num_examples() const { return loader_.num_examples(); }
   std::int64_t param_count() const { return model_.param_count(); }

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <optional>
 
+#include "core/parallel.h"
+
 namespace adafl::fl {
 
 namespace {
@@ -128,41 +130,87 @@ TrainLog SyncTrainer::run() {
     int scaffold_deliveries = 0;
     double round_time = 0.0;
 
+    // The round runs in three phases so the selected clients can train in
+    // parallel while every RNG stays on the main thread in the serial
+    // schedule's draw order:
+    //   A (serial, schedule order): decide each client's path and draw its
+    //     download transfer — each link has its own RNG, and a client
+    //     appears at most once per round, so the per-link draw sequence
+    //     (download, then upload in phase C) matches the serial trainer.
+    //   B (parallel): the independent local_train calls. Each task touches
+    //     only its own client plus the read-only global (and SCAFFOLD c)
+    //     vectors.
+    //   C (serial, schedule order): fault draws on the main RNG, upload
+    //     draws, and delta aggregation — identical order to the serial
+    //     trainer, so the round is bitwise reproducible at any thread count.
+    struct ClientSlot {
+      int id = 0;
+      bool unreliable = false;
+      bool trains = false;
+      double down_t = 0.0;
+      FlClient::LocalResult res;
+      std::vector<float> dc;  // SCAFFOLD control-variate delta
+    };
+    std::vector<ClientSlot> slots(static_cast<std::size_t>(per_round));
+
+    // --- Phase A: schedule decisions + download legs.
     for (int k = 0; k < per_round; ++k) {
-      const int id = ids[static_cast<std::size_t>(k)];
-      FlClient& cl = clients_[static_cast<std::size_t>(id)];
-      const bool unreliable = id < n_unreliable;
+      ClientSlot& s = slots[static_cast<std::size_t>(k)];
+      s.id = ids[static_cast<std::size_t>(k)];
+      s.unreliable = s.id < n_unreliable;
+      const bool dataloss_client =
+          cfg_.faults.kind == FaultKind::kDataLoss && s.unreliable;
+      // A data-loss client with a pending update only delivers this round;
+      // everyone else downloads the global model and trains.
+      s.trains = !(dataloss_client &&
+                   pending[static_cast<std::size_t>(s.id)].has_value());
+      if (!s.trains) continue;
+      if (!links_.empty())
+        s.down_t = links_[static_cast<std::size_t>(s.id)]
+                       .download(dense_bytes, clock)
+                       .duration;
+      log.ledger.record_download(s.id, dense_bytes);
+    }
+
+    // --- Phase B: parallel local training.
+    std::vector<std::size_t> training;
+    for (std::size_t k = 0; k < slots.size(); ++k)
+      if (slots[k].trains) training.push_back(k);
+    core::parallel_for(
+        0, static_cast<std::int64_t>(training.size()), [&](std::int64_t t) {
+          ClientSlot& s = slots[training[static_cast<std::size_t>(t)]];
+          FlClient& cl = clients_[static_cast<std::size_t>(s.id)];
+          if (cfg_.algo == Algorithm::kScaffold)
+            s.res = cl.train_scaffold(global_, c_global, &s.dc);
+          else
+            s.res = cl.train_from(global_);
+        });
+
+    // --- Phase C: faults, uploads, aggregation (schedule order).
+    for (int k = 0; k < per_round; ++k) {
+      ClientSlot& s = slots[static_cast<std::size_t>(k)];
       double t_client = 0.0;
 
-      // --- Data-loss fault: alternate train-only / deliver-stale rounds.
-      if (cfg_.faults.kind == FaultKind::kDataLoss && unreliable) {
-        auto& slot = pending[static_cast<std::size_t>(id)];
-        if (!slot.has_value()) {
-          // Train against the current global model; delivery happens on the
-          // client's next participation, by which time it is stale.
-          double down_t = 0.0;
-          if (!links_.empty()) {
-            auto tr = links_[static_cast<std::size_t>(id)].download(
-                dense_bytes, clock);
-            down_t = tr.duration;
-            log.ledger.record_download(id, dense_bytes);
-          } else {
-            log.ledger.record_download(id, dense_bytes);
-          }
-          auto res = cl.train_from(global_);
-          slot = Pending{std::move(res.delta), res.num_examples, res.mean_loss};
-          t_client = down_t + res.compute_seconds;
+      // Data-loss fault: alternate train-only / deliver-stale rounds.
+      if (cfg_.faults.kind == FaultKind::kDataLoss && s.unreliable) {
+        auto& slot = pending[static_cast<std::size_t>(s.id)];
+        if (s.trains) {
+          // Trained against the current global model; delivery happens on
+          // the client's next participation, by which time it is stale.
+          slot = Pending{std::move(s.res.delta), s.res.num_examples,
+                         s.res.mean_loss};
+          t_client = s.down_t + s.res.compute_seconds;
         } else {
           // Deliver the stale pending update.
           double up_t = 0.0;
           bool ok = true;
           if (!links_.empty()) {
-            auto tr =
-                links_[static_cast<std::size_t>(id)].upload(dense_bytes, clock);
+            auto tr = links_[static_cast<std::size_t>(s.id)].upload(
+                dense_bytes, clock);
             up_t = tr.duration;
             ok = tr.delivered;
           }
-          log.ledger.record_upload(id, dense_bytes, ok);
+          log.ledger.record_upload(s.id, dense_bytes, ok);
           if (ok) {
             const double w = static_cast<double>(slot->weight);
             for (std::size_t i = 0; i < sum_delta.size(); ++i)
@@ -179,55 +227,42 @@ TrainLog SyncTrainer::run() {
         continue;
       }
 
-      // --- Normal path (with optional dropout fault).
-      double down_t = 0.0, up_t = 0.0;
-      if (!links_.empty()) {
-        auto tr =
-            links_[static_cast<std::size_t>(id)].download(dense_bytes, clock);
-        down_t = tr.duration;
-      }
-      log.ledger.record_download(id, dense_bytes);
-
-      FlClient::LocalResult res;
-      std::vector<float> dc;
-      if (cfg_.algo == Algorithm::kScaffold)
-        res = cl.train_scaffold(global_, c_global, &dc);
-      else
-        res = cl.train_from(global_);
-
+      // Normal path (with optional dropout fault).
       bool deliver = true;
-      if (cfg_.faults.kind == FaultKind::kDropout && unreliable)
+      if (cfg_.faults.kind == FaultKind::kDropout && s.unreliable)
         deliver = rng_.bernoulli(0.5);
-      if (cfg_.faults.kind == FaultKind::kByzantine && unreliable) {
+      if (cfg_.faults.kind == FaultKind::kByzantine && s.unreliable) {
         // Sign-flip attack with amplification.
-        for (auto& v : res.delta) v *= -3.0f;
+        for (auto& v : s.res.delta) v *= -3.0f;
       }
 
+      double up_t = 0.0;
       if (deliver) {
         bool ok = true;
         if (!links_.empty()) {
-          auto tr =
-              links_[static_cast<std::size_t>(id)].upload(dense_bytes, clock);
+          auto tr = links_[static_cast<std::size_t>(s.id)].upload(dense_bytes,
+                                                                  clock);
           up_t = tr.duration;
           ok = tr.delivered;
         }
-        log.ledger.record_upload(id, dense_bytes, ok);
+        log.ledger.record_upload(s.id, dense_bytes, ok);
         if (ok) {
-          const double w = static_cast<double>(res.num_examples);
+          const double w = static_cast<double>(s.res.num_examples);
           for (std::size_t i = 0; i < sum_delta.size(); ++i)
-            sum_delta[i] += static_cast<float>(w) * res.delta[i];
-          if (robust) delivered_deltas.push_back(res.delta);
+            sum_delta[i] += static_cast<float>(w) * s.res.delta[i];
+          if (robust) delivered_deltas.push_back(s.res.delta);
           weight_sum += w;
-          loss_sum += res.mean_loss;
+          loss_sum += s.res.mean_loss;
           ++delivered;
           if (cfg_.algo == Algorithm::kScaffold) {
             for (std::size_t i = 0; i < sum_dc.size(); ++i)
-              sum_dc[i] += dc[i];
+              sum_dc[i] += s.dc[i];
             ++scaffold_deliveries;
           }
         }
       }
-      round_time = std::max(round_time, down_t + res.compute_seconds + up_t);
+      round_time =
+          std::max(round_time, s.down_t + s.res.compute_seconds + up_t);
     }
 
     // --- Server aggregation.

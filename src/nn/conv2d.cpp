@@ -1,5 +1,6 @@
 #include "nn/conv2d.h"
 
+#include "core/parallel.h"
 #include "nn/init.h"
 
 namespace adafl::nn {
@@ -22,7 +23,7 @@ Conv2d::Conv2d(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
   kaiming_uniform(w_, in_c * kernel * kernel, rng);
 }
 
-Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+Tensor Conv2d::forward(const Tensor& x, bool training) {
   ADAFL_CHECK_MSG(x.shape().rank() == 4 && x.shape()[1] == in_c_,
                   "Conv2d::forward: input " << x.shape().to_string());
   input_ = x;
@@ -32,21 +33,37 @@ Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
   ADAFL_CHECK_MSG(oh > 0 && ow > 0, "Conv2d: output would be empty for input "
                                         << x.shape().to_string());
   Tensor out({n, out_c_, oh, ow});
-  Tensor cols({in_c_ * kernel_ * kernel_, oh * ow});
+  const tensor::Shape cols_shape({in_c_ * kernel_ * kernel_, oh * ow});
+  if (training) {
+    // Keep each sample's column matrix for backward() (see header note).
+    if (static_cast<std::int64_t>(cols_cache_.size()) != n ||
+        cols_cache_.front().shape() != cols_shape)
+      cols_cache_.assign(static_cast<std::size_t>(n), Tensor(cols_shape));
+  } else {
+    cols_cache_.clear();
+  }
   const std::int64_t img = in_c_ * h * w;
   const std::int64_t oimg = out_c_ * oh * ow;
-  for (std::int64_t i = 0; i < n; ++i) {
-    tensor::im2col({x.data() + i * img, static_cast<std::size_t>(img)}, geom_,
-                   cols);
-    Tensor y = tensor::matmul(w_, cols);  // [out_c, oh*ow]
-    float* dst = out.data() + i * oimg;
-    const float* src = y.data();
-    for (std::int64_t c = 0; c < out_c_; ++c) {
-      const float bias = b_[c];
-      for (std::int64_t p = 0; p < oh * ow; ++p)
-        dst[c * oh * ow + p] = src[c * oh * ow + p] + bias;
+  // Samples are independent: each writes its own output image (and cache
+  // slot), so the batch splits across the pool with no ordering effects.
+  core::parallel_for_blocked(0, n, [&](std::int64_t sb, std::int64_t se) {
+    Tensor scratch;
+    if (!training) scratch = Tensor(cols_shape);
+    for (std::int64_t i = sb; i < se; ++i) {
+      Tensor& cols =
+          training ? cols_cache_[static_cast<std::size_t>(i)] : scratch;
+      tensor::im2col({x.data() + i * img, static_cast<std::size_t>(img)},
+                     geom_, cols);
+      Tensor y = tensor::matmul(w_, cols);  // [out_c, oh*ow]
+      float* dst = out.data() + i * oimg;
+      const float* src = y.data();
+      for (std::int64_t c = 0; c < out_c_; ++c) {
+        const float bias = b_[c];
+        for (std::int64_t p = 0; p < oh * ow; ++p)
+          dst[c * oh * ow + p] = src[c * oh * ow + p] + bias;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -57,27 +74,52 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   ADAFL_CHECK(grad_out.shape() ==
               tensor::Shape({n, out_c_, oh, ow}));
   Tensor dx(input_.shape());
-  Tensor cols({in_c_ * kernel_ * kernel_, oh * ow});
   const std::int64_t img = geom_.in_c * geom_.in_h * geom_.in_w;
   const std::int64_t oimg = out_c_ * oh * ow;
-  for (std::int64_t i = 0; i < n; ++i) {
-    // Recompute the column matrix (cheaper than caching N of them).
-    tensor::im2col({input_.data() + i * img, static_cast<std::size_t>(img)},
-                   geom_, cols);
-    Tensor dy({out_c_, oh * ow});
-    std::copy(grad_out.data() + i * oimg, grad_out.data() + (i + 1) * oimg,
-              dy.data());
-    // dW += dY * cols^T ; dcols = W^T * dY
-    w_grad_ += tensor::matmul_nt(dy, cols);
-    for (std::int64_t c = 0; c < out_c_; ++c) {
-      double acc = 0.0;
-      const float* row = dy.data() + c * oh * ow;
-      for (std::int64_t p = 0; p < oh * ow; ++p) acc += row[p];
-      b_grad_[c] += static_cast<float>(acc);
+  const bool cached = static_cast<std::int64_t>(cols_cache_.size()) == n;
+  // Phase 1 (parallel): every sample's input gradient and its *own* weight /
+  // bias gradient contribution — all writes disjoint per sample.
+  std::vector<Tensor> wg(static_cast<std::size_t>(n));
+  std::vector<std::vector<float>> bg(
+      static_cast<std::size_t>(n),
+      std::vector<float>(static_cast<std::size_t>(out_c_)));
+  core::parallel_for_blocked(0, n, [&](std::int64_t sb, std::int64_t se) {
+    Tensor scratch;
+    if (!cached) scratch = Tensor({in_c_ * kernel_ * kernel_, oh * ow});
+    for (std::int64_t i = sb; i < se; ++i) {
+      const Tensor* cols;
+      if (cached) {
+        cols = &cols_cache_[static_cast<std::size_t>(i)];
+      } else {
+        // forward() ran with training == false: rebuild the columns.
+        tensor::im2col(
+            {input_.data() + i * img, static_cast<std::size_t>(img)}, geom_,
+            scratch);
+        cols = &scratch;
+      }
+      Tensor dy({out_c_, oh * ow});
+      std::copy(grad_out.data() + i * oimg, grad_out.data() + (i + 1) * oimg,
+                dy.data());
+      // dW_i = dY * cols^T ; dcols = W^T * dY
+      wg[static_cast<std::size_t>(i)] = tensor::matmul_nt(dy, *cols);
+      for (std::int64_t c = 0; c < out_c_; ++c) {
+        double acc = 0.0;
+        const float* row = dy.data() + c * oh * ow;
+        for (std::int64_t p = 0; p < oh * ow; ++p) acc += row[p];
+        bg[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)] =
+            static_cast<float>(acc);
+      }
+      Tensor dcols = tensor::matmul_tn(w_, dy);
+      tensor::col2im(dcols, geom_,
+                     {dx.data() + i * img, static_cast<std::size_t>(img)});
     }
-    Tensor dcols = tensor::matmul_tn(w_, dy);
-    tensor::col2im(dcols, geom_,
-                   {dx.data() + i * img, static_cast<std::size_t>(img)});
+  });
+  // Phase 2 (serial): fold the per-sample contributions in sample order, so
+  // the accumulated gradients are bitwise identical at every thread count.
+  for (std::int64_t i = 0; i < n; ++i) {
+    w_grad_ += wg[static_cast<std::size_t>(i)];
+    for (std::int64_t c = 0; c < out_c_; ++c)
+      b_grad_[c] += bg[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)];
   }
   return dx;
 }

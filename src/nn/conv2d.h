@@ -25,6 +25,12 @@ class Conv2d final : public Layer {
   Tensor w_grad_;
   Tensor b_grad_;
   Tensor input_;   ///< cached [N, in_c, H, W]
+  /// Forward column matrices, cached only when forward() ran with
+  /// training == true so backward() skips the per-sample im2col recompute.
+  /// Memory cost: N * (in_c*k*k) * (out_h*out_w) floats — for this
+  /// library's shapes (batch <= ~32, 16x16 images) a few MB at most;
+  /// inference passes (training == false) keep it empty.
+  std::vector<Tensor> cols_cache_;
   tensor::Conv2dGeom geom_;
 };
 

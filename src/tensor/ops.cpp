@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace adafl::tensor {
 
 namespace {
@@ -12,6 +14,12 @@ void require_rank2(const Tensor& t, const char* who) {
                   who << ": expected rank-2 tensor, got "
                       << t.shape().to_string());
 }
+
+// Matmuls below this many multiply-adds run serially: the fork-join
+// overhead of the pool (~a few microseconds) dominates on small shapes.
+// The threshold is a constant, so the serial/parallel decision — and with
+// it every result — is independent of the configured thread count.
+constexpr std::int64_t kParallelGrainFlops = 1 << 18;
 
 }  // namespace
 
@@ -26,16 +34,24 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // ikj loop order: unit-stride access on B and C.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // ikj loop order: unit-stride access on B and C. Parallel over disjoint
+  // row blocks of C; each element accumulates in ascending-k order, so the
+  // result is bitwise independent of the partitioning.
+  auto rows = [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t i = ib; i < ie; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        float* crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  };
+  if (m * k * n < kParallelGrainFlops)
+    rows(0, m);
+  else
+    core::parallel_for_blocked(0, m, rows);
   return c;
 }
 
@@ -50,16 +66,23 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
+  // Row blocks of C are independent. Within a row, k ascends exactly as in
+  // the historical kk-outer loop, so every element sums in the same order.
+  auto rows = [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t i = ib; i < ie; ++i) {
       float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa[kk * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  };
+  if (m * k * n < kParallelGrainFlops)
+    rows(0, m);
+  else
+    core::parallel_for_blocked(0, m, rows);
   return c;
 }
 
@@ -74,16 +97,54 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk)
-        acc += static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
-      pc[i * n + j] = static_cast<float>(acc);
+  // Cache-blocked dot-product kernel. B is walked in tiles of kBj rows so a
+  // tile is served from cache for every row of the A block, and within a
+  // tile four output columns accumulate in flight (independent double
+  // accumulators -> instruction-level parallelism). Each element still sums
+  // a_ik * b_jk in ascending-k order into one double, so the result is
+  // bitwise identical to the naive triple loop at any block size or thread
+  // count.
+  constexpr std::int64_t kBj = 32;
+  auto rows = [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t jj = 0; jj < n; jj += kBj) {
+      const std::int64_t je = std::min(jj + kBj, n);
+      for (std::int64_t i = ib; i < ie; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        std::int64_t j = jj;
+        for (; j + 4 <= je; j += 4) {
+          const float* b0 = pb + j * k;
+          const float* b1 = b0 + k;
+          const float* b2 = b1 + k;
+          const float* b3 = b2 + k;
+          double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const double av = static_cast<double>(arow[kk]);
+            a0 += av * static_cast<double>(b0[kk]);
+            a1 += av * static_cast<double>(b1[kk]);
+            a2 += av * static_cast<double>(b2[kk]);
+            a3 += av * static_cast<double>(b3[kk]);
+          }
+          crow[j] = static_cast<float>(a0);
+          crow[j + 1] = static_cast<float>(a1);
+          crow[j + 2] = static_cast<float>(a2);
+          crow[j + 3] = static_cast<float>(a3);
+        }
+        for (; j < je; ++j) {
+          const float* brow = pb + j * k;
+          double acc = 0.0;
+          for (std::int64_t kk = 0; kk < k; ++kk)
+            acc +=
+                static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
+          crow[j] = static_cast<float>(acc);
+        }
+      }
     }
-  }
+  };
+  if (m * k * n < kParallelGrainFlops)
+    rows(0, m);
+  else
+    core::parallel_for_blocked(0, m, rows);
   return c;
 }
 
@@ -159,15 +220,22 @@ Tensor log_softmax_rows(const Tensor& logits) {
   const std::int64_t n = logits.shape()[0], c = logits.shape()[1];
   ADAFL_CHECK(c > 0);
   Tensor out({n, c});
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = logits.data() + i * c;
-    float* orow = out.data() + i * c;
-    const float mx = *std::max_element(row, row + c);
-    double sum = 0.0;
-    for (std::int64_t j = 0; j < c; ++j) sum += std::exp(row[j] - mx);
-    const float lse = mx + static_cast<float>(std::log(sum));
-    for (std::int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
-  }
+  // Rows are independent: parallel over disjoint row blocks.
+  auto rows = [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t i = ib; i < ie; ++i) {
+      const float* row = logits.data() + i * c;
+      float* orow = out.data() + i * c;
+      const float mx = *std::max_element(row, row + c);
+      double sum = 0.0;
+      for (std::int64_t j = 0; j < c; ++j) sum += std::exp(row[j] - mx);
+      const float lse = mx + static_cast<float>(std::log(sum));
+      for (std::int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
+    }
+  };
+  if (n * c < 1 << 14)
+    rows(0, n);
+  else
+    core::parallel_for_blocked(0, n, rows);
   return out;
 }
 

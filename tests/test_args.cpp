@@ -82,8 +82,26 @@ TEST(ArgParser, UsageListsOptionsAndDefaults) {
 TEST(ArgParser, TypedGetterValidation) {
   ArgParser p = make();
   ASSERT_TRUE(parse(p, {"--rounds=abc"}));
-  EXPECT_ANY_THROW(p.get_int("rounds"));
+  EXPECT_THROW(p.get_int("rounds"), CheckError);
   EXPECT_THROW(p.get("undeclared"), CheckError);
+  ArgParser q = make();
+  ASSERT_TRUE(parse(q, {"--lr=fast"}));
+  EXPECT_THROW(q.get_double("lr"), CheckError);
+}
+
+TEST(ArgParser, GetIntAtLeastAcceptsValuesOnTheBound) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--rounds=0"}));
+  EXPECT_EQ(p.get_int_at_least("rounds", 0), 0);
+  ArgParser q = make();
+  ASSERT_TRUE(parse(q, {"--rounds=8"}));
+  EXPECT_EQ(q.get_int_at_least("rounds", 1), 8);
+}
+
+TEST(ArgParser, GetIntAtLeastRejectsValuesBelowBound) {
+  ArgParser p = make();
+  ASSERT_TRUE(parse(p, {"--rounds=-3"}));
+  EXPECT_THROW(p.get_int_at_least("rounds", 0), CheckError);
 }
 
 TEST(ArgParser, DuplicateDeclarationThrows) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/tensor.h"
@@ -158,6 +159,29 @@ TEST(TopKHelper, RejectsBadK) {
   std::vector<float> g{1, 2, 3};
   EXPECT_THROW(top_k_by_magnitude(g, 0), CheckError);
   EXPECT_THROW(top_k_by_magnitude(g, 4), CheckError);
+}
+
+TEST(TopKHelper, ReturnsSortedIndices) {
+  auto g = random_grad(512, 24);
+  const auto idx = top_k_by_magnitude(g, 37);
+  ASSERT_EQ(idx.size(), 37u);
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+}
+
+TEST(TopKHelper, TiesBreakByLowestIndex) {
+  // Four entries share the winning magnitude; with k=2 the selection must be
+  // the two LOWEST indices regardless of the partial-sort's internal order.
+  std::vector<float> g{0.1f, 2.0f, -2.0f, 0.1f, 2.0f, -2.0f};
+  const auto idx = top_k_by_magnitude(g, 2);
+  EXPECT_EQ(idx, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(TopKCodec, EncodedIndicesAreSorted) {
+  auto g = random_grad(2048, 25);
+  Rng rng(26);
+  TopKCodec codec(16.0);
+  auto e = codec.encode(g, rng);
+  EXPECT_TRUE(std::is_sorted(e.indices.begin(), e.indices.end()));
 }
 
 TEST(EncodedGradient, RatioOnEmptyMessageThrows) {

@@ -5,6 +5,7 @@
 
 #include "core/adafl_async.h"
 #include "core/adafl_sync.h"
+#include "core/parallel.h"
 #include "fl/async_trainer.h"
 #include "fl/fedat.h"
 #include "fl/sync_trainer.h"
@@ -118,6 +119,142 @@ std::string trainer_name(const ::testing::TestParamInfo<int>& info) {
 
 INSTANTIATE_TEST_SUITE_P(AllTrainers, DeterminismMatrix,
                          ::testing::Range(0, 5), trainer_name);
+
+// ---------------------------------------------------------------------------
+// Thread sweep: the execution layer's core promise is that parallelism is an
+// implementation detail — the same config at 1, 2, or 4 worker threads must
+// produce byte-for-byte the same final global weights AND the same metric
+// ledger. Signature alone is not enough: two runs could match on accuracy yet
+// diverge in low-order weight bits, so we compare the raw parameter vectors.
+// ---------------------------------------------------------------------------
+
+struct FullResult {
+  RunSignature sig;
+  std::vector<float> weights;
+
+  bool operator==(const FullResult&) const = default;
+};
+
+/// Restores the automatic pool size even when an assertion fails mid-test.
+struct ThreadGuard {
+  ~ThreadGuard() { core::set_num_threads(0); }
+};
+
+class ThreadSweepMatrix : public ::testing::TestWithParam<int> {
+ public:
+  static FullResult run(int kind, int threads) {
+    core::set_num_threads(threads);
+    auto task = make_mini_task(4);
+    const std::uint64_t seed = 7;
+    switch (kind) {
+      case 0: {  // FedAvg + dropout faults + lossy links: exercises the
+                 // 3-phase sync round's fault and link RNG ordering.
+        fl::SyncConfig cfg;
+        cfg.rounds = 4;
+        cfg.participation = 0.75;
+        cfg.client = task.client;
+        cfg.faults.kind = fl::FaultKind::kDropout;
+        cfg.faults.unreliable_fraction = 0.5;
+        cfg.links = net::make_fleet(4, 0.5, net::LinkQuality::kGood,
+                                    net::LinkQuality::kLossy);
+        cfg.seed = seed;
+        fl::SyncTrainer t(cfg, task.factory, &task.train, task.parts,
+                          &task.test);
+        const auto log = t.run();
+        return {signature(log), t.global()};
+      }
+      case 1: {  // SCAFFOLD + byzantine clients + trimmed mean: exercises the
+                 // control-variate path and the robust aggregation sort.
+        fl::SyncConfig cfg;
+        cfg.algo = fl::Algorithm::kScaffold;
+        cfg.rounds = 4;
+        cfg.client = task.client;
+        cfg.aggregation = fl::Aggregation::kTrimmedMean;
+        cfg.faults.kind = fl::FaultKind::kByzantine;
+        cfg.faults.unreliable_fraction = 0.25;
+        cfg.seed = seed;
+        fl::SyncTrainer t(cfg, task.factory, &task.train, task.parts,
+                          &task.test);
+        const auto log = t.run();
+        return {signature(log), t.global()};
+      }
+      case 2: {  // FedBuff: buffered async aggregation with pooled training.
+        fl::AsyncConfig cfg;
+        cfg.algo = fl::AsyncAlgorithm::kFedBuff;
+        cfg.duration = 1.5;
+        cfg.eval_interval = 0.5;
+        cfg.buffer_size = 3;
+        cfg.client = task.client;
+        cfg.seed = seed;
+        fl::AsyncTrainer t(cfg, task.factory, &task.train, task.parts,
+                           &task.test);
+        const auto log = t.run();
+        return {signature(log), t.global()};
+      }
+      case 3: {  // FedAsync with lossy links: failed uploads schedule retry
+                 // cycles, so in-flight task handoff must stay deterministic.
+        fl::AsyncConfig cfg;
+        cfg.algo = fl::AsyncAlgorithm::kFedAsync;
+        cfg.duration = 1.5;
+        cfg.eval_interval = 0.5;
+        cfg.client = task.client;
+        cfg.links = net::make_fleet(4, 0.5, net::LinkQuality::kGood,
+                                    net::LinkQuality::kLossy);
+        cfg.seed = seed;
+        fl::AsyncTrainer t(cfg, task.factory, &task.train, task.parts,
+                           &task.test);
+        const auto log = t.run();
+        return {signature(log), t.global()};
+      }
+      case 4: {  // AdaFL sync (selection + compression on top of the pool).
+        core::AdaFlSyncConfig cfg;
+        cfg.rounds = 4;
+        cfg.client = task.client;
+        cfg.seed = seed;
+        cfg.params.compression.warmup_rounds = 2;
+        core::AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts,
+                                 &task.test);
+        const auto log = t.run();
+        return {signature(log), t.global()};
+      }
+      default: {  // AdaFL async
+        core::AdaFlAsyncConfig cfg;
+        cfg.duration = 1.5;
+        cfg.eval_interval = 0.5;
+        cfg.client = task.client;
+        cfg.seed = seed;
+        cfg.params.compression.warmup_rounds = 2;
+        core::AdaFlAsyncTrainer t(cfg, task.factory, &task.train, task.parts,
+                                  &task.test);
+        const auto log = t.run();
+        return {signature(log), t.global()};
+      }
+    }
+  }
+};
+
+TEST_P(ThreadSweepMatrix, BitwiseIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const auto base = run(GetParam(), 1);
+  ASSERT_FALSE(base.weights.empty());
+  for (int threads : {2, 4}) {
+    const auto got = run(GetParam(), threads);
+    EXPECT_EQ(base.sig, got.sig) << "metric ledger diverged at threads="
+                                 << threads;
+    EXPECT_EQ(base.weights, got.weights)
+        << "final global weights diverged at threads=" << threads;
+  }
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"FedAvgFaultsLinks", "ScaffoldRobust",
+                                       "FedBuff",           "FedAsyncLossy",
+                                       "AdaFlSync",         "AdaFlAsync"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrainers, ThreadSweepMatrix, ::testing::Range(0, 6),
+                         sweep_name);
 
 }  // namespace
 }  // namespace adafl
