@@ -1,0 +1,149 @@
+// Deployed round-trip: run the AdaFL server and two clients over real TCP
+// sockets on 127.0.0.1 — all in one process — then run the in-process
+// simulator with the same seed and show that the two paths land on bitwise
+// identical global weights (same CRC-32). This is the single-binary version
+// of what flserver/flclient do across processes (see docs/deployment.md).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/deployed_round
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cli/task.h"
+#include "core/adafl_sync.h"
+#include "metrics/table.h"
+#include "net/transport/crc32.h"
+#include "net/transport/session.h"
+
+using namespace adafl;
+
+namespace {
+
+std::uint32_t weights_crc(const std::vector<float>& w) {
+  return net::transport::crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(w.data()), w.size() * 4));
+}
+
+}  // namespace
+
+int main() {
+  // --- The shared experiment definition. Everything a client needs is in
+  //     here; the server ships it over the wire in WELCOME.
+  cli::TaskSpec spec;
+  spec.model = "mlp";
+  spec.clients = 2;
+  spec.train_samples = 300;
+  spec.test_samples = 100;
+  spec.seed = 21;
+
+  fl::ClientTrainConfig client;
+  client.batch_size = 16;
+  client.local_steps = 3;
+  client.lr = 0.05f;
+
+  core::AdaFlParams params;
+  params.max_selected = 2;
+  params.tau = 0.3;
+  const int rounds = 3;
+
+  // --- 1. The deployed path: a TCP server plus two TCP clients, exactly
+  //        like flserver + 2x flclient, but in one process.
+  const auto task = cli::build_task(spec);
+  net::transport::ServerSessionConfig scfg;
+  scfg.params = params;
+  scfg.rounds = rounds;
+  scfg.eval_every = 1;
+  scfg.expected_clients = spec.clients;
+  scfg.client_config = cli::task_to_kv(spec, client);
+  net::transport::ServerSession server(scfg, task.factory, &task.test);
+
+  net::transport::TcpListener listener(0);  // ephemeral port
+  const std::uint16_t port = listener.port();
+  std::cout << "server listening on 127.0.0.1:" << port << "\n";
+
+  std::atomic<bool> done{false};
+  std::thread acceptor([&] {
+    while (!done.load()) {
+      auto t = listener.accept(std::chrono::milliseconds(100));
+      if (t) server.add_transport(std::move(t));
+    }
+  });
+
+  std::vector<std::optional<cli::TaskBundle>> bundles(
+      static_cast<std::size_t>(spec.clients));
+  std::vector<std::thread> clients;
+  for (int id = 0; id < spec.clients; ++id) {
+    clients.emplace_back([&, id] {
+      net::transport::ClientSessionConfig ccfg;
+      ccfg.client_id = id;
+      ccfg.recv_poll = std::chrono::milliseconds(20);
+      net::transport::ClientSession session(
+          ccfg,
+          [port] {
+            return net::transport::TcpTransport::connect(
+                "127.0.0.1", port, std::chrono::milliseconds(1000));
+          },
+          // The bootstrap rebuilds the task from the server-sent config and
+          // derives the simulator-identical per-client seed.
+          [&bundles, id](const std::map<std::string, std::string>& kv,
+                         int cid, const core::AdaFlParams&) {
+            cli::TaskSpec cspec;
+            fl::ClientTrainConfig cc;
+            cli::task_from_kv(kv, &cspec, &cc);
+            auto& bundle = bundles[static_cast<std::size_t>(id)];
+            bundle.emplace(cli::build_task(cspec));
+            return fl::make_client(bundle->factory, &bundle->train,
+                                   bundle->parts, cc, {},
+                                   cspec.seed ^ core::kAdaFlClientSeedSalt,
+                                   cid);
+          });
+      const auto st = session.run();
+      std::printf("client %d: trained %d rounds, sent %d updates, %s\n", id,
+                  st.rounds_trained, st.updates_sent,
+                  st.completed ? "completed" : "gave up");
+    });
+  }
+
+  const fl::TrainLog deployed_log = server.run();
+  done.store(true);
+  listener.close();
+  acceptor.join();
+  for (auto& t : clients) t.join();
+
+  // --- 2. The simulated path: same seed, same config, no sockets.
+  const auto sim_task = cli::build_task(spec);
+  core::AdaFlSyncConfig sim_cfg;
+  sim_cfg.params = params;
+  sim_cfg.rounds = rounds;
+  sim_cfg.client = client;
+  sim_cfg.eval_every = 1;
+  sim_cfg.seed = spec.seed;
+  core::AdaFlSyncTrainer sim(sim_cfg, sim_task.factory, &sim_task.train,
+                             sim_task.parts, &sim_task.test);
+  const fl::TrainLog sim_log = sim.run();
+
+  // --- 3. Compare.
+  const std::uint32_t crc_deployed = weights_crc(server.global());
+  const std::uint32_t crc_sim = weights_crc(sim.global());
+  metrics::Table table({"path", "final accuracy", "weights crc32"});
+  char crc_buf[16];
+  std::snprintf(crc_buf, sizeof(crc_buf), "%08x", crc_deployed);
+  table.add_row({"deployed (TCP)",
+                 metrics::fmt_pct(deployed_log.final_accuracy()), crc_buf});
+  std::snprintf(crc_buf, sizeof(crc_buf), "%08x", crc_sim);
+  table.add_row({"simulated",
+                 metrics::fmt_pct(sim_log.final_accuracy()), crc_buf});
+  table.print(std::cout);
+
+  if (server.global() != sim.global()) {
+    std::cout << "MISMATCH: deployed and simulated weights differ\n";
+    return 1;
+  }
+  std::cout << "deployed == simulated, bit for bit\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// flclient — one deployed AdaFL federation client.
+//
+// Dials an flserver, receives the full task configuration in WELCOME (no
+// task options on the client command line — the server is the single source
+// of truth), rebuilds its data shard and model bitwise-identically to the
+// simulator, and participates in rounds until the server says SHUTDOWN.
+// Connection drops are survived with bounded exponential-backoff redialing;
+// DGC error-feedback state persists across reconnects.
+//
+//   flclient --host=127.0.0.1 --port=4242 --id=0
+#include <iostream>
+#include <optional>
+
+#include "cli/args.h"
+#include "cli/task.h"
+#include "core/parallel.h"
+#include "net/transport/session.h"
+
+using namespace adafl;
+
+int main(int argc, char** argv) {
+  cli::ArgParser args("flclient");
+  args.option("host", "127.0.0.1", "server host")
+      .option("port", "4242", "server port")
+      .option("id", "0", "this client's id (0-based, unique per fleet)")
+      .option("connect-timeout-ms", "3000", "TCP connect timeout")
+      .option("backoff-initial-ms", "200", "first reconnect delay")
+      .option("backoff-max-ms", "5000", "reconnect delay cap")
+      .option("max-attempts", "10",
+              "consecutive failed dials before giving up (0 = forever)")
+      .option("heartbeat-ms", "1000", "PING after this long without traffic")
+      .option("liveness-ms", "8000", "redial after this long of silence")
+      .option("crash-at-round", "0",
+              "fault injection: crash once on receiving this round's model "
+              "(0 = off)")
+      .option("threads", "0", "worker threads (0 = auto)");
+  if (!args.parse(argc, argv)) {
+    std::cerr << "flclient: " << args.error() << "\n\n" << args.usage();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  try {
+    core::set_num_threads(args.get_int_at_least("threads", 0));
+    const std::string host = args.get("host");
+    const auto port = static_cast<std::uint16_t>(args.get_int("port"));
+    const auto connect_timeout =
+        std::chrono::milliseconds(args.get_int("connect-timeout-ms"));
+
+    net::transport::ClientSessionConfig cfg;
+    cfg.client_id = args.get_int("id");
+    cfg.heartbeat_interval =
+        std::chrono::milliseconds(args.get_int("heartbeat-ms"));
+    cfg.liveness_timeout =
+        std::chrono::milliseconds(args.get_int("liveness-ms"));
+    cfg.backoff.initial =
+        std::chrono::milliseconds(args.get_int("backoff-initial-ms"));
+    cfg.backoff.max =
+        std::chrono::milliseconds(args.get_int("backoff-max-ms"));
+    cfg.backoff.max_attempts = args.get_int("max-attempts");
+    cfg.faults.crash_before_score_round = args.get_int("crash-at-round");
+
+    // The task bundle is built on first WELCOME and must outlive the
+    // session (the FlClient borrows the training dataset).
+    std::optional<cli::TaskBundle> bundle;
+
+    net::transport::ClientSession session(
+        cfg,
+        [&] {
+          return net::transport::TcpTransport::connect(host, port,
+                                                       connect_timeout);
+        },
+        [&](const std::map<std::string, std::string>& kv, int id,
+            const core::AdaFlParams& /*params*/) {
+          cli::TaskSpec spec;
+          fl::ClientTrainConfig client;
+          cli::task_from_kv(kv, &spec, &client);
+          std::cout << "bootstrapped: dataset=" << spec.dataset
+                    << " model=" << spec.model << " clients=" << spec.clients
+                    << " seed=" << spec.seed << std::endl;
+          bundle.emplace(cli::build_task(spec));
+          return fl::make_client(bundle->factory, &bundle->train,
+                                 bundle->parts, client, {},
+                                 spec.seed ^ core::kAdaFlClientSeedSalt, id);
+        });
+
+    const auto st = session.run();
+    std::cout << "client-done: id=" << cfg.client_id
+              << " completed=" << (st.completed ? 1 : 0)
+              << " rounds-trained=" << st.rounds_trained
+              << " updates-sent=" << st.updates_sent
+              << " skips=" << st.skips << " reconnects=" << st.reconnects
+              << std::endl;
+    return st.completed ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::cerr << "flclient: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,123 @@
+// flserver — the deployed AdaFL federation server.
+//
+// Listens for flclient connections and drives real AdaFL rounds over TCP
+// using the same round state machine as the simulator; with the same seed
+// and task options, the final global weights are bitwise identical to
+//   flsim --algo=adafl-sync
+// (the CI deployment smoke job asserts this via the weights-crc32 line).
+//
+//   flserver --port=4242 --clients=4 --rounds=3 --seed=1
+//
+// Pass --port=0 to bind an ephemeral port; the bound port is printed as
+// "listening-on: <port>" so scripts can wire clients up.
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "cli/args.h"
+#include "cli/task.h"
+#include "core/parallel.h"
+#include "metrics/table.h"
+#include "net/transport/crc32.h"
+#include "net/transport/session.h"
+
+using namespace adafl;
+
+int main(int argc, char** argv) {
+  cli::ArgParser args("flserver");
+  args.option("port", "4242", "TCP port to listen on (0 = ephemeral)")
+      .option("clients", "4", "fleet size (client ids 0..N-1)")
+      .option("quorum", "0",
+              "scores needed to proceed past the round deadline (0 = all)")
+      .option("rounds", "3", "communication rounds")
+      .option("deadline-ms", "60000", "per-phase round deadline")
+      .option("k", "5", "AdaFL max selected clients")
+      .option("tau", "0.5", "AdaFL utility threshold")
+      .option("dataset", "mnist", "mnist|cifar10|cifar100 (synthetic)")
+      .option("model", "cnn", "cnn|resnet|vgg|mlp")
+      .option("dist", "noniid", "iid|noniid|dirichlet")
+      .option("alpha", "0.5", "dirichlet concentration (with --dist=dirichlet)")
+      .option("lr", "0.05", "client learning rate")
+      .option("batch", "20", "client batch size")
+      .option("steps", "5", "local SGD steps per round")
+      .option("train-samples", "1500", "synthetic training examples")
+      .option("test-samples", "400", "synthetic test examples")
+      .option("seed", "1", "experiment seed")
+      .option("threads", "0", "worker threads (0 = auto)");
+  if (!args.parse(argc, argv)) {
+    std::cerr << "flserver: " << args.error() << "\n\n" << args.usage();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  try {
+    core::set_num_threads(args.get_int_at_least("threads", 0));
+    const cli::TaskSpec spec = cli::spec_from_args(args);
+    const auto task = cli::build_task(spec);
+
+    fl::ClientTrainConfig client;
+    client.batch_size = args.get_int("batch");
+    client.local_steps = args.get_int("steps");
+    client.lr = static_cast<float>(args.get_double("lr"));
+
+    net::transport::ServerSessionConfig cfg;
+    cfg.params.max_selected = args.get_int("k");
+    cfg.params.tau = args.get_double("tau");
+    cfg.rounds = args.get_int("rounds");
+    cfg.eval_every = std::max(1, cfg.rounds / 12);
+    cfg.expected_clients = spec.clients;
+    cfg.quorum = args.get_int("quorum");
+    cfg.round_deadline =
+        std::chrono::milliseconds(args.get_int("deadline-ms"));
+    cfg.client_config = cli::task_to_kv(spec, client);
+
+    net::transport::TcpListener listener(
+        static_cast<std::uint16_t>(args.get_int("port")));
+    std::cout << "listening-on: " << listener.port() << std::endl;
+    std::cout << "run-config: deployed adafl-sync dataset=" << spec.dataset
+              << " model=" << spec.model << " dist=" << spec.dist
+              << " clients=" << spec.clients << " rounds=" << cfg.rounds
+              << " seed=" << spec.seed << " threads=" << core::num_threads()
+              << std::endl;
+
+    net::transport::ServerSession session(cfg, task.factory, &task.test);
+    std::atomic<bool> done{false};
+    std::thread acceptor([&] {
+      while (!done.load()) {
+        auto t = listener.accept(std::chrono::milliseconds(200));
+        if (t) session.add_transport(std::move(t));
+      }
+    });
+
+    fl::TrainLog log = session.run();
+    done.store(true);
+    listener.close();
+    acceptor.join();
+
+    metrics::Table table({"metric", "value"});
+    table.add_row({"final accuracy", metrics::fmt_pct(log.final_accuracy())});
+    table.add_row({"best accuracy", metrics::fmt_pct(log.best_accuracy())});
+    table.add_row({"wall-clock time",
+                   metrics::fmt_f(log.total_time, 1) + "s"});
+    table.print(std::cout);
+    metrics::ledger_table(log.ledger).print(std::cout);
+
+    const auto& w = session.global();
+    const std::uint32_t crc =
+        net::transport::crc32(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(w.data()), w.size() * 4));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", log.final_accuracy());
+    std::cout << "final-accuracy: " << buf << "\n";
+    std::snprintf(buf, sizeof(buf), "%08x", crc);
+    std::cout << "weights-crc32: " << buf << std::endl;
+  } catch (const std::exception& e) {
+    std::cerr << "flserver: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

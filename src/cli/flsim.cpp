@@ -7,9 +7,13 @@
 //   flsim --algo=fedavg --dataset=mnist --dist=noniid --rounds=60
 //   flsim --algo=adafl-sync --tau=0.5 --k=5 --network=mixed
 //   flsim --algo=fedbuff --duration=30 --clients=20 --csv=run.csv
+#include <cstdio>
 #include <iostream>
+#include <optional>
+#include <span>
 
 #include "cli/args.h"
+#include "cli/task.h"
 #include "core/adafl_async.h"
 #include "core/adafl_sync.h"
 #include "core/parallel.h"
@@ -19,67 +23,11 @@
 #include "fl/sync_trainer.h"
 #include "metrics/plot.h"
 #include "metrics/table.h"
+#include "net/transport/crc32.h"
 
 namespace {
 
 using namespace adafl;
-
-struct TaskBundle {
-  data::Dataset train;
-  data::Dataset test;
-  data::Partition parts;
-  nn::ModelFactory factory;
-};
-
-TaskBundle build_task(const cli::ArgParser& args) {
-  const std::string dataset = args.get("dataset");
-  const int clients = args.get_int("clients");
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(args.get_int("seed"));
-  const std::int64_t train_n = args.get_int("train-samples");
-  const std::int64_t test_n = args.get_int("test-samples");
-
-  data::SyntheticConfig cfg;
-  if (dataset == "mnist")
-    cfg = data::mnist_like(train_n, seed);
-  else if (dataset == "cifar10")
-    cfg = data::cifar10_like(train_n, seed);
-  else if (dataset == "cifar100")
-    cfg = data::cifar100_like(train_n, seed);
-  else
-    throw std::runtime_error("unknown --dataset=" + dataset);
-
-  TaskBundle t{data::make_synthetic(cfg), {}, {}, nullptr};
-  auto test_cfg = cfg;
-  test_cfg.num_samples = test_n;
-  test_cfg.seed = seed + 9000;
-  t.test = data::make_synthetic(test_cfg);
-
-  tensor::Rng rng(seed + 17);
-  const std::string dist = args.get("dist");
-  if (dist == "iid")
-    t.parts = data::partition_iid(t.train.size(), clients, rng);
-  else if (dist == "noniid")
-    t.parts = data::partition_shards(t.train.labels(), clients, 3, rng);
-  else if (dist == "dirichlet")
-    t.parts = data::partition_dirichlet(t.train.labels(), clients,
-                                        args.get_double("alpha"), rng);
-  else
-    throw std::runtime_error("unknown --dist=" + dist);
-
-  const std::string model = args.get("model");
-  if (model == "cnn")
-    t.factory = nn::paper_cnn_factory(t.train.spec(), seed + 3);
-  else if (model == "resnet")
-    t.factory = nn::resnet_lite_factory(t.train.spec(), seed + 3);
-  else if (model == "vgg")
-    t.factory = nn::vgg_lite_factory(t.train.spec(), seed + 3);
-  else if (model == "mlp")
-    t.factory = nn::mlp_factory(t.train.spec(), 64, seed + 3);
-  else
-    throw std::runtime_error("unknown --model=" + model);
-  return t;
-}
 
 std::vector<net::LinkConfig> build_links(const cli::ArgParser& args,
                                          int clients) {
@@ -142,7 +90,8 @@ int main(int argc, char** argv) {
 
   try {
     core::set_num_threads(args.get_int_at_least("threads", 0));
-    const auto task = build_task(args);
+    const cli::TaskSpec spec = cli::spec_from_args(args);
+    const auto task = cli::build_task(spec);
     const int clients = args.get_int("clients");
     const auto links = build_links(args, clients);
     fl::ClientTrainConfig client;
@@ -162,6 +111,9 @@ int main(int argc, char** argv) {
 
     fl::TrainLog log;
     bool by_time = false;
+    // CRC-32 of the final global weight bytes; the CI deployment smoke job
+    // compares this against flserver to prove bitwise equivalence.
+    std::optional<std::uint32_t> weights_crc;
     if (algo == "fedavg" || algo == "fedadam" || algo == "fedprox" ||
         algo == "scaffold") {
       fl::SyncConfig cfg;
@@ -216,6 +168,9 @@ int main(int argc, char** argv) {
       core::AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts,
                                &task.test);
       log = t.run();
+      const auto& w = t.global();
+      weights_crc = net::transport::crc32(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(w.data()), w.size() * 4));
     } else if (algo == "adafl-async") {
       by_time = true;
       core::AdaFlAsyncConfig cfg;
@@ -250,6 +205,17 @@ int main(int argc, char** argv) {
     table.add_row({"simulated time",
                    metrics::fmt_f(log.total_time, 1) + "s"});
     table.print(std::cout);
+    // Machine-readable result lines (consumed by scripts/deploy_smoke.sh).
+    {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6f", log.final_accuracy());
+      std::cout << "final-accuracy: " << buf << "\n";
+    }
+    if (weights_crc) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08x", *weights_crc);
+      std::cout << "weights-crc32: " << buf << "\n";
+    }
     if (args.get_bool("chart")) {
       std::cout << "\naccuracy vs " << (by_time ? "time" : "round") << ":\n";
       metrics::AsciiChart chart(64, 14);

@@ -1,0 +1,58 @@
+// Shared experiment-task construction for the CLI binaries.
+//
+// flsim, flserver and flclient must build the *same* dataset, partition and
+// model from the same seed, or the deployed path cannot be the simulator's
+// bitwise twin. This header centralizes that construction, and provides a
+// key/value encoding of the task so the server can ship its configuration
+// to deployed clients in the WELCOME message (a client only needs
+// --host/--port/--id on its command line).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cli/args.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "nn/models.h"
+
+namespace adafl::cli {
+
+/// Everything that determines the learning task (data + model + split).
+struct TaskSpec {
+  std::string dataset = "mnist";  ///< mnist|cifar10|cifar100 (synthetic)
+  std::string model = "cnn";      ///< cnn|resnet|vgg|mlp
+  std::string dist = "noniid";    ///< iid|noniid|dirichlet
+  double alpha = 0.5;             ///< dirichlet concentration
+  int clients = 10;
+  std::int64_t train_samples = 1500;
+  std::int64_t test_samples = 400;
+  std::uint64_t seed = 1;         ///< the run seed
+};
+
+struct TaskBundle {
+  data::Dataset train;
+  data::Dataset test;
+  data::Partition parts;
+  nn::ModelFactory factory;
+};
+
+/// Reads the task options (dataset/model/dist/alpha/clients/train-samples/
+/// test-samples/seed) from parsed args.
+TaskSpec spec_from_args(const ArgParser& args);
+
+/// Builds the task deterministically from the spec. Seeding is part of the
+/// contract: test set uses seed+9000, the partition Rng seed+17, the model
+/// factory seed+3 — identical on every binary.
+TaskBundle build_task(const TaskSpec& spec);
+
+/// Encodes the task spec + client training hyperparameters as the key/value
+/// config shipped in WELCOME. Floating-point values round-trip exactly.
+std::map<std::string, std::string> task_to_kv(const TaskSpec& spec,
+                                              const fl::ClientTrainConfig& c);
+
+/// Inverse of task_to_kv. Throws on missing or malformed keys.
+void task_from_kv(const std::map<std::string, std::string>& kv,
+                  TaskSpec* spec, fl::ClientTrainConfig* client);
+
+}  // namespace adafl::cli

@@ -1,43 +1,13 @@
 #include "compress/wire.h"
 
 #include <cmath>
-#include <cstring>
 
+#include "compress/bytes.h"
 #include "tensor/check.h"
 
 namespace adafl::compress {
 
 namespace {
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-}
-
-void put_f32(std::vector<std::uint8_t>& out, float f) {
-  std::uint32_t v = 0;
-  std::memcpy(&v, &f, 4);
-  put_u32(out, v);
-}
-
-std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t& off) {
-  ADAFL_CHECK_MSG(off + 4 <= b.size(), "wire: truncated u32");
-  std::uint32_t v = static_cast<std::uint32_t>(b[off]) |
-                    (static_cast<std::uint32_t>(b[off + 1]) << 8) |
-                    (static_cast<std::uint32_t>(b[off + 2]) << 16) |
-                    (static_cast<std::uint32_t>(b[off + 3]) << 24);
-  off += 4;
-  return v;
-}
-
-float get_f32(std::span<const std::uint8_t> b, std::size_t& off) {
-  const std::uint32_t v = get_u32(b, off);
-  float f = 0.0f;
-  std::memcpy(&f, &v, 4);
-  return f;
-}
 
 int level_bits(int quant_levels) {
   return static_cast<int>(std::ceil(std::log2(2.0 * quant_levels + 1.0)));
@@ -52,6 +22,11 @@ std::uint32_t zigzag(std::int8_t v) {
 std::int8_t unzigzag(std::uint32_t u) {
   return static_cast<std::int8_t>(static_cast<std::int32_t>(u >> 1) ^
                                   -static_cast<std::int32_t>(u & 1));
+}
+
+/// Exact packed-payload size for `count` codes of `bits` bits each.
+std::int64_t packed_bytes(std::int64_t count, int bits) {
+  return (count * bits + 7) / 8;
 }
 
 }  // namespace
@@ -81,7 +56,7 @@ std::uint32_t BitReader::get(int bits) {
 }
 
 std::int64_t wire_size(const EncodedGradient& e) {
-  std::int64_t n = 8;  // kind + reserved + dense_size
+  std::int64_t n = 8;  // kind + aux + reserved + dense_size
   switch (e.kind) {
     case CodecKind::kIdentity:
       n += e.dense_size * 4;
@@ -90,11 +65,11 @@ std::int64_t wire_size(const EncodedGradient& e) {
       n += static_cast<std::int64_t>(e.indices.size()) * 8;
       break;
     case CodecKind::kQsgd:
-      n += 4 + 1 +
-           (e.dense_size * level_bits(std::max(e.quant_levels, 1)) + 7) / 8;
+      n += 4 + packed_bytes(e.dense_size,
+                            level_bits(std::max(e.quant_levels, 1)));
       break;
     case CodecKind::kTernary:
-      n += 4 + (e.dense_size * 2 + 7) / 8;
+      n += 4 + packed_bytes(e.dense_size, 2);
       break;
   }
   return n;
@@ -104,27 +79,32 @@ std::vector<std::uint8_t> serialize(const EncodedGradient& e) {
   std::vector<std::uint8_t> out;
   out.reserve(static_cast<std::size_t>(wire_size(e)));
   out.push_back(static_cast<std::uint8_t>(e.kind));
+  // The aux header byte carries the QSGD level count so the payload needs no
+  // separate field and serialize() is exactly wire_bytes for every kind.
+  if (e.kind == CodecKind::kQsgd) {
+    ADAFL_CHECK(e.quant_levels >= 1 && e.quant_levels <= 127);
+    out.push_back(static_cast<std::uint8_t>(e.quant_levels));
+  } else {
+    out.push_back(0);
+  }
   out.push_back(0);
   out.push_back(0);
-  out.push_back(0);
-  put_u32(out, static_cast<std::uint32_t>(e.dense_size));
+  bytes::put_u32(out, static_cast<std::uint32_t>(e.dense_size));
   switch (e.kind) {
     case CodecKind::kIdentity:
       ADAFL_CHECK(static_cast<std::int64_t>(e.values.size()) == e.dense_size);
-      for (float v : e.values) put_f32(out, v);
+      for (float v : e.values) bytes::put_f32(out, v);
       break;
     case CodecKind::kTopK:
       ADAFL_CHECK(e.indices.size() == e.values.size());
       for (std::size_t i = 0; i < e.indices.size(); ++i) {
-        put_u32(out, e.indices[i]);
-        put_f32(out, e.values[i]);
+        bytes::put_u32(out, e.indices[i]);
+        bytes::put_f32(out, e.values[i]);
       }
       break;
     case CodecKind::kQsgd: {
       ADAFL_CHECK(static_cast<std::int64_t>(e.levels.size()) == e.dense_size);
-      ADAFL_CHECK(e.quant_levels >= 1 && e.quant_levels <= 127);
-      put_f32(out, e.scale);
-      out.push_back(static_cast<std::uint8_t>(e.quant_levels));
+      bytes::put_f32(out, e.scale);
       BitWriter bw;
       const int bits = level_bits(e.quant_levels);
       for (auto l : e.levels) bw.put(zigzag(l), bits);
@@ -134,7 +114,7 @@ std::vector<std::uint8_t> serialize(const EncodedGradient& e) {
     }
     case CodecKind::kTernary: {
       ADAFL_CHECK(static_cast<std::int64_t>(e.levels.size()) == e.dense_size);
-      put_f32(out, e.scale);
+      bytes::put_f32(out, e.scale);
       BitWriter bw;
       for (auto l : e.levels) {
         ADAFL_CHECK_MSG(l >= -1 && l <= 1, "wire: non-ternary level");
@@ -149,46 +129,59 @@ std::vector<std::uint8_t> serialize(const EncodedGradient& e) {
   return out;
 }
 
-EncodedGradient deserialize(std::span<const std::uint8_t> bytes) {
-  ADAFL_CHECK_MSG(bytes.size() >= 8, "wire: buffer shorter than header");
+EncodedGradient deserialize(std::span<const std::uint8_t> bytes_in) {
+  ADAFL_CHECK_MSG(bytes_in.size() >= 8, "wire: buffer shorter than header");
   EncodedGradient e;
-  const std::uint8_t kind_raw = bytes[0];
+  const std::uint8_t kind_raw = bytes_in[0];
   ADAFL_CHECK_MSG(kind_raw <= static_cast<std::uint8_t>(CodecKind::kTernary),
                   "wire: unknown codec kind " << int(kind_raw));
   e.kind = static_cast<CodecKind>(kind_raw);
-  std::size_t off = 4;
-  e.dense_size = get_u32(bytes, off);
+  const std::uint8_t aux = bytes_in[1];
+  ADAFL_CHECK_MSG(e.kind == CodecKind::kQsgd || aux == 0,
+                  "wire: nonzero aux byte for non-qsgd kind");
+  ADAFL_CHECK_MSG(bytes_in[2] == 0 && bytes_in[3] == 0,
+                  "wire: nonzero reserved header bytes");
+  bytes::Reader r(bytes_in.subspan(4));
+  e.dense_size = r.u32();
   switch (e.kind) {
     case CodecKind::kIdentity: {
       ADAFL_CHECK_MSG(
-          bytes.size() == off + static_cast<std::size_t>(e.dense_size) * 4,
+          r.remaining() == static_cast<std::size_t>(e.dense_size) * 4,
           "wire: identity payload size mismatch");
       e.values.resize(static_cast<std::size_t>(e.dense_size));
-      for (auto& v : e.values) v = get_f32(bytes, off);
+      for (auto& v : e.values) v = r.f32();
       break;
     }
     case CodecKind::kTopK: {
-      ADAFL_CHECK_MSG((bytes.size() - off) % 8 == 0,
+      ADAFL_CHECK_MSG(r.remaining() % 8 == 0,
                       "wire: top-k payload not a multiple of 8");
-      const std::size_t count = (bytes.size() - off) / 8;
+      const std::size_t count = r.remaining() / 8;
+      ADAFL_CHECK_MSG(count <= static_cast<std::size_t>(e.dense_size),
+                      "wire: top-k count exceeds dense size");
       e.indices.resize(count);
       e.values.resize(count);
       for (std::size_t i = 0; i < count; ++i) {
-        e.indices[i] = get_u32(bytes, off);
-        ADAFL_CHECK_MSG(e.indices[i] <
-                            static_cast<std::uint32_t>(e.dense_size),
-                        "wire: top-k index out of range");
-        e.values[i] = get_f32(bytes, off);
+        e.indices[i] = r.u32();
+        ADAFL_CHECK_MSG(
+            e.indices[i] < static_cast<std::uint32_t>(e.dense_size),
+            "wire: top-k index out of range");
+        e.values[i] = r.f32();
       }
       break;
     }
     case CodecKind::kQsgd: {
-      e.scale = get_f32(bytes, off);
-      ADAFL_CHECK_MSG(off < bytes.size(), "wire: truncated qsgd header");
-      e.quant_levels = bytes[off++];
+      e.quant_levels = aux;
       ADAFL_CHECK_MSG(e.quant_levels >= 1, "wire: bad qsgd level count");
-      BitReader br(bytes.subspan(off));
+      e.scale = r.f32();
       const int bits = level_bits(e.quant_levels);
+      // Validate the packed size BEFORE allocating dense_size entries, so a
+      // forged huge dense_size cannot trigger a giant allocation or
+      // over-read.
+      ADAFL_CHECK_MSG(
+          static_cast<std::int64_t>(r.remaining()) ==
+              packed_bytes(e.dense_size, bits),
+          "wire: qsgd payload size mismatch");
+      BitReader br(r.raw(r.remaining()));
       e.levels.resize(static_cast<std::size_t>(e.dense_size));
       for (auto& l : e.levels) {
         l = unzigzag(br.get(bits));
@@ -198,8 +191,11 @@ EncodedGradient deserialize(std::span<const std::uint8_t> bytes) {
       break;
     }
     case CodecKind::kTernary: {
-      e.scale = get_f32(bytes, off);
-      BitReader br(bytes.subspan(off));
+      e.scale = r.f32();
+      ADAFL_CHECK_MSG(static_cast<std::int64_t>(r.remaining()) ==
+                          packed_bytes(e.dense_size, 2),
+                      "wire: ternary payload size mismatch");
+      BitReader br(r.raw(r.remaining()));
       e.levels.resize(static_cast<std::size_t>(e.dense_size));
       for (auto& l : e.levels) {
         l = unzigzag(br.get(2));
@@ -208,7 +204,7 @@ EncodedGradient deserialize(std::span<const std::uint8_t> bytes) {
       break;
     }
   }
-  e.wire_bytes = static_cast<std::int64_t>(bytes.size());
+  e.wire_bytes = static_cast<std::int64_t>(bytes_in.size());
   return e;
 }
 

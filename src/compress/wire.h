@@ -2,19 +2,20 @@
 //
 // The simulators charge EncodedGradient::wire_bytes; this module makes that
 // number real: serialize() produces an actual byte buffer of exactly that
-// size (header + payload, with bit-packed QSGD/ternary levels), and
-// deserialize() round-trips it. A deployment would put these bytes on the
-// socket.
+// size (header + payload, with bit-packed QSGD/ternary levels) for every
+// codec kind, and deserialize() round-trips it. The deployed transport
+// (net/transport/) puts these bytes on the socket inside a framed envelope.
 //
 // Layout (little-endian):
-//   u8  kind            u8 reserved[3]
+//   u8  kind            u8 aux (QSGD level count s; 0 for other kinds)
+//   u8  reserved[2]     (must be 0)
 //   u32 dense_size
 //   then per kind:
 //     kIdentity: dense_size * f32
 //     kTopK:     u32 count is implied by remaining length / 8;
 //                count * (u32 index, f32 value)
-//     kQsgd:     f32 scale, u8 levels_count, packed signed levels at
-//                ceil(log2(2s+1)) bits each (sign-magnitude zig-zag)
+//     kQsgd:     f32 scale, packed signed levels at ceil(log2(2s+1)) bits
+//                each (sign-magnitude zig-zag)
 //     kTernary:  f32 scale, packed 2-bit codes
 #pragma once
 
@@ -22,17 +23,16 @@
 
 namespace adafl::compress {
 
-/// Serializes `e` into a self-describing byte buffer. The buffer size
-/// equals e.wire_bytes except for kQsgd, which needs one extra byte to
-/// carry the level count (a real header would fold this into `reserved`;
-/// kept explicit here for clarity — see wire_size()).
+/// Serializes `e` into a self-describing byte buffer of exactly
+/// e.wire_bytes bytes (== wire_size(e)) for every codec kind.
 std::vector<std::uint8_t> serialize(const EncodedGradient& e);
 
 /// Exact size serialize() will produce for `e`.
 std::int64_t wire_size(const EncodedGradient& e);
 
 /// Parses a buffer produced by serialize(). Throws CheckError on malformed
-/// input (bad kind, truncated payload).
+/// input (bad kind, nonzero reserved bytes, truncated or oversized payload,
+/// out-of-range codes) and never reads past `bytes`.
 EncodedGradient deserialize(std::span<const std::uint8_t> bytes);
 
 /// Bit-level writer used by the packed payloads (exposed for tests).

@@ -1,0 +1,128 @@
+#include "core/adafl_server.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+#include "tensor/tensor.h"
+
+namespace adafl::core {
+
+AdaFlServerCore::AdaFlServerCore(AdaFlParams params,
+                                 std::vector<float> initial_global)
+    : params_(std::move(params)),
+      controller_(params_.compression),
+      global_(std::move(initial_global)),
+      g_hat_(global_.size(), 0.0f) {
+  ADAFL_CHECK_MSG(!global_.empty(), "AdaFlServerCore: empty global model");
+  stats_.min_ratio_used = params_.compression.ratio_max;
+}
+
+AdaFlRoundPlan AdaFlServerCore::plan_round(const std::vector<double>& scores,
+                                           const std::vector<bool>& present,
+                                           int round) {
+  ADAFL_CHECK_MSG(scores.size() == present.size(),
+                  "plan_round: scores/present size mismatch");
+  AdaFlRoundPlan plan;
+  plan.round = round;
+  plan.warmup = controller_.in_warmup(round);
+
+  // Compact to the clients that actually reported a score this round; a
+  // client lost to the network simply cannot be selected.
+  std::vector<double> cscores;
+  std::vector<int> cids;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (!present[i]) continue;
+    cscores.push_back(scores[i]);
+    cids.push_back(static_cast<int>(i));
+  }
+
+  SelectionResult csel;
+  if (plan.warmup) {
+    // Warm-up: equal participation — every reporting client is selected.
+    for (std::size_t j = 0; j < cids.size(); ++j)
+      csel.selected.push_back(static_cast<int>(j));
+  } else {
+    csel = select_clients(cscores, params_.max_selected, params_.tau);
+  }
+
+  // Ratios are assigned on the compact index space (normalize_selected only
+  // reads the selected entries, so this matches the simulator's full-vector
+  // call bit for bit), then ids are mapped back.
+  const std::vector<double> norm = normalize_selected(cscores, csel.selected);
+  plan.ratios.reserve(csel.selected.size());
+  for (std::size_t j = 0; j < csel.selected.size(); ++j) {
+    const double ratio = controller_.ratio_for(norm[j], round);
+    stats_.min_ratio_used = std::min(stats_.min_ratio_used, ratio);
+    stats_.max_ratio_used = std::max(stats_.max_ratio_used, ratio);
+    plan.ratios.push_back(ratio);
+    plan.sel.selected.push_back(cids[static_cast<std::size_t>(
+        csel.selected[j])]);
+  }
+  for (int j : csel.below_threshold)
+    plan.sel.below_threshold.push_back(
+        cids[static_cast<std::size_t>(j)]);
+
+  stats_.skipped_clients += static_cast<std::int64_t>(cids.size()) -
+                            static_cast<std::int64_t>(plan.sel.selected.size());
+  selected_sum_ += static_cast<std::int64_t>(plan.sel.selected.size());
+  ++rounds_planned_;
+  stats_.mean_selected_per_round =
+      static_cast<double>(selected_sum_) /
+      static_cast<double>(rounds_planned_);
+  return plan;
+}
+
+AdaFlRoundOutcome AdaFlServerCore::apply_round(
+    const AdaFlRoundPlan& plan,
+    const std::map<int, AdaFlDelivery>& deliveries) {
+  const std::size_t d = global_.size();
+  // Sparse error-feedback aggregation: sum the weighted sparse messages and
+  // divide by the total delivered weight (the unbiased FedAvg estimate —
+  // unsent mass stays in each client's DGC residual and is flushed in later
+  // rounds). Iteration is in selection order so floating-point accumulation
+  // matches the simulator exactly.
+  std::vector<float> sum_delta(d, 0.0f);
+  double weight_sum = 0.0;
+  double delta_norm_wsum = 0.0;  // for the server trust region
+  AdaFlRoundOutcome out;
+  for (int id : plan.sel.selected) {
+    auto it = deliveries.find(id);
+    if (it == deliveries.end()) continue;  // lost in transit
+    const AdaFlDelivery& dl = it->second;
+    ADAFL_CHECK_MSG(dl.msg.kind == compress::CodecKind::kTopK,
+                    "apply_round: client " << id << " sent a non-top-k kind");
+    ADAFL_CHECK_MSG(
+        dl.msg.dense_size == static_cast<std::int64_t>(d),
+        "apply_round: client " << id << " update dimension mismatch");
+    const float w = static_cast<float>(dl.num_examples);
+    for (std::size_t e = 0; e < dl.msg.indices.size(); ++e) {
+      ADAFL_CHECK_MSG(dl.msg.indices[e] < d,
+                      "apply_round: update index out of range");
+      sum_delta[dl.msg.indices[e]] += w * dl.msg.values[e];
+    }
+    weight_sum += w;
+    delta_norm_wsum += static_cast<double>(w) * dl.raw_delta_norm;
+    out.loss_sum += dl.mean_loss;
+    ++out.delivered;
+    ++stats_.selected_updates;
+  }
+
+  if (weight_sum > 0.0) {
+    const float inv = static_cast<float>(1.0 / weight_sum);
+    for (auto& v : sum_delta) v *= inv;
+    if (params_.server_trust_clip) {
+      const double cap = delta_norm_wsum / weight_sum;
+      const double norm2 = tensor::l2_norm(sum_delta);
+      if (norm2 > cap && norm2 > 0.0) {
+        const float s = static_cast<float>(cap / norm2);
+        for (auto& v : sum_delta) v *= s;
+      }
+    }
+    for (std::size_t i = 0; i < d; ++i) global_[i] -= sum_delta[i];
+    g_hat_ = sum_delta;  // similarity reference for the next round's scores
+    out.applied = true;
+  }
+  return out;
+}
+
+}  // namespace adafl::core

@@ -1,0 +1,102 @@
+// Server-side AdaFL round state machine (paper Algorithm 1 + §IV server
+// aggregation), factored out of the simulator so the simulated path
+// (core/adafl_sync.cpp) and the deployed path (net/transport/session.h)
+// execute the exact same selection, ratio assignment, aggregation order,
+// and trust-region arithmetic — same seeds and inputs give bitwise
+// identical global weights on both.
+//
+// A round is two calls:
+//   plan  = core.plan_round(scores, present, round);  // selection + ratios
+//   out   = core.apply_round(plan, deliveries);       // ordered aggregation
+// `present` marks which clients reported a utility score this round; in the
+// simulator that is everyone, in a deployment a crashed or partitioned
+// client simply drops out of the mask and the round degrades gracefully.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "compress/codec.h"
+#include "core/compression_ctrl.h"
+#include "core/config.h"
+#include "core/selection.h"
+
+namespace adafl::core {
+
+/// Seed salt for AdaFL client construction: every path that instantiates
+/// clients for an AdaFL run (simulator, flclient, tests) must derive client
+/// seeds from `run_seed ^ kAdaFlClientSeedSalt` so deployed clients train
+/// bitwise identically to their simulated twins.
+constexpr std::uint64_t kAdaFlClientSeedSalt = 0xADAF1ULL;
+
+/// Aggregate statistics specific to AdaFL (used by Tables I/II columns).
+struct AdaFlStats {
+  std::int64_t selected_updates = 0;  ///< compressed uploads applied
+  std::int64_t skipped_clients = 0;   ///< train-but-no-upload occurrences
+  double min_ratio_used = 0.0;        ///< smallest compression ratio applied
+  double max_ratio_used = 0.0;        ///< largest compression ratio applied
+  double mean_selected_per_round = 0.0;
+};
+
+/// Output of the selection phase for one round.
+struct AdaFlRoundPlan {
+  int round = 0;
+  bool warmup = false;
+  SelectionResult sel;         ///< selected client ids, aggregation order
+  std::vector<double> ratios;  ///< compression ratio per selected client
+};
+
+/// One client's delivered update (already decoded from the wire).
+struct AdaFlDelivery {
+  compress::EncodedGradient msg;  ///< kTopK sparse message
+  std::int64_t num_examples = 0;  ///< FedAvg weight
+  float mean_loss = 0.0f;
+  /// L2 norm of the client's RAW (uncompressed) delta — the trust-region
+  /// input. Clients report it with their update; the simulator computes it
+  /// directly.
+  double raw_delta_norm = 0.0;
+};
+
+/// Result of applying one round.
+struct AdaFlRoundOutcome {
+  int delivered = 0;       ///< updates aggregated
+  double loss_sum = 0.0;   ///< sum of delivered clients' mean losses
+  bool applied = false;    ///< false when nothing was delivered
+};
+
+class AdaFlServerCore {
+ public:
+  /// `initial_global` is the factory-initialized model (round 0 weights).
+  AdaFlServerCore(AdaFlParams params, std::vector<float> initial_global);
+
+  /// Runs Algorithm 1 over the clients with present[i] == true.
+  /// `scores[i]` must be a valid utility score in [0,1] wherever present[i]
+  /// is set (other entries are ignored). Updates the selection/ratio stats.
+  AdaFlRoundPlan plan_round(const std::vector<double>& scores,
+                            const std::vector<bool>& present, int round);
+
+  /// Aggregates the deliveries of `plan`'s selected clients (keyed by
+  /// client id; missing ids were lost in transit) in selection order, then
+  /// applies the trust-clipped FedAvg step to the global model.
+  AdaFlRoundOutcome apply_round(const AdaFlRoundPlan& plan,
+                                const std::map<int, AdaFlDelivery>& deliveries);
+
+  const std::vector<float>& global() const { return global_; }
+  /// g_hat: the last aggregated update, the similarity reference for
+  /// utility scoring (zeros until the first applied round).
+  const std::vector<float>& g_hat() const { return g_hat_; }
+  const AdaFlParams& params() const { return params_; }
+  const CompressionController& controller() const { return controller_; }
+  const AdaFlStats& stats() const { return stats_; }
+
+ private:
+  AdaFlParams params_;
+  CompressionController controller_;
+  std::vector<float> global_;
+  std::vector<float> g_hat_;
+  AdaFlStats stats_;
+  std::int64_t selected_sum_ = 0;
+  int rounds_planned_ = 0;
+};
+
+}  // namespace adafl::core

@@ -22,29 +22,26 @@ AdaFlSyncTrainer::AdaFlSyncTrainer(AdaFlSyncConfig cfg,
       factory_(std::move(factory)),
       test_(test),
       clients_(fl::make_clients(factory_, train, parts, cfg_.client, devices,
-                                cfg_.seed ^ 0xADAF1ULL)),
-      controller_(cfg_.params.compression),
+                                cfg_.seed ^ kAdaFlClientSeedSalt)),
       eval_model_(factory_()),
-      rng_(cfg_.seed) {
+      rng_(cfg_.seed),
+      core_(cfg_.params, eval_model_.get_flat()) {
   ADAFL_CHECK_MSG(test_ != nullptr, "AdaFlSyncTrainer: null test set");
   ADAFL_CHECK_MSG(cfg_.rounds > 0, "AdaFlSyncTrainer: rounds must be positive");
   ADAFL_CHECK_MSG(
       cfg_.links.empty() || cfg_.links.size() == clients_.size(),
       "AdaFlSyncTrainer: need 0 or " << clients_.size() << " link configs");
-  global_ = eval_model_.get_flat();
-  global_gradient_.assign(global_.size(), 0.0f);
   tensor::Rng link_rng = rng_.fork(0x11F7);
   for (std::size_t i = 0; i < cfg_.links.size(); ++i)
     links_.emplace_back(cfg_.links[i], link_rng.fork(i + 1));
   compressors_.reserve(clients_.size());
   for (std::size_t i = 0; i < clients_.size(); ++i)
     compressors_.emplace_back(
-        static_cast<std::int64_t>(global_.size()), cfg_.params.dgc);
-  stats_.min_ratio_used = cfg_.params.compression.ratio_max;
+        static_cast<std::int64_t>(core_.global().size()), cfg_.params.dgc);
 }
 
 fl::TrainLog AdaFlSyncTrainer::run() {
-  const std::int64_t d = static_cast<std::int64_t>(global_.size());
+  const std::int64_t d = static_cast<std::int64_t>(core_.global().size());
   const std::int64_t dense_bytes = kMsgHeaderBytes + 4 * d;
   const int n = static_cast<int>(clients_.size());
 
@@ -52,11 +49,8 @@ fl::TrainLog AdaFlSyncTrainer::run() {
   log.dense_update_bytes = dense_bytes;
 
   double clock = 0.0;
-  std::int64_t selected_sum = 0;
 
   for (int round = 1; round <= cfg_.rounds; ++round) {
-    const bool warmup = controller_.in_warmup(round);
-
     // --- Every client downloads the fresh global model and trains; it also
     // derives g_hat locally from consecutive global models, so scoring costs
     // no extra traffic.
@@ -71,7 +65,8 @@ fl::TrainLog AdaFlSyncTrainer::run() {
         down_t = tr.duration;
       }
       log.ledger.record_download(id, dense_bytes);
-      auto res = clients_[static_cast<std::size_t>(id)].train_from(global_);
+      auto res =
+          clients_[static_cast<std::size_t>(id)].train_from(core_.global());
       down_plus_compute[static_cast<std::size_t>(id)] =
           down_t + res.compute_seconds;
       results.push_back(std::move(res));
@@ -88,44 +83,27 @@ fl::TrainLog AdaFlSyncTrainer::run() {
       }
       scores[static_cast<std::size_t>(id)] = utility_score(
           cfg_.params.utility, results[static_cast<std::size_t>(id)].delta,
-          global_gradient_, up_bw, down_bw);
+          core_.g_hat(), up_bw, down_bw);
     }
 
-    // --- Client Filtering / Ranking / Selection (Algorithm 1). During
-    // warm-up every client participates (paper: "equal participation").
-    SelectionResult sel;
-    if (warmup) {
-      for (int id = 0; id < n; ++id) sel.selected.push_back(id);
-    } else {
-      sel = select_clients(scores, cfg_.params.max_selected, cfg_.params.tau);
-    }
-    selected_sum += static_cast<std::int64_t>(sel.selected.size());
+    // --- Client Filtering / Ranking / Selection (Algorithm 1) + adaptive
+    // ratio assignment, in the shared server core. In the simulator every
+    // client reports its score.
+    const std::vector<bool> present(static_cast<std::size_t>(n), true);
+    const AdaFlRoundPlan plan = core_.plan_round(scores, present, round);
 
     // --- Adaptive compression + upload for selected clients.
-    const std::vector<double> norm = normalize_selected(scores, sel.selected);
-    // Sparse error-feedback aggregation: sum the weighted sparse messages
-    // and divide by the total delivered weight (the unbiased FedAvg
-    // estimate — unsent mass stays in each client's DGC residual and is
-    // flushed in later rounds).
-    std::vector<float> sum_delta(static_cast<std::size_t>(d), 0.0f);
-    double weight_sum = 0.0;
-    double delta_norm_wsum = 0.0;  // for the server trust region
-    double loss_sum = 0.0;
-    int delivered = 0;
+    std::map<int, AdaFlDelivery> deliveries;
     double round_time = 0.0;
-
     std::vector<bool> is_selected(static_cast<std::size_t>(n), false);
-    for (std::size_t j = 0; j < sel.selected.size(); ++j) {
-      const int id = sel.selected[j];
+    for (std::size_t j = 0; j < plan.sel.selected.size(); ++j) {
+      const int id = plan.sel.selected[j];
       is_selected[static_cast<std::size_t>(id)] = true;
-      const double ratio = controller_.ratio_for(norm[j], round);
-      stats_.min_ratio_used = std::min(stats_.min_ratio_used, ratio);
-      stats_.max_ratio_used = std::max(stats_.max_ratio_used, ratio);
 
       auto& res = results[static_cast<std::size_t>(id)];
       compress::EncodedGradient msg =
           compressors_[static_cast<std::size_t>(id)].compress(res.delta,
-                                                              ratio);
+                                                              plan.ratios[j]);
       double up_t = 0.0;
       bool ok = true;
       if (!links_.empty()) {
@@ -136,16 +114,12 @@ fl::TrainLog AdaFlSyncTrainer::run() {
       }
       log.ledger.record_upload(id, msg.wire_bytes, ok);
       if (ok) {
-        const float w = static_cast<float>(res.num_examples);
-        ADAFL_CHECK(msg.kind == compress::CodecKind::kTopK);
-        for (std::size_t e = 0; e < msg.indices.size(); ++e)
-          sum_delta[msg.indices[e]] += w * msg.values[e];
-        weight_sum += w;
-        delta_norm_wsum += static_cast<double>(w) *
-                           tensor::l2_norm(res.delta);
-        loss_sum += res.mean_loss;
-        ++delivered;
-        ++stats_.selected_updates;
+        AdaFlDelivery dl;
+        dl.msg = std::move(msg);
+        dl.num_examples = res.num_examples;
+        dl.mean_loss = res.mean_loss;
+        dl.raw_delta_norm = tensor::l2_norm(res.delta);
+        deliveries.emplace(id, std::move(dl));
       }
       round_time = std::max(
           round_time, down_plus_compute[static_cast<std::size_t>(id)] + up_t);
@@ -155,7 +129,6 @@ fl::TrainLog AdaFlSyncTrainer::run() {
     // locally in DGC state (error feedback) if configured.
     for (int id = 0; id < n; ++id) {
       if (is_selected[static_cast<std::size_t>(id)]) continue;
-      ++stats_.skipped_clients;
       if (cfg_.params.accumulate_unselected)
         compressors_[static_cast<std::size_t>(id)].accumulate(
             results[static_cast<std::size_t>(id)].delta);
@@ -163,41 +136,26 @@ fl::TrainLog AdaFlSyncTrainer::run() {
                             down_plus_compute[static_cast<std::size_t>(id)]);
     }
 
-    // --- Server aggregation (FedAvg weighting).
-    if (weight_sum > 0.0) {
-      const float inv = static_cast<float>(1.0 / weight_sum);
-      for (auto& v : sum_delta) v *= inv;
-      if (cfg_.params.server_trust_clip) {
-        const double cap = delta_norm_wsum / weight_sum;
-        const double norm2 = tensor::l2_norm(sum_delta);
-        if (norm2 > cap && norm2 > 0.0) {
-          const float s = static_cast<float>(cap / norm2);
-          for (auto& v : sum_delta) v *= s;
-        }
-      }
-      for (std::size_t i = 0; i < global_.size(); ++i)
-        global_[i] -= sum_delta[i];
-      global_gradient_ = sum_delta;  // g_hat for the next round's scoring
-    }
+    // --- Server aggregation (FedAvg weighting + trust region).
+    const AdaFlRoundOutcome out = core_.apply_round(plan, deliveries);
 
     clock += round_time + kServerOverheadSeconds;
 
     if (round % cfg_.eval_every == 0 || round == cfg_.rounds) {
-      eval_model_.set_flat(global_);
+      eval_model_.set_flat(core_.global());
       fl::RoundRecord rec;
       rec.round = round;
       rec.time = clock;
       rec.test_accuracy = eval_model_.accuracy(test_->all());
       rec.mean_train_loss =
-          delivered > 0 ? loss_sum / static_cast<double>(delivered) : 0.0;
-      rec.participants = delivered;
+          out.delivered > 0 ? out.loss_sum / static_cast<double>(out.delivered)
+                            : 0.0;
+      rec.participants = out.delivered;
       log.records.push_back(rec);
     }
   }
 
-  log.applied_updates = stats_.selected_updates;
-  stats_.mean_selected_per_round =
-      static_cast<double>(selected_sum) / static_cast<double>(cfg_.rounds);
+  log.applied_updates = core_.stats().selected_updates;
   log.total_time = clock;
   return log;
 }

@@ -1,9 +1,15 @@
 // AdaFL synchronous trainer (paper §IV, Fig. 2): utility-scored adaptive
 // node selection (Algorithm 1) + per-client adaptive DGC compression, on top
 // of FedAvg-style weighted aggregation.
+//
+// The server-side round logic (selection, ratio assignment, aggregation)
+// lives in core::AdaFlServerCore, shared with the deployed TCP path
+// (net/transport/session.h); this class adds the simulated network, local
+// training, and evaluation around it.
 #pragma once
 
 #include "compress/dgc.h"
+#include "core/adafl_server.h"
 #include "core/config.h"
 #include "fl/sync_trainer.h"
 
@@ -19,15 +25,6 @@ struct AdaFlSyncConfig {
   std::uint64_t seed = 1;
 };
 
-/// Aggregate statistics specific to AdaFL (used by Tables I/II columns).
-struct AdaFlStats {
-  std::int64_t selected_updates = 0;  ///< compressed uploads performed
-  std::int64_t skipped_clients = 0;   ///< train-but-no-upload occurrences
-  double min_ratio_used = 0.0;        ///< smallest compression ratio applied
-  double max_ratio_used = 0.0;        ///< largest compression ratio applied
-  double mean_selected_per_round = 0.0;
-};
-
 /// Runs AdaFL in the synchronous (top-k topology) setting.
 class AdaFlSyncTrainer {
  public:
@@ -38,8 +35,8 @@ class AdaFlSyncTrainer {
 
   fl::TrainLog run();
 
-  const AdaFlStats& stats() const { return stats_; }
-  const std::vector<float>& global() const { return global_; }
+  const AdaFlStats& stats() const { return core_.stats(); }
+  const std::vector<float>& global() const { return core_.global(); }
 
  private:
   AdaFlSyncConfig cfg_;
@@ -48,12 +45,9 @@ class AdaFlSyncTrainer {
   std::vector<fl::FlClient> clients_;
   std::vector<net::Link> links_;
   std::vector<compress::DgcCompressor> compressors_;
-  CompressionController controller_;
-  std::vector<float> global_;
-  std::vector<float> global_gradient_;  ///< g_hat: last aggregated update
   nn::Model eval_model_;
   tensor::Rng rng_;
-  AdaFlStats stats_;
+  AdaFlServerCore core_;
 };
 
 }  // namespace adafl::core

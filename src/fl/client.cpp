@@ -115,4 +115,31 @@ std::vector<FlClient> make_clients(const nn::ModelFactory& factory,
   return clients;
 }
 
+std::uint64_t client_seed_at(std::uint64_t seed, int id) {
+  ADAFL_CHECK_MSG(id >= 0, "client_seed_at: negative id");
+  tensor::Rng root(seed);
+  std::uint64_t s = 0;
+  // Each fork() draws once from the parent stream, so client id's seed
+  // depends on replaying forks 0..id in make_clients order.
+  for (int j = 0; j <= id; ++j)
+    s = root.fork(static_cast<std::uint64_t>(j) + 1).next_u64();
+  return s;
+}
+
+FlClient make_client(const nn::ModelFactory& factory,
+                     const data::Dataset* train_data,
+                     const data::Partition& parts,
+                     const ClientTrainConfig& cfg,
+                     const std::vector<DeviceProfile>& devices,
+                     std::uint64_t seed, int id) {
+  ADAFL_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < parts.size(),
+                  "make_client: id " << id << " out of range");
+  ADAFL_CHECK_MSG(devices.empty() || devices.size() == parts.size(),
+                  "make_client: need 0 or " << parts.size() << " devices");
+  const DeviceProfile dev =
+      devices.empty() ? workstation() : devices[static_cast<std::size_t>(id)];
+  return FlClient(id, factory, train_data, parts[static_cast<std::size_t>(id)],
+                  cfg, dev, client_seed_at(seed, id));
+}
+
 }  // namespace adafl::fl

@@ -83,4 +83,20 @@ std::vector<FlClient> make_clients(const nn::ModelFactory& factory,
                                    const std::vector<DeviceProfile>& devices,
                                    std::uint64_t seed);
 
+/// The per-client seed make_clients(seed) derives for client `id`. Rng::fork
+/// advances the parent stream, so the derivation replays the fork sequence —
+/// a deployed client constructed with this seed trains bitwise identically
+/// to its simulated twin at the same index.
+std::uint64_t client_seed_at(std::uint64_t seed, int id);
+
+/// Builds the single client `id` exactly as make_clients would have — same
+/// partition slice, device, and derived seed. This is what a deployed
+/// flclient process uses: it holds one client out of the fleet.
+FlClient make_client(const nn::ModelFactory& factory,
+                     const data::Dataset* train_data,
+                     const data::Partition& parts,
+                     const ClientTrainConfig& cfg,
+                     const std::vector<DeviceProfile>& devices,
+                     std::uint64_t seed, int id);
+
 }  // namespace adafl::fl

@@ -27,6 +27,22 @@ void CommLedger::record_download(int client_id, std::int64_t bytes) {
   down_bytes_ += bytes;
 }
 
+void CommLedger::record_retransmit(int client_id, std::int64_t bytes) {
+  ADAFL_CHECK_MSG(bytes >= 0, "CommLedger: negative retransmit size");
+  (void)client_id;
+  retrans_bytes_ += bytes;
+}
+
+void CommLedger::record_reconnect(int client_id) {
+  ++reconnects_;
+  ++per_client_reconnects_[client_id];
+}
+
+std::int64_t CommLedger::reconnects_of(int client_id) const {
+  auto it = per_client_reconnects_.find(client_id);
+  return it == per_client_reconnects_.end() ? 0 : it->second;
+}
+
 std::int64_t CommLedger::upload_bytes_of(int client_id) const {
   auto it = per_client_bytes_.find(client_id);
   return it == per_client_bytes_.end() ? 0 : it->second;

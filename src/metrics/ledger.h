@@ -18,9 +18,22 @@ class CommLedger {
   /// Records a server->client model broadcast leg.
   void record_download(int client_id, std::int64_t bytes);
 
+  /// Records bytes that had to be RE-sent because a connection dropped and
+  /// was re-established mid-round (deployed transport only; the simulators
+  /// never retransmit). Retransmitted bytes also count toward the
+  /// directional totals via record_upload/record_download at the re-send
+  /// site; this counter isolates the resilience overhead.
+  void record_retransmit(int client_id, std::int64_t bytes);
+
+  /// Records one successful reconnect of a previously-joined client.
+  void record_reconnect(int client_id);
+
   std::int64_t total_upload_bytes() const { return up_bytes_; }
   std::int64_t total_download_bytes() const { return down_bytes_; }
   std::int64_t total_bytes() const { return up_bytes_ + down_bytes_; }
+  std::int64_t total_retransmitted_bytes() const { return retrans_bytes_; }
+  std::int64_t total_reconnects() const { return reconnects_; }
+  std::int64_t reconnects_of(int client_id) const;
 
   /// Number of *delivered* client->server updates (the paper's
   /// "update frequency" column).
@@ -45,12 +58,15 @@ class CommLedger {
  private:
   std::int64_t up_bytes_ = 0;
   std::int64_t down_bytes_ = 0;
+  std::int64_t retrans_bytes_ = 0;
+  std::int64_t reconnects_ = 0;
   std::int64_t delivered_updates_ = 0;
   std::int64_t attempted_updates_ = 0;
   std::int64_t min_update_bytes_ = 0;
   std::int64_t max_update_bytes_ = 0;
   std::map<int, std::int64_t> per_client_bytes_;
   std::map<int, std::int64_t> per_client_updates_;
+  std::map<int, std::int64_t> per_client_reconnects_;
 };
 
 }  // namespace adafl::metrics

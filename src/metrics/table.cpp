@@ -66,6 +66,19 @@ std::string fmt_f(double v, int decimals) {
   return os.str();
 }
 
+Table ledger_table(const CommLedger& ledger) {
+  Table t({"metric", "value"});
+  t.add_row({"upload", fmt_bytes(ledger.total_upload_bytes())});
+  t.add_row({"download", fmt_bytes(ledger.total_download_bytes())});
+  t.add_row({"retransmitted", fmt_bytes(ledger.total_retransmitted_bytes())});
+  t.add_row({"delivered updates",
+             std::to_string(ledger.delivered_updates())});
+  t.add_row({"attempted updates",
+             std::to_string(ledger.attempted_updates())});
+  t.add_row({"reconnects", std::to_string(ledger.total_reconnects())});
+  return t;
+}
+
 void write_csv(const std::string& path, const std::vector<std::string>& header,
                const std::vector<std::vector<std::string>>& rows) {
   std::ofstream f(path);

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "metrics/ledger.h"
+
 namespace adafl::metrics {
 
 /// Column-aligned console table. Cells are strings; the caller formats
@@ -38,5 +40,10 @@ std::string fmt_f(double v, int decimals = 2);
 /// std::runtime_error if the file cannot be opened.
 void write_csv(const std::string& path, const std::vector<std::string>& header,
                const std::vector<std::vector<std::string>>& rows);
+
+/// Renders a CommLedger as a metric/value table: directional byte totals,
+/// update counts, and the deployed-transport resilience columns
+/// (retransmitted bytes, reconnects).
+Table ledger_table(const CommLedger& ledger);
 
 }  // namespace adafl::metrics

@@ -1,0 +1,120 @@
+#include "net/transport/frame.h"
+
+#include "compress/bytes.h"
+#include "net/transport/crc32.h"
+#include "tensor/check.h"
+
+namespace adafl::net::transport {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kWelcome: return "welcome";
+    case MsgType::kModel: return "model";
+    case MsgType::kScore: return "score";
+    case MsgType::kSelect: return "select";
+    case MsgType::kSkip: return "skip";
+    case MsgType::kUpdate: return "update";
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+bool is_valid_msg_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         raw <= static_cast<std::uint8_t>(MsgType::kShutdown);
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  ADAFL_CHECK_MSG(f.payload.size() <= kMaxFramePayload,
+                  "frame: payload of " << f.payload.size()
+                                       << " bytes exceeds the cap");
+  std::vector<std::uint8_t> out;
+  out.reserve(f.wire_size());
+  bytes::put_u32(out, kFrameMagic);
+  bytes::put_u8(out, static_cast<std::uint8_t>(f.type));
+  bytes::put_u8(out, 0);
+  bytes::put_u8(out, 0);
+  bytes::put_u8(out, 0);
+  bytes::put_u32(out, f.round);
+  bytes::put_u32(out, f.client_id);
+  bytes::put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
+  bytes::put_u32(out, crc32(f.payload));
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  return out;
+}
+
+namespace {
+
+/// Parses and validates the fixed header; returns the declared payload
+/// length via `payload_len`.
+Frame parse_header(std::span<const std::uint8_t> hdr,
+                   std::uint32_t* payload_len, std::uint32_t* crc) {
+  bytes::Reader r(hdr);
+  const std::uint32_t magic = r.u32();
+  ADAFL_CHECK_MSG(magic == kFrameMagic, "frame: bad magic 0x" << std::hex
+                                                              << magic);
+  const std::uint8_t type_raw = r.u8();
+  ADAFL_CHECK_MSG(is_valid_msg_type(type_raw),
+                  "frame: unknown message type " << int(type_raw));
+  const std::uint8_t r0 = r.u8(), r1 = r.u8(), r2 = r.u8();
+  ADAFL_CHECK_MSG(r0 == 0 && r1 == 0 && r2 == 0,
+                  "frame: nonzero reserved header bytes");
+  Frame f;
+  f.type = static_cast<MsgType>(type_raw);
+  f.round = r.u32();
+  f.client_id = r.u32();
+  *payload_len = r.u32();
+  ADAFL_CHECK_MSG(*payload_len <= kMaxFramePayload,
+                  "frame: oversized length prefix " << *payload_len);
+  *crc = r.u32();
+  return f;
+}
+
+}  // namespace
+
+Frame decode_frame(std::span<const std::uint8_t> bytes_in) {
+  ADAFL_CHECK_MSG(bytes_in.size() >= kFrameHeaderBytes,
+                  "frame: buffer shorter than header");
+  std::uint32_t payload_len = 0, crc = 0;
+  Frame f = parse_header(bytes_in.first(kFrameHeaderBytes), &payload_len,
+                         &crc);
+  ADAFL_CHECK_MSG(bytes_in.size() == kFrameHeaderBytes + payload_len,
+                  "frame: buffer size does not match length prefix");
+  auto payload = bytes_in.subspan(kFrameHeaderBytes);
+  ADAFL_CHECK_MSG(crc32(payload) == crc, "frame: payload CRC mismatch");
+  f.payload.assign(payload.begin(), payload.end());
+  return f;
+}
+
+void FrameParser::feed(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  std::size_t off = 0;
+  while (buf_.size() - off >= kFrameHeaderBytes) {
+    std::uint32_t payload_len = 0, crc = 0;
+    Frame f = parse_header(
+        std::span<const std::uint8_t>(buf_).subspan(off, kFrameHeaderBytes),
+        &payload_len, &crc);
+    if (buf_.size() - off < kFrameHeaderBytes + payload_len) break;
+    auto payload = std::span<const std::uint8_t>(buf_).subspan(
+        off + kFrameHeaderBytes, payload_len);
+    ADAFL_CHECK_MSG(crc32(payload) == crc, "frame: payload CRC mismatch");
+    f.payload.assign(payload.begin(), payload.end());
+    ready_.push_back(std::move(f));
+    off += kFrameHeaderBytes + payload_len;
+  }
+  if (off > 0)
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(off));
+}
+
+std::optional<Frame> FrameParser::next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame f = std::move(ready_.front());
+  ready_.pop_front();
+  return f;
+}
+
+}  // namespace adafl::net::transport

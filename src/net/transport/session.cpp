@@ -1,0 +1,613 @@
+#include "net/transport/session.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "compress/bytes.h"
+#include "compress/wire.h"
+#include "core/utility.h"
+#include "tensor/check.h"
+#include "tensor/tensor.h"
+
+namespace adafl::net::transport {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Frame make_frame(MsgType type, std::uint32_t round, std::uint32_t client_id,
+                 std::vector<std::uint8_t> payload = {}) {
+  Frame f;
+  f.type = type;
+  f.round = round;
+  f.client_id = client_id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+}  // namespace
+
+// --- Payload codecs. -----------------------------------------------------
+
+std::vector<std::uint8_t> encode_hello(std::uint32_t protocol_version) {
+  std::vector<std::uint8_t> out;
+  bytes::put_u32(out, protocol_version);
+  return out;
+}
+
+std::uint32_t parse_hello(std::span<const std::uint8_t> payload) {
+  bytes::Reader r(payload);
+  const std::uint32_t version = r.u32();
+  ADAFL_CHECK_MSG(r.remaining() == 0, "hello: trailing bytes");
+  return version;
+}
+
+std::vector<std::uint8_t> encode_welcome(const WelcomeInfo& w) {
+  std::vector<std::uint8_t> out;
+  bytes::put_u32(out, w.rounds);
+  bytes::put_u64(out, w.param_count);
+  const core::AdaFlParams& p = w.params;
+  bytes::put_u8(out, static_cast<std::uint8_t>(p.utility.metric));
+  bytes::put_f64(out, p.utility.w_sim);
+  bytes::put_f64(out, p.utility.w_bw);
+  bytes::put_f64(out, p.utility.bw_ref);
+  bytes::put_f64(out, p.tau);
+  bytes::put_u32(out, static_cast<std::uint32_t>(p.max_selected));
+  bytes::put_f64(out, p.compression.ratio_min);
+  bytes::put_f64(out, p.compression.ratio_max);
+  bytes::put_u32(out, static_cast<std::uint32_t>(p.compression.warmup_rounds));
+  bytes::put_f64(out, p.compression.shaping);
+  bytes::put_f64(out, p.dgc.ratio);
+  bytes::put_f32(out, p.dgc.momentum);
+  bytes::put_f64(out, p.dgc.clip_norm);
+  bytes::put_u8(out, p.dgc.momentum_correction ? 1 : 0);
+  bytes::put_u8(out, p.dgc.warm_up_dense ? 1 : 0);
+  bytes::put_u8(out, p.accumulate_unselected ? 1 : 0);
+  bytes::put_u32(out, static_cast<std::uint32_t>(p.max_consecutive_skips));
+  bytes::put_u8(out, p.server_trust_clip ? 1 : 0);
+  bytes::put_u32(out, static_cast<std::uint32_t>(w.config.size()));
+  for (const auto& [k, v] : w.config) {
+    bytes::put_str(out, k);
+    bytes::put_str(out, v);
+  }
+  return out;
+}
+
+WelcomeInfo parse_welcome(std::span<const std::uint8_t> payload) {
+  bytes::Reader r(payload);
+  WelcomeInfo w;
+  w.rounds = r.u32();
+  w.param_count = r.u64();
+  const std::uint8_t metric = r.u8();
+  ADAFL_CHECK_MSG(
+      metric <= static_cast<std::uint8_t>(core::SimilarityMetric::kEuclideanKernel),
+      "welcome: unknown similarity metric " << int(metric));
+  core::AdaFlParams& p = w.params;
+  p.utility.metric = static_cast<core::SimilarityMetric>(metric);
+  p.utility.w_sim = r.f64();
+  p.utility.w_bw = r.f64();
+  p.utility.bw_ref = r.f64();
+  p.tau = r.f64();
+  p.max_selected = static_cast<int>(r.u32());
+  p.compression.ratio_min = r.f64();
+  p.compression.ratio_max = r.f64();
+  p.compression.warmup_rounds = static_cast<int>(r.u32());
+  p.compression.shaping = r.f64();
+  p.dgc.ratio = r.f64();
+  p.dgc.momentum = r.f32();
+  p.dgc.clip_norm = r.f64();
+  p.dgc.momentum_correction = r.u8() != 0;
+  p.dgc.warm_up_dense = r.u8() != 0;
+  p.accumulate_unselected = r.u8() != 0;
+  p.max_consecutive_skips = static_cast<int>(r.u32());
+  p.server_trust_clip = r.u8() != 0;
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    w.config[std::move(k)] = r.str();
+  }
+  ADAFL_CHECK_MSG(r.remaining() == 0, "welcome: trailing bytes");
+  return w;
+}
+
+std::vector<std::uint8_t> encode_model(const ModelPayload& m) {
+  ADAFL_CHECK_MSG(m.global.size() == m.g_hat.size(),
+                  "model: global/g_hat size mismatch");
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + m.global.size() * 8);
+  bytes::put_u64(out, m.global.size());
+  for (float v : m.global) bytes::put_f32(out, v);
+  for (float v : m.g_hat) bytes::put_f32(out, v);
+  return out;
+}
+
+ModelPayload parse_model(std::span<const std::uint8_t> payload) {
+  bytes::Reader r(payload);
+  const std::uint64_t d = r.u64();
+  ADAFL_CHECK_MSG(r.remaining() == d * 8, "model: payload size mismatch");
+  ModelPayload m;
+  m.global.resize(d);
+  m.g_hat.resize(d);
+  for (auto& v : m.global) v = r.f32();
+  for (auto& v : m.g_hat) v = r.f32();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_f64(double v) {
+  std::vector<std::uint8_t> out;
+  bytes::put_f64(out, v);
+  return out;
+}
+
+double parse_f64(std::span<const std::uint8_t> payload) {
+  bytes::Reader r(payload);
+  const double v = r.f64();
+  ADAFL_CHECK_MSG(r.remaining() == 0, "f64 payload: trailing bytes");
+  return v;
+}
+
+std::vector<std::uint8_t> encode_update(const UpdatePayload& u) {
+  std::vector<std::uint8_t> out;
+  bytes::put_u64(out, static_cast<std::uint64_t>(u.num_examples));
+  bytes::put_f32(out, u.mean_loss);
+  bytes::put_f64(out, u.raw_delta_norm);
+  const auto wire = compress::serialize(u.msg);
+  bytes::put_u32(out, static_cast<std::uint32_t>(wire.size()));
+  out.insert(out.end(), wire.begin(), wire.end());
+  return out;
+}
+
+UpdatePayload parse_update(std::span<const std::uint8_t> payload) {
+  bytes::Reader r(payload);
+  UpdatePayload u;
+  u.num_examples = static_cast<std::int64_t>(r.u64());
+  ADAFL_CHECK_MSG(u.num_examples > 0, "update: non-positive example count");
+  u.mean_loss = r.f32();
+  u.raw_delta_norm = r.f64();
+  const std::uint32_t len = r.u32();
+  ADAFL_CHECK_MSG(r.remaining() == len, "update: payload size mismatch");
+  u.msg = compress::deserialize(r.raw(len));
+  return u;
+}
+
+// --- ServerSession. ------------------------------------------------------
+
+ServerSession::ServerSession(ServerSessionConfig cfg, nn::ModelFactory factory,
+                             const data::Dataset* test)
+    : cfg_(std::move(cfg)),
+      factory_(std::move(factory)),
+      test_(test),
+      eval_model_(factory_()),
+      core_(cfg_.params, eval_model_.get_flat()) {
+  ADAFL_CHECK_MSG(cfg_.expected_clients > 0,
+                  "ServerSession: expected_clients must be positive");
+  ADAFL_CHECK_MSG(cfg_.rounds > 0, "ServerSession: rounds must be positive");
+  ADAFL_CHECK_MSG(cfg_.quorum >= 0 && cfg_.quorum <= cfg_.expected_clients,
+                  "ServerSession: quorum out of range");
+  conns_.resize(static_cast<std::size_t>(cfg_.expected_clients));
+  ever_joined_.assign(static_cast<std::size_t>(cfg_.expected_clients), false);
+  WelcomeInfo w;
+  w.rounds = static_cast<std::uint32_t>(cfg_.rounds);
+  w.param_count = core_.global().size();
+  w.params = cfg_.params;
+  w.config = cfg_.client_config;
+  welcome_payload_ = encode_welcome(w);
+}
+
+void ServerSession::add_transport(std::unique_ptr<Transport> t) {
+  if (!t) return;
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_.push_back(std::move(t));
+}
+
+std::size_t ServerSession::send_to(int id, const Frame& f) {
+  auto& conn = conns_[static_cast<std::size_t>(id)];
+  if (!conn) return 0;
+  if (!conn->send(f)) {
+    conn.reset();  // peer gone; it may redial later
+    return 0;
+  }
+  return f.wire_size();
+}
+
+void ServerSession::send_model(RoundCtx& rc, int id) {
+  ModelPayload m;
+  m.global = core_.global();
+  m.g_hat = core_.g_hat();
+  const Frame f = make_frame(MsgType::kModel,
+                             static_cast<std::uint32_t>(rc.round), kServerId,
+                             encode_model(m));
+  const bool retransmit = rc.sent_model[static_cast<std::size_t>(id)];
+  const std::size_t sent = send_to(id, f);
+  if (sent == 0) return;
+  rc.sent_model[static_cast<std::size_t>(id)] = true;
+  rc.ledger->record_download(id, static_cast<std::int64_t>(sent));
+  if (retransmit)
+    rc.ledger->record_retransmit(id, static_cast<std::int64_t>(sent));
+}
+
+void ServerSession::handle_frame(RoundCtx& rc, int id, const Frame& f) {
+  switch (f.type) {
+    case MsgType::kScore: {
+      if (rc.phase != Phase::kScore ||
+          f.round != static_cast<std::uint32_t>(rc.round) ||
+          rc.scored[static_cast<std::size_t>(id)])
+        return;  // stale or duplicate
+      const double s = parse_f64(f.payload);
+      ADAFL_CHECK_MSG(s >= 0.0 && s <= 1.0,
+                      "session: utility score out of [0,1]");
+      rc.scores[static_cast<std::size_t>(id)] = s;
+      rc.scored[static_cast<std::size_t>(id)] = true;
+      return;
+    }
+    case MsgType::kUpdate: {
+      if (rc.phase != Phase::kUpdate ||
+          f.round != static_cast<std::uint32_t>(rc.round) ||
+          rc.awaiting.count(id) == 0 || rc.deliveries.count(id) != 0)
+        return;
+      UpdatePayload u = parse_update(f.payload);
+      core::AdaFlDelivery dl;
+      dl.msg = std::move(u.msg);
+      dl.num_examples = u.num_examples;
+      dl.mean_loss = u.mean_loss;
+      dl.raw_delta_norm = u.raw_delta_norm;
+      rc.deliveries.emplace(id, std::move(dl));
+      rc.ledger->record_upload(id, static_cast<std::int64_t>(f.wire_size()),
+                               true);
+      return;
+    }
+    case MsgType::kPing:
+      send_to(id, make_frame(MsgType::kPong, f.round, kServerId));
+      return;
+    default:
+      return;  // PONG, duplicate HELLO, unexpected types: ignore
+  }
+}
+
+bool ServerSession::service(RoundCtx& rc) {
+  bool progress = false;
+
+  // 1) Handshake pending transports (HELLO -> WELCOME -> in-round catchup).
+  std::vector<std::unique_ptr<Transport>> pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending.swap(pending_);
+  }
+  for (auto& t : pending) {
+    std::optional<Frame> f;
+    try {
+      f = t->recv(std::chrono::milliseconds(0));
+    } catch (const CheckError&) {
+      continue;  // malformed stream before HELLO: drop
+    }
+    if (!f) {
+      if (!t->closed()) {  // still waiting for its HELLO
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        pending_.push_back(std::move(t));
+      }
+      continue;
+    }
+    progress = true;
+    int id = -1;
+    try {
+      ADAFL_CHECK_MSG(f->type == MsgType::kHello,
+                      "session: expected HELLO, got " << to_string(f->type));
+      ADAFL_CHECK_MSG(parse_hello(f->payload) == kProtocolVersion,
+                      "session: protocol version mismatch");
+      ADAFL_CHECK_MSG(f->client_id < static_cast<std::uint32_t>(
+                                         cfg_.expected_clients),
+                      "session: client id " << f->client_id
+                                            << " out of range");
+      id = static_cast<int>(f->client_id);
+    } catch (const CheckError&) {
+      continue;  // bad handshake: drop
+    }
+    const bool rejoin = ever_joined_[static_cast<std::size_t>(id)];
+    conns_[static_cast<std::size_t>(id)] = std::move(t);  // replaces any stale conn
+    ever_joined_[static_cast<std::size_t>(id)] = true;
+    if (rejoin) rc.ledger->record_reconnect(id);
+    send_to(id, make_frame(MsgType::kWelcome, 0, kServerId,
+                           welcome_payload_));
+    // Catch the rejoiner up with the in-flight round state.
+    if (rc.phase == Phase::kScore &&
+        !rc.scored[static_cast<std::size_t>(id)]) {
+      send_model(rc, id);
+    } else if (rc.phase == Phase::kUpdate && rc.awaiting.count(id) != 0 &&
+               rc.deliveries.count(id) == 0) {
+      const Frame sf = make_frame(MsgType::kSelect,
+                                  static_cast<std::uint32_t>(rc.round),
+                                  kServerId, encode_f64(rc.ratio_of.at(id)));
+      const std::size_t sent = send_to(id, sf);
+      if (sent != 0)
+        rc.ledger->record_retransmit(id, static_cast<std::int64_t>(sent));
+    }
+  }
+
+  // 2) One non-blocking poll pass over every attached connection.
+  for (int id = 0; id < cfg_.expected_clients; ++id) {
+    auto& conn = conns_[static_cast<std::size_t>(id)];
+    while (conn) {
+      std::optional<Frame> f;
+      try {
+        f = conn->recv(std::chrono::milliseconds(0));
+      } catch (const CheckError&) {
+        conn.reset();  // malformed stream: drop the connection
+        break;
+      }
+      if (!f) {
+        if (conn->closed()) conn.reset();  // EOF noticed
+        break;
+      }
+      progress = true;
+      try {
+        handle_frame(rc, id, *f);
+      } catch (const CheckError&) {
+        conn.reset();  // bad payload: drop, round degrades
+      }
+    }
+  }
+  return progress;
+}
+
+fl::TrainLog ServerSession::run() {
+  const int n = cfg_.expected_clients;
+  const int quorum = cfg_.quorum > 0 ? cfg_.quorum : n;
+  const std::size_t d = core_.global().size();
+
+  fl::TrainLog log;
+  log.dense_update_bytes = 8 + 4 * static_cast<std::int64_t>(d);
+  const auto t0 = Clock::now();
+
+  for (int round = 1; round <= cfg_.rounds; ++round) {
+    RoundCtx rc;
+    rc.round = round;
+    rc.phase = Phase::kScore;
+    rc.sent_model.assign(static_cast<std::size_t>(n), false);
+    rc.scored.assign(static_cast<std::size_t>(n), false);
+    rc.scores.assign(static_cast<std::size_t>(n), 0.0);
+    rc.ledger = &log.ledger;
+
+    // --- Broadcast the round's model to everyone attached.
+    for (int id = 0; id < n; ++id)
+      if (conns_[static_cast<std::size_t>(id)]) send_model(rc, id);
+
+    // --- Score phase: wait until every live client scored, or the deadline
+    // passed with at least a quorum. Late joiners are serviced throughout.
+    auto deadline = Clock::now() + cfg_.round_deadline;
+    for (;;) {
+      const bool progress = service(rc);
+      const int scored = static_cast<int>(
+          std::count(rc.scored.begin(), rc.scored.end(), true));
+      int live = 0;
+      for (int id = 0; id < n; ++id)
+        if (conns_[static_cast<std::size_t>(id)]) ++live;
+      if (scored >= quorum && (scored >= live || Clock::now() >= deadline))
+        break;
+      if (!progress) std::this_thread::sleep_for(cfg_.idle_poll);
+    }
+
+    // --- Selection + ratio assignment (shared AdaFL server core).
+    const core::AdaFlRoundPlan plan =
+        core_.plan_round(rc.scores, rc.scored, round);
+
+    rc.phase = Phase::kUpdate;
+    for (std::size_t j = 0; j < plan.sel.selected.size(); ++j) {
+      const int id = plan.sel.selected[j];
+      rc.ratio_of[id] = plan.ratios[j];
+      rc.awaiting.insert(id);
+      send_to(id, make_frame(MsgType::kSelect,
+                             static_cast<std::uint32_t>(round), kServerId,
+                             encode_f64(plan.ratios[j])));
+    }
+    for (int id = 0; id < n; ++id) {
+      if (!rc.scored[static_cast<std::size_t>(id)] ||
+          rc.awaiting.count(id) != 0)
+        continue;
+      send_to(id, make_frame(MsgType::kSkip,
+                             static_cast<std::uint32_t>(round), kServerId));
+    }
+
+    // --- Update phase: aggregate what arrives by the deadline.
+    deadline = Clock::now() + cfg_.round_deadline;
+    while (rc.deliveries.size() < rc.awaiting.size() &&
+           Clock::now() < deadline) {
+      if (!service(rc)) std::this_thread::sleep_for(cfg_.idle_poll);
+    }
+
+    const core::AdaFlRoundOutcome out = core_.apply_round(plan, rc.deliveries);
+
+    if (round % cfg_.eval_every == 0 || round == cfg_.rounds) {
+      fl::RoundRecord rec;
+      rec.round = round;
+      rec.time = std::chrono::duration<double>(Clock::now() - t0).count();
+      if (test_ != nullptr) {
+        eval_model_.set_flat(core_.global());
+        rec.test_accuracy = eval_model_.accuracy(test_->all());
+      }
+      rec.mean_train_loss =
+          out.delivered > 0 ? out.loss_sum / static_cast<double>(out.delivered)
+                            : 0.0;
+      rec.participants = out.delivered;
+      log.records.push_back(rec);
+    }
+  }
+
+  // --- Orderly shutdown: tell everyone training is over.
+  for (int id = 0; id < n; ++id) {
+    auto& conn = conns_[static_cast<std::size_t>(id)];
+    if (!conn) continue;
+    conn->send(make_frame(MsgType::kShutdown, 0, kServerId));
+    conn->close();
+    conn.reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (auto& t : pending_) t->close();
+    pending_.clear();
+  }
+
+  log.applied_updates = core_.stats().selected_updates;
+  log.total_time = std::chrono::duration<double>(Clock::now() - t0).count();
+  return log;
+}
+
+// --- ClientSession. ------------------------------------------------------
+
+ClientSession::ClientSession(ClientSessionConfig cfg, DialFn dial,
+                             BootstrapFn bootstrap)
+    : cfg_(std::move(cfg)),
+      dial_(std::move(dial)),
+      bootstrap_(std::move(bootstrap)) {
+  ADAFL_CHECK_MSG(cfg_.client_id >= 0, "ClientSession: negative client id");
+  ADAFL_CHECK_MSG(dial_ != nullptr && bootstrap_ != nullptr,
+                  "ClientSession: null callback");
+}
+
+ClientRunStats ClientSession::run() {
+  ClientRunStats st;
+  const auto cid = static_cast<std::uint32_t>(cfg_.client_id);
+
+  std::unique_ptr<Transport> conn;
+  bool ever_connected = false;
+
+  std::optional<fl::FlClient> client;
+  core::AdaFlParams params;
+  std::optional<compress::DgcCompressor> comp;
+
+  // Round-local training state; survives reconnects by design so a TCP drop
+  // never resets DGC error feedback or retrains a round.
+  fl::FlClient::LocalResult res;
+  int trained_round = 0;
+  int uploaded_round = 0;
+  int skipped_round = 0;
+  std::vector<std::uint8_t> cached_update;  ///< UPDATE payload, uploaded_round
+  bool crashed = false;                     ///< fault injection fired
+
+  auto last_rx = Clock::now();
+  auto last_ping = last_rx;
+
+  for (;;) {
+    if (!conn || conn->closed()) {
+      conn.reset();
+      for (int attempt = 0;; ++attempt) {
+        if (cfg_.backoff.max_attempts > 0 &&
+            attempt >= cfg_.backoff.max_attempts)
+          return st;  // gave up; completed stays false
+        if (attempt > 0 || ever_connected)
+          std::this_thread::sleep_for(cfg_.backoff.delay(attempt));
+        conn = dial_();
+        if (conn) break;
+      }
+      if (ever_connected) ++st.reconnects;
+      ever_connected = true;
+      conn->send(make_frame(MsgType::kHello, 0, cid,
+                            encode_hello(kProtocolVersion)));
+      last_rx = Clock::now();
+      continue;
+    }
+
+    std::optional<Frame> f;
+    try {
+      f = conn->recv(cfg_.recv_poll);
+    } catch (const CheckError&) {
+      conn->close();  // malformed server stream: reconnect
+      continue;
+    }
+    const auto now = Clock::now();
+    if (!f) {
+      if (conn->closed()) continue;
+      if (now - last_rx > cfg_.liveness_timeout) {
+        conn->close();  // server unresponsive: redial
+        continue;
+      }
+      if (now - last_rx > cfg_.heartbeat_interval &&
+          now - last_ping > cfg_.heartbeat_interval) {
+        conn->send(make_frame(MsgType::kPing, 0, cid));
+        last_ping = now;
+      }
+      continue;
+    }
+    last_rx = now;
+
+    switch (f->type) {
+      case MsgType::kWelcome: {
+        const WelcomeInfo w = parse_welcome(f->payload);
+        params = w.params;
+        if (!client) client.emplace(bootstrap_(w.config, cfg_.client_id, params));
+        ADAFL_CHECK_MSG(
+            static_cast<std::uint64_t>(client->param_count()) == w.param_count,
+            "session: bootstrap model has " << client->param_count()
+                                            << " params, server expects "
+                                            << w.param_count);
+        if (!comp)
+          comp.emplace(static_cast<std::int64_t>(w.param_count), params.dgc);
+        break;
+      }
+      case MsgType::kModel: {
+        if (!client) break;  // WELCOME must precede MODEL
+        if (cfg_.faults.crash_before_score_round != 0 && !crashed &&
+            f->round == static_cast<std::uint32_t>(
+                            cfg_.faults.crash_before_score_round)) {
+          crashed = true;
+          conn->close();  // simulate a crash mid-round; backoff redials
+          break;
+        }
+        const ModelPayload m = parse_model(f->payload);
+        ADAFL_CHECK_MSG(
+            m.global.size() == static_cast<std::size_t>(client->param_count()),
+            "session: MODEL dimension mismatch");
+        const int round = static_cast<int>(f->round);
+        if (trained_round != round) {  // a re-sent MODEL never retrains
+          res = client->train_from(m.global);
+          trained_round = round;
+          ++st.rounds_trained;
+        }
+        const double score = core::utility_score(
+            params.utility, res.delta, m.g_hat, params.utility.bw_ref,
+            params.utility.bw_ref);
+        conn->send(make_frame(MsgType::kScore, f->round, cid,
+                              encode_f64(score)));
+        break;
+      }
+      case MsgType::kSelect: {
+        const int round = static_cast<int>(f->round);
+        if (round != trained_round || !comp) break;  // stale selection
+        if (uploaded_round != round) {
+          const double ratio = parse_f64(f->payload);
+          UpdatePayload u;
+          u.msg = comp->compress(res.delta, ratio);
+          u.num_examples = res.num_examples;
+          u.mean_loss = res.mean_loss;
+          u.raw_delta_norm = tensor::l2_norm(res.delta);
+          cached_update = encode_update(u);
+          uploaded_round = round;
+        }
+        // A duplicate SELECT (reconnect race) re-sends the cached bytes —
+        // compressing twice would corrupt the DGC residual.
+        conn->send(make_frame(MsgType::kUpdate, f->round, cid,
+                              cached_update));
+        ++st.updates_sent;
+        break;
+      }
+      case MsgType::kSkip: {
+        const int round = static_cast<int>(f->round);
+        if (round != trained_round || !comp || skipped_round == round) break;
+        skipped_round = round;
+        if (params.accumulate_unselected) comp->accumulate(res.delta);
+        ++st.skips;
+        break;
+      }
+      case MsgType::kPing:
+        conn->send(make_frame(MsgType::kPong, f->round, cid));
+        break;
+      case MsgType::kShutdown:
+        st.completed = true;
+        conn->close();
+        return st;
+      default:
+        break;  // PONG and anything unexpected: ignore
+    }
+  }
+}
+
+}  // namespace adafl::net::transport

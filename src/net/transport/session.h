@@ -1,0 +1,229 @@
+// Deployed FL session protocol: the AdaFL round loop over a real transport.
+//
+// One server (ServerSession) drives AdaFL rounds against N remote clients
+// (ClientSession), speaking framed messages (frame.h) whose payloads wrap
+// the byte-exact compress::wire encoding. The server-side round logic is
+// core::AdaFlServerCore — the same state machine the in-process simulator
+// uses — so a deployed run with the same seed/config produces bitwise
+// identical global weights to AdaFlSyncTrainer (asserted by
+// tests/test_session.cpp and the CI loopback smoke job).
+//
+// Round protocol (round r):
+//   server -> client  MODEL(r)    global weights + g_hat
+//   client -> server  SCORE(r)    utility score (trained locally)
+//   server -> client  SELECT(r)   compression ratio   (chosen clients)
+//                     SKIP(r)                         (everyone else)
+//   client -> server  UPDATE(r)   compressed sparse update
+//
+// Resilience: the server never blocks on a single peer — it polls all
+// connections, finishes the score phase once a quorum has reported (waiting
+// for stragglers only until the round deadline), and aggregates whatever
+// updates arrive by the deadline. A client that vanishes mid-round degrades
+// the round; when it redials (HELLO again) the server re-sends the in-round
+// state (MODEL or SELECT) and books the overhead as retransmitted bytes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/adafl_server.h"
+#include "fl/client.h"
+#include "fl/types.h"
+#include "net/transport/tcp.h"
+#include "net/transport/transport.h"
+
+namespace adafl::net::transport {
+
+/// Protocol version carried in HELLO; bumped on incompatible changes.
+constexpr std::uint32_t kProtocolVersion = 1;
+
+// --- Message payload codecs (exposed for tests and scripted peers). ------
+
+/// WELCOME: run configuration a joining client needs.
+struct WelcomeInfo {
+  std::uint32_t rounds = 0;
+  std::uint64_t param_count = 0;
+  core::AdaFlParams params;  ///< must match the server's exactly
+  /// Opaque key/value config (task spec, hyperparameters) interpreted by the
+  /// client's bootstrap callback.
+  std::map<std::string, std::string> config;
+};
+
+std::vector<std::uint8_t> encode_hello(std::uint32_t protocol_version);
+std::uint32_t parse_hello(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_welcome(const WelcomeInfo& w);
+WelcomeInfo parse_welcome(std::span<const std::uint8_t> payload);
+
+/// MODEL: the global weights and the similarity reference g_hat.
+struct ModelPayload {
+  std::vector<float> global;
+  std::vector<float> g_hat;
+};
+
+std::vector<std::uint8_t> encode_model(const ModelPayload& m);
+ModelPayload parse_model(std::span<const std::uint8_t> payload);
+
+/// SCORE and SELECT carry one f64 (utility score / compression ratio).
+std::vector<std::uint8_t> encode_f64(double v);
+double parse_f64(std::span<const std::uint8_t> payload);
+
+/// UPDATE: the compressed model update plus its aggregation metadata.
+struct UpdatePayload {
+  compress::EncodedGradient msg;
+  std::int64_t num_examples = 0;
+  float mean_loss = 0.0f;
+  double raw_delta_norm = 0.0;  ///< trust-region input (L2 of the raw delta)
+};
+
+std::vector<std::uint8_t> encode_update(const UpdatePayload& u);
+UpdatePayload parse_update(std::span<const std::uint8_t> payload);
+
+// --- Server side. --------------------------------------------------------
+
+struct ServerSessionConfig {
+  core::AdaFlParams params;
+  int rounds = 3;
+  int eval_every = 1;
+  /// Fleet size; client ids must be in [0, expected_clients).
+  int expected_clients = 0;
+  /// Scores needed before a round may proceed past its deadline
+  /// (0 = expected_clients). Liveness bound: with fewer than `quorum`
+  /// clients reachable the server waits for rejoins instead of training on
+  /// too little data.
+  int quorum = 0;
+  /// Per-phase deadline: after it expires the score phase proceeds with a
+  /// quorum and the update phase aggregates what has arrived.
+  std::chrono::milliseconds round_deadline{60000};
+  /// Poll sleep while waiting for network activity.
+  std::chrono::milliseconds idle_poll{20};
+  /// Opaque config forwarded to every client in WELCOME.
+  std::map<std::string, std::string> client_config;
+};
+
+/// Runs the AdaFL server over any Transport mix (TCP and/or loopback).
+/// add_transport() may be called from another thread (e.g. an accept loop)
+/// at any time before or during run().
+class ServerSession {
+ public:
+  /// `test` may be null (no evaluation; records carry accuracy 0).
+  ServerSession(ServerSessionConfig cfg, nn::ModelFactory factory,
+                const data::Dataset* test);
+
+  /// Hands a freshly-connected (not yet handshaken) transport to the
+  /// session. Thread-safe.
+  void add_transport(std::unique_ptr<Transport> t);
+
+  /// Runs all configured rounds; returns the training log. Call once.
+  fl::TrainLog run();
+
+  const std::vector<float>& global() const { return core_.global(); }
+  const core::AdaFlStats& stats() const { return core_.stats(); }
+
+ private:
+  enum class Phase { kScore, kUpdate };
+
+  /// Per-round mutable state shared by the service loop.
+  struct RoundCtx {
+    int round = 0;
+    Phase phase = Phase::kScore;
+    std::vector<bool> sent_model;
+    std::vector<bool> scored;
+    std::vector<double> scores;
+    std::map<int, double> ratio_of;  ///< selected id -> compression ratio
+    std::set<int> awaiting;          ///< selected ids still owing an UPDATE
+    std::map<int, core::AdaFlDelivery> deliveries;
+    metrics::CommLedger* ledger = nullptr;
+  };
+
+  /// Sends `f` on client `id`'s connection; on failure the connection is
+  /// dropped. Returns delivered frame size (0 on failure).
+  std::size_t send_to(int id, const Frame& f);
+  void send_model(RoundCtx& rc, int id);
+  /// Services pending handshakes and one poll pass over all connections.
+  /// Returns true if any frame was processed (progress).
+  bool service(RoundCtx& rc);
+  void handle_frame(RoundCtx& rc, int id, const Frame& f);
+
+  ServerSessionConfig cfg_;
+  nn::ModelFactory factory_;
+  const data::Dataset* test_;
+  nn::Model eval_model_;
+  core::AdaFlServerCore core_;
+  std::vector<std::uint8_t> welcome_payload_;
+
+  std::mutex pending_mu_;
+  std::vector<std::unique_ptr<Transport>> pending_;  ///< awaiting HELLO
+  std::vector<std::unique_ptr<Transport>> conns_;    ///< by client id
+  std::vector<bool> ever_joined_;
+};
+
+// --- Client side. --------------------------------------------------------
+
+/// Fault injection for resilience tests: crash (abruptly close the
+/// connection) once, upon receiving MODEL for the given round, before
+/// training. 0 disables.
+struct ClientFaults {
+  int crash_before_score_round = 0;
+};
+
+struct ClientSessionConfig {
+  int client_id = 0;
+  /// Send a PING after this long without traffic in either direction.
+  std::chrono::milliseconds heartbeat_interval{1000};
+  /// Declare the connection dead and redial after this long without
+  /// hearing from the server.
+  std::chrono::milliseconds liveness_timeout{8000};
+  /// recv() poll granularity.
+  std::chrono::milliseconds recv_poll{100};
+  BackoffPolicy backoff;
+  ClientFaults faults;
+};
+
+/// Outcome of one ClientSession::run().
+struct ClientRunStats {
+  int reconnects = 0;
+  int rounds_trained = 0;
+  int updates_sent = 0;
+  int skips = 0;
+  /// True if the server said SHUTDOWN; false if the session gave up
+  /// redialing (backoff exhausted).
+  bool completed = false;
+};
+
+/// Runs one deployed FL client: dials the server, trains on MODEL, scores,
+/// uploads when selected, and transparently reconnects (bounded exponential
+/// backoff) when the connection drops. DGC residual state survives
+/// reconnects, so a flaky network does not reset error feedback.
+class ClientSession {
+ public:
+  /// Returns a connected transport or nullptr (attempt failed).
+  using DialFn = std::function<std::unique_ptr<Transport>()>;
+  /// Builds this client's FlClient from the server-sent config. Must derive
+  /// the client seed with fl::client_seed_at(run_seed ^
+  /// core::kAdaFlClientSeedSalt, id) — via fl::make_client — so the deployed
+  /// client is the simulator's bitwise twin.
+  using BootstrapFn = std::function<fl::FlClient(
+      const std::map<std::string, std::string>& config, int client_id,
+      const core::AdaFlParams& params)>;
+
+  ClientSession(ClientSessionConfig cfg, DialFn dial, BootstrapFn bootstrap);
+
+  /// Runs until SHUTDOWN or until reconnecting is abandoned.
+  ClientRunStats run();
+
+ private:
+  ClientSessionConfig cfg_;
+  DialFn dial_;
+  BootstrapFn bootstrap_;
+};
+
+}  // namespace adafl::net::transport

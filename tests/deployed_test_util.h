@@ -1,0 +1,232 @@
+// Shared harness for the deployed-session tests: runs the same small AdaFL
+// task through the in-process simulator (AdaFlSyncTrainer) and through
+// ServerSession/ClientSession over a real Transport, so the two paths can be
+// compared bitwise (same seed => identical global weights).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/task.h"
+#include "core/adafl_sync.h"
+#include "fl/client.h"
+#include "net/transport/loopback.h"
+#include "net/transport/session.h"
+#include "net/transport/tcp.h"
+
+namespace adafl::testutil {
+
+/// A task small enough that a full deployed-vs-simulated double run stays
+/// well under a second, yet non-trivial (non-iid split, selection pressure).
+inline cli::TaskSpec small_task_spec() {
+  cli::TaskSpec spec;
+  spec.dataset = "mnist";
+  spec.model = "mlp";
+  spec.dist = "noniid";
+  spec.clients = 4;
+  spec.train_samples = 400;
+  spec.test_samples = 120;
+  spec.seed = 7;
+  return spec;
+}
+
+inline fl::ClientTrainConfig small_client_config() {
+  fl::ClientTrainConfig c;
+  c.batch_size = 16;
+  c.local_steps = 2;
+  c.lr = 0.05f;
+  return c;
+}
+
+inline core::AdaFlParams small_params() {
+  core::AdaFlParams p;
+  p.max_selected = 2;
+  p.tau = 0.3;
+  p.compression.warmup_rounds = 1;  // rounds >= 2 exercise real selection
+  return p;
+}
+
+struct SimResult {
+  fl::TrainLog log;
+  std::vector<float> global;
+  core::AdaFlStats stats;
+};
+
+inline SimResult run_simulator(const cli::TaskSpec& spec,
+                               const fl::ClientTrainConfig& client,
+                               const core::AdaFlParams& params, int rounds) {
+  auto task = cli::build_task(spec);
+  core::AdaFlSyncConfig cfg;
+  cfg.params = params;
+  cfg.rounds = rounds;
+  cfg.client = client;
+  cfg.eval_every = 1;
+  cfg.seed = spec.seed;
+  core::AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts,
+                           &task.test);
+  SimResult r;
+  r.log = t.run();
+  r.global = t.global();
+  r.stats = t.stats();
+  return r;
+}
+
+struct DeployedResult {
+  fl::TrainLog log;
+  std::vector<float> global;
+  core::AdaFlStats stats;
+  std::vector<net::transport::ClientRunStats> clients;
+};
+
+inline net::transport::ServerSessionConfig make_server_config(
+    const cli::TaskSpec& spec, const fl::ClientTrainConfig& client,
+    const core::AdaFlParams& params, int rounds) {
+  net::transport::ServerSessionConfig scfg;
+  scfg.params = params;
+  scfg.rounds = rounds;
+  scfg.eval_every = 1;
+  scfg.expected_clients = spec.clients;
+  scfg.quorum = 0;  // all
+  scfg.round_deadline = std::chrono::milliseconds(30000);
+  scfg.idle_poll = std::chrono::milliseconds(2);
+  scfg.client_config = cli::task_to_kv(spec, client);
+  return scfg;
+}
+
+/// The standard deployed-client bootstrap: rebuild the task from the
+/// server-sent kv config and derive the simulator-identical seed. `bundle`
+/// must outlive the session (the FlClient borrows the training dataset).
+inline net::transport::ClientSession::BootstrapFn make_bootstrap(
+    std::optional<cli::TaskBundle>* bundle) {
+  return [bundle](const std::map<std::string, std::string>& kv, int id,
+                  const core::AdaFlParams&) {
+    cli::TaskSpec spec;
+    fl::ClientTrainConfig cc;
+    cli::task_from_kv(kv, &spec, &cc);
+    bundle->emplace(cli::build_task(spec));
+    return fl::make_client(bundle->value().factory, &bundle->value().train,
+                           bundle->value().parts, cc, {},
+                           spec.seed ^ core::kAdaFlClientSeedSalt, id);
+  };
+}
+
+/// Fast-turnaround client knobs for tests (real defaults are tuned for WAN).
+inline net::transport::ClientSessionConfig test_client_config(int id) {
+  net::transport::ClientSessionConfig ccfg;
+  ccfg.client_id = id;
+  ccfg.recv_poll = std::chrono::milliseconds(20);
+  ccfg.heartbeat_interval = std::chrono::milliseconds(300);
+  ccfg.liveness_timeout = std::chrono::milliseconds(2000);
+  ccfg.backoff.initial = std::chrono::milliseconds(30);
+  ccfg.backoff.max = std::chrono::milliseconds(100);
+  ccfg.backoff.max_attempts = 30;
+  return ccfg;
+}
+
+/// Full deployed run over in-process loopback transports: server in the
+/// calling thread, one thread per client.
+inline DeployedResult run_deployed_loopback(const cli::TaskSpec& spec,
+                                            const fl::ClientTrainConfig& client,
+                                            const core::AdaFlParams& params,
+                                            int rounds) {
+  using namespace net::transport;
+  auto task = cli::build_task(spec);
+  ServerSession server(make_server_config(spec, client, params, rounds),
+                       task.factory, &task.test);
+
+  const int n = spec.clients;
+  std::vector<std::optional<cli::TaskBundle>> bundles(
+      static_cast<std::size_t>(n));
+  DeployedResult res;
+  res.clients.resize(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int id = 0; id < n; ++id) {
+    threads.emplace_back([&, id] {
+      ClientSession cs(
+          test_client_config(id),
+          [&server]() -> std::unique_ptr<Transport> {
+            auto pair = make_loopback_pair();
+            server.add_transport(std::move(pair.first));
+            return std::move(pair.second);
+          },
+          make_bootstrap(&bundles[static_cast<std::size_t>(id)]));
+      res.clients[static_cast<std::size_t>(id)] = cs.run();
+    });
+  }
+  res.log = server.run();
+  for (auto& t : threads) t.join();
+  res.global = server.global();
+  res.stats = server.stats();
+  return res;
+}
+
+/// Full deployed run over real TCP on 127.0.0.1 (ephemeral port), with an
+/// accept loop like flserver's. Optionally injects a crash fault into one
+/// client (it abruptly drops its connection on `crash_round`'s MODEL).
+inline DeployedResult run_deployed_tcp(
+    const cli::TaskSpec& spec, const fl::ClientTrainConfig& client,
+    const core::AdaFlParams& params, int rounds, int quorum = 0,
+    std::chrono::milliseconds deadline = std::chrono::milliseconds(30000),
+    int crash_client = -1, int crash_round = 0) {
+  using namespace net::transport;
+  auto task = cli::build_task(spec);
+  ServerSessionConfig scfg = make_server_config(spec, client, params, rounds);
+  scfg.quorum = quorum;
+  scfg.round_deadline = deadline;
+  ServerSession server(scfg, task.factory, &task.test);
+
+  TcpListener listener(0);
+  const std::uint16_t port = listener.port();
+  std::atomic<bool> done{false};
+  std::thread acceptor([&] {
+    while (!done.load()) {
+      auto t = listener.accept(std::chrono::milliseconds(50));
+      if (t) server.add_transport(std::move(t));
+    }
+  });
+
+  const int n = spec.clients;
+  std::vector<std::optional<cli::TaskBundle>> bundles(
+      static_cast<std::size_t>(n));
+  DeployedResult res;
+  res.clients.resize(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int id = 0; id < n; ++id) {
+    threads.emplace_back([&, id] {
+      ClientSessionConfig ccfg = test_client_config(id);
+      if (id == crash_client) {
+        ccfg.faults.crash_before_score_round = crash_round;
+        // Redial almost immediately: on this tiny task the server burns
+        // through rounds in milliseconds, and the test needs the rejoin to
+        // land while the session is still running.
+        ccfg.backoff.initial = std::chrono::milliseconds(1);
+        ccfg.backoff.max = std::chrono::milliseconds(50);
+      }
+      ClientSession cs(
+          ccfg,
+          [port] {
+            return TcpTransport::connect("127.0.0.1", port,
+                                         std::chrono::milliseconds(1000));
+          },
+          make_bootstrap(&bundles[static_cast<std::size_t>(id)]));
+      res.clients[static_cast<std::size_t>(id)] = cs.run();
+    });
+  }
+
+  res.log = server.run();
+  done.store(true);
+  listener.close();
+  acceptor.join();
+  for (auto& t : threads) t.join();
+  res.global = server.global();
+  res.stats = server.stats();
+  return res;
+}
+
+}  // namespace adafl::testutil

@@ -122,9 +122,53 @@ TEST(CommLedger, InvalidArgsThrow) {
 TEST(CommLedger, ResetClears) {
   CommLedger l;
   l.record_upload(0, 100, true);
+  l.record_retransmit(0, 40);
+  l.record_reconnect(0);
   l.reset();
   EXPECT_EQ(l.total_bytes(), 0);
   EXPECT_EQ(l.delivered_updates(), 0);
+  EXPECT_EQ(l.total_retransmitted_bytes(), 0);
+  EXPECT_EQ(l.total_reconnects(), 0);
+}
+
+TEST(CommLedger, TracksRetransmitsAndReconnects) {
+  CommLedger l;
+  EXPECT_EQ(l.total_retransmitted_bytes(), 0);
+  EXPECT_EQ(l.total_reconnects(), 0);
+  l.record_retransmit(2, 150);
+  l.record_retransmit(2, 50);
+  l.record_retransmit(5, 25);
+  l.record_reconnect(2);
+  l.record_reconnect(2);
+  l.record_reconnect(7);
+  EXPECT_EQ(l.total_retransmitted_bytes(), 225);
+  EXPECT_EQ(l.total_reconnects(), 3);
+  EXPECT_EQ(l.reconnects_of(2), 2);
+  EXPECT_EQ(l.reconnects_of(7), 1);
+  EXPECT_EQ(l.reconnects_of(0), 0);
+  // Retransmits are overhead accounting; they do not count as updates and
+  // do not inflate the directional totals by themselves.
+  EXPECT_EQ(l.total_bytes(), 0);
+  EXPECT_EQ(l.attempted_updates(), 0);
+}
+
+TEST(CommLedger, RetransmitRejectsNegativeBytes) {
+  CommLedger l;
+  EXPECT_THROW(l.record_retransmit(0, -5), CheckError);
+}
+
+TEST(Table, LedgerTableShowsResilienceColumns) {
+  CommLedger l;
+  l.record_upload(0, 1000, true);
+  l.record_download(0, 2000);
+  l.record_retransmit(0, 300);
+  l.record_reconnect(0);
+  std::ostringstream os;
+  ledger_table(l).print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("retransmitted"), std::string::npos);
+  EXPECT_NE(out.find("reconnects"), std::string::npos);
+  EXPECT_NE(out.find("300B"), std::string::npos);
 }
 
 TEST(Formatting, Percent) {

@@ -1,0 +1,265 @@
+// Deployed FL session protocol: payload codecs, TCP end-to-end equivalence
+// with the simulator, and resilience (crashed client degrades the round via
+// quorum instead of hanging the server, then rejoins).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "compress/dgc.h"
+#include "net/transport/loopback.h"
+#include "net/transport/session.h"
+#include "tensor/check.h"
+
+#include "deployed_test_util.h"
+
+namespace adafl::net::transport {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// --- Payload codec round-trips. ------------------------------------------
+
+TEST(SessionCodec, HelloRoundTrip) {
+  EXPECT_EQ(parse_hello(encode_hello(kProtocolVersion)), kProtocolVersion);
+  EXPECT_THROW(parse_hello({}), CheckError);
+}
+
+TEST(SessionCodec, WelcomeRoundTripCarriesParamsExactly) {
+  WelcomeInfo w;
+  w.rounds = 12;
+  w.param_count = 50890;
+  w.params.tau = 0.4375;
+  w.params.max_selected = 3;
+  w.params.compression.ratio_min = 6.5;
+  w.params.compression.ratio_max = 123.25;
+  w.params.compression.warmup_rounds = 2;
+  w.params.dgc.momentum = 0.125f;
+  w.params.dgc.clip_norm = 2.5;
+  w.params.server_trust_clip = false;
+  w.config = {{"dataset", "mnist"}, {"seed", "7"}, {"lr", "0.05"}};
+  const WelcomeInfo g = parse_welcome(encode_welcome(w));
+  EXPECT_EQ(g.rounds, w.rounds);
+  EXPECT_EQ(g.param_count, w.param_count);
+  EXPECT_EQ(g.params.tau, w.params.tau);
+  EXPECT_EQ(g.params.max_selected, w.params.max_selected);
+  EXPECT_EQ(g.params.compression.ratio_min, w.params.compression.ratio_min);
+  EXPECT_EQ(g.params.compression.ratio_max, w.params.compression.ratio_max);
+  EXPECT_EQ(g.params.compression.warmup_rounds,
+            w.params.compression.warmup_rounds);
+  EXPECT_EQ(g.params.dgc.momentum, w.params.dgc.momentum);
+  EXPECT_EQ(g.params.dgc.clip_norm, w.params.dgc.clip_norm);
+  EXPECT_EQ(g.params.server_trust_clip, w.params.server_trust_clip);
+  EXPECT_EQ(g.config, w.config);
+}
+
+TEST(SessionCodec, ModelRoundTripIsBitwise) {
+  ModelPayload m;
+  m.global = {1.0f, -2.5f, 3.25e-7f, 0.0f};
+  m.g_hat = {0.5f, 0.0f, -1.0f, 42.0f};
+  const ModelPayload g = parse_model(encode_model(m));
+  EXPECT_EQ(g.global, m.global);
+  EXPECT_EQ(g.g_hat, m.g_hat);
+}
+
+TEST(SessionCodec, UpdateRoundTripAndValidation) {
+  compress::DgcCompressor comp(64, core::AdaFlParams{}.dgc);
+  std::vector<float> delta(64);
+  for (std::size_t i = 0; i < delta.size(); ++i)
+    delta[i] = static_cast<float>(i) * 0.25f - 8.0f;
+  UpdatePayload u;
+  u.msg = comp.compress(delta, 8.0);
+  u.num_examples = 120;
+  u.mean_loss = 1.5f;
+  u.raw_delta_norm = 3.75;
+  const UpdatePayload g = parse_update(encode_update(u));
+  EXPECT_EQ(g.num_examples, u.num_examples);
+  EXPECT_EQ(g.mean_loss, u.mean_loss);
+  EXPECT_EQ(g.raw_delta_norm, u.raw_delta_norm);
+  EXPECT_EQ(g.msg.decode(), u.msg.decode());
+
+  // Zero examples is a protocol violation (would divide the aggregate).
+  UpdatePayload bad = u;
+  bad.num_examples = 0;
+  EXPECT_THROW(parse_update(encode_update(bad)), CheckError);
+  // Truncated wire payload is rejected.
+  auto bytes = encode_update(u);
+  bytes.pop_back();
+  EXPECT_THROW(parse_update(bytes), CheckError);
+}
+
+// --- End-to-end over real TCP. -------------------------------------------
+
+TEST(Session, TcpDeployedMatchesSimulatorBitwise) {
+  // flserver/flclient in-process: ServerSession + 4 ClientSessions over
+  // 127.0.0.1 sockets must land on exactly the simulator's weights.
+  const auto spec = testutil::small_task_spec();
+  const auto client = testutil::small_client_config();
+  const auto params = testutil::small_params();
+  const int rounds = 3;
+
+  const auto sim = testutil::run_simulator(spec, client, params, rounds);
+  const auto dep = testutil::run_deployed_tcp(spec, client, params, rounds);
+
+  ASSERT_EQ(dep.global.size(), sim.global.size());
+  EXPECT_EQ(dep.global, sim.global);  // bitwise
+  ASSERT_EQ(dep.log.records.size(), sim.log.records.size());
+  for (std::size_t i = 0; i < sim.log.records.size(); ++i)
+    EXPECT_EQ(dep.log.records[i].test_accuracy,
+              sim.log.records[i].test_accuracy);
+  EXPECT_EQ(dep.stats.selected_updates, sim.stats.selected_updates);
+  for (const auto& st : dep.clients) {
+    EXPECT_TRUE(st.completed);
+    EXPECT_EQ(st.rounds_trained, rounds);
+  }
+  // A clean network books no resilience overhead.
+  EXPECT_EQ(dep.log.ledger.total_reconnects(), 0);
+  EXPECT_EQ(dep.log.ledger.total_retransmitted_bytes(), 0);
+}
+
+TEST(Session, CrashedClientDegradesRoundAndRejoins) {
+  // Client 3 abruptly drops its TCP connection on receiving round 2's MODEL
+  // (before scoring). With quorum=3 the server must complete every round —
+  // never hang — and the client's redial must be booked as a reconnect.
+  const auto spec = testutil::small_task_spec();
+  const auto client = testutil::small_client_config();
+  const auto params = testutil::small_params();
+  const int rounds = 4;
+
+  const auto dep = testutil::run_deployed_tcp(
+      spec, client, params, rounds, /*quorum=*/3,
+      /*deadline=*/milliseconds(5000), /*crash_client=*/3, /*crash_round=*/2);
+
+  // The server finished all rounds (run() returned and evaluated each one).
+  ASSERT_EQ(dep.log.records.size(), static_cast<std::size_t>(rounds));
+  for (const auto& rec : dep.log.records) EXPECT_GE(rec.participants, 1);
+
+  // The crash and the rejoin both happened and were accounted.
+  EXPECT_GE(dep.clients[3].reconnects, 1);
+  EXPECT_GE(dep.log.ledger.total_reconnects(), 1);
+  EXPECT_GE(dep.log.ledger.reconnects_of(3), 1);
+
+  // The surviving clients ran the whole session normally.
+  for (int id = 0; id < 3; ++id) {
+    EXPECT_TRUE(dep.clients[static_cast<std::size_t>(id)].completed) << id;
+    EXPECT_EQ(dep.clients[static_cast<std::size_t>(id)].rounds_trained,
+              rounds)
+        << id;
+  }
+  // The crashed client got back in and trained at least the later rounds.
+  EXPECT_GE(dep.clients[3].rounds_trained, 2);
+}
+
+// --- Quorum-after-deadline with a connected-but-silent peer. -------------
+
+TEST(Session, QuorumAfterDeadlineWithSilentPeer) {
+  // One cooperative scripted peer and one peer that connects, receives
+  // models, and never answers. With quorum=1 and a short deadline the server
+  // must finish each round on the cooperative peer alone, waiting exactly
+  // the deadline (not forever) for the silent one.
+  auto spec = testutil::small_task_spec();
+  spec.clients = 2;
+  spec.train_samples = 80;
+  spec.test_samples = 40;
+  const auto params = testutil::small_params();
+
+  auto task = cli::build_task(spec);
+  ServerSessionConfig scfg;
+  scfg.params = params;
+  scfg.rounds = 2;
+  scfg.eval_every = 1;
+  scfg.expected_clients = 2;
+  scfg.quorum = 1;
+  scfg.round_deadline = milliseconds(250);
+  scfg.idle_poll = milliseconds(2);
+  scfg.client_config =
+      cli::task_to_kv(spec, testutil::small_client_config());
+  ServerSession server(scfg, task.factory, /*test=*/nullptr);
+
+  auto pair0 = make_loopback_pair();
+  auto pair1 = make_loopback_pair();
+  server.add_transport(std::move(pair0.first));
+  server.add_transport(std::move(pair1.first));
+
+  auto hello = [](std::uint32_t id) {
+    Frame f;
+    f.type = MsgType::kHello;
+    f.client_id = id;
+    f.payload = encode_hello(kProtocolVersion);
+    return f;
+  };
+
+  // Peer 0: protocol-level cooperative client. No local training — it
+  // reports a fixed score and uploads a zero delta, which is enough to
+  // drive the server's round machine.
+  std::thread peer0([t = std::move(pair0.second), &hello]() mutable {
+    ASSERT_TRUE(t->send(hello(0)));
+    std::optional<compress::DgcCompressor> comp;
+    std::uint64_t dims = 0;
+    for (;;) {
+      auto f = t->recv(milliseconds(2000));
+      if (!f) {
+        if (t->closed()) return;
+        continue;
+      }
+      if (f->type == MsgType::kWelcome) {
+        const WelcomeInfo w = parse_welcome(f->payload);
+        dims = w.param_count;
+        comp.emplace(static_cast<std::int64_t>(dims), w.params.dgc);
+      } else if (f->type == MsgType::kModel) {
+        Frame s;
+        s.type = MsgType::kScore;
+        s.round = f->round;
+        s.client_id = 0;
+        s.payload = encode_f64(0.75);
+        t->send(s);
+      } else if (f->type == MsgType::kSelect) {
+        UpdatePayload u;
+        u.msg = comp->compress(std::vector<float>(dims, 0.0f),
+                               parse_f64(f->payload));
+        u.num_examples = 10;
+        u.mean_loss = 0.5f;
+        u.raw_delta_norm = 0.0;
+        Frame uf;
+        uf.type = MsgType::kUpdate;
+        uf.round = f->round;
+        uf.client_id = 0;
+        uf.payload = encode_update(u);
+        t->send(uf);
+      } else if (f->type == MsgType::kShutdown) {
+        return;
+      }
+    }
+  });
+
+  // Peer 1: joins, then goes mute (receives and ignores everything).
+  std::thread peer1([t = std::move(pair1.second), &hello]() mutable {
+    ASSERT_TRUE(t->send(hello(1)));
+    for (;;) {
+      auto f = t->recv(milliseconds(2000));
+      if (!f) {
+        if (t->closed()) return;
+        continue;
+      }
+      if (f->type == MsgType::kShutdown) return;
+    }
+  });
+
+  const auto t0 = steady_clock::now();
+  const fl::TrainLog log = server.run();
+  const auto elapsed = std::chrono::duration_cast<milliseconds>(
+      steady_clock::now() - t0);
+  peer0.join();
+  peer1.join();
+
+  ASSERT_EQ(log.records.size(), 2u);
+  for (const auto& rec : log.records) EXPECT_EQ(rec.participants, 1);
+  EXPECT_EQ(log.ledger.delivered_updates(), 2);
+  EXPECT_EQ(server.stats().selected_updates, 2);
+  // Each score phase had to wait out the deadline for the silent peer.
+  EXPECT_GE(elapsed, milliseconds(2 * 250 - 50));
+}
+
+}  // namespace
+}  // namespace adafl::net::transport

@@ -1,0 +1,168 @@
+// Transport layer: loopback pair semantics, real TCP sockets on 127.0.0.1,
+// and the reconnect backoff schedule. Focus is on the failure-path contract
+// (timeouts return nullopt, EOF flips closed(), dead ports fail fast) that
+// the session layer's resilience is built on.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/transport/loopback.h"
+#include "net/transport/tcp.h"
+
+namespace adafl::net::transport {
+namespace {
+
+using std::chrono::milliseconds;
+
+Frame ping_frame(std::uint32_t round, std::uint32_t client_id) {
+  Frame f;
+  f.type = MsgType::kPing;
+  f.round = round;
+  f.client_id = client_id;
+  return f;
+}
+
+TEST(Backoff, ExponentialBoundedDelays) {
+  BackoffPolicy b;
+  b.initial = milliseconds(100);
+  b.max = milliseconds(450);
+  b.multiplier = 2.0;
+  EXPECT_EQ(b.delay(0), milliseconds(100));
+  EXPECT_EQ(b.delay(1), milliseconds(200));
+  EXPECT_EQ(b.delay(2), milliseconds(400));
+  EXPECT_EQ(b.delay(3), milliseconds(450));  // clamped
+  EXPECT_EQ(b.delay(30), milliseconds(450));
+}
+
+TEST(Loopback, SendRecvBothDirections) {
+  auto [a, b] = make_loopback_pair();
+  Frame f = ping_frame(3, 1);
+  f.payload = {9, 8, 7};
+  EXPECT_TRUE(a->send(f));
+  const auto got = b->recv(milliseconds(500));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, MsgType::kPing);
+  EXPECT_EQ(got->round, 3u);
+  EXPECT_EQ(got->payload, f.payload);
+
+  EXPECT_TRUE(b->send(ping_frame(4, 2)));
+  const auto back = a->recv(milliseconds(500));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->round, 4u);
+  EXPECT_EQ(a->peer(), "loopback");
+}
+
+TEST(Loopback, RecvTimesOutWhenIdle) {
+  auto [a, b] = make_loopback_pair();
+  EXPECT_FALSE(a->recv(milliseconds(0)).has_value());
+  EXPECT_FALSE(a->recv(milliseconds(20)).has_value());
+  EXPECT_FALSE(a->closed());
+  (void)b;
+}
+
+TEST(Loopback, CloseDrainsInFlightFramesThenEof) {
+  auto [a, b] = make_loopback_pair();
+  EXPECT_TRUE(a->send(ping_frame(1, 0)));
+  EXPECT_TRUE(a->send(ping_frame(2, 0)));
+  a->close();
+  // Frames already in flight still arrive...
+  EXPECT_FALSE(b->closed());
+  EXPECT_EQ(b->recv(milliseconds(100))->round, 1u);
+  EXPECT_EQ(b->recv(milliseconds(100))->round, 2u);
+  // ...then the connection reads as closed and recv fails fast.
+  EXPECT_TRUE(b->closed());
+  EXPECT_FALSE(b->recv(milliseconds(0)).has_value());
+  // Sending into a closed pipe fails from either end.
+  EXPECT_FALSE(b->send(ping_frame(3, 0)));
+  EXPECT_FALSE(a->send(ping_frame(3, 0)));
+}
+
+TEST(Tcp, EphemeralListenerRoundTrip) {
+  TcpListener listener(0);
+  EXPECT_GT(listener.port(), 0);
+
+  std::unique_ptr<TcpTransport> server_side;
+  std::thread acceptor(
+      [&] { server_side = listener.accept(milliseconds(2000)); });
+  auto client = TcpTransport::connect("127.0.0.1", listener.port(),
+                                      milliseconds(2000));
+  acceptor.join();
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server_side, nullptr);
+  EXPECT_FALSE(client->peer().empty());
+  EXPECT_FALSE(server_side->peer().empty());
+
+  // Small frame client -> server.
+  Frame f = ping_frame(5, 2);
+  f.payload = {1, 2, 3, 4};
+  EXPECT_TRUE(client->send(f));
+  auto got = server_side->recv(milliseconds(2000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, f.payload);
+
+  // Large frame server -> client (bigger than any single socket buffer, so
+  // partial writes/reads and reassembly are exercised).
+  Frame big;
+  big.type = MsgType::kModel;
+  big.round = 1;
+  big.payload.resize(3 * 1024 * 1024);
+  for (std::size_t i = 0; i < big.payload.size(); ++i)
+    big.payload[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  std::thread sender([&] { EXPECT_TRUE(server_side->send(big)); });
+  auto rx = client->recv(milliseconds(5000));
+  sender.join();
+  ASSERT_TRUE(rx.has_value());
+  EXPECT_EQ(rx->payload, big.payload);
+}
+
+TEST(Tcp, RecvTimeoutThenPeerCloseBecomesEof) {
+  TcpListener listener(0);
+  std::unique_ptr<TcpTransport> server_side;
+  std::thread acceptor(
+      [&] { server_side = listener.accept(milliseconds(2000)); });
+  auto client = TcpTransport::connect("127.0.0.1", listener.port(),
+                                      milliseconds(2000));
+  acceptor.join();
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server_side, nullptr);
+
+  // Quiet peer: recv times out without flipping closed().
+  EXPECT_FALSE(client->recv(milliseconds(30)).has_value());
+  EXPECT_FALSE(client->closed());
+
+  // Peer hangs up: recv observes EOF and the transport reads closed.
+  server_side->close();
+  EXPECT_FALSE(client->recv(milliseconds(2000)).has_value());
+  EXPECT_TRUE(client->closed());
+  EXPECT_FALSE(client->send(ping_frame(1, 0)));
+}
+
+TEST(Tcp, ConnectToDeadPortFailsFast) {
+  // Bind an ephemeral port, then close it so nothing listens there.
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  auto t = TcpTransport::connect("127.0.0.1", dead_port, milliseconds(1000));
+  EXPECT_EQ(t, nullptr);
+}
+
+TEST(Tcp, SendAfterLocalCloseFails) {
+  TcpListener listener(0);
+  std::unique_ptr<TcpTransport> server_side;
+  std::thread acceptor(
+      [&] { server_side = listener.accept(milliseconds(2000)); });
+  auto client = TcpTransport::connect("127.0.0.1", listener.port(),
+                                      milliseconds(2000));
+  acceptor.join();
+  ASSERT_NE(client, nullptr);
+  client->close();
+  EXPECT_TRUE(client->closed());
+  EXPECT_FALSE(client->send(ping_frame(1, 0)));
+  EXPECT_FALSE(client->recv(milliseconds(0)).has_value());
+}
+
+}  // namespace
+}  // namespace adafl::net::transport

@@ -1,11 +1,14 @@
 // Integration: pushing every DGC message through the real byte-level wire
 // format must not change training at all — the simulation's in-memory
-// messages and actual serialized transport are equivalent.
+// messages and actual serialized transport are equivalent, and a deployed
+// session run over loopback transports reproduces the simulator bitwise.
 #include <gtest/gtest.h>
 
 #include "compress/dgc.h"
 #include "compress/wire.h"
 #include "tensor/rng.h"
+
+#include "deployed_test_util.h"
 
 namespace adafl::compress {
 namespace {
@@ -37,13 +40,17 @@ TEST(TransportEquivalence, DgcStreamSurvivesSerialization) {
 
 TEST(TransportEquivalence, WireBytesMatchSimulatedCharges) {
   // The bytes the simulators charge (wire_bytes) equal the real buffer
-  // size for the formats the FL trainers use (identity and top-k).
+  // size for every codec kind, so simulated communication cost is exactly
+  // what a deployed run puts on the socket.
   Rng rng(9);
   std::vector<float> g(512);
   for (auto& v : g) v = static_cast<float>(rng.normal());
   IdentityCodec ident;
   TopKCodec topk(8.0);
-  for (Codec* c : std::initializer_list<Codec*>{&ident, &topk}) {
+  QsgdCodec qsgd(16);
+  TernaryCodec ternary;
+  for (Codec* c :
+       std::initializer_list<Codec*>{&ident, &topk, &qsgd, &ternary}) {
     auto e = c->encode(g, rng);
     EXPECT_EQ(static_cast<std::int64_t>(serialize(e).size()), e.wire_bytes)
         << c->name();
@@ -52,3 +59,48 @@ TEST(TransportEquivalence, WireBytesMatchSimulatedCharges) {
 
 }  // namespace
 }  // namespace adafl::compress
+
+namespace adafl::net::transport {
+namespace {
+
+TEST(TransportEquivalence, LoopbackDeployedMatchesSimulatorBitwise) {
+  // The flagship invariant of the deployed subsystem: a ServerSession
+  // driving real ClientSessions through framed loopback transports (the
+  // exact bytes a socket would carry) converges to the same global weights,
+  // bit for bit, as AdaFlSyncTrainer with the same seed and config.
+  const auto spec = testutil::small_task_spec();
+  const auto client = testutil::small_client_config();
+  const auto params = testutil::small_params();
+  const int rounds = 3;
+
+  const auto sim = testutil::run_simulator(spec, client, params, rounds);
+  const auto dep =
+      testutil::run_deployed_loopback(spec, client, params, rounds);
+
+  ASSERT_EQ(dep.global.size(), sim.global.size());
+  EXPECT_EQ(dep.global, sim.global);  // bitwise: float == float
+
+  // The accuracy curve is derived from the weights, so it must match too.
+  ASSERT_EQ(dep.log.records.size(), sim.log.records.size());
+  for (std::size_t i = 0; i < sim.log.records.size(); ++i) {
+    EXPECT_EQ(dep.log.records[i].test_accuracy,
+              sim.log.records[i].test_accuracy)
+        << "round " << sim.log.records[i].round;
+  }
+
+  // Selection and compression decisions must be identical as well.
+  EXPECT_EQ(dep.stats.selected_updates, sim.stats.selected_updates);
+  EXPECT_EQ(dep.stats.skipped_clients, sim.stats.skipped_clients);
+  EXPECT_EQ(dep.stats.min_ratio_used, sim.stats.min_ratio_used);
+  EXPECT_EQ(dep.stats.max_ratio_used, sim.stats.max_ratio_used);
+
+  // Every client terminated via SHUTDOWN with all rounds trained.
+  for (const auto& st : dep.clients) {
+    EXPECT_TRUE(st.completed);
+    EXPECT_EQ(st.rounds_trained, rounds);
+    EXPECT_EQ(st.reconnects, 0);
+  }
+}
+
+}  // namespace
+}  // namespace adafl::net::transport

@@ -81,8 +81,9 @@ TEST(Wire, QsgdRoundTrip) {
   QsgdCodec codec(7);
   auto e = codec.encode(g, rng);
   auto bytes = serialize(e);
-  // QSGD wire carries one extra byte (explicit level count).
-  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), e.wire_bytes + 1);
+  // The level count rides in the header's aux byte, so the serialized size
+  // matches the accounted wire size exactly (as for every other kind).
+  EXPECT_EQ(static_cast<std::int64_t>(bytes.size()), e.wire_bytes);
   auto d = deserialize(bytes);
   EXPECT_EQ(d.quant_levels, 7);
   EXPECT_EQ(d.scale, e.scale);
@@ -125,6 +126,80 @@ TEST(Wire, RejectsOutOfRangeTopKIndex) {
   bytes[8] = 16;
   bytes[9] = bytes[10] = bytes[11] = 0;
   EXPECT_THROW(deserialize(bytes), CheckError);
+}
+
+TEST(Wire, SerializedSizeIsWireBytesForEveryKind) {
+  auto g = random_grad(200, 13);
+  Rng rng(14);
+  IdentityCodec ident;
+  TopKCodec topk(10.0);
+  QsgdCodec qsgd(15);
+  TernaryCodec tern;
+  for (Codec* codec :
+       std::initializer_list<Codec*>{&ident, &topk, &qsgd, &tern}) {
+    auto e = codec->encode(g, rng);
+    EXPECT_EQ(static_cast<std::int64_t>(serialize(e).size()), e.wire_bytes);
+    EXPECT_EQ(wire_size(e), e.wire_bytes);
+  }
+}
+
+TEST(Wire, RejectsNonzeroAuxForNonQsgd) {
+  auto g = random_grad(32, 15);
+  Rng rng(16);
+  TopKCodec codec(4.0);
+  auto bytes = serialize(codec.encode(g, rng));
+  bytes[1] = 5;  // aux byte is only meaningful for QSGD
+  EXPECT_THROW(deserialize(bytes), CheckError);
+}
+
+TEST(Wire, RejectsNonzeroReservedBytes) {
+  auto g = random_grad(32, 17);
+  Rng rng(18);
+  TernaryCodec codec;
+  auto bytes = serialize(codec.encode(g, rng));
+  bytes[2] = 1;
+  EXPECT_THROW(deserialize(bytes), CheckError);
+}
+
+TEST(Wire, RejectsForgedHugeDenseSize) {
+  // A forged dense_size must be caught by the payload-size check before any
+  // allocation sized by it.
+  auto g = random_grad(64, 19);
+  Rng rng(20);
+  QsgdCodec qsgd(7);
+  auto bytes = serialize(qsgd.encode(g, rng));
+  bytes[4] = 0xFF;  // dense_size LSB -> ~4 billion
+  bytes[5] = 0xFF;
+  bytes[6] = 0xFF;
+  bytes[7] = 0xFF;
+  EXPECT_THROW(deserialize(bytes), CheckError);
+
+  IdentityCodec ident;
+  auto dense = serialize(ident.encode(g, rng));
+  dense[7] = 0x7F;
+  EXPECT_THROW(deserialize(dense), CheckError);
+}
+
+TEST(Wire, RejectsZeroQsgdLevelCount) {
+  auto g = random_grad(16, 21);
+  Rng rng(22);
+  QsgdCodec qsgd(3);
+  auto bytes = serialize(qsgd.encode(g, rng));
+  bytes[1] = 0;  // level count of zero is meaningless
+  EXPECT_THROW(deserialize(bytes), CheckError);
+}
+
+TEST(Wire, RejectsTruncatedQsgdAndTernaryPayloads) {
+  auto g = random_grad(77, 23);
+  Rng rng(24);
+  QsgdCodec qsgd(15);
+  auto qb = serialize(qsgd.encode(g, rng));
+  qb.pop_back();
+  EXPECT_THROW(deserialize(qb), CheckError);
+  TernaryCodec tern;
+  auto tb = serialize(tern.encode(g, rng));
+  tb.pop_back();
+  EXPECT_THROW(deserialize(tb), CheckError);
 }
 
 // Round-trip property across sizes and codecs.
