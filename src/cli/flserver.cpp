@@ -92,6 +92,19 @@ int main(int argc, char** argv) {
         if (t) session.add_transport(std::move(t));
       }
     });
+    // Stops and joins the acceptor on every exit path: if run() throws, the
+    // joinable thread would otherwise be destroyed during unwinding and
+    // std::terminate would mask the real error.
+    struct AcceptorGuard {
+      std::atomic<bool>& done;
+      net::transport::TcpListener& listener;
+      std::thread& thread;
+      ~AcceptorGuard() {
+        done.store(true);
+        listener.close();
+        if (thread.joinable()) thread.join();
+      }
+    } guard{done, listener, acceptor};
 
     fl::TrainLog log = session.run();
     done.store(true);

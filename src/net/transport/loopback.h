@@ -26,6 +26,11 @@ make_loopback_pair();
 
 class LoopbackTransport final : public Transport {
  public:
+  /// Destruction closes both channels, like a socket: a peer dropped by the
+  /// server (conn.reset()) observes the disconnect instead of blocking on
+  /// recv() forever.
+  ~LoopbackTransport() override { close(); }
+
   bool send(const Frame& f) override;
   std::optional<Frame> recv(std::chrono::milliseconds timeout) override;
   bool closed() const override;

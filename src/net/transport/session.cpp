@@ -124,6 +124,10 @@ std::vector<std::uint8_t> encode_model(const ModelPayload& m) {
 ModelPayload parse_model(std::span<const std::uint8_t> payload) {
   bytes::Reader r(payload);
   const std::uint64_t d = r.u64();
+  // Bound d before the multiply: a forged d ~ 2^61 would wrap d * 8 modulo
+  // 2^64 and sneak a tiny payload past the size check into resize(d).
+  ADAFL_CHECK_MSG(d <= kMaxFramePayload / 8,
+                  "model: dimension " << d << " exceeds frame bound");
   ADAFL_CHECK_MSG(r.remaining() == d * 8, "model: payload size mismatch");
   ModelPayload m;
   m.global.resize(d);
@@ -246,6 +250,17 @@ void ServerSession::handle_frame(RoundCtx& rc, int id, const Frame& f) {
           rc.awaiting.count(id) == 0 || rc.deliveries.count(id) != 0)
         return;
       UpdatePayload u = parse_update(f.payload);
+      // Reject protocol-valid-but-wrong updates here, inside the service
+      // loop's CheckError net: the offending peer is dropped and the round
+      // degrades. deserialize() already bounds top-k indices by dense_size,
+      // so past these two checks apply_round cannot throw on this delivery.
+      ADAFL_CHECK_MSG(u.msg.kind == compress::CodecKind::kTopK,
+                      "session: UPDATE from client "
+                          << id << " carries a non-top-k message");
+      ADAFL_CHECK_MSG(
+          u.msg.dense_size ==
+              static_cast<std::int64_t>(core_.global().size()),
+          "session: UPDATE from client " << id << " dimension mismatch");
       core::AdaFlDelivery dl;
       dl.msg = std::move(u.msg);
       dl.num_examples = u.num_examples;
@@ -529,83 +544,95 @@ ClientRunStats ClientSession::run() {
     }
     last_rx = now;
 
-    switch (f->type) {
-      case MsgType::kWelcome: {
-        const WelcomeInfo w = parse_welcome(f->payload);
-        params = w.params;
-        if (!client) client.emplace(bootstrap_(w.config, cfg_.client_id, params));
-        ADAFL_CHECK_MSG(
-            static_cast<std::uint64_t>(client->param_count()) == w.param_count,
-            "session: bootstrap model has " << client->param_count()
-                                            << " params, server expects "
-                                            << w.param_count);
-        if (!comp)
-          comp.emplace(static_cast<std::int64_t>(w.param_count), params.dgc);
-        break;
-      }
-      case MsgType::kModel: {
-        if (!client) break;  // WELCOME must precede MODEL
-        if (cfg_.faults.crash_before_score_round != 0 && !crashed &&
-            f->round == static_cast<std::uint32_t>(
-                            cfg_.faults.crash_before_score_round)) {
-          crashed = true;
-          conn->close();  // simulate a crash mid-round; backoff redials
+    // Handler parse failures get the same treatment as framing errors:
+    // close and redial. Training state is round-local and survives, so a
+    // one-off corrupt payload costs a reconnect, not the session.
+    try {
+      switch (f->type) {
+        case MsgType::kWelcome: {
+          const WelcomeInfo w = parse_welcome(f->payload);
+          params = w.params;
+          if (!client)
+            client.emplace(bootstrap_(w.config, cfg_.client_id, params));
+          ADAFL_CHECK_MSG(
+              static_cast<std::uint64_t>(client->param_count()) ==
+                  w.param_count,
+              "session: bootstrap model has " << client->param_count()
+                                              << " params, server expects "
+                                              << w.param_count);
+          if (!comp)
+            comp.emplace(static_cast<std::int64_t>(w.param_count),
+                         params.dgc);
           break;
         }
-        const ModelPayload m = parse_model(f->payload);
-        ADAFL_CHECK_MSG(
-            m.global.size() == static_cast<std::size_t>(client->param_count()),
-            "session: MODEL dimension mismatch");
-        const int round = static_cast<int>(f->round);
-        if (trained_round != round) {  // a re-sent MODEL never retrains
-          res = client->train_from(m.global);
-          trained_round = round;
-          ++st.rounds_trained;
+        case MsgType::kModel: {
+          if (!client) break;  // WELCOME must precede MODEL
+          if (cfg_.faults.crash_before_score_round != 0 && !crashed &&
+              f->round == static_cast<std::uint32_t>(
+                              cfg_.faults.crash_before_score_round)) {
+            crashed = true;
+            conn->close();  // simulate a crash mid-round; backoff redials
+            break;
+          }
+          const ModelPayload m = parse_model(f->payload);
+          ADAFL_CHECK_MSG(
+              m.global.size() ==
+                  static_cast<std::size_t>(client->param_count()),
+              "session: MODEL dimension mismatch");
+          const int round = static_cast<int>(f->round);
+          if (trained_round != round) {  // a re-sent MODEL never retrains
+            res = client->train_from(m.global);
+            trained_round = round;
+            ++st.rounds_trained;
+          }
+          const double score = core::utility_score(
+              params.utility, res.delta, m.g_hat, params.utility.bw_ref,
+              params.utility.bw_ref);
+          conn->send(make_frame(MsgType::kScore, f->round, cid,
+                                encode_f64(score)));
+          break;
         }
-        const double score = core::utility_score(
-            params.utility, res.delta, m.g_hat, params.utility.bw_ref,
-            params.utility.bw_ref);
-        conn->send(make_frame(MsgType::kScore, f->round, cid,
-                              encode_f64(score)));
-        break;
-      }
-      case MsgType::kSelect: {
-        const int round = static_cast<int>(f->round);
-        if (round != trained_round || !comp) break;  // stale selection
-        if (uploaded_round != round) {
-          const double ratio = parse_f64(f->payload);
-          UpdatePayload u;
-          u.msg = comp->compress(res.delta, ratio);
-          u.num_examples = res.num_examples;
-          u.mean_loss = res.mean_loss;
-          u.raw_delta_norm = tensor::l2_norm(res.delta);
-          cached_update = encode_update(u);
-          uploaded_round = round;
+        case MsgType::kSelect: {
+          const int round = static_cast<int>(f->round);
+          if (round != trained_round || !comp) break;  // stale selection
+          if (uploaded_round != round) {
+            const double ratio = parse_f64(f->payload);
+            UpdatePayload u;
+            u.msg = comp->compress(res.delta, ratio);
+            u.num_examples = res.num_examples;
+            u.mean_loss = res.mean_loss;
+            u.raw_delta_norm = tensor::l2_norm(res.delta);
+            cached_update = encode_update(u);
+            uploaded_round = round;
+          }
+          // A duplicate SELECT (reconnect race) re-sends the cached bytes —
+          // compressing twice would corrupt the DGC residual.
+          conn->send(make_frame(MsgType::kUpdate, f->round, cid,
+                                cached_update));
+          ++st.updates_sent;
+          break;
         }
-        // A duplicate SELECT (reconnect race) re-sends the cached bytes —
-        // compressing twice would corrupt the DGC residual.
-        conn->send(make_frame(MsgType::kUpdate, f->round, cid,
-                              cached_update));
-        ++st.updates_sent;
-        break;
+        case MsgType::kSkip: {
+          const int round = static_cast<int>(f->round);
+          if (round != trained_round || !comp || skipped_round == round)
+            break;
+          skipped_round = round;
+          if (params.accumulate_unselected) comp->accumulate(res.delta);
+          ++st.skips;
+          break;
+        }
+        case MsgType::kPing:
+          conn->send(make_frame(MsgType::kPong, f->round, cid));
+          break;
+        case MsgType::kShutdown:
+          st.completed = true;
+          conn->close();
+          return st;
+        default:
+          break;  // PONG and anything unexpected: ignore
       }
-      case MsgType::kSkip: {
-        const int round = static_cast<int>(f->round);
-        if (round != trained_round || !comp || skipped_round == round) break;
-        skipped_round = round;
-        if (params.accumulate_unselected) comp->accumulate(res.delta);
-        ++st.skips;
-        break;
-      }
-      case MsgType::kPing:
-        conn->send(make_frame(MsgType::kPong, f->round, cid));
-        break;
-      case MsgType::kShutdown:
-        st.completed = true;
-        conn->close();
-        return st;
-      default:
-        break;  // PONG and anything unexpected: ignore
+    } catch (const CheckError&) {
+      conn->close();  // malformed server payload: reconnect and resync
     }
   }
 }

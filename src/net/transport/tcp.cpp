@@ -174,47 +174,57 @@ std::optional<Frame> TcpTransport::recv(std::chrono::milliseconds timeout) {
 }
 
 TcpListener::TcpListener(std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  ADAFL_CHECK_MSG(fd_ >= 0, "tcp: socket() failed: " << std::strerror(errno));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ADAFL_CHECK_MSG(fd >= 0, "tcp: socket() failed: " << std::strerror(errno));
   const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   struct sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
   addr.sin_port = htons(port);
-  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
-      ::listen(fd_, 64) != 0) {
+      ::listen(fd, 64) != 0) {
     const std::string err = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     ADAFL_CHECK_MSG(false, "tcp: bind/listen on port " << port
                                                        << " failed: " << err);
   }
-  set_nonblocking(fd_);
+  set_nonblocking(fd);
   socklen_t len = sizeof(addr);
-  ADAFL_CHECK_MSG(
-      ::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len) ==
-          0,
-      "tcp: getsockname failed");
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(fd);
+    ADAFL_CHECK_MSG(false, "tcp: getsockname failed");
+  }
   port_ = ntohs(addr.sin_port);
+  fd_.store(fd);
 }
 
-TcpListener::~TcpListener() { close(); }
+TcpListener::~TcpListener() {
+  close();
+  // Only here is the descriptor actually released: by the time the listener
+  // is destroyed no accept() can be running, so the number cannot be
+  // recycled under a concurrent poll.
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  if (closed_.exchange(true)) return;
+  // shutdown() wakes any accept() blocked in poll (accept then fails with
+  // EINVAL) without invalidating the fd number a concurrent accept() holds.
+  const int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 std::unique_ptr<TcpTransport> TcpListener::accept(
     std::chrono::milliseconds timeout) {
-  const int fd = fd_;
-  if (fd < 0) return nullptr;
+  const int fd = fd_.load();
+  if (fd < 0 || closed_.load()) return nullptr;
   const auto deadline = Clock::now() + timeout;
   for (;;) {
+    if (closed_.load()) return nullptr;
     struct sockaddr_in addr{};
     socklen_t len = sizeof(addr);
     const int cfd =
@@ -228,11 +238,11 @@ std::unique_ptr<TcpTransport> TcpListener::accept(
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       const short ev = poll_fd(fd, POLLIN, deadline);
-      if (fd_ < 0) return nullptr;  // closed concurrently
+      if (closed_.load()) return nullptr;  // closed concurrently
       if (ev & POLLIN) continue;
       return nullptr;  // timeout
     }
-    return nullptr;  // listener closed or fatal error
+    return nullptr;  // listener shut down or fatal error
   }
 }
 

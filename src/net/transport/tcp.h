@@ -7,6 +7,7 @@
 // latency-sensitive and already batched into frames.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -81,11 +82,15 @@ class TcpListener {
   std::unique_ptr<TcpTransport> accept(std::chrono::milliseconds timeout);
 
   /// Stops accepting; pending and future accept() calls return nullptr.
+  /// Safe to call from a different thread than accept() (the usual shape:
+  /// main thread closes, accept loop unblocks). The fd itself is released
+  /// by the destructor, never while an accept() may still be polling it.
   void close();
-  bool closed() const { return fd_ < 0; }
+  bool closed() const { return closed_.load(); }
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
+  std::atomic<bool> closed_{false};
   std::uint16_t port_ = 0;
 };
 

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <functional>
 #include <thread>
 
+#include "compress/bytes.h"
 #include "compress/dgc.h"
 #include "net/transport/loopback.h"
 #include "net/transport/session.h"
@@ -87,6 +89,17 @@ TEST(SessionCodec, UpdateRoundTripAndValidation) {
   auto bytes = encode_update(u);
   bytes.pop_back();
   EXPECT_THROW(parse_update(bytes), CheckError);
+}
+
+TEST(SessionCodec, ModelRejectsForgedHugeDimension) {
+  // (2^61 + 1) * 8 wraps to 8 modulo 2^64, so without an explicit bound on
+  // d this 16-byte payload passes the size check and resize(2^61 + 1)
+  // throws bad_alloc/length_error — which the malformed-stream recovery
+  // paths do not catch. It must be a CheckError instead.
+  std::vector<std::uint8_t> p;
+  bytes::put_u64(p, (1ull << 61) + 1);
+  bytes::put_f64(p, 0.0);
+  EXPECT_THROW(parse_model(p), CheckError);
 }
 
 // --- End-to-end over real TCP. -------------------------------------------
@@ -259,6 +272,212 @@ TEST(Session, QuorumAfterDeadlineWithSilentPeer) {
   EXPECT_EQ(server.stats().selected_updates, 2);
   // Each score phase had to wait out the deadline for the silent peer.
   EXPECT_GE(elapsed, milliseconds(2 * 250 - 50));
+}
+
+// --- A protocol-wrong UPDATE drops the peer, never the server. -----------
+
+Frame hello_frame(std::uint32_t id) {
+  Frame f;
+  f.type = MsgType::kHello;
+  f.client_id = id;
+  f.payload = encode_hello(kProtocolVersion);
+  return f;
+}
+
+// Runs two rounds with one cooperative scripted peer and one malicious peer
+// whose UPDATE payload is wire-valid but violates the session contract
+// (non-top-k kind or wrong dimension). The server must finish every round
+// on the cooperative peer — dropping only the offender's connection — and
+// run() must return normally, never throw.
+void run_bad_update_scenario(
+    const std::function<compress::EncodedGradient(std::uint64_t dims,
+                                                  double ratio)>& make_bad) {
+  auto spec = testutil::small_task_spec();
+  spec.clients = 2;
+  spec.train_samples = 80;
+  spec.test_samples = 40;
+
+  auto task = cli::build_task(spec);
+  ServerSessionConfig scfg;
+  scfg.params = testutil::small_params();
+  scfg.rounds = 2;
+  scfg.eval_every = 1;
+  scfg.expected_clients = 2;
+  scfg.quorum = 1;
+  scfg.round_deadline = milliseconds(250);
+  scfg.idle_poll = milliseconds(2);
+  scfg.client_config =
+      cli::task_to_kv(spec, testutil::small_client_config());
+  ServerSession server(scfg, task.factory, /*test=*/nullptr);
+
+  auto pair0 = make_loopback_pair();
+  auto pair1 = make_loopback_pair();
+  server.add_transport(std::move(pair0.first));
+  server.add_transport(std::move(pair1.first));
+
+  // Peer 0: cooperative (scores, uploads a valid zero delta).
+  std::thread peer0([t = std::move(pair0.second)]() mutable {
+    EXPECT_TRUE(t->send(hello_frame(0)));
+    std::optional<compress::DgcCompressor> comp;
+    std::uint64_t dims = 0;
+    for (;;) {
+      auto f = t->recv(milliseconds(2000));
+      if (!f) {
+        if (t->closed()) return;
+        continue;
+      }
+      if (f->type == MsgType::kWelcome) {
+        const WelcomeInfo w = parse_welcome(f->payload);
+        dims = w.param_count;
+        comp.emplace(static_cast<std::int64_t>(dims), w.params.dgc);
+      } else if (f->type == MsgType::kModel) {
+        Frame s;
+        s.type = MsgType::kScore;
+        s.round = f->round;
+        s.client_id = 0;
+        s.payload = encode_f64(0.75);
+        t->send(s);
+      } else if (f->type == MsgType::kSelect) {
+        UpdatePayload u;
+        u.msg = comp->compress(std::vector<float>(dims, 0.0f),
+                               parse_f64(f->payload));
+        u.num_examples = 10;
+        u.mean_loss = 0.5f;
+        u.raw_delta_norm = 0.0;
+        Frame uf;
+        uf.type = MsgType::kUpdate;
+        uf.round = f->round;
+        uf.client_id = 0;
+        uf.payload = encode_update(u);
+        t->send(uf);
+      } else if (f->type == MsgType::kShutdown) {
+        return;
+      }
+    }
+  });
+
+  // Peer 1: scores honestly, then answers SELECT with the bad message. The
+  // server must cut this connection (observed as closed()).
+  std::thread peer1([t = std::move(pair1.second), &make_bad]() mutable {
+    EXPECT_TRUE(t->send(hello_frame(1)));
+    std::uint64_t dims = 0;
+    for (;;) {
+      auto f = t->recv(milliseconds(2000));
+      if (!f) {
+        if (t->closed()) return;  // dropped by the server: expected
+        continue;
+      }
+      if (f->type == MsgType::kWelcome) {
+        dims = parse_welcome(f->payload).param_count;
+      } else if (f->type == MsgType::kModel) {
+        Frame s;
+        s.type = MsgType::kScore;
+        s.round = f->round;
+        s.client_id = 1;
+        s.payload = encode_f64(0.9);
+        t->send(s);
+      } else if (f->type == MsgType::kSelect) {
+        UpdatePayload u;
+        u.msg = make_bad(dims, parse_f64(f->payload));
+        u.num_examples = 10;
+        u.mean_loss = 0.5f;
+        u.raw_delta_norm = 0.0;
+        Frame uf;
+        uf.type = MsgType::kUpdate;
+        uf.round = f->round;
+        uf.client_id = 1;
+        uf.payload = encode_update(u);
+        t->send(uf);
+      } else if (f->type == MsgType::kShutdown) {
+        return;
+      }
+    }
+  });
+
+  const fl::TrainLog log = server.run();  // must not throw
+  peer0.join();
+  peer1.join();
+
+  ASSERT_EQ(log.records.size(), 2u);
+  // Only the cooperative peer's update was ever applied.
+  for (const auto& rec : log.records) EXPECT_EQ(rec.participants, 1);
+  EXPECT_EQ(server.stats().selected_updates, 2);
+}
+
+TEST(Session, UpdateWithWrongKindDropsPeerNotServer) {
+  run_bad_update_scenario([](std::uint64_t dims, double) {
+    compress::EncodedGradient g;  // dense identity where top-k is required
+    g.kind = compress::CodecKind::kIdentity;
+    g.dense_size = static_cast<std::int64_t>(dims);
+    g.values.assign(dims, 0.0f);
+    return g;
+  });
+}
+
+TEST(Session, UpdateWithWrongDimensionDropsPeerNotServer) {
+  run_bad_update_scenario([](std::uint64_t dims, double ratio) {
+    // Top-k as required, but compressed against the wrong model size.
+    compress::DgcCompressor comp(static_cast<std::int64_t>(dims) + 1,
+                                 core::AdaFlParams{}.dgc);
+    return comp.compress(std::vector<float>(dims + 1, 1.0f), ratio);
+  });
+}
+
+// --- Client-side recovery from a malformed server payload. ---------------
+
+TEST(Session, ClientRedialsOnMalformedServerPayload) {
+  // Connection 1 answers HELLO with a truncated WELCOME: parse_welcome
+  // throws CheckError, and the documented behavior is close-and-redial —
+  // not a dead client process. Connection 2 then shuts the session down.
+  auto pair0 = make_loopback_pair();
+  auto pair1 = make_loopback_pair();
+
+  std::thread server([s0 = std::move(pair0.first),
+                      s1 = std::move(pair1.first)]() mutable {
+    auto h0 = s0->recv(milliseconds(2000));
+    ASSERT_TRUE(h0 && h0->type == MsgType::kHello);
+    WelcomeInfo w;
+    w.rounds = 1;
+    w.param_count = 16;
+    Frame wf;
+    wf.type = MsgType::kWelcome;
+    wf.client_id = kServerId;
+    wf.payload = encode_welcome(w);
+    wf.payload.pop_back();  // truncated: parse_welcome must throw
+    ASSERT_TRUE(s0->send(wf));
+    // The client must drop this connection...
+    for (;;) {
+      auto f = s0->recv(milliseconds(2000));
+      if (!f) {
+        ASSERT_TRUE(s0->closed());
+        break;
+      }
+    }
+    // ...and redial. Greet the rejoin and end the session.
+    auto h1 = s1->recv(milliseconds(2000));
+    ASSERT_TRUE(h1 && h1->type == MsgType::kHello);
+    Frame down;
+    down.type = MsgType::kShutdown;
+    down.client_id = kServerId;
+    ASSERT_TRUE(s1->send(down));
+  });
+
+  std::vector<std::unique_ptr<Transport>> dials;
+  dials.push_back(std::move(pair0.second));
+  dials.push_back(std::move(pair1.second));
+  std::size_t next = 0;
+  std::optional<cli::TaskBundle> bundle;
+  ClientSession cs(
+      testutil::test_client_config(0),
+      [&dials, &next]() -> std::unique_ptr<Transport> {
+        return next < dials.size() ? std::move(dials[next++]) : nullptr;
+      },
+      testutil::make_bootstrap(&bundle));
+  const ClientRunStats st = cs.run();
+  server.join();
+
+  EXPECT_TRUE(st.completed);
+  EXPECT_EQ(st.reconnects, 1);
 }
 
 }  // namespace
