@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Chaos soak: prove kill -9 crash recovery end to end with real processes.
+#
+# 1. Reference: flsim --algo=adafl-sync records the expected weights-crc32.
+# 2. A real flserver runs with --checkpoint-dir --checkpoint-every=1 and 4
+#    flclient processes; once the first checkpoint lands, the server is
+#    killed with SIGKILL (no graceful shutdown, no final write).
+# 3. A replacement flserver starts with --resume on the same checkpoint dir;
+#    the surviving clients redial it and finish the run.
+# 4. The recovered deployment must report the reference weights-crc32 —
+#    bitwise recovery, not approximate — and a "resumed-from:" line.
+#
+# Usage: scripts/chaos_soak.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLI_DIR="$BUILD_DIR/src/cli"
+CLIENTS=4
+ROUNDS=6
+# Heavy enough per round (samples x steps) that the SIGKILL below reliably
+# lands mid-run rather than after the final round.
+TASK_FLAGS=(--model=mlp --clients=$CLIENTS --rounds=$ROUNDS --steps=8
+            --train-samples=2000 --test-samples=200 --seed=7)
+
+for bin in flsim flserver flclient; do
+  if [[ ! -x "$CLI_DIR/$bin" ]]; then
+    echo "error: $CLI_DIR/$bin not found (build first)" >&2
+    exit 2
+  fi
+done
+
+workdir="$(mktemp -d)"
+server_pid=""
+client_pids=()
+cleanup() {
+  [[ -n "$server_pid" ]] && kill "$server_pid" 2>/dev/null || true
+  for pid in "${client_pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+extract() { sed -n "s/^$2: //p" "$1" | head -n1; }
+
+echo "== reference run (flsim --algo=adafl-sync) =="
+"$CLI_DIR/flsim" --algo=adafl-sync "${TASK_FLAGS[@]}" --chart=0 \
+  > "$workdir/sim.log"
+ref_crc="$(extract "$workdir/sim.log" weights-crc32)"
+ref_acc="$(extract "$workdir/sim.log" final-accuracy)"
+echo "reference: accuracy=$ref_acc weights-crc32=$ref_crc"
+
+ckpt_dir="$workdir/ckpt"
+mkdir -p "$ckpt_dir"
+
+echo
+echo "== phase 1: deployed run, then kill -9 the server =="
+"$CLI_DIR/flserver" --port=0 "${TASK_FLAGS[@]}" \
+  --checkpoint-dir="$ckpt_dir" --checkpoint-every=1 \
+  > "$workdir/server1.log" 2>&1 &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(extract "$workdir/server1.log" listening-on)"
+  [[ -n "$port" ]] && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "error: flserver exited early" >&2
+    cat "$workdir/server1.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -n "$port" ]] || { echo "error: no listening-on line" >&2; exit 1; }
+echo "server listening on port $port"
+
+# Clients get a generous dial budget so they survive the server's death and
+# keep redialing until the replacement comes up.
+for id in $(seq 0 $((CLIENTS - 1))); do
+  "$CLI_DIR/flclient" --host=127.0.0.1 --port="$port" --id="$id" \
+    --backoff-initial-ms=50 --backoff-max-ms=500 --max-attempts=200 \
+    > "$workdir/client$id.log" 2>&1 &
+  client_pids+=($!)
+done
+
+# Wait for the first durable checkpoint, then SIGKILL mid-run: no signal
+# handler, no final write — recovery must come from the cadence checkpoint.
+for _ in $(seq 1 600); do
+  [[ -f "$ckpt_dir/server.ckpt" ]] && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "error: flserver died before its first checkpoint" >&2
+    cat "$workdir/server1.log" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+[[ -f "$ckpt_dir/server.ckpt" ]] || {
+  echo "error: no checkpoint appeared" >&2; exit 1; }
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+echo "killed flserver (SIGKILL) after its first checkpoint"
+
+echo
+echo "== phase 2: resume on the same port and finish =="
+"$CLI_DIR/flserver" --port="$port" "${TASK_FLAGS[@]}" \
+  --checkpoint-dir="$ckpt_dir" --checkpoint-every=1 --resume=1 \
+  > "$workdir/server2.log" 2>&1 &
+server_pid=$!
+
+for i in "${!client_pids[@]}"; do
+  if ! wait "${client_pids[$i]}"; then
+    echo "error: flclient $i failed" >&2
+    cat "$workdir/client$i.log" >&2
+    cat "$workdir/server2.log" >&2
+    exit 1
+  fi
+done
+client_pids=()
+wait "$server_pid"
+server_pid=""
+cat "$workdir/server2.log"
+
+resumed_from="$(extract "$workdir/server2.log" resumed-from)"
+dep_crc="$(extract "$workdir/server2.log" weights-crc32)"
+dep_acc="$(extract "$workdir/server2.log" final-accuracy)"
+
+echo
+echo "resumed-from: ${resumed_from:-<missing>}"
+echo "recovered: accuracy=$dep_acc weights-crc32=$dep_crc"
+
+if [[ -z "$resumed_from" || "$resumed_from" -lt 2 ]]; then
+  echo "FAIL: server did not resume from the checkpoint" >&2
+  exit 1
+fi
+if [[ -z "$ref_crc" || -z "$dep_crc" ]]; then
+  echo "FAIL: missing weights-crc32 line" >&2
+  exit 1
+fi
+if [[ "$dep_crc" != "$ref_crc" || "$dep_acc" != "$ref_acc" ]]; then
+  echo "FAIL: recovered run diverged from the uninterrupted reference" >&2
+  exit 1
+fi
+echo "PASS: kill -9 recovery is bitwise identical to the uninterrupted run"

@@ -8,12 +8,15 @@
 // DGC error-feedback state persists across reconnects.
 //
 //   flclient --host=127.0.0.1 --port=4242 --id=0
+#include <atomic>
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "cli/args.h"
 #include "cli/task.h"
 #include "core/parallel.h"
+#include "net/transport/faulty.h"
 #include "net/transport/session.h"
 
 using namespace adafl;
@@ -61,7 +64,13 @@ int main(int argc, char** argv) {
     cfg.backoff.max =
         std::chrono::milliseconds(args.get_int("backoff-max-ms"));
     cfg.backoff.max_attempts = args.get_int("max-attempts");
-    cfg.faults.crash_before_score_round = args.get_int("crash-at-round");
+
+    // Fault injection: the first connection whose round reaches
+    // --crash-at-round is severed on receiving that round's MODEL; the
+    // shared flag keeps redialed connections clean so the crash fires once
+    // per process, matching the old in-session crash shim.
+    const int crash_round = args.get_int("crash-at-round");
+    auto crash_fired = std::make_shared<std::atomic<bool>>(false);
 
     // The task bundle is built on first WELCOME and must outlive the
     // session (the FlClient borrows the training dataset).
@@ -69,9 +78,20 @@ int main(int argc, char** argv) {
 
     net::transport::ClientSession session(
         cfg,
-        [&] {
-          return net::transport::TcpTransport::connect(host, port,
-                                                       connect_timeout);
+        [&, crash_fired]() -> std::unique_ptr<net::transport::Transport> {
+          auto t = net::transport::TcpTransport::connect(host, port,
+                                                         connect_timeout);
+          if (!t || crash_round <= 0 || crash_fired->load()) return t;
+          net::transport::FaultPlan plan;
+          plan.sever_on_recv(net::transport::MsgType::kModel, crash_round);
+          auto faulty = std::make_unique<net::transport::FaultyTransport>(
+              std::move(t), std::move(plan));
+          faulty->set_on_fault(
+              [crash_fired](const net::transport::FaultRule&,
+                            const net::transport::Frame&) {
+                crash_fired->store(true);
+              });
+          return faulty;
         },
         [&](const std::map<std::string, std::string>& kv, int id,
             const core::AdaFlParams& /*params*/) {

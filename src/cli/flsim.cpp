@@ -7,6 +7,8 @@
 //   flsim --algo=fedavg --dataset=mnist --dist=noniid --rounds=60
 //   flsim --algo=adafl-sync --tau=0.5 --k=5 --network=mixed
 //   flsim --algo=fedbuff --duration=30 --clients=20 --csv=run.csv
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -17,6 +19,7 @@
 #include "core/adafl_async.h"
 #include "core/adafl_sync.h"
 #include "core/parallel.h"
+#include "core/server_checkpoint.h"
 #include "data/synthetic.h"
 #include "fl/async_trainer.h"
 #include "fl/fedat.h"
@@ -28,6 +31,13 @@
 namespace {
 
 using namespace adafl;
+
+// SIGINT/SIGTERM flip the stop flag; the round-synchronous trainers poll it
+// at round boundaries, write a final checkpoint (when configured), and
+// return with TrainLog::interrupted set.
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true); }
 
 std::vector<net::LinkConfig> build_links(const cli::ArgParser& args,
                                          int clients) {
@@ -78,7 +88,14 @@ int main(int argc, char** argv) {
               "(0 = auto: ADAFL_THREADS or hardware concurrency); results "
               "are bitwise identical at any thread count")
       .option("csv", "", "write the accuracy curve to this CSV path")
-      .option("chart", "1", "render the ASCII accuracy chart");
+      .option("chart", "1", "render the ASCII accuracy chart")
+      .option("checkpoint-dir", "",
+              "directory for a durable server checkpoint (crash recovery; "
+              "round-synchronous algorithms only)")
+      .option("checkpoint-every", "1", "checkpoint cadence in rounds")
+      .option("resume", "0",
+              "resume from --checkpoint-dir's checkpoint; the resumed run's "
+              "final weights are bitwise identical to an uninterrupted one");
   if (!args.parse(argc, argv)) {
     std::cerr << "flsim: " << args.error() << "\n\n" << args.usage();
     return 2;
@@ -100,6 +117,23 @@ int main(int argc, char** argv) {
     client.lr = static_cast<float>(args.get_double("lr"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
     const std::string algo = args.get("algo");
+
+    const std::string ckpt_dir = args.get("checkpoint-dir");
+    const std::string ckpt_path =
+        ckpt_dir.empty() ? "" : core::checkpoint_path(ckpt_dir);
+    const int ckpt_every = args.get_int_at_least("checkpoint-every", 1);
+    const bool resume = args.get_bool("resume");
+    const bool round_sync = algo == "fedavg" || algo == "fedadam" ||
+                            algo == "fedprox" || algo == "scaffold" ||
+                            algo == "adafl-sync";
+    if ((!ckpt_dir.empty() || resume) && !round_sync)
+      throw std::runtime_error(
+          "--checkpoint-dir/--resume support round-synchronous algorithms "
+          "only (fedavg|fedadam|fedprox|scaffold|adafl-sync)");
+    if (!ckpt_dir.empty()) {
+      std::signal(SIGINT, handle_stop_signal);
+      std::signal(SIGTERM, handle_stop_signal);
+    }
 
     // One-line run config (threads resolved, not the raw flag) so logs and
     // benchmark CSV provenance record exactly what executed.
@@ -128,6 +162,10 @@ int main(int argc, char** argv) {
       cfg.links = links;
       cfg.eval_every = std::max(1, cfg.rounds / 12);
       cfg.seed = seed;
+      cfg.checkpoint_path = ckpt_path;
+      cfg.checkpoint_every = ckpt_every;
+      cfg.resume = resume;
+      cfg.stop = &g_stop;
       fl::SyncTrainer t(cfg, task.factory, &task.train, task.parts,
                         &task.test);
       log = t.run();
@@ -165,6 +203,10 @@ int main(int argc, char** argv) {
       cfg.seed = seed;
       cfg.params.max_selected = args.get_int("k");
       cfg.params.tau = args.get_double("tau");
+      cfg.checkpoint_path = ckpt_path;
+      cfg.checkpoint_every = ckpt_every;
+      cfg.resume = resume;
+      cfg.stop = &g_stop;
       core::AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts,
                                &task.test);
       log = t.run();
@@ -190,6 +232,9 @@ int main(int argc, char** argv) {
     }
 
     // --- Report.
+    if (log.interrupted)
+      std::cout << "interrupted: 1 (checkpoint written; rerun with "
+                   "--resume=1 to continue)\n";
     const auto series =
         by_time ? log.accuracy_vs_time() : log.accuracy_vs_round();
     metrics::Table table({"metric", "value"});

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "compress/codec.h"
+#include "tensor/check.h"
 
 namespace adafl::compress {
 
@@ -42,6 +43,23 @@ class DgcCompressor {
 
   /// Clears accumulated state (e.g. after a global model reset).
   void reset();
+
+  /// Serializable residual state (momentum u + accumulation v) for
+  /// crash-recovery checkpoints: restoring it resumes error feedback
+  /// bitwise.
+  struct State {
+    std::vector<float> u, v;
+  };
+  State state() const { return {u_, v_}; }
+  void set_state(State s) {
+    ADAFL_CHECK_MSG(static_cast<std::int64_t>(s.u.size()) == dim_ &&
+                        static_cast<std::int64_t>(s.v.size()) == dim_,
+                    "DgcCompressor: state dimension mismatch (got "
+                        << s.u.size() << "/" << s.v.size() << ", want "
+                        << dim_ << ")");
+    u_ = std::move(s.u);
+    v_ = std::move(s.v);
+  }
 
   std::int64_t dim() const { return dim_; }
   const DgcConfig& config() const { return cfg_; }

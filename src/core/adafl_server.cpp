@@ -17,6 +17,22 @@ AdaFlServerCore::AdaFlServerCore(AdaFlParams params,
   stats_.min_ratio_used = params_.compression.ratio_max;
 }
 
+void AdaFlServerCore::restore(State s) {
+  ADAFL_CHECK_MSG(s.global.size() == global_.size(),
+                  "AdaFlServerCore: restore global has "
+                      << s.global.size() << " params, core has "
+                      << global_.size());
+  ADAFL_CHECK_MSG(s.g_hat.size() == g_hat_.size(),
+                  "AdaFlServerCore: restore g_hat dimension mismatch");
+  ADAFL_CHECK_MSG(s.rounds_planned >= 0 && s.selected_sum >= 0,
+                  "AdaFlServerCore: restore counters negative");
+  global_ = std::move(s.global);
+  g_hat_ = std::move(s.g_hat);
+  stats_ = s.stats;
+  selected_sum_ = s.selected_sum;
+  rounds_planned_ = s.rounds_planned;
+}
+
 AdaFlRoundPlan AdaFlServerCore::plan_round(const std::vector<double>& scores,
                                            const std::vector<bool>& present,
                                            int round) {

@@ -81,6 +81,22 @@ class AdaFlServerCore {
   AdaFlRoundOutcome apply_round(const AdaFlRoundPlan& plan,
                                 const std::map<int, AdaFlDelivery>& deliveries);
 
+  /// Complete serializable server-side round state for crash recovery.
+  /// params/controller are pure functions of the config and are rebuilt from
+  /// it, so restoring a State resumes plan/apply bitwise.
+  struct State {
+    std::vector<float> global;
+    std::vector<float> g_hat;
+    AdaFlStats stats;
+    std::int64_t selected_sum = 0;
+    int rounds_planned = 0;
+  };
+  State state() const {
+    return {global_, g_hat_, stats_, selected_sum_, rounds_planned_};
+  }
+  /// Restores a state() snapshot. The dimensions must match this core's.
+  void restore(State s);
+
   const std::vector<float>& global() const { return global_; }
   /// g_hat: the last aggregated update, the similarity reference for
   /// utility scoring (zeros until the first applied round).

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "core/selection.h"
+#include "core/server_checkpoint.h"
 
 namespace adafl::core {
 
@@ -50,7 +52,114 @@ fl::TrainLog AdaFlSyncTrainer::run() {
 
   double clock = 0.0;
 
-  for (int round = 1; round <= cfg_.rounds; ++round) {
+  // --- Crash recovery: durable checkpoint / resume / early stop.
+  const bool ckpt = !cfg_.checkpoint_path.empty();
+  if (ckpt) {
+    ADAFL_CHECK_MSG(cfg_.checkpoint_every > 0,
+                    "AdaFlSyncTrainer: checkpoint_every must be positive");
+  }
+
+  auto save = [&](int next_round) {
+    const AdaFlServerCore::State st = core_.state();
+    ServerCheckpoint ck;
+    ck.producer = "adafl-sync";
+    ck.next_round = static_cast<std::uint32_t>(next_round);
+    ck.total_rounds = static_cast<std::uint32_t>(cfg_.rounds);
+    ck.seed = cfg_.seed;
+    ck.clock = clock;
+    ck.global = st.global;
+    ServerCheckpoint::AdaFlCoreState a;
+    a.g_hat = st.g_hat;
+    a.selected_updates = st.stats.selected_updates;
+    a.skipped_clients = st.stats.skipped_clients;
+    a.min_ratio_used = st.stats.min_ratio_used;
+    a.max_ratio_used = st.stats.max_ratio_used;
+    a.mean_selected_per_round = st.stats.mean_selected_per_round;
+    a.selected_sum = st.selected_sum;
+    a.rounds_planned = st.rounds_planned;
+    ck.adafl = std::move(a);
+    ck.server_rng = rng_.state();
+    for (const auto& l : links_) ck.link_rngs.push_back(l.rng_state());
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      fl::FlClient::PersistentState ps = clients_[i].persistent_state();
+      compress::DgcCompressor::State ds = compressors_[i].state();
+      ServerCheckpoint::ClientState c;
+      c.loader_rng = ps.loader.rng;
+      c.loader_cursor = ps.loader.cursor;
+      c.loader_indices = std::move(ps.loader.indices);
+      c.dgc_u = std::move(ds.u);
+      c.dgc_v = std::move(ds.v);
+      c.c_local = std::move(ps.c_local);
+      ck.clients.push_back(std::move(c));
+    }
+    save_server_checkpoint(cfg_.checkpoint_path, ck);
+  };
+
+  int start_round = 1;
+  if (cfg_.resume) {
+    ADAFL_CHECK_MSG(ckpt, "AdaFlSyncTrainer: resume requires checkpoint_path");
+    ServerCheckpoint ck = load_server_checkpoint(cfg_.checkpoint_path);
+    auto reject = [this](const std::string& why) {
+      throw std::runtime_error("server checkpoint " + cfg_.checkpoint_path +
+                               ": " + why +
+                               "; delete the checkpoint or rerun without "
+                               "resume");
+    };
+    if (ck.producer != "adafl-sync")
+      reject("written by '" + ck.producer + "', expected 'adafl-sync'");
+    if (ck.seed != cfg_.seed) reject("seed mismatch");
+    if (ck.total_rounds != static_cast<std::uint32_t>(cfg_.rounds))
+      reject("round count mismatch");
+    if (ck.next_round > ck.total_rounds)
+      reject("run already complete (all " + std::to_string(ck.total_rounds) +
+             " rounds done); nothing to resume");
+    if (ck.global.size() != core_.global().size())
+      reject("model dimension mismatch");
+    if (!ck.adafl) reject("missing AdaFL server state");
+    if (ck.clients.size() != clients_.size()) reject("client count mismatch");
+    if (ck.link_rngs.size() != links_.size()) reject("link count mismatch");
+    if (!ck.server_rng) reject("missing server RNG state");
+    try {
+      AdaFlServerCore::State st;
+      st.global = std::move(ck.global);
+      st.g_hat = std::move(ck.adafl->g_hat);
+      st.stats.selected_updates = ck.adafl->selected_updates;
+      st.stats.skipped_clients = ck.adafl->skipped_clients;
+      st.stats.min_ratio_used = ck.adafl->min_ratio_used;
+      st.stats.max_ratio_used = ck.adafl->max_ratio_used;
+      st.stats.mean_selected_per_round = ck.adafl->mean_selected_per_round;
+      st.selected_sum = ck.adafl->selected_sum;
+      st.rounds_planned = ck.adafl->rounds_planned;
+      core_.restore(std::move(st));
+      rng_.set_state(*ck.server_rng);
+      for (std::size_t i = 0; i < links_.size(); ++i)
+        links_[i].set_rng_state(ck.link_rngs[i]);
+      for (std::size_t i = 0; i < clients_.size(); ++i) {
+        fl::FlClient::PersistentState ps;
+        ps.loader.rng = ck.clients[i].loader_rng;
+        ps.loader.cursor = ck.clients[i].loader_cursor;
+        ps.loader.indices = std::move(ck.clients[i].loader_indices);
+        ps.c_local = std::move(ck.clients[i].c_local);
+        clients_[i].set_persistent_state(std::move(ps));
+        compressors_[i].set_state({std::move(ck.clients[i].dgc_u),
+                                   std::move(ck.clients[i].dgc_v)});
+      }
+    } catch (const CheckError& e) {
+      reject(e.what());
+    }
+    clock = ck.clock;
+    start_round = static_cast<int>(ck.next_round);
+    log.ledger.record_recovery();
+  }
+
+  for (int round = start_round; round <= cfg_.rounds; ++round) {
+    if (cfg_.stop && cfg_.stop->load(std::memory_order_acquire)) {
+      // Round boundaries are the commit points: the interrupted round has
+      // not touched any state yet, so it simply replays after resume.
+      if (ckpt) save(round);
+      log.interrupted = true;
+      break;
+    }
     // --- Every client downloads the fresh global model and trains; it also
     // derives g_hat locally from consecutive global models, so scoring costs
     // no extra traffic.
@@ -153,6 +262,10 @@ fl::TrainLog AdaFlSyncTrainer::run() {
       rec.participants = out.delivered;
       log.records.push_back(rec);
     }
+
+    if (ckpt && (round % cfg_.checkpoint_every == 0 || round == cfg_.rounds))
+      save(round + 1);
+    if (cfg_.on_round_end) cfg_.on_round_end(round);
   }
 
   log.applied_updates = core_.stats().selected_updates;

@@ -8,6 +8,10 @@
 // training, and evaluation around it.
 #pragma once
 
+#include <atomic>
+#include <functional>
+#include <string>
+
 #include "compress/dgc.h"
 #include "core/adafl_server.h"
 #include "core/config.h"
@@ -23,6 +27,19 @@ struct AdaFlSyncConfig {
   std::vector<net::LinkConfig> links;  ///< empty = ideal network
   int eval_every = 1;
   std::uint64_t seed = 1;
+
+  // --- Crash recovery (core/server_checkpoint.h). -------------------------
+  /// When non-empty, write a durable checkpoint here every
+  /// `checkpoint_every` completed rounds (and when `stop` fires).
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  /// Resume from checkpoint_path instead of starting at round 1. A resumed
+  /// run is bitwise identical to one that was never interrupted.
+  bool resume = false;
+  /// Optional early-stop flag, polled at round boundaries (signal-safe).
+  const std::atomic<bool>* stop = nullptr;
+  /// Test hook: runs after each round (and its cadence checkpoint, if any).
+  std::function<void(int round)> on_round_end;
 };
 
 /// Runs AdaFL in the synchronous (top-k topology) setting.

@@ -95,4 +95,27 @@ std::int64_t BatchLoader::batches_per_epoch() const {
   return (n + batch_size_ - 1) / batch_size_;
 }
 
+BatchLoader::State BatchLoader::state() const {
+  State s;
+  s.rng = rng_.state();
+  s.cursor = static_cast<std::uint64_t>(cursor_);
+  s.indices = indices_;
+  return s;
+}
+
+void BatchLoader::set_state(State s) {
+  ADAFL_CHECK_MSG(s.indices.size() == indices_.size(),
+                  "BatchLoader: state has " << s.indices.size()
+                                            << " indices, loader has "
+                                            << indices_.size());
+  ADAFL_CHECK_MSG(s.cursor <= s.indices.size(),
+                  "BatchLoader: state cursor " << s.cursor << " out of range");
+  for (const std::int32_t i : s.indices)
+    ADAFL_CHECK_MSG(i >= 0 && i < dataset_->size(),
+                    "BatchLoader: state index " << i << " out of dataset");
+  rng_.set_state(s.rng);
+  cursor_ = static_cast<std::size_t>(s.cursor);
+  indices_ = std::move(s.indices);
+}
+
 }  // namespace adafl::data

@@ -58,6 +58,17 @@ class BatchLoader {
   }
   std::int64_t batches_per_epoch() const;
 
+  /// Serializable iteration state: the current epoch's permutation, the
+  /// cursor into it, and the shuffle RNG. Restoring it resumes the exact
+  /// mini-batch sequence (crash-recovery checkpoints).
+  struct State {
+    tensor::RngState rng;
+    std::uint64_t cursor = 0;
+    std::vector<std::int32_t> indices;
+  };
+  State state() const;
+  void set_state(State s);
+
  private:
   const Dataset* dataset_;
   std::vector<std::int32_t> indices_;

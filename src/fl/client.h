@@ -54,6 +54,26 @@ class FlClient {
     return device_.seconds_for(loader_.peek_samples(cfg_.local_steps));
   }
 
+  /// Cross-round client state for crash recovery: the batch-loader cursor
+  /// and the SCAFFOLD control variate. Model weights and SGD velocity are
+  /// deliberately absent — train_from reloads the global model and resets
+  /// the optimizer every round, so they carry no state across rounds.
+  struct PersistentState {
+    data::BatchLoader::State loader;
+    std::vector<float> c_local;  ///< empty unless SCAFFOLD has run
+  };
+  PersistentState persistent_state() const {
+    return {loader_.state(), c_local_};
+  }
+  void set_persistent_state(PersistentState s) {
+    ADAFL_CHECK_MSG(
+        s.c_local.empty() ||
+            s.c_local.size() == static_cast<std::size_t>(param_count()),
+        "FlClient: c_local state dimension mismatch");
+    loader_.set_state(std::move(s.loader));
+    c_local_ = std::move(s.c_local);
+  }
+
   int id() const { return id_; }
   std::int64_t num_examples() const { return loader_.num_examples(); }
   std::int64_t param_count() const { return model_.param_count(); }

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <numeric>
 #include <optional>
+#include <stdexcept>
 
 #include "core/parallel.h"
+#include "core/server_checkpoint.h"
 
 namespace adafl::fl {
 
@@ -115,7 +117,119 @@ TrainLog SyncTrainer::run() {
   std::vector<int> ids(clients_.size());
   std::iota(ids.begin(), ids.end(), 0);
 
-  for (int round = 1; round <= cfg_.rounds; ++round) {
+  // --- Crash recovery: durable checkpoint / resume / early stop.
+  const bool ckpt = !cfg_.checkpoint_path.empty();
+  if (ckpt) {
+    ADAFL_CHECK_MSG(cfg_.checkpoint_every > 0,
+                    "SyncTrainer: checkpoint_every must be positive");
+    ADAFL_CHECK_MSG(cfg_.faults.kind != FaultKind::kDataLoss,
+                    "SyncTrainer: checkpointing is incompatible with the "
+                    "data-loss fault (pending stale updates are not "
+                    "serialized)");
+  }
+  const std::string producer = std::string("sync-") + to_string(cfg_.algo);
+
+  auto save = [&](int next_round) {
+    core::ServerCheckpoint ck;
+    ck.producer = producer;
+    ck.next_round = static_cast<std::uint32_t>(next_round);
+    ck.total_rounds = static_cast<std::uint32_t>(cfg_.rounds);
+    ck.seed = cfg_.seed;
+    ck.clock = clock;
+    ck.global = global_;
+    if (server_adam) {
+      nn::FlatAdam::State st = server_adam->state();
+      ck.adam = core::ServerCheckpoint::AdamState{std::move(st.m),
+                                                  std::move(st.v), st.t};
+    }
+    if (cfg_.algo == Algorithm::kScaffold) ck.c_global = c_global;
+    ck.server_rng = rng_.state();
+    for (const auto& l : links_) ck.link_rngs.push_back(l.rng_state());
+    ck.schedule.assign(ids.begin(), ids.end());
+    for (const auto& cl : clients_) {
+      FlClient::PersistentState ps = cl.persistent_state();
+      core::ServerCheckpoint::ClientState c;
+      c.loader_rng = ps.loader.rng;
+      c.loader_cursor = ps.loader.cursor;
+      c.loader_indices = std::move(ps.loader.indices);
+      c.c_local = std::move(ps.c_local);
+      ck.clients.push_back(std::move(c));
+    }
+    core::save_server_checkpoint(cfg_.checkpoint_path, ck);
+  };
+
+  int start_round = 1;
+  if (cfg_.resume) {
+    ADAFL_CHECK_MSG(ckpt, "SyncTrainer: resume requires checkpoint_path");
+    core::ServerCheckpoint ck =
+        core::load_server_checkpoint(cfg_.checkpoint_path);
+    auto reject = [this](const std::string& why) {
+      throw std::runtime_error("server checkpoint " + cfg_.checkpoint_path +
+                               ": " + why +
+                               "; delete the checkpoint or rerun without "
+                               "resume");
+    };
+    if (ck.producer != producer)
+      reject("written by '" + ck.producer + "', expected '" + producer + "'");
+    if (ck.seed != cfg_.seed) reject("seed mismatch");
+    if (ck.total_rounds != static_cast<std::uint32_t>(cfg_.rounds))
+      reject("round count mismatch");
+    if (ck.next_round > ck.total_rounds)
+      reject("run already complete (all " + std::to_string(ck.total_rounds) +
+             " rounds done); nothing to resume");
+    if (ck.global.size() != global_.size())
+      reject("model dimension mismatch");
+    if (ck.clients.size() != clients_.size()) reject("client count mismatch");
+    if (ck.link_rngs.size() != links_.size()) reject("link count mismatch");
+    if (!ck.server_rng) reject("missing server RNG state");
+    if (server_adam.has_value() != ck.adam.has_value())
+      reject("server optimizer state mismatch");
+    if ((cfg_.algo == Algorithm::kScaffold) != ck.c_global.has_value())
+      reject("SCAFFOLD state mismatch");
+    if (ck.c_global && ck.c_global->size() != global_.size())
+      reject("c_global dimension mismatch");
+    if (ck.schedule.size() != ids.size())
+      reject("schedule length mismatch");
+    std::vector<bool> seen(ids.size(), false);
+    for (std::int32_t id : ck.schedule) {
+      if (id < 0 || id >= n || seen[static_cast<std::size_t>(id)])
+        reject("schedule is not a permutation of the clients");
+      seen[static_cast<std::size_t>(id)] = true;
+    }
+    try {
+      global_ = std::move(ck.global);
+      if (ck.adam)
+        server_adam->set_state(
+            {std::move(ck.adam->m), std::move(ck.adam->v), ck.adam->t});
+      if (ck.c_global) c_global = std::move(*ck.c_global);
+      rng_.set_state(*ck.server_rng);
+      for (std::size_t i = 0; i < links_.size(); ++i)
+        links_[i].set_rng_state(ck.link_rngs[i]);
+      ids.assign(ck.schedule.begin(), ck.schedule.end());
+      for (std::size_t i = 0; i < clients_.size(); ++i) {
+        FlClient::PersistentState ps;
+        ps.loader.rng = ck.clients[i].loader_rng;
+        ps.loader.cursor = ck.clients[i].loader_cursor;
+        ps.loader.indices = std::move(ck.clients[i].loader_indices);
+        ps.c_local = std::move(ck.clients[i].c_local);
+        clients_[i].set_persistent_state(std::move(ps));
+      }
+    } catch (const CheckError& e) {
+      reject(e.what());
+    }
+    clock = ck.clock;
+    start_round = static_cast<int>(ck.next_round);
+    log.ledger.record_recovery();
+  }
+
+  for (int round = start_round; round <= cfg_.rounds; ++round) {
+    if (cfg_.stop && cfg_.stop->load(std::memory_order_acquire)) {
+      // Round boundaries are the commit points: the interrupted round has
+      // not touched any state yet, so it simply replays after resume.
+      if (ckpt) save(round);
+      log.interrupted = true;
+      break;
+    }
     rng_.shuffle(ids);
     std::vector<float> sum_delta(static_cast<std::size_t>(d), 0.0f);
     // Robust rules need every delivered delta, not just the running sum.
@@ -303,6 +417,10 @@ TrainLog SyncTrainer::run() {
       rec.participants = delivered;
       log.records.push_back(rec);
     }
+
+    if (ckpt && (round % cfg_.checkpoint_every == 0 || round == cfg_.rounds))
+      save(round + 1);
+    if (cfg_.on_round_end) cfg_.on_round_end(round);
   }
   log.total_time = clock;
   log.applied_updates = applied_total;

@@ -3,6 +3,10 @@
 // (paper §III empirical study and §V baselines).
 #pragma once
 
+#include <atomic>
+#include <functional>
+#include <string>
+
 #include "fl/client.h"
 #include "fl/types.h"
 #include "net/link.h"
@@ -60,6 +64,22 @@ struct SyncConfig {
   std::vector<net::LinkConfig> links;
   int eval_every = 1;
   std::uint64_t seed = 1;
+
+  // --- Crash recovery (core/server_checkpoint.h). -------------------------
+  /// When non-empty, write a durable checkpoint here every
+  /// `checkpoint_every` completed rounds (and when `stop` fires), and allow
+  /// `resume`. Not supported together with FaultKind::kDataLoss (its
+  /// pending stale updates are not serialized).
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  /// Resume from checkpoint_path instead of starting at round 1.
+  bool resume = false;
+  /// Optional early-stop flag, polled at round boundaries (signal-safe).
+  /// When it flips, the trainer checkpoints (if configured) and returns
+  /// with TrainLog::interrupted set.
+  const std::atomic<bool>* stop = nullptr;
+  /// Test hook: runs after each round (and its cadence checkpoint, if any).
+  std::function<void(int round)> on_round_end;
 };
 
 /// Runs a synchronous FL experiment and returns its TrainLog.

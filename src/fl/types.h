@@ -37,6 +37,9 @@ struct TrainLog {
   /// ledger.delivered_updates(): an async run's `max_updates` cap discards
   /// deliveries that were already in flight when the cap was reached.
   std::int64_t applied_updates = 0;
+  /// True when the run was stopped early (request_stop / stop flag) and a
+  /// later --resume is expected to finish the remaining rounds.
+  bool interrupted = false;
 
   double final_accuracy() const;
   /// Best test accuracy seen at any evaluation point.

@@ -38,6 +38,10 @@ void CommLedger::record_reconnect(int client_id) {
   ++per_client_reconnects_[client_id];
 }
 
+void CommLedger::record_recovery() { ++recoveries_; }
+
+void CommLedger::record_fault() { ++faults_; }
+
 std::int64_t CommLedger::reconnects_of(int client_id) const {
   auto it = per_client_reconnects_.find(client_id);
   return it == per_client_reconnects_.end() ? 0 : it->second;

@@ -28,11 +28,20 @@ class CommLedger {
   /// Records one successful reconnect of a previously-joined client.
   void record_reconnect(int client_id);
 
+  /// Records one crash recovery: the run resumed from a durable checkpoint
+  /// instead of restarting at round 1.
+  void record_recovery();
+
+  /// Records one injected transport fault (chaos runs; FaultyTransport).
+  void record_fault();
+
   std::int64_t total_upload_bytes() const { return up_bytes_; }
   std::int64_t total_download_bytes() const { return down_bytes_; }
   std::int64_t total_bytes() const { return up_bytes_ + down_bytes_; }
   std::int64_t total_retransmitted_bytes() const { return retrans_bytes_; }
   std::int64_t total_reconnects() const { return reconnects_; }
+  std::int64_t total_recoveries() const { return recoveries_; }
+  std::int64_t total_faults() const { return faults_; }
   std::int64_t reconnects_of(int client_id) const;
 
   /// Number of *delivered* client->server updates (the paper's
@@ -60,6 +69,8 @@ class CommLedger {
   std::int64_t down_bytes_ = 0;
   std::int64_t retrans_bytes_ = 0;
   std::int64_t reconnects_ = 0;
+  std::int64_t recoveries_ = 0;
+  std::int64_t faults_ = 0;
   std::int64_t delivered_updates_ = 0;
   std::int64_t attempted_updates_ = 0;
   std::int64_t min_update_bytes_ = 0;

@@ -76,6 +76,8 @@ Table ledger_table(const CommLedger& ledger) {
   t.add_row({"attempted updates",
              std::to_string(ledger.attempted_updates())});
   t.add_row({"reconnects", std::to_string(ledger.total_reconnects())});
+  t.add_row({"recoveries", std::to_string(ledger.total_recoveries())});
+  t.add_row({"injected faults", std::to_string(ledger.total_faults())});
   return t;
 }
 

@@ -85,6 +85,11 @@ class Link {
 
   const LinkConfig& config() const { return cfg_; }
 
+  /// RNG stream snapshot/restore for crash-recovery checkpoints: a resumed
+  /// run replays the remaining transfers with the identical draw sequence.
+  tensor::RngState rng_state() const { return rng_.state(); }
+  void set_rng_state(const tensor::RngState& s) { rng_.set_state(s); }
+
  private:
   TransferResult transfer(std::int64_t bytes, double bw);
 

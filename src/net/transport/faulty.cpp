@@ -1,0 +1,270 @@
+#include "net/transport/faulty.h"
+
+#include <thread>
+
+#include "tensor/check.h"
+
+namespace adafl::net::transport {
+
+const char* to_string(FaultDir d) {
+  return d == FaultDir::kSend ? "send" : "recv";
+}
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kSever: return "sever";
+  }
+  return "?";
+}
+
+// --- FaultPlan builders. --------------------------------------------------
+
+namespace {
+
+FaultRule base_rule(FaultDir dir, FaultKind kind) {
+  FaultRule r;
+  r.dir = dir;
+  r.kind = kind;
+  return r;
+}
+
+/// splitmix64: tiny, seedable, and independent of tensor::Rng so a plan's
+/// shape can never drift with unrelated RNG changes.
+std::uint64_t mix64(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::drop(FaultDir dir, MsgType t, std::int64_t round) {
+  FaultRule r = base_rule(dir, FaultKind::kDrop);
+  r.msg_type = static_cast<int>(t);
+  r.round = round;
+  rules.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_frame(FaultDir dir, std::uint64_t index) {
+  FaultRule r = base_rule(dir, FaultKind::kDrop);
+  r.frame_index = index;
+  rules.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_recv(MsgType t, std::int64_t round,
+                                   std::size_t offset) {
+  FaultRule r = base_rule(FaultDir::kRecv, FaultKind::kCorrupt);
+  r.msg_type = static_cast<int>(t);
+  r.round = round;
+  r.corrupt_offset = offset;
+  rules.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate(FaultDir dir, MsgType t, std::int64_t round) {
+  FaultRule r = base_rule(dir, FaultKind::kDuplicate);
+  r.msg_type = static_cast<int>(t);
+  r.round = round;
+  rules.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay_frame(FaultDir dir, MsgType t, std::int64_t round,
+                                  std::chrono::milliseconds d) {
+  FaultRule r = base_rule(dir, FaultKind::kDelay);
+  r.msg_type = static_cast<int>(t);
+  r.round = round;
+  r.delay = d;
+  rules.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::sever_on_recv(MsgType t, std::int64_t round) {
+  FaultRule r = base_rule(FaultDir::kRecv, FaultKind::kSever);
+  r.msg_type = static_cast<int>(t);
+  r.round = round;
+  rules.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::sever_on_send_frame(std::uint64_t index) {
+  FaultRule r = base_rule(FaultDir::kSend, FaultKind::kSever);
+  r.frame_index = index;
+  rules.push_back(r);
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int n_faults,
+                            std::uint64_t horizon, bool include_sever) {
+  ADAFL_CHECK_MSG(n_faults >= 0, "FaultPlan::random: negative fault count");
+  ADAFL_CHECK_MSG(horizon > 0, "FaultPlan::random: zero horizon");
+  std::uint64_t s = seed;
+  FaultPlan plan;
+  for (int i = 0; i < n_faults; ++i) {
+    // Only fully recoverable faults, and only on round-data frames: the
+    // server's retransmit nudge retries through a lost MODEL/SCORE/SELECT/
+    // UPDATE, the receivers absorb duplicates, and delays are waited out —
+    // so a random plan can never wedge a run or change its result. Blind
+    // frame-index faults would not keep that promise (a dropped WELCOME or
+    // SKIP is neither retransmitted nor harmless).
+    static constexpr FaultKind kKinds[] = {FaultKind::kDrop,
+                                           FaultKind::kDuplicate,
+                                           FaultKind::kDelay};
+    struct Target {
+      FaultDir dir;
+      MsgType type;
+    };
+    static constexpr Target kTargets[] = {{FaultDir::kSend, MsgType::kScore},
+                                          {FaultDir::kSend, MsgType::kUpdate},
+                                          {FaultDir::kRecv, MsgType::kModel},
+                                          {FaultDir::kRecv, MsgType::kSelect}};
+    const Target t = kTargets[mix64(s) % 4];
+    FaultRule r = base_rule(t.dir, kKinds[mix64(s) % 3]);
+    r.msg_type = static_cast<int>(t.type);
+    // `horizon` is the round span the faults land in (rounds 1..horizon).
+    r.round = static_cast<std::int64_t>(1 + mix64(s) % horizon);
+    r.delay = std::chrono::milliseconds(1 + mix64(s) % 20);
+    plan.rules.push_back(r);
+  }
+  if (include_sever) {
+    FaultRule r = base_rule(FaultDir::kRecv, FaultKind::kSever);
+    r.msg_type = static_cast<int>(MsgType::kModel);
+    r.round = static_cast<std::int64_t>(1 + mix64(s) % horizon);
+    plan.rules.push_back(r);
+  }
+  return plan;
+}
+
+// --- FaultyTransport. -----------------------------------------------------
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  ADAFL_CHECK_MSG(inner_ != nullptr, "FaultyTransport: null inner transport");
+}
+
+void FaultyTransport::set_on_fault(OnFault cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_fault_ = std::move(cb);
+}
+
+std::uint64_t FaultyTransport::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+std::optional<FaultRule> FaultyTransport::take_match(FaultDir dir,
+                                                     const Frame& f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t idx = dir == FaultDir::kSend ? sent_++ : recvd_++;
+  for (FaultRule& r : plan_.rules) {
+    if (r.fired || r.dir != dir) continue;
+    if (r.frame_index != kAnyFrame && r.frame_index != idx) continue;
+    if (r.msg_type >= 0 && r.msg_type != static_cast<int>(f.type)) continue;
+    if (r.round >= 0 &&
+        static_cast<std::uint32_t>(r.round) != f.round)
+      continue;
+    r.fired = true;
+    ++fired_;
+    return r;
+  }
+  return std::nullopt;
+}
+
+bool FaultyTransport::send(const Frame& f) {
+  const std::optional<FaultRule> rule = take_match(FaultDir::kSend, f);
+  if (!rule) return inner_->send(f);
+  OnFault cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb = on_fault_;
+  }
+  if (cb) cb(*rule, f);
+  switch (rule->kind) {
+    case FaultKind::kDrop:
+      return true;  // vanished in flight; the sender cannot tell
+    case FaultKind::kDuplicate:
+      return inner_->send(f) && inner_->send(f);
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(rule->delay);
+      return inner_->send(f);
+    case FaultKind::kSever:
+      inner_->close();
+      return false;
+    case FaultKind::kCorrupt: {
+      std::vector<std::uint8_t> bytes = encode_frame(f);
+      bytes[rule->corrupt_offset % bytes.size()] ^= 0xFF;
+      try {
+        return inner_->send(decode_frame(bytes));
+      } catch (const CheckError&) {
+        // Detectable damage: the peer's parser would poison the stream and
+        // drop the connection — model that as an abrupt loss.
+        inner_->close();
+        return false;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<Frame> FaultyTransport::recv(std::chrono::milliseconds timeout) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dup_pending_) {
+      Frame f = std::move(*dup_pending_);
+      dup_pending_.reset();
+      return f;
+    }
+  }
+  std::optional<Frame> f = inner_->recv(timeout);
+  if (!f) return std::nullopt;
+  const std::optional<FaultRule> rule = take_match(FaultDir::kRecv, *f);
+  if (!rule) return f;
+  OnFault cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb = on_fault_;
+  }
+  if (cb) cb(*rule, *f);
+  switch (rule->kind) {
+    case FaultKind::kDrop:
+      return std::nullopt;  // consumed and discarded
+    case FaultKind::kDuplicate: {
+      std::lock_guard<std::mutex> lock(mu_);
+      dup_pending_ = *f;
+      return f;
+    }
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(rule->delay);
+      return f;
+    case FaultKind::kSever:
+      inner_->close();  // the frame dies with the connection
+      return std::nullopt;
+    case FaultKind::kCorrupt: {
+      std::vector<std::uint8_t> bytes = encode_frame(*f);
+      bytes[rule->corrupt_offset % bytes.size()] ^= 0xFF;
+      // CheckError from decode_frame propagates: per the Transport contract
+      // that is exactly what a malformed inbound stream looks like.
+      return decode_frame(bytes);
+    }
+  }
+  return std::nullopt;
+}
+
+bool FaultyTransport::closed() const { return inner_->closed(); }
+
+void FaultyTransport::close() { inner_->close(); }
+
+std::string FaultyTransport::peer() const {
+  return "faulty(" + inner_->peer() + ")";
+}
+
+}  // namespace adafl::net::transport

@@ -1,11 +1,14 @@
 #include "net/transport/session.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <thread>
 
 #include "compress/bytes.h"
 #include "compress/wire.h"
+#include "core/server_checkpoint.h"
 #include "core/utility.h"
+#include "net/transport/crc32.h"
 #include "tensor/check.h"
 #include "tensor/tensor.h"
 
@@ -204,6 +207,83 @@ void ServerSession::add_transport(std::unique_ptr<Transport> t) {
   pending_.push_back(std::move(t));
 }
 
+void ServerSession::request_stop(bool write_checkpoint) {
+  // Only atomic stores: safe to call from a POSIX signal handler.
+  if (write_checkpoint) stop_save_.store(true, std::memory_order_relaxed);
+  stop_.store(true, std::memory_order_release);
+}
+
+void ServerSession::write_checkpoint(
+    int next_round, const core::AdaFlServerCore::State& snap) const {
+  core::ServerCheckpoint ck;
+  ck.producer = "deployed";
+  ck.next_round = static_cast<std::uint32_t>(next_round);
+  ck.total_rounds = static_cast<std::uint32_t>(cfg_.rounds);
+  ck.config_crc = crc32(welcome_payload_);
+  ck.global = snap.global;
+  core::ServerCheckpoint::AdaFlCoreState a;
+  a.g_hat = snap.g_hat;
+  a.selected_updates = snap.stats.selected_updates;
+  a.skipped_clients = snap.stats.skipped_clients;
+  a.min_ratio_used = snap.stats.min_ratio_used;
+  a.max_ratio_used = snap.stats.max_ratio_used;
+  a.mean_selected_per_round = snap.stats.mean_selected_per_round;
+  a.selected_sum = snap.selected_sum;
+  a.rounds_planned = snap.rounds_planned;
+  ck.adafl = std::move(a);
+  core::save_server_checkpoint(core::checkpoint_path(cfg_.checkpoint_dir),
+                               ck);
+}
+
+int ServerSession::resume_from_checkpoint() {
+  const std::string path = core::checkpoint_path(cfg_.checkpoint_dir);
+  core::ServerCheckpoint ck = core::load_server_checkpoint(path);
+  auto reject = [&path](const std::string& why) {
+    throw std::runtime_error("server checkpoint " + path + ": " + why +
+                             "; delete the checkpoint or rerun without "
+                             "--resume");
+  };
+  if (ck.producer != "deployed")
+    reject("written by '" + ck.producer + "', not the deployed server");
+  if (ck.config_crc != crc32(welcome_payload_))
+    reject("run configuration changed since the checkpoint was written");
+  if (ck.total_rounds != static_cast<std::uint32_t>(cfg_.rounds))
+    reject("round count mismatch (checkpoint has " +
+           std::to_string(ck.total_rounds) + ", config has " +
+           std::to_string(cfg_.rounds) + ")");
+  if (ck.next_round > ck.total_rounds)
+    reject("run already complete (all " + std::to_string(ck.total_rounds) +
+           " rounds done); nothing to resume");
+  if (ck.global.size() != core_.global().size())
+    reject("model dimension mismatch (checkpoint has " +
+           std::to_string(ck.global.size()) + " params, model has " +
+           std::to_string(core_.global().size()) + ")");
+  if (!ck.adafl) reject("missing AdaFL server state");
+  core::AdaFlServerCore::State st;
+  st.global = std::move(ck.global);
+  st.g_hat = std::move(ck.adafl->g_hat);
+  st.stats.selected_updates = ck.adafl->selected_updates;
+  st.stats.skipped_clients = ck.adafl->skipped_clients;
+  st.stats.min_ratio_used = ck.adafl->min_ratio_used;
+  st.stats.max_ratio_used = ck.adafl->max_ratio_used;
+  st.stats.mean_selected_per_round = ck.adafl->mean_selected_per_round;
+  st.selected_sum = ck.adafl->selected_sum;
+  st.rounds_planned = ck.adafl->rounds_planned;
+  core_.restore(std::move(st));
+  return static_cast<int>(ck.next_round);
+}
+
+void ServerSession::drop_all_connections() {
+  for (auto& conn : conns_) {
+    if (!conn) continue;
+    conn->close();  // abrupt: no SHUTDOWN, clients redial or back off
+    conn.reset();
+  }
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  for (auto& t : pending_) t->close();
+  pending_.clear();
+}
+
 std::size_t ServerSession::send_to(int id, const Frame& f) {
   auto& conn = conns_[static_cast<std::size_t>(id)];
   if (!conn) return 0;
@@ -228,6 +308,36 @@ void ServerSession::send_model(RoundCtx& rc, int id) {
   rc.ledger->record_download(id, static_cast<std::int64_t>(sent));
   if (retransmit)
     rc.ledger->record_retransmit(id, static_cast<std::int64_t>(sent));
+}
+
+void ServerSession::nudge(RoundCtx& rc) {
+  if (rc.phase == Phase::kScore) {
+    // Re-broadcast MODEL to connected clients that still owe a score: a
+    // MODEL or SCORE lost in flight otherwise stalls the phase until the
+    // deadline (or forever, with quorum == n). Clients never retrain a
+    // round they already trained, so a redundant MODEL costs bytes only.
+    for (int id = 0; id < cfg_.expected_clients; ++id) {
+      if (!conns_[static_cast<std::size_t>(id)] ||
+          rc.scored[static_cast<std::size_t>(id)])
+        continue;
+      send_model(rc, id);
+    }
+    return;
+  }
+  // Update phase: re-send SELECT to selected clients that have not
+  // delivered. A duplicate SELECT makes the client re-send its cached
+  // update bytes (it never compresses twice).
+  for (int id : rc.awaiting) {
+    if (!conns_[static_cast<std::size_t>(id)] ||
+        rc.deliveries.count(id) != 0)
+      continue;
+    const Frame sf =
+        make_frame(MsgType::kSelect, static_cast<std::uint32_t>(rc.round),
+                   kServerId, encode_f64(rc.ratio_of.at(id)));
+    const std::size_t sent = send_to(id, sf);
+    if (sent != 0)
+      rc.ledger->record_retransmit(id, static_cast<std::int64_t>(sent));
+  }
 }
 
 void ServerSession::handle_frame(RoundCtx& rc, int id, const Frame& f) {
@@ -368,12 +478,44 @@ fl::TrainLog ServerSession::run() {
   const int n = cfg_.expected_clients;
   const int quorum = cfg_.quorum > 0 ? cfg_.quorum : n;
   const std::size_t d = core_.global().size();
+  const bool ckpt = !cfg_.checkpoint_dir.empty();
+  const bool nudge_on = cfg_.retransmit_nudge.count() > 0;
 
   fl::TrainLog log;
   log.dense_update_bytes = 8 + 4 * static_cast<std::int64_t>(d);
   const auto t0 = Clock::now();
 
-  for (int round = 1; round <= cfg_.rounds; ++round) {
+  int start_round = 1;
+  if (cfg_.resume) {
+    ADAFL_CHECK_MSG(ckpt, "ServerSession: resume requires a checkpoint dir");
+    start_round = resume_from_checkpoint();
+    resumed_from_ = start_round;
+    log.ledger.record_recovery();
+  }
+
+  // Early-stop path (request_stop): persist the round boundary we stopped
+  // at — the interrupted round replays on --resume — and drop every peer
+  // abruptly, exactly as a crash would.
+  auto stop_now = [&](int next_round,
+                      const core::AdaFlServerCore::State& snap) {
+    if (ckpt && stop_save_.load(std::memory_order_relaxed))
+      write_checkpoint(next_round, snap);
+    log.interrupted = true;
+    drop_all_connections();
+    log.applied_updates = core_.stats().selected_updates;
+    log.total_time = std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  for (int round = start_round; round <= cfg_.rounds; ++round) {
+    if (stop_.load(std::memory_order_acquire)) {
+      stop_now(round, core_.state());
+      return log;
+    }
+    // Boundary snapshot: plan_round mutates selection stats before
+    // apply_round commits the round, so a stop mid-round must persist the
+    // state as of the round START, never a half-planned hybrid.
+    const core::AdaFlServerCore::State round_start = core_.state();
+
     RoundCtx rc;
     rc.round = round;
     rc.phase = Phase::kScore;
@@ -389,7 +531,9 @@ fl::TrainLog ServerSession::run() {
     // --- Score phase: wait until every live client scored, or the deadline
     // passed with at least a quorum. Late joiners are serviced throughout.
     auto deadline = Clock::now() + cfg_.round_deadline;
+    auto next_nudge = Clock::now() + cfg_.retransmit_nudge;
     for (;;) {
+      if (stop_.load(std::memory_order_acquire)) break;
       const bool progress = service(rc);
       const int scored = static_cast<int>(
           std::count(rc.scored.begin(), rc.scored.end(), true));
@@ -398,7 +542,18 @@ fl::TrainLog ServerSession::run() {
         if (conns_[static_cast<std::size_t>(id)]) ++live;
       if (scored >= quorum && (scored >= live || Clock::now() >= deadline))
         break;
+      // The nudge interval deliberately does NOT reset on progress: a
+      // steady trickle of PINGs would otherwise starve the retransmission
+      // forever.
+      if (nudge_on && Clock::now() >= next_nudge) {
+        nudge(rc);
+        next_nudge = Clock::now() + cfg_.retransmit_nudge;
+      }
       if (!progress) std::this_thread::sleep_for(cfg_.idle_poll);
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      stop_now(round, round_start);
+      return log;
     }
 
     // --- Selection + ratio assignment (shared AdaFL server core).
@@ -424,9 +579,20 @@ fl::TrainLog ServerSession::run() {
 
     // --- Update phase: aggregate what arrives by the deadline.
     deadline = Clock::now() + cfg_.round_deadline;
+    next_nudge = Clock::now() + cfg_.retransmit_nudge;
     while (rc.deliveries.size() < rc.awaiting.size() &&
            Clock::now() < deadline) {
-      if (!service(rc)) std::this_thread::sleep_for(cfg_.idle_poll);
+      if (stop_.load(std::memory_order_acquire)) break;
+      const bool progress = service(rc);
+      if (nudge_on && Clock::now() >= next_nudge) {
+        nudge(rc);
+        next_nudge = Clock::now() + cfg_.retransmit_nudge;
+      }
+      if (!progress) std::this_thread::sleep_for(cfg_.idle_poll);
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      stop_now(round, round_start);  // the interrupted round replays
+      return log;
     }
 
     const core::AdaFlRoundOutcome out = core_.apply_round(plan, rc.deliveries);
@@ -445,6 +611,11 @@ fl::TrainLog ServerSession::run() {
       rec.participants = out.delivered;
       log.records.push_back(rec);
     }
+
+    // --- Durable progress: the round is committed, persist it.
+    if (ckpt &&
+        (round % cfg_.checkpoint_every == 0 || round == cfg_.rounds))
+      write_checkpoint(round + 1, core_.state());
   }
 
   // --- Orderly shutdown: tell everyone training is over.
@@ -496,7 +667,6 @@ ClientRunStats ClientSession::run() {
   int uploaded_round = 0;
   int skipped_round = 0;
   std::vector<std::uint8_t> cached_update;  ///< UPDATE payload, uploaded_round
-  bool crashed = false;                     ///< fault injection fired
 
   auto last_rx = Clock::now();
   auto last_ping = last_rx;
@@ -567,13 +737,6 @@ ClientRunStats ClientSession::run() {
         }
         case MsgType::kModel: {
           if (!client) break;  // WELCOME must precede MODEL
-          if (cfg_.faults.crash_before_score_round != 0 && !crashed &&
-              f->round == static_cast<std::uint32_t>(
-                              cfg_.faults.crash_before_score_round)) {
-            crashed = true;
-            conn->close();  // simulate a crash mid-round; backoff redials
-            break;
-          }
           const ModelPayload m = parse_model(f->payload);
           ADAFL_CHECK_MSG(
               m.global.size() ==

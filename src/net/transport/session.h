@@ -105,8 +105,27 @@ struct ServerSessionConfig {
   std::chrono::milliseconds round_deadline{60000};
   /// Poll sleep while waiting for network activity.
   std::chrono::milliseconds idle_poll{20};
+  /// Anti-wedge retransmission: while a phase is stalled (no frame
+  /// processed), periodically re-send the pending frame — MODEL to
+  /// connected clients that have not scored, SELECT to selected clients
+  /// that have not uploaded. Recovers from frames lost in flight without
+  /// waiting for the round deadline. <= 0 disables.
+  std::chrono::milliseconds retransmit_nudge{2000};
   /// Opaque config forwarded to every client in WELCOME.
   std::map<std::string, std::string> client_config;
+
+  // --- Crash recovery (see docs/deployment.md, "Crash recovery"). ---------
+  /// When non-empty, write a durable checkpoint (core::ServerCheckpoint)
+  /// into this directory every `checkpoint_every` completed rounds and on a
+  /// graceful request_stop().
+  std::string checkpoint_dir;
+  /// Checkpoint cadence in rounds. 1 (every round) makes a kill + --resume
+  /// bitwise identical to an uninterrupted run; larger values trade
+  /// checkpoint I/O for re-executing up to N-1 rounds after a crash.
+  int checkpoint_every = 1;
+  /// Resume from checkpoint_dir instead of starting at round 1. Throws if
+  /// no checkpoint exists or it was written under a different config.
+  bool resume = false;
 };
 
 /// Runs the AdaFL server over any Transport mix (TCP and/or loopback).
@@ -124,6 +143,16 @@ class ServerSession {
 
   /// Runs all configured rounds; returns the training log. Call once.
   fl::TrainLog run();
+
+  /// Asks run() to stop at the next safe point (signal-safe: only atomic
+  /// stores). With `write_checkpoint` (the SIGINT/SIGTERM path) a final
+  /// checkpoint is written before returning, so --resume continues from the
+  /// interrupted round; without it (SIGKILL-equivalent, used by crash
+  /// tests) recovery relies on the last cadence checkpoint alone.
+  void request_stop(bool write_checkpoint = true);
+
+  /// Round the session resumed from (0 = fresh start).
+  int resumed_from() const { return resumed_from_; }
 
   const std::vector<float>& global() const { return core_.global(); }
   const core::AdaFlStats& stats() const { return core_.stats(); }
@@ -152,6 +181,18 @@ class ServerSession {
   /// Returns true if any frame was processed (progress).
   bool service(RoundCtx& rc);
   void handle_frame(RoundCtx& rc, int id, const Frame& f);
+  /// Re-sends the stalled phase's pending frame (MODEL / SELECT); books the
+  /// bytes as retransmitted.
+  void nudge(RoundCtx& rc);
+  /// Builds the durable checkpoint for a run whose next round is
+  /// `next_round`, from an AdaFl core snapshot taken at a round boundary.
+  void write_checkpoint(int next_round,
+                        const core::AdaFlServerCore::State& snap) const;
+  /// Loads + validates the checkpoint and restores the core. Returns the
+  /// round to resume at.
+  int resume_from_checkpoint();
+  /// Abruptly closes every connection (no SHUTDOWN): the stop path.
+  void drop_all_connections();
 
   ServerSessionConfig cfg_;
   nn::ModelFactory factory_;
@@ -164,16 +205,13 @@ class ServerSession {
   std::vector<std::unique_ptr<Transport>> pending_;  ///< awaiting HELLO
   std::vector<std::unique_ptr<Transport>> conns_;    ///< by client id
   std::vector<bool> ever_joined_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> stop_save_{false};
+  int resumed_from_ = 0;
 };
 
 // --- Client side. --------------------------------------------------------
-
-/// Fault injection for resilience tests: crash (abruptly close the
-/// connection) once, upon receiving MODEL for the given round, before
-/// training. 0 disables.
-struct ClientFaults {
-  int crash_before_score_round = 0;
-};
 
 struct ClientSessionConfig {
   int client_id = 0;
@@ -185,7 +223,6 @@ struct ClientSessionConfig {
   /// recv() poll granularity.
   std::chrono::milliseconds recv_poll{100};
   BackoffPolicy backoff;
-  ClientFaults faults;
 };
 
 /// Outcome of one ClientSession::run().

@@ -56,9 +56,14 @@ short poll_fd(int fd, short events, Clock::time_point deadline) {
 }  // namespace
 
 std::chrono::milliseconds BackoffPolicy::delay(int attempt) const {
+  const double cap = static_cast<double>(max.count());
   double d = static_cast<double>(initial.count()) *
              std::pow(multiplier, static_cast<double>(attempt));
-  d = std::min(d, static_cast<double>(max.count()));
+  // pow overflows to +inf for large attempts, and initial=0 with +inf yields
+  // NaN; casting either to int64 is UB. Clamp in double space: any
+  // non-finite or negative product saturates at the cap.
+  if (!(d >= 0.0)) d = cap;
+  d = std::min(d, cap);
   return std::chrono::milliseconds(static_cast<std::int64_t>(d));
 }
 

@@ -1,5 +1,6 @@
 #include "nn/checkpoint.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
@@ -79,6 +80,14 @@ void load_checkpoint(Model& model, const std::string& path) {
   is.read(reinterpret_cast<char*>(flat.data()),
           static_cast<std::streamsize>(count * sizeof(float)));
   if (!is) throw std::runtime_error("checkpoint: truncated payload");
+  // A file with extra bytes after the payload was not written by
+  // save_checkpoint; refuse it rather than silently ignore the tail.
+  is.peek();
+  if (!is.eof())
+    throw std::runtime_error("checkpoint: trailing bytes after payload");
+  for (const float v : flat)
+    if (!std::isfinite(v))
+      throw std::runtime_error("checkpoint: non-finite parameter value");
   model.set_flat(flat);
 }
 

@@ -98,4 +98,15 @@ void FlatAdam::reset() {
   t_ = 0;
 }
 
+void FlatAdam::set_state(State s) {
+  ADAFL_CHECK_MSG(s.m.size() == s.v.size(),
+                  "FlatAdam: state m/v length mismatch");
+  ADAFL_CHECK_MSG(s.t >= 0, "FlatAdam: negative step count");
+  ADAFL_CHECK_MSG((s.t == 0) == s.m.empty(),
+                  "FlatAdam: step count inconsistent with moment buffers");
+  m_ = std::move(s.m);
+  v_ = std::move(s.v);
+  t_ = s.t;
+}
+
 }  // namespace adafl::nn

@@ -79,6 +79,15 @@ class FlatAdam {
   void reset();
   float lr() const { return lr_; }
 
+  /// Serializable moment state — crash-recovery checkpoints persist the
+  /// FedAdam server moments so a resumed run steps bitwise identically.
+  struct State {
+    std::vector<float> m, v;
+    std::int64_t t = 0;
+  };
+  State state() const { return {m_, v_, t_}; }
+  void set_state(State s);
+
  private:
   float lr_, beta1_, beta2_, eps_;
   std::vector<float> m_, v_;

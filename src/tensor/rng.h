@@ -29,6 +29,16 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Complete serializable Rng state: the four xoshiro256** words plus the
+/// cached Box–Muller half. Round-tripping through Rng::state()/set_state()
+/// resumes the stream exactly where it left off — crash-recovery
+/// checkpoints persist these fields verbatim.
+struct RngState {
+  std::uint64_t s[4] = {};
+  double cached = 0.0;
+  bool has_cached = false;
+};
+
 /// xoshiro256** PRNG with convenience distributions. Copyable value type;
 /// copies evolve independently.
 class Rng {
@@ -125,6 +135,22 @@ class Rng {
       const std::size_t j = static_cast<std::size_t>(uniform_index(i));
       std::swap(v[i - 1], v[j]);
     }
+  }
+
+  /// Snapshot of the full generator state (for checkpoints).
+  RngState state() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.cached = cached_;
+    st.has_cached = has_cached_;
+    return st;
+  }
+
+  /// Restores a state() snapshot; the stream continues bitwise from there.
+  void set_state(const RngState& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_ = st.cached;
+    has_cached_ = st.has_cached;
   }
 
   /// Derives an independent child RNG; distinct streams for distinct tags.

@@ -16,6 +16,7 @@
 #include "cli/task.h"
 #include "core/adafl_sync.h"
 #include "fl/client.h"
+#include "net/transport/faulty.h"
 #include "net/transport/loopback.h"
 #include "net/transport/session.h"
 #include "net/transport/tcp.h"
@@ -200,8 +201,12 @@ inline DeployedResult run_deployed_tcp(
   for (int id = 0; id < n; ++id) {
     threads.emplace_back([&, id] {
       ClientSessionConfig ccfg = test_client_config(id);
-      if (id == crash_client) {
-        ccfg.faults.crash_before_score_round = crash_round;
+      // The crash is injected at the transport layer: FaultyTransport severs
+      // the first connection on `crash_round`'s MODEL, and the shared flag
+      // keeps redialed connections clean so it fires exactly once.
+      auto crash_fired = std::make_shared<std::atomic<bool>>(false);
+      const bool crashes = id == crash_client && crash_round > 0;
+      if (crashes) {
         // Redial almost immediately: on this tiny task the server burns
         // through rounds in milliseconds, and the test needs the rejoin to
         // land while the session is still running.
@@ -210,9 +215,20 @@ inline DeployedResult run_deployed_tcp(
       }
       ClientSession cs(
           ccfg,
-          [port] {
-            return TcpTransport::connect("127.0.0.1", port,
-                                         std::chrono::milliseconds(1000));
+          [port, crashes, crash_round,
+           crash_fired]() -> std::unique_ptr<Transport> {
+            auto t = TcpTransport::connect("127.0.0.1", port,
+                                           std::chrono::milliseconds(1000));
+            if (!t || !crashes || crash_fired->load()) return t;
+            FaultPlan plan;
+            plan.sever_on_recv(MsgType::kModel, crash_round);
+            auto faulty = std::make_unique<FaultyTransport>(std::move(t),
+                                                            std::move(plan));
+            faulty->set_on_fault([crash_fired](const FaultRule&,
+                                               const Frame&) {
+              crash_fired->store(true);
+            });
+            return faulty;
           },
           make_bootstrap(&bundles[static_cast<std::size_t>(id)]));
       res.clients[static_cast<std::size_t>(id)] = cs.run();

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "nn/models.h"
 
@@ -62,6 +63,31 @@ TEST(Checkpoint, TruncatedPayloadThrows) {
     std::ofstream out(path, std::ios::binary);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
+  EXPECT_THROW(load_checkpoint(a, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TrailingBytesThrow) {
+  const ImageSpec spec{1, 16, 16, 4};
+  Model a = make_mlp(spec, 8, 1);
+  const std::string path = temp_path("adafl_ckpt4.bin");
+  save_checkpoint(a, path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  EXPECT_THROW(load_checkpoint(a, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, NonFiniteParameterThrows) {
+  const ImageSpec spec{1, 16, 16, 4};
+  Model a = make_mlp(spec, 8, 1);
+  auto flat = a.get_flat();
+  flat[flat.size() / 2] = std::numeric_limits<float>::quiet_NaN();
+  a.set_flat(flat);
+  const std::string path = temp_path("adafl_ckpt5.bin");
+  save_checkpoint(a, path);
   EXPECT_THROW(load_checkpoint(a, path), std::runtime_error);
   std::remove(path.c_str());
 }

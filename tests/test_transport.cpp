@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <thread>
 
 #include "net/transport/loopback.h"
@@ -33,6 +34,29 @@ TEST(Backoff, ExponentialBoundedDelays) {
   EXPECT_EQ(b.delay(2), milliseconds(400));
   EXPECT_EQ(b.delay(3), milliseconds(450));  // clamped
   EXPECT_EQ(b.delay(30), milliseconds(450));
+}
+
+TEST(Backoff, ExtremeAttemptsSaturateAtMax) {
+  BackoffPolicy b;
+  b.initial = milliseconds(100);
+  b.max = milliseconds(450);
+  b.multiplier = 2.0;
+  // pow(2, 64+) overflows double range well before these; the delay must
+  // saturate at max instead of wrapping through an undefined int64 cast.
+  EXPECT_EQ(b.delay(64), milliseconds(450));
+  EXPECT_EQ(b.delay(1024), milliseconds(450));
+  EXPECT_EQ(b.delay(std::numeric_limits<int>::max()), milliseconds(450));
+}
+
+TEST(Backoff, ZeroInitialNeverGoesNegativeOrNaN) {
+  BackoffPolicy b;
+  b.initial = milliseconds(0);
+  b.max = milliseconds(450);
+  b.multiplier = 2.0;
+  EXPECT_EQ(b.delay(0), milliseconds(0));
+  EXPECT_EQ(b.delay(5), milliseconds(0));
+  // 0 * inf = NaN in double space; it must clamp to max, not cast NaN.
+  EXPECT_EQ(b.delay(2048), milliseconds(450));
 }
 
 TEST(Loopback, SendRecvBothDirections) {
