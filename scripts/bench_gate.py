@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_results/BENCH_kernels.json.
+
+Compares a fresh bench run against the committed baseline and fails when
+any (bench, size, threads) config regresses by more than the tolerance.
+
+CI machines are not the machine the baseline was recorded on, so raw
+seconds are not comparable run-to-run. The gate first computes a
+machine-speed calibration factor — the median of per-config ratios
+(new_seconds / baseline_seconds) — and then flags configs whose ratio
+exceeds median * (1 + tolerance). A uniformly slower machine shifts every
+ratio equally and passes; a genuine regression shows up as an outlier
+against the run's own median.
+
+Seconds are scale-independent: ADAFL_BENCH_SCALE changes only rep counts
+(min-of-reps is reported), so a smoke pass gates against the same numbers
+as a full pass, just with more timing noise.
+
+Configs whose baseline time is below the noise floor (default 20 ms) are
+report-only: min-of-reps over sub-millisecond kernels jitters far more
+than the tolerance, especially in ADAFL_BENCH_SCALE smoke passes, and the
+substantial configs (large matmuls, client_round, sync_round) are the
+ones a real regression cannot hide from.
+
+Usage:
+  scripts/bench_gate.py <baseline.json> <new.json> \
+      [--tolerance=0.25] [--min-seconds=0.02]
+
+Exit codes: 0 ok, 1 regression found, 2 bad input.
+Environment: BENCH_GATE_TOLERANCE overrides the default tolerance (0.25).
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for r in doc.get("results", []):
+        key = (r["bench"], r["size"], r["threads"])
+        rows[key] = float(r["seconds"])
+    if not rows:
+        print(f"bench_gate: {path} has no results", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def median(xs):
+    s = sorted(xs)
+    n = len(s)
+    return s[n // 2] if n % 2 else 0.5 * (s[n // 2 - 1] + s[n // 2])
+
+
+def main(argv):
+    tolerance = float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25"))
+    min_seconds = 0.02
+    paths = []
+    for a in argv[1:]:
+        if a.startswith("--tolerance="):
+            tolerance = float(a.split("=", 1)[1])
+        elif a.startswith("--min-seconds="):
+            min_seconds = float(a.split("=", 1)[1])
+        else:
+            paths.append(a)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    base, new = load(paths[0]), load(paths[1])
+    shared = sorted(set(base) & set(new))
+    if not shared:
+        print("bench_gate: baseline and new run share no configs",
+              file=sys.stderr)
+        return 2
+    missing = sorted(set(base) - set(new))
+    for key in missing:
+        print(f"bench_gate: WARNING config {key} missing from new run")
+
+    ratios = {k: new[k] / base[k] for k in shared if base[k] > 0}
+    cal = median(list(ratios.values()))
+    limit = cal * (1.0 + tolerance)
+    print(f"bench_gate: {len(shared)} configs, machine calibration "
+          f"x{cal:.3f}, per-config limit x{limit:.3f} "
+          f"(tolerance {tolerance:.0%})")
+
+    failed = []
+    for key in shared:
+        r = ratios.get(key)
+        if r is None:
+            continue
+        bench, size, threads = key
+        gated = base[key] >= min_seconds
+        if r <= limit:
+            status = "ok"
+        elif gated:
+            status = "FAIL"
+            failed.append(key)
+        else:
+            status = "slow"  # below the noise floor: report, don't gate
+        print(f"  [{status:4s}] {bench:<16s} size={size:<7d} "
+              f"threads={threads}  base={base[key]:.4f}s "
+              f"new={new[key]:.4f}s  x{r:.3f}")
+
+    if failed:
+        print(f"bench_gate: {len(failed)} config(s) regressed beyond "
+              f"{tolerance:.0%} after calibration:", file=sys.stderr)
+        for key in failed:
+            print(f"  {key}", file=sys.stderr)
+        return 1
+    print("bench_gate: no perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,6 +16,7 @@
 #include "cli/args.h"
 #include "cli/task.h"
 #include "core/parallel.h"
+#include "metrics/profile.h"
 #include "net/transport/faulty.h"
 #include "net/transport/session.h"
 
@@ -36,7 +37,10 @@ int main(int argc, char** argv) {
       .option("crash-at-round", "0",
               "fault injection: crash once on receiving this round's model "
               "(0 = off)")
-      .option("threads", "0", "worker threads (0 = auto)");
+      .option("threads", "0", "worker threads (0 = auto)")
+      .option("profile", "0",
+              "print per-phase wall time + tensor heap allocation counts "
+              "after the run");
   if (!args.parse(argc, argv)) {
     std::cerr << "flclient: " << args.error() << "\n\n" << args.usage();
     return 2;
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
 
   try {
     core::set_num_threads(args.get_int_at_least("threads", 0));
+    metrics::PhaseProfiler::instance().set_enabled(args.get_bool("profile"));
     const std::string host = args.get("host");
     const auto port = static_cast<std::uint16_t>(args.get_int("port"));
     const auto connect_timeout =
@@ -114,6 +119,7 @@ int main(int argc, char** argv) {
               << " updates-sent=" << st.updates_sent
               << " skips=" << st.skips << " reconnects=" << st.reconnects
               << std::endl;
+    metrics::print_profile(std::cout);
     return st.completed ? 0 : 3;
   } catch (const std::exception& e) {
     std::cerr << "flclient: " << e.what() << "\n";

@@ -26,6 +26,7 @@
 #include "cli/args.h"
 #include "cli/task.h"
 #include "core/parallel.h"
+#include "metrics/profile.h"
 #include "metrics/table.h"
 #include "net/transport/crc32.h"
 #include "net/transport/session.h"
@@ -73,7 +74,10 @@ int main(int argc, char** argv) {
       .option("checkpoint-every", "1", "checkpoint cadence in rounds")
       .option("resume", "0",
               "resume from --checkpoint-dir's checkpoint instead of "
-              "starting at round 1");
+              "starting at round 1")
+      .option("profile", "0",
+              "print per-phase wall time + tensor heap allocation counts "
+              "after the run");
   if (!args.parse(argc, argv)) {
     std::cerr << "flserver: " << args.error() << "\n\n" << args.usage();
     return 2;
@@ -85,6 +89,7 @@ int main(int argc, char** argv) {
 
   try {
     core::set_num_threads(args.get_int_at_least("threads", 0));
+    metrics::PhaseProfiler::instance().set_enabled(args.get_bool("profile"));
     const cli::TaskSpec spec = cli::spec_from_args(args);
     const auto task = cli::build_task(spec);
 
@@ -175,6 +180,7 @@ int main(int argc, char** argv) {
     std::cout << "final-accuracy: " << buf << "\n";
     std::snprintf(buf, sizeof(buf), "%08x", crc);
     std::cout << "weights-crc32: " << buf << std::endl;
+    metrics::print_profile(std::cout);
   } catch (const std::exception& e) {
     std::cerr << "flserver: " << e.what() << "\n";
     return 1;

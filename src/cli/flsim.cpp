@@ -25,6 +25,7 @@
 #include "fl/fedat.h"
 #include "fl/sync_trainer.h"
 #include "metrics/plot.h"
+#include "metrics/profile.h"
 #include "metrics/table.h"
 #include "net/transport/crc32.h"
 
@@ -95,7 +96,10 @@ int main(int argc, char** argv) {
       .option("checkpoint-every", "1", "checkpoint cadence in rounds")
       .option("resume", "0",
               "resume from --checkpoint-dir's checkpoint; the resumed run's "
-              "final weights are bitwise identical to an uninterrupted one");
+              "final weights are bitwise identical to an uninterrupted one")
+      .option("profile", "0",
+              "print per-phase wall time + tensor heap allocation counts "
+              "after the run");
   if (!args.parse(argc, argv)) {
     std::cerr << "flsim: " << args.error() << "\n\n" << args.usage();
     return 2;
@@ -107,6 +111,7 @@ int main(int argc, char** argv) {
 
   try {
     core::set_num_threads(args.get_int_at_least("threads", 0));
+    metrics::PhaseProfiler::instance().set_enabled(args.get_bool("profile"));
     const cli::TaskSpec spec = cli::spec_from_args(args);
     const auto task = cli::build_task(spec);
     const int clients = args.get_int("clients");
@@ -276,6 +281,7 @@ int main(int argc, char** argv) {
                          rows);
       std::cout << "wrote " << csv << "\n";
     }
+    metrics::print_profile(std::cout);
   } catch (const std::exception& e) {
     std::cerr << "flsim: " << e.what() << "\n";
     return 1;

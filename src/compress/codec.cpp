@@ -18,7 +18,13 @@ std::int64_t bits_to_bytes(std::int64_t bits) { return (bits + 7) / 8; }
 }  // namespace
 
 std::vector<float> EncodedGradient::decode() const {
-  std::vector<float> out(static_cast<std::size_t>(dense_size), 0.0f);
+  std::vector<float> out;
+  decode_into(out);
+  return out;
+}
+
+void EncodedGradient::decode_into(std::vector<float>& out) const {
+  out.assign(static_cast<std::size_t>(dense_size), 0.0f);
   switch (kind) {
     case CodecKind::kIdentity:
       ADAFL_CHECK(static_cast<std::int64_t>(values.size()) == dense_size);
@@ -41,7 +47,6 @@ std::vector<float> EncodedGradient::decode() const {
                       : 1.0f);
       break;
   }
-  return out;
 }
 
 double EncodedGradient::compression_ratio() const {
@@ -131,38 +136,57 @@ EncodedGradient TernaryCodec::encode(std::span<const float> grad, Rng& rng) {
 
 std::vector<std::uint32_t> top_k_by_magnitude(std::span<const float> values,
                                               std::int64_t k) {
+  std::vector<std::uint32_t> out, scratch;
+  top_k_by_magnitude_into(values, k, out, scratch);
+  return out;
+}
+
+void top_k_by_magnitude_into(std::span<const float> values, std::int64_t k,
+                             std::vector<std::uint32_t>& out,
+                             std::vector<std::uint32_t>& scratch) {
   const std::int64_t n = static_cast<std::int64_t>(values.size());
   ADAFL_CHECK_MSG(k >= 1 && k <= n, "top_k_by_magnitude: k=" << k << " n=" << n);
-  std::vector<std::uint32_t> idx(static_cast<std::size_t>(n));
-  std::iota(idx.begin(), idx.end(), 0u);
+  scratch.resize(static_cast<std::size_t>(n));
+  std::iota(scratch.begin(), scratch.end(), 0u);
   // Magnitude ties break toward the lower index, so the *set* of selected
   // coordinates is the same on every standard library (nth_element alone
   // leaves both the order and the tie winners implementation-defined, which
   // would leak into the wire bytes and downstream digests).
-  std::nth_element(idx.begin(), idx.begin() + (k - 1), idx.end(),
+  std::nth_element(scratch.begin(), scratch.begin() + (k - 1), scratch.end(),
                    [&](std::uint32_t a, std::uint32_t b) {
                      const float ma = std::abs(values[a]);
                      const float mb = std::abs(values[b]);
                      if (ma != mb) return ma > mb;
                      return a < b;
                    });
-  idx.resize(static_cast<std::size_t>(k));
+  out.assign(scratch.begin(), scratch.begin() + k);
   // Ascending index order: a canonical on-wire layout (and better locality
   // for the decoder's scatter).
-  std::sort(idx.begin(), idx.end());
-  return idx;
+  std::sort(out.begin(), out.end());
 }
 
 EncodedGradient encode_top_k(std::span<const float> values, std::int64_t k) {
   EncodedGradient e;
-  e.kind = CodecKind::kTopK;
-  e.dense_size = static_cast<std::int64_t>(values.size());
-  e.indices = top_k_by_magnitude(values, k);
-  e.values.reserve(e.indices.size());
-  for (auto i : e.indices) e.values.push_back(values[i]);
-  // 4-byte index + 4-byte value per entry.
-  e.wire_bytes = kHeaderBytes + static_cast<std::int64_t>(e.indices.size()) * 8;
+  std::vector<std::uint32_t> scratch;
+  encode_top_k_into(values, k, e, scratch);
   return e;
+}
+
+void encode_top_k_into(std::span<const float> values, std::int64_t k,
+                       EncodedGradient& out,
+                       std::vector<std::uint32_t>& scratch) {
+  out.kind = CodecKind::kTopK;
+  out.dense_size = static_cast<std::int64_t>(values.size());
+  out.levels.clear();
+  out.scale = 1.0f;
+  out.quant_levels = 0;
+  top_k_by_magnitude_into(values, k, out.indices, scratch);
+  out.values.clear();
+  out.values.reserve(out.indices.size());
+  for (auto i : out.indices) out.values.push_back(values[i]);
+  // 4-byte index + 4-byte value per entry.
+  out.wire_bytes =
+      kHeaderBytes + static_cast<std::int64_t>(out.indices.size()) * 8;
 }
 
 }  // namespace adafl::compress

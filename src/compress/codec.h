@@ -37,6 +37,10 @@ struct EncodedGradient {
   /// Reconstructs the dense gradient (zeros where nothing was sent).
   std::vector<float> decode() const;
 
+  /// decode into a caller-owned vector (resized to dense_size, reusing its
+  /// capacity).
+  void decode_into(std::vector<float>& out) const;
+
   /// Achieved compression ratio = dense float32 bytes / wire bytes.
   double compression_ratio() const;
 };
@@ -99,7 +103,22 @@ class TernaryCodec final : public Codec {
 std::vector<std::uint32_t> top_k_by_magnitude(std::span<const float> values,
                                               std::int64_t k);
 
+/// top_k_by_magnitude writing the selection into `out` and using `scratch`
+/// as the full-length candidate buffer. Both vectors keep their capacity, so
+/// repeated calls with the same n allocate nothing. Selection and order are
+/// identical to top_k_by_magnitude.
+void top_k_by_magnitude_into(std::span<const float> values, std::int64_t k,
+                             std::vector<std::uint32_t>& out,
+                             std::vector<std::uint32_t>& scratch);
+
 /// Builds a top-k sparse message from `values` at the given keep count.
 EncodedGradient encode_top_k(std::span<const float> values, std::int64_t k);
+
+/// encode_top_k into a caller-owned message, reusing its index/value storage
+/// (and `scratch` for the candidate buffer). Produces a message bitwise
+/// identical to encode_top_k.
+void encode_top_k_into(std::span<const float> values, std::int64_t k,
+                       EncodedGradient& out,
+                       std::vector<std::uint32_t>& scratch);
 
 }  // namespace adafl::compress

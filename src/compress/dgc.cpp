@@ -22,6 +22,14 @@ DgcCompressor::DgcCompressor(std::int64_t dim, DgcConfig cfg)
 
 EncodedGradient DgcCompressor::compress(std::span<const float> grad,
                                         double ratio_override) {
+  EncodedGradient e;
+  compress_into(grad, ratio_override, e);
+  return e;
+}
+
+void DgcCompressor::compress_into(std::span<const float> grad,
+                                  double ratio_override,
+                                  EncodedGradient& out) {
   ADAFL_CHECK_MSG(static_cast<std::int64_t>(grad.size()) == dim_,
                   "DgcCompressor::compress: gradient length "
                       << grad.size() << " vs dim " << dim_);
@@ -33,14 +41,13 @@ EncodedGradient DgcCompressor::compress(std::span<const float> grad,
 
   const std::int64_t k = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(static_cast<double>(dim_) / ratio));
-  EncodedGradient e = encode_top_k(v_, k);
+  encode_top_k_into(v_, k, out, topk_scratch_);
 
   // Momentum factor masking: clear transmitted coordinates in both u and v.
-  for (auto idx : e.indices) {
+  for (auto idx : out.indices) {
     v_[idx] = 0.0f;
     if (cfg_.momentum_correction) u_[idx] = 0.0f;
   }
-  return e;
 }
 
 void DgcCompressor::accumulate(std::span<const float> grad) {

@@ -35,6 +35,12 @@ class DgcCompressor {
   EncodedGradient compress(std::span<const float> grad,
                            double ratio_override = 0.0);
 
+  /// compress into a caller-owned message (bitwise identical to compress),
+  /// reusing its storage plus an internal top-k scratch buffer so
+  /// steady-state rounds allocate nothing.
+  void compress_into(std::span<const float> grad, double ratio_override,
+                     EncodedGradient& out);
+
   /// Accumulates `grad` into local state (clipping + momentum correction)
   /// WITHOUT emitting a message. AdaFL uses this for clients skipped by node
   /// selection: nothing is transmitted this round, but the gradient mass is
@@ -73,6 +79,7 @@ class DgcCompressor {
   DgcConfig cfg_;
   std::vector<float> u_;  ///< momentum state
   std::vector<float> v_;  ///< accumulated velocity
+  std::vector<std::uint32_t> topk_scratch_;  ///< reused top-k candidate buffer
 };
 
 }  // namespace adafl::compress

@@ -77,6 +77,12 @@ std::int64_t wire_size(const EncodedGradient& e) {
 
 std::vector<std::uint8_t> serialize(const EncodedGradient& e) {
   std::vector<std::uint8_t> out;
+  serialize_into(e, out);
+  return out;
+}
+
+void serialize_into(const EncodedGradient& e, std::vector<std::uint8_t>& out) {
+  out.clear();
   out.reserve(static_cast<std::size_t>(wire_size(e)));
   out.push_back(static_cast<std::uint8_t>(e.kind));
   // The aux header byte carries the QSGD level count so the payload needs no
@@ -126,12 +132,24 @@ std::vector<std::uint8_t> serialize(const EncodedGradient& e) {
     }
   }
   ADAFL_CHECK(static_cast<std::int64_t>(out.size()) == wire_size(e));
-  return out;
 }
 
 EncodedGradient deserialize(std::span<const std::uint8_t> bytes_in) {
-  ADAFL_CHECK_MSG(bytes_in.size() >= 8, "wire: buffer shorter than header");
   EncodedGradient e;
+  deserialize_into(bytes_in, e);
+  return e;
+}
+
+void deserialize_into(std::span<const std::uint8_t> bytes_in,
+                      EncodedGradient& e) {
+  ADAFL_CHECK_MSG(bytes_in.size() >= 8, "wire: buffer shorter than header");
+  // Reset every field: a reused message must not leak state from the
+  // previous frame (the vectors keep their capacity).
+  e.indices.clear();
+  e.values.clear();
+  e.levels.clear();
+  e.scale = 1.0f;
+  e.quant_levels = 0;
   const std::uint8_t kind_raw = bytes_in[0];
   ADAFL_CHECK_MSG(kind_raw <= static_cast<std::uint8_t>(CodecKind::kTernary),
                   "wire: unknown codec kind " << int(kind_raw));
@@ -205,7 +223,6 @@ EncodedGradient deserialize(std::span<const std::uint8_t> bytes_in) {
     }
   }
   e.wire_bytes = static_cast<std::int64_t>(bytes_in.size());
-  return e;
 }
 
 }  // namespace adafl::compress

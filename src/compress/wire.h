@@ -27,6 +27,11 @@ namespace adafl::compress {
 /// e.wire_bytes bytes (== wire_size(e)) for every codec kind.
 std::vector<std::uint8_t> serialize(const EncodedGradient& e);
 
+/// serialize into a caller-owned buffer (cleared first, capacity reused).
+/// Top-k and identity payloads write straight into `out`; the bit-packed
+/// kinds still stage through a BitWriter.
+void serialize_into(const EncodedGradient& e, std::vector<std::uint8_t>& out);
+
 /// Exact size serialize() will produce for `e`.
 std::int64_t wire_size(const EncodedGradient& e);
 
@@ -34,6 +39,11 @@ std::int64_t wire_size(const EncodedGradient& e);
 /// input (bad kind, nonzero reserved bytes, truncated or oversized payload,
 /// out-of-range codes) and never reads past `bytes`.
 EncodedGradient deserialize(std::span<const std::uint8_t> bytes);
+
+/// deserialize into a caller-owned message: every field is reset and the
+/// index/value/level vectors are resized in place, so decoding a stream of
+/// same-shaped frames into one Entry reuses its storage frame over frame.
+void deserialize_into(std::span<const std::uint8_t> bytes, EncodedGradient& e);
 
 /// Bit-level writer used by the packed payloads (exposed for tests).
 class BitWriter {

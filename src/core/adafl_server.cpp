@@ -91,20 +91,31 @@ AdaFlRoundPlan AdaFlServerCore::plan_round(const std::vector<double>& scores,
 AdaFlRoundOutcome AdaFlServerCore::apply_round(
     const AdaFlRoundPlan& plan,
     const std::map<int, AdaFlDelivery>& deliveries) {
+  return apply_round(plan, [&deliveries](int id) -> const AdaFlDelivery* {
+    auto it = deliveries.find(id);
+    return it == deliveries.end() ? nullptr : &it->second;
+  });
+}
+
+AdaFlRoundOutcome AdaFlServerCore::apply_round(
+    const AdaFlRoundPlan& plan,
+    const std::function<const AdaFlDelivery*(int)>& find) {
   const std::size_t d = global_.size();
   // Sparse error-feedback aggregation: sum the weighted sparse messages and
   // divide by the total delivered weight (the unbiased FedAvg estimate —
   // unsent mass stays in each client's DGC residual and is flushed in later
   // rounds). Iteration is in selection order so floating-point accumulation
-  // matches the simulator exactly.
-  std::vector<float> sum_delta(d, 0.0f);
+  // matches the simulator exactly. The sum buffer is a member reused across
+  // rounds (assign keeps its capacity).
+  std::vector<float>& sum_delta = sum_delta_;
+  sum_delta.assign(d, 0.0f);
   double weight_sum = 0.0;
   double delta_norm_wsum = 0.0;  // for the server trust region
   AdaFlRoundOutcome out;
   for (int id : plan.sel.selected) {
-    auto it = deliveries.find(id);
-    if (it == deliveries.end()) continue;  // lost in transit
-    const AdaFlDelivery& dl = it->second;
+    const AdaFlDelivery* found = find(id);
+    if (found == nullptr) continue;  // lost in transit
+    const AdaFlDelivery& dl = *found;
     ADAFL_CHECK_MSG(dl.msg.kind == compress::CodecKind::kTopK,
                     "apply_round: client " << id << " sent a non-top-k kind");
     ADAFL_CHECK_MSG(

@@ -13,6 +13,7 @@
 // client simply drops out of the mask and the round degrades gracefully.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -81,6 +82,14 @@ class AdaFlServerCore {
   AdaFlRoundOutcome apply_round(const AdaFlRoundPlan& plan,
                                 const std::map<int, AdaFlDelivery>& deliveries);
 
+  /// apply_round with the deliveries behind a lookup: `find(id)` returns the
+  /// client's delivery or nullptr if it was lost in transit. Lets callers
+  /// keep deliveries in reused per-client slots instead of building a map
+  /// every round; aggregation order and arithmetic are identical.
+  AdaFlRoundOutcome apply_round(
+      const AdaFlRoundPlan& plan,
+      const std::function<const AdaFlDelivery*(int)>& find);
+
   /// Complete serializable server-side round state for crash recovery.
   /// params/controller are pure functions of the config and are rebuilt from
   /// it, so restoring a State resumes plan/apply bitwise.
@@ -113,6 +122,7 @@ class AdaFlServerCore {
   AdaFlStats stats_;
   std::int64_t selected_sum_ = 0;
   int rounds_planned_ = 0;
+  std::vector<float> sum_delta_;  ///< per-round aggregation buffer, reused
 };
 
 }  // namespace adafl::core

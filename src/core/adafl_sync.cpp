@@ -6,6 +6,7 @@
 
 #include "core/selection.h"
 #include "core/server_checkpoint.h"
+#include "metrics/profile.h"
 
 namespace adafl::core {
 
@@ -162,100 +163,119 @@ fl::TrainLog AdaFlSyncTrainer::run() {
     }
     // --- Every client downloads the fresh global model and trains; it also
     // derives g_hat locally from consecutive global models, so scoring costs
-    // no extra traffic.
-    std::vector<fl::FlClient::LocalResult> results;
-    results.reserve(static_cast<std::size_t>(n));
-    std::vector<double> down_plus_compute(static_cast<std::size_t>(n), 0.0);
-    for (int id = 0; id < n; ++id) {
-      double down_t = 0.0;
-      if (!links_.empty()) {
-        auto tr =
-            links_[static_cast<std::size_t>(id)].download(dense_bytes, clock);
-        down_t = tr.duration;
+    // no extra traffic. Results land in reused per-client slots.
+    results_.resize(static_cast<std::size_t>(n));
+    down_plus_compute_.assign(static_cast<std::size_t>(n), 0.0);
+    {
+      metrics::PhaseProfiler::Scope prof("client-train");
+      for (int id = 0; id < n; ++id) {
+        double down_t = 0.0;
+        if (!links_.empty()) {
+          auto tr =
+              links_[static_cast<std::size_t>(id)].download(dense_bytes, clock);
+          down_t = tr.duration;
+        }
+        log.ledger.record_download(id, dense_bytes);
+        auto& res = results_[static_cast<std::size_t>(id)];
+        clients_[static_cast<std::size_t>(id)].train_from_into(core_.global(),
+                                                               res);
+        down_plus_compute_[static_cast<std::size_t>(id)] =
+            down_t + res.compute_seconds;
       }
-      log.ledger.record_download(id, dense_bytes);
-      auto res =
-          clients_[static_cast<std::size_t>(id)].train_from(core_.global());
-      down_plus_compute[static_cast<std::size_t>(id)] =
-          down_t + res.compute_seconds;
-      results.push_back(std::move(res));
     }
 
     // --- Utility Score Computation (Eq. 6).
-    std::vector<double> scores(static_cast<std::size_t>(n), 1.0);
-    for (int id = 0; id < n; ++id) {
-      double up_bw = cfg_.params.utility.bw_ref;
-      double down_bw = cfg_.params.utility.bw_ref;
-      if (!links_.empty()) {
-        up_bw = links_[static_cast<std::size_t>(id)].up_bandwidth(clock);
-        down_bw = links_[static_cast<std::size_t>(id)].down_bandwidth(clock);
+    scores_.assign(static_cast<std::size_t>(n), 1.0);
+    {
+      metrics::PhaseProfiler::Scope prof("score");
+      for (int id = 0; id < n; ++id) {
+        double up_bw = cfg_.params.utility.bw_ref;
+        double down_bw = cfg_.params.utility.bw_ref;
+        if (!links_.empty()) {
+          up_bw = links_[static_cast<std::size_t>(id)].up_bandwidth(clock);
+          down_bw = links_[static_cast<std::size_t>(id)].down_bandwidth(clock);
+        }
+        scores_[static_cast<std::size_t>(id)] = utility_score(
+            cfg_.params.utility, results_[static_cast<std::size_t>(id)].delta,
+            core_.g_hat(), up_bw, down_bw);
       }
-      scores[static_cast<std::size_t>(id)] = utility_score(
-          cfg_.params.utility, results[static_cast<std::size_t>(id)].delta,
-          core_.g_hat(), up_bw, down_bw);
     }
 
     // --- Client Filtering / Ranking / Selection (Algorithm 1) + adaptive
     // ratio assignment, in the shared server core. In the simulator every
     // client reports its score.
     const std::vector<bool> present(static_cast<std::size_t>(n), true);
-    const AdaFlRoundPlan plan = core_.plan_round(scores, present, round);
+    const AdaFlRoundPlan plan = core_.plan_round(scores_, present, round);
 
-    // --- Adaptive compression + upload for selected clients.
-    std::map<int, AdaFlDelivery> deliveries;
+    // --- Adaptive compression + upload for selected clients. Each client
+    // has a persistent delivery slot; delivered_ marks which slots hold this
+    // round's update.
+    delivery_slots_.resize(static_cast<std::size_t>(n));
+    delivered_.assign(static_cast<std::size_t>(n), 0);
     double round_time = 0.0;
-    std::vector<bool> is_selected(static_cast<std::size_t>(n), false);
-    for (std::size_t j = 0; j < plan.sel.selected.size(); ++j) {
-      const int id = plan.sel.selected[j];
-      is_selected[static_cast<std::size_t>(id)] = true;
+    is_selected_.assign(static_cast<std::size_t>(n), 0);
+    {
+      metrics::PhaseProfiler::Scope prof("compress-upload");
+      for (std::size_t j = 0; j < plan.sel.selected.size(); ++j) {
+        const int id = plan.sel.selected[j];
+        is_selected_[static_cast<std::size_t>(id)] = 1;
 
-      auto& res = results[static_cast<std::size_t>(id)];
-      compress::EncodedGradient msg =
-          compressors_[static_cast<std::size_t>(id)].compress(res.delta,
-                                                              plan.ratios[j]);
-      double up_t = 0.0;
-      bool ok = true;
-      if (!links_.empty()) {
-        auto tr = links_[static_cast<std::size_t>(id)].upload(msg.wire_bytes,
-                                                              clock);
-        up_t = tr.duration;
-        ok = tr.delivered;
+        auto& res = results_[static_cast<std::size_t>(id)];
+        AdaFlDelivery& dl = delivery_slots_[static_cast<std::size_t>(id)];
+        compressors_[static_cast<std::size_t>(id)].compress_into(
+            res.delta, plan.ratios[j], dl.msg);
+        double up_t = 0.0;
+        bool ok = true;
+        if (!links_.empty()) {
+          auto tr = links_[static_cast<std::size_t>(id)].upload(
+              dl.msg.wire_bytes, clock);
+          up_t = tr.duration;
+          ok = tr.delivered;
+        }
+        log.ledger.record_upload(id, dl.msg.wire_bytes, ok);
+        if (ok) {
+          dl.num_examples = res.num_examples;
+          dl.mean_loss = res.mean_loss;
+          dl.raw_delta_norm = tensor::l2_norm(res.delta);
+          delivered_[static_cast<std::size_t>(id)] = 1;
+        }
+        round_time = std::max(
+            round_time, down_plus_compute_[static_cast<std::size_t>(id)] + up_t);
       }
-      log.ledger.record_upload(id, msg.wire_bytes, ok);
-      if (ok) {
-        AdaFlDelivery dl;
-        dl.msg = std::move(msg);
-        dl.num_examples = res.num_examples;
-        dl.mean_loss = res.mean_loss;
-        dl.raw_delta_norm = tensor::l2_norm(res.delta);
-        deliveries.emplace(id, std::move(dl));
-      }
-      round_time = std::max(
-          round_time, down_plus_compute[static_cast<std::size_t>(id)] + up_t);
-    }
 
-    // --- Skipped clients transmit nothing; their gradient mass accumulates
-    // locally in DGC state (error feedback) if configured.
-    for (int id = 0; id < n; ++id) {
-      if (is_selected[static_cast<std::size_t>(id)]) continue;
-      if (cfg_.params.accumulate_unselected)
-        compressors_[static_cast<std::size_t>(id)].accumulate(
-            results[static_cast<std::size_t>(id)].delta);
-      round_time = std::max(round_time,
-                            down_plus_compute[static_cast<std::size_t>(id)]);
+      // --- Skipped clients transmit nothing; their gradient mass accumulates
+      // locally in DGC state (error feedback) if configured.
+      for (int id = 0; id < n; ++id) {
+        if (is_selected_[static_cast<std::size_t>(id)]) continue;
+        if (cfg_.params.accumulate_unselected)
+          compressors_[static_cast<std::size_t>(id)].accumulate(
+              results_[static_cast<std::size_t>(id)].delta);
+        round_time = std::max(round_time,
+                              down_plus_compute_[static_cast<std::size_t>(id)]);
+      }
     }
 
     // --- Server aggregation (FedAvg weighting + trust region).
-    const AdaFlRoundOutcome out = core_.apply_round(plan, deliveries);
+    AdaFlRoundOutcome out;
+    {
+      metrics::PhaseProfiler::Scope prof("aggregate");
+      out = core_.apply_round(plan, [this](int id) -> const AdaFlDelivery* {
+        return delivered_[static_cast<std::size_t>(id)]
+                   ? &delivery_slots_[static_cast<std::size_t>(id)]
+                   : nullptr;
+      });
+    }
 
     clock += round_time + kServerOverheadSeconds;
 
     if (round % cfg_.eval_every == 0 || round == cfg_.rounds) {
+      metrics::PhaseProfiler::Scope prof("eval");
       eval_model_.set_flat(core_.global());
       fl::RoundRecord rec;
       rec.round = round;
       rec.time = clock;
-      rec.test_accuracy = eval_model_.accuracy(test_->all());
+      if (eval_batch_.size() == 0) eval_batch_ = test_->all();
+      rec.test_accuracy = eval_model_.accuracy(eval_batch_);
       rec.mean_train_loss =
           out.delivered > 0 ? out.loss_sum / static_cast<double>(out.delivered)
                             : 0.0;

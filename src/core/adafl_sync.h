@@ -65,6 +65,20 @@ class AdaFlSyncTrainer {
   nn::Model eval_model_;
   tensor::Rng rng_;
   AdaFlServerCore core_;
+
+  // Per-round buffers reused across rounds: local results, per-client
+  // delivery slots (+ delivered flags, reset each round), and the small
+  // per-round score/time vectors. Steady-state rounds reuse all of them.
+  std::vector<fl::FlClient::LocalResult> results_;
+  std::vector<AdaFlDelivery> delivery_slots_;
+  std::vector<char> delivered_;
+  std::vector<double> scores_;
+  std::vector<double> down_plus_compute_;
+  std::vector<char> is_selected_;
+  /// Full test set, materialised once (Dataset::all() copies the images
+  /// tensor; evaluating every round from this cache keeps eval allocation
+  /// free after the first use).
+  nn::Batch eval_batch_;
 };
 
 }  // namespace adafl::core

@@ -117,7 +117,8 @@ struct ForkJob {
   std::int64_t nchunks = 0;
   std::int64_t chunk = 0;  ///< base chunk length (n / nchunks)
   std::int64_t extra = 0;  ///< first `extra` chunks take one more index
-  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+  const std::function<void(std::int64_t, std::int64_t, std::int64_t)>* fn =
+      nullptr;
   std::atomic<std::int64_t> next{0};
   std::mutex mu;
   std::condition_variable done_cv;
@@ -131,7 +132,7 @@ struct ForkJob {
       const std::int64_t b = begin + k * chunk + std::min(k, extra);
       const std::int64_t e = b + chunk + (k < extra ? 1 : 0);
       try {
-        (*fn)(b, e);
+        (*fn)(k, b, e);
       } catch (...) {
         errors[static_cast<std::size_t>(k)] = std::current_exception();
       }
@@ -152,6 +153,14 @@ bool in_parallel_region() { return tl_in_pool; }
 void parallel_for_blocked(
     std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  parallel_for_blocked_indexed(
+      begin, end,
+      [&fn](std::int64_t, std::int64_t b, std::int64_t e) { fn(b, e); });
+}
+
+void parallel_for_blocked_indexed(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn) {
   if (end <= begin) return;
   const std::int64_t n = end - begin;
   Pool& pool = Pool::instance();
@@ -159,7 +168,7 @@ void parallel_for_blocked(
   // Serial paths: one lane configured, a single index, or we are already
   // inside a parallel region (nested parallelism runs flat).
   if (threads <= 1 || n <= 1 || tl_in_pool) {
-    fn(begin, end);
+    fn(0, begin, end);
     return;
   }
 

@@ -48,6 +48,16 @@ void parallel_for_blocked(
     std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
+/// Like parallel_for_blocked, but fn also receives the chunk index:
+/// fn(chunk, chunk_begin, chunk_end). Chunk indices are 0-based, contiguous
+/// and < min(num_threads(), end - begin); the serial path runs as chunk 0.
+/// The partition depends only on (end - begin, num_threads()), never on
+/// scheduling, so chunk indices are deterministic handles for per-chunk
+/// scratch buffers (size the scratch table to num_threads() up front).
+void parallel_for_blocked_indexed(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn);
+
 /// Calls fn(i) for every i in [begin, end), chunked as above.
 void parallel_for(std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& fn);

@@ -23,14 +23,21 @@ ImageSpec Dataset::spec() const {
 }
 
 Batch Dataset::gather(std::span<const std::int32_t> indices) const {
+  Batch b;
+  gather_into(indices, b);
+  return b;
+}
+
+void Dataset::gather_into(std::span<const std::int32_t> indices,
+                          Batch& out) const {
   ADAFL_CHECK_MSG(!indices.empty(), "Dataset::gather: empty index list");
   const std::int64_t c = images_.shape()[1], h = images_.shape()[2],
                      w = images_.shape()[3];
   const std::int64_t img = c * h * w;
-  Batch b;
-  b.inputs = Tensor({static_cast<std::int64_t>(indices.size()), c, h, w});
-  b.labels.reserve(indices.size());
-  float* dst = b.inputs.data();
+  out.inputs.resize({static_cast<std::int64_t>(indices.size()), c, h, w});
+  out.labels.clear();
+  out.labels.reserve(indices.size());
+  float* dst = out.inputs.data();
   for (std::size_t k = 0; k < indices.size(); ++k) {
     const std::int32_t i = indices[k];
     ADAFL_CHECK_MSG(i >= 0 && i < size(), "Dataset::gather: index " << i
@@ -38,9 +45,8 @@ Batch Dataset::gather(std::span<const std::int32_t> indices) const {
                                                                     << size());
     const float* src = images_.data() + static_cast<std::int64_t>(i) * img;
     std::copy(src, src + img, dst + static_cast<std::int64_t>(k) * img);
-    b.labels.push_back(labels_[static_cast<std::size_t>(i)]);
+    out.labels.push_back(labels_[static_cast<std::size_t>(i)]);
   }
-  return b;
 }
 
 Batch Dataset::all() const {
@@ -64,6 +70,12 @@ BatchLoader::BatchLoader(const Dataset* dataset,
 }
 
 Batch BatchLoader::next() {
+  Batch b;
+  next_into(b);
+  return b;
+}
+
+void BatchLoader::next_into(Batch& out) {
   const std::size_t n = indices_.size();
   if (cursor_ >= n) {
     cursor_ = 0;
@@ -71,9 +83,8 @@ Batch BatchLoader::next() {
   }
   const std::size_t take =
       std::min(static_cast<std::size_t>(batch_size_), n - cursor_);
-  Batch b = dataset_->gather({indices_.data() + cursor_, take});
+  dataset_->gather_into({indices_.data() + cursor_, take}, out);
   cursor_ += take;
-  return b;
 }
 
 std::int64_t BatchLoader::peek_samples(int steps) const {

@@ -28,6 +28,11 @@ class Dataset {
   /// Gathers the examples at `indices` into a contiguous batch.
   Batch gather(std::span<const std::int32_t> indices) const;
 
+  /// gather into a caller-owned batch: `out.inputs` is resized (reusing its
+  /// capacity) and `out.labels` is refilled, so steady-state calls with a
+  /// stable batch size allocate nothing.
+  void gather_into(std::span<const std::int32_t> indices, Batch& out) const;
+
   /// The whole dataset as one batch (for evaluation).
   Batch all() const;
 
@@ -46,6 +51,9 @@ class BatchLoader {
 
   /// Next mini-batch; wraps to a fresh shuffled epoch at the end.
   Batch next();
+
+  /// next() into a caller-owned batch (Dataset::gather_into semantics).
+  void next_into(Batch& out);
 
   /// Total number of examples the next `steps` calls to next() will yield.
   /// Pure function of the cursor position (batch boundaries don't depend on

@@ -17,7 +17,14 @@ FlClient::FlClient(int id, const nn::ModelFactory& factory,
 }
 
 FlClient::LocalResult FlClient::train_from(std::span<const float> global) {
-  return train_impl(global, {}, nullptr);
+  LocalResult r;
+  train_impl(global, {}, nullptr, r);
+  return r;
+}
+
+void FlClient::train_from_into(std::span<const float> global,
+                               LocalResult& out) {
+  train_impl(global, {}, nullptr, out);
 }
 
 FlClient::LocalResult FlClient::train_scaffold(
@@ -27,12 +34,14 @@ FlClient::LocalResult FlClient::train_scaffold(
   ADAFL_CHECK_MSG(
       static_cast<std::int64_t>(c_global.size()) == model_.param_count(),
       "train_scaffold: control variate length mismatch");
-  return train_impl(global, c_global, delta_c);
+  LocalResult r;
+  train_impl(global, c_global, delta_c, r);
+  return r;
 }
 
-FlClient::LocalResult FlClient::train_impl(std::span<const float> global,
-                                           std::span<const float> c_global,
-                                           std::vector<float>* delta_c) {
+void FlClient::train_impl(std::span<const float> global,
+                          std::span<const float> c_global,
+                          std::vector<float>* delta_c, LocalResult& out) {
   const std::int64_t d = model_.param_count();
   ADAFL_CHECK_MSG(static_cast<std::int64_t>(global.size()) == d,
                   "FlClient: global model length " << global.size() << " vs "
@@ -50,10 +59,10 @@ FlClient::LocalResult FlClient::train_impl(std::span<const float> global,
   std::int64_t samples_seen = 0;
   const auto params = model_.params();
   for (int step = 0; step < cfg_.local_steps; ++step) {
-    nn::Batch batch = loader_.next();
-    samples_seen += batch.size();
+    loader_.next_into(batch_);
+    samples_seen += batch_.size();
     model_.zero_grad();
-    loss_sum += model_.compute_gradients(batch);
+    loss_sum += model_.compute_gradients(batch_);
     std::size_t off = 0;
     for (const auto& p : params) {
       auto g = p.grad->flat();
@@ -73,26 +82,24 @@ FlClient::LocalResult FlClient::train_impl(std::span<const float> global,
     opt_.step(params);
   }
 
-  LocalResult r;
-  r.mean_loss = static_cast<float>(loss_sum / cfg_.local_steps);
-  r.num_examples = num_examples();
-  r.compute_seconds = device_.seconds_for(samples_seen);
-  const std::vector<float> local = model_.get_flat();
-  r.delta.resize(static_cast<std::size_t>(d));
-  for (std::size_t i = 0; i < r.delta.size(); ++i)
-    r.delta[i] = global[i] - local[i];
+  out.mean_loss = static_cast<float>(loss_sum / cfg_.local_steps);
+  out.num_examples = num_examples();
+  out.compute_seconds = device_.seconds_for(samples_seen);
+  model_.get_flat_into(local_);
+  out.delta.resize(static_cast<std::size_t>(d));
+  for (std::size_t i = 0; i < out.delta.size(); ++i)
+    out.delta[i] = global[i] - local_[i];
 
   if (scaffold) {
     // c_i^+ = c_i - c + (w_g - w_local) / (K * lr)  (SCAFFOLD option II)
     const float inv = 1.0f / (static_cast<float>(cfg_.local_steps) * cfg_.lr);
     delta_c->assign(static_cast<std::size_t>(d), 0.0f);
     for (std::size_t i = 0; i < c_local_.size(); ++i) {
-      const float c_new = c_local_[i] - c_global[i] + r.delta[i] * inv;
+      const float c_new = c_local_[i] - c_global[i] + out.delta[i] * inv;
       (*delta_c)[i] = c_new - c_local_[i];
       c_local_[i] = c_new;
     }
   }
-  return r;
 }
 
 std::vector<FlClient> make_clients(const nn::ModelFactory& factory,

@@ -39,6 +39,11 @@ class FlClient {
   /// proximal term if cfg.prox_mu > 0), and returns the weight delta.
   LocalResult train_from(std::span<const float> global);
 
+  /// train_from writing into a caller-owned result. `out.delta` is resized
+  /// in place; together with the client's internal batch/weight buffers this
+  /// makes steady-state rounds allocation-free on the tensor hot path.
+  void train_from_into(std::span<const float> global, LocalResult& out);
+
   /// SCAFFOLD local step: corrects each gradient with (c - c_i), then
   /// updates the client control variate. `delta_c` receives c_i^+ - c_i
   /// (to be averaged into the server's c).
@@ -81,9 +86,9 @@ class FlClient {
   const ClientTrainConfig& config() const { return cfg_; }
 
  private:
-  LocalResult train_impl(std::span<const float> global,
-                         std::span<const float> c_global,
-                         std::vector<float>* delta_c);
+  void train_impl(std::span<const float> global,
+                  std::span<const float> c_global,
+                  std::vector<float>* delta_c, LocalResult& out);
 
   int id_;
   ClientTrainConfig cfg_;
@@ -92,6 +97,8 @@ class FlClient {
   data::BatchLoader loader_;
   nn::Sgd opt_;
   std::vector<float> c_local_;  ///< SCAFFOLD control variate (lazy-init)
+  nn::Batch batch_;             ///< reused mini-batch storage
+  std::vector<float> local_;    ///< reused post-training weight snapshot
 };
 
 /// Builds one FlClient per partition entry. `devices` may be empty (all

@@ -1,0 +1,105 @@
+#include "metrics/profile.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+
+#include "tensor/tensor.h"
+
+namespace adafl::metrics {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::mutex g_mutex;
+std::vector<PhaseProfiler::Entry>& entries_locked() {
+  static std::vector<PhaseProfiler::Entry> entries;
+  return entries;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+PhaseProfiler& PhaseProfiler::instance() {
+  static PhaseProfiler p;
+  return p;
+}
+
+void PhaseProfiler::set_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool PhaseProfiler::enabled() const {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void PhaseProfiler::record(const char* name, double seconds,
+                           std::uint64_t tensor_allocs) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& entries = entries_locked();
+  for (auto& e : entries) {
+    if (e.name == name) {
+      e.seconds += seconds;
+      e.tensor_allocs += tensor_allocs;
+      ++e.calls;
+      return;
+    }
+  }
+  Entry e;
+  e.name = name;
+  e.seconds = seconds;
+  e.tensor_allocs = tensor_allocs;
+  e.calls = 1;
+  entries.push_back(std::move(e));
+}
+
+std::vector<PhaseProfiler::Entry> PhaseProfiler::entries() const {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return entries_locked();
+}
+
+void PhaseProfiler::reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  entries_locked().clear();
+}
+
+PhaseProfiler::Scope::Scope(const char* name)
+    : name_(name), armed_(PhaseProfiler::instance().enabled()) {
+  if (!armed_) return;
+  start_allocs_ = tensor::tensor_allocations();
+  start_seconds_ = now_seconds();
+}
+
+PhaseProfiler::Scope::~Scope() {
+  if (!armed_) return;
+  const double dt = now_seconds() - start_seconds_;
+  const std::uint64_t da = tensor::tensor_allocations() - start_allocs_;
+  PhaseProfiler::instance().record(name_, dt, da);
+}
+
+Table profile_table(const std::vector<PhaseProfiler::Entry>& entries) {
+  Table t({"phase", "calls", "seconds", "tensor-allocs"});
+  for (const auto& e : entries)
+    t.add_row({e.name, std::to_string(e.calls), fmt_f(e.seconds, 4),
+               std::to_string(e.tensor_allocs)});
+  return t;
+}
+
+void print_profile(std::ostream& os) {
+  auto& p = PhaseProfiler::instance();
+  if (!p.enabled()) return;
+  const auto entries = p.entries();
+  if (entries.empty()) return;
+  os << "\n--- profile (wall seconds + tensor heap allocations) ---\n";
+  profile_table(entries).print(os);
+}
+
+}  // namespace adafl::metrics

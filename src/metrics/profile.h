@@ -1,0 +1,77 @@
+// Opt-in phase profiler for the FL hot path (`--profile` on flsim/flserver).
+//
+// Phases are named code regions (client training, compression, aggregation,
+// evaluation, ...). Each Scope records wall time plus the number of tensor
+// heap allocations (tensor::tensor_allocations()) performed inside it, so a
+// profile shows both where time goes and whether the arena/workspace layer
+// is actually keeping the steady state allocation-free.
+//
+// Disabled (the default), a Scope is two relaxed atomic loads and no locks;
+// the profiler adds nothing to an unprofiled run's output or timing ledger.
+// Recording takes a mutex — profile phases are coarse (per round phase, not
+// per kernel), so contention is irrelevant. Phase order in the report is
+// first-recorded order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/table.h"
+
+namespace adafl::metrics {
+
+class PhaseProfiler {
+ public:
+  /// Per-phase accumulated totals.
+  struct Entry {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t tensor_allocs = 0;
+    std::uint64_t calls = 0;
+  };
+
+  /// The process-wide profiler instance.
+  static PhaseProfiler& instance();
+
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Adds one measurement to `name`'s totals. No-op while disabled.
+  void record(const char* name, double seconds, std::uint64_t tensor_allocs);
+
+  /// Snapshot of all phases, in first-recorded order.
+  std::vector<Entry> entries() const;
+
+  /// Drops all recorded phases (keeps the enabled flag).
+  void reset();
+
+  /// RAII measurement of one phase execution. `name` must outlive the scope
+  /// (string literals only).
+  class Scope {
+   public:
+    explicit Scope(const char* name);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    const char* name_;
+    bool armed_;
+    double start_seconds_ = 0.0;
+    std::uint64_t start_allocs_ = 0;
+  };
+
+ private:
+  PhaseProfiler() = default;
+};
+
+/// Renders the profile as a phase/calls/seconds/allocations table.
+Table profile_table(const std::vector<PhaseProfiler::Entry>& entries);
+
+/// Convenience: prints the current profile to `os` if the profiler is
+/// enabled and has recorded anything; otherwise does nothing.
+void print_profile(std::ostream& os);
+
+}  // namespace adafl::metrics

@@ -8,6 +8,7 @@
 #include "compress/wire.h"
 #include "core/server_checkpoint.h"
 #include "core/utility.h"
+#include "metrics/profile.h"
 #include "net/transport/crc32.h"
 #include "tensor/check.h"
 #include "tensor/tensor.h"
@@ -154,27 +155,50 @@ double parse_f64(std::span<const std::uint8_t> payload) {
 }
 
 std::vector<std::uint8_t> encode_update(const UpdatePayload& u) {
-  std::vector<std::uint8_t> out;
-  bytes::put_u64(out, static_cast<std::uint64_t>(u.num_examples));
-  bytes::put_f32(out, u.mean_loss);
-  bytes::put_f64(out, u.raw_delta_norm);
-  const auto wire = compress::serialize(u.msg);
-  bytes::put_u32(out, static_cast<std::uint32_t>(wire.size()));
-  out.insert(out.end(), wire.begin(), wire.end());
+  std::vector<std::uint8_t> out, wire_scratch;
+  encode_update_into(u, out, wire_scratch);
   return out;
 }
 
-UpdatePayload parse_update(std::span<const std::uint8_t> payload) {
+void encode_update_into(const UpdatePayload& u, std::vector<std::uint8_t>& out,
+                        std::vector<std::uint8_t>& wire_scratch) {
+  out.clear();
+  bytes::put_u64(out, static_cast<std::uint64_t>(u.num_examples));
+  bytes::put_f32(out, u.mean_loss);
+  bytes::put_f64(out, u.raw_delta_norm);
+  compress::serialize_into(u.msg, wire_scratch);
+  bytes::put_u32(out, static_cast<std::uint32_t>(wire_scratch.size()));
+  out.insert(out.end(), wire_scratch.begin(), wire_scratch.end());
+}
+
+namespace {
+
+/// Shared parse body: UpdatePayload and core::AdaFlDelivery carry the same
+/// fields, and the server decodes straight into its per-client delivery slot.
+template <typename UpdateLike>
+void parse_update_fields(std::span<const std::uint8_t> payload,
+                         UpdateLike& u) {
   bytes::Reader r(payload);
-  UpdatePayload u;
   u.num_examples = static_cast<std::int64_t>(r.u64());
   ADAFL_CHECK_MSG(u.num_examples > 0, "update: non-positive example count");
   u.mean_loss = r.f32();
   u.raw_delta_norm = r.f64();
   const std::uint32_t len = r.u32();
   ADAFL_CHECK_MSG(r.remaining() == len, "update: payload size mismatch");
-  u.msg = compress::deserialize(r.raw(len));
+  compress::deserialize_into(r.raw(len), u.msg);
+}
+
+}  // namespace
+
+UpdatePayload parse_update(std::span<const std::uint8_t> payload) {
+  UpdatePayload u;
+  parse_update_into(payload, u);
   return u;
+}
+
+void parse_update_into(std::span<const std::uint8_t> payload,
+                       UpdatePayload& u) {
+  parse_update_fields(payload, u);
 }
 
 // --- ServerSession. ------------------------------------------------------
@@ -329,7 +353,7 @@ void ServerSession::nudge(RoundCtx& rc) {
   // update bytes (it never compresses twice).
   for (int id : rc.awaiting) {
     if (!conns_[static_cast<std::size_t>(id)] ||
-        rc.deliveries.count(id) != 0)
+        delivered_[static_cast<std::size_t>(id)])
       continue;
     const Frame sf =
         make_frame(MsgType::kSelect, static_cast<std::uint32_t>(rc.round),
@@ -357,26 +381,27 @@ void ServerSession::handle_frame(RoundCtx& rc, int id, const Frame& f) {
     case MsgType::kUpdate: {
       if (rc.phase != Phase::kUpdate ||
           f.round != static_cast<std::uint32_t>(rc.round) ||
-          rc.awaiting.count(id) == 0 || rc.deliveries.count(id) != 0)
+          rc.awaiting.count(id) == 0 ||
+          delivered_[static_cast<std::size_t>(id)])
         return;
-      UpdatePayload u = parse_update(f.payload);
+      // Decode straight into the client's reused delivery slot. The slot is
+      // only marked delivered after validation: a throw below leaves it
+      // unmarked (and droppable), so a partial decode cannot be aggregated.
+      core::AdaFlDelivery& dl = delivery_slots_[static_cast<std::size_t>(id)];
+      parse_update_fields(f.payload, dl);
       // Reject protocol-valid-but-wrong updates here, inside the service
       // loop's CheckError net: the offending peer is dropped and the round
       // degrades. deserialize() already bounds top-k indices by dense_size,
       // so past these two checks apply_round cannot throw on this delivery.
-      ADAFL_CHECK_MSG(u.msg.kind == compress::CodecKind::kTopK,
+      ADAFL_CHECK_MSG(dl.msg.kind == compress::CodecKind::kTopK,
                       "session: UPDATE from client "
                           << id << " carries a non-top-k message");
       ADAFL_CHECK_MSG(
-          u.msg.dense_size ==
+          dl.msg.dense_size ==
               static_cast<std::int64_t>(core_.global().size()),
           "session: UPDATE from client " << id << " dimension mismatch");
-      core::AdaFlDelivery dl;
-      dl.msg = std::move(u.msg);
-      dl.num_examples = u.num_examples;
-      dl.mean_loss = u.mean_loss;
-      dl.raw_delta_norm = u.raw_delta_norm;
-      rc.deliveries.emplace(id, std::move(dl));
+      delivered_[static_cast<std::size_t>(id)] = 1;
+      ++delivered_count_;
       rc.ledger->record_upload(id, static_cast<std::int64_t>(f.wire_size()),
                                true);
       return;
@@ -438,7 +463,7 @@ bool ServerSession::service(RoundCtx& rc) {
         !rc.scored[static_cast<std::size_t>(id)]) {
       send_model(rc, id);
     } else if (rc.phase == Phase::kUpdate && rc.awaiting.count(id) != 0 &&
-               rc.deliveries.count(id) == 0) {
+               !delivered_[static_cast<std::size_t>(id)]) {
       const Frame sf = make_frame(MsgType::kSelect,
                                   static_cast<std::uint32_t>(rc.round),
                                   kServerId, encode_f64(rc.ratio_of.at(id)));
@@ -523,6 +548,9 @@ fl::TrainLog ServerSession::run() {
     rc.scored.assign(static_cast<std::size_t>(n), false);
     rc.scores.assign(static_cast<std::size_t>(n), 0.0);
     rc.ledger = &log.ledger;
+    delivery_slots_.resize(static_cast<std::size_t>(n));
+    delivered_.assign(static_cast<std::size_t>(n), 0);
+    delivered_count_ = 0;
 
     // --- Broadcast the round's model to everyone attached.
     for (int id = 0; id < n; ++id)
@@ -580,7 +608,7 @@ fl::TrainLog ServerSession::run() {
     // --- Update phase: aggregate what arrives by the deadline.
     deadline = Clock::now() + cfg_.round_deadline;
     next_nudge = Clock::now() + cfg_.retransmit_nudge;
-    while (rc.deliveries.size() < rc.awaiting.size() &&
+    while (delivered_count_ < rc.awaiting.size() &&
            Clock::now() < deadline) {
       if (stop_.load(std::memory_order_acquire)) break;
       const bool progress = service(rc);
@@ -595,15 +623,26 @@ fl::TrainLog ServerSession::run() {
       return log;
     }
 
-    const core::AdaFlRoundOutcome out = core_.apply_round(plan, rc.deliveries);
+    core::AdaFlRoundOutcome out;
+    {
+      metrics::PhaseProfiler::Scope prof("aggregate");
+      out = core_.apply_round(
+          plan, [this](int id) -> const core::AdaFlDelivery* {
+            return delivered_[static_cast<std::size_t>(id)]
+                       ? &delivery_slots_[static_cast<std::size_t>(id)]
+                       : nullptr;
+          });
+    }
 
     if (round % cfg_.eval_every == 0 || round == cfg_.rounds) {
+      metrics::PhaseProfiler::Scope prof("eval");
       fl::RoundRecord rec;
       rec.round = round;
       rec.time = std::chrono::duration<double>(Clock::now() - t0).count();
       if (test_ != nullptr) {
         eval_model_.set_flat(core_.global());
-        rec.test_accuracy = eval_model_.accuracy(test_->all());
+        if (eval_batch_.size() == 0) eval_batch_ = test_->all();
+        rec.test_accuracy = eval_model_.accuracy(eval_batch_);
       }
       rec.mean_train_loss =
           out.delivered > 0 ? out.loss_sum / static_cast<double>(out.delivered)
@@ -666,6 +705,8 @@ ClientRunStats ClientSession::run() {
   int trained_round = 0;
   int uploaded_round = 0;
   int skipped_round = 0;
+  UpdatePayload update;                     ///< reused compression output
+  std::vector<std::uint8_t> wire_scratch;   ///< reused wire staging buffer
   std::vector<std::uint8_t> cached_update;  ///< UPDATE payload, uploaded_round
 
   auto last_rx = Clock::now();
@@ -744,7 +785,8 @@ ClientRunStats ClientSession::run() {
               "session: MODEL dimension mismatch");
           const int round = static_cast<int>(f->round);
           if (trained_round != round) {  // a re-sent MODEL never retrains
-            res = client->train_from(m.global);
+            metrics::PhaseProfiler::Scope prof("client-train");
+            client->train_from_into(m.global, res);
             trained_round = round;
             ++st.rounds_trained;
           }
@@ -759,13 +801,13 @@ ClientRunStats ClientSession::run() {
           const int round = static_cast<int>(f->round);
           if (round != trained_round || !comp) break;  // stale selection
           if (uploaded_round != round) {
+            metrics::PhaseProfiler::Scope prof("compress");
             const double ratio = parse_f64(f->payload);
-            UpdatePayload u;
-            u.msg = comp->compress(res.delta, ratio);
-            u.num_examples = res.num_examples;
-            u.mean_loss = res.mean_loss;
-            u.raw_delta_norm = tensor::l2_norm(res.delta);
-            cached_update = encode_update(u);
+            comp->compress_into(res.delta, ratio, update.msg);
+            update.num_examples = res.num_examples;
+            update.mean_loss = res.mean_loss;
+            update.raw_delta_norm = tensor::l2_norm(res.delta);
+            encode_update_into(update, cached_update, wire_scratch);
             uploaded_round = round;
           }
           // A duplicate SELECT (reconnect race) re-sends the cached bytes —

@@ -85,7 +85,14 @@ struct UpdatePayload {
 };
 
 std::vector<std::uint8_t> encode_update(const UpdatePayload& u);
+/// encode_update into a caller-owned buffer, staging the wire encoding in
+/// `wire_scratch`; both reuse their capacity across rounds.
+void encode_update_into(const UpdatePayload& u, std::vector<std::uint8_t>& out,
+                        std::vector<std::uint8_t>& wire_scratch);
 UpdatePayload parse_update(std::span<const std::uint8_t> payload);
+/// parse_update into a reused payload (compress::deserialize_into
+/// semantics: every field reset, vector capacity kept).
+void parse_update_into(std::span<const std::uint8_t> payload, UpdatePayload& u);
 
 // --- Server side. --------------------------------------------------------
 
@@ -169,7 +176,6 @@ class ServerSession {
     std::vector<double> scores;
     std::map<int, double> ratio_of;  ///< selected id -> compression ratio
     std::set<int> awaiting;          ///< selected ids still owing an UPDATE
-    std::map<int, core::AdaFlDelivery> deliveries;
     metrics::CommLedger* ledger = nullptr;
   };
 
@@ -198,6 +204,8 @@ class ServerSession {
   nn::ModelFactory factory_;
   const data::Dataset* test_;
   nn::Model eval_model_;
+  /// Full test set, materialised on first eval and reused every round.
+  nn::Batch eval_batch_;
   core::AdaFlServerCore core_;
   std::vector<std::uint8_t> welcome_payload_;
 
@@ -205,6 +213,13 @@ class ServerSession {
   std::vector<std::unique_ptr<Transport>> pending_;  ///< awaiting HELLO
   std::vector<std::unique_ptr<Transport>> conns_;    ///< by client id
   std::vector<bool> ever_joined_;
+
+  /// Per-client delivery slots reused across rounds (frame decoding lands
+  /// straight in the slot, so steady-state rounds reuse the same storage);
+  /// delivered_ marks which slots hold the current round's update.
+  std::vector<core::AdaFlDelivery> delivery_slots_;
+  std::vector<char> delivered_;
+  std::size_t delivered_count_ = 0;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> stop_save_{false};

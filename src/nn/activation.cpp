@@ -1,46 +1,41 @@
 #include "nn/activation.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "tensor/ops.h"
 
 namespace adafl::nn {
 
-Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
-  mask_ = Tensor(x.shape());
-  Tensor y(x.shape());
-  const auto in = x.flat();
-  auto m = mask_.flat();
-  auto out = y.flat();
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const bool pos = in[i] > 0.0f;
-    m[i] = pos ? 1.0f : 0.0f;
-    out[i] = pos ? in[i] : 0.0f;
-  }
+const Tensor& ReLU::forward(const Tensor& x, bool /*training*/,
+                            Workspace& ws) {
+  mask_.resize(x.shape());
+  Tensor& y = ws.get(x.shape());
+  tensor::relu_into(x, y, mask_);
   return y;
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
+const Tensor& ReLU::backward(const Tensor& grad_out, Workspace& ws) {
   ADAFL_CHECK_MSG(!mask_.empty(), "ReLU::backward before forward");
   ADAFL_CHECK(grad_out.shape() == mask_.shape());
-  Tensor dx(grad_out.shape());
-  const auto g = grad_out.flat();
-  const auto m = mask_.flat();
-  auto d = dx.flat();
-  for (std::size_t i = 0; i < g.size(); ++i) d[i] = g[i] * m[i];
+  Tensor& dx = ws.get(grad_out.shape());
+  tensor::mul_into(grad_out, mask_, dx);
   return dx;
 }
 
-Tensor Tanh::forward(const Tensor& x, bool /*training*/) {
-  output_ = Tensor(x.shape());
+const Tensor& Tanh::forward(const Tensor& x, bool /*training*/,
+                            Workspace& /*ws*/) {
+  output_.resize(x.shape());
   const auto in = x.flat();
   auto out = output_.flat();
   for (std::size_t i = 0; i < in.size(); ++i) out[i] = std::tanh(in[i]);
   return output_;
 }
 
-Tensor Tanh::backward(const Tensor& grad_out) {
+const Tensor& Tanh::backward(const Tensor& grad_out, Workspace& ws) {
   ADAFL_CHECK_MSG(!output_.empty(), "Tanh::backward before forward");
   ADAFL_CHECK(grad_out.shape() == output_.shape());
-  Tensor dx(grad_out.shape());
+  Tensor& dx = ws.get(grad_out.shape());
   const auto g = grad_out.flat();
   const auto y = output_.flat();
   auto d = dx.flat();
@@ -49,30 +44,37 @@ Tensor Tanh::backward(const Tensor& grad_out) {
   return dx;
 }
 
-Tensor Flatten::forward(const Tensor& x, bool /*training*/) {
+const Tensor& Flatten::forward(const Tensor& x, bool /*training*/,
+                               Workspace& ws) {
   ADAFL_CHECK_MSG(x.shape().rank() >= 2,
                   "Flatten: input " << x.shape().to_string());
   in_shape_ = x.shape();
   const std::int64_t n = x.shape()[0];
-  return x.reshaped({n, x.size() / n});
+  Tensor& y = ws.get({n, x.size() / n});
+  std::copy(x.data(), x.data() + x.size(), y.data());
+  return y;
 }
 
-Tensor Flatten::backward(const Tensor& grad_out) {
+const Tensor& Flatten::backward(const Tensor& grad_out, Workspace& ws) {
   ADAFL_CHECK_MSG(in_shape_.rank() >= 2, "Flatten::backward before forward");
-  return grad_out.reshaped(in_shape_);
+  Tensor& dx = ws.get(in_shape_);
+  ADAFL_CHECK(grad_out.size() == dx.size());
+  std::copy(grad_out.data(), grad_out.data() + grad_out.size(), dx.data());
+  return dx;
 }
 
 Dropout::Dropout(double p, Rng rng) : p_(p), rng_(rng) {
   ADAFL_CHECK_MSG(p >= 0.0 && p < 1.0, "Dropout: p must be in [0,1)");
 }
 
-Tensor Dropout::forward(const Tensor& x, bool training) {
+const Tensor& Dropout::forward(const Tensor& x, bool training, Workspace& ws) {
   if (!training || p_ == 0.0) {
-    mask_ = Tensor();
+    active_ = false;
     return x;
   }
-  mask_ = Tensor(x.shape());
-  Tensor y(x.shape());
+  active_ = true;
+  mask_.resize(x.shape());
+  Tensor& y = ws.get(x.shape());
   const float keep = 1.0f - static_cast<float>(p_);
   const auto in = x.flat();
   auto m = mask_.flat();
@@ -85,14 +87,11 @@ Tensor Dropout::forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor Dropout::backward(const Tensor& grad_out) {
-  if (mask_.empty()) return grad_out;  // eval-mode forward
+const Tensor& Dropout::backward(const Tensor& grad_out, Workspace& ws) {
+  if (!active_) return grad_out;  // eval-mode forward
   ADAFL_CHECK(grad_out.shape() == mask_.shape());
-  Tensor dx(grad_out.shape());
-  const auto g = grad_out.flat();
-  const auto m = mask_.flat();
-  auto d = dx.flat();
-  for (std::size_t i = 0; i < g.size(); ++i) d[i] = g[i] * m[i];
+  Tensor& dx = ws.get(grad_out.shape());
+  tensor::mul_into(grad_out, mask_, dx);
   return dx;
 }
 

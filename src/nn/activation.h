@@ -8,8 +8,11 @@ namespace adafl::nn {
 /// Rectified linear unit, elementwise.
 class ReLU final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  const Tensor& forward(const Tensor& x, bool training,
+                        Workspace& ws) override;
+  const Tensor& backward(const Tensor& grad_out, Workspace& ws) override;
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -19,8 +22,11 @@ class ReLU final : public Layer {
 /// Hyperbolic tangent, elementwise.
 class Tanh final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  const Tensor& forward(const Tensor& x, bool training,
+                        Workspace& ws) override;
+  const Tensor& backward(const Tensor& grad_out, Workspace& ws) override;
   std::string name() const override { return "Tanh"; }
 
  private:
@@ -30,8 +36,11 @@ class Tanh final : public Layer {
 /// Reshapes [N, ...] to [N, features]. Inverse applied on backward.
 class Flatten final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  const Tensor& forward(const Tensor& x, bool training,
+                        Workspace& ws) override;
+  const Tensor& backward(const Tensor& grad_out, Workspace& ws) override;
   std::string name() const override { return "Flatten"; }
 
  private:
@@ -44,14 +53,18 @@ class Dropout final : public Layer {
  public:
   Dropout(double p, Rng rng);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  const Tensor& forward(const Tensor& x, bool training,
+                        Workspace& ws) override;
+  const Tensor& backward(const Tensor& grad_out, Workspace& ws) override;
   std::string name() const override;
 
  private:
   double p_;
   Rng rng_;
   Tensor mask_;
+  bool active_ = false;  ///< last forward was a training pass
 };
 
 }  // namespace adafl::nn

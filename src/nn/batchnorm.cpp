@@ -20,14 +20,15 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
   ADAFL_CHECK_MSG(eps > 0.0f, "BatchNorm2d: eps must be positive");
 }
 
-Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
+const Tensor& BatchNorm2d::forward(const Tensor& x, bool training,
+                                   Workspace& ws) {
   ADAFL_CHECK_MSG(x.shape().rank() == 4 && x.shape()[1] == channels_,
                   "BatchNorm2d: input " << x.shape().to_string());
   const std::int64_t n = x.shape()[0], h = x.shape()[2], w = x.shape()[3];
   const std::int64_t plane = h * w;
   const std::int64_t per_channel = n * plane;
-  Tensor y(x.shape());
-  x_hat_ = Tensor(x.shape());
+  Tensor& y = ws.get(x.shape());
+  x_hat_.resize(x.shape());
   inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
   trained_forward_ = training;
 
@@ -69,14 +70,14 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
   return y;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+const Tensor& BatchNorm2d::backward(const Tensor& grad_out, Workspace& ws) {
   ADAFL_CHECK_MSG(!x_hat_.empty(), "BatchNorm2d::backward before forward");
   ADAFL_CHECK(grad_out.shape() == x_hat_.shape());
   const std::int64_t n = grad_out.shape()[0], h = grad_out.shape()[2],
                      w = grad_out.shape()[3];
   const std::int64_t plane = h * w;
   const double m = static_cast<double>(n * plane);
-  Tensor dx(grad_out.shape());
+  Tensor& dx = ws.get(grad_out.shape());
 
   for (std::int64_t c = 0; c < channels_; ++c) {
     double sum_dy = 0.0, sum_dy_xhat = 0.0;

@@ -18,8 +18,11 @@ class BatchNorm2d final : public Layer {
   explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
                        float eps = 1e-5f);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  const Tensor& forward(const Tensor& x, bool training,
+                        Workspace& ws) override;
+  const Tensor& backward(const Tensor& grad_out, Workspace& ws) override;
   void collect_params(std::vector<ParamRef>& out) override;
   std::string name() const override;
 

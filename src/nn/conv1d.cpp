@@ -32,14 +32,15 @@ Conv1d::Conv1d(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
   kaiming_uniform(w_, in_c * kernel, rng);
 }
 
-Tensor Conv1d::forward(const Tensor& x, bool /*training*/) {
+const Tensor& Conv1d::forward(const Tensor& x, bool /*training*/,
+                              Workspace& ws) {
   require_signal(x, in_c_, "Conv1d::forward");
   input_ = x;
   const std::int64_t n = x.shape()[0], len = x.shape()[3];
   const std::int64_t out_len = (len + 2 * pad_ - kernel_) / stride_ + 1;
   ADAFL_CHECK_MSG(len + 2 * pad_ >= kernel_ && out_len > 0,
                   "Conv1d: kernel longer than padded input");
-  Tensor y({n, out_c_, 1, out_len});
+  Tensor& y = ws.get({n, out_c_, 1, out_len});
   for (std::int64_t i = 0; i < n; ++i) {
     const float* xi = x.data() + i * in_c_ * len;
     float* yi = y.data() + i * out_c_ * out_len;
@@ -62,12 +63,13 @@ Tensor Conv1d::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
-Tensor Conv1d::backward(const Tensor& grad_out) {
+const Tensor& Conv1d::backward(const Tensor& grad_out, Workspace& ws) {
   ADAFL_CHECK_MSG(!input_.empty(), "Conv1d::backward before forward");
   const std::int64_t n = input_.shape()[0], len = input_.shape()[3];
   const std::int64_t out_len = (len + 2 * pad_ - kernel_) / stride_ + 1;
   ADAFL_CHECK(grad_out.shape() == Shape({n, out_c_, 1, out_len}));
-  Tensor dx(input_.shape());
+  // dx accumulates via scatter, so it relies on ws.get()'s zero-fill.
+  Tensor& dx = ws.get(input_.shape());
   for (std::int64_t i = 0; i < n; ++i) {
     const float* xi = input_.data() + i * in_c_ * len;
     const float* dyi = grad_out.data() + i * out_c_ * out_len;
@@ -109,13 +111,14 @@ MaxPool1d::MaxPool1d(std::int64_t window, std::int64_t stride)
   ADAFL_CHECK_MSG(window_ > 0 && stride_ > 0, "MaxPool1d: invalid geometry");
 }
 
-Tensor MaxPool1d::forward(const Tensor& x, bool /*training*/) {
+const Tensor& MaxPool1d::forward(const Tensor& x, bool /*training*/,
+                                 Workspace& ws) {
   require_signal(x, -1, "MaxPool1d::forward");
   in_shape_ = x.shape();
   const std::int64_t n = x.shape()[0], c = x.shape()[1], len = x.shape()[3];
   ADAFL_CHECK_MSG(len >= window_, "MaxPool1d: window longer than signal");
   const std::int64_t out_len = (len - window_) / stride_ + 1;
-  Tensor y({n, c, 1, out_len});
+  Tensor& y = ws.get({n, c, 1, out_len});
   argmax_.assign(static_cast<std::size_t>(n * c * out_len), 0);
   std::int64_t oidx = 0;
   for (std::int64_t i = 0; i < n; ++i)
@@ -134,10 +137,10 @@ Tensor MaxPool1d::forward(const Tensor& x, bool /*training*/) {
   return y;
 }
 
-Tensor MaxPool1d::backward(const Tensor& grad_out) {
+const Tensor& MaxPool1d::backward(const Tensor& grad_out, Workspace& ws) {
   ADAFL_CHECK_MSG(in_shape_.rank() == 4, "MaxPool1d::backward before forward");
   ADAFL_CHECK(grad_out.size() == static_cast<std::int64_t>(argmax_.size()));
-  Tensor dx(in_shape_);
+  Tensor& dx = ws.get(in_shape_);
   for (std::size_t k = 0; k < argmax_.size(); ++k)
     dx[argmax_[k]] += grad_out[static_cast<std::int64_t>(k)];
   return dx;

@@ -13,8 +13,11 @@ class Conv1d final : public Layer {
   Conv1d(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
          Rng& rng, std::int64_t stride = 1, std::int64_t pad = 0);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  const Tensor& forward(const Tensor& x, bool training,
+                        Workspace& ws) override;
+  const Tensor& backward(const Tensor& grad_out, Workspace& ws) override;
   void collect_params(std::vector<ParamRef>& out) override;
   std::string name() const override;
 
@@ -31,8 +34,11 @@ class MaxPool1d final : public Layer {
  public:
   explicit MaxPool1d(std::int64_t window, std::int64_t stride = 0);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  const Tensor& forward(const Tensor& x, bool training,
+                        Workspace& ws) override;
+  const Tensor& backward(const Tensor& grad_out, Workspace& ws) override;
   std::string name() const override;
 
  private:

@@ -1,5 +1,7 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
+
 #include "core/parallel.h"
 #include "nn/init.h"
 
@@ -23,7 +25,7 @@ Conv2d::Conv2d(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
   kaiming_uniform(w_, in_c * kernel * kernel, rng);
 }
 
-Tensor Conv2d::forward(const Tensor& x, bool training) {
+const Tensor& Conv2d::forward(const Tensor& x, bool training, Workspace& ws) {
   ADAFL_CHECK_MSG(x.shape().rank() == 4 && x.shape()[1] == in_c_,
                   "Conv2d::forward: input " << x.shape().to_string());
   input_ = x;
@@ -32,94 +34,122 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
   ADAFL_CHECK_MSG(oh > 0 && ow > 0, "Conv2d: output would be empty for input "
                                         << x.shape().to_string());
-  Tensor out({n, out_c_, oh, ow});
+  Tensor& out = ws.get({n, out_c_, oh, ow});
   const tensor::Shape cols_shape({in_c_ * kernel_ * kernel_, oh * ow});
+  cols_valid_ = training;
   if (training) {
     // Keep each sample's column matrix for backward() (see header note).
-    if (static_cast<std::int64_t>(cols_cache_.size()) != n ||
-        cols_cache_.front().shape() != cols_shape)
-      cols_cache_.assign(static_cast<std::size_t>(n), Tensor(cols_shape));
-  } else {
-    cols_cache_.clear();
+    if (static_cast<std::int64_t>(cols_cache_.size()) < n)
+      cols_cache_.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+      if (cols_cache_[static_cast<std::size_t>(i)].shape() != cols_shape)
+        cols_cache_[static_cast<std::size_t>(i)].resize(cols_shape);
+  } else if (static_cast<std::size_t>(core::num_threads()) >
+             chunk_cols_.size()) {
+    chunk_cols_.resize(static_cast<std::size_t>(core::num_threads()));
   }
   const std::int64_t img = in_c_ * h * w;
   const std::int64_t oimg = out_c_ * oh * ow;
   // Samples are independent: each writes its own output image (and cache
   // slot), so the batch splits across the pool with no ordering effects.
-  core::parallel_for_blocked(0, n, [&](std::int64_t sb, std::int64_t se) {
-    Tensor scratch;
-    if (!training) scratch = Tensor(cols_shape);
-    for (std::int64_t i = sb; i < se; ++i) {
-      Tensor& cols =
-          training ? cols_cache_[static_cast<std::size_t>(i)] : scratch;
-      tensor::im2col({x.data() + i * img, static_cast<std::size_t>(img)},
-                     geom_, cols);
-      Tensor y = tensor::matmul(w_, cols);  // [out_c, oh*ow]
-      float* dst = out.data() + i * oimg;
-      const float* src = y.data();
-      for (std::int64_t c = 0; c < out_c_; ++c) {
-        const float bias = b_[c];
-        for (std::int64_t p = 0; p < oh * ow; ++p)
-          dst[c * oh * ow + p] = src[c * oh * ow + p] + bias;
-      }
-    }
-  });
+  // Eval passes draw their im2col scratch from the per-chunk table instead
+  // of allocating per block.
+  core::parallel_for_blocked_indexed(
+      0, n, [&](std::int64_t chunk, std::int64_t sb, std::int64_t se) {
+        if (!training &&
+            chunk_cols_[static_cast<std::size_t>(chunk)].shape() != cols_shape)
+          chunk_cols_[static_cast<std::size_t>(chunk)].resize(cols_shape);
+        for (std::int64_t i = sb; i < se; ++i) {
+          Tensor& cols = training
+                             ? cols_cache_[static_cast<std::size_t>(i)]
+                             : chunk_cols_[static_cast<std::size_t>(chunk)];
+          tensor::im2col({x.data() + i * img, static_cast<std::size_t>(img)},
+                         geom_, cols);
+          // out arrives zero-filled from the workspace, so accumulating the
+          // product then adding the bias in place matches the historical
+          // "fresh product + bias" copy bit for bit.
+          float* dst = out.data() + i * oimg;
+          tensor::matmul_into(w_, cols,
+                              {dst, static_cast<std::size_t>(oimg)});
+          for (std::int64_t c = 0; c < out_c_; ++c) {
+            const float bias = b_[c];
+            for (std::int64_t p = 0; p < oh * ow; ++p)
+              dst[c * oh * ow + p] += bias;
+          }
+        }
+      });
   return out;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_out) {
+const Tensor& Conv2d::backward(const Tensor& grad_out, Workspace& ws) {
   ADAFL_CHECK_MSG(!input_.empty(), "Conv2d::backward before forward");
   const std::int64_t n = input_.shape()[0];
   const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
   ADAFL_CHECK(grad_out.shape() ==
               tensor::Shape({n, out_c_, oh, ow}));
-  Tensor dx(input_.shape());
+  Tensor& dx = ws.get(input_.shape());
   const std::int64_t img = geom_.in_c * geom_.in_h * geom_.in_w;
   const std::int64_t oimg = out_c_ * oh * ow;
-  const bool cached = static_cast<std::int64_t>(cols_cache_.size()) == n;
+  const bool cached = cols_valid_;
+  const tensor::Shape cols_shape({in_c_ * kernel_ * kernel_, oh * ow});
+  const tensor::Shape dy_shape({out_c_, oh * ow});
   // Phase 1 (parallel): every sample's input gradient and its *own* weight /
-  // bias gradient contribution — all writes disjoint per sample.
-  std::vector<Tensor> wg(static_cast<std::size_t>(n));
-  std::vector<std::vector<float>> bg(
-      static_cast<std::size_t>(n),
-      std::vector<float>(static_cast<std::size_t>(out_c_)));
-  core::parallel_for_blocked(0, n, [&](std::int64_t sb, std::int64_t se) {
-    Tensor scratch;
-    if (!cached) scratch = Tensor({in_c_ * kernel_ * kernel_, oh * ow});
-    for (std::int64_t i = sb; i < se; ++i) {
-      const Tensor* cols;
-      if (cached) {
-        cols = &cols_cache_[static_cast<std::size_t>(i)];
-      } else {
-        // forward() ran with training == false: rebuild the columns.
-        tensor::im2col(
-            {input_.data() + i * img, static_cast<std::size_t>(img)}, geom_,
-            scratch);
-        cols = &scratch;
-      }
-      Tensor dy({out_c_, oh * ow});
-      std::copy(grad_out.data() + i * oimg, grad_out.data() + (i + 1) * oimg,
-                dy.data());
-      // dW_i = dY * cols^T ; dcols = W^T * dY
-      wg[static_cast<std::size_t>(i)] = tensor::matmul_nt(dy, *cols);
-      for (std::int64_t c = 0; c < out_c_; ++c) {
-        double acc = 0.0;
-        const float* row = dy.data() + c * oh * ow;
-        for (std::int64_t p = 0; p < oh * ow; ++p) acc += row[p];
-        bg[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)] =
-            static_cast<float>(acc);
-      }
-      Tensor dcols = tensor::matmul_tn(w_, dy);
-      tensor::col2im(dcols, geom_,
-                     {dx.data() + i * img, static_cast<std::size_t>(img)});
-    }
-  });
+  // bias gradient contribution — all writes disjoint per sample. Scratch is
+  // persistent: per-sample weight-grad slots, a flat bias-grad buffer, and
+  // per-chunk dY / dcols (plus rebuilt columns when forward ran in eval
+  // mode), all grow-only.
+  if (static_cast<std::int64_t>(wg_cache_.size()) < n)
+    wg_cache_.resize(static_cast<std::size_t>(n));
+  bg_cache_.assign(static_cast<std::size_t>(n * out_c_), 0.0f);
+  const auto nchunks = static_cast<std::size_t>(core::num_threads());
+  if (chunk_dy_.size() < nchunks) chunk_dy_.resize(nchunks);
+  if (chunk_dcols_.size() < nchunks) chunk_dcols_.resize(nchunks);
+  if (!cached && chunk_cols_.size() < nchunks) chunk_cols_.resize(nchunks);
+  core::parallel_for_blocked_indexed(
+      0, n, [&](std::int64_t chunk, std::int64_t sb, std::int64_t se) {
+        const auto ci = static_cast<std::size_t>(chunk);
+        if (!cached && chunk_cols_[ci].shape() != cols_shape)
+          chunk_cols_[ci].resize(cols_shape);
+        if (chunk_dy_[ci].shape() != dy_shape) chunk_dy_[ci].resize(dy_shape);
+        Tensor& dy = chunk_dy_[ci];
+        for (std::int64_t i = sb; i < se; ++i) {
+          const Tensor* cols;
+          if (cached) {
+            cols = &cols_cache_[static_cast<std::size_t>(i)];
+          } else {
+            // forward() ran with training == false: rebuild the columns.
+            tensor::im2col(
+                {input_.data() + i * img, static_cast<std::size_t>(img)},
+                geom_, chunk_cols_[ci]);
+            cols = &chunk_cols_[ci];
+          }
+          std::copy(grad_out.data() + i * oimg,
+                    grad_out.data() + (i + 1) * oimg, dy.data());
+          // dW_i = dY * cols^T ; dcols = W^T * dY
+          Tensor& wg = wg_cache_[static_cast<std::size_t>(i)];
+          if (wg.shape() != w_.shape()) wg.resize(w_.shape());
+          tensor::matmul_nt_into(dy, *cols, wg);
+          for (std::int64_t c = 0; c < out_c_; ++c) {
+            double acc = 0.0;
+            const float* row = dy.data() + c * oh * ow;
+            for (std::int64_t p = 0; p < oh * ow; ++p) acc += row[p];
+            bg_cache_[static_cast<std::size_t>(i * out_c_ + c)] =
+                static_cast<float>(acc);
+          }
+          // matmul_tn accumulates, so dcols is re-zeroed per sample (a
+          // capacity-reusing fill, not an allocation).
+          chunk_dcols_[ci].resize(cols_shape);
+          tensor::matmul_tn_into(w_, dy, chunk_dcols_[ci]);
+          tensor::col2im(chunk_dcols_[ci], geom_,
+                         {dx.data() + i * img, static_cast<std::size_t>(img)});
+        }
+      });
   // Phase 2 (serial): fold the per-sample contributions in sample order, so
   // the accumulated gradients are bitwise identical at every thread count.
   for (std::int64_t i = 0; i < n; ++i) {
-    w_grad_ += wg[static_cast<std::size_t>(i)];
+    w_grad_ += wg_cache_[static_cast<std::size_t>(i)];
     for (std::int64_t c = 0; c < out_c_; ++c)
-      b_grad_[c] += bg[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)];
+      b_grad_[c] += bg_cache_[static_cast<std::size_t>(i * out_c_ + c)];
   }
   return dx;
 }

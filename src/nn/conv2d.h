@@ -13,8 +13,11 @@ class Conv2d final : public Layer {
   Conv2d(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
          Rng& rng, std::int64_t stride = 1, std::int64_t pad = 0);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  const Tensor& forward(const Tensor& x, bool training,
+                        Workspace& ws) override;
+  const Tensor& backward(const Tensor& grad_out, Workspace& ws) override;
   void collect_params(std::vector<ParamRef>& out) override;
   std::string name() const override;
 
@@ -25,12 +28,22 @@ class Conv2d final : public Layer {
   Tensor w_grad_;
   Tensor b_grad_;
   Tensor input_;   ///< cached [N, in_c, H, W]
-  /// Forward column matrices, cached only when forward() ran with
+  /// Forward column matrices, valid only when forward() ran with
   /// training == true so backward() skips the per-sample im2col recompute.
   /// Memory cost: N * (in_c*k*k) * (out_h*out_w) floats — for this
-  /// library's shapes (batch <= ~32, 16x16 images) a few MB at most;
-  /// inference passes (training == false) keep it empty.
+  /// library's shapes (batch <= ~32, 16x16 images) a few MB at most.
+  /// Grow-only: slots are reused across batches, never shrunk, so
+  /// steady-state training touches no allocator.
   std::vector<Tensor> cols_cache_;
+  bool cols_valid_ = false;  ///< cols_cache_[0..N) match the last forward
+  /// Per-chunk scratch for the parallel regions, indexed by the chunk id of
+  /// parallel_for_blocked_indexed (sized to num_threads() up front, grown
+  /// lazily per chunk): eval-mode im2col columns, backward dY and dcols.
+  std::vector<Tensor> chunk_cols_;
+  std::vector<Tensor> chunk_dy_;
+  std::vector<Tensor> chunk_dcols_;
+  std::vector<Tensor> wg_cache_;  ///< per-sample weight-grad contributions
+  std::vector<float> bg_cache_;   ///< per-sample bias-grad, [N * out_c]
   tensor::Conv2dGeom geom_;
 };
 

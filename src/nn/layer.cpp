@@ -1,0 +1,21 @@
+#include "nn/layer.h"
+
+namespace adafl::nn {
+
+Tensor Layer::forward(const Tensor& x, bool training) {
+  if (!compat_ws_) compat_ws_ = std::make_unique<Workspace>();
+  const Workspace::Mark m = compat_ws_->mark();
+  Tensor out = forward(x, training, *compat_ws_);
+  compat_ws_->rewind(m);
+  return out;
+}
+
+Tensor Layer::backward(const Tensor& grad_out) {
+  if (!compat_ws_) compat_ws_ = std::make_unique<Workspace>();
+  const Workspace::Mark m = compat_ws_->mark();
+  Tensor dx = backward(grad_out, *compat_ws_);
+  compat_ws_->rewind(m);
+  return dx;
+}
+
+}  // namespace adafl::nn

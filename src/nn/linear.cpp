@@ -17,31 +17,36 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
   kaiming_uniform(w_, in_features, rng);
 }
 
-Tensor Linear::forward(const Tensor& x, bool /*training*/) {
+const Tensor& Linear::forward(const Tensor& x, bool /*training*/,
+                              Workspace& ws) {
   ADAFL_CHECK_MSG(x.shape().rank() == 2 && x.shape()[1] == in_,
                   "Linear::forward: input " << x.shape().to_string()
                                             << " expected [N, " << in_ << "]");
   input_ = x;
   // y = x * W^T + b
-  Tensor y = tensor::matmul_nt(x, w_);
-  const std::int64_t n = y.shape()[0];
+  const std::int64_t n = x.shape()[0];
+  Tensor& y = ws.get({n, out_});
+  tensor::matmul_nt_into(x, w_, y);
   for (std::int64_t i = 0; i < n; ++i)
     for (std::int64_t j = 0; j < out_; ++j) y[i * out_ + j] += b_[j];
   return y;
 }
 
-Tensor Linear::backward(const Tensor& grad_out) {
+const Tensor& Linear::backward(const Tensor& grad_out, Workspace& ws) {
   ADAFL_CHECK_MSG(!input_.empty(), "Linear::backward before forward");
   ADAFL_CHECK(grad_out.shape().rank() == 2 && grad_out.shape()[1] == out_);
   // dW = dY^T * X, accumulated.
-  Tensor dw = tensor::matmul_tn(grad_out, input_);
+  Tensor& dw = ws.get(w_.shape());
+  tensor::matmul_tn_into(grad_out, input_, dw);
   w_grad_ += dw;
   const std::int64_t n = grad_out.shape()[0];
   for (std::int64_t i = 0; i < n; ++i)
     for (std::int64_t j = 0; j < out_; ++j)
       b_grad_[j] += grad_out[i * out_ + j];
   // dX = dY * W
-  return tensor::matmul(grad_out, w_);
+  Tensor& dx = ws.get({n, in_});
+  tensor::matmul_into(grad_out, w_, dx);
+  return dx;
 }
 
 void Linear::collect_params(std::vector<ParamRef>& out) {

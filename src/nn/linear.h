@@ -11,8 +11,11 @@ class Linear final : public Layer {
   /// Weights are Kaiming-uniform initialized from `rng`; bias is zero.
   Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  const Tensor& forward(const Tensor& x, bool training,
+                        Workspace& ws) override;
+  const Tensor& backward(const Tensor& grad_out, Workspace& ws) override;
   void collect_params(std::vector<ParamRef>& out) override;
   std::string name() const override;
 

@@ -8,6 +8,16 @@ namespace adafl::nn {
 
 LossResult softmax_cross_entropy(const tensor::Tensor& logits,
                                  std::span<const std::int32_t> labels) {
+  LossResult r;
+  r.grad = tensor::Tensor(logits.shape());
+  tensor::Workspace ws;  // local scratch for the log-softmax
+  r.loss = softmax_cross_entropy_into(logits, labels, r.grad, ws);
+  return r;
+}
+
+float softmax_cross_entropy_into(const tensor::Tensor& logits,
+                                 std::span<const std::int32_t> labels,
+                                 tensor::Tensor& grad, tensor::Workspace& ws) {
   ADAFL_CHECK_MSG(logits.shape().rank() == 2,
                   "softmax_cross_entropy: logits "
                       << logits.shape().to_string());
@@ -15,9 +25,12 @@ LossResult softmax_cross_entropy(const tensor::Tensor& logits,
   ADAFL_CHECK_MSG(static_cast<std::int64_t>(labels.size()) == n,
                   "softmax_cross_entropy: " << labels.size() << " labels for "
                                             << n << " rows");
-  tensor::Tensor logp = tensor::log_softmax_rows(logits);
-  LossResult r;
-  r.grad = tensor::Tensor(logits.shape());
+  ADAFL_CHECK_MSG(grad.shape() == logits.shape(),
+                  "softmax_cross_entropy_into: grad "
+                      << grad.shape().to_string());
+  const tensor::Workspace::Mark mark = ws.mark();
+  tensor::Tensor& logp = ws.get(logits.shape());
+  tensor::log_softmax_rows_into(logits, logp);
   double loss = 0.0;
   const float invn = 1.0f / static_cast<float>(n);
   for (std::int64_t i = 0; i < n; ++i) {
@@ -27,11 +40,11 @@ LossResult softmax_cross_entropy(const tensor::Tensor& logits,
     loss -= logp[i * c + y];
     // dL/dlogits = (softmax - onehot) / N
     for (std::int64_t j = 0; j < c; ++j)
-      r.grad[i * c + j] = std::exp(logp[i * c + j]) * invn;
-    r.grad[i * c + y] -= invn;
+      grad[i * c + j] = std::exp(logp[i * c + j]) * invn;
+    grad[i * c + y] -= invn;
   }
-  r.loss = static_cast<float>(loss / static_cast<double>(n));
-  return r;
+  ws.rewind(mark);
+  return static_cast<float>(loss / static_cast<double>(n));
 }
 
 }  // namespace adafl::nn

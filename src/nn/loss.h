@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 
+#include "tensor/arena.h"
 #include "tensor/tensor.h"
 
 namespace adafl::nn {
@@ -19,5 +20,12 @@ struct LossResult {
 /// class indices in [0, C).
 LossResult softmax_cross_entropy(const tensor::Tensor& logits,
                                  std::span<const std::int32_t> labels);
+
+/// Workspace variant: writes the loss gradient into `grad` (shape must equal
+/// the logits') and draws the log-softmax scratch from `ws`. Bitwise
+/// identical to the allocating form; returns the mean loss.
+float softmax_cross_entropy_into(const tensor::Tensor& logits,
+                                 std::span<const std::int32_t> labels,
+                                 tensor::Tensor& grad, tensor::Workspace& ws);
 
 }  // namespace adafl::nn

@@ -13,15 +13,24 @@ Model::Model(std::unique_ptr<Layer> net) : net_(std::move(net)) {
 }
 
 Tensor Model::forward(const Tensor& x, bool training) {
-  return net_->forward(x, training);
+  const tensor::Workspace::Mark m = ws_.mark();
+  Tensor out = net_->forward(x, training, ws_);
+  ws_.rewind(m);
+  return out;
 }
 
 float Model::compute_gradients(const Batch& batch) {
   ADAFL_CHECK_MSG(batch.size() > 0, "compute_gradients: empty batch");
-  Tensor logits = net_->forward(batch.inputs, /*training=*/true);
-  LossResult lr = softmax_cross_entropy(logits, batch.labels);
-  net_->backward(lr.grad);
-  return lr.loss;
+  // Per-batch mark/rewind: all activations, the loss gradient and every
+  // layer's input gradient live in ws_ and are recycled next batch.
+  const tensor::Workspace::Mark m = ws_.mark();
+  const Tensor& logits = net_->forward(batch.inputs, /*training=*/true, ws_);
+  Tensor& grad = ws_.get(logits.shape());
+  const float loss =
+      softmax_cross_entropy_into(logits, batch.labels, grad, ws_);
+  net_->backward(grad, ws_);
+  ws_.rewind(m);
+  return loss;
 }
 
 float Model::train_batch(const Batch& batch, Optimizer& opt) {
@@ -33,7 +42,8 @@ float Model::train_batch(const Batch& batch, Optimizer& opt) {
 
 double Model::accuracy(const Batch& batch) {
   ADAFL_CHECK_MSG(batch.size() > 0, "accuracy: empty batch");
-  Tensor logits = net_->forward(batch.inputs, /*training=*/false);
+  const tensor::Workspace::Mark m = ws_.mark();
+  const Tensor& logits = net_->forward(batch.inputs, /*training=*/false, ws_);
   const std::int64_t n = logits.shape()[0], c = logits.shape()[1];
   ADAFL_CHECK(n == batch.size());
   std::int64_t correct = 0;
@@ -44,6 +54,7 @@ double Model::accuracy(const Batch& batch) {
       if (row[j] > row[best]) best = j;
     if (best == batch.labels[static_cast<std::size_t>(i)]) ++correct;
   }
+  ws_.rewind(m);
   return static_cast<double>(correct) / static_cast<double>(n);
 }
 
@@ -52,14 +63,19 @@ void Model::zero_grad() {
 }
 
 std::vector<float> Model::get_flat() const {
-  std::vector<float> out(static_cast<std::size_t>(param_count_));
+  std::vector<float> out;
+  get_flat_into(out);
+  return out;
+}
+
+void Model::get_flat_into(std::vector<float>& out) const {
+  out.resize(static_cast<std::size_t>(param_count_));
   std::size_t off = 0;
   for (const auto& p : params_) {
     const auto v = p.value->flat();
     std::copy(v.begin(), v.end(), out.begin() + static_cast<std::ptrdiff_t>(off));
     off += v.size();
   }
-  return out;
 }
 
 void Model::set_flat(std::span<const float> flat) {

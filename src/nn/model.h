@@ -54,6 +54,10 @@ class Model {
   /// Copies all parameters into a fresh flat vector (layer declaration order).
   std::vector<float> get_flat() const;
 
+  /// get_flat into a caller-owned vector (resized to param_count(); reuses
+  /// its capacity, so steady-state calls allocate nothing).
+  void get_flat_into(std::vector<float>& out) const;
+
   /// Overwrites all parameters from `flat`; length must equal param_count().
   void set_flat(std::span<const float> flat);
 
@@ -64,10 +68,15 @@ class Model {
   /// parameters: w += alpha * delta.
   void add_flat(std::span<const float> delta, float alpha);
 
+  /// The model's workspace: activation/gradient storage reused across
+  /// batches (compute_gradients marks and rewinds it per batch).
+  tensor::Workspace& workspace() { return ws_; }
+
  private:
   std::unique_ptr<Layer> net_;
   std::vector<ParamRef> params_;
   std::int64_t param_count_ = 0;
+  tensor::Workspace ws_;
 };
 
 /// Factory producing independent, identically-architected models. Clients in

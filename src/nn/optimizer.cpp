@@ -8,11 +8,23 @@ namespace {
 
 void sync_state(std::vector<Tensor>& state,
                 std::span<const ParamRef> params) {
-  if (state.size() == params.size()) return;
+  if (state.size() == params.size()) {
+    for (std::size_t k = 0; k < state.size(); ++k)
+      ADAFL_CHECK_MSG(state[k].shape() == params[k].value->shape(),
+                      "optimizer reused with a different parameter list");
+    return;
+  }
   ADAFL_CHECK_MSG(state.empty(),
                   "optimizer reused with a different parameter list");
   state.reserve(params.size());
   for (const auto& p : params) state.emplace_back(p.value->shape());
+}
+
+// reset() semantics: zero the state without releasing it. FL clients call
+// reset() at the start of every local round; clearing the buffers would
+// force sync_state to reallocate them each round.
+void zero_state(std::vector<Tensor>& state) {
+  for (auto& t : state) t.fill(0.0f);
 }
 
 }  // namespace
@@ -43,6 +55,8 @@ void Sgd::step(std::span<const ParamRef> params) {
   }
 }
 
+void Sgd::reset() { zero_state(velocity_); }
+
 Adam::Adam(float lr, float beta1, float beta2, float eps)
     : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
   ADAFL_CHECK_MSG(lr > 0.0f, "Adam: lr must be positive");
@@ -67,6 +81,12 @@ void Adam::step(std::span<const ParamRef> params) {
       w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Adam::reset() {
+  zero_state(m_);
+  zero_state(v_);
+  t_ = 0;
 }
 
 FlatAdam::FlatAdam(float lr, float beta1, float beta2, float eps)

@@ -36,7 +36,9 @@ class Sgd final : public Optimizer {
   explicit Sgd(float lr, float momentum = 0.0f, float weight_decay = 0.0f);
 
   void step(std::span<const ParamRef> params) override;
-  void reset() override { velocity_.clear(); }
+  /// Zero-fills the momentum buffers in place (keeps their storage, so a
+  /// per-round reset in FL training allocates nothing).
+  void reset() override;
   float lr() const override { return lr_; }
   void set_lr(float lr) override { lr_ = lr; }
 
@@ -52,11 +54,8 @@ class Adam final : public Optimizer {
                 float eps = 1e-8f);
 
   void step(std::span<const ParamRef> params) override;
-  void reset() override {
-    m_.clear();
-    v_.clear();
-    t_ = 0;
-  }
+  /// Zero-fills the moment buffers in place (keeps their storage).
+  void reset() override;
   float lr() const override { return lr_; }
   void set_lr(float lr) override { lr_ = lr; }
 

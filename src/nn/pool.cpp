@@ -7,7 +7,8 @@ MaxPool2d::MaxPool2d(std::int64_t window, std::int64_t stride)
   ADAFL_CHECK_MSG(window_ > 0 && stride_ > 0, "MaxPool2d: invalid geometry");
 }
 
-Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
+const Tensor& MaxPool2d::forward(const Tensor& x, bool /*training*/,
+                                 Workspace& ws) {
   ADAFL_CHECK_MSG(x.shape().rank() == 4,
                   "MaxPool2d::forward: input " << x.shape().to_string());
   in_shape_ = x.shape();
@@ -18,7 +19,7 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
                                        << h << "x" << w);
   const std::int64_t oh = (h - window_) / stride_ + 1;
   const std::int64_t ow = (w - window_) / stride_ + 1;
-  Tensor out({n, c, oh, ow});
+  Tensor& out = ws.get({n, c, oh, ow});
   argmax_.assign(static_cast<std::size_t>(n * c * oh * ow), 0);
   const float* px = x.data();
   float* po = out.data();
@@ -50,10 +51,12 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
   return out;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_out) {
+const Tensor& MaxPool2d::backward(const Tensor& grad_out, Workspace& ws) {
   ADAFL_CHECK_MSG(in_shape_.rank() == 4, "MaxPool2d::backward before forward");
   ADAFL_CHECK(grad_out.size() == static_cast<std::int64_t>(argmax_.size()));
-  Tensor dx(in_shape_);
+  // dx accumulates through argmax scatter, so it relies on ws.get()'s
+  // zero-fill.
+  Tensor& dx = ws.get(in_shape_);
   float* pdx = dx.data();
   const float* pg = grad_out.data();
   for (std::size_t k = 0; k < argmax_.size(); ++k)
@@ -65,13 +68,14 @@ std::string MaxPool2d::name() const {
   return "MaxPool2d(" + std::to_string(window_) + ")";
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& x, bool /*training*/) {
+const Tensor& GlobalAvgPool::forward(const Tensor& x, bool /*training*/,
+                                     Workspace& ws) {
   ADAFL_CHECK_MSG(x.shape().rank() == 4,
                   "GlobalAvgPool: input " << x.shape().to_string());
   in_shape_ = x.shape();
   const std::int64_t n = x.shape()[0], c = x.shape()[1],
                      hw = x.shape()[2] * x.shape()[3];
-  Tensor out({n, c});
+  Tensor& out = ws.get({n, c});
   for (std::int64_t i = 0; i < n; ++i)
     for (std::int64_t ch = 0; ch < c; ++ch) {
       const float* plane = x.data() + (i * c + ch) * hw;
@@ -82,13 +86,14 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*training*/) {
   return out;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+const Tensor& GlobalAvgPool::backward(const Tensor& grad_out,
+                                      Workspace& ws) {
   ADAFL_CHECK_MSG(in_shape_.rank() == 4,
                   "GlobalAvgPool::backward before forward");
   const std::int64_t n = in_shape_[0], c = in_shape_[1],
                      hw = in_shape_[2] * in_shape_[3];
   ADAFL_CHECK(grad_out.shape() == Shape({n, c}));
-  Tensor dx(in_shape_);
+  Tensor& dx = ws.get(in_shape_);
   const float inv = 1.0f / static_cast<float>(hw);
   for (std::int64_t i = 0; i < n; ++i)
     for (std::int64_t ch = 0; ch < c; ++ch) {

@@ -11,8 +11,11 @@ class MaxPool2d final : public Layer {
  public:
   explicit MaxPool2d(std::int64_t window, std::int64_t stride = 0);
 
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  const Tensor& forward(const Tensor& x, bool training,
+                        Workspace& ws) override;
+  const Tensor& backward(const Tensor& grad_out, Workspace& ws) override;
   std::string name() const override;
 
  private:
@@ -24,8 +27,11 @@ class MaxPool2d final : public Layer {
 /// Global average pooling: [N, C, H, W] -> [N, C].
 class GlobalAvgPool final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool training) override;
-  Tensor backward(const Tensor& grad_out) override;
+  using Layer::forward;
+  using Layer::backward;
+  const Tensor& forward(const Tensor& x, bool training,
+                        Workspace& ws) override;
+  const Tensor& backward(const Tensor& grad_out, Workspace& ws) override;
   std::string name() const override { return "GlobalAvgPool"; }
 
  private:

@@ -1,6 +1,7 @@
 #include "nn/sequential.h"
 
 #include "nn/conv2d.h"
+#include "tensor/ops.h"
 
 namespace adafl::nn {
 
@@ -10,17 +11,18 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
-Tensor Sequential::forward(const Tensor& x, bool training) {
-  Tensor cur = x;
-  for (auto& l : layers_) cur = l->forward(cur, training);
-  return cur;
+const Tensor& Sequential::forward(const Tensor& x, bool training,
+                                  Workspace& ws) {
+  const Tensor* cur = &x;
+  for (auto& l : layers_) cur = &l->forward(*cur, training, ws);
+  return *cur;
 }
 
-Tensor Sequential::backward(const Tensor& grad_out) {
-  Tensor cur = grad_out;
+const Tensor& Sequential::backward(const Tensor& grad_out, Workspace& ws) {
+  const Tensor* cur = &grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    cur = (*it)->backward(cur);
-  return cur;
+    cur = &(*it)->backward(*cur, ws);
+  return *cur;
 }
 
 void Sequential::collect_params(std::vector<ParamRef>& out) {
@@ -46,39 +48,32 @@ ResidualBlock::ResidualBlock(std::unique_ptr<Layer> body, std::int64_t in_c,
                                            stride, /*pad=*/0);
 }
 
-Tensor ResidualBlock::forward(const Tensor& x, bool training) {
-  Tensor f = body_->forward(x, training);
-  Tensor skip = projection_ ? projection_->forward(x, training) : x;
+const Tensor& ResidualBlock::forward(const Tensor& x, bool training,
+                                     Workspace& ws) {
+  const Tensor& f = body_->forward(x, training, ws);
+  const Tensor& skip = projection_ ? projection_->forward(x, training, ws) : x;
   ADAFL_CHECK_MSG(f.shape() == skip.shape(),
                   "ResidualBlock: body output " << f.shape().to_string()
                                                 << " vs skip "
                                                 << skip.shape().to_string());
-  f += skip;
-  relu_mask_ = Tensor(f.shape());
-  auto m = relu_mask_.flat();
-  auto v = f.flat();
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    const bool pos = v[i] > 0.0f;
-    m[i] = pos ? 1.0f : 0.0f;
-    if (!pos) v[i] = 0.0f;
-  }
-  return f;
+  Tensor& out = ws.get(f.shape());
+  tensor::add_into(f, skip, out);
+  relu_mask_.resize(out.shape());
+  // In-place relu over the sum (relu_into tolerates out aliasing its input).
+  tensor::relu_into(out, out, relu_mask_);
+  return out;
 }
 
-Tensor ResidualBlock::backward(const Tensor& grad_out) {
+const Tensor& ResidualBlock::backward(const Tensor& grad_out, Workspace& ws) {
   ADAFL_CHECK_MSG(!relu_mask_.empty(), "ResidualBlock::backward before forward");
   ADAFL_CHECK(grad_out.shape() == relu_mask_.shape());
-  Tensor g(grad_out.shape());
-  {
-    const auto go = grad_out.flat();
-    const auto m = relu_mask_.flat();
-    auto gv = g.flat();
-    for (std::size_t i = 0; i < gv.size(); ++i) gv[i] = go[i] * m[i];
-  }
-  Tensor dx_body = body_->backward(g);
-  Tensor dx_skip = projection_ ? projection_->backward(g) : g;
-  dx_body += dx_skip;
-  return dx_body;
+  Tensor& g = ws.get(grad_out.shape());
+  tensor::mul_into(grad_out, relu_mask_, g);
+  const Tensor& dx_body = body_->backward(g, ws);
+  const Tensor& dx_skip = projection_ ? projection_->backward(g, ws) : g;
+  Tensor& dx = ws.get(dx_body.shape());
+  tensor::add_into(dx_body, dx_skip, dx);
+  return dx;
 }
 
 void ResidualBlock::collect_params(std::vector<ParamRef>& out) {

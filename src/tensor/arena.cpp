@@ -1,0 +1,38 @@
+#include "tensor/arena.h"
+
+#include "tensor/check.h"
+
+namespace adafl::tensor {
+
+Tensor& Workspace::get(const Shape& shape) {
+  ++stats_.requests;
+  if (cursor_ == slots_.size()) {
+    slots_.push_back(std::make_unique<Tensor>());
+  }
+  Tensor& t = *slots_[cursor_];
+  const auto need = static_cast<std::size_t>(shape.numel());
+  if (need > t.capacity()) ++stats_.allocations;
+  t.resize(shape);
+  ++cursor_;
+  if (cursor_ > stats_.high_water_slots) stats_.high_water_slots = cursor_;
+  return t;
+}
+
+void Workspace::rewind(Mark m) {
+  ADAFL_CHECK_MSG(m <= cursor_,
+                  "Workspace::rewind past cursor: " << m << " > " << cursor_);
+  cursor_ = m;
+}
+
+void Workspace::clear() {
+  slots_.clear();
+  cursor_ = 0;
+}
+
+std::size_t Workspace::floats_reserved() const {
+  std::size_t total = 0;
+  for (const auto& s : slots_) total += s->capacity();
+  return total;
+}
+
+}  // namespace adafl::tensor

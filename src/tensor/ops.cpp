@@ -21,19 +21,14 @@ void require_rank2(const Tensor& t, const char* who) {
 // it every result — is independent of the configured thread count.
 constexpr std::int64_t kParallelGrainFlops = 1 << 18;
 
-}  // namespace
+// The raw kernels below are shared verbatim by the allocating entry points
+// and their _into variants, so both paths are bitwise identical by
+// construction.
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  require_rank2(a, "matmul");
-  require_rank2(b, "matmul");
-  const std::int64_t m = a.shape()[0], k = a.shape()[1];
-  ADAFL_CHECK_MSG(b.shape()[0] == k, "matmul: inner dims " << k << " vs "
-                                                           << b.shape()[0]);
-  const std::int64_t n = b.shape()[1];
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
+// C[m,n] += A[m,k] * B[k,n]; pc must hold the starting values (zeros for a
+// plain product).
+void matmul_core(const float* pa, const float* pb, float* pc, std::int64_t m,
+                 std::int64_t k, std::int64_t n) {
   // ikj loop order: unit-stride access on B and C. Parallel over disjoint
   // row blocks of C; each element accumulates in ascending-k order, so the
   // result is bitwise independent of the partitioning.
@@ -52,20 +47,11 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     rows(0, m);
   else
     core::parallel_for_blocked(0, m, rows);
-  return c;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  require_rank2(a, "matmul_tn");
-  require_rank2(b, "matmul_tn");
-  const std::int64_t k = a.shape()[0], m = a.shape()[1];
-  ADAFL_CHECK_MSG(b.shape()[0] == k, "matmul_tn: inner dims " << k << " vs "
-                                                              << b.shape()[0]);
-  const std::int64_t n = b.shape()[1];
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
+// C[m,n] += A[k,m]^T * B[k,n]; pc must hold the starting values.
+void matmul_tn_core(const float* pa, const float* pb, float* pc,
+                    std::int64_t m, std::int64_t k, std::int64_t n) {
   // Row blocks of C are independent. Within a row, k ascends exactly as in
   // the historical kk-outer loop, so every element sums in the same order.
   auto rows = [&](std::int64_t ib, std::int64_t ie) {
@@ -83,20 +69,11 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
     rows(0, m);
   else
     core::parallel_for_blocked(0, m, rows);
-  return c;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  require_rank2(a, "matmul_nt");
-  require_rank2(b, "matmul_nt");
-  const std::int64_t m = a.shape()[0], k = a.shape()[1];
-  ADAFL_CHECK_MSG(b.shape()[1] == k, "matmul_nt: inner dims " << k << " vs "
-                                                              << b.shape()[1]);
-  const std::int64_t n = b.shape()[0];
-  Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
+// C[m,n] = A[m,k] * B[n,k]^T; fully overwrites pc.
+void matmul_nt_core(const float* pa, const float* pb, float* pc,
+                    std::int64_t m, std::int64_t k, std::int64_t n) {
   // Cache-blocked dot-product kernel. B is walked in tiles of kBj rows so a
   // tile is served from cache for every row of the A block, and within a
   // tile four output columns accumulate in flight (independent double
@@ -145,7 +122,162 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
     rows(0, m);
   else
     core::parallel_for_blocked(0, m, rows);
+}
+
+// Validated (m, k, n) for each matmul flavor.
+struct MatmulDims {
+  std::int64_t m = 0, k = 0, n = 0;
+};
+
+MatmulDims matmul_dims(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul");
+  require_rank2(b, "matmul");
+  const std::int64_t m = a.shape()[0], k = a.shape()[1];
+  ADAFL_CHECK_MSG(b.shape()[0] == k, "matmul: inner dims " << k << " vs "
+                                                           << b.shape()[0]);
+  return {m, k, b.shape()[1]};
+}
+
+MatmulDims matmul_tn_dims(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_tn");
+  require_rank2(b, "matmul_tn");
+  const std::int64_t k = a.shape()[0], m = a.shape()[1];
+  ADAFL_CHECK_MSG(b.shape()[0] == k, "matmul_tn: inner dims " << k << " vs "
+                                                              << b.shape()[0]);
+  return {m, k, b.shape()[1]};
+}
+
+MatmulDims matmul_nt_dims(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_nt");
+  require_rank2(b, "matmul_nt");
+  const std::int64_t m = a.shape()[0], k = a.shape()[1];
+  ADAFL_CHECK_MSG(b.shape()[1] == k, "matmul_nt: inner dims " << k << " vs "
+                                                              << b.shape()[1]);
+  return {m, k, b.shape()[0]};
+}
+
+void require_out_shape(const Tensor& c, const MatmulDims& d, const char* who) {
+  ADAFL_CHECK_MSG(c.shape() == Shape({d.m, d.n}),
+                  who << ": output shape " << c.shape().to_string()
+                      << " vs expected [" << d.m << ", " << d.n << "]");
+}
+
+void require_out_span(std::span<float> c, const MatmulDims& d,
+                      const char* who) {
+  ADAFL_CHECK_MSG(static_cast<std::int64_t>(c.size()) == d.m * d.n,
+                  who << ": output span size " << c.size() << " vs expected "
+                      << d.m * d.n);
+}
+
+void require_same_shape(const Tensor& a, const Tensor& out, const char* who) {
+  ADAFL_CHECK_MSG(out.shape() == a.shape(),
+                  who << ": output shape " << out.shape().to_string() << " vs "
+                      << a.shape().to_string());
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  const MatmulDims d = matmul_dims(a, b);
+  Tensor c({d.m, d.n});
+  matmul_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
   return c;
+}
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& c) {
+  const MatmulDims d = matmul_dims(a, b);
+  require_out_shape(c, d, "matmul_into");
+  matmul_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+}
+
+void matmul_into(const Tensor& a, const Tensor& b, std::span<float> c) {
+  const MatmulDims d = matmul_dims(a, b);
+  require_out_span(c, d, "matmul_into");
+  matmul_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  const MatmulDims d = matmul_tn_dims(a, b);
+  Tensor c({d.m, d.n});
+  matmul_tn_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+  return c;
+}
+
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& c) {
+  const MatmulDims d = matmul_tn_dims(a, b);
+  require_out_shape(c, d, "matmul_tn_into");
+  matmul_tn_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+}
+
+void matmul_tn_into(const Tensor& a, const Tensor& b, std::span<float> c) {
+  const MatmulDims d = matmul_tn_dims(a, b);
+  require_out_span(c, d, "matmul_tn_into");
+  matmul_tn_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  const MatmulDims d = matmul_nt_dims(a, b);
+  Tensor c({d.m, d.n});
+  matmul_nt_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+  return c;
+}
+
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c) {
+  const MatmulDims d = matmul_nt_dims(a, b);
+  require_out_shape(c, d, "matmul_nt_into");
+  matmul_nt_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+}
+
+void matmul_nt_into(const Tensor& a, const Tensor& b, std::span<float> c) {
+  const MatmulDims d = matmul_nt_dims(a, b);
+  require_out_span(c, d, "matmul_nt_into");
+  matmul_nt_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+}
+
+void add_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  ADAFL_CHECK_MSG(a.shape() == b.shape(),
+                  "add_into: shape mismatch " << a.shape().to_string() << " vs "
+                                              << b.shape().to_string());
+  require_same_shape(a, out, "add_into");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.size();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+}
+
+void mul_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  ADAFL_CHECK_MSG(a.shape() == b.shape(),
+                  "mul_into: shape mismatch " << a.shape().to_string() << " vs "
+                                              << b.shape().to_string());
+  require_same_shape(a, out, "mul_into");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.size();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+}
+
+void scale_into(const Tensor& a, float s, Tensor& out) {
+  require_same_shape(a, out, "scale_into");
+  const float* pa = a.data();
+  float* po = out.data();
+  const std::int64_t n = a.size();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = s * pa[i];
+}
+
+void relu_into(const Tensor& a, Tensor& out, Tensor& mask) {
+  require_same_shape(a, out, "relu_into");
+  require_same_shape(a, mask, "relu_into(mask)");
+  const float* pa = a.data();
+  float* po = out.data();
+  float* pm = mask.data();
+  const std::int64_t n = a.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool pos = pa[i] > 0.0f;
+    pm[i] = pos ? 1.0f : 0.0f;
+    po[i] = pos ? pa[i] : 0.0f;
+  }
 }
 
 Tensor transpose2d(const Tensor& a) {
@@ -217,9 +349,16 @@ Tensor softmax_rows(const Tensor& logits) {
 
 Tensor log_softmax_rows(const Tensor& logits) {
   require_rank2(logits, "log_softmax_rows");
+  Tensor out(logits.shape());
+  log_softmax_rows_into(logits, out);
+  return out;
+}
+
+void log_softmax_rows_into(const Tensor& logits, Tensor& out) {
+  require_rank2(logits, "log_softmax_rows");
   const std::int64_t n = logits.shape()[0], c = logits.shape()[1];
   ADAFL_CHECK(c > 0);
-  Tensor out({n, c});
+  require_same_shape(logits, out, "log_softmax_rows_into");
   // Rows are independent: parallel over disjoint row blocks.
   auto rows = [&](std::int64_t ib, std::int64_t ie) {
     for (std::int64_t i = ib; i < ie; ++i) {
@@ -236,7 +375,6 @@ Tensor log_softmax_rows(const Tensor& logits) {
     rows(0, n);
   else
     core::parallel_for_blocked(0, n, rows);
-  return out;
 }
 
 }  // namespace adafl::tensor

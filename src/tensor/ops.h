@@ -16,6 +16,34 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b);
 /// C[m,n] = A[m,k] * B[n,k]^T.
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
 
+// ---- _into variants ----
+// Each writes into caller-provided output storage whose shape must already
+// match; the loop bodies are shared with the allocating wrappers above, so
+// results are bitwise identical. matmul_into / matmul_tn_into ACCUMULATE
+// into the output (the allocating forms start from a zero-initialized
+// tensor), so the output must be zero-filled on entry — Workspace::get()
+// and Tensor::resize() both hand it over that way. matmul_nt_into fully
+// overwrites its output. The span overloads take a raw destination of
+// exactly m*n floats (used for slices of a batched output tensor).
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_into(const Tensor& a, const Tensor& b, std::span<float> c);
+void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_tn_into(const Tensor& a, const Tensor& b, std::span<float> c);
+void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_nt_into(const Tensor& a, const Tensor& b, std::span<float> c);
+
+// ---- Elementwise _into kernels (shapes must match exactly) ----
+
+/// out[i] = a[i] + b[i].
+void add_into(const Tensor& a, const Tensor& b, Tensor& out);
+/// out[i] = a[i] * b[i] (Hadamard product).
+void mul_into(const Tensor& a, const Tensor& b, Tensor& out);
+/// out[i] = s * a[i].
+void scale_into(const Tensor& a, float s, Tensor& out);
+/// out[i] = max(a[i], 0); mask[i] = 1 if a[i] > 0 else 0.
+void relu_into(const Tensor& a, Tensor& out, Tensor& mask);
+
 /// Transpose of a rank-2 tensor.
 Tensor transpose2d(const Tensor& a);
 
@@ -44,5 +72,9 @@ Tensor softmax_rows(const Tensor& logits);
 
 /// Row-wise log-softmax of a [n, c] tensor (numerically stable).
 Tensor log_softmax_rows(const Tensor& logits);
+
+/// log_softmax_rows into a caller-provided [n, c] output (fully overwritten;
+/// bitwise identical to the allocating form).
+void log_softmax_rows_into(const Tensor& logits, Tensor& out);
 
 }  // namespace adafl::tensor

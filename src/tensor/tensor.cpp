@@ -1,15 +1,35 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace adafl::tensor {
 
+namespace {
+std::atomic<std::uint64_t> g_tensor_allocations{0};
+}  // namespace
+
+namespace detail {
+void note_tensor_allocation(std::size_t /*bytes*/) noexcept {
+  g_tensor_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+std::uint64_t tensor_allocations() noexcept {
+  return g_tensor_allocations.load(std::memory_order_relaxed);
+}
+
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
+    : shape_(std::move(shape)), data_(values.begin(), values.end()) {
   ADAFL_CHECK_MSG(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
                   "value count " << data_.size() << " does not match shape "
                                  << shape_.to_string());
+}
+
+void Tensor::resize(const Shape& shape) {
+  shape_ = shape;
+  data_.assign(static_cast<std::size_t>(shape_.numel()), 0.0f);
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {

@@ -2,6 +2,8 @@
 // for the nn/, compress/, fl/ and core/ libraries.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -9,6 +11,45 @@
 #include "tensor/shape.h"
 
 namespace adafl::tensor {
+
+namespace detail {
+
+/// Bumps the process-wide tensor-allocation counter (defined in tensor.cpp).
+void note_tensor_allocation(std::size_t bytes) noexcept;
+
+/// Allocator for Tensor storage that counts every heap allocation, including
+/// hidden vector growth, so tests can assert "zero allocations after warmup".
+/// Deallocation is free; only allocate() pays the (relaxed) atomic increment.
+template <typename T>
+struct CountingAllocator {
+  using value_type = T;
+
+  CountingAllocator() noexcept = default;
+  template <typename U>
+  CountingAllocator(const CountingAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    note_tensor_allocation(n * sizeof(T));
+    return std::allocator<T>().allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    std::allocator<T>().deallocate(p, n);
+  }
+
+  friend bool operator==(const CountingAllocator&,
+                         const CountingAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace detail
+
+/// Tensor storage type: float vector whose heap allocations are counted.
+using FloatBuffer = std::vector<float, detail::CountingAllocator<float>>;
+
+/// Process-wide count of tensor heap allocations since process start.
+/// Monotonically increasing; sample before/after a region and subtract.
+std::uint64_t tensor_allocations() noexcept;
 
 /// Dense row-major float tensor with value semantics (copies copy storage).
 /// Element access is bounds-checked through at(); hot loops should use
@@ -28,7 +69,7 @@ class Tensor {
       : shape_(std::move(shape)),
         data_(static_cast<std::size_t>(shape_.numel()), value) {}
 
-  /// Adopts `values`, which must have exactly shape.numel() elements.
+  /// Copies `values`, which must have exactly shape.numel() elements.
   Tensor(Shape shape, std::vector<float> values);
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -44,6 +85,13 @@ class Tensor {
   const Shape& shape() const { return shape_; }
   std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
   bool empty() const { return data_.empty(); }
+  /// Floats of heap storage currently reserved (>= size(); never shrinks).
+  std::size_t capacity() const { return data_.capacity(); }
+
+  /// Reshapes to `shape` and zero-fills, exactly like constructing
+  /// Tensor(shape) — but reuses the existing storage, allocating only when
+  /// the new numel exceeds capacity(). The workhorse of buffer reuse.
+  void resize(const Shape& shape);
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
@@ -91,7 +139,7 @@ class Tensor {
   std::size_t offset(std::initializer_list<std::int64_t> idx) const;
 
   Shape shape_;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 // ---- Free functions over flat float spans (shared by compress/, core/) ----

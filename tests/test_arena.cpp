@@ -1,0 +1,148 @@
+#include "tensor/arena.h"
+
+#include <gtest/gtest.h>
+
+namespace adafl::tensor {
+namespace {
+
+TEST(Arena, GetReturnsShapedZeroFilledTensor) {
+  Workspace ws;
+  Tensor& t = ws.get({2, 3});
+  EXPECT_EQ(t.shape(), Shape({2, 3}));
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Arena, GetZeroFillsLikeFreshTensor) {
+  // Reused slots must be indistinguishable from a freshly constructed
+  // Tensor(shape): dirty data from the previous cycle may not leak.
+  Workspace ws;
+  const Workspace::Mark m = ws.mark();
+  Tensor& a = ws.get({4});
+  a.flat()[0] = 42.0f;
+  a.flat()[3] = -1.0f;
+  ws.rewind(m);
+  Tensor& b = ws.get({4});
+  EXPECT_EQ(&a, &b);  // same slot...
+  for (float v : b.flat()) EXPECT_EQ(v, 0.0f);  // ...but clean
+}
+
+TEST(Arena, RewindRecyclesSlotsWithoutAllocation) {
+  Workspace ws;
+  // Warmup cycle: grows three slots.
+  const Workspace::Mark m = ws.mark();
+  ws.get({8, 8});
+  ws.get({16});
+  ws.get({4, 4, 4});
+  ws.rewind(m);
+  const std::uint64_t warm_allocs = ws.stats().allocations;
+  EXPECT_EQ(warm_allocs, 3u);
+
+  // Steady state: identical call sequence, zero new allocations.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const Workspace::Mark mm = ws.mark();
+    ws.get({8, 8});
+    ws.get({16});
+    ws.get({4, 4, 4});
+    ws.rewind(mm);
+  }
+  EXPECT_EQ(ws.stats().allocations, warm_allocs);
+  EXPECT_EQ(ws.stats().requests, 18u);
+  EXPECT_EQ(ws.slot_count(), 3u);
+}
+
+TEST(Arena, SmallerShapeReusesCapacity) {
+  Workspace ws;
+  const Workspace::Mark m = ws.mark();
+  ws.get({100});
+  ws.rewind(m);
+  ws.get({60});  // fits in the reserved 100 floats
+  EXPECT_EQ(ws.stats().allocations, 1u);
+  EXPECT_GE(ws.floats_reserved(), 100u);
+}
+
+TEST(Arena, GrowingShapeCountsAllocation) {
+  Workspace ws;
+  const Workspace::Mark m = ws.mark();
+  ws.get({10});
+  ws.rewind(m);
+  ws.get({200});
+  EXPECT_EQ(ws.stats().allocations, 2u);
+}
+
+TEST(Arena, ReferencesStayValidAcrossSlotTableGrowth) {
+  Workspace ws;
+  Tensor& first = ws.get({3});
+  first.flat()[1] = 7.0f;
+  // Force the slot table itself to reallocate many times over.
+  for (int i = 0; i < 100; ++i) ws.get({2});
+  EXPECT_EQ(first.flat()[1], 7.0f);
+  EXPECT_EQ(first.shape(), Shape({3}));
+}
+
+TEST(Arena, NestedMarkRewind) {
+  Workspace ws;
+  const Workspace::Mark outer = ws.mark();
+  ws.get({4});
+  const Workspace::Mark inner = ws.mark();
+  ws.get({4});
+  ws.get({4});
+  EXPECT_EQ(ws.stats().high_water_slots, 3u);
+  ws.rewind(inner);
+  ws.get({4});  // reuses slot 1
+  EXPECT_EQ(ws.stats().high_water_slots, 3u);
+  ws.rewind(outer);
+  EXPECT_EQ(ws.slot_count(), 3u);
+  EXPECT_EQ(ws.stats().allocations, 3u);
+}
+
+TEST(Arena, HighWaterTracksDeepestCycle) {
+  Workspace ws;
+  const Workspace::Mark m = ws.mark();
+  ws.get({2});
+  ws.rewind(m);
+  ws.get({2});
+  ws.get({2});
+  ws.get({2});
+  EXPECT_EQ(ws.stats().high_water_slots, 3u);
+}
+
+TEST(Arena, ClearDropsStorage) {
+  Workspace ws;
+  ws.get({64});
+  EXPECT_GT(ws.floats_reserved(), 0u);
+  ws.clear();
+  EXPECT_EQ(ws.slot_count(), 0u);
+  EXPECT_EQ(ws.floats_reserved(), 0u);
+}
+
+TEST(Arena, ProcessAllocationCounterIsMonotonic) {
+  const std::uint64_t before = tensor_allocations();
+  { Tensor t({32, 32}); }
+  const std::uint64_t after = tensor_allocations();
+  EXPECT_GT(after, before);
+  // Workspace steady-state reuse must not move the process counter.
+  Workspace ws;
+  const Workspace::Mark m = ws.mark();
+  ws.get({16});
+  ws.rewind(m);
+  const std::uint64_t warm = tensor_allocations();
+  const Workspace::Mark m2 = ws.mark();
+  ws.get({16});
+  ws.rewind(m2);
+  EXPECT_EQ(tensor_allocations(), warm);
+}
+
+TEST(Arena, TensorResizeReusesCapacity) {
+  Tensor t({100});
+  const std::uint64_t after_ctor = tensor_allocations();
+  t.resize({50});                      // shrink: reuse
+  t.resize({100});                     // regrow into capacity: reuse
+  EXPECT_EQ(tensor_allocations(), after_ctor);
+  EXPECT_EQ(t.shape(), Shape({100}));
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);  // resize zero-fills
+  t.resize({101});                     // beyond capacity: counted
+  EXPECT_GT(tensor_allocations(), after_ctor);
+}
+
+}  // namespace
+}  // namespace adafl::tensor

@@ -1,0 +1,287 @@
+// Bitwise equivalence of every `_into` kernel against its allocating twin.
+//
+// The zero-allocation hot path is only admissible because each `_into`
+// variant shares its loop body (and therefore its floating-point
+// accumulation order) with the allocating form. These tests pin that
+// contract on randomized shapes: any divergence — including a single ULP —
+// fails.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "compress/codec.h"
+#include "compress/dgc.h"
+#include "compress/wire.h"
+#include "data/synthetic.h"
+#include "nn/loss.h"
+#include "tensor/arena.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace adafl {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+bool bitwise_equal(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() && bitwise_equal(a.flat(), b.flat());
+}
+
+TEST(IntoKernels, MatmulTwinsBitwiseOnRandomShapes) {
+  tensor::Rng rng(11);
+  // (m, k, n) triples chosen to cross the blocking boundaries.
+  const std::int64_t shapes[][3] = {
+      {1, 1, 1}, {3, 5, 7}, {17, 33, 9}, {64, 64, 64}, {65, 31, 130}};
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], k = s[1], n = s[2];
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+
+    Tensor c({m, n});  // zero-filled: matmul_into accumulates
+    tensor::matmul_into(a, b, c);
+    EXPECT_TRUE(bitwise_equal(tensor::matmul(a, b), c)) << m << "x" << k;
+
+    Tensor at = Tensor::randn({k, m}, rng);
+    Tensor ctn({m, n});
+    tensor::matmul_tn_into(at, b, ctn);
+    EXPECT_TRUE(bitwise_equal(tensor::matmul_tn(at, b), ctn));
+
+    Tensor bt = Tensor::randn({n, k}, rng);
+    Tensor cnt({m, n});
+    tensor::matmul_nt_into(a, bt, cnt);
+    EXPECT_TRUE(bitwise_equal(tensor::matmul_nt(a, bt), cnt));
+  }
+}
+
+TEST(IntoKernels, MatmulIntoAccumulates) {
+  tensor::Rng rng(3);
+  Tensor a = Tensor::randn({4, 6}, rng);
+  Tensor b = Tensor::randn({6, 5}, rng);
+  Tensor c({4, 5});
+  tensor::matmul_into(a, b, c);
+  Tensor twice = c;  // c now holds A*B; a second call must add another A*B
+  tensor::matmul_into(a, b, twice);
+  const Tensor once = tensor::matmul(a, b);
+  for (std::int64_t i = 0; i < twice.size(); ++i)
+    EXPECT_FLOAT_EQ(twice.flat()[i], c.flat()[i] + once.flat()[i]);
+}
+
+TEST(IntoKernels, LogSoftmaxRowsBitwise) {
+  tensor::Rng rng(5);
+  for (std::int64_t rows : {1, 7, 32}) {
+    for (std::int64_t cols : {2, 10, 65}) {
+      Tensor logits = Tensor::randn({rows, cols}, rng, 0.0f, 3.0f);
+      Tensor out({rows, cols});
+      tensor::log_softmax_rows_into(logits, out);
+      EXPECT_TRUE(bitwise_equal(tensor::log_softmax_rows(logits), out));
+    }
+  }
+}
+
+TEST(IntoKernels, SoftmaxCrossEntropyBitwise) {
+  tensor::Rng rng(9);
+  tensor::Workspace ws;
+  for (std::int64_t n : {1, 13, 40}) {
+    const std::int64_t classes = 10;
+    Tensor logits = Tensor::randn({n, classes}, rng, 0.0f, 2.0f);
+    std::vector<std::int32_t> labels(static_cast<std::size_t>(n));
+    for (auto& l : labels)
+      l = static_cast<std::int32_t>(rng.uniform_index(static_cast<std::uint64_t>(classes)));
+
+    const nn::LossResult ref = nn::softmax_cross_entropy(logits, labels);
+    Tensor grad({n, classes});
+    const float loss =
+        nn::softmax_cross_entropy_into(logits, labels, grad, ws);
+    EXPECT_EQ(loss, ref.loss);
+    EXPECT_TRUE(bitwise_equal(ref.grad, grad));
+  }
+}
+
+TEST(IntoKernels, ElementwiseIntoMatchesReference) {
+  tensor::Rng rng(21);
+  Tensor a = Tensor::randn({6, 9}, rng);
+  Tensor b = Tensor::randn({6, 9}, rng);
+  Tensor out({6, 9}), mask({6, 9});
+
+  tensor::add_into(a, b, out);
+  for (std::int64_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out.flat()[i], a.flat()[i] + b.flat()[i]);
+
+  tensor::mul_into(a, b, out);
+  for (std::int64_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out.flat()[i], a.flat()[i] * b.flat()[i]);
+
+  tensor::scale_into(a, 0.25f, out);
+  for (std::int64_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out.flat()[i], 0.25f * a.flat()[i]);
+
+  tensor::relu_into(a, out, mask);
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.flat()[i], a.flat()[i] > 0.0f ? a.flat()[i] : 0.0f);
+    EXPECT_EQ(mask.flat()[i], a.flat()[i] > 0.0f ? 1.0f : 0.0f);
+  }
+}
+
+TEST(IntoKernels, TopKIntoMatchesIncludingTies) {
+  tensor::Rng rng(31);
+  std::vector<std::uint32_t> out, scratch;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t n = 1 + static_cast<std::int64_t>(rng.uniform_index(200));
+    const std::int64_t k = 1 + static_cast<std::int64_t>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+    std::vector<float> v(static_cast<std::size_t>(n));
+    // Coarse quantization forces magnitude ties, exercising the
+    // lower-index tie-break both paths must share.
+    for (auto& x : v)
+      x = 0.5f * static_cast<float>(
+                     static_cast<int>(rng.normal() * 2.0));
+    const auto ref = compress::top_k_by_magnitude(v, k);
+    compress::top_k_by_magnitude_into(v, k, out, scratch);
+    EXPECT_EQ(ref, out) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(IntoKernels, EncodeTopKIntoBitwiseAndFieldReset) {
+  tensor::Rng rng(37);
+  std::vector<float> v(300);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+
+  compress::EncodedGradient reused;
+  // Poison every field the encoder must reset.
+  reused.levels.assign(64, 3);
+  reused.scale = 123.0f;
+  reused.quant_levels = 8;
+  reused.indices.assign(512, 7);
+  reused.values.assign(512, -1.0f);
+  std::vector<std::uint32_t> scratch;
+
+  for (std::int64_t k : {1, 30, 300}) {
+    const auto ref = compress::encode_top_k(v, k);
+    compress::encode_top_k_into(v, k, reused, scratch);
+    EXPECT_EQ(reused.kind, ref.kind);
+    EXPECT_EQ(reused.dense_size, ref.dense_size);
+    EXPECT_EQ(reused.wire_bytes, ref.wire_bytes);
+    EXPECT_EQ(reused.indices, ref.indices);
+    EXPECT_TRUE(bitwise_equal(reused.values, ref.values));
+    EXPECT_TRUE(reused.levels.empty());
+    EXPECT_EQ(reused.scale, ref.scale);
+    EXPECT_EQ(reused.quant_levels, ref.quant_levels);
+  }
+}
+
+TEST(IntoKernels, DecodeIntoBitwise) {
+  tensor::Rng rng(41);
+  std::vector<float> v(128);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  const auto msg = compress::encode_top_k(v, 16);
+  std::vector<float> dense(7, 99.0f);  // wrong size + stale data
+  msg.decode_into(dense);
+  EXPECT_TRUE(bitwise_equal(msg.decode(), dense));
+}
+
+TEST(IntoKernels, DgcCompressIntoBitwiseTwins) {
+  // Two compressors with identical config fed the identical gradient
+  // sequence — one through compress(), one through compress_into() with a
+  // reused message — must stay bitwise identical round after round
+  // (momentum + residual state included).
+  const std::int64_t dim = 600;
+  compress::DgcConfig cfg;
+  cfg.momentum = 0.9f;
+  compress::DgcCompressor alloc_path(dim, cfg);
+  compress::DgcCompressor into_path(dim, cfg);
+
+  tensor::Rng rng(53);
+  compress::EncodedGradient reused;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<float> grad(static_cast<std::size_t>(dim));
+    for (auto& g : grad) g = static_cast<float>(rng.normal());
+    const double ratio = round % 2 == 0 ? 0.0 : 32.0;
+
+    const auto ref = alloc_path.compress(grad, ratio);
+    into_path.compress_into(grad, ratio, reused);
+    EXPECT_EQ(reused.indices, ref.indices) << "round " << round;
+    EXPECT_TRUE(bitwise_equal(reused.values, ref.values));
+    EXPECT_EQ(reused.wire_bytes, ref.wire_bytes);
+    EXPECT_EQ(reused.dense_size, ref.dense_size);
+  }
+}
+
+TEST(IntoKernels, WireSerializeIntoBitwise) {
+  tensor::Rng rng(61);
+  std::vector<float> v(200);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+
+  std::vector<std::uint8_t> buf(5, 0xAB);  // stale bytes must vanish
+  for (std::int64_t k : {200, 20, 3}) {
+    const auto msg = compress::encode_top_k(v, k);
+    const auto ref = compress::serialize(msg);
+    compress::serialize_into(msg, buf);
+    EXPECT_EQ(ref, buf);
+  }
+}
+
+TEST(IntoKernels, WireDeserializeIntoResetsEveryField) {
+  tensor::Rng rng(67);
+  std::vector<float> v(150);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+
+  // First frame: a large top-k message to stretch the reused vectors.
+  compress::EncodedGradient reused;
+  compress::deserialize_into(compress::serialize(compress::encode_top_k(v, 100)),
+                             reused);
+  EXPECT_EQ(reused.indices.size(), 100u);
+
+  // Second frame: a smaller message — the reused struct must equal a fresh
+  // deserialize in every field, with no leak from frame one.
+  const auto small = compress::serialize(compress::encode_top_k(v, 4));
+  const auto ref = compress::deserialize(small);
+  compress::deserialize_into(small, reused);
+  EXPECT_EQ(reused.kind, ref.kind);
+  EXPECT_EQ(reused.dense_size, ref.dense_size);
+  EXPECT_EQ(reused.wire_bytes, ref.wire_bytes);
+  EXPECT_EQ(reused.indices, ref.indices);
+  EXPECT_TRUE(bitwise_equal(reused.values, ref.values));
+  EXPECT_EQ(reused.levels, ref.levels);
+  EXPECT_EQ(reused.scale, ref.scale);
+  EXPECT_EQ(reused.quant_levels, ref.quant_levels);
+}
+
+TEST(IntoKernels, DatasetGatherIntoAndNextIntoBitwise) {
+  data::SyntheticConfig cfg;
+  cfg.spec = {1, 8, 8, 4};
+  cfg.num_samples = 60;
+  cfg.seed = 5;
+  const data::Dataset ds = data::make_synthetic(cfg);
+
+  const std::vector<std::int32_t> idx{3, 0, 59, 17, 17};
+  nn::Batch reused;
+  reused.labels.assign(40, -1);
+  ds.gather_into(idx, reused);
+  const nn::Batch ref = ds.gather(idx);
+  EXPECT_TRUE(bitwise_equal(ref.inputs, reused.inputs));
+  EXPECT_EQ(ref.labels, reused.labels);
+
+  // Two loaders with the same seed must emit identical batch streams
+  // whether drawn via next() or next_into().
+  std::vector<std::int32_t> all(60);
+  for (int i = 0; i < 60; ++i) all[i] = i;
+  data::BatchLoader a(&ds, all, 16, tensor::Rng(99));
+  data::BatchLoader b(&ds, all, 16, tensor::Rng(99));
+  nn::Batch batch;
+  for (int step = 0; step < 10; ++step) {
+    const nn::Batch want = a.next();
+    b.next_into(batch);
+    EXPECT_TRUE(bitwise_equal(want.inputs, batch.inputs)) << "step " << step;
+    EXPECT_EQ(want.labels, batch.labels);
+  }
+}
+
+}  // namespace
+}  // namespace adafl
