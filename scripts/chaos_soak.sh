@@ -9,10 +9,15 @@
 #    the surviving clients redial it and finish the run.
 # 4. The recovered deployment must report the reference weights-crc32 —
 #    bitwise recovery, not approximate — and a "resumed-from:" line.
+# 5. All three runs record JSONL traces; the two server segments, stitched
+#    across the kill -9 boundary by trace_diff.py's resume rule, must be
+#    semantically identical to the uninterrupted simulator trace (transport
+#    and checkpoint/resume events explicitly ignored).
 #
 # Usage: scripts/chaos_soak.sh [build_dir]
 set -euo pipefail
 
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 BUILD_DIR="${1:-build}"
 CLI_DIR="$BUILD_DIR/src/cli"
 CLIENTS=4
@@ -43,7 +48,7 @@ extract() { sed -n "s/^$2: //p" "$1" | head -n1; }
 
 echo "== reference run (flsim --algo=adafl-sync) =="
 "$CLI_DIR/flsim" --algo=adafl-sync "${TASK_FLAGS[@]}" --chart=0 \
-  > "$workdir/sim.log"
+  --trace="$workdir/sim.jsonl" > "$workdir/sim.log"
 ref_crc="$(extract "$workdir/sim.log" weights-crc32)"
 ref_acc="$(extract "$workdir/sim.log" final-accuracy)"
 echo "reference: accuracy=$ref_acc weights-crc32=$ref_crc"
@@ -55,6 +60,7 @@ echo
 echo "== phase 1: deployed run, then kill -9 the server =="
 "$CLI_DIR/flserver" --port=0 "${TASK_FLAGS[@]}" \
   --checkpoint-dir="$ckpt_dir" --checkpoint-every=1 \
+  --trace="$workdir/server1.jsonl" \
   > "$workdir/server1.log" 2>&1 &
 server_pid=$!
 
@@ -103,6 +109,7 @@ echo
 echo "== phase 2: resume on the same port and finish =="
 "$CLI_DIR/flserver" --port="$port" "${TASK_FLAGS[@]}" \
   --checkpoint-dir="$ckpt_dir" --checkpoint-every=1 --resume=1 \
+  --trace="$workdir/server2.jsonl" \
   > "$workdir/server2.log" 2>&1 &
 server_pid=$!
 
@@ -140,3 +147,18 @@ if [[ "$dep_crc" != "$ref_crc" || "$dep_acc" != "$ref_acc" ]]; then
   exit 1
 fi
 echo "PASS: kill -9 recovery is bitwise identical to the uninterrupted run"
+
+echo
+echo "== trace equivalence across the kill -9 boundary =="
+# The stitched server segments (server1 may end in a SIGKILL-truncated line;
+# server2's manifest rewinds to its resume round) must replay the exact
+# semantic event stream of the uninterrupted simulator. Checkpoint/resume
+# events only exist on the recovering path, so they join the transport
+# events on the explicit ignore list.
+if ! python3 "$SCRIPT_DIR/trace_diff.py" \
+    "$workdir/server1.jsonl,$workdir/server2.jsonl" "$workdir/sim.jsonl" \
+    --ignore=frame_tx,frame_rx,retransmit,reconnect,checkpoint,resume; then
+  echo "FAIL: stitched deployed trace diverged from the simulator trace" >&2
+  exit 1
+fi
+echo "PASS: stitched kill/resume trace is semantically identical to flsim"

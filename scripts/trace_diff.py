@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Compare two AdaFL JSONL run traces for semantic equivalence.
+
+Usage:
+  trace_diff.py A.jsonl B.jsonl
+  trace_diff.py seg1.jsonl,seg2.jsonl B.jsonl --ignore=checkpoint,resume
+
+Each trace argument is a comma-separated list of JSONL segments: a run that
+was killed and resumed produces one file per process, and the segments are
+stitched by the resume rule — a manifest line with start_round=r discards all
+previously accumulated events with round >= r (those rounds were replayed by
+the resumed process), then the segment's events are appended. A truncated
+final line (SIGKILL mid-write) is tolerated and dropped.
+
+Comparison semantics:
+  * The wall-clock field "t" is stripped from every event unless --keep-time
+    is given: "t" is simulated time in flsim and wall time in flserver, so it
+    can never match across producers.
+  * Event types named by --ignore (default: the transport-only event types
+    frame_tx,frame_rx,retransmit,reconnect, which flsim never emits) are
+    dropped from both traces before comparison.
+  * Manifests are compared modulo producer, git, and start_round; everything
+    else (algo, seed, rounds, clients, config) must match exactly.
+
+Exit status: 0 if equivalent, 1 if different (a readable diff is printed),
+2 on usage or parse errors.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_IGNORE = "frame_tx,frame_rx,retransmit,reconnect"
+MANIFEST_IGNORED_KEYS = ("producer", "git", "start_round")
+
+
+def parse_lines(path, tolerate_partial_tail):
+    """Yield (lineno, obj) for each JSON line of one file."""
+    with open(path, "rb") as f:
+        data = f.read()
+    lines = data.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    out = []
+    for i, raw in enumerate(lines):
+        try:
+            obj = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            if tolerate_partial_tail and i == len(lines) - 1:
+                break  # killed mid-write; the tail line never became durable
+            raise SystemExit(f"error: {path}:{i + 1}: unparseable JSON line")
+        if not isinstance(obj, dict) or "ev" not in obj:
+            raise SystemExit(f"error: {path}:{i + 1}: not a trace event")
+        out.append(obj)
+    return out
+
+
+def load_trace(spec, tolerate_partial_tail):
+    """Load one trace (comma-separated stitched segments).
+
+    Returns (manifest, events). The first manifest wins for comparison; a
+    later manifest (resumed segment) rewinds accumulated events to its
+    start_round before appending.
+    """
+    manifest = None
+    events = []
+    for path in spec.split(","):
+        for obj in parse_lines(path, tolerate_partial_tail):
+            if obj.get("ev") == "manifest":
+                if manifest is None:
+                    manifest = obj
+                else:
+                    start = obj.get("start_round", 1)
+                    events = [e for e in events if e.get("round", 0) < start]
+                continue
+            events.append(obj)
+    if manifest is None:
+        raise SystemExit(f"error: {spec}: no manifest line found")
+    return manifest, events
+
+
+def normalize(events, ignore, keep_time):
+    out = []
+    for e in events:
+        if e["ev"] in ignore:
+            continue
+        if not keep_time:
+            e = {k: v for k, v in e.items() if k != "t"}
+        out.append(e)
+    return out
+
+
+def fmt(e):
+    return json.dumps(e, sort_keys=True, separators=(",", ":"))
+
+
+def diff_manifests(ma, mb):
+    """Return a list of difference strings (empty if equivalent)."""
+    diffs = []
+    keys = sorted(set(ma) | set(mb))
+    for k in keys:
+        if k in MANIFEST_IGNORED_KEYS:
+            continue
+        va, vb = ma.get(k), mb.get(k)
+        if va != vb:
+            diffs.append(f"manifest.{k}: {va!r} != {vb!r}")
+    return diffs
+
+
+def diff_events(ea, eb, context=2):
+    """Return difference strings around the first divergence (empty if equal)."""
+    n = min(len(ea), len(eb))
+    first = None
+    for i in range(n):
+        if ea[i] != eb[i]:
+            first = i
+            break
+    if first is None:
+        if len(ea) == len(eb):
+            return []
+        first = n
+    diffs = [f"event streams diverge at index {first} "
+             f"(A has {len(ea)} events, B has {len(eb)})"]
+    lo = max(0, first - context)
+    hi = first + context + 1
+    for i in range(lo, hi):
+        a = fmt(ea[i]) if i < len(ea) else "<end>"
+        b = fmt(eb[i]) if i < len(eb) else "<end>"
+        marker = "  " if a == b else "! "
+        diffs.append(f"{marker}[{i}] A: {a}")
+        diffs.append(f"{marker}[{i}] B: {b}")
+    return diffs
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="semantic diff of two AdaFL JSONL run traces")
+    ap.add_argument("trace_a", help="first trace (comma-separated segments)")
+    ap.add_argument("trace_b", help="second trace (comma-separated segments)")
+    ap.add_argument("--ignore", default=DEFAULT_IGNORE,
+                    help="comma-separated event types to drop before "
+                         f"comparing (default: {DEFAULT_IGNORE})")
+    ap.add_argument("--keep-time", action="store_true",
+                    help="compare the 't' field too (only meaningful when "
+                         "both traces share a clock, e.g. two flsim runs)")
+    ap.add_argument("--skip-manifest", action="store_true",
+                    help="do not compare manifests (event streams only)")
+    args = ap.parse_args()
+
+    ignore = {s for s in args.ignore.split(",") if s}
+    ma, ea = load_trace(args.trace_a, tolerate_partial_tail=True)
+    mb, eb = load_trace(args.trace_b, tolerate_partial_tail=True)
+    ea = normalize(ea, ignore, args.keep_time)
+    eb = normalize(eb, ignore, args.keep_time)
+
+    diffs = [] if args.skip_manifest else diff_manifests(ma, mb)
+    diffs += diff_events(ea, eb)
+    if diffs:
+        print(f"traces differ ({args.trace_a} vs {args.trace_b}):")
+        for d in diffs:
+            print(f"  {d}")
+        return 1
+    print(f"traces equivalent: {len(ea)} events compared "
+          f"({len(ignore)} event types ignored)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

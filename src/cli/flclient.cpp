@@ -17,6 +17,8 @@
 #include "cli/task.h"
 #include "core/parallel.h"
 #include "metrics/profile.h"
+#include "metrics/registry.h"
+#include "metrics/trace.h"
 #include "net/transport/faulty.h"
 #include "net/transport/session.h"
 
@@ -38,6 +40,10 @@ int main(int argc, char** argv) {
               "fault injection: crash once on receiving this round's model "
               "(0 = off)")
       .option("threads", "0", "worker threads (0 = auto)")
+      .option("trace", "",
+              "append structured JSONL run events to this file ('' = off)")
+      .option("metrics", "",
+              "write the metrics registry as JSON to this file ('' = off)")
       .option("profile", "0",
               "print per-phase wall time + tensor heap allocation counts "
               "after the run");
@@ -69,6 +75,25 @@ int main(int argc, char** argv) {
     cfg.backoff.max =
         std::chrono::milliseconds(args.get_int("backoff-max-ms"));
     cfg.backoff.max_attempts = args.get_int("max-attempts");
+
+    // Structured observability. The client does not know the task until the
+    // server's WELCOME, so the manifest only records connection-level facts;
+    // semantic (round-level) events live in the server's trace.
+    const std::string trace_path = args.get("trace");
+    const std::string metrics_path = args.get("metrics");
+    metrics::Tracer tracer;
+    metrics::Registry registry;
+    if (!trace_path.empty()) {
+      metrics::RunManifest manifest;
+      manifest.producer = "flclient";
+      manifest.algo = "adafl-sync";
+      manifest.config["host"] = host;
+      manifest.config["port"] = std::to_string(port);
+      manifest.config["client_id"] = std::to_string(cfg.client_id);
+      tracer.open(trace_path, manifest);
+      if (!metrics_path.empty()) tracer.attach_registry(&registry);
+      cfg.tracer = &tracer;
+    }
 
     // Fault injection: the first connection whose round reaches
     // --crash-at-round is severed on receiving that round's MODEL; the
@@ -113,6 +138,17 @@ int main(int argc, char** argv) {
         });
 
     const auto st = session.run();
+    if (tracer.enabled()) {
+      const std::int64_t n = tracer.events_recorded();
+      tracer.close();
+      std::cout << "wrote " << trace_path << " (" << n << " events)"
+                << std::endl;
+    }
+    if (!metrics_path.empty()) {
+      registry.export_profiler(metrics::PhaseProfiler::instance());
+      registry.write_json(metrics_path);
+      std::cout << "wrote " << metrics_path << std::endl;
+    }
     std::cout << "client-done: id=" << cfg.client_id
               << " completed=" << (st.completed ? 1 : 0)
               << " rounds-trained=" << st.rounds_trained

@@ -27,7 +27,9 @@
 #include "cli/task.h"
 #include "core/parallel.h"
 #include "metrics/profile.h"
+#include "metrics/registry.h"
 #include "metrics/table.h"
+#include "metrics/trace.h"
 #include "net/transport/crc32.h"
 #include "net/transport/session.h"
 
@@ -77,7 +79,13 @@ int main(int argc, char** argv) {
               "starting at round 1")
       .option("profile", "0",
               "print per-phase wall time + tensor heap allocation counts "
-              "after the run");
+              "after the run")
+      .option("trace", "",
+              "write a structured JSONL event trace to this path (manifest "
+              "+ semantic round events + deployed-only transport events)")
+      .option("metrics", "",
+              "write the end-of-run metrics registry (counters, gauges, "
+              "histograms) as JSON to this path");
   if (!args.parse(argc, argv)) {
     std::cerr << "flserver: " << args.error() << "\n\n" << args.usage();
     return 2;
@@ -111,6 +119,24 @@ int main(int argc, char** argv) {
     cfg.checkpoint_dir = args.get("checkpoint-dir");
     cfg.checkpoint_every = args.get_int_at_least("checkpoint-every", 1);
     cfg.resume = args.get_bool("resume");
+
+    // --- Structured observability: tracer + metrics registry.
+    metrics::Tracer tracer;
+    metrics::Registry registry;
+    const std::string trace_path = args.get("trace");
+    const std::string metrics_path = args.get("metrics");
+    if (!trace_path.empty()) {
+      metrics::RunManifest manifest;
+      manifest.producer = "flserver";
+      manifest.algo = "adafl-sync";
+      manifest.seed = spec.seed;
+      manifest.rounds = cfg.rounds;
+      manifest.clients = spec.clients;
+      manifest.config = cfg.client_config;
+      tracer.open(trace_path, std::move(manifest));
+      if (!metrics_path.empty()) tracer.attach_registry(&registry);
+      cfg.tracer = &tracer;
+    }
 
     net::transport::TcpListener listener(
         static_cast<std::uint16_t>(args.get_int("port")));
@@ -155,6 +181,18 @@ int main(int argc, char** argv) {
     done.store(true);
     listener.close();
     acceptor.join();
+
+    if (tracer.enabled()) {
+      tracer.close();
+      std::cout << "wrote " << trace_path << " (" << tracer.events_recorded()
+                << " events)" << std::endl;
+    }
+    if (!metrics_path.empty()) {
+      registry.export_ledger(log.ledger);
+      registry.export_profiler(metrics::PhaseProfiler::instance());
+      registry.write_json(metrics_path);
+      std::cout << "wrote " << metrics_path << std::endl;
+    }
 
     if (session.resumed_from() > 0)
       std::cout << "resumed-from: " << session.resumed_from() << std::endl;

@@ -26,7 +26,9 @@
 #include "fl/sync_trainer.h"
 #include "metrics/plot.h"
 #include "metrics/profile.h"
+#include "metrics/registry.h"
 #include "metrics/table.h"
+#include "metrics/trace.h"
 #include "net/transport/crc32.h"
 
 namespace {
@@ -99,7 +101,14 @@ int main(int argc, char** argv) {
               "final weights are bitwise identical to an uninterrupted one")
       .option("profile", "0",
               "print per-phase wall time + tensor heap allocation counts "
-              "after the run");
+              "after the run")
+      .option("trace", "",
+              "write a structured JSONL event trace to this path "
+              "(manifest + per-round selection/delivery events; same-seed "
+              "runs produce byte-identical traces)")
+      .option("metrics", "",
+              "write the end-of-run metrics registry (counters, gauges, "
+              "histograms) as JSON to this path");
   if (!args.parse(argc, argv)) {
     std::cerr << "flsim: " << args.error() << "\n\n" << args.usage();
     return 2;
@@ -138,6 +147,23 @@ int main(int argc, char** argv) {
     if (!ckpt_dir.empty()) {
       std::signal(SIGINT, handle_stop_signal);
       std::signal(SIGTERM, handle_stop_signal);
+    }
+
+    // --- Structured observability: tracer + metrics registry.
+    metrics::Tracer tracer;
+    metrics::Registry registry;
+    const std::string trace_path = args.get("trace");
+    const std::string metrics_path = args.get("metrics");
+    if (!trace_path.empty()) {
+      metrics::RunManifest manifest;
+      manifest.producer = "flsim";
+      manifest.algo = algo;
+      manifest.seed = seed;
+      manifest.rounds = round_sync ? args.get_int("rounds") : 0;
+      manifest.clients = clients;
+      manifest.config = cli::task_to_kv(spec, client);
+      tracer.open(trace_path, std::move(manifest));
+      if (!metrics_path.empty()) tracer.attach_registry(&registry);
     }
 
     // One-line run config (threads resolved, not the raw flag) so logs and
@@ -184,6 +210,7 @@ int main(int argc, char** argv) {
       cfg.client = client;
       cfg.links = links;
       cfg.seed = seed;
+      cfg.tracer = &tracer;
       fl::AsyncTrainer t(cfg, task.factory, &task.train, task.parts,
                          &task.test);
       log = t.run();
@@ -196,6 +223,7 @@ int main(int argc, char** argv) {
       cfg.client = client;
       cfg.links = links;
       cfg.seed = seed;
+      cfg.tracer = &tracer;
       fl::FedAtTrainer t(cfg, task.factory, &task.train, task.parts,
                          &task.test);
       log = t.run();
@@ -212,6 +240,7 @@ int main(int argc, char** argv) {
       cfg.checkpoint_every = ckpt_every;
       cfg.resume = resume;
       cfg.stop = &g_stop;
+      cfg.tracer = &tracer;
       core::AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts,
                                &task.test);
       log = t.run();
@@ -228,12 +257,25 @@ int main(int argc, char** argv) {
       cfg.seed = seed;
       cfg.params.max_selected = args.get_int("k");
       cfg.params.tau = args.get_double("tau");
+      cfg.tracer = &tracer;
       core::AdaFlAsyncTrainer t(cfg, task.factory, &task.train, task.parts,
                                 &task.test);
       log = t.run();
     } else {
       std::cerr << "flsim: unknown --algo=" << algo << "\n\n" << args.usage();
       return 2;
+    }
+
+    if (tracer.enabled()) {
+      tracer.close();
+      std::cout << "wrote " << trace_path << " (" << tracer.events_recorded()
+                << " events)\n";
+    }
+    if (!metrics_path.empty()) {
+      registry.export_ledger(log.ledger);
+      registry.export_profiler(metrics::PhaseProfiler::instance());
+      registry.write_json(metrics_path);
+      std::cout << "wrote " << metrics_path << "\n";
     }
 
     // --- Report.

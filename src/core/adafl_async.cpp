@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metrics/trace.h"
+
 namespace adafl::core {
 
 namespace {
@@ -92,6 +94,12 @@ fl::TrainLog AdaFlAsyncTrainer::run() {
       delivered_since_eval_ = 0;
       loss_since_eval_ = 0.0;
       losses_since_eval_ = 0;
+      if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+        cfg_.tracer->record(metrics::ev_round_end(
+            rec.round, rec.participants, rec.mean_train_loss, true,
+            rec.test_accuracy, t));
+        cfg_.tracer->flush();
+      }
     });
   }
 
@@ -235,6 +243,10 @@ void AdaFlAsyncTrainer::on_arrival(int client_id,
   ++stats_.selected_updates;
   loss_since_eval_ += loss;
   ++losses_since_eval_;
+  if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+    cfg_.tracer->record(metrics::ev_update_delivered(
+        delivered_, client_id, msg.wire_bytes, 0,
+        static_cast<double>(loss)));
   start_cycle(client_id);
 }
 

@@ -23,6 +23,9 @@ struct AdaFlAsyncConfig {
   double eval_interval = 50.0;
   std::uint64_t seed = 1;
   fl::AsyncFaults faults;
+  /// Optional structured tracer: update_delivered per accepted upload
+  /// (bytes = compressed wire size), round_end at each eval tick. Not owned.
+  metrics::Tracer* tracer = nullptr;
 };
 
 /// Event-driven AdaFL in the fully-asynchronous setting. Clients gate their

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metrics/trace.h"
 #include "tensor/check.h"
 #include "tensor/tensor.h"
 
@@ -78,6 +79,23 @@ AdaFlRoundPlan AdaFlServerCore::plan_round(const std::vector<double>& scores,
     plan.sel.below_threshold.push_back(
         cids[static_cast<std::size_t>(j)]);
 
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Selected clients in selection order (aligned with plan.ratios), then
+    // every present-but-unselected client in ascending id order — a fully
+    // deterministic emission order shared by both paths.
+    for (std::size_t j = 0; j < csel.selected.size(); ++j)
+      tracer_->record(metrics::ev_client_selected(
+          round, plan.sel.selected[j],
+          cscores[static_cast<std::size_t>(csel.selected[j])],
+          plan.ratios[j]));
+    std::vector<bool> is_selected(cids.size(), false);
+    for (int j : csel.selected) is_selected[static_cast<std::size_t>(j)] = true;
+    for (std::size_t j = 0; j < cids.size(); ++j)
+      if (!is_selected[j])
+        tracer_->record(
+            metrics::ev_client_skipped(round, cids[j], cscores[j]));
+  }
+
   stats_.skipped_clients += static_cast<std::int64_t>(cids.size()) -
                             static_cast<std::int64_t>(plan.sel.selected.size());
   selected_sum_ += static_cast<std::int64_t>(plan.sel.selected.size());
@@ -112,9 +130,13 @@ AdaFlRoundOutcome AdaFlServerCore::apply_round(
   double weight_sum = 0.0;
   double delta_norm_wsum = 0.0;  // for the server trust region
   AdaFlRoundOutcome out;
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
   for (int id : plan.sel.selected) {
     const AdaFlDelivery* found = find(id);
-    if (found == nullptr) continue;  // lost in transit
+    if (found == nullptr) {  // lost in transit
+      if (traced) tracer_->record(metrics::ev_update_lost(plan.round, id));
+      continue;
+    }
     const AdaFlDelivery& dl = *found;
     ADAFL_CHECK_MSG(dl.msg.kind == compress::CodecKind::kTopK,
                     "apply_round: client " << id << " sent a non-top-k kind");
@@ -132,6 +154,13 @@ AdaFlRoundOutcome AdaFlServerCore::apply_round(
     out.loss_sum += dl.mean_loss;
     ++out.delivered;
     ++stats_.selected_updates;
+    if (traced)
+      // wire_bytes is the codec-level serialized size, which both paths
+      // compute identically (the simulator from serialize(), the deployed
+      // server from the received payload).
+      tracer_->record(metrics::ev_update_delivered(
+          plan.round, id, dl.msg.wire_bytes, dl.num_examples,
+          static_cast<double>(dl.mean_loss)));
   }
 
   if (weight_sum > 0.0) {

@@ -22,6 +22,10 @@
 #include "core/config.h"
 #include "core/selection.h"
 
+namespace adafl::metrics {
+class Tracer;
+}
+
 namespace adafl::core {
 
 /// Seed salt for AdaFL client construction: every path that instantiates
@@ -106,6 +110,13 @@ class AdaFlServerCore {
   /// Restores a state() snapshot. The dimensions must match this core's.
   void restore(State s);
 
+  /// Attaches a structured tracer. Both the simulated and the deployed
+  /// caller hand their tracer to the core, which is what makes the
+  /// selection/ratio/delivery events of the two paths identical by
+  /// construction: they are emitted from the same code in the same order
+  /// (selection order, not arrival order). nullptr detaches.
+  void set_tracer(metrics::Tracer* tracer) { tracer_ = tracer; }
+
   const std::vector<float>& global() const { return global_; }
   /// g_hat: the last aggregated update, the similarity reference for
   /// utility scoring (zeros until the first applied round).
@@ -123,6 +134,7 @@ class AdaFlServerCore {
   std::int64_t selected_sum_ = 0;
   int rounds_planned_ = 0;
   std::vector<float> sum_delta_;  ///< per-round aggregation buffer, reused
+  metrics::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace adafl::core

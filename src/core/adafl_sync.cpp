@@ -7,6 +7,7 @@
 #include "core/selection.h"
 #include "core/server_checkpoint.h"
 #include "metrics/profile.h"
+#include "metrics/trace.h"
 
 namespace adafl::core {
 
@@ -52,6 +53,10 @@ fl::TrainLog AdaFlSyncTrainer::run() {
   log.dense_update_bytes = dense_bytes;
 
   double clock = 0.0;
+
+  metrics::Tracer* const tracer = cfg_.tracer;
+  const bool traced = tracer != nullptr && tracer->enabled();
+  core_.set_tracer(traced ? tracer : nullptr);
 
   // --- Crash recovery: durable checkpoint / resume / early stop.
   const bool ckpt = !cfg_.checkpoint_path.empty();
@@ -151,16 +156,22 @@ fl::TrainLog AdaFlSyncTrainer::run() {
     clock = ck.clock;
     start_round = static_cast<int>(ck.next_round);
     log.ledger.record_recovery();
+    if (traced) {
+      tracer->set_start_round(start_round);
+      tracer->record(metrics::ev_resume(start_round, clock));
+    }
   }
 
   for (int round = start_round; round <= cfg_.rounds; ++round) {
     if (cfg_.stop && cfg_.stop->load(std::memory_order_acquire)) {
       // Round boundaries are the commit points: the interrupted round has
       // not touched any state yet, so it simply replays after resume.
+      if (traced) tracer->flush();  // durable before the checkpoint exists
       if (ckpt) save(round);
       log.interrupted = true;
       break;
     }
+    if (traced) tracer->record(metrics::ev_round_start(round, clock));
     // --- Every client downloads the fresh global model and trains; it also
     // derives g_hat locally from consecutive global models, so scoring costs
     // no extra traffic. Results land in reused per-client slots.
@@ -268,7 +279,11 @@ fl::TrainLog AdaFlSyncTrainer::run() {
 
     clock += round_time + kServerOverheadSeconds;
 
-    if (round % cfg_.eval_every == 0 || round == cfg_.rounds) {
+    const double round_mean_loss =
+        out.delivered > 0 ? out.loss_sum / static_cast<double>(out.delivered)
+                          : 0.0;
+    const bool evaled = round % cfg_.eval_every == 0 || round == cfg_.rounds;
+    if (evaled) {
       metrics::PhaseProfiler::Scope prof("eval");
       eval_model_.set_flat(core_.global());
       fl::RoundRecord rec;
@@ -276,18 +291,32 @@ fl::TrainLog AdaFlSyncTrainer::run() {
       rec.time = clock;
       if (eval_batch_.size() == 0) eval_batch_ = test_->all();
       rec.test_accuracy = eval_model_.accuracy(eval_batch_);
-      rec.mean_train_loss =
-          out.delivered > 0 ? out.loss_sum / static_cast<double>(out.delivered)
-                            : 0.0;
+      rec.mean_train_loss = round_mean_loss;
       rec.participants = out.delivered;
       log.records.push_back(rec);
     }
 
-    if (ckpt && (round % cfg_.checkpoint_every == 0 || round == cfg_.rounds))
+    if (traced) {
+      tracer->record(metrics::ev_round_end(
+          round, out.delivered, round_mean_loss, evaled,
+          evaled ? log.records.back().test_accuracy : 0.0, clock));
+      // Round boundary = flush point; also the durability point the crash
+      // stitcher relies on (the trace always covers at least as many rounds
+      // as the checkpoint written right after).
+      tracer->flush();
+    }
+
+    if (ckpt && (round % cfg_.checkpoint_every == 0 || round == cfg_.rounds)) {
       save(round + 1);
+      if (traced)
+        tracer->record(
+            metrics::ev_checkpoint(round, cfg_.checkpoint_path, clock));
+    }
     if (cfg_.on_round_end) cfg_.on_round_end(round);
   }
 
+  if (traced) tracer->flush();
+  core_.set_tracer(nullptr);
   log.applied_updates = core_.stats().selected_updates;
   log.total_time = clock;
   return log;

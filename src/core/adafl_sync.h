@@ -40,6 +40,12 @@ struct AdaFlSyncConfig {
   const std::atomic<bool>* stop = nullptr;
   /// Test hook: runs after each round (and its cadence checkpoint, if any).
   std::function<void(int round)> on_round_end;
+
+  /// Optional structured tracer (metrics/trace.h). The trainer forwards it
+  /// to the shared server core and emits round_start/round_end/checkpoint/
+  /// resume events; `t` fields carry the *simulated* clock, so same-seed
+  /// traces are byte-identical. Not owned; must outlive run().
+  metrics::Tracer* tracer = nullptr;
 };
 
 /// Runs AdaFL in the synchronous (top-k topology) setting.

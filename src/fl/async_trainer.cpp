@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/parallel.h"
+#include "metrics/trace.h"
 
 namespace adafl::fl {
 
@@ -92,6 +93,12 @@ TrainLog AsyncTrainer::run() {
       delivered_since_eval_ = 0;
       loss_since_eval_ = 0.0;
       losses_since_eval_ = 0;
+      if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+        cfg_.tracer->record(metrics::ev_round_end(
+            rec.round, rec.participants, rec.mean_train_loss, true,
+            rec.test_accuracy, t));
+        cfg_.tracer->flush();
+      }
     });
   }
 
@@ -215,6 +222,9 @@ void AsyncTrainer::on_arrival(int client_id, std::vector<float> local,
   ++delivered_since_eval_;
   loss_since_eval_ += loss;
   ++losses_since_eval_;
+  if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+    cfg_.tracer->record(metrics::ev_update_delivered(
+        delivered_, client_id, dense_bytes_, 0, static_cast<double>(loss)));
   // Client immediately begins its next cycle.
   start_cycle(client_id);
 }

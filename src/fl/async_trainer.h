@@ -11,6 +11,10 @@
 #include "net/event_queue.h"
 #include "net/link.h"
 
+namespace adafl::metrics {
+class Tracer;
+}
+
 namespace adafl::fl {
 
 /// Fault model for asynchronous runs.
@@ -40,6 +44,9 @@ struct AsyncConfig {
   double eval_interval = 50.0;
   std::uint64_t seed = 1;
   AsyncFaults faults;
+  /// Optional structured tracer: update_delivered per applied update,
+  /// round_end at each eval tick (t = simulated seconds). Not owned.
+  metrics::Tracer* tracer = nullptr;
 };
 
 /// Runs an asynchronous FL experiment on a discrete-event simulator.

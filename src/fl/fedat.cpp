@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "metrics/trace.h"
+
 namespace adafl::fl {
 
 namespace {
@@ -101,6 +103,12 @@ TrainLog FedAtTrainer::run() {
       delivered_since_eval_ = 0;
       loss_since_eval_ = 0.0;
       losses_since_eval_ = 0;
+      if (cfg_.tracer != nullptr && cfg_.tracer->enabled()) {
+        cfg_.tracer->record(metrics::ev_round_end(
+            rec.round, rec.participants, rec.mean_train_loss, true,
+            rec.test_accuracy, t));
+        cfg_.tracer->flush();
+      }
     });
   }
 
@@ -164,6 +172,10 @@ void FedAtTrainer::on_tier_arrival(int tier, std::vector<float> tier_delta,
   ++delivered_since_eval_;
   loss_since_eval_ += loss;
   ++losses_since_eval_;
+  if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+    cfg_.tracer->record(metrics::ev_update_delivered(
+        static_cast<int>(applied_), tier, dense_bytes_, 0,
+        static_cast<double>(loss)));
   rebuild_global();
   start_tier_round(tier);
 }

@@ -12,6 +12,10 @@
 #include "net/event_queue.h"
 #include "net/link.h"
 
+namespace adafl::metrics {
+class Tracer;
+}
+
 namespace adafl::fl {
 
 /// Configuration of one FedAT run.
@@ -22,6 +26,9 @@ struct FedAtConfig {
   ClientTrainConfig client;
   std::vector<net::LinkConfig> links;  ///< empty = ideal network
   std::uint64_t seed = 1;
+  /// Optional structured tracer: update_delivered per applied tier round
+  /// (client field = tier id), round_end at each eval tick. Not owned.
+  metrics::Tracer* tracer = nullptr;
 };
 
 /// Event-driven FedAT trainer.

@@ -1,0 +1,180 @@
+#include "metrics/registry.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "metrics/ledger.h"
+#include "metrics/profile.h"
+#include "tensor/check.h"
+
+namespace adafl::metrics {
+
+namespace {
+
+void append_f64(std::string& out, double v) {
+  char buf[32];
+  auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, r.ptr);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, r.ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, r.ptr);
+}
+
+void append_key(std::string& out, const std::string& name, bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  out += name;  // instrument names are code-controlled: no escaping needed
+  out += "\":";
+}
+
+/// Phase names come from code too, but sanitize to keep the JSON keys flat.
+std::string metric_safe(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+            c == '-')
+               ? c
+               : '_';
+  return out;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  ADAFL_CHECK_MSG(std::isfinite(v) && v >= 0.0,
+                  "histogram: observation must be finite and >= 0, got "
+                      << v);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  int b = 0;
+  if (v >= 1.0) {
+    b = std::ilogb(v) + 1;
+    if (b >= kBuckets) b = kBuckets - 1;
+  }
+  ++buckets_[b];
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::export_ledger(const CommLedger& ledger) {
+  struct Item {
+    const char* name;
+    std::int64_t value;
+  };
+  const Item items[] = {
+      {"comm.upload_bytes", ledger.total_upload_bytes()},
+      {"comm.download_bytes", ledger.total_download_bytes()},
+      {"comm.retransmitted_bytes", ledger.total_retransmitted_bytes()},
+      {"comm.reconnects", ledger.total_reconnects()},
+      {"comm.recoveries", ledger.total_recoveries()},
+      {"comm.injected_faults", ledger.total_faults()},
+      {"comm.delivered_updates", ledger.delivered_updates()},
+      {"comm.attempted_updates", ledger.attempted_updates()},
+  };
+  for (const Item& it : items) {
+    Counter& c = counter(it.name);
+    c.add(it.value - c.value());  // idempotent re-export
+  }
+  gauge("comm.min_update_bytes")
+      .set(static_cast<double>(ledger.min_update_bytes()));
+  gauge("comm.max_update_bytes")
+      .set(static_cast<double>(ledger.max_update_bytes()));
+}
+
+void Registry::export_profiler(const PhaseProfiler& profiler) {
+  for (const PhaseProfiler::Entry& e : profiler.entries()) {
+    const std::string base = "profile." + metric_safe(e.name);
+    gauge(base + ".seconds").set(e.seconds);
+    Counter& calls = counter(base + ".calls");
+    calls.add(static_cast<std::int64_t>(e.calls) - calls.value());
+    Counter& allocs = counter(base + ".tensor_allocs");
+    allocs.add(static_cast<std::int64_t>(e.tensor_allocs) - allocs.value());
+  }
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    append_key(out, name, first);
+    append_i64(out, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    append_key(out, name, first);
+    append_f64(out, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    append_key(out, name, first);
+    out += "{\"count\":";
+    append_u64(out, h->count());
+    out += ",\"sum\":";
+    append_f64(out, h->sum());
+    out += ",\"min\":";
+    append_f64(out, h->min());
+    out += ",\"max\":";
+    append_f64(out, h->max());
+    out += ",\"buckets\":[";
+    int last = Histogram::kBuckets - 1;
+    while (last > 0 && h->buckets()[last] == 0) --last;
+    for (int i = 0; i <= last; ++i) {
+      if (i != 0) out += ',';
+      append_u64(out, h->buckets()[i]);
+    }
+    out += "]}";
+  }
+  out += '}';
+  return out;
+}
+
+void Registry::write_json(const std::string& path) const {
+  const std::string doc = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    throw std::runtime_error("metrics: cannot open '" + path +
+                             "' for writing");
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace adafl::metrics

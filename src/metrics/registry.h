@@ -1,0 +1,115 @@
+// Metrics registry: one named export surface for every counter the system
+// keeps. The existing accounting objects (CommLedger byte/retransmit
+// totals, PhaseProfiler phase timings) stay the source of truth for their
+// domains; export_ledger()/export_profiler() project them into the registry
+// so a run can dump *all* of its numbers — transport, compute, tracing —
+// as one flat, sorted, machine-readable JSON document (`--metrics=<path>`).
+//
+// Three instrument kinds:
+//   Counter   — monotonically increasing int64 (events, bytes)
+//   Gauge     — last-set double (current round, config values)
+//   Histogram — log2-bucketed distribution + count/sum/min/max
+//
+// Instruments are created on first use and live for the registry's
+// lifetime; the handles returned by counter()/gauge()/histogram() stay
+// valid and are cheap to update (no lookup after creation). Registration
+// is mutex-guarded; updates through a handle are plain stores/adds — the
+// callers are coarse-grained (per round / per frame), not per-kernel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adafl::metrics {
+
+class CommLedger;
+class PhaseProfiler;
+
+/// Monotonic int64 counter.
+class Counter {
+ public:
+  void add(std::int64_t delta) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-written double value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log2-bucketed histogram of non-negative observations. Bucket i counts
+/// observations in [2^(i-1), 2^i) with bucket 0 holding [0, 1); exact
+/// count/sum/min/max ride along so no information is lost to bucketing
+/// for the summary statistics that matter.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  const std::uint64_t* buckets() const { return buckets_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
+/// Named instrument store. Lookup creates on miss; names are unique per
+/// kind and may not be reused across kinds.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Projects a CommLedger's totals into "comm.*" counters (overwriting
+  /// any previous export). Call once at end of run.
+  void export_ledger(const CommLedger& ledger);
+
+  /// Projects PhaseProfiler entries into "profile.<phase>.*" counters.
+  void export_profiler(const PhaseProfiler& profiler);
+
+  /// All instruments as one flat JSON object, keys sorted (deterministic).
+  /// Histograms render as {"count":..,"sum":..,"min":..,"max":..,
+  /// "buckets":[..]} with trailing zero buckets trimmed.
+  std::string to_json() const;
+
+  /// Writes to_json() + newline to `path`. Throws std::runtime_error if
+  /// the file cannot be written.
+  void write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  // node-stable maps: handles returned above must survive future inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace adafl::metrics

@@ -1,0 +1,636 @@
+#include "metrics/trace.h"
+
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "metrics/registry.h"
+#include "tensor/check.h"
+
+namespace adafl::metrics {
+
+namespace {
+
+// One mutex guards every Tracer's buffer; tracing is coarse (a handful of
+// events per round phase), so contention is irrelevant and a shared lock
+// keeps the object trivially small.
+std::mutex& trace_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+constexpr std::size_t kInitialEventCapacity = 1024;
+
+const char* const kEventNames[] = {
+    "round_start",      "client_selected", "client_skipped",
+    "update_delivered", "update_lost",     "round_end",
+    "checkpoint",       "resume",          "frame_tx",
+    "frame_rx",         "retransmit",      "reconnect",
+};
+constexpr std::size_t kNumEventTypes =
+    sizeof(kEventNames) / sizeof(kEventNames[0]);
+
+// --- Minimal JSON emission. ----------------------------------------------
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+template <typename Int>
+void append_int_field(std::string& out, const char* key, Int v) {
+  char buf[24];
+  auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out.append(buf, r.ptr);
+}
+
+// Doubles use to_chars' shortest round-trip form: deterministic, compact,
+// and bit-exact through from_chars — the JSONL round-trip property test
+// pins this.
+void append_f64_field(std::string& out, const char* key, double v) {
+  char buf[32];
+  auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out.append(buf, r.ptr);
+}
+
+void append_str_field(std::string& out, const char* key, std::string_view v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  append_escaped(out, v);
+}
+
+// --- Minimal JSON scanning (flat objects of the shapes we emit). ---------
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view s) : s_(s) {}
+
+  void expect(char c) {
+    skip_ws();
+    ADAFL_CHECK_MSG(pos_ < s_.size() && s_[pos_] == c,
+                    "trace json: expected '" << c << "' at offset " << pos_);
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      ADAFL_CHECK_MSG(pos_ < s_.size(), "trace json: unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      ADAFL_CHECK_MSG(pos_ < s_.size(), "trace json: bad escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          ADAFL_CHECK_MSG(pos_ + 4 <= s_.size(), "trace json: bad \\u escape");
+          unsigned code = 0;
+          auto r = std::from_chars(s_.data() + pos_, s_.data() + pos_ + 4,
+                                   code, 16);
+          ADAFL_CHECK_MSG(r.ptr == s_.data() + pos_ + 4 && code < 0x80,
+                          "trace json: unsupported \\u escape");
+          pos_ += 4;
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          ADAFL_CHECK_MSG(false, "trace json: unknown escape '\\" << e << "'");
+      }
+    }
+  }
+
+  /// A JSON number token, returned as the raw character span.
+  std::string_view number_token() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+'))
+      ++pos_;
+    ADAFL_CHECK_MSG(pos_ > start, "trace json: expected a number at offset "
+                                      << start);
+    return s_.substr(start, pos_ - start);
+  }
+
+  double f64() {
+    const std::string_view tok = number_token();
+    double v = 0.0;
+    auto r = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    ADAFL_CHECK_MSG(r.ec == std::errc() && r.ptr == tok.data() + tok.size(),
+                    "trace json: malformed number '" << std::string(tok)
+                                                     << "'");
+    return v;
+  }
+
+  std::int64_t i64() {
+    const std::string_view tok = number_token();
+    std::int64_t v = 0;
+    auto r = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    ADAFL_CHECK_MSG(r.ec == std::errc() && r.ptr == tok.data() + tok.size(),
+                    "trace json: malformed integer '" << std::string(tok)
+                                                      << "'");
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::string_view tok = number_token();
+    std::uint64_t v = 0;
+    auto r = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    ADAFL_CHECK_MSG(r.ec == std::errc() && r.ptr == tok.data() + tok.size(),
+                    "trace json: malformed unsigned '" << std::string(tok)
+                                                       << "'");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(TraceEventType t) {
+  const auto i = static_cast<std::size_t>(t);
+  return i < kNumEventTypes ? kEventNames[i] : "unknown";
+}
+
+bool trace_event_type_from_string(std::string_view name,
+                                  TraceEventType* out) {
+  for (std::size_t i = 0; i < kNumEventTypes; ++i) {
+    if (name == kEventNames[i]) {
+      *out = static_cast<TraceEventType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* build_git_describe() {
+#ifdef ADAFL_GIT_DESCRIBE
+  return ADAFL_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+// --- Event factories. ----------------------------------------------------
+
+TraceEvent ev_round_start(int round, double t) {
+  TraceEvent e;
+  e.type = TraceEventType::kRoundStart;
+  e.round = round;
+  e.t = t;
+  return e;
+}
+
+TraceEvent ev_client_selected(int round, int client, double score,
+                              double ratio) {
+  TraceEvent e;
+  e.type = TraceEventType::kClientSelected;
+  e.round = round;
+  e.client = client;
+  e.score = score;
+  e.ratio = ratio;
+  return e;
+}
+
+TraceEvent ev_client_skipped(int round, int client, double score) {
+  TraceEvent e;
+  e.type = TraceEventType::kClientSkipped;
+  e.round = round;
+  e.client = client;
+  e.score = score;
+  return e;
+}
+
+TraceEvent ev_update_delivered(int round, int client, std::int64_t bytes,
+                               std::int64_t num_examples, double mean_loss) {
+  TraceEvent e;
+  e.type = TraceEventType::kUpdateDelivered;
+  e.round = round;
+  e.client = client;
+  e.bytes = bytes;
+  e.num_examples = num_examples;
+  e.mean_loss = mean_loss;
+  return e;
+}
+
+TraceEvent ev_update_lost(int round, int client) {
+  TraceEvent e;
+  e.type = TraceEventType::kUpdateLost;
+  e.round = round;
+  e.client = client;
+  return e;
+}
+
+TraceEvent ev_round_end(int round, int participants, double mean_loss,
+                        bool has_accuracy, double accuracy, double t) {
+  TraceEvent e;
+  e.type = TraceEventType::kRoundEnd;
+  e.round = round;
+  e.participants = participants;
+  e.mean_loss = mean_loss;
+  e.has_accuracy = has_accuracy;
+  e.accuracy = has_accuracy ? accuracy : 0.0;
+  e.t = t;
+  return e;
+}
+
+TraceEvent ev_checkpoint(int round, std::string_view path, double t) {
+  TraceEvent e;
+  e.type = TraceEventType::kCheckpoint;
+  e.round = round;
+  e.detail = path;
+  e.t = t;
+  return e;
+}
+
+TraceEvent ev_resume(int round, double t) {
+  TraceEvent e;
+  e.type = TraceEventType::kResume;
+  e.round = round;
+  e.t = t;
+  return e;
+}
+
+TraceEvent ev_frame(TraceEventType tx_or_rx, int round, int client,
+                    std::string_view msg_type, std::int64_t bytes, double t) {
+  ADAFL_CHECK_MSG(tx_or_rx == TraceEventType::kFrameTx ||
+                      tx_or_rx == TraceEventType::kFrameRx,
+                  "ev_frame: not a frame event type");
+  TraceEvent e;
+  e.type = tx_or_rx;
+  e.round = round;
+  e.client = client;
+  e.detail = msg_type;
+  e.bytes = bytes;
+  e.t = t;
+  return e;
+}
+
+TraceEvent ev_retransmit(int round, int client, std::int64_t bytes,
+                         double t) {
+  TraceEvent e;
+  e.type = TraceEventType::kRetransmit;
+  e.round = round;
+  e.client = client;
+  e.bytes = bytes;
+  e.t = t;
+  return e;
+}
+
+TraceEvent ev_reconnect(int round, int client, double t) {
+  TraceEvent e;
+  e.type = TraceEventType::kReconnect;
+  e.round = round;
+  e.client = client;
+  e.t = t;
+  return e;
+}
+
+// --- Serialization. ------------------------------------------------------
+
+std::string Tracer::format_line(const TraceEvent& e) {
+  std::string out;
+  out.reserve(96);
+  out += "{\"ev\":";
+  append_escaped(out, to_string(e.type));
+  append_int_field(out, "round", e.round);
+  switch (e.type) {
+    case TraceEventType::kRoundStart:
+      append_f64_field(out, "t", e.t);
+      break;
+    case TraceEventType::kClientSelected:
+      append_int_field(out, "client", e.client);
+      append_f64_field(out, "score", e.score);
+      append_f64_field(out, "ratio", e.ratio);
+      break;
+    case TraceEventType::kClientSkipped:
+      append_int_field(out, "client", e.client);
+      append_f64_field(out, "score", e.score);
+      break;
+    case TraceEventType::kUpdateDelivered:
+      append_int_field(out, "client", e.client);
+      append_int_field(out, "bytes", e.bytes);
+      append_int_field(out, "examples", e.num_examples);
+      append_f64_field(out, "loss", e.mean_loss);
+      break;
+    case TraceEventType::kUpdateLost:
+      append_int_field(out, "client", e.client);
+      break;
+    case TraceEventType::kRoundEnd:
+      append_int_field(out, "participants", e.participants);
+      append_f64_field(out, "loss", e.mean_loss);
+      if (e.has_accuracy) append_f64_field(out, "accuracy", e.accuracy);
+      append_f64_field(out, "t", e.t);
+      break;
+    case TraceEventType::kCheckpoint:
+      append_str_field(out, "path", e.detail);
+      append_f64_field(out, "t", e.t);
+      break;
+    case TraceEventType::kResume:
+      append_f64_field(out, "t", e.t);
+      break;
+    case TraceEventType::kFrameTx:
+    case TraceEventType::kFrameRx:
+      append_int_field(out, "client", e.client);
+      append_str_field(out, "msg", e.detail);
+      append_int_field(out, "bytes", e.bytes);
+      append_f64_field(out, "t", e.t);
+      break;
+    case TraceEventType::kRetransmit:
+      append_int_field(out, "client", e.client);
+      append_int_field(out, "bytes", e.bytes);
+      append_f64_field(out, "t", e.t);
+      break;
+    case TraceEventType::kReconnect:
+      append_int_field(out, "client", e.client);
+      append_f64_field(out, "t", e.t);
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+TraceEvent Tracer::parse_line(std::string_view line) {
+  JsonScanner js(line);
+  TraceEvent e;
+  bool saw_type = false;
+  js.expect('{');
+  if (!js.try_consume('}')) {
+    do {
+      const std::string key = js.string();
+      js.expect(':');
+      if (key == "ev") {
+        const std::string name = js.string();
+        ADAFL_CHECK_MSG(trace_event_type_from_string(name, &e.type),
+                        "trace: unknown event type '" << name << "'");
+        saw_type = true;
+      } else if (key == "round") {
+        e.round = static_cast<std::int32_t>(js.i64());
+      } else if (key == "client") {
+        e.client = static_cast<std::int32_t>(js.i64());
+      } else if (key == "score") {
+        e.score = js.f64();
+      } else if (key == "ratio") {
+        e.ratio = js.f64();
+      } else if (key == "bytes") {
+        e.bytes = js.i64();
+      } else if (key == "examples") {
+        e.num_examples = js.i64();
+      } else if (key == "loss") {
+        e.mean_loss = js.f64();
+      } else if (key == "accuracy") {
+        e.accuracy = js.f64();
+        e.has_accuracy = true;
+      } else if (key == "participants") {
+        e.participants = static_cast<std::int32_t>(js.i64());
+      } else if (key == "t") {
+        e.t = js.f64();
+      } else if (key == "path" || key == "msg") {
+        e.detail = js.string();
+      } else {
+        ADAFL_CHECK_MSG(false, "trace: unknown event field '" << key << "'");
+      }
+    } while (js.try_consume(','));
+    js.expect('}');
+  }
+  ADAFL_CHECK_MSG(saw_type, "trace: event line without \"ev\" field");
+  ADAFL_CHECK_MSG(js.at_end(), "trace: trailing bytes after event object");
+  return e;
+}
+
+std::string Tracer::format_manifest(const RunManifest& m) {
+  std::string out;
+  out.reserve(192);
+  out += "{\"ev\":\"manifest\",\"version\":1";
+  append_str_field(out, "producer", m.producer);
+  append_str_field(out, "algo", m.algo);
+  append_int_field(out, "seed", m.seed);
+  append_int_field(out, "rounds", m.rounds);
+  append_int_field(out, "clients", m.clients);
+  append_int_field(out, "start_round", m.start_round);
+  append_str_field(out, "git", m.git);
+  out += ",\"config\":{";
+  bool first = true;
+  for (const auto& [k, v] : m.config) {  // std::map: sorted, deterministic
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, k);
+    out += ':';
+    append_escaped(out, v);
+  }
+  out += "}}";
+  return out;
+}
+
+RunManifest Tracer::parse_manifest(std::string_view line) {
+  JsonScanner js(line);
+  RunManifest m;
+  bool is_manifest = false;
+  js.expect('{');
+  do {
+    const std::string key = js.string();
+    js.expect(':');
+    if (key == "ev") {
+      const std::string name = js.string();
+      ADAFL_CHECK_MSG(name == "manifest",
+                      "trace: first line is '" << name << "', not a manifest");
+      is_manifest = true;
+    } else if (key == "version") {
+      const std::int64_t v = js.i64();
+      ADAFL_CHECK_MSG(v == 1, "trace: unsupported manifest version " << v);
+    } else if (key == "producer") {
+      m.producer = js.string();
+    } else if (key == "algo") {
+      m.algo = js.string();
+    } else if (key == "seed") {
+      m.seed = js.u64();
+    } else if (key == "rounds") {
+      m.rounds = static_cast<std::int32_t>(js.i64());
+    } else if (key == "clients") {
+      m.clients = static_cast<std::int32_t>(js.i64());
+    } else if (key == "start_round") {
+      m.start_round = static_cast<std::int32_t>(js.i64());
+    } else if (key == "git") {
+      m.git = js.string();
+    } else if (key == "config") {
+      js.expect('{');
+      if (!js.try_consume('}')) {
+        do {
+          std::string k = js.string();
+          js.expect(':');
+          m.config[std::move(k)] = js.string();
+        } while (js.try_consume(','));
+        js.expect('}');
+      }
+    } else {
+      ADAFL_CHECK_MSG(false, "trace: unknown manifest field '" << key << "'");
+    }
+  } while (js.try_consume(','));
+  js.expect('}');
+  ADAFL_CHECK_MSG(is_manifest, "trace: line without \"ev\":\"manifest\"");
+  ADAFL_CHECK_MSG(js.at_end(), "trace: trailing bytes after manifest");
+  return m;
+}
+
+// --- Tracer lifecycle. ---------------------------------------------------
+
+Tracer::~Tracer() { close(); }
+
+void Tracer::open(const std::string& path, RunManifest manifest) {
+  close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr)
+    throw std::runtime_error("trace: cannot open '" + path +
+                             "' for writing");
+  manifest_ = std::move(manifest);
+  if (manifest_.git.empty()) manifest_.git = build_git_describe();
+  manifest_written_ = false;
+  buf_.clear();
+  buf_.reserve(kInitialEventCapacity);
+  recorded_ = 0;
+  enabled_ = true;
+}
+
+void Tracer::set_start_round(int round) {
+  if (!enabled_) return;
+  ADAFL_CHECK_MSG(!manifest_written_,
+                  "trace: set_start_round after the manifest was written");
+  manifest_.start_round = round;
+}
+
+void Tracer::record(const TraceEvent& e) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  buf_.push_back(e);
+  ++recorded_;
+  if (registry_ != nullptr) {
+    registry_->counter(std::string("trace.events.") + to_string(e.type))
+        .add(1);
+    if (e.type == TraceEventType::kUpdateDelivered)
+      registry_->histogram("trace.update_bytes")
+          .observe(static_cast<double>(e.bytes));
+  }
+}
+
+void Tracer::flush() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(trace_mutex());
+  if (!manifest_written_) {
+    const std::string m = format_manifest(manifest_);
+    std::fwrite(m.data(), 1, m.size(), file_);
+    std::fputc('\n', file_);
+    manifest_written_ = true;
+  }
+  for (const TraceEvent& e : buf_) {
+    line_ = format_line(e);
+    std::fwrite(line_.data(), 1, line_.size(), file_);
+    std::fputc('\n', file_);
+  }
+  buf_.clear();
+  std::fflush(file_);
+}
+
+void Tracer::close() {
+  if (!enabled_) return;
+  flush();
+  std::fclose(file_);
+  file_ = nullptr;
+  enabled_ = false;
+}
+
+ParsedTrace read_trace_file(const std::string& path,
+                            bool tolerate_partial_tail) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot read '" + path + "'");
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  ParsedTrace out;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < content.size()) {
+    std::size_t nl = content.find('\n', pos);
+    const bool complete = nl != std::string::npos;
+    if (!complete) nl = content.size();
+    std::string_view line(content.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    try {
+      if (first) {
+        out.manifest = Tracer::parse_manifest(line);
+        first = false;
+      } else {
+        out.events.push_back(Tracer::parse_line(line));
+      }
+    } catch (const CheckError&) {
+      // A line cut short mid-write can only be the last one.
+      if (tolerate_partial_tail && !complete && pos >= content.size() &&
+          !first)
+        break;
+      throw;
+    }
+  }
+  ADAFL_CHECK_MSG(!first, "trace: '" << path << "' has no manifest line");
+  return out;
+}
+
+}  // namespace adafl::metrics

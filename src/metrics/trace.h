@@ -1,0 +1,191 @@
+// Structured run tracing: an append-only JSONL event stream that makes
+// AdaFL's per-round, per-client decisions — utility scores, selections,
+// adaptive DGC ratios, delivered/lost updates, bytes on the wire —
+// machine-readable and therefore testable.
+//
+// A trace file is:
+//   line 1    a run manifest (producer, algorithm, seed, config, git id)
+//   line 2+   one event per line, each a flat JSON object
+//
+// Two kinds of events exist:
+//   * semantic events  — round_start, client_selected, client_skipped,
+//     update_delivered, update_lost, round_end, checkpoint, resume. These
+//     describe the *algorithm's* decisions and are emitted identically by
+//     the simulator and the deployed server (selection and aggregation
+//     events come from the shared core::AdaFlServerCore), so a deployed run
+//     must produce the same semantic stream as its simulated twin
+//     (scripts/trace_diff.py + tests/test_trace_equivalence.cpp).
+//   * transport events — frame_tx, frame_rx, retransmit, reconnect. These
+//     only exist on the deployed path and must be *explicitly* ignored when
+//     diffing against a simulator trace.
+//
+// Determinism contract: every field except `t` (seconds; simulated clock in
+// the simulator, wall clock in a deployment) is deterministic, so two
+// same-seed simulator runs produce byte-identical trace files. Doubles are
+// formatted with std::to_chars shortest round-trip form and parse back
+// bit-exactly.
+//
+// Cost contract: a disabled Tracer is one branch per record() call. An
+// enabled one buffers events in a pre-sized vector and only formats/writes
+// at flush() (round boundaries), touching no tensor storage — the PR-4
+// steady-state zero-tensor-allocation guarantee holds with tracing on
+// (tests/test_zero_alloc.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adafl::metrics {
+
+class Registry;
+
+/// Event vocabulary. Semantic events first, transport events after
+/// kFrameTx; to_string names are the JSON "ev" values.
+enum class TraceEventType : std::uint8_t {
+  kRoundStart = 0,
+  kClientSelected,
+  kClientSkipped,
+  kUpdateDelivered,
+  kUpdateLost,
+  kRoundEnd,
+  kCheckpoint,
+  kResume,
+  kFrameTx,
+  kFrameRx,
+  kRetransmit,
+  kReconnect,
+};
+
+const char* to_string(TraceEventType t);
+/// Inverse of to_string. Returns false for unknown names.
+bool trace_event_type_from_string(std::string_view name, TraceEventType* out);
+
+/// One trace event. Only the fields meaningful for `type` are serialized
+/// (see the ev_* factories); everything else round-trips as its default.
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kRoundStart;
+  std::int32_t round = 0;
+  std::int32_t client = -1;      ///< -1 = not client-scoped
+  double score = 0.0;            ///< client_selected / client_skipped
+  double ratio = 0.0;            ///< client_selected: assigned DGC ratio
+  std::int64_t bytes = 0;        ///< update/frame/retransmit payload bytes
+  std::int64_t num_examples = 0; ///< update_delivered: FedAvg weight
+  double mean_loss = 0.0;        ///< update_delivered / round_end
+  double accuracy = 0.0;         ///< round_end (eval rounds only)
+  bool has_accuracy = false;     ///< round_end: eval ran this round
+  std::int32_t participants = 0; ///< round_end: updates aggregated
+  double t = 0.0;                ///< seconds; the one wall-clock-ish field
+  std::string detail;            ///< frame_*: message type; checkpoint: path
+
+  bool operator==(const TraceEvent& other) const = default;
+};
+
+// --- Event factories (the only supported way to build events). -----------
+
+TraceEvent ev_round_start(int round, double t);
+TraceEvent ev_client_selected(int round, int client, double score,
+                              double ratio);
+TraceEvent ev_client_skipped(int round, int client, double score);
+TraceEvent ev_update_delivered(int round, int client, std::int64_t bytes,
+                               std::int64_t num_examples, double mean_loss);
+TraceEvent ev_update_lost(int round, int client);
+TraceEvent ev_round_end(int round, int participants, double mean_loss,
+                        bool has_accuracy, double accuracy, double t);
+TraceEvent ev_checkpoint(int round, std::string_view path, double t);
+TraceEvent ev_resume(int round, double t);
+TraceEvent ev_frame(TraceEventType tx_or_rx, int round, int client,
+                    std::string_view msg_type, std::int64_t bytes, double t);
+TraceEvent ev_retransmit(int round, int client, std::int64_t bytes, double t);
+TraceEvent ev_reconnect(int round, int client, double t);
+
+/// The trace header: everything needed to interpret (and re-run) the trace.
+struct RunManifest {
+  std::string producer;  ///< "flsim" | "flserver" | "flclient" | test name
+  std::string algo;      ///< e.g. "adafl-sync"
+  std::uint64_t seed = 0;
+  std::int32_t rounds = 0;   ///< 0 = duration-bounded (async) run
+  std::int32_t clients = 0;
+  std::int32_t start_round = 1;  ///< first round this trace covers (resume)
+  std::string git;           ///< build git describe (ADAFL_GIT_DESCRIBE)
+  std::map<std::string, std::string> config;  ///< opaque task kv config
+
+  bool operator==(const RunManifest& other) const = default;
+};
+
+/// The git id baked into this build ("unknown" outside a git checkout).
+const char* build_git_describe();
+
+/// Append-only JSONL trace writer. Disabled by default; open() enables.
+/// record() is safe from multiple threads; flush()/close() are not.
+class Tracer {
+ public:
+  Tracer() = default;
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens `path` for writing and arms the tracer. The manifest line is
+  /// written lazily on the first flush, so set_start_round() may still be
+  /// called after open (a resumed server learns its start round late).
+  /// Throws std::runtime_error if the file cannot be created.
+  void open(const std::string& path, RunManifest manifest);
+
+  bool enabled() const { return enabled_; }
+
+  /// Resume support: records the first round this trace covers.
+  void set_start_round(int round);
+
+  /// Optional: count events and histogram update sizes into `reg`
+  /// (counters "trace.events.<ev>", histogram "trace.update_bytes").
+  void attach_registry(Registry* reg) { registry_ = reg; }
+
+  /// Buffers one event. No-op (single branch) while disabled.
+  void record(const TraceEvent& e);
+
+  /// Formats and writes all buffered events. Call at round boundaries.
+  void flush();
+
+  /// flush() + close the file; the tracer returns to disabled.
+  void close();
+
+  /// Number of events recorded since open() (enabled tracers only).
+  std::uint64_t events_recorded() const { return recorded_; }
+
+  // --- Serialization (exposed for tests and offline tooling). ------------
+
+  /// One event as its JSONL line (no trailing newline).
+  static std::string format_line(const TraceEvent& e);
+  /// Parses a line produced by format_line. Throws CheckError on anything
+  /// malformed or unknown.
+  static TraceEvent parse_line(std::string_view line);
+
+  static std::string format_manifest(const RunManifest& m);
+  static RunManifest parse_manifest(std::string_view line);
+
+ private:
+  bool enabled_ = false;
+  bool manifest_written_ = false;
+  std::FILE* file_ = nullptr;
+  RunManifest manifest_;
+  std::vector<TraceEvent> buf_;  ///< pre-sized at open(); reused after flush
+  std::string line_;             ///< reused formatting buffer
+  Registry* registry_ = nullptr;
+  std::uint64_t recorded_ = 0;
+};
+
+/// Reads a whole trace file: manifest + events. Throws CheckError /
+/// std::runtime_error on malformed input. With `tolerate_partial_tail`, a
+/// final line cut short mid-write (SIGKILL during flush) is dropped instead
+/// of rejected — the crash-recovery stitching case.
+struct ParsedTrace {
+  RunManifest manifest;
+  std::vector<TraceEvent> events;
+};
+ParsedTrace read_trace_file(const std::string& path,
+                            bool tolerate_partial_tail = false);
+
+}  // namespace adafl::metrics

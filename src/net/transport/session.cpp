@@ -9,6 +9,7 @@
 #include "core/server_checkpoint.h"
 #include "core/utility.h"
 #include "metrics/profile.h"
+#include "metrics/trace.h"
 #include "net/transport/crc32.h"
 #include "tensor/check.h"
 #include "tensor/tensor.h"
@@ -308,6 +309,10 @@ void ServerSession::drop_all_connections() {
   pending_.clear();
 }
 
+double ServerSession::trace_now() const {
+  return std::chrono::duration<double>(Clock::now() - trace_t0_).count();
+}
+
 std::size_t ServerSession::send_to(int id, const Frame& f) {
   auto& conn = conns_[static_cast<std::size_t>(id)];
   if (!conn) return 0;
@@ -315,6 +320,11 @@ std::size_t ServerSession::send_to(int id, const Frame& f) {
     conn.reset();  // peer gone; it may redial later
     return 0;
   }
+  if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+    cfg_.tracer->record(metrics::ev_frame(
+        metrics::TraceEventType::kFrameTx, static_cast<int>(f.round), id,
+        to_string(f.type), static_cast<std::int64_t>(f.wire_size()),
+        trace_now()));
   return f.wire_size();
 }
 
@@ -330,8 +340,12 @@ void ServerSession::send_model(RoundCtx& rc, int id) {
   if (sent == 0) return;
   rc.sent_model[static_cast<std::size_t>(id)] = true;
   rc.ledger->record_download(id, static_cast<std::int64_t>(sent));
-  if (retransmit)
+  if (retransmit) {
     rc.ledger->record_retransmit(id, static_cast<std::int64_t>(sent));
+    if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+      cfg_.tracer->record(metrics::ev_retransmit(
+          rc.round, id, static_cast<std::int64_t>(sent), trace_now()));
+  }
 }
 
 void ServerSession::nudge(RoundCtx& rc) {
@@ -359,8 +373,12 @@ void ServerSession::nudge(RoundCtx& rc) {
         make_frame(MsgType::kSelect, static_cast<std::uint32_t>(rc.round),
                    kServerId, encode_f64(rc.ratio_of.at(id)));
     const std::size_t sent = send_to(id, sf);
-    if (sent != 0)
+    if (sent != 0) {
       rc.ledger->record_retransmit(id, static_cast<std::int64_t>(sent));
+      if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+        cfg_.tracer->record(metrics::ev_retransmit(
+            rc.round, id, static_cast<std::int64_t>(sent), trace_now()));
+    }
   }
 }
 
@@ -455,7 +473,17 @@ bool ServerSession::service(RoundCtx& rc) {
     const bool rejoin = ever_joined_[static_cast<std::size_t>(id)];
     conns_[static_cast<std::size_t>(id)] = std::move(t);  // replaces any stale conn
     ever_joined_[static_cast<std::size_t>(id)] = true;
-    if (rejoin) rc.ledger->record_reconnect(id);
+    const bool traced = cfg_.tracer != nullptr && cfg_.tracer->enabled();
+    if (traced)
+      cfg_.tracer->record(metrics::ev_frame(
+          metrics::TraceEventType::kFrameRx, static_cast<int>(f->round), id,
+          to_string(f->type), static_cast<std::int64_t>(f->wire_size()),
+          trace_now()));
+    if (rejoin) {
+      rc.ledger->record_reconnect(id);
+      if (traced)
+        cfg_.tracer->record(metrics::ev_reconnect(rc.round, id, trace_now()));
+    }
     send_to(id, make_frame(MsgType::kWelcome, 0, kServerId,
                            welcome_payload_));
     // Catch the rejoiner up with the in-flight round state.
@@ -468,8 +496,12 @@ bool ServerSession::service(RoundCtx& rc) {
                                   static_cast<std::uint32_t>(rc.round),
                                   kServerId, encode_f64(rc.ratio_of.at(id)));
       const std::size_t sent = send_to(id, sf);
-      if (sent != 0)
+      if (sent != 0) {
         rc.ledger->record_retransmit(id, static_cast<std::int64_t>(sent));
+        if (traced)
+          cfg_.tracer->record(metrics::ev_retransmit(
+              rc.round, id, static_cast<std::int64_t>(sent), trace_now()));
+      }
     }
   }
 
@@ -489,6 +521,11 @@ bool ServerSession::service(RoundCtx& rc) {
         break;
       }
       progress = true;
+      if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+        cfg_.tracer->record(metrics::ev_frame(
+            metrics::TraceEventType::kFrameRx, static_cast<int>(f->round),
+            id, to_string(f->type),
+            static_cast<std::int64_t>(f->wire_size()), trace_now()));
       try {
         handle_frame(rc, id, *f);
       } catch (const CheckError&) {
@@ -509,6 +546,11 @@ fl::TrainLog ServerSession::run() {
   fl::TrainLog log;
   log.dense_update_bytes = 8 + 4 * static_cast<std::int64_t>(d);
   const auto t0 = Clock::now();
+  trace_t0_ = t0;
+
+  metrics::Tracer* const tracer = cfg_.tracer;
+  const bool traced = tracer != nullptr && tracer->enabled();
+  core_.set_tracer(traced ? tracer : nullptr);
 
   int start_round = 1;
   if (cfg_.resume) {
@@ -516,6 +558,10 @@ fl::TrainLog ServerSession::run() {
     start_round = resume_from_checkpoint();
     resumed_from_ = start_round;
     log.ledger.record_recovery();
+    if (traced) {
+      tracer->set_start_round(start_round);
+      tracer->record(metrics::ev_resume(start_round, trace_now()));
+    }
   }
 
   // Early-stop path (request_stop): persist the round boundary we stopped
@@ -523,6 +569,7 @@ fl::TrainLog ServerSession::run() {
   // abruptly, exactly as a crash would.
   auto stop_now = [&](int next_round,
                       const core::AdaFlServerCore::State& snap) {
+    if (traced) tracer->flush();  // durable before the checkpoint exists
     if (ckpt && stop_save_.load(std::memory_order_relaxed))
       write_checkpoint(next_round, snap);
     log.interrupted = true;
@@ -540,6 +587,8 @@ fl::TrainLog ServerSession::run() {
     // apply_round commits the round, so a stop mid-round must persist the
     // state as of the round START, never a half-planned hybrid.
     const core::AdaFlServerCore::State round_start = core_.state();
+
+    if (traced) tracer->record(metrics::ev_round_start(round, trace_now()));
 
     RoundCtx rc;
     rc.round = round;
@@ -634,7 +683,12 @@ fl::TrainLog ServerSession::run() {
           });
     }
 
-    if (round % cfg_.eval_every == 0 || round == cfg_.rounds) {
+    const double round_mean_loss =
+        out.delivered > 0 ? out.loss_sum / static_cast<double>(out.delivered)
+                          : 0.0;
+    const bool evaled = round % cfg_.eval_every == 0 || round == cfg_.rounds;
+    double round_accuracy = 0.0;
+    if (evaled) {
       metrics::PhaseProfiler::Scope prof("eval");
       fl::RoundRecord rec;
       rec.round = round;
@@ -644,17 +698,30 @@ fl::TrainLog ServerSession::run() {
         if (eval_batch_.size() == 0) eval_batch_ = test_->all();
         rec.test_accuracy = eval_model_.accuracy(eval_batch_);
       }
-      rec.mean_train_loss =
-          out.delivered > 0 ? out.loss_sum / static_cast<double>(out.delivered)
-                            : 0.0;
+      rec.mean_train_loss = round_mean_loss;
       rec.participants = out.delivered;
+      round_accuracy = rec.test_accuracy;
       log.records.push_back(rec);
+    }
+
+    if (traced) {
+      tracer->record(metrics::ev_round_end(round, out.delivered,
+                                           round_mean_loss, evaled,
+                                           round_accuracy, trace_now()));
+      // Flush BEFORE the checkpoint below: the stitched crash-recovery
+      // trace relies on the file always covering at least the rounds the
+      // checkpoint says are done.
+      tracer->flush();
     }
 
     // --- Durable progress: the round is committed, persist it.
     if (ckpt &&
-        (round % cfg_.checkpoint_every == 0 || round == cfg_.rounds))
+        (round % cfg_.checkpoint_every == 0 || round == cfg_.rounds)) {
       write_checkpoint(round + 1, core_.state());
+      if (traced)
+        tracer->record(metrics::ev_checkpoint(
+            round, core::checkpoint_path(cfg_.checkpoint_dir), trace_now()));
+    }
   }
 
   // --- Orderly shutdown: tell everyone training is over.
@@ -671,6 +738,8 @@ fl::TrainLog ServerSession::run() {
     pending_.clear();
   }
 
+  if (traced) tracer->flush();
+  core_.set_tracer(nullptr);
   log.applied_updates = core_.stats().selected_updates;
   log.total_time = std::chrono::duration<double>(Clock::now() - t0).count();
   return log;
@@ -712,22 +781,43 @@ ClientRunStats ClientSession::run() {
   auto last_rx = Clock::now();
   auto last_ping = last_rx;
 
+  const auto run_t0 = Clock::now();
+  metrics::Tracer* const tracer = cfg_.tracer;
+  const bool traced = tracer != nullptr && tracer->enabled();
+  auto tnow = [&] {
+    return std::chrono::duration<double>(Clock::now() - run_t0).count();
+  };
+  auto send = [&](const Frame& fr) {
+    if (conn->send(fr) && traced)
+      tracer->record(metrics::ev_frame(
+          metrics::TraceEventType::kFrameTx, static_cast<int>(fr.round),
+          cfg_.client_id, to_string(fr.type),
+          static_cast<std::int64_t>(fr.wire_size()), tnow()));
+  };
+
   for (;;) {
     if (!conn || conn->closed()) {
       conn.reset();
       for (int attempt = 0;; ++attempt) {
         if (cfg_.backoff.max_attempts > 0 &&
-            attempt >= cfg_.backoff.max_attempts)
+            attempt >= cfg_.backoff.max_attempts) {
+          if (traced) tracer->flush();
           return st;  // gave up; completed stays false
+        }
         if (attempt > 0 || ever_connected)
           std::this_thread::sleep_for(cfg_.backoff.delay(attempt));
         conn = dial_();
         if (conn) break;
       }
-      if (ever_connected) ++st.reconnects;
+      if (ever_connected) {
+        ++st.reconnects;
+        if (traced)
+          tracer->record(
+              metrics::ev_reconnect(trained_round, cfg_.client_id, tnow()));
+      }
       ever_connected = true;
-      conn->send(make_frame(MsgType::kHello, 0, cid,
-                            encode_hello(kProtocolVersion)));
+      send(make_frame(MsgType::kHello, 0, cid,
+                      encode_hello(kProtocolVersion)));
       last_rx = Clock::now();
       continue;
     }
@@ -748,12 +838,17 @@ ClientRunStats ClientSession::run() {
       }
       if (now - last_rx > cfg_.heartbeat_interval &&
           now - last_ping > cfg_.heartbeat_interval) {
-        conn->send(make_frame(MsgType::kPing, 0, cid));
+        send(make_frame(MsgType::kPing, 0, cid));
         last_ping = now;
       }
       continue;
     }
     last_rx = now;
+    if (traced)
+      tracer->record(metrics::ev_frame(
+          metrics::TraceEventType::kFrameRx, static_cast<int>(f->round),
+          cfg_.client_id, to_string(f->type),
+          static_cast<std::int64_t>(f->wire_size()), tnow()));
 
     // Handler parse failures get the same treatment as framing errors:
     // close and redial. Training state is round-local and survives, so a
@@ -793,8 +888,8 @@ ClientRunStats ClientSession::run() {
           const double score = core::utility_score(
               params.utility, res.delta, m.g_hat, params.utility.bw_ref,
               params.utility.bw_ref);
-          conn->send(make_frame(MsgType::kScore, f->round, cid,
-                                encode_f64(score)));
+          send(make_frame(MsgType::kScore, f->round, cid,
+                          encode_f64(score)));
           break;
         }
         case MsgType::kSelect: {
@@ -812,8 +907,7 @@ ClientRunStats ClientSession::run() {
           }
           // A duplicate SELECT (reconnect race) re-sends the cached bytes —
           // compressing twice would corrupt the DGC residual.
-          conn->send(make_frame(MsgType::kUpdate, f->round, cid,
-                                cached_update));
+          send(make_frame(MsgType::kUpdate, f->round, cid, cached_update));
           ++st.updates_sent;
           break;
         }
@@ -827,11 +921,12 @@ ClientRunStats ClientSession::run() {
           break;
         }
         case MsgType::kPing:
-          conn->send(make_frame(MsgType::kPong, f->round, cid));
+          send(make_frame(MsgType::kPong, f->round, cid));
           break;
         case MsgType::kShutdown:
           st.completed = true;
           conn->close();
+          if (traced) tracer->flush();
           return st;
         default:
           break;  // PONG and anything unexpected: ignore

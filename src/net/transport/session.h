@@ -133,6 +133,15 @@ struct ServerSessionConfig {
   /// Resume from checkpoint_dir instead of starting at round 1. Throws if
   /// no checkpoint exists or it was written under a different config.
   bool resume = false;
+
+  /// Optional structured tracer (metrics/trace.h). The session forwards it
+  /// to the shared core::AdaFlServerCore (semantic selection/delivery
+  /// events, identical to the simulator's) and additionally emits
+  /// deployed-only transport events: frame_tx/frame_rx per frame,
+  /// retransmit for re-sent MODEL/SELECT frames, reconnect on rejoin.
+  /// `t` fields carry wall-clock seconds since run() started. Not owned;
+  /// must outlive run().
+  metrics::Tracer* tracer = nullptr;
 };
 
 /// Runs the AdaFL server over any Transport mix (TCP and/or loopback).
@@ -199,6 +208,8 @@ class ServerSession {
   int resume_from_checkpoint();
   /// Abruptly closes every connection (no SHUTDOWN): the stop path.
   void drop_all_connections();
+  /// Wall-clock seconds since run() started (trace event timestamps).
+  double trace_now() const;
 
   ServerSessionConfig cfg_;
   nn::ModelFactory factory_;
@@ -224,6 +235,7 @@ class ServerSession {
   std::atomic<bool> stop_{false};
   std::atomic<bool> stop_save_{false};
   int resumed_from_ = 0;
+  std::chrono::steady_clock::time_point trace_t0_{};
 };
 
 // --- Client side. --------------------------------------------------------
@@ -238,6 +250,9 @@ struct ClientSessionConfig {
   /// recv() poll granularity.
   std::chrono::milliseconds recv_poll{100};
   BackoffPolicy backoff;
+  /// Optional structured tracer: client-side frame_tx/frame_rx/reconnect
+  /// transport events (wall-clock `t`). Not owned; must outlive run().
+  metrics::Tracer* tracer = nullptr;
 };
 
 /// Outcome of one ClientSession::run().

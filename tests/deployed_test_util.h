@@ -16,6 +16,7 @@
 #include "cli/task.h"
 #include "core/adafl_sync.h"
 #include "fl/client.h"
+#include "metrics/trace.h"
 #include "net/transport/faulty.h"
 #include "net/transport/loopback.h"
 #include "net/transport/session.h"
@@ -61,7 +62,8 @@ struct SimResult {
 
 inline SimResult run_simulator(const cli::TaskSpec& spec,
                                const fl::ClientTrainConfig& client,
-                               const core::AdaFlParams& params, int rounds) {
+                               const core::AdaFlParams& params, int rounds,
+                               metrics::Tracer* tracer = nullptr) {
   auto task = cli::build_task(spec);
   core::AdaFlSyncConfig cfg;
   cfg.params = params;
@@ -69,6 +71,7 @@ inline SimResult run_simulator(const cli::TaskSpec& spec,
   cfg.client = client;
   cfg.eval_every = 1;
   cfg.seed = spec.seed;
+  cfg.tracer = tracer;
   core::AdaFlSyncTrainer t(cfg, task.factory, &task.train, task.parts,
                            &task.test);
   SimResult r;
@@ -130,16 +133,30 @@ inline net::transport::ClientSessionConfig test_client_config(int id) {
   return ccfg;
 }
 
+/// Per-client decorator for the client-side loopback transport, applied on
+/// every (re)dial. Return the transport unchanged for a clean client, or
+/// wrap it (e.g. in a FaultyTransport) to script a fault.
+using TransportWrapFn = std::function<std::unique_ptr<net::transport::Transport>(
+    int client_id, std::unique_ptr<net::transport::Transport>)>;
+
 /// Full deployed run over in-process loopback transports: server in the
-/// calling thread, one thread per client.
+/// calling thread, one thread per client. `tracer` (not owned) is forwarded
+/// to the ServerSession so the run emits the same semantic event stream as
+/// the simulator plus deployed-only transport events.
 inline DeployedResult run_deployed_loopback(const cli::TaskSpec& spec,
                                             const fl::ClientTrainConfig& client,
                                             const core::AdaFlParams& params,
-                                            int rounds) {
+                                            int rounds,
+                                            metrics::Tracer* tracer = nullptr,
+                                            TransportWrapFn wrap = nullptr) {
   using namespace net::transport;
   auto task = cli::build_task(spec);
-  ServerSession server(make_server_config(spec, client, params, rounds),
-                       task.factory, &task.test);
+  ServerSessionConfig scfg = make_server_config(spec, client, params, rounds);
+  scfg.tracer = tracer;
+  // Loopback is instant; nudge early so a scripted frame drop (wrap) is
+  // retransmitted promptly. Clean runs never reach the nudge path.
+  scfg.retransmit_nudge = std::chrono::milliseconds(100);
+  ServerSession server(scfg, task.factory, &task.test);
 
   const int n = spec.clients;
   std::vector<std::optional<cli::TaskBundle>> bundles(
@@ -151,10 +168,12 @@ inline DeployedResult run_deployed_loopback(const cli::TaskSpec& spec,
     threads.emplace_back([&, id] {
       ClientSession cs(
           test_client_config(id),
-          [&server]() -> std::unique_ptr<Transport> {
+          [&server, &wrap, id]() -> std::unique_ptr<Transport> {
             auto pair = make_loopback_pair();
             server.add_transport(std::move(pair.first));
-            return std::move(pair.second);
+            std::unique_ptr<Transport> t = std::move(pair.second);
+            if (wrap) t = wrap(id, std::move(t));
+            return t;
           },
           make_bootstrap(&bundles[static_cast<std::size_t>(id)]));
       res.clients[static_cast<std::size_t>(id)] = cs.run();

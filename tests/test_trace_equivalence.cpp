@@ -1,0 +1,179 @@
+// The trace-equivalence oracle (tier-1): a deployed ServerSession run over
+// real transports must emit exactly the same *semantic* event stream —
+// selections with scores and DGC ratios, deliveries with byte counts and
+// losses, per-round aggregates — as the simulator on the same seed, even
+// while a scripted transport fault forces the deployed path through its
+// retransmission machinery. Transport events (frame_tx/frame_rx/
+// retransmit/reconnect) exist only on the deployed side and must be
+// explicitly ignored; this test proves that ignore-list is load-bearing.
+//
+// The same comparison is exposed offline as scripts/trace_diff.py; when a
+// python3 interpreter is available the script is run against the two trace
+// files as well, including a negative control proving it can fail.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "deployed_test_util.h"
+#include "metrics/trace.h"
+#include "net/transport/faulty.h"
+
+namespace adafl {
+namespace {
+
+using metrics::ParsedTrace;
+using metrics::RunManifest;
+using metrics::TraceEvent;
+using metrics::TraceEventType;
+using metrics::Tracer;
+
+constexpr int kRounds = 5;
+
+cli::TaskSpec eight_client_spec() {
+  cli::TaskSpec spec = testutil::small_task_spec();
+  spec.clients = 8;
+  return spec;
+}
+
+core::AdaFlParams eight_client_params() {
+  core::AdaFlParams p = testutil::small_params();
+  p.max_selected = 3;  // selection pressure: skips happen every round
+  return p;
+}
+
+RunManifest test_manifest(const char* producer, const cli::TaskSpec& spec) {
+  RunManifest m;
+  m.producer = producer;
+  m.algo = "adafl-sync";
+  m.seed = spec.seed;
+  m.rounds = kRounds;
+  m.clients = spec.clients;
+  return m;
+}
+
+bool is_semantic(const TraceEvent& e) {
+  return e.type < TraceEventType::kFrameTx;
+}
+
+/// Semantic events with the wall-clock-ish "t" field zeroed — exactly the
+/// comparison scripts/trace_diff.py performs.
+std::vector<TraceEvent> semantic_stream(const std::vector<TraceEvent>& evs) {
+  std::vector<TraceEvent> out;
+  for (TraceEvent e : evs) {
+    if (!is_semantic(e)) continue;
+    e.t = 0.0;
+    out.push_back(e);
+  }
+  return out;
+}
+
+int count_type(const std::vector<TraceEvent>& evs, TraceEventType t) {
+  int n = 0;
+  for (const auto& e : evs) n += e.type == t ? 1 : 0;
+  return n;
+}
+
+TEST(TraceEquivalence, DeployedLoopbackMatchesSimulatorModuloTransport) {
+  const auto spec = eight_client_spec();
+  const auto client = testutil::small_client_config();
+  const auto params = eight_client_params();
+  const std::string sim_path = ::testing::TempDir() + "trace_eq_sim.jsonl";
+  const std::string dep_path = ::testing::TempDir() + "trace_eq_dep.jsonl";
+
+  Tracer sim_tracer;
+  sim_tracer.open(sim_path, test_manifest("flsim", spec));
+  const auto sim = testutil::run_simulator(spec, client, params, kRounds,
+                                           &sim_tracer);
+  sim_tracer.close();
+
+  // Deployed twin with one scripted fault: client 2's round-1 UPDATE is
+  // silently dropped on the send path (round 1 is warm-up, so client 2 is
+  // guaranteed to be selected). The server's nudge machinery must re-request
+  // and the client re-deliver — without changing the semantic stream.
+  std::atomic<int> faults_fired{0};
+  Tracer dep_tracer;
+  dep_tracer.open(dep_path, test_manifest("deployed", spec));
+  const auto dep = testutil::run_deployed_loopback(
+      spec, client, params, kRounds, &dep_tracer,
+      [&faults_fired](int id, std::unique_ptr<net::transport::Transport> t)
+          -> std::unique_ptr<net::transport::Transport> {
+        if (id != 2) return t;
+        net::transport::FaultPlan plan;
+        plan.drop(net::transport::FaultDir::kSend,
+                  net::transport::MsgType::kUpdate, /*round=*/1);
+        auto faulty = std::make_unique<net::transport::FaultyTransport>(
+            std::move(t), std::move(plan));
+        faulty->set_on_fault([&faults_fired](const net::transport::FaultRule&,
+                                             const net::transport::Frame&) {
+          faults_fired.fetch_add(1);
+        });
+        return faulty;
+      });
+  dep_tracer.close();
+
+  ASSERT_EQ(faults_fired.load(), 1) << "the scripted drop never fired";
+  ASSERT_EQ(sim.global, dep.global);  // bitwise, the PR-2 guarantee
+
+  const ParsedTrace sim_trace = metrics::read_trace_file(sim_path);
+  const ParsedTrace dep_trace = metrics::read_trace_file(dep_path);
+
+  // The simulator never emits transport events...
+  for (const auto& e : sim_trace.events)
+    EXPECT_TRUE(is_semantic(e)) << metrics::to_string(e.type);
+  // ...the deployed run does, including the retransmission the drop forced —
+  // which is exactly why the diff must ignore them to come out empty.
+  EXPECT_GT(count_type(dep_trace.events, TraceEventType::kFrameTx), 0);
+  EXPECT_GT(count_type(dep_trace.events, TraceEventType::kFrameRx), 0);
+  EXPECT_GE(count_type(dep_trace.events, TraceEventType::kRetransmit), 1);
+
+  const auto sim_sem = semantic_stream(sim_trace.events);
+  const auto dep_sem = semantic_stream(dep_trace.events);
+  ASSERT_EQ(sim_sem.size(), dep_sem.size());
+  for (std::size_t i = 0; i < sim_sem.size(); ++i)
+    EXPECT_EQ(sim_sem[i], dep_sem[i])
+        << "divergence at event " << i << ": sim="
+        << Tracer::format_line(sim_sem[i])
+        << " deployed=" << Tracer::format_line(dep_sem[i]);
+
+  // Sanity on the stream shape: every round produced its skeleton, skips
+  // exist (selection pressure), and the drop surfaced no update_lost (the
+  // retransmission recovered it before the deadline).
+  EXPECT_EQ(count_type(sim_sem, TraceEventType::kRoundStart), kRounds);
+  EXPECT_EQ(count_type(sim_sem, TraceEventType::kRoundEnd), kRounds);
+  EXPECT_GT(count_type(sim_sem, TraceEventType::kClientSkipped), 0);
+  EXPECT_EQ(count_type(dep_sem, TraceEventType::kUpdateLost), 0);
+
+#ifdef ADAFL_SOURCE_DIR
+  // Offline oracle: the shipped diff script must agree (exit 0), and must
+  // be *able* to disagree — a trace with one event removed fails the diff.
+  if (std::system("python3 -c pass >/dev/null 2>&1") == 0) {
+    const std::string script =
+        std::string(ADAFL_SOURCE_DIR) + "/scripts/trace_diff.py";
+    const std::string ok_cmd = "python3 " + script + " " + sim_path + " " +
+                               dep_path + " >/dev/null";
+    EXPECT_EQ(std::system(ok_cmd.c_str()), 0);
+
+    std::ifstream in(sim_path);
+    std::vector<std::string> lines;
+    for (std::string l; std::getline(in, l);) lines.push_back(l);
+    const std::string cut_path = ::testing::TempDir() + "trace_eq_cut.jsonl";
+    std::ofstream out(cut_path, std::ios::trunc);
+    for (std::size_t i = 0; i + 2 < lines.size(); ++i) out << lines[i] << "\n";
+    out << lines.back() << "\n";  // drop the second-to-last event
+    out.close();
+    const std::string bad_cmd = "python3 " + script + " " + cut_path + " " +
+                                dep_path + " >/dev/null";
+    EXPECT_NE(std::system(bad_cmd.c_str()), 0);
+    std::remove(cut_path.c_str());
+  }
+#endif
+  std::remove(sim_path.c_str());
+  std::remove(dep_path.c_str());
+}
+
+}  // namespace
+}  // namespace adafl

@@ -8,11 +8,14 @@
 // path fails here with an exact count.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "compress/dgc.h"
 #include "fl/client.h"
 #include "fl_fixtures.h"
+#include "metrics/trace.h"
 #include "nn/model.h"
 #include "nn/models.h"
 #include "nn/optimizer.h"
@@ -82,6 +85,56 @@ TEST(ZeroAlloc, ClientRoundSteadyState) {
   one_round();
   EXPECT_EQ(tensor::tensor_allocations() - before, 0u)
       << "client round allocated tensors in steady state";
+}
+
+TEST(ZeroAlloc, TracedClientRoundSteadyState) {
+  // Structured tracing rides along with the hot path (the trainers record
+  // per-selection and per-delivery events and flush at round boundaries);
+  // an *enabled* tracer must not break the steady-state zero-tensor-
+  // allocation guarantee above.
+  auto task = fl::testing::make_mini_task(2);
+  auto clients = fl::make_clients(task.factory, &task.train, task.parts,
+                                  task.client, {}, 7);
+  nn::Model probe(task.factory());
+  std::vector<float> global = probe.get_flat();
+  const auto dim = static_cast<std::int64_t>(global.size());
+
+  std::vector<compress::DgcCompressor> comps;
+  for (std::size_t i = 0; i < clients.size(); ++i)
+    comps.emplace_back(dim, compress::DgcConfig{});
+
+  const std::string path = ::testing::TempDir() + "zero_alloc_trace.jsonl";
+  metrics::Tracer tracer;
+  tracer.open(path, metrics::RunManifest{});
+
+  std::vector<fl::FlClient::LocalResult> results(clients.size());
+  std::vector<compress::EncodedGradient> msgs(clients.size());
+  int round = 0;
+  auto one_round = [&] {
+    ++round;
+    tracer.record(metrics::ev_round_start(round, 0.0));
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      const int id = static_cast<int>(i);
+      tracer.record(metrics::ev_client_selected(round, id, 0.5, 8.0));
+      clients[i].train_from_into(global, results[i]);
+      comps[i].compress_into(results[i].delta, 8.0, msgs[i]);
+      tracer.record(metrics::ev_update_delivered(
+          round, id, msgs[i].wire_bytes, 8, results[i].mean_loss));
+    }
+    tracer.record(metrics::ev_round_end(
+        round, static_cast<int>(clients.size()), 1.0, false, 0.0, 0.0));
+    tracer.flush();
+  };
+
+  one_round();  // warmup
+  const std::uint64_t before = tensor::tensor_allocations();
+  one_round();
+  one_round();
+  EXPECT_EQ(tensor::tensor_allocations() - before, 0u)
+      << "tracing allocated tensors in steady state";
+  tracer.close();
+  EXPECT_GT(metrics::read_trace_file(path).events.size(), 0u);
+  std::remove(path.c_str());
 }
 
 TEST(ZeroAlloc, WarmupDoesAllocate) {
