@@ -1,10 +1,12 @@
 // Kernel/threading micro-benchmarks for the deterministic execution layer.
 //
 // Times the blocked matmul kernels, Conv2d forward/backward, DGC compression,
-// and one full synchronous FL round at 1/2/4/8 worker threads, and writes the
-// results to bench_results/BENCH_kernels.json. Because the execution layer is
-// bitwise deterministic, every timing below computes the exact same numbers
-// at every thread count — only the wall clock changes.
+// and one full synchronous FL round at 1/2/4/8 worker threads — once per
+// available kernel backend (scalar always, avx2 when the CPU supports it) —
+// and writes the results to bench_results/BENCH_kernels.json along with the
+// detected CPU features. Because the execution layer is bitwise deterministic
+// within a backend, every timing below computes the exact same numbers at
+// every thread count — only the wall clock changes.
 //
 // Usage:
 //   bench_kernels                  # full sweep
@@ -23,6 +25,7 @@
 #include "core/parallel.h"
 #include "fl/client.h"
 #include "nn/conv2d.h"
+#include "tensor/dispatch.h"
 #include "tensor/ops.h"
 
 namespace {
@@ -44,6 +47,7 @@ double best_seconds(int reps, Fn&& fn) {
 
 struct Row {
   std::string bench;
+  std::string backend;  ///< kernel backend this row was measured under
   std::int64_t size = 0;
   int threads = 0;
   double seconds = 0.0;
@@ -56,12 +60,14 @@ void write_json(const std::vector<Row>& rows) {
   std::ofstream os(path);
   os << std::setprecision(6);
   os << "{\n  \"hardware_concurrency\": "
-     << std::thread::hardware_concurrency() << ",\n  \"results\": [\n";
+     << std::thread::hardware_concurrency()
+     << ",\n  \"cpu_features\": \"" << tensor::cpu_feature_string()
+     << "\",\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
-    os << "    {\"bench\": \"" << r.bench
-       << "\", \"size\": " << r.size << ", \"threads\": " << r.threads
-       << ", \"seconds\": " << r.seconds;
+    os << "    {\"bench\": \"" << r.bench << "\", \"backend\": \""
+       << r.backend << "\", \"size\": " << r.size
+       << ", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds;
     if (r.gflops > 0.0) os << ", \"gflops\": " << r.gflops;
     os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -70,9 +76,10 @@ void write_json(const std::vector<Row>& rows) {
 }
 
 void report(const Row& r) {
-  std::cout << "  " << std::left << std::setw(16) << r.bench << " size="
-            << std::setw(7) << r.size << " threads=" << r.threads << "  "
-            << std::fixed << std::setprecision(4) << r.seconds << " s";
+  std::cout << "  " << std::left << std::setw(16) << r.bench << " backend="
+            << std::setw(7) << r.backend << " size=" << std::setw(7) << r.size
+            << " threads=" << r.threads << "  " << std::fixed
+            << std::setprecision(4) << r.seconds << " s";
   if (r.gflops > 0.0)
     std::cout << "  (" << std::setprecision(2) << r.gflops << " GFLOP/s)";
   std::cout << "\n";
@@ -107,16 +114,29 @@ int main() {
   std::vector<float> dgc_grad(static_cast<std::size_t>(dgc_dim));
   for (auto& v : dgc_grad) v = static_cast<float>(rng.normal());
 
+  // Per-backend sweep: scalar always, avx2 when the CPU/build supports it.
+  // Inputs are shared across backends and thread counts, so every row times
+  // the same computation.
+  std::vector<tensor::KernelBackend> backends{tensor::KernelBackend::kScalar};
+  if (tensor::cpu_supports_avx2())
+    backends.push_back(tensor::KernelBackend::kAvx2);
+  else
+    std::cout << "(avx2 backend unavailable: cpu features "
+              << tensor::cpu_feature_string() << ")\n";
+
+  for (tensor::KernelBackend backend : backends) {
+  tensor::set_kernel_backend(backend);
+  const std::string bk = tensor::kernel_backend_name(backend);
   for (int threads : thread_counts) {
     core::set_num_threads(threads);
-    std::cout << "--- threads=" << threads << " ---\n";
+    std::cout << "--- backend=" << bk << " threads=" << threads << " ---\n";
 
     for (std::size_t si = 0; si < sizes.size(); ++si) {
       const auto n = sizes[si];
       const int reps = n >= 1024 ? reps_big : reps_small;
       const double flops = 2.0 * static_cast<double>(n) * n * n;
       tensor::Tensor out;
-      Row r{"matmul", n, threads,
+      Row r{"matmul", bk, n, threads,
             best_seconds(reps,
                          [&] {
                            out = tensor::matmul(mats[si].first,
@@ -127,7 +147,7 @@ int main() {
       report(r);
       rows.push_back(r);
 
-      Row rnt{"matmul_nt", n, threads,
+      Row rnt{"matmul_nt", bk, n, threads,
               best_seconds(reps,
                            [&] {
                              out = tensor::matmul_nt(mats[si].first,
@@ -143,13 +163,13 @@ int main() {
       tensor::Rng layer_rng(7);
       nn::Conv2d conv(8, 16, 3, layer_rng, 1, 1);
       tensor::Tensor y = conv.forward(conv_in, true);
-      Row fwd{"conv2d_fwd", conv_batch, threads,
+      Row fwd{"conv2d_fwd", bk, conv_batch, threads,
               best_seconds(reps_small,
                            [&] { y = conv.forward(conv_in, true); }),
               0.0};
       report(fwd);
       rows.push_back(fwd);
-      Row bwd{"conv2d_bwd", conv_batch, threads,
+      Row bwd{"conv2d_bwd", bk, conv_batch, threads,
               best_seconds(reps_small, [&] { (void)conv.backward(y); }), 0.0};
       report(bwd);
       rows.push_back(bwd);
@@ -157,7 +177,7 @@ int main() {
 
     {
       compress::DgcCompressor dgc(dgc_dim, {});
-      Row r{"dgc_compress", dgc_dim, threads,
+      Row r{"dgc_compress", bk, dgc_dim, threads,
             best_seconds(reps_small, [&] { (void)dgc.compress(dgc_grad); }),
             0.0};
       report(r);
@@ -189,7 +209,7 @@ int main() {
         }
       };
       one_round();  // warm all arenas/buffers
-      Row r{"client_round", static_cast<std::int64_t>(clients.size()),
+      Row r{"client_round", bk, static_cast<std::int64_t>(clients.size()),
             threads, best_seconds(reps_small, one_round), 0.0};
       report(r);
       rows.push_back(r);
@@ -204,7 +224,7 @@ int main() {
       cfg.participation = 1.0;
       cfg.client = task.client;
       cfg.seed = 1;
-      Row r{"sync_round", 8, threads,
+      Row r{"sync_round", bk, 8, threads,
             best_seconds(1,
                          [&] {
                            fl::SyncTrainer t(cfg, task.factory, &task.train,
@@ -216,7 +236,9 @@ int main() {
       rows.push_back(r);
     }
   }
+  }
   core::set_num_threads(0);
+  tensor::set_kernel_backend(tensor::KernelBackend::kScalar);
 
   write_json(rows);
   return 0;

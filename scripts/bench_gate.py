@@ -2,7 +2,8 @@
 """Perf-regression gate over bench_results/BENCH_kernels.json.
 
 Compares a fresh bench run against the committed baseline and fails when
-any (bench, size, threads) config regresses by more than the tolerance.
+any (bench, size, threads, backend) config regresses by more than the
+tolerance.
 
 CI machines are not the machine the baseline was recorded on, so raw
 seconds are not comparable run-to-run. The gate first computes a
@@ -11,6 +12,18 @@ machine-speed calibration factor — the median of per-config ratios
 exceeds median * (1 + tolerance). A uniformly slower machine shifts every
 ratio equally and passes; a genuine regression shows up as an outlier
 against the run's own median.
+
+Rows are keyed by kernel backend as well: a scalar-vs-scalar comparison
+never absorbs an avx2 regression into the calibration median (and vice
+versa). Pre-dispatch baselines without a "backend" field are read as
+"scalar" — the scalar path is the unchanged historical reference.
+
+Beyond the regression check, the gate asserts the SIMD backend is
+actually fast: if the new run contains avx2 rows, avx2 matmul_nt at
+size 512 / 1 thread must be at least 3x faster than scalar in the same
+run. This is a same-machine, same-run comparison, so no calibration is
+involved; it catches a dispatch table silently wired to the scalar
+kernels. Skipped with a warning when the bench machine has no avx2.
 
 Seconds are scale-independent: ADAFL_BENCH_SCALE changes only rep counts
 (min-of-reps is reported), so a smoke pass gates against the same numbers
@@ -24,7 +37,7 @@ ones a real regression cannot hide from.
 
 Usage:
   scripts/bench_gate.py <baseline.json> <new.json> \
-      [--tolerance=0.25] [--min-seconds=0.02]
+      [--tolerance=0.25] [--min-seconds=0.02] [--min-simd-speedup=3.0]
 
 Exit codes: 0 ok, 1 regression found, 2 bad input.
 Environment: BENCH_GATE_TOLERANCE overrides the default tolerance (0.25).
@@ -44,7 +57,9 @@ def load(path):
         sys.exit(2)
     rows = {}
     for r in doc.get("results", []):
-        key = (r["bench"], r["size"], r["threads"])
+        # Pre-dispatch baselines predate the "backend" field; those rows
+        # were measured on the (then only) scalar kernels.
+        key = (r["bench"], r["size"], r["threads"], r.get("backend", "scalar"))
         rows[key] = float(r["seconds"])
     if not rows:
         print(f"bench_gate: {path} has no results", file=sys.stderr)
@@ -58,15 +73,43 @@ def median(xs):
     return s[n // 2] if n % 2 else 0.5 * (s[n // 2 - 1] + s[n // 2])
 
 
+def check_simd_speedup(new, min_speedup):
+    """Same-run scalar-vs-avx2 check; returns False on failure."""
+    if not any(k[3] == "avx2" for k in new):
+        print("bench_gate: WARNING no avx2 rows in new run; "
+              "skipping SIMD speedup check")
+        return True
+    probe = ("matmul_nt", 512, 1)
+    scalar = new.get(probe + ("scalar",))
+    avx2 = new.get(probe + ("avx2",))
+    if not scalar or not avx2:
+        print(f"bench_gate: WARNING {probe} missing from new run for one "
+              "backend; skipping SIMD speedup check")
+        return True
+    speedup = scalar / avx2
+    ok = speedup >= min_speedup
+    print(f"bench_gate: SIMD speedup check: avx2 matmul_nt size=512 "
+          f"threads=1 is x{speedup:.2f} vs scalar "
+          f"(required x{min_speedup:.1f}) -> {'ok' if ok else 'FAIL'}")
+    if not ok:
+        print("bench_gate: avx2 backend is not delivering its speedup — "
+              "check the dispatch table and per-file -mavx2 flags",
+              file=sys.stderr)
+    return ok
+
+
 def main(argv):
     tolerance = float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25"))
     min_seconds = 0.02
+    min_simd_speedup = 3.0
     paths = []
     for a in argv[1:]:
         if a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
         elif a.startswith("--min-seconds="):
             min_seconds = float(a.split("=", 1)[1])
+        elif a.startswith("--min-simd-speedup="):
+            min_simd_speedup = float(a.split("=", 1)[1])
         else:
             paths.append(a)
     if len(paths) != 2:
@@ -95,7 +138,7 @@ def main(argv):
         r = ratios.get(key)
         if r is None:
             continue
-        bench, size, threads = key
+        bench, size, threads, backend = key
         gated = base[key] >= min_seconds
         if r <= limit:
             status = "ok"
@@ -104,15 +147,19 @@ def main(argv):
             failed.append(key)
         else:
             status = "slow"  # below the noise floor: report, don't gate
-        print(f"  [{status:4s}] {bench:<16s} size={size:<7d} "
-              f"threads={threads}  base={base[key]:.4f}s "
+        print(f"  [{status:4s}] {bench:<16s} backend={backend:<7s} "
+              f"size={size:<7d} threads={threads}  base={base[key]:.4f}s "
               f"new={new[key]:.4f}s  x{r:.3f}")
+
+    ok = check_simd_speedup(new, min_simd_speedup)
 
     if failed:
         print(f"bench_gate: {len(failed)} config(s) regressed beyond "
               f"{tolerance:.0%} after calibration:", file=sys.stderr)
         for key in failed:
             print(f"  {key}", file=sys.stderr)
+        return 1
+    if not ok:
         return 1
     print("bench_gate: no perf regressions")
     return 0

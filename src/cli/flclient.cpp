@@ -21,6 +21,7 @@
 #include "metrics/trace.h"
 #include "net/transport/faulty.h"
 #include "net/transport/session.h"
+#include "tensor/dispatch.h"
 
 using namespace adafl;
 
@@ -40,6 +41,9 @@ int main(int argc, char** argv) {
               "fault injection: crash once on receiving this round's model "
               "(0 = off)")
       .option("threads", "0", "worker threads (0 = auto)")
+      .option("kernel-backend", "",
+              "auto|scalar|avx2 — SIMD kernel backend (empty = "
+              "ADAFL_KERNEL_BACKEND env or the scalar reference)")
       .option("trace", "",
               "append structured JSONL run events to this file ('' = off)")
       .option("metrics", "",
@@ -58,6 +62,8 @@ int main(int argc, char** argv) {
 
   try {
     core::set_num_threads(args.get_int_at_least("threads", 0));
+    if (const std::string kb = args.get("kernel-backend"); !kb.empty())
+      tensor::set_kernel_backend(tensor::resolve_kernel_backend(kb));
     metrics::PhaseProfiler::instance().set_enabled(args.get_bool("profile"));
     const std::string host = args.get("host");
     const auto port = static_cast<std::uint16_t>(args.get_int("port"));
@@ -90,6 +96,7 @@ int main(int argc, char** argv) {
       manifest.config["host"] = host;
       manifest.config["port"] = std::to_string(port);
       manifest.config["client_id"] = std::to_string(cfg.client_id);
+      manifest.config["kernel_backend"] = tensor::kernel_backend_name();
       tracer.open(trace_path, manifest);
       if (!metrics_path.empty()) tracer.attach_registry(&registry);
       cfg.tracer = &tracer;
@@ -146,6 +153,12 @@ int main(int argc, char** argv) {
     }
     if (!metrics_path.empty()) {
       registry.export_profiler(metrics::PhaseProfiler::instance());
+      registry
+          .gauge(std::string("kernel.backend.") +
+                 tensor::kernel_backend_name())
+          .set(1.0);
+      registry.gauge("kernel.cpu.avx2")
+          .set(tensor::cpu_supports_avx2() ? 1.0 : 0.0);
       registry.write_json(metrics_path);
       std::cout << "wrote " << metrics_path << std::endl;
     }

@@ -32,6 +32,7 @@
 #include "metrics/trace.h"
 #include "net/transport/crc32.h"
 #include "net/transport/session.h"
+#include "tensor/dispatch.h"
 
 using namespace adafl;
 
@@ -69,6 +70,9 @@ int main(int argc, char** argv) {
       .option("test-samples", "400", "synthetic test examples")
       .option("seed", "1", "experiment seed")
       .option("threads", "0", "worker threads (0 = auto)")
+      .option("kernel-backend", "",
+              "auto|scalar|avx2 — SIMD kernel backend (empty = "
+              "ADAFL_KERNEL_BACKEND env or the scalar reference)")
       .option("checkpoint-dir", "",
               "directory for the durable server checkpoint (enables crash "
               "recovery; written every --checkpoint-every rounds and on "
@@ -97,6 +101,8 @@ int main(int argc, char** argv) {
 
   try {
     core::set_num_threads(args.get_int_at_least("threads", 0));
+    if (const std::string kb = args.get("kernel-backend"); !kb.empty())
+      tensor::set_kernel_backend(tensor::resolve_kernel_backend(kb));
     metrics::PhaseProfiler::instance().set_enabled(args.get_bool("profile"));
     const cli::TaskSpec spec = cli::spec_from_args(args);
     const auto task = cli::build_task(spec);
@@ -133,6 +139,9 @@ int main(int argc, char** argv) {
       manifest.rounds = cfg.rounds;
       manifest.clients = spec.clients;
       manifest.config = cfg.client_config;
+      // Recorded per binary (not in client_config, which is the WELCOME
+      // payload): each peer names the backend its own numerics ran on.
+      manifest.config["kernel_backend"] = tensor::kernel_backend_name();
       tracer.open(trace_path, std::move(manifest));
       if (!metrics_path.empty()) tracer.attach_registry(&registry);
       cfg.tracer = &tracer;
@@ -145,6 +154,7 @@ int main(int argc, char** argv) {
               << " model=" << spec.model << " dist=" << spec.dist
               << " clients=" << spec.clients << " rounds=" << cfg.rounds
               << " seed=" << spec.seed << " threads=" << core::num_threads()
+              << " kernel-backend=" << tensor::kernel_backend_name()
               << std::endl;
 
     net::transport::ServerSession session(cfg, task.factory, &task.test);
@@ -190,6 +200,12 @@ int main(int argc, char** argv) {
     if (!metrics_path.empty()) {
       registry.export_ledger(log.ledger);
       registry.export_profiler(metrics::PhaseProfiler::instance());
+      registry
+          .gauge(std::string("kernel.backend.") +
+                 tensor::kernel_backend_name())
+          .set(1.0);
+      registry.gauge("kernel.cpu.avx2")
+          .set(tensor::cpu_supports_avx2() ? 1.0 : 0.0);
       registry.write_json(metrics_path);
       std::cout << "wrote " << metrics_path << std::endl;
     }

@@ -30,6 +30,7 @@
 #include "metrics/table.h"
 #include "metrics/trace.h"
 #include "net/transport/crc32.h"
+#include "tensor/dispatch.h"
 
 namespace {
 
@@ -90,6 +91,10 @@ int main(int argc, char** argv) {
               "worker threads for client training and kernels "
               "(0 = auto: ADAFL_THREADS or hardware concurrency); results "
               "are bitwise identical at any thread count")
+      .option("kernel-backend", "",
+              "auto|scalar|avx2 — SIMD kernel backend (empty = "
+              "ADAFL_KERNEL_BACKEND env or the scalar reference); results "
+              "are bitwise reproducible within a backend")
       .option("csv", "", "write the accuracy curve to this CSV path")
       .option("chart", "1", "render the ASCII accuracy chart")
       .option("checkpoint-dir", "",
@@ -120,6 +125,8 @@ int main(int argc, char** argv) {
 
   try {
     core::set_num_threads(args.get_int_at_least("threads", 0));
+    if (const std::string kb = args.get("kernel-backend"); !kb.empty())
+      tensor::set_kernel_backend(tensor::resolve_kernel_backend(kb));
     metrics::PhaseProfiler::instance().set_enabled(args.get_bool("profile"));
     const cli::TaskSpec spec = cli::spec_from_args(args);
     const auto task = cli::build_task(spec);
@@ -162,6 +169,10 @@ int main(int argc, char** argv) {
       manifest.rounds = round_sync ? args.get_int("rounds") : 0;
       manifest.clients = clients;
       manifest.config = cli::task_to_kv(spec, client);
+      // The backend names which numerics produced this trace: same-backend
+      // reruns are byte-identical, cross-backend comparisons are
+      // semantic-only (see docs/protocols.md).
+      manifest.config["kernel_backend"] = tensor::kernel_backend_name();
       tracer.open(trace_path, std::move(manifest));
       if (!metrics_path.empty()) tracer.attach_registry(&registry);
     }
@@ -172,6 +183,7 @@ int main(int argc, char** argv) {
               << args.get("dataset") << " model=" << args.get("model")
               << " dist=" << args.get("dist") << " clients=" << clients
               << " seed=" << seed << " threads=" << core::num_threads()
+              << " kernel-backend=" << tensor::kernel_backend_name()
               << "\n";
 
     fl::TrainLog log;
@@ -274,6 +286,12 @@ int main(int argc, char** argv) {
     if (!metrics_path.empty()) {
       registry.export_ledger(log.ledger);
       registry.export_profiler(metrics::PhaseProfiler::instance());
+      registry
+          .gauge(std::string("kernel.backend.") +
+                 tensor::kernel_backend_name())
+          .set(1.0);
+      registry.gauge("kernel.cpu.avx2")
+          .set(tensor::cpu_supports_avx2() ? 1.0 : 0.0);
       registry.write_json(metrics_path);
       std::cout << "wrote " << metrics_path << "\n";
     }

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <functional>
 
 #include "tensor/check.h"
+#include "tensor/dispatch.h"
 #include "tensor/tensor.h"
 
 namespace adafl::compress {
@@ -40,11 +41,12 @@ void EncodedGradient::decode_into(std::vector<float>& out) const {
     case CodecKind::kQsgd:
     case CodecKind::kTernary:
       ADAFL_CHECK(static_cast<std::int64_t>(levels.size()) == dense_size);
-      for (std::size_t i = 0; i < levels.size(); ++i)
-        out[i] = scale * static_cast<float>(levels[i]) /
-                 (kind == CodecKind::kQsgd
-                      ? static_cast<float>(std::max(quant_levels, 1))
-                      : 1.0f);
+      tensor::active_kernels().qsgd_unpack(
+          levels.data(), scale,
+          kind == CodecKind::kQsgd
+              ? static_cast<float>(std::max(quant_levels, 1))
+              : 1.0f,
+          out.data(), dense_size);
       break;
   }
 }
@@ -94,8 +96,16 @@ EncodedGradient QsgdCodec::encode(std::span<const float> grad, Rng& rng) {
   e.scale = static_cast<float>(norm);
   e.levels.resize(grad.size());
   if (norm > 0.0) {
+    // The magnitude ratios |g_i|/norm * s vectorize (kernel table); the
+    // stochastic-rounding draw stays a sequential loop because each element
+    // consumes the next rng value in order — that sequence is the
+    // reproducibility contract of the codec.
+    ratios_.resize(grad.size());
+    tensor::active_kernels().qsgd_ratios(
+        grad.data(), norm, static_cast<double>(levels_), ratios_.data(),
+        static_cast<std::int64_t>(grad.size()));
     for (std::size_t i = 0; i < grad.size(); ++i) {
-      const double r = std::abs(grad[i]) / norm * levels_;  // in [0, s]
+      const double r = ratios_[i];  // in [0, s]
       const double lo = std::floor(r);
       const double hi_prob = r - lo;
       double q = lo + (rng.bernoulli(hi_prob) ? 1.0 : 0.0);
@@ -146,22 +156,31 @@ void top_k_by_magnitude_into(std::span<const float> values, std::int64_t k,
                              std::vector<std::uint32_t>& scratch) {
   const std::int64_t n = static_cast<std::int64_t>(values.size());
   ADAFL_CHECK_MSG(k >= 1 && k <= n, "top_k_by_magnitude: k=" << k << " n=" << n);
+  const auto& kt = tensor::active_kernels();
+  // Selection runs on |value| bit patterns: clearing the sign bit of an IEEE
+  // float yields an unsigned integer that orders exactly like the magnitude,
+  // so the threshold split below is pure integer work (and SIMD-friendly).
   scratch.resize(static_cast<std::size_t>(n));
-  std::iota(scratch.begin(), scratch.end(), 0u);
-  // Magnitude ties break toward the lower index, so the *set* of selected
-  // coordinates is the same on every standard library (nth_element alone
-  // leaves both the order and the tie winners implementation-defined, which
-  // would leak into the wire bytes and downstream digests).
+  kt.abs_bits(values.data(), scratch.data(), n);
+  // The k-th largest magnitude is the selection threshold. nth_element may
+  // reorder scratch freely — the scans below re-derive bits from `values`.
   std::nth_element(scratch.begin(), scratch.begin() + (k - 1), scratch.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     const float ma = std::abs(values[a]);
-                     const float mb = std::abs(values[b]);
-                     if (ma != mb) return ma > mb;
-                     return a < b;
-                   });
-  out.assign(scratch.begin(), scratch.begin() + k);
-  // Ascending index order: a canonical on-wire layout (and better locality
-  // for the decoder's scatter).
+                   std::greater<std::uint32_t>());
+  const std::uint32_t threshold = scratch[static_cast<std::size_t>(k - 1)];
+  // Everything strictly above the threshold is selected; ties AT the
+  // threshold fill the remaining slots in ascending index order. That
+  // reproduces the historical rule exactly — magnitude descending, ties
+  // toward the lower index — so the selected *set* (and the wire bytes) is
+  // identical across backends and standard libraries.
+  out.resize(static_cast<std::size_t>(k));
+  const std::int64_t above = kt.scan_abs_gt(values.data(), n, threshold,
+                                            out.data());
+  const std::int64_t ties = kt.scan_abs_eq(values.data(), n, threshold,
+                                           out.data() + above, k - above);
+  ADAFL_CHECK_MSG(above + ties == k, "top_k_by_magnitude: selected "
+                                         << above + ties << " of " << k);
+  // Both scans emit ascending indices; sorting the concatenation restores
+  // the canonical ascending on-wire order (in place, no allocation).
   std::sort(out.begin(), out.end());
 }
 

@@ -84,6 +84,7 @@ class QsgdCodec final : public Codec {
 
  private:
   int levels_;
+  std::vector<double> ratios_;  ///< per-call magnitude-ratio scratch
 };
 
 /// TernGrad (Wen et al.): stochastic ternarization {-1, 0, +1} scaled by

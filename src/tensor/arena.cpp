@@ -13,6 +13,7 @@ Tensor& Workspace::get(const Shape& shape) {
   const auto need = static_cast<std::size_t>(shape.numel());
   if (need > t.capacity()) ++stats_.allocations;
   t.resize(shape);
+  ADAFL_DCHECK_ALIGNED32(t.data());
   ++cursor_;
   if (cursor_ > stats_.high_water_slots) stats_.high_water_slots = cursor_;
   return t;

@@ -6,6 +6,7 @@
 // are part of the interface contract and are documented at the call sites.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -48,3 +49,18 @@ namespace detail {
                                   adafl_check_os_.str());                   \
   }                                                                         \
   static_assert(true, "require trailing semicolon")
+
+/// Debug-build assertion that a pointer honors the 32-byte tensor-storage
+/// alignment SIMD kernels rely on (tensor::kTensorAlignment). Null is
+/// trivially aligned. Compiles away under NDEBUG so it costs nothing on the
+/// release hot path.
+#ifndef NDEBUG
+#define ADAFL_DCHECK_ALIGNED32(ptr)                                         \
+  ADAFL_CHECK_MSG(                                                          \
+      (reinterpret_cast<std::uintptr_t>(ptr) & std::uintptr_t{31}) == 0,    \
+      "pointer " << static_cast<const void*>(ptr)                           \
+                 << " violates the 32-byte tensor storage alignment")
+#else
+#define ADAFL_DCHECK_ALIGNED32(ptr)                                         \
+  static_assert(true, "require trailing semicolon")
+#endif

@@ -1,0 +1,237 @@
+// Scalar reference backend.
+//
+// These are the historical loop bodies, moved verbatim out of ops.cpp and
+// codec.cpp so they can sit behind the kernel table. They define the bitwise
+// reference semantics every other backend is tested against; do not "clean
+// up" operation order here — it is the contract.
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "core/parallel.h"
+#include "tensor/dispatch.h"
+
+namespace adafl::tensor {
+
+namespace {
+
+// Matmuls below this many multiply-adds run serially: the fork-join
+// overhead of the pool (~a few microseconds) dominates on small shapes.
+// The threshold is a constant, so the serial/parallel decision — and with
+// it every result — is independent of the configured thread count.
+constexpr std::int64_t kParallelGrainFlops = 1 << 18;
+
+// C[m,n] += A[m,k] * B[k,n]; pc must hold the starting values (zeros for a
+// plain product).
+//
+// The __restrict__ qualifiers (here and in matmul_tn) re-state what the
+// ops.h entry points already guarantee — output storage is disjoint from
+// the inputs. When these bodies lived inline in ops.cpp the compiler could
+// prove that from the fresh Tensor allocation and auto-vectorize the inner
+// j loop; behind a table function pointer it must be told, or the loop
+// drops to scalar adds (~2.5x slower). Top-level restrict does not change
+// the function type, so the table signature stays plain pointers, and
+// per-element vectorization of `crow[j] += av * brow[j]` is bitwise
+// neutral (no reassociation, no FMA at the base ISA).
+void matmul_scalar(const float* __restrict__ pa, const float* __restrict__ pb,
+                   float* __restrict__ pc, std::int64_t m, std::int64_t k,
+                   std::int64_t n) {
+  // ikj loop order: unit-stride access on B and C. Parallel over disjoint
+  // row blocks of C; each element accumulates in ascending-k order, so the
+  // result is bitwise independent of the partitioning.
+  auto rows = [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t i = ib; i < ie; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* __restrict__ brow = pb + kk * n;
+        float* __restrict__ crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  };
+  if (m * k * n < kParallelGrainFlops)
+    rows(0, m);
+  else
+    core::parallel_for_blocked(0, m, rows);
+}
+
+// C[m,n] += A[k,m]^T * B[k,n]; pc must hold the starting values.
+void matmul_tn_scalar(const float* __restrict__ pa,
+                      const float* __restrict__ pb, float* __restrict__ pc,
+                      std::int64_t m, std::int64_t k, std::int64_t n) {
+  // Row blocks of C are independent. Within a row, k ascends exactly as in
+  // the historical kk-outer loop, so every element sums in the same order.
+  auto rows = [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t i = ib; i < ie; ++i) {
+      float* __restrict__ crow = pc + i * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa[kk * m + i];
+        if (av == 0.0f) continue;
+        const float* __restrict__ brow = pb + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  };
+  if (m * k * n < kParallelGrainFlops)
+    rows(0, m);
+  else
+    core::parallel_for_blocked(0, m, rows);
+}
+
+// C[m,n] = A[m,k] * B[n,k]^T; fully overwrites pc.
+void matmul_nt_scalar(const float* pa, const float* pb, float* pc,
+                      std::int64_t m, std::int64_t k, std::int64_t n) {
+  // Cache-blocked dot-product kernel. B is walked in tiles of kBj rows so a
+  // tile is served from cache for every row of the A block, and within a
+  // tile four output columns accumulate in flight (independent double
+  // accumulators -> instruction-level parallelism). Each element still sums
+  // a_ik * b_jk in ascending-k order into one double, so the result is
+  // bitwise identical to the naive triple loop at any block size or thread
+  // count.
+  constexpr std::int64_t kBj = 32;
+  auto rows = [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t jj = 0; jj < n; jj += kBj) {
+      const std::int64_t je = std::min(jj + kBj, n);
+      for (std::int64_t i = ib; i < ie; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        std::int64_t j = jj;
+        for (; j + 4 <= je; j += 4) {
+          const float* b0 = pb + j * k;
+          const float* b1 = b0 + k;
+          const float* b2 = b1 + k;
+          const float* b3 = b2 + k;
+          double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            const double av = static_cast<double>(arow[kk]);
+            a0 += av * static_cast<double>(b0[kk]);
+            a1 += av * static_cast<double>(b1[kk]);
+            a2 += av * static_cast<double>(b2[kk]);
+            a3 += av * static_cast<double>(b3[kk]);
+          }
+          crow[j] = static_cast<float>(a0);
+          crow[j + 1] = static_cast<float>(a1);
+          crow[j + 2] = static_cast<float>(a2);
+          crow[j + 3] = static_cast<float>(a3);
+        }
+        for (; j < je; ++j) {
+          const float* brow = pb + j * k;
+          double acc = 0.0;
+          for (std::int64_t kk = 0; kk < k; ++kk)
+            acc +=
+                static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
+          crow[j] = static_cast<float>(acc);
+        }
+      }
+    }
+  };
+  if (m * k * n < kParallelGrainFlops)
+    rows(0, m);
+  else
+    core::parallel_for_blocked(0, m, rows);
+}
+
+void add_scalar(const float* pa, const float* pb, float* po, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+}
+
+void mul_scalar(const float* pa, const float* pb, float* po, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+}
+
+void scale_scalar(const float* pa, float s, float* po, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) po[i] = s * pa[i];
+}
+
+void relu_scalar(const float* pa, float* po, float* pm, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool pos = pa[i] > 0.0f;
+    pm[i] = pos ? 1.0f : 0.0f;
+    po[i] = pos ? pa[i] : 0.0f;
+  }
+}
+
+void log_softmax_rows_scalar(const float* logits, float* out, std::int64_t n,
+                             std::int64_t c) {
+  // Rows are independent: parallel over disjoint row blocks.
+  auto rows = [&](std::int64_t ib, std::int64_t ie) {
+    for (std::int64_t i = ib; i < ie; ++i) {
+      const float* row = logits + i * c;
+      float* orow = out + i * c;
+      const float mx = *std::max_element(row, row + c);
+      double sum = 0.0;
+      for (std::int64_t j = 0; j < c; ++j) sum += std::exp(row[j] - mx);
+      const float lse = mx + static_cast<float>(std::log(sum));
+      for (std::int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
+    }
+  };
+  if (n * c < 1 << 14)
+    rows(0, n);
+  else
+    core::parallel_for_blocked(0, n, rows);
+}
+
+void abs_bits_scalar(const float* v, std::uint32_t* out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i)
+    out[i] = std::bit_cast<std::uint32_t>(v[i]) & 0x7fffffffu;
+}
+
+std::int64_t scan_abs_gt_scalar(const float* v, std::int64_t n,
+                                std::uint32_t threshold, std::uint32_t* out) {
+  std::int64_t cnt = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if ((std::bit_cast<std::uint32_t>(v[i]) & 0x7fffffffu) > threshold)
+      out[cnt++] = static_cast<std::uint32_t>(i);
+  }
+  return cnt;
+}
+
+std::int64_t scan_abs_eq_scalar(const float* v, std::int64_t n,
+                                std::uint32_t threshold, std::uint32_t* out,
+                                std::int64_t max_out) {
+  std::int64_t cnt = 0;
+  for (std::int64_t i = 0; i < n && cnt < max_out; ++i) {
+    if ((std::bit_cast<std::uint32_t>(v[i]) & 0x7fffffffu) == threshold)
+      out[cnt++] = static_cast<std::uint32_t>(i);
+  }
+  return cnt;
+}
+
+void qsgd_ratios_scalar(const float* g, double norm, double s, double* out,
+                        std::int64_t n) {
+  // Operation order matches the historical QsgdCodec loop exactly:
+  // float abs, exact promotion to double, divide, multiply.
+  for (std::int64_t i = 0; i < n; ++i)
+    out[i] = static_cast<double>(std::abs(g[i])) / norm * s;
+}
+
+void qsgd_unpack_scalar(const std::int8_t* levels, float scale, float denom,
+                        float* out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i)
+    out[i] = scale * static_cast<float>(levels[i]) / denom;
+}
+
+}  // namespace
+
+const KernelTable& scalar_kernel_table() {
+  static const KernelTable table = {
+      /*matmul=*/matmul_scalar,
+      /*matmul_tn=*/matmul_tn_scalar,
+      /*matmul_nt=*/matmul_nt_scalar,
+      /*add=*/add_scalar,
+      /*mul=*/mul_scalar,
+      /*scale=*/scale_scalar,
+      /*relu=*/relu_scalar,
+      /*log_softmax_rows=*/log_softmax_rows_scalar,
+      /*abs_bits=*/abs_bits_scalar,
+      /*scan_abs_gt=*/scan_abs_gt_scalar,
+      /*scan_abs_eq=*/scan_abs_eq_scalar,
+      /*qsgd_ratios=*/qsgd_ratios_scalar,
+      /*qsgd_unpack=*/qsgd_unpack_scalar,
+  };
+  return table;
+}
+
+}  // namespace adafl::tensor

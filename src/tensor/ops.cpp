@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/parallel.h"
+#include "tensor/dispatch.h"
 
 namespace adafl::tensor {
 
@@ -15,116 +15,10 @@ void require_rank2(const Tensor& t, const char* who) {
                       << t.shape().to_string());
 }
 
-// Matmuls below this many multiply-adds run serially: the fork-join
-// overhead of the pool (~a few microseconds) dominates on small shapes.
-// The threshold is a constant, so the serial/parallel decision — and with
-// it every result — is independent of the configured thread count.
-constexpr std::int64_t kParallelGrainFlops = 1 << 18;
-
-// The raw kernels below are shared verbatim by the allocating entry points
-// and their _into variants, so both paths are bitwise identical by
-// construction.
-
-// C[m,n] += A[m,k] * B[k,n]; pc must hold the starting values (zeros for a
-// plain product).
-void matmul_core(const float* pa, const float* pb, float* pc, std::int64_t m,
-                 std::int64_t k, std::int64_t n) {
-  // ikj loop order: unit-stride access on B and C. Parallel over disjoint
-  // row blocks of C; each element accumulates in ascending-k order, so the
-  // result is bitwise independent of the partitioning.
-  auto rows = [&](std::int64_t ib, std::int64_t ie) {
-    for (std::int64_t i = ib; i < ie; ++i) {
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = pa[i * k + kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        float* crow = pc + i * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  };
-  if (m * k * n < kParallelGrainFlops)
-    rows(0, m);
-  else
-    core::parallel_for_blocked(0, m, rows);
-}
-
-// C[m,n] += A[k,m]^T * B[k,n]; pc must hold the starting values.
-void matmul_tn_core(const float* pa, const float* pb, float* pc,
-                    std::int64_t m, std::int64_t k, std::int64_t n) {
-  // Row blocks of C are independent. Within a row, k ascends exactly as in
-  // the historical kk-outer loop, so every element sums in the same order.
-  auto rows = [&](std::int64_t ib, std::int64_t ie) {
-    for (std::int64_t i = ib; i < ie; ++i) {
-      float* crow = pc + i * n;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = pa[kk * m + i];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  };
-  if (m * k * n < kParallelGrainFlops)
-    rows(0, m);
-  else
-    core::parallel_for_blocked(0, m, rows);
-}
-
-// C[m,n] = A[m,k] * B[n,k]^T; fully overwrites pc.
-void matmul_nt_core(const float* pa, const float* pb, float* pc,
-                    std::int64_t m, std::int64_t k, std::int64_t n) {
-  // Cache-blocked dot-product kernel. B is walked in tiles of kBj rows so a
-  // tile is served from cache for every row of the A block, and within a
-  // tile four output columns accumulate in flight (independent double
-  // accumulators -> instruction-level parallelism). Each element still sums
-  // a_ik * b_jk in ascending-k order into one double, so the result is
-  // bitwise identical to the naive triple loop at any block size or thread
-  // count.
-  constexpr std::int64_t kBj = 32;
-  auto rows = [&](std::int64_t ib, std::int64_t ie) {
-    for (std::int64_t jj = 0; jj < n; jj += kBj) {
-      const std::int64_t je = std::min(jj + kBj, n);
-      for (std::int64_t i = ib; i < ie; ++i) {
-        const float* arow = pa + i * k;
-        float* crow = pc + i * n;
-        std::int64_t j = jj;
-        for (; j + 4 <= je; j += 4) {
-          const float* b0 = pb + j * k;
-          const float* b1 = b0 + k;
-          const float* b2 = b1 + k;
-          const float* b3 = b2 + k;
-          double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            const double av = static_cast<double>(arow[kk]);
-            a0 += av * static_cast<double>(b0[kk]);
-            a1 += av * static_cast<double>(b1[kk]);
-            a2 += av * static_cast<double>(b2[kk]);
-            a3 += av * static_cast<double>(b3[kk]);
-          }
-          crow[j] = static_cast<float>(a0);
-          crow[j + 1] = static_cast<float>(a1);
-          crow[j + 2] = static_cast<float>(a2);
-          crow[j + 3] = static_cast<float>(a3);
-        }
-        for (; j < je; ++j) {
-          const float* brow = pb + j * k;
-          double acc = 0.0;
-          for (std::int64_t kk = 0; kk < k; ++kk)
-            acc +=
-                static_cast<double>(arow[kk]) * static_cast<double>(brow[kk]);
-          crow[j] = static_cast<float>(acc);
-        }
-      }
-    }
-  };
-  if (m * k * n < kParallelGrainFlops)
-    rows(0, m);
-  else
-    core::parallel_for_blocked(0, m, rows);
-}
-
-// Validated (m, k, n) for each matmul flavor.
+// Validated (m, k, n) for each matmul flavor. The numeric kernels live in
+// kernels_scalar.cpp / kernels_avx2.cpp behind the dispatch table; the entry
+// points here keep all shape validation so every backend sees only valid
+// inputs.
 struct MatmulDims {
   std::int64_t m = 0, k = 0, n = 0;
 };
@@ -180,58 +74,58 @@ void require_same_shape(const Tensor& a, const Tensor& out, const char* who) {
 Tensor matmul(const Tensor& a, const Tensor& b) {
   const MatmulDims d = matmul_dims(a, b);
   Tensor c({d.m, d.n});
-  matmul_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+  active_kernels().matmul(a.data(), b.data(), c.data(), d.m, d.k, d.n);
   return c;
 }
 
 void matmul_into(const Tensor& a, const Tensor& b, Tensor& c) {
   const MatmulDims d = matmul_dims(a, b);
   require_out_shape(c, d, "matmul_into");
-  matmul_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+  active_kernels().matmul(a.data(), b.data(), c.data(), d.m, d.k, d.n);
 }
 
 void matmul_into(const Tensor& a, const Tensor& b, std::span<float> c) {
   const MatmulDims d = matmul_dims(a, b);
   require_out_span(c, d, "matmul_into");
-  matmul_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+  active_kernels().matmul(a.data(), b.data(), c.data(), d.m, d.k, d.n);
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const MatmulDims d = matmul_tn_dims(a, b);
   Tensor c({d.m, d.n});
-  matmul_tn_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+  active_kernels().matmul_tn(a.data(), b.data(), c.data(), d.m, d.k, d.n);
   return c;
 }
 
 void matmul_tn_into(const Tensor& a, const Tensor& b, Tensor& c) {
   const MatmulDims d = matmul_tn_dims(a, b);
   require_out_shape(c, d, "matmul_tn_into");
-  matmul_tn_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+  active_kernels().matmul_tn(a.data(), b.data(), c.data(), d.m, d.k, d.n);
 }
 
 void matmul_tn_into(const Tensor& a, const Tensor& b, std::span<float> c) {
   const MatmulDims d = matmul_tn_dims(a, b);
   require_out_span(c, d, "matmul_tn_into");
-  matmul_tn_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+  active_kernels().matmul_tn(a.data(), b.data(), c.data(), d.m, d.k, d.n);
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const MatmulDims d = matmul_nt_dims(a, b);
   Tensor c({d.m, d.n});
-  matmul_nt_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+  active_kernels().matmul_nt(a.data(), b.data(), c.data(), d.m, d.k, d.n);
   return c;
 }
 
 void matmul_nt_into(const Tensor& a, const Tensor& b, Tensor& c) {
   const MatmulDims d = matmul_nt_dims(a, b);
   require_out_shape(c, d, "matmul_nt_into");
-  matmul_nt_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+  active_kernels().matmul_nt(a.data(), b.data(), c.data(), d.m, d.k, d.n);
 }
 
 void matmul_nt_into(const Tensor& a, const Tensor& b, std::span<float> c) {
   const MatmulDims d = matmul_nt_dims(a, b);
   require_out_span(c, d, "matmul_nt_into");
-  matmul_nt_core(a.data(), b.data(), c.data(), d.m, d.k, d.n);
+  active_kernels().matmul_nt(a.data(), b.data(), c.data(), d.m, d.k, d.n);
 }
 
 void add_into(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -239,11 +133,7 @@ void add_into(const Tensor& a, const Tensor& b, Tensor& out) {
                   "add_into: shape mismatch " << a.shape().to_string() << " vs "
                                               << b.shape().to_string());
   require_same_shape(a, out, "add_into");
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const std::int64_t n = a.size();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+  active_kernels().add(a.data(), b.data(), out.data(), a.size());
 }
 
 void mul_into(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -251,33 +141,18 @@ void mul_into(const Tensor& a, const Tensor& b, Tensor& out) {
                   "mul_into: shape mismatch " << a.shape().to_string() << " vs "
                                               << b.shape().to_string());
   require_same_shape(a, out, "mul_into");
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const std::int64_t n = a.size();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+  active_kernels().mul(a.data(), b.data(), out.data(), a.size());
 }
 
 void scale_into(const Tensor& a, float s, Tensor& out) {
   require_same_shape(a, out, "scale_into");
-  const float* pa = a.data();
-  float* po = out.data();
-  const std::int64_t n = a.size();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = s * pa[i];
+  active_kernels().scale(a.data(), s, out.data(), a.size());
 }
 
 void relu_into(const Tensor& a, Tensor& out, Tensor& mask) {
   require_same_shape(a, out, "relu_into");
   require_same_shape(a, mask, "relu_into(mask)");
-  const float* pa = a.data();
-  float* po = out.data();
-  float* pm = mask.data();
-  const std::int64_t n = a.size();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const bool pos = pa[i] > 0.0f;
-    pm[i] = pos ? 1.0f : 0.0f;
-    po[i] = pos ? pa[i] : 0.0f;
-  }
+  active_kernels().relu(a.data(), out.data(), mask.data(), a.size());
 }
 
 Tensor transpose2d(const Tensor& a) {
@@ -359,22 +234,7 @@ void log_softmax_rows_into(const Tensor& logits, Tensor& out) {
   const std::int64_t n = logits.shape()[0], c = logits.shape()[1];
   ADAFL_CHECK(c > 0);
   require_same_shape(logits, out, "log_softmax_rows_into");
-  // Rows are independent: parallel over disjoint row blocks.
-  auto rows = [&](std::int64_t ib, std::int64_t ie) {
-    for (std::int64_t i = ib; i < ie; ++i) {
-      const float* row = logits.data() + i * c;
-      float* orow = out.data() + i * c;
-      const float mx = *std::max_element(row, row + c);
-      double sum = 0.0;
-      for (std::int64_t j = 0; j < c; ++j) sum += std::exp(row[j] - mx);
-      const float lse = mx + static_cast<float>(std::log(sum));
-      for (std::int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
-    }
-  };
-  if (n * c < 1 << 14)
-    rows(0, n);
-  else
-    core::parallel_for_blocked(0, n, rows);
+  active_kernels().log_softmax_rows(logits.data(), out.data(), n, c);
 }
 
 }  // namespace adafl::tensor

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 
+#include "tensor/check.h"
+
 namespace adafl::tensor {
 
 namespace {
@@ -30,6 +32,7 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
 void Tensor::resize(const Shape& shape) {
   shape_ = shape;
   data_.assign(static_cast<std::size_t>(shape_.numel()), 0.0f);
+  ADAFL_DCHECK_ALIGNED32(data_.data());
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {

@@ -2,8 +2,10 @@
 // for the nn/, compress/, fl/ and core/ libraries.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -11,6 +13,11 @@
 #include "tensor/shape.h"
 
 namespace adafl::tensor {
+
+/// Alignment of all Tensor (and therefore Workspace) storage. 32 bytes = one
+/// AVX2 vector, so SIMD kernels may assume the *start* of any tensor buffer
+/// is vector-aligned (rows at arbitrary offsets still use unaligned loads).
+inline constexpr std::size_t kTensorAlignment = 32;
 
 namespace detail {
 
@@ -30,10 +37,11 @@ struct CountingAllocator {
 
   T* allocate(std::size_t n) {
     note_tensor_allocation(n * sizeof(T));
-    return std::allocator<T>().allocate(n);
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t(kTensorAlignment)));
   }
   void deallocate(T* p, std::size_t n) noexcept {
-    std::allocator<T>().deallocate(p, n);
+    ::operator delete(p, n * sizeof(T), std::align_val_t(kTensorAlignment));
   }
 
   friend bool operator==(const CountingAllocator&,

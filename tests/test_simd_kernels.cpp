@@ -1,0 +1,342 @@
+// SIMD kernel backend tests: avx2-vs-scalar twins, determinism, dispatch.
+//
+// The contract under test (see docs/performance.md "Kernel dispatch"):
+//   - scalar is the bitwise reference; avx2 matmul-family results agree with
+//     it to float epsilon (different accumulation order, same math);
+//   - avx2 elementwise / log-softmax / top-k / QSGD kernels are bitwise
+//     identical to scalar by construction;
+//   - within any one backend, results are bitwise deterministic across
+//     thread counts;
+//   - the dispatched hot path keeps the steady-state zero-tensor-allocation
+//     guarantee.
+// Every avx2 case skips (not fails) on machines without AVX2+FMA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "compress/codec.h"
+#include "compress/dgc.h"
+#include "core/parallel.h"
+#include "fl/client.h"
+#include "fl_fixtures.h"
+#include "gradcheck.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/dispatch.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace adafl {
+namespace {
+
+using tensor::KernelBackend;
+using tensor::Tensor;
+
+/// RAII: run a scope under one backend, restore scalar after (tests in this
+/// binary must not leak a backend into each other).
+class BackendScope {
+ public:
+  explicit BackendScope(KernelBackend b) { tensor::set_kernel_backend(b); }
+  ~BackendScope() { tensor::set_kernel_backend(KernelBackend::kScalar); }
+};
+
+#define SKIP_WITHOUT_AVX2()                                          \
+  if (!tensor::cpu_supports_avx2()) {                                \
+    GTEST_SKIP() << "no AVX2+FMA on this machine ("                  \
+                 << tensor::cpu_feature_string() << ")";             \
+  }
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(0, std::memcmp(a.flat().data(), b.flat().data(),
+                           a.flat().size() * sizeof(float)))
+      << what << " differs bitwise between backends";
+}
+
+void expect_epsilon_equal(const Tensor& a, const Tensor& b, float rel,
+                          const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const float ref = a.flat()[i];
+    const float got = b.flat()[i];
+    ASSERT_NEAR(ref, got, rel * std::max(1.0f, std::abs(ref)))
+        << what << " at flat index " << i;
+  }
+}
+
+TEST(SimdDispatch, ResolveAndQuery) {
+  EXPECT_EQ(tensor::resolve_kernel_backend("scalar"), KernelBackend::kScalar);
+  EXPECT_STREQ(tensor::kernel_backend_name(KernelBackend::kScalar), "scalar");
+  EXPECT_STREQ(tensor::kernel_backend_name(KernelBackend::kAvx2), "avx2");
+  EXPECT_THROW((void)tensor::resolve_kernel_backend("neon"),
+               CheckError);
+  if (tensor::cpu_supports_avx2()) {
+    EXPECT_EQ(tensor::resolve_kernel_backend("avx2"), KernelBackend::kAvx2);
+    EXPECT_EQ(tensor::resolve_kernel_backend("auto"), KernelBackend::kAvx2);
+  } else {
+    EXPECT_THROW((void)tensor::resolve_kernel_backend("avx2"),
+                 CheckError);
+    EXPECT_EQ(tensor::resolve_kernel_backend("auto"), KernelBackend::kScalar);
+  }
+  // The feature string always names something parseable.
+  EXPECT_FALSE(tensor::cpu_feature_string().empty());
+}
+
+TEST(SimdDispatch, SetBackendIsObserved) {
+  SKIP_WITHOUT_AVX2();
+  BackendScope scope(KernelBackend::kAvx2);
+  EXPECT_EQ(tensor::kernel_backend(), KernelBackend::kAvx2);
+  EXPECT_STREQ(tensor::kernel_backend_name(), "avx2");
+  tensor::set_kernel_backend(KernelBackend::kScalar);
+  EXPECT_EQ(tensor::kernel_backend(), KernelBackend::kScalar);
+}
+
+// ---- avx2-vs-scalar twins ---------------------------------------------
+
+TEST(SimdKernels, MatmulFamilyMatchesScalarToEpsilon) {
+  SKIP_WITHOUT_AVX2();
+  tensor::Rng rng(11);
+  // Ragged sizes exercise every row-tile height (1..6) and n-tail width.
+  const std::int64_t cases[][3] = {{1, 1, 1},   {3, 5, 7},   {6, 16, 16},
+                                   {7, 33, 17}, {64, 48, 50}, {129, 65, 31}};
+  for (const auto& c : cases) {
+    const auto m = c[0], k = c[1], n = c[2];
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    Tensor at = tensor::transpose2d(a);   // [k, m] for matmul_tn
+    Tensor bt = tensor::transpose2d(b);   // [n, k] for matmul_nt
+
+    Tensor c_s, ctn_s, cnt_s;
+    {
+      BackendScope scope(KernelBackend::kScalar);
+      c_s = tensor::matmul(a, b);
+      ctn_s = tensor::matmul_tn(at, b);
+      cnt_s = tensor::matmul_nt(a, bt);
+    }
+    BackendScope scope(KernelBackend::kAvx2);
+    expect_epsilon_equal(c_s, tensor::matmul(a, b), 1e-5f, "matmul");
+    expect_epsilon_equal(ctn_s, tensor::matmul_tn(at, b), 1e-5f, "matmul_tn");
+    expect_epsilon_equal(cnt_s, tensor::matmul_nt(a, bt), 1e-5f, "matmul_nt");
+  }
+}
+
+TEST(SimdKernels, ElementwiseBitwiseIdenticalToScalar) {
+  SKIP_WITHOUT_AVX2();
+  tensor::Rng rng(12);
+  // 1031 is odd and > 8 lanes: covers full vectors plus a scalar tail.
+  Tensor a = Tensor::randn({1031}, rng);
+  Tensor b = Tensor::randn({1031}, rng);
+  a.flat()[3] = -0.0f;   // relu must preserve the scalar -0 -> +0 behavior
+  a.flat()[5] = 0.0f;
+
+  Tensor add_s({1031}), mul_s({1031}), scale_s({1031});
+  Tensor relu_s({1031}), mask_s({1031});
+  {
+    BackendScope scope(KernelBackend::kScalar);
+    tensor::add_into(a, b, add_s);
+    tensor::mul_into(a, b, mul_s);
+    tensor::scale_into(a, 0.37f, scale_s);
+    tensor::relu_into(a, relu_s, mask_s);
+  }
+  BackendScope scope(KernelBackend::kAvx2);
+  Tensor add_v({1031}), mul_v({1031}), scale_v({1031});
+  Tensor relu_v({1031}), mask_v({1031});
+  tensor::add_into(a, b, add_v);
+  tensor::mul_into(a, b, mul_v);
+  tensor::scale_into(a, 0.37f, scale_v);
+  tensor::relu_into(a, relu_v, mask_v);
+  expect_bitwise_equal(add_s, add_v, "add_into");
+  expect_bitwise_equal(mul_s, mul_v, "mul_into");
+  expect_bitwise_equal(scale_s, scale_v, "scale_into");
+  expect_bitwise_equal(relu_s, relu_v, "relu_into");
+  expect_bitwise_equal(mask_s, mask_v, "relu mask");
+}
+
+TEST(SimdKernels, LogSoftmaxBitwiseIdenticalToScalar) {
+  SKIP_WITHOUT_AVX2();
+  tensor::Rng rng(13);
+  Tensor logits = Tensor::randn({37, 11}, rng);
+  Tensor ref;
+  {
+    BackendScope scope(KernelBackend::kScalar);
+    ref = tensor::log_softmax_rows(logits);
+  }
+  BackendScope scope(KernelBackend::kAvx2);
+  expect_bitwise_equal(ref, tensor::log_softmax_rows(logits), "log_softmax");
+}
+
+TEST(SimdKernels, TopKSelectionIdenticalIncludingTies) {
+  SKIP_WITHOUT_AVX2();
+  tensor::Rng rng(14);
+  std::vector<float> g(4097);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  // Force magnitude ties straddling a plausible threshold, including a
+  // +/- pair (same magnitude bits): tie-break must go to the lower index.
+  g[100] = 0.75f;
+  g[2000] = -0.75f;
+  g[4000] = 0.75f;
+
+  for (std::int64_t k : {1, 7, 64, 1000, 4097}) {
+    std::vector<std::uint32_t> ref, out, scratch;
+    {
+      BackendScope scope(KernelBackend::kScalar);
+      ref = compress::top_k_by_magnitude(g, k);
+      compress::top_k_by_magnitude_into(g, k, out, scratch);
+      ASSERT_EQ(ref, out) << "scalar _into diverged at k=" << k;
+    }
+    BackendScope scope(KernelBackend::kAvx2);
+    compress::top_k_by_magnitude_into(g, k, out, scratch);
+    EXPECT_EQ(ref, out) << "avx2 selection diverged at k=" << k;
+  }
+}
+
+TEST(SimdKernels, QsgdEncodeDecodeBitwiseIdenticalToScalar) {
+  SKIP_WITHOUT_AVX2();
+  tensor::Rng rng(15);
+  std::vector<float> g(2053);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+
+  compress::EncodedGradient ref;
+  std::vector<float> ref_dec;
+  {
+    BackendScope scope(KernelBackend::kScalar);
+    compress::QsgdCodec codec(16);
+    tensor::Rng enc_rng(99);
+    ref = codec.encode(g, enc_rng);
+    ref_dec = ref.decode();
+  }
+  BackendScope scope(KernelBackend::kAvx2);
+  compress::QsgdCodec codec(16);
+  tensor::Rng enc_rng(99);
+  const compress::EncodedGradient got = codec.encode(g, enc_rng);
+  ASSERT_EQ(ref.levels, got.levels) << "QSGD levels differ";
+  EXPECT_EQ(ref.scale, got.scale);
+  EXPECT_EQ(ref.wire_bytes, got.wire_bytes);
+  const std::vector<float> got_dec = got.decode();
+  ASSERT_EQ(0, std::memcmp(ref_dec.data(), got_dec.data(),
+                           ref_dec.size() * sizeof(float)))
+      << "QSGD decode differs bitwise";
+}
+
+// ---- Gradients under the SIMD backend ---------------------------------
+
+TEST(SimdKernels, GradcheckPassesUnderAvx2) {
+  SKIP_WITHOUT_AVX2();
+  BackendScope scope(KernelBackend::kAvx2);
+  tensor::Rng rng(21);
+  {
+    nn::Linear layer(12, 9, rng);
+    Tensor x = Tensor::randn({5, 12}, rng);
+    nn::testing::check_layer_gradients(layer, x, 31);
+  }
+  {
+    nn::Conv2d layer(2, 4, 3, rng, 1, 1);
+    Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+    nn::testing::check_layer_gradients(layer, x, 32);
+  }
+}
+
+// ---- Same-backend determinism across thread counts --------------------
+
+TEST(SimdKernels, BackendIsBitwiseDeterministicAcrossThreadCounts) {
+  std::vector<KernelBackend> backends{KernelBackend::kScalar};
+  if (tensor::cpu_supports_avx2())
+    backends.push_back(KernelBackend::kAvx2);
+  tensor::Rng rng(22);
+  // 200x173x190 is large enough to cross the parallel-grain threshold, so
+  // 2/4-thread runs genuinely partition the rows.
+  Tensor a = Tensor::randn({200, 173}, rng);
+  Tensor b = Tensor::randn({173, 190}, rng);
+  Tensor bt = tensor::transpose2d(b);
+
+  for (KernelBackend backend : backends) {
+    BackendScope scope(backend);
+    core::set_num_threads(1);
+    const Tensor c1 = tensor::matmul(a, b);
+    const Tensor cnt1 = tensor::matmul_nt(a, bt);
+    for (int threads : {2, 4}) {
+      core::set_num_threads(threads);
+      expect_bitwise_equal(c1, tensor::matmul(a, b), "matmul vs threads");
+      expect_bitwise_equal(cnt1, tensor::matmul_nt(a, bt),
+                           "matmul_nt vs threads");
+    }
+    core::set_num_threads(0);
+  }
+}
+
+TEST(SimdKernels, ClientTrainingDeterministicWithinBackendAcrossThreads) {
+  SKIP_WITHOUT_AVX2();
+  BackendScope scope(KernelBackend::kAvx2);
+  auto run = [](int threads) {
+    core::set_num_threads(threads);
+    auto task = fl::testing::make_mini_task(2);
+    auto clients = fl::make_clients(task.factory, &task.train, task.parts,
+                                    task.client, {}, 7);
+    nn::Model probe(task.factory());
+    std::vector<float> global = probe.get_flat();
+    fl::FlClient::LocalResult res;
+    clients[0].train_from_into(global, res);
+    core::set_num_threads(0);
+    return res.delta;
+  };
+  const std::vector<float> d1 = run(1);
+  const std::vector<float> d4 = run(4);
+  ASSERT_EQ(d1.size(), d4.size());
+  EXPECT_EQ(0, std::memcmp(d1.data(), d4.data(), d1.size() * sizeof(float)))
+      << "avx2 training delta depends on thread count";
+}
+
+// ---- Zero-allocation guarantee with dispatch enabled -------------------
+
+TEST(SimdKernels, ClientRoundSteadyStateZeroAllocUnderAvx2) {
+  SKIP_WITHOUT_AVX2();
+  BackendScope scope(KernelBackend::kAvx2);
+  auto task = fl::testing::make_mini_task(2);
+  auto clients = fl::make_clients(task.factory, &task.train, task.parts,
+                                  task.client, {}, 7);
+  nn::Model probe(task.factory());
+  std::vector<float> global = probe.get_flat();
+  const auto dim = static_cast<std::int64_t>(global.size());
+
+  compress::DgcConfig dgc_cfg;
+  dgc_cfg.momentum = 0.9f;
+  std::vector<compress::DgcCompressor> comps;
+  for (std::size_t i = 0; i < clients.size(); ++i)
+    comps.emplace_back(dim, dgc_cfg);
+
+  std::vector<fl::FlClient::LocalResult> results(clients.size());
+  std::vector<compress::EncodedGradient> msgs(clients.size());
+  auto one_round = [&] {
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      clients[i].train_from_into(global, results[i]);
+      comps[i].compress_into(results[i].delta, 8.0, msgs[i]);
+    }
+  };
+
+  one_round();  // warmup
+  const std::uint64_t before = tensor::tensor_allocations();
+  one_round();
+  one_round();
+  EXPECT_EQ(tensor::tensor_allocations() - before, 0u)
+      << "avx2 client round allocated tensors in steady state";
+}
+
+// ---- Alignment guarantee -----------------------------------------------
+
+TEST(SimdKernels, TensorStorageIs32ByteAligned) {
+  tensor::Rng rng(23);
+  for (std::int64_t n : {1, 7, 64, 1000}) {
+    Tensor t = Tensor::randn({n}, rng);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.flat().data()) % 32, 0u)
+        << "size " << n;
+    Tensor r;
+    r.resize({n, 3});
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(r.flat().data()) % 32, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace adafl
