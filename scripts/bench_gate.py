@@ -15,8 +15,9 @@ against the run's own median.
 
 Rows are keyed by kernel backend as well: a scalar-vs-scalar comparison
 never absorbs an avx2 regression into the calibration median (and vice
-versa). Pre-dispatch baselines without a "backend" field are read as
-"scalar" — the scalar path is the unchanged historical reference.
+versa). Every row must carry an explicit "backend" field — the committed
+baseline was re-recorded with backends long ago, so a row without one is
+a malformed input (exit 2), not a legacy scalar measurement.
 
 Beyond the regression check, the gate asserts the SIMD backend is
 actually fast: if the new run contains avx2 rows, avx2 matmul_nt at
@@ -57,9 +58,13 @@ def load(path):
         sys.exit(2)
     rows = {}
     for r in doc.get("results", []):
-        # Pre-dispatch baselines predate the "backend" field; those rows
-        # were measured on the (then only) scalar kernels.
-        key = (r["bench"], r["size"], r["threads"], r.get("backend", "scalar"))
+        # The backend key is mandatory: silently defaulting it would let a
+        # bench run that lost its backend stamp gate against the wrong rows.
+        if "backend" not in r:
+            print(f"bench_gate: {path}: row {r.get('bench', '?')!r} has no "
+                  "'backend' field (malformed bench output)", file=sys.stderr)
+            sys.exit(2)
+        key = (r["bench"], r["size"], r["threads"], r["backend"])
         rows[key] = float(r["seconds"])
     if not rows:
         print(f"bench_gate: {path} has no results", file=sys.stderr)

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Deployment smoke test: run the same AdaFL experiment through the simulator
-# (flsim) and through a real TCP deployment (flserver + 4 flclient
-# processes on 127.0.0.1), then assert the two report identical final
-# accuracy AND bitwise-identical global weights (same weights-crc32 line).
+# (flsim) and through real deployments on 127.0.0.1 — once over TCP and once
+# over the FEC-coded UDP datagram transport — then assert every deployed run
+# reports identical final accuracy AND bitwise-identical global weights
+# (same weights-crc32 line) as the simulator.
 #
 # Usage: scripts/deploy_smoke.sh [build_dir]
 set -euo pipefail
@@ -10,6 +11,7 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 CLI_DIR="$BUILD_DIR/src/cli"
 CLIENTS=4
+TRANSPORTS=(tcp udp)
 TASK_FLAGS=(--model=mlp --clients=$CLIENTS --rounds=3
             --train-samples=600 --test-samples=200 --seed=7)
 
@@ -28,67 +30,88 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Runs flserver + $CLIENTS flclient over $1 (tcp|udp); logs land in
+# $workdir/$1/.
+run_deployed() {
+  local transport="$1"
+  local dir="$workdir/$transport"
+  mkdir -p "$dir"
+  "$CLI_DIR/flserver" --port=0 --transport="$transport" "${TASK_FLAGS[@]}" \
+    > "$dir/server.log" 2>&1 &
+  server_pid=$!
+
+  # Wait for the server to print its ephemeral port.
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening-on: //p' "$dir/server.log" | head -n1)"
+    [[ -n "$port" ]] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+      echo "error: flserver ($transport) exited early" >&2
+      cat "$dir/server.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "error: flserver ($transport) never reported its port" >&2
+    exit 1
+  fi
+  echo "server listening on port $port ($transport)"
+
+  local client_pids=()
+  local id
+  for id in $(seq 0 $((CLIENTS - 1))); do
+    "$CLI_DIR/flclient" --host=127.0.0.1 --port="$port" --id="$id" \
+      --transport="$transport" > "$dir/client$id.log" 2>&1 &
+    client_pids+=($!)
+  done
+
+  local i
+  for i in "${!client_pids[@]}"; do
+    if ! wait "${client_pids[$i]}"; then
+      echo "error: flclient $i ($transport) failed" >&2
+      cat "$dir/client$i.log" >&2
+      exit 1
+    fi
+  done
+  wait "$server_pid"
+  server_pid=""
+  cat "$dir/server.log"
+}
+
+extract() { sed -n "s/^$2: //p" "$1" | head -n1; }
+
 echo "== simulator (flsim --algo=adafl-sync) =="
 "$CLI_DIR/flsim" --algo=adafl-sync "${TASK_FLAGS[@]}" --chart=0 \
   | tee "$workdir/sim.log"
-
-echo
-echo "== deployed (flserver + $CLIENTS flclient) =="
-"$CLI_DIR/flserver" --port=0 "${TASK_FLAGS[@]}" > "$workdir/server.log" 2>&1 &
-server_pid=$!
-
-# Wait for the server to print its ephemeral port.
-port=""
-for _ in $(seq 1 100); do
-  port="$(sed -n 's/^listening-on: //p' "$workdir/server.log" | head -n1)"
-  [[ -n "$port" ]] && break
-  if ! kill -0 "$server_pid" 2>/dev/null; then
-    echo "error: flserver exited early" >&2
-    cat "$workdir/server.log" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
-if [[ -z "$port" ]]; then
-  echo "error: flserver never reported its port" >&2
-  exit 1
-fi
-echo "server listening on port $port"
-
-client_pids=()
-for id in $(seq 0 $((CLIENTS - 1))); do
-  "$CLI_DIR/flclient" --host=127.0.0.1 --port="$port" --id="$id" \
-    > "$workdir/client$id.log" 2>&1 &
-  client_pids+=($!)
-done
-
-for i in "${!client_pids[@]}"; do
-  if ! wait "${client_pids[$i]}"; then
-    echo "error: flclient $i failed" >&2
-    cat "$workdir/client$i.log" >&2
-    exit 1
-  fi
-done
-wait "$server_pid"
-server_pid=""
-cat "$workdir/server.log"
-
-extract() { sed -n "s/^$2: //p" "$1" | head -n1; }
 sim_acc="$(extract "$workdir/sim.log" final-accuracy)"
 sim_crc="$(extract "$workdir/sim.log" weights-crc32)"
-dep_acc="$(extract "$workdir/server.log" final-accuracy)"
-dep_crc="$(extract "$workdir/server.log" weights-crc32)"
+if [[ -z "$sim_crc" ]]; then
+  echo "FAIL: simulator printed no weights-crc32 line" >&2
+  exit 1
+fi
 
+fail=0
+for transport in "${TRANSPORTS[@]}"; do
+  echo
+  echo "== deployed over $transport (flserver + $CLIENTS flclient) =="
+  run_deployed "$transport"
+  dep_acc="$(extract "$workdir/$transport/server.log" final-accuracy)"
+  dep_crc="$(extract "$workdir/$transport/server.log" weights-crc32)"
+  echo
+  echo "simulator:      accuracy=$sim_acc weights-crc32=$sim_crc"
+  echo "deployed($transport): accuracy=$dep_acc weights-crc32=$dep_crc"
+  if [[ -z "$dep_crc" ]]; then
+    echo "FAIL($transport): missing weights-crc32 line" >&2
+    fail=1
+  elif [[ "$sim_acc" != "$dep_acc" || "$sim_crc" != "$dep_crc" ]]; then
+    echo "FAIL($transport): deployed run diverged from the simulator" >&2
+    fail=1
+  else
+    echo "PASS($transport): deployed run is bitwise identical to the simulator"
+  fi
+done
+
+[[ "$fail" -eq 0 ]] || exit 1
 echo
-echo "simulator: accuracy=$sim_acc weights-crc32=$sim_crc"
-echo "deployed:  accuracy=$dep_acc weights-crc32=$dep_crc"
-
-if [[ -z "$sim_crc" || -z "$dep_crc" ]]; then
-  echo "FAIL: missing weights-crc32 line" >&2
-  exit 1
-fi
-if [[ "$sim_acc" != "$dep_acc" || "$sim_crc" != "$dep_crc" ]]; then
-  echo "FAIL: deployed run diverged from the simulator" >&2
-  exit 1
-fi
-echo "PASS: deployed run is bitwise identical to the simulator"
+echo "PASS: all transports bitwise identical to the simulator"

@@ -21,6 +21,7 @@
 #include "metrics/trace.h"
 #include "net/transport/faulty.h"
 #include "net/transport/session.h"
+#include "net/transport/udp.h"
 #include "tensor/dispatch.h"
 
 using namespace adafl;
@@ -40,6 +41,26 @@ int main(int argc, char** argv) {
       .option("crash-at-round", "0",
               "fault injection: crash once on receiving this round's model "
               "(0 = off)")
+      .option("transport", "tcp",
+              "tcp|udp — must match the server's --transport")
+      .option("fec-parity", "4",
+              "UDP: parity datagrams per FEC generation (r)")
+      .option("fec-generation", "16",
+              "UDP: data datagrams per FEC generation (k)")
+      .option("fec-mtu", "1200", "UDP: payload bytes per datagram shard")
+      .option("dgram-loss", "0",
+              "fault injection (UDP): drop each sent datagram with this "
+              "probability (0..1)")
+      .option("dgram-burst", "0",
+              "fault injection (UDP): mean burst length for Gilbert-Elliott "
+              "loss at rate --dgram-loss (0 = i.i.d. loss)")
+      .option("dgram-reorder", "0",
+              "fault injection (UDP): pairwise-swap reorder probability")
+      .option("dgram-loss-seed", "1", "datagram fault stream seed")
+      .option("frame-loss", "0",
+              "fault injection (TCP): persistent i.i.d. loss of round-data "
+              "frames (triggers the server's retransmit nudge)")
+      .option("frame-loss-seed", "1", "frame fault stream seed")
       .option("threads", "0", "worker threads (0 = auto)")
       .option("kernel-backend", "",
               "auto|scalar|avx2 — SIMD kernel backend (empty = "
@@ -102,6 +123,55 @@ int main(int argc, char** argv) {
       cfg.tracer = &tracer;
     }
 
+    const std::string transport = args.get("transport");
+    if (transport != "tcp" && transport != "udp") {
+      std::cerr << "flclient: --transport must be tcp or udp\n";
+      return 2;
+    }
+    const bool use_udp = transport == "udp";
+
+    // UDP+FEC transport config. The header carries (k, r) per generation,
+    // so the client's shape governs only what *it* sends; it need not match
+    // the server's, though symmetric settings are the sane default.
+    net::transport::FecStats fec_stats;
+    net::transport::UdpFecConfig fec_cfg;
+    fec_cfg.data_shards = args.get_int_at_least("fec-generation", 1);
+    fec_cfg.parity_shards = args.get_int_at_least("fec-parity", 0);
+    fec_cfg.max_shard_bytes = args.get_int_at_least("fec-mtu", 1);
+    fec_cfg.stats = &fec_stats;
+    const auto fec_t0 = std::chrono::steady_clock::now();
+    if (use_udp && cfg.tracer != nullptr) {
+      metrics::Tracer* tr = &tracer;
+      auto since_t0 = [fec_t0] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - fec_t0)
+            .count();
+      };
+      fec_cfg.hooks.on_datagram_lost = [tr, since_t0](std::int64_t bytes) {
+        tr->record(metrics::ev_datagram_lost(0, -1, bytes, since_t0()));
+      };
+      fec_cfg.hooks.on_fec_repair = [tr, since_t0](int /*shards*/,
+                                                   std::int64_t bytes) {
+        tr->record(metrics::ev_fec_repair(0, -1, bytes, since_t0()));
+      };
+    }
+
+    // Datagram-level fault injection (UDP): applied between the socket and
+    // the FEC layer so drops exercise the Reed-Solomon repair path.
+    const double dgram_loss = args.get_double("dgram-loss");
+    const double dgram_burst = args.get_double("dgram-burst");
+    const double dgram_reorder = args.get_double("dgram-reorder");
+    const auto dgram_seed =
+        static_cast<std::uint64_t>(args.get_int("dgram-loss-seed"));
+    const bool dgram_faults = dgram_loss > 0.0 || dgram_reorder > 0.0;
+
+    // Frame-level fault injection (TCP): persistent i.i.d. loss of
+    // round-data frames, repaired by the server's retransmit nudge. This is
+    // the TCP-side counterpart of --dgram-loss for scripts/loss_sweep.sh.
+    const double frame_loss = args.get_double("frame-loss");
+    const auto frame_seed =
+        static_cast<std::uint64_t>(args.get_int("frame-loss-seed"));
+
     // Fault injection: the first connection whose round reaches
     // --crash-at-round is severed on receiving that round's MODEL; the
     // shared flag keeps redialed connections clean so the crash fires once
@@ -109,24 +179,55 @@ int main(int argc, char** argv) {
     const int crash_round = args.get_int("crash-at-round");
     auto crash_fired = std::make_shared<std::atomic<bool>>(false);
 
+    // Each redial gets its own deterministic datagram fault stream so a
+    // reconnect does not replay the first connection's loss pattern.
+    auto dial_count = std::make_shared<std::atomic<std::uint64_t>>(0);
+
     // The task bundle is built on first WELCOME and must outlive the
     // session (the FlClient borrows the training dataset).
     std::optional<cli::TaskBundle> bundle;
 
     net::transport::ClientSession session(
         cfg,
-        [&, crash_fired]() -> std::unique_ptr<net::transport::Transport> {
-          auto t = net::transport::TcpTransport::connect(host, port,
-                                                         connect_timeout);
-          if (!t || crash_round <= 0 || crash_fired->load()) return t;
+        [&, crash_fired,
+         dial_count]() -> std::unique_ptr<net::transport::Transport> {
+          std::unique_ptr<net::transport::Transport> t;
+          if (use_udp) {
+            std::unique_ptr<net::transport::DatagramLink> link =
+                net::transport::UdpSocketLink::connect(host, port);
+            if (!link) return nullptr;
+            if (dgram_faults) {
+              net::transport::DatagramFaultPlan dplan =
+                  dgram_burst > 0.0
+                      ? net::transport::DatagramFaultPlan::burst(
+                            dgram_loss, dgram_burst, dgram_seed)
+                      : net::transport::DatagramFaultPlan::iid(dgram_loss,
+                                                               dgram_seed);
+              dplan.reorder_prob = dgram_reorder;
+              dplan.seed +=
+                  0x9E3779B97F4A7C15ull * dial_count->fetch_add(1);
+              link = std::make_unique<net::transport::FaultyDatagramLink>(
+                  std::move(link), dplan);
+            }
+            t = std::make_unique<net::transport::UdpTransport>(
+                std::move(link), fec_cfg);
+          } else {
+            t = net::transport::TcpTransport::connect(host, port,
+                                                      connect_timeout);
+          }
+          const bool want_crash = crash_round > 0 && !crash_fired->load();
+          if (!t || (!want_crash && frame_loss <= 0.0)) return t;
           net::transport::FaultPlan plan;
-          plan.sever_on_recv(net::transport::MsgType::kModel, crash_round);
+          if (want_crash)
+            plan.sever_on_recv(net::transport::MsgType::kModel, crash_round);
+          if (frame_loss > 0.0) plan.iid_frame_loss(frame_loss, frame_seed);
           auto faulty = std::make_unique<net::transport::FaultyTransport>(
               std::move(t), std::move(plan));
           faulty->set_on_fault(
-              [crash_fired](const net::transport::FaultRule&,
+              [crash_fired](const net::transport::FaultRule& r,
                             const net::transport::Frame&) {
-                crash_fired->store(true);
+                if (r.kind == net::transport::FaultKind::kSever)
+                  crash_fired->store(true);
               });
           return faulty;
         },
@@ -168,6 +269,16 @@ int main(int argc, char** argv) {
               << " updates-sent=" << st.updates_sent
               << " skips=" << st.skips << " reconnects=" << st.reconnects
               << std::endl;
+    if (use_udp)
+      std::cout << "udp-fec: datagrams-sent="
+                << fec_stats.datagrams_sent.load()
+                << " datagrams-lost=" << fec_stats.datagrams_lost.load()
+                << " datagrams-repaired="
+                << fec_stats.datagrams_repaired.load()
+                << " unrecoverable-generations="
+                << fec_stats.unrecoverable_generations.load()
+                << " parity-bytes=" << fec_stats.parity_bytes.load()
+                << std::endl;
     metrics::print_profile(std::cout);
     return st.completed ? 0 : 3;
   } catch (const std::exception& e) {

@@ -18,9 +18,11 @@
 // identical to an uninterrupted one (scripts/chaos_soak.sh proves this with
 // kill -9).
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "cli/args.h"
@@ -32,6 +34,7 @@
 #include "metrics/trace.h"
 #include "net/transport/crc32.h"
 #include "net/transport/session.h"
+#include "net/transport/udp.h"
 #include "tensor/dispatch.h"
 
 using namespace adafl;
@@ -73,6 +76,19 @@ int main(int argc, char** argv) {
       .option("kernel-backend", "",
               "auto|scalar|avx2 — SIMD kernel backend (empty = "
               "ADAFL_KERNEL_BACKEND env or the scalar reference)")
+      .option("transport", "tcp",
+              "tcp|udp — byte-stream frames over TCP, or FEC-coded "
+              "datagrams over UDP (Reed-Solomon parity repairs packet loss "
+              "with zero round trips)")
+      .option("fec-parity", "4",
+              "UDP: parity datagrams per FEC generation (r; repairs up to "
+              "r lost datagrams per generation)")
+      .option("fec-generation", "16",
+              "UDP: data datagrams per FEC generation (k)")
+      .option("fec-mtu", "1200", "UDP: payload bytes per datagram shard")
+      .option("nudge-ms", "2000",
+              "retransmit-nudge interval: how long the server waits on a "
+              "stalled phase before re-sending round frames")
       .option("checkpoint-dir", "",
               "directory for the durable server checkpoint (enables crash "
               "recovery; written every --checkpoint-every rounds and on "
@@ -125,6 +141,15 @@ int main(int argc, char** argv) {
     cfg.checkpoint_dir = args.get("checkpoint-dir");
     cfg.checkpoint_every = args.get_int_at_least("checkpoint-every", 1);
     cfg.resume = args.get_bool("resume");
+    cfg.retransmit_nudge =
+        std::chrono::milliseconds(args.get_int("nudge-ms"));
+
+    const std::string transport = args.get("transport");
+    if (transport != "tcp" && transport != "udp") {
+      std::cerr << "flserver: --transport must be tcp or udp\n";
+      return 2;
+    }
+    const bool use_udp = transport == "udp";
 
     // --- Structured observability: tracer + metrics registry.
     metrics::Tracer tracer;
@@ -147,21 +172,59 @@ int main(int argc, char** argv) {
       cfg.tracer = &tracer;
     }
 
-    net::transport::TcpListener listener(
-        static_cast<std::uint16_t>(args.get_int("port")));
-    std::cout << "listening-on: " << listener.port() << std::endl;
+    // --- Listener: TCP byte-stream frames or FEC-coded UDP datagrams.
+    net::transport::FecStats fec_stats;
+    net::transport::UdpFecConfig fec_cfg;
+    fec_cfg.data_shards = args.get_int_at_least("fec-generation", 1);
+    fec_cfg.parity_shards = args.get_int_at_least("fec-parity", 0);
+    fec_cfg.max_shard_bytes = args.get_int_at_least("fec-mtu", 1);
+    fec_cfg.stats = &fec_stats;
+    const auto fec_t0 = std::chrono::steady_clock::now();
+    if (use_udp && cfg.tracer != nullptr) {
+      // FEC events fire inside the datagram reassembler, which has no
+      // session context, so they carry round 0 / client -1; trace_diff
+      // ignores them with the other deployed-only transport events.
+      metrics::Tracer* tr = &tracer;
+      auto since_t0 = [fec_t0] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - fec_t0)
+            .count();
+      };
+      fec_cfg.hooks.on_datagram_lost = [tr, since_t0](std::int64_t bytes) {
+        tr->record(metrics::ev_datagram_lost(0, -1, bytes, since_t0()));
+      };
+      fec_cfg.hooks.on_fec_repair = [tr, since_t0](int /*shards*/,
+                                                   std::int64_t bytes) {
+        tr->record(metrics::ev_fec_repair(0, -1, bytes, since_t0()));
+      };
+    }
+
+    const auto listen_port = static_cast<std::uint16_t>(args.get_int("port"));
+    std::unique_ptr<net::transport::TcpListener> tcp_listener;
+    std::unique_ptr<net::transport::UdpListener> udp_listener;
+    if (use_udp)
+      udp_listener =
+          std::make_unique<net::transport::UdpListener>(listen_port, fec_cfg);
+    else
+      tcp_listener = std::make_unique<net::transport::TcpListener>(listen_port);
+    const std::uint16_t bound_port =
+        use_udp ? udp_listener->port() : tcp_listener->port();
+    std::cout << "listening-on: " << bound_port << std::endl;
     std::cout << "run-config: deployed adafl-sync dataset=" << spec.dataset
               << " model=" << spec.model << " dist=" << spec.dist
               << " clients=" << spec.clients << " rounds=" << cfg.rounds
               << " seed=" << spec.seed << " threads=" << core::num_threads()
               << " kernel-backend=" << tensor::kernel_backend_name()
-              << std::endl;
+              << " transport=" << transport << std::endl;
 
     net::transport::ServerSession session(cfg, task.factory, &task.test);
     std::atomic<bool> done{false};
     std::thread acceptor([&] {
       while (!done.load()) {
-        auto t = listener.accept(std::chrono::milliseconds(200));
+        auto t = use_udp
+                     ? udp_listener->accept(std::chrono::milliseconds(200))
+                     : std::unique_ptr<net::transport::Transport>(
+                           tcp_listener->accept(std::chrono::milliseconds(200)));
         if (t) session.add_transport(std::move(t));
       }
     });
@@ -170,14 +233,16 @@ int main(int argc, char** argv) {
     // std::terminate would mask the real error.
     struct AcceptorGuard {
       std::atomic<bool>& done;
-      net::transport::TcpListener& listener;
+      net::transport::TcpListener* tcp;
+      net::transport::UdpListener* udp;
       std::thread& thread;
       ~AcceptorGuard() {
         done.store(true);
-        listener.close();
+        if (tcp != nullptr) tcp->close();
+        if (udp != nullptr) udp->close();
         if (thread.joinable()) thread.join();
       }
-    } guard{done, listener, acceptor};
+    } guard{done, tcp_listener.get(), udp_listener.get(), acceptor};
 
     g_session.store(&session);
     std::signal(SIGINT, handle_stop_signal);
@@ -189,8 +254,20 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, SIG_DFL);
     g_session.store(nullptr);
     done.store(true);
-    listener.close();
+    if (tcp_listener) tcp_listener->close();
+    if (udp_listener) udp_listener->close();
     acceptor.join();
+
+    if (use_udp) {
+      // Fold the transport's datagram counters into the run ledger so the
+      // parity overhead shows up in the end-of-run table and metrics JSON.
+      log.ledger.record_parity_overhead(fec_stats.parity_bytes.load());
+      log.ledger.record_datagrams(fec_stats.datagrams_sent.load(),
+                                  fec_stats.datagrams_lost.load(),
+                                  fec_stats.datagrams_repaired.load());
+      log.ledger.record_unrecoverable_generations(
+          fec_stats.unrecoverable_generations.load());
+    }
 
     if (tracer.enabled()) {
       tracer.close();
@@ -234,6 +311,16 @@ int main(int argc, char** argv) {
     std::cout << "final-accuracy: " << buf << "\n";
     std::snprintf(buf, sizeof(buf), "%08x", crc);
     std::cout << "weights-crc32: " << buf << std::endl;
+    if (use_udp)
+      std::cout << "udp-fec: datagrams-sent="
+                << fec_stats.datagrams_sent.load()
+                << " datagrams-lost=" << fec_stats.datagrams_lost.load()
+                << " datagrams-repaired="
+                << fec_stats.datagrams_repaired.load()
+                << " unrecoverable-generations="
+                << fec_stats.unrecoverable_generations.load()
+                << " parity-bytes=" << fec_stats.parity_bytes.load()
+                << std::endl;
     metrics::print_profile(std::cout);
   } catch (const std::exception& e) {
     std::cerr << "flserver: " << e.what() << "\n";

@@ -109,6 +109,12 @@ void Registry::export_ledger(const CommLedger& ledger) {
       {"comm.injected_faults", ledger.total_faults()},
       {"comm.delivered_updates", ledger.delivered_updates()},
       {"comm.attempted_updates", ledger.attempted_updates()},
+      {"comm.parity_overhead_bytes", ledger.total_parity_overhead_bytes()},
+      {"comm.datagrams_sent", ledger.total_datagrams_sent()},
+      {"comm.datagrams_lost", ledger.total_datagrams_lost()},
+      {"comm.datagrams_repaired", ledger.total_datagrams_repaired()},
+      {"comm.unrecoverable_generations",
+       ledger.total_unrecoverable_generations()},
   };
   for (const Item& it : items) {
     Counter& c = counter(it.name);

@@ -28,6 +28,7 @@ const char* const kEventNames[] = {
     "update_delivered", "update_lost",     "round_end",
     "checkpoint",       "resume",          "frame_tx",
     "frame_rx",         "retransmit",      "reconnect",
+    "datagram_lost",    "fec_repair",
 };
 constexpr std::size_t kNumEventTypes =
     sizeof(kEventNames) / sizeof(kEventNames[0]);
@@ -346,6 +347,27 @@ TraceEvent ev_reconnect(int round, int client, double t) {
   return e;
 }
 
+TraceEvent ev_datagram_lost(int round, int client, std::int64_t bytes,
+                            double t) {
+  TraceEvent e;
+  e.type = TraceEventType::kDatagramLost;
+  e.round = round;
+  e.client = client;
+  e.bytes = bytes;
+  e.t = t;
+  return e;
+}
+
+TraceEvent ev_fec_repair(int round, int client, std::int64_t bytes, double t) {
+  TraceEvent e;
+  e.type = TraceEventType::kFecRepair;
+  e.round = round;
+  e.client = client;
+  e.bytes = bytes;
+  e.t = t;
+  return e;
+}
+
 // --- Serialization. ------------------------------------------------------
 
 std::string Tracer::format_line(const TraceEvent& e) {
@@ -397,6 +419,8 @@ std::string Tracer::format_line(const TraceEvent& e) {
       append_f64_field(out, "t", e.t);
       break;
     case TraceEventType::kRetransmit:
+    case TraceEventType::kDatagramLost:
+    case TraceEventType::kFecRepair:
       append_int_field(out, "client", e.client);
       append_int_field(out, "bytes", e.bytes);
       append_f64_field(out, "t", e.t);

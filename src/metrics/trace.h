@@ -15,9 +15,10 @@
 //     events come from the shared core::AdaFlServerCore), so a deployed run
 //     must produce the same semantic stream as its simulated twin
 //     (scripts/trace_diff.py + tests/test_trace_equivalence.cpp).
-//   * transport events — frame_tx, frame_rx, retransmit, reconnect. These
-//     only exist on the deployed path and must be *explicitly* ignored when
-//     diffing against a simulator trace.
+//   * transport events — frame_tx, frame_rx, retransmit, reconnect, and
+//     the datagram-path events datagram_lost / fec_repair. These only exist
+//     on the deployed path and must be *explicitly* ignored when diffing
+//     against a simulator trace.
 //
 // Determinism contract: every field except `t` (seconds; simulated clock in
 // the simulator, wall clock in a deployment) is deterministic, so two
@@ -58,6 +59,8 @@ enum class TraceEventType : std::uint8_t {
   kFrameRx,
   kRetransmit,
   kReconnect,
+  kDatagramLost,  ///< UDP transport: a datagram never arrived
+  kFecRepair,     ///< UDP transport: lost datagrams rebuilt from parity
 };
 
 const char* to_string(TraceEventType t);
@@ -101,6 +104,10 @@ TraceEvent ev_frame(TraceEventType tx_or_rx, int round, int client,
                     std::string_view msg_type, std::int64_t bytes, double t);
 TraceEvent ev_retransmit(int round, int client, std::int64_t bytes, double t);
 TraceEvent ev_reconnect(int round, int client, double t);
+TraceEvent ev_datagram_lost(int round, int client, std::int64_t bytes,
+                            double t);
+/// `bytes` = payload bytes reconstructed from parity for one generation.
+TraceEvent ev_fec_repair(int round, int client, std::int64_t bytes, double t);
 
 /// The trace header: everything needed to interpret (and re-run) the trace.
 struct RunManifest {

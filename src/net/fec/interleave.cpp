@@ -1,0 +1,33 @@
+#include "net/fec/interleave.h"
+
+#include <cstring>
+
+#include "tensor/check.h"
+
+namespace adafl::net::fec {
+
+void interleave(std::span<const std::uint8_t> src, int k,
+                std::size_t shard_len, std::uint8_t* const* shards) {
+  ADAFL_CHECK_MSG(k >= 1, "interleave: k < 1");
+  ADAFL_CHECK_MSG(static_cast<std::size_t>(k) * shard_len >= src.size(),
+                  "interleave: " << src.size() << " bytes exceed " << k
+                                 << " shards of " << shard_len);
+  for (int s = 0; s < k; ++s)
+    std::memset(shards[s], 0, shard_len);
+  for (std::size_t b = 0; b < src.size(); ++b)
+    shards[b % static_cast<std::size_t>(k)][b / static_cast<std::size_t>(k)] =
+        src[b];
+}
+
+void deinterleave(const std::uint8_t* const* shards, int k,
+                  std::size_t shard_len, std::span<std::uint8_t> dst) {
+  ADAFL_CHECK_MSG(k >= 1, "deinterleave: k < 1");
+  ADAFL_CHECK_MSG(static_cast<std::size_t>(k) * shard_len >= dst.size(),
+                  "deinterleave: " << dst.size() << " bytes exceed " << k
+                                   << " shards of " << shard_len);
+  for (std::size_t b = 0; b < dst.size(); ++b)
+    dst[b] =
+        shards[b % static_cast<std::size_t>(k)][b / static_cast<std::size_t>(k)];
+}
+
+}  // namespace adafl::net::fec

@@ -1,0 +1,33 @@
+// Block interleaver for FEC generations.
+//
+// A generation's frame bytes are written across its k data shards
+// column-major: byte b lands in shard (b mod k) at offset (b / k). A
+// contiguous region of the frame is therefore spread evenly over all k
+// datagrams of the generation instead of filling one datagram at a time —
+// the classic rectangular block interleave that turns a burst of adjacent
+// byte damage into isolated per-codeword symbols. (Whole-datagram loss is
+// already one erasure per RS column either way; the interleave is what
+// keeps *partial* generations and the unrecoverable-discard path from ever
+// concentrating a frame region in a single datagram.)
+//
+// Shard tails past the last frame byte are zero-filled; deinterleave() is
+// the exact inverse over the first `len` bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace adafl::net::fec {
+
+/// Scatters src (len bytes) into k shards of shard_len bytes each
+/// (k * shard_len >= len required; checked). Pads shard tails with zeros.
+void interleave(std::span<const std::uint8_t> src, int k,
+                std::size_t shard_len, std::uint8_t* const* shards);
+
+/// Gathers the first dst.size() bytes back out of the shards; exact
+/// inverse of interleave() for dst.size() == original len.
+void deinterleave(const std::uint8_t* const* shards, int k,
+                  std::size_t shard_len, std::span<std::uint8_t> dst);
+
+}  // namespace adafl::net::fec

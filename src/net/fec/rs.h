@@ -1,0 +1,76 @@
+// Systematic Reed-Solomon RS(n, k) over GF(256), n = k + r <= 255.
+//
+// A codeword is [d_0 .. d_{k-1}, p_0 .. p_{r-1}]: the data symbols pass
+// through untouched (systematic) and r parity symbols follow. Position i
+// holds the coefficient of x^{n-1-i}, so the generator polynomial
+// g(x) = prod_{j=0}^{r-1} (x - alpha^j) divides every valid codeword and the
+// syndromes S_j = C(alpha^j) of an intact codeword are all zero.
+//
+// The decoder is the full errata pipeline: syndrome computation, erasure
+// locator, Berlekamp-Massey over the Forney syndromes for unknown error
+// positions, Chien search for the errata locator's roots, and the Forney
+// algorithm for magnitudes. It corrects e erasures plus v errors whenever
+// e + 2v <= r; the datagram transport uses the pure-erasure case (lost
+// datagrams have known positions), where the full budget of r losses per
+// generation is repairable.
+//
+// Failure is loud and safe: decode() returns false (and leaves the codeword
+// bytes untouched) when the errata exceed the budget or the corrected word
+// still has nonzero syndromes — a failed repair can never hand corrupted
+// bytes onward.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adafl::net::fec {
+
+/// Largest codeword the field supports.
+constexpr int kRsMaxSymbols = 255;
+
+class RsCode {
+ public:
+  /// n total symbols, k of them data. Throws CheckError unless
+  /// 1 <= k <= n <= 255.
+  RsCode(int n, int k);
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  int parity() const { return n_ - k_; }
+
+  /// Systematic encode: data.size() == k, parity.size() == n - k.
+  void encode(std::span<const std::uint8_t> data,
+              std::span<std::uint8_t> parity) const;
+
+  /// Corrects `codeword` (size n) in place given the known-bad positions
+  /// `erasures` (codeword indices, each in [0, n)); unknown errors beyond
+  /// the erasure list are located via Berlekamp-Massey. Returns true on
+  /// success. On failure the codeword is left exactly as passed in.
+  bool decode(std::span<std::uint8_t> codeword,
+              std::span<const int> erasures) const;
+
+  // --- Shard-level convenience (the FEC-generation shape). ---------------
+  // A generation is k equal-length data shards plus r parity shards; byte
+  // column t across the shards forms one RS codeword, so losing a shard is
+  // one erasure in every column's codeword.
+
+  /// data[i] / parity[j] each point at shard_len bytes.
+  void encode_shards(const std::uint8_t* const* data,
+                     std::uint8_t* const* parity, std::size_t shard_len) const;
+
+  /// shards[0..n): data then parity; present[i] says shard i arrived.
+  /// Reconstructs every missing shard in place (missing entries must point
+  /// at writable shard_len-byte buffers). Returns false — touching nothing —
+  /// when more than r shards are missing or any column fails to decode.
+  bool reconstruct_shards(std::uint8_t* const* shards,
+                          const std::vector<bool>& present,
+                          std::size_t shard_len) const;
+
+ private:
+  int n_;
+  int k_;
+  std::vector<std::uint8_t> gen_;  ///< generator poly, descending, gen_[0]=1
+};
+
+}  // namespace adafl::net::fec

@@ -143,6 +143,28 @@ FaultPlan FaultPlan::random(std::uint64_t seed, int n_faults,
   return plan;
 }
 
+FaultPlan& FaultPlan::iid_frame_loss(double prob, std::uint64_t seed) {
+  ADAFL_CHECK_MSG(prob >= 0.0 && prob < 1.0,
+                  "iid_frame_loss: probability " << prob << " out of [0, 1)");
+  struct Target {
+    FaultDir dir;
+    MsgType type;
+  };
+  static constexpr Target kTargets[] = {{FaultDir::kSend, MsgType::kScore},
+                                        {FaultDir::kSend, MsgType::kUpdate},
+                                        {FaultDir::kRecv, MsgType::kModel},
+                                        {FaultDir::kRecv, MsgType::kSelect}};
+  std::uint64_t s = seed;
+  for (const Target& t : kTargets) {
+    FaultRule r = base_rule(t.dir, FaultKind::kDrop);
+    r.msg_type = static_cast<int>(t.type);
+    r.probability = prob;
+    r.rng = mix64(s);  // independent stream per rule
+    rules.push_back(r);
+  }
+  return *this;
+}
+
 // --- FaultyTransport. -----------------------------------------------------
 
 FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
@@ -172,6 +194,14 @@ std::optional<FaultRule> FaultyTransport::take_match(FaultDir dir,
     if (r.round >= 0 &&
         static_cast<std::uint32_t>(r.round) != f.round)
       continue;
+    if (r.probability >= 0.0) {
+      // Persistent rule: roll its private stream and never retire it.
+      const double u =
+          static_cast<double>(mix64(r.rng) >> 11) * 0x1.0p-53;
+      if (u >= r.probability) continue;
+      ++fired_;
+      return r;
+    }
     r.fired = true;
     ++fired_;
     return r;
@@ -264,6 +294,105 @@ bool FaultyTransport::closed() const { return inner_->closed(); }
 void FaultyTransport::close() { inner_->close(); }
 
 std::string FaultyTransport::peer() const {
+  return "faulty(" + inner_->peer() + ")";
+}
+
+// --- FaultyDatagramLink. --------------------------------------------------
+
+DatagramFaultPlan DatagramFaultPlan::iid(double prob, std::uint64_t seed) {
+  ADAFL_CHECK_MSG(prob >= 0.0 && prob < 1.0,
+                  "DatagramFaultPlan::iid: loss " << prob << " out of [0, 1)");
+  DatagramFaultPlan p;
+  p.drop_prob = prob;
+  p.seed = seed;
+  return p;
+}
+
+DatagramFaultPlan DatagramFaultPlan::burst(double rate, double mean_burst,
+                                           std::uint64_t seed) {
+  ADAFL_CHECK_MSG(rate >= 0.0 && rate < 1.0,
+                  "DatagramFaultPlan::burst: loss " << rate
+                                                    << " out of [0, 1)");
+  ADAFL_CHECK_MSG(mean_burst >= 1.0,
+                  "DatagramFaultPlan::burst: mean burst < 1 datagram");
+  DatagramFaultPlan p;
+  p.ge_q = 1.0 / mean_burst;
+  p.ge_p = rate > 0.0 ? rate * p.ge_q / (1.0 - rate) : 0.0;
+  p.seed = seed;
+  return p;
+}
+
+FaultyDatagramLink::FaultyDatagramLink(std::unique_ptr<DatagramLink> inner,
+                                       DatagramFaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan), rng_(plan.seed) {
+  ADAFL_CHECK_MSG(inner_ != nullptr, "FaultyDatagramLink: null inner link");
+}
+
+std::uint64_t FaultyDatagramLink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t FaultyDatagramLink::reordered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reordered_;
+}
+
+std::uint64_t FaultyDatagramLink::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+bool FaultyDatagramLink::roll(double p) {
+  if (p <= 0.0) return false;
+  return static_cast<double>(mix64(rng_) >> 11) * 0x1.0p-53 < p;
+}
+
+bool FaultyDatagramLink::send(std::span<const std::uint8_t> datagram) {
+  std::optional<std::vector<std::uint8_t>> flush;
+  bool drop = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Gilbert-Elliott: the current state decides this datagram's fate,
+    // then the chain steps. A fresh link starts in the good state.
+    if (bad_state_) {
+      drop = true;
+      if (roll(plan_.ge_q)) bad_state_ = false;
+    } else {
+      if (roll(plan_.ge_p)) bad_state_ = true;
+    }
+    if (!drop && roll(plan_.drop_prob)) drop = true;
+    if (drop) {
+      ++dropped_;
+    } else if (held_) {
+      // Release the held-back datagram after this one: pairwise swap.
+      flush = std::move(held_);
+      held_.reset();
+      delivered_ += 2;
+    } else if (roll(plan_.reorder_prob)) {
+      held_.emplace(datagram.begin(), datagram.end());
+      ++reordered_;
+      return true;  // will be sent behind its successor (or lost at close)
+    } else {
+      ++delivered_;
+    }
+  }
+  if (drop) return true;  // vanished in flight; the sender cannot tell
+  if (!inner_->send(datagram)) return false;
+  if (flush && !inner_->send(*flush)) return false;
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> FaultyDatagramLink::recv(
+    std::chrono::milliseconds timeout) {
+  return inner_->recv(timeout);
+}
+
+bool FaultyDatagramLink::closed() const { return inner_->closed(); }
+
+void FaultyDatagramLink::close() { inner_->close(); }
+
+std::string FaultyDatagramLink::peer() const {
   return "faulty(" + inner_->peer() + ")";
 }
 

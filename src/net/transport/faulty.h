@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "net/transport/transport.h"
+#include "net/transport/udp.h"
 
 namespace adafl::net::transport {
 
@@ -69,6 +70,13 @@ struct FaultRule {
   std::size_t corrupt_offset = 0;  ///< byte offset into the encoded frame
   std::chrono::milliseconds delay{0};
 
+  /// < 0: scripted one-shot rule (fires once, then `fired`). >= 0:
+  /// persistent probabilistic rule — every matching frame rolls this
+  /// probability on the rule's own splitmix64 stream (`rng`), and the rule
+  /// never retires. Used to model sustained loss rates for loss sweeps.
+  double probability = -1.0;
+  std::uint64_t rng = 0;  ///< per-rule RNG state for probabilistic rules
+
   bool fired = false;
 };
 
@@ -95,6 +103,14 @@ struct FaultPlan {
   /// so a random plan never wedges a run or changes its final weights.
   static FaultPlan random(std::uint64_t seed, int n_faults,
                           std::uint64_t horizon, bool include_sever);
+
+  /// Persistent i.i.d. loss of round-data frames: every SCORE/UPDATE send
+  /// and MODEL/SELECT recv is independently dropped with probability
+  /// `prob`. Control frames (HELLO/WELCOME/SHUTDOWN) are never touched, so
+  /// — like random() — every loss is survivable via the retransmit nudge.
+  /// This is the TCP-side counterpart of DatagramFaultPlan loss rates, used
+  /// to compare transports at matched loss in scripts/loss_sweep.sh.
+  FaultPlan& iid_frame_loss(double prob, std::uint64_t seed);
 };
 
 /// Transport decorator applying a FaultPlan to the frames passing through.
@@ -130,6 +146,63 @@ class FaultyTransport : public Transport {
   std::uint64_t recvd_ = 0;
   std::uint64_t fired_ = 0;
   std::optional<Frame> dup_pending_;  ///< recv-side duplicate to replay
+};
+
+// --- Datagram-level chaos (UDP transport). --------------------------------
+
+/// Seed-deterministic datagram fault model, applied on the SEND path of a
+/// FaultyDatagramLink (so outcomes never depend on receiver poll timing):
+///   * i.i.d. loss     — each datagram independently dropped with drop_prob.
+///   * reorder         — with reorder_prob a datagram is held back and
+///                       released after the next one (pairwise swap).
+///   * Gilbert-Elliott — two-state burst loss: in the bad state every
+///                       datagram is lost; good->bad with ge_p, bad->good
+///                       with ge_q per datagram.
+struct DatagramFaultPlan {
+  double drop_prob = 0.0;
+  double reorder_prob = 0.0;
+  double ge_p = 0.0;
+  double ge_q = 1.0;
+  std::uint64_t seed = 0;
+
+  /// Pure i.i.d. loss at `prob`.
+  static DatagramFaultPlan iid(double prob, std::uint64_t seed);
+  /// Gilbert-Elliott with long-run loss `rate` and mean burst length
+  /// `mean_burst` datagrams: ge_q = 1/mean_burst, ge_p = rate*ge_q/(1-rate).
+  static DatagramFaultPlan burst(double rate, double mean_burst,
+                                 std::uint64_t seed);
+};
+
+/// DatagramLink decorator applying a DatagramFaultPlan. Deterministic for a
+/// fixed seed and send sequence at any thread count or poll cadence.
+class FaultyDatagramLink final : public DatagramLink {
+ public:
+  FaultyDatagramLink(std::unique_ptr<DatagramLink> inner,
+                     DatagramFaultPlan plan);
+
+  std::uint64_t dropped() const;
+  std::uint64_t reordered() const;
+  std::uint64_t delivered() const;
+
+  bool send(std::span<const std::uint8_t> datagram) override;
+  std::optional<std::vector<std::uint8_t>> recv(
+      std::chrono::milliseconds timeout) override;
+  bool closed() const override;
+  void close() override;
+  std::string peer() const override;
+
+ private:
+  bool roll(double p);  ///< mu_ held
+
+  std::unique_ptr<DatagramLink> inner_;
+  DatagramFaultPlan plan_;
+  mutable std::mutex mu_;
+  std::uint64_t rng_;
+  bool bad_state_ = false;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::optional<std::vector<std::uint8_t>> held_;  ///< reorder hold-back
 };
 
 }  // namespace adafl::net::transport

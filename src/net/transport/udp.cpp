@@ -1,0 +1,829 @@
+#include "net/transport/udp.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+
+#include "compress/bytes.h"
+#include "net/fec/interleave.h"
+#include "net/fec/rs.h"
+#include "net/transport/crc32.h"
+#include "tensor/check.h"
+
+namespace adafl::net::transport {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kRecvBufBytes = kDatagramHeaderBytes + kMaxShardBytes;
+/// Per-peer datagram queue bound: beyond this the oldest wait, new arrivals
+/// are dropped — datagram semantics, and FEC absorbs the loss.
+constexpr std::size_t kMaxQueuedDatagrams = 65536;
+/// A mux poll never blocks longer than this so close() is noticed promptly.
+constexpr std::chrono::milliseconds kMuxSlice{50};
+
+void bump(FecStats* s, std::atomic<std::int64_t> FecStats::*field,
+          std::int64_t by = 1) {
+  if (s != nullptr) (s->*field).fetch_add(by, std::memory_order_relaxed);
+}
+
+std::uint16_t rd_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t rd_u32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+std::uint64_t rd_u64(const std::uint8_t* p) {
+  return std::uint64_t{rd_u32(p)} | (std::uint64_t{rd_u32(p + 4)} << 32);
+}
+
+void validate_fec_config(const UdpFecConfig& cfg) {
+  ADAFL_CHECK_MSG(cfg.data_shards >= 1 && cfg.parity_shards >= 0 &&
+                      cfg.data_shards + cfg.parity_shards <= fec::kRsMaxSymbols,
+                  "udp: invalid FEC geometry k=" << cfg.data_shards
+                                                 << " r=" << cfg.parity_shards);
+  ADAFL_CHECK_MSG(cfg.max_shard_bytes >= 1 &&
+                      cfg.max_shard_bytes <= kMaxShardBytes,
+                  "udp: max_shard_bytes " << cfg.max_shard_bytes
+                                          << " out of range");
+  ADAFL_CHECK_MSG(cfg.max_assemblies >= 1, "udp: max_assemblies < 1");
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Datagram codec
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_datagram(
+    const DatagramHeader& h, std::span<const std::uint8_t> payload) {
+  ADAFL_CHECK_MSG(payload.size() == h.shard_len,
+                  "datagram: payload size " << payload.size()
+                                            << " != shard_len " << h.shard_len);
+  std::vector<std::uint8_t> out;
+  out.reserve(kDatagramHeaderBytes + payload.size());
+  bytes::put_u32(out, kDatagramMagic);
+  bytes::put_u8(out, kDatagramVersion);
+  bytes::put_u8(out, h.shard);
+  bytes::put_u8(out, h.k);
+  bytes::put_u8(out, h.r);
+  bytes::put_u64(out, h.frame_seq);
+  bytes::put_u32(out, h.gen_index);
+  bytes::put_u32(out, h.gen_count);
+  bytes::put_u32(out, h.frame_len);
+  bytes::put_u32(out, h.gen_off);
+  bytes::put_u16(out, h.shard_len);
+  bytes::put_u16(out, 0);  // reserved
+  std::uint32_t crc = crc32_update(0, {out.data(), out.size()});
+  crc = crc32_update(crc, payload);
+  bytes::put_u32(out, crc);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<DatagramHeader> parse_datagram(
+    std::span<const std::uint8_t> d) {
+  if (d.size() < kDatagramHeaderBytes) return std::nullopt;
+  const std::uint8_t* p = d.data();
+  if (rd_u32(p) != kDatagramMagic) return std::nullopt;
+  if (p[4] != kDatagramVersion) return std::nullopt;
+  DatagramHeader h;
+  h.shard = p[5];
+  h.k = p[6];
+  h.r = p[7];
+  h.frame_seq = rd_u64(p + 8);
+  h.gen_index = rd_u32(p + 16);
+  h.gen_count = rd_u32(p + 20);
+  h.frame_len = rd_u32(p + 24);
+  h.gen_off = rd_u32(p + 28);
+  h.shard_len = rd_u16(p + 32);
+  const std::uint16_t reserved = rd_u16(p + 34);
+  const std::uint32_t want_crc = rd_u32(p + 36);
+
+  if (reserved != 0) return std::nullopt;
+  if (d.size() != kDatagramHeaderBytes + h.shard_len) return std::nullopt;
+  std::uint32_t crc = crc32_update(0, d.first(kDatagramHeaderBytes - 4));
+  crc = crc32_update(crc, d.subspan(kDatagramHeaderBytes));
+  if (crc != want_crc) return std::nullopt;
+
+  // Structural bounds: every later consumer may assume these hold.
+  const int n = static_cast<int>(h.k) + static_cast<int>(h.r);
+  if (h.k < 1 || n > fec::kRsMaxSymbols) return std::nullopt;
+  if (h.shard >= n) return std::nullopt;
+  if (h.shard_len < 1) return std::nullopt;
+  if (h.gen_count < 1 || h.gen_count > kMaxGenerationsPerFrame)
+    return std::nullopt;
+  if (h.gen_index >= h.gen_count) return std::nullopt;
+  if (h.frame_len < kFrameHeaderBytes ||
+      h.frame_len > kFrameHeaderBytes + kMaxFramePayload)
+    return std::nullopt;
+  if (h.gen_off >= h.frame_len) return std::nullopt;
+  // Every data shard must cover at least one real frame byte.
+  const std::uint64_t tail = std::uint64_t{h.frame_len} - h.gen_off;
+  if (std::uint64_t(h.k - 1) * h.shard_len >= tail) return std::nullopt;
+  return h;
+}
+
+// --------------------------------------------------------------------------
+// Fragmenter
+// --------------------------------------------------------------------------
+
+FrameFragmenter::FrameFragmenter(const UdpFecConfig& cfg) : cfg_(cfg) {
+  validate_fec_config(cfg_);
+}
+
+std::vector<std::vector<std::uint8_t>> FrameFragmenter::fragment(
+    const Frame& f) {
+  const std::vector<std::uint8_t> enc = encode_frame(f);
+  const std::uint64_t seq = next_seq_++;
+  const int K = cfg_.data_shards;
+  const int R = cfg_.parity_shards;
+  const std::size_t frame_len = enc.size();
+  const std::size_t max_s = std::min(cfg_.max_shard_bytes, frame_len);
+  const std::size_t per_gen = static_cast<std::size_t>(K) * max_s;
+  const std::uint32_t gen_count =
+      static_cast<std::uint32_t>((frame_len + per_gen - 1) / per_gen);
+  ADAFL_CHECK_MSG(gen_count <= kMaxGenerationsPerFrame,
+                  "udp: frame of " << frame_len
+                                   << " bytes exceeds the generation cap; "
+                                      "raise max_shard_bytes or data_shards");
+
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::uint32_t g = 0; g < gen_count; ++g) {
+    const std::size_t off = static_cast<std::size_t>(g) * per_gen;
+    const std::size_t gen_len = std::min(per_gen, frame_len - off);
+    // Shrink the final generation: s = ceil(gen_len / K) bytes per shard,
+    // then kg = ceil(gen_len / s) shards actually needed (kg <= K, and
+    // (kg - 1) * s < gen_len so every data shard carries real bytes).
+    const std::size_t s =
+        (gen_len + static_cast<std::size_t>(K) - 1) / static_cast<std::size_t>(K);
+    const int kg = static_cast<int>((gen_len + s - 1) / s);
+    const int n = kg + R;
+
+    std::vector<std::vector<std::uint8_t>> shards(
+        static_cast<std::size_t>(n), std::vector<std::uint8_t>(s));
+    std::vector<std::uint8_t*> ptr(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) ptr[static_cast<std::size_t>(i)] =
+        shards[static_cast<std::size_t>(i)].data();
+    fec::interleave({enc.data() + off, gen_len}, kg, s, ptr.data());
+    if (R > 0) {
+      const fec::RsCode rs(n, kg);
+      rs.encode_shards(ptr.data(), ptr.data() + kg, s);
+    }
+
+    DatagramHeader h;
+    h.k = static_cast<std::uint8_t>(kg);
+    h.r = static_cast<std::uint8_t>(R);
+    h.frame_seq = seq;
+    h.gen_index = g;
+    h.gen_count = gen_count;
+    h.frame_len = static_cast<std::uint32_t>(frame_len);
+    h.gen_off = static_cast<std::uint32_t>(off);
+    h.shard_len = static_cast<std::uint16_t>(s);
+    for (int i = 0; i < n; ++i) {
+      h.shard = static_cast<std::uint8_t>(i);
+      out.push_back(encode_datagram(h, shards[static_cast<std::size_t>(i)]));
+      if (i >= kg)
+        bump(cfg_.stats, &FecStats::parity_bytes,
+             static_cast<std::int64_t>(out.back().size()));
+    }
+  }
+  bump(cfg_.stats, &FecStats::frames_sent);
+  bump(cfg_.stats, &FecStats::datagrams_sent,
+       static_cast<std::int64_t>(out.size()));
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// Reassembler
+// --------------------------------------------------------------------------
+
+FrameReassembler::FrameReassembler(const UdpFecConfig& cfg) : cfg_(cfg) {
+  validate_fec_config(cfg_);
+}
+
+void FrameReassembler::drop_malformed() {
+  bump(cfg_.stats, &FecStats::datagrams_malformed);
+}
+
+void FrameReassembler::offer(std::span<const std::uint8_t> datagram) {
+  bump(cfg_.stats, &FecStats::datagrams_received);
+  const auto hopt = parse_datagram(datagram);
+  if (!hopt) return drop_malformed();
+  const DatagramHeader& h = *hopt;
+  const auto payload = datagram.subspan(kDatagramHeaderBytes);
+
+  if (done_.count(h.frame_seq) != 0) return;  // late: frame already delivered
+
+  auto it = assemblies_.find(h.frame_seq);
+  if (it == assemblies_.end()) {
+    if (assemblies_.size() >= cfg_.max_assemblies) {
+      // Older than everything in flight: a stray straggler, not a new frame.
+      if (h.frame_seq < assemblies_.begin()->first) return;
+      evict_oldest();
+    }
+    Assembly a;
+    a.frame_len = h.frame_len;
+    a.gen_count = h.gen_count;
+    a.gens.resize(h.gen_count);  // frame bytes allocate lazily on first gen
+    it = assemblies_.emplace(h.frame_seq, std::move(a)).first;
+  }
+  Assembly& a = it->second;
+  if (h.frame_len != a.frame_len || h.gen_count != a.gen_count ||
+      h.gen_index >= a.gen_count)
+    return drop_malformed();
+
+  Gen& g = a.gens[h.gen_index];
+  if (g.complete) return;  // late shard for an already-repaired generation
+  if (!g.seen) {
+    g.seen = true;
+    g.k = h.k;
+    g.r = h.r;
+    g.shard_len = h.shard_len;
+    g.gen_off = h.gen_off;
+    g.shards.resize(static_cast<std::size_t>(h.k) + h.r);
+  } else if (h.k != g.k || h.r != g.r || h.shard_len != g.shard_len ||
+             h.gen_off != g.gen_off) {
+    return drop_malformed();
+  }
+  if (h.shard >= g.shards.size()) return drop_malformed();
+  auto& slot = g.shards[h.shard];
+  if (!slot.empty()) return;  // duplicate
+  slot.assign(payload.begin(), payload.end());
+  ++g.received;
+  if (g.received >= g.k) try_complete_gen(it->first, a, g);
+
+  if (a.gens_complete == a.gen_count) {
+    // decode_frame throws on any inconsistency (the frame-level CRC is the
+    // final integrity gate); a bad frame is dropped, never propagated.
+    try {
+      ready_.push_back(decode_frame(a.bytes));
+      bump(cfg_.stats, &FecStats::frames_delivered);
+    } catch (const CheckError&) {
+      bump(cfg_.stats, &FecStats::frames_dropped);
+    }
+    done_.emplace(it->first, true);
+    done_order_.push_back(it->first);
+    while (done_order_.size() > 4 * cfg_.max_assemblies + 16) {
+      done_.erase(done_order_.front());
+      done_order_.pop_front();
+    }
+    assemblies_.erase(it);
+  }
+}
+
+void FrameReassembler::try_complete_gen(std::uint64_t /*seq*/, Assembly& a,
+                                        Gen& g) {
+  const int n = static_cast<int>(g.k) + static_cast<int>(g.r);
+  std::vector<bool> present(static_cast<std::size_t>(n), false);
+  int present_count = 0;
+  for (int i = 0; i < n; ++i) {
+    present[static_cast<std::size_t>(i)] =
+        !g.shards[static_cast<std::size_t>(i)].empty();
+    present_count += present[static_cast<std::size_t>(i)] ? 1 : 0;
+  }
+  if (present_count < g.k) return;
+
+  const std::size_t s = g.shard_len;
+  // Only missing DATA shards count as observed losses: the generation
+  // completes as soon as k shards arrive, so parity that is merely still in
+  // flight must not register as lost (it is silently ignored when it lands).
+  // Parity genuinely dropped on a clean generation is thus never counted —
+  // the price of zero-round-trip completion.
+  int missing_data = 0;
+  for (int i = 0; i < g.k; ++i)
+    if (!present[static_cast<std::size_t>(i)]) ++missing_data;
+  if (missing_data > 0) {
+    for (int i = 0; i < n; ++i)
+      if (!present[static_cast<std::size_t>(i)])
+        g.shards[static_cast<std::size_t>(i)].assign(s, 0);
+    std::vector<std::uint8_t*> ptr(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) ptr[static_cast<std::size_t>(i)] =
+        g.shards[static_cast<std::size_t>(i)].data();
+    const fec::RsCode rs(n, g.k);
+    if (!rs.reconstruct_shards(ptr.data(), present, s)) {
+      // Cannot happen for pure erasures with >= k shards present, but if a
+      // column ever refuses, leave the generation incomplete rather than
+      // guess.
+      for (int i = 0; i < n; ++i)
+        if (!present[static_cast<std::size_t>(i)])
+          g.shards[static_cast<std::size_t>(i)].clear();
+      return;
+    }
+    bump(cfg_.stats, &FecStats::datagrams_repaired, missing_data);
+    if (cfg_.hooks.on_fec_repair)
+      cfg_.hooks.on_fec_repair(missing_data,
+                               static_cast<std::int64_t>(missing_data) *
+                                   static_cast<std::int64_t>(s));
+  }
+  if (missing_data > 0) {
+    bump(cfg_.stats, &FecStats::datagrams_lost, missing_data);
+    if (cfg_.hooks.on_datagram_lost)
+      for (int i = 0; i < missing_data; ++i)
+        cfg_.hooks.on_datagram_lost(
+            static_cast<std::int64_t>(kDatagramHeaderBytes + s));
+  }
+
+  if (a.bytes.empty()) a.bytes.resize(a.frame_len);
+  const std::size_t gen_len =
+      std::min(static_cast<std::size_t>(g.k) * s,
+               static_cast<std::size_t>(a.frame_len) - g.gen_off);
+  std::vector<const std::uint8_t*> dptr(static_cast<std::size_t>(g.k));
+  for (int i = 0; i < g.k; ++i) dptr[static_cast<std::size_t>(i)] =
+      g.shards[static_cast<std::size_t>(i)].data();
+  fec::deinterleave(dptr.data(), g.k, s, {a.bytes.data() + g.gen_off, gen_len});
+  g.complete = true;
+  g.shards.clear();
+  g.shards.shrink_to_fit();
+  ++a.gens_complete;
+}
+
+void FrameReassembler::evict_oldest() {
+  const auto it = assemblies_.begin();
+  Assembly& a = it->second;
+  for (Gen& g : a.gens) {
+    if (!g.seen || g.complete) continue;
+    bump(cfg_.stats, &FecStats::unrecoverable_generations);
+    const int n = static_cast<int>(g.k) + static_cast<int>(g.r);
+    bump(cfg_.stats, &FecStats::datagrams_lost, n - g.received);
+  }
+  bump(cfg_.stats, &FecStats::frames_dropped);
+  assemblies_.erase(it);
+}
+
+std::optional<Frame> FrameReassembler::next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame f = std::move(ready_.front());
+  ready_.pop_front();
+  return f;
+}
+
+// --------------------------------------------------------------------------
+// Loopback datagram pair
+// --------------------------------------------------------------------------
+
+struct LoopbackDatagramLink::Channel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::vector<std::uint8_t>> q;
+  bool closed = false;
+};
+
+LoopbackDatagramLink::LoopbackDatagramLink(std::shared_ptr<Channel> tx,
+                                           std::shared_ptr<Channel> rx)
+    : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+std::pair<std::unique_ptr<LoopbackDatagramLink>,
+          std::unique_ptr<LoopbackDatagramLink>>
+make_datagram_loopback_pair() {
+  auto a = std::make_shared<LoopbackDatagramLink::Channel>();
+  auto b = std::make_shared<LoopbackDatagramLink::Channel>();
+  return {std::unique_ptr<LoopbackDatagramLink>(new LoopbackDatagramLink(a, b)),
+          std::unique_ptr<LoopbackDatagramLink>(new LoopbackDatagramLink(b, a))};
+}
+
+bool LoopbackDatagramLink::send(std::span<const std::uint8_t> datagram) {
+  std::lock_guard<std::mutex> lk(tx_->mu);
+  if (tx_->closed) return false;
+  if (tx_->q.size() < kMaxQueuedDatagrams)
+    tx_->q.emplace_back(datagram.begin(), datagram.end());
+  tx_->cv.notify_all();
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> LoopbackDatagramLink::recv(
+    std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lk(rx_->mu);
+  rx_->cv.wait_for(lk, timeout,
+                   [&] { return !rx_->q.empty() || rx_->closed; });
+  if (rx_->q.empty()) return std::nullopt;
+  std::vector<std::uint8_t> d = std::move(rx_->q.front());
+  rx_->q.pop_front();
+  return d;
+}
+
+bool LoopbackDatagramLink::closed() const {
+  {
+    std::lock_guard<std::mutex> lk(tx_->mu);
+    if (tx_->closed) return true;
+  }
+  std::lock_guard<std::mutex> lk(rx_->mu);
+  return rx_->closed;
+}
+
+void LoopbackDatagramLink::close() {
+  {
+    std::lock_guard<std::mutex> lk(tx_->mu);
+    tx_->closed = true;
+    tx_->cv.notify_all();
+  }
+  std::lock_guard<std::mutex> lk(rx_->mu);
+  rx_->closed = true;
+  rx_->cv.notify_all();
+}
+
+// --------------------------------------------------------------------------
+// UdpTransport
+// --------------------------------------------------------------------------
+
+UdpTransport::UdpTransport(std::unique_ptr<DatagramLink> link,
+                           UdpFecConfig cfg)
+    : link_(std::move(link)), cfg_(cfg), frag_(cfg), reasm_(cfg) {
+  ADAFL_CHECK_MSG(link_ != nullptr, "UdpTransport: null datagram link");
+}
+
+bool UdpTransport::send(const Frame& f) {
+  std::lock_guard<std::mutex> lk(send_mu_);
+  if (link_->closed()) return false;
+  for (const auto& d : frag_.fragment(f))
+    if (!link_->send(d)) return false;
+  return true;
+}
+
+std::optional<Frame> UdpTransport::recv(std::chrono::milliseconds timeout) {
+  std::lock_guard<std::mutex> lk(recv_mu_);
+  const auto deadline = Clock::now() + timeout;
+  for (;;) {
+    if (auto f = reasm_.next()) return f;
+    std::chrono::milliseconds wait{0};
+    if (timeout.count() > 0) {
+      const auto now = Clock::now();
+      if (now < deadline)
+        wait = std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                     now);
+    }
+    auto d = link_->recv(wait);
+    if (!d) return std::nullopt;  // timed out / closed with nothing queued
+    reasm_.offer(*d);
+    // Past the deadline the loop keeps draining with zero-wait recvs until
+    // the link has nothing buffered, so a ready frame is never left behind.
+  }
+}
+
+bool UdpTransport::closed() const { return link_->closed(); }
+void UdpTransport::close() { link_->close(); }
+std::string UdpTransport::peer() const { return link_->peer(); }
+
+// --------------------------------------------------------------------------
+// Client socket link
+// --------------------------------------------------------------------------
+
+UdpSocketLink::UdpSocketLink(int fd, std::string peer)
+    : fd_(fd), peer_(std::move(peer)) {}
+
+UdpSocketLink::~UdpSocketLink() { close(); }
+
+std::unique_ptr<UdpSocketLink> UdpSocketLink::connect(const std::string& host,
+                                                      std::uint16_t port) {
+  struct addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_DGRAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr)
+    return nullptr;
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, SOCK_DGRAM, 0);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) return nullptr;
+  // Generations land in bursts; deep socket buffers keep the kernel from
+  // shedding what FEC could have repaired for free.
+  int sz = 1 << 21;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &sz, sizeof(sz));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sz, sizeof(sz));
+  return std::unique_ptr<UdpSocketLink>(
+      new UdpSocketLink(fd, host + ":" + port_str));
+}
+
+bool UdpSocketLink::send(std::span<const std::uint8_t> datagram) {
+  if (closed_.load()) return false;
+  const ssize_t n = ::send(fd_, datagram.data(), datagram.size(), MSG_NOSIGNAL);
+  if (n == static_cast<ssize_t>(datagram.size())) return true;
+  // A shed datagram (full buffers, ICMP-refused peer not up yet) is exactly
+  // the loss FEC and the session's timeouts already absorb; only a broken
+  // socket kills the link.
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
+                errno == ECONNREFUSED || errno == EINTR || errno == EMSGSIZE))
+    return true;
+  close();
+  return false;
+}
+
+std::optional<std::vector<std::uint8_t>> UdpSocketLink::recv(
+    std::chrono::milliseconds timeout) {
+  if (closed_.load()) return std::nullopt;
+  const auto deadline = Clock::now() + timeout;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    struct pollfd p{};
+    p.fd = fd_;
+    p.events = POLLIN;
+    const int rc =
+        ::poll(&p, 1, left.count() > 0 ? static_cast<int>(left.count()) : 0);
+    if (closed_.load()) return std::nullopt;
+    if (rc > 0 && (p.revents & (POLLIN | POLLERR)) != 0) {
+      std::vector<std::uint8_t> buf(kRecvBufBytes);
+      const ssize_t n = ::recv(fd_, buf.data(), buf.size(), MSG_DONTWAIT);
+      if (n >= 0) {
+        buf.resize(static_cast<std::size_t>(n));
+        return buf;
+      }
+      // ECONNREFUSED: queued ICMP error from a peer that was not up yet —
+      // consume it and keep waiting; the session's own timeout decides.
+      if (errno != ECONNREFUSED && errno != EINTR && errno != EAGAIN &&
+          errno != EWOULDBLOCK) {
+        close();
+        return std::nullopt;
+      }
+    }
+    if (Clock::now() >= deadline) return std::nullopt;
+  }
+}
+
+void UdpSocketLink::close() {
+  if (closed_.exchange(true)) return;
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+// --------------------------------------------------------------------------
+// Server-side mux
+// --------------------------------------------------------------------------
+
+namespace detail {
+
+struct UdpMux {
+  int fd = -1;
+  std::uint16_t port = 0;
+  std::atomic<bool> closed{false};
+
+  struct Peer {
+    std::deque<std::vector<std::uint8_t>> q;
+    bool dead = false;
+    std::string desc;
+    sockaddr_storage addr{};
+    socklen_t alen = 0;
+  };
+
+  std::mutex mu;  ///< guards peers / pending / every Peer
+  std::condition_variable cv;
+  std::map<std::string, std::shared_ptr<Peer>> peers;
+  std::deque<std::shared_ptr<Peer>> pending;
+  std::mutex pump_mu;  ///< at most one thread drains the socket at a time
+
+  ~UdpMux() {
+    // The fd is released only here: every transport and the listener hold a
+    // shared_ptr, so nothing can poll a recycled descriptor.
+    if (fd >= 0) ::close(fd);
+  }
+
+  void shut() {
+    closed.store(true);
+    std::lock_guard<std::mutex> lk(mu);
+    for (auto& [key, p] : peers) p->dead = true;
+    cv.notify_all();
+  }
+
+  /// Drains the socket into per-peer queues, waiting up to `timeout` for
+  /// readability. If another thread is already pumping, waits on the cv
+  /// instead (it will route our datagrams for us).
+  void pump(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> plk(pump_mu, std::try_to_lock);
+    if (!plk.owns_lock()) {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait_for(lk, timeout);
+      return;
+    }
+    if (closed.load()) return;
+    struct pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int rc = ::poll(&p, 1, static_cast<int>(timeout.count()));
+    if (rc <= 0 || closed.load()) return;
+    std::vector<std::uint8_t> buf(kRecvBufBytes);
+    for (;;) {
+      sockaddr_storage ss{};
+      socklen_t sl = sizeof(ss);
+      const ssize_t n =
+          ::recvfrom(fd, buf.data(), buf.size(), MSG_DONTWAIT,
+                     reinterpret_cast<sockaddr*>(&ss), &sl);
+      if (n < 0) break;
+      route({buf.data(), static_cast<std::size_t>(n)}, ss, sl);
+    }
+  }
+
+  void route(std::span<const std::uint8_t> d, const sockaddr_storage& ss,
+             socklen_t sl) {
+    const std::string key(reinterpret_cast<const char*>(&ss),
+                          static_cast<std::size_t>(sl));
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = peers.find(key);
+    std::shared_ptr<Peer> p;
+    if (it == peers.end()) {
+      p = std::make_shared<Peer>();
+      p->addr = ss;
+      p->alen = sl;
+      p->desc = describe(ss);
+      peers.emplace(key, p);
+      pending.push_back(p);
+    } else {
+      p = it->second;
+    }
+    // Dead peers stay in the map as tombstones so stragglers from a closed
+    // connection don't masquerade as a new client.
+    if (!p->dead && p->q.size() < kMaxQueuedDatagrams)
+      p->q.emplace_back(d.begin(), d.end());
+    cv.notify_all();
+  }
+
+  bool send_to(const Peer& p, std::span<const std::uint8_t> d) {
+    if (closed.load()) return false;
+    const ssize_t n =
+        ::sendto(fd, d.data(), d.size(), MSG_NOSIGNAL,
+                 reinterpret_cast<const sockaddr*>(&p.addr), p.alen);
+    if (n == static_cast<ssize_t>(d.size())) return true;
+    return n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                     errno == ENOBUFS || errno == ECONNREFUSED ||
+                     errno == EINTR || errno == EMSGSIZE);
+  }
+
+  static std::string describe(const sockaddr_storage& ss) {
+    char ip[INET6_ADDRSTRLEN] = "?";
+    std::uint16_t port = 0;
+    if (ss.ss_family == AF_INET) {
+      const auto* a = reinterpret_cast<const sockaddr_in*>(&ss);
+      ::inet_ntop(AF_INET, &a->sin_addr, ip, sizeof(ip));
+      port = ntohs(a->sin_port);
+    } else if (ss.ss_family == AF_INET6) {
+      const auto* a = reinterpret_cast<const sockaddr_in6*>(&ss);
+      ::inet_ntop(AF_INET6, &a->sin6_addr, ip, sizeof(ip));
+      port = ntohs(a->sin6_port);
+    }
+    return std::string(ip) + ":" + std::to_string(port) + "/udp";
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+/// DatagramLink view of one mux peer.
+class MuxPeerLink final : public DatagramLink {
+ public:
+  MuxPeerLink(std::shared_ptr<detail::UdpMux> mux,
+              std::shared_ptr<detail::UdpMux::Peer> peer)
+      : mux_(std::move(mux)), peer_(std::move(peer)) {}
+
+  ~MuxPeerLink() override { close(); }
+
+  bool send(std::span<const std::uint8_t> datagram) override {
+    {
+      std::lock_guard<std::mutex> lk(mux_->mu);
+      if (peer_->dead) return false;
+    }
+    return mux_->send_to(*peer_, datagram);
+  }
+
+  std::optional<std::vector<std::uint8_t>> recv(
+      std::chrono::milliseconds timeout) override {
+    const auto deadline = Clock::now() + timeout;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(mux_->mu);
+        if (!peer_->q.empty()) {
+          std::vector<std::uint8_t> d = std::move(peer_->q.front());
+          peer_->q.pop_front();
+          return d;
+        }
+        if (peer_->dead || mux_->closed.load()) return std::nullopt;
+      }
+      const auto now = Clock::now();
+      if (now >= deadline && timeout.count() != 0) return std::nullopt;
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - now);
+      if (left.count() < 0) left = std::chrono::milliseconds{0};
+      mux_->pump(std::min(left, kMuxSlice));
+      if (timeout.count() == 0) {
+        // One nonblocking drain, then report whatever arrived.
+        std::lock_guard<std::mutex> lk(mux_->mu);
+        if (peer_->q.empty()) return std::nullopt;
+        std::vector<std::uint8_t> d = std::move(peer_->q.front());
+        peer_->q.pop_front();
+        return d;
+      }
+    }
+  }
+
+  bool closed() const override {
+    std::lock_guard<std::mutex> lk(mux_->mu);
+    return peer_->dead || mux_->closed.load();
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lk(mux_->mu);
+    peer_->dead = true;
+    peer_->q.clear();
+    mux_->cv.notify_all();
+  }
+
+  std::string peer() const override { return peer_->desc; }
+
+ private:
+  std::shared_ptr<detail::UdpMux> mux_;
+  std::shared_ptr<detail::UdpMux::Peer> peer_;
+};
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// UdpListener
+// --------------------------------------------------------------------------
+
+UdpListener::UdpListener(std::uint16_t port, UdpFecConfig cfg)
+    : mux_(std::make_shared<detail::UdpMux>()), cfg_(cfg) {
+  validate_fec_config(cfg_);
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ADAFL_CHECK_MSG(fd >= 0, "udp: socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  int sz = 1 << 22;  // many peers burst into one socket
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &sz, sizeof(sz));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sz, sizeof(sz));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    ADAFL_CHECK_MSG(false,
+                    "udp: bind on port " << port << " failed: " << err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(fd);
+    ADAFL_CHECK_MSG(false, "udp: getsockname failed");
+  }
+  mux_->fd = fd;
+  mux_->port = ntohs(addr.sin_port);
+}
+
+UdpListener::~UdpListener() { close(); }
+
+std::uint16_t UdpListener::port() const { return mux_->port; }
+
+void UdpListener::close() { mux_->shut(); }
+
+bool UdpListener::closed() const { return mux_->closed.load(); }
+
+std::unique_ptr<Transport> UdpListener::accept(
+    std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  for (;;) {
+    if (mux_->closed.load()) return nullptr;
+    std::shared_ptr<detail::UdpMux::Peer> p;
+    {
+      std::lock_guard<std::mutex> lk(mux_->mu);
+      while (!mux_->pending.empty()) {
+        auto cand = mux_->pending.front();
+        mux_->pending.pop_front();
+        if (!cand->dead) {
+          p = std::move(cand);
+          break;
+        }
+      }
+    }
+    if (p)
+      return std::make_unique<UdpTransport>(
+          std::make_unique<MuxPeerLink>(mux_, std::move(p)), cfg_);
+    const auto now = Clock::now();
+    if (now >= deadline) return nullptr;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    mux_->pump(std::min(left, kMuxSlice));
+  }
+}
+
+}  // namespace adafl::net::transport

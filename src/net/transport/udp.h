@@ -1,0 +1,309 @@
+// FEC-coded datagram transport: Reed-Solomon-protected UDP frame delivery.
+//
+// The session protocol speaks Frames (frame.h). Over TCP a frame is a byte
+// stream; here each encoded frame is FRAGMENTED into datagrams, the
+// datagrams are grouped into FEC GENERATIONS of k data shards, and every
+// generation ships r extra parity shards (RS(k+r, k) over GF(256), one
+// codeword per byte column, frame bytes block-interleaved across the data
+// shards). The receiver repairs up to r lost datagrams per generation with
+// zero round trips; only a generation that loses more than r datagrams
+// leaves the frame incomplete, and then the session layer's existing
+// retransmit nudge re-sends the whole frame — exactly the fallback it
+// already uses against TCP frame loss.
+//
+// Datagram wire format (little-endian, version 1):
+//
+//   u32 magic        "AFD1" (0x31'44'46'41 on the wire)
+//   u8  version      1
+//   u8  shard        index within the generation: data 0..k-1, parity k..n-1
+//   u8  k            data shards in THIS generation (the final one may
+//                    carry fewer than the configured k)
+//   u8  r            parity shards (k + r <= 255)
+//   u64 frame_seq    sender-monotonic frame number (reassembly key)
+//   u32 gen_index    generation index within the frame
+//   u32 gen_count    generations in the frame
+//   u32 frame_len    total encoded-frame bytes
+//   u32 gen_off      frame byte offset of this generation's first data byte
+//   u16 shard_len    payload bytes per shard in this generation
+//   u16 reserved     0
+//   u32 crc          CRC-32 of the 36 header bytes above + the payload
+//   u8  payload[shard_len]
+//
+// The reassembler NEVER throws: a malformed, duplicate, stale, or
+// inconsistent datagram is counted and dropped (loss tolerance is the whole
+// point — one bad datagram must not cost the peer). The inner frame's own
+// CRC (validated by decode_frame on reassembly) remains the last line of
+// defense against any reconstruction the datagram CRCs failed to catch.
+//
+// Layering: everything here sits on DatagramLink — a UDP socket, a mux'd
+// server-side peer, or an in-process loopback pair — so deterministic
+// datagram-level chaos (FaultyDatagramLink, faulty.h) and the loopback
+// sim-equivalence oracle wrap the exact bytes a real socket would carry.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/transport/transport.h"
+
+namespace adafl::net::transport {
+
+constexpr std::uint32_t kDatagramMagic = 0x31444641u;  // "AFD1"
+constexpr std::uint8_t kDatagramVersion = 1;
+constexpr std::size_t kDatagramHeaderBytes = 40;
+/// Hard ceiling on a shard payload (u16 field; real configs stay near MTU).
+constexpr std::size_t kMaxShardBytes = 65495;
+/// Ceiling on generations per frame a reassembler will track (a forged
+/// header cannot make it allocate unboundedly).
+constexpr std::uint32_t kMaxGenerationsPerFrame = 16384;
+
+/// Parsed datagram header (see the wire layout above).
+struct DatagramHeader {
+  std::uint8_t shard = 0;
+  std::uint8_t k = 1;
+  std::uint8_t r = 0;
+  std::uint64_t frame_seq = 0;
+  std::uint32_t gen_index = 0;
+  std::uint32_t gen_count = 1;
+  std::uint32_t frame_len = 0;
+  std::uint32_t gen_off = 0;
+  std::uint16_t shard_len = 0;
+};
+
+/// Encodes header + payload (payload.size() must equal h.shard_len).
+std::vector<std::uint8_t> encode_datagram(const DatagramHeader& h,
+                                          std::span<const std::uint8_t> payload);
+
+/// Validates magic/version/CRC and structural field bounds. Returns the
+/// header (payload = datagram.subspan(kDatagramHeaderBytes)) or nullopt —
+/// never throws.
+std::optional<DatagramHeader> parse_datagram(
+    std::span<const std::uint8_t> datagram);
+
+/// Shared FEC/datagram counters. One instance may back many transports
+/// (e.g. every server-side connection), so everything is atomic.
+struct FecStats {
+  std::atomic<std::int64_t> datagrams_sent{0};
+  std::atomic<std::int64_t> datagrams_received{0};
+  std::atomic<std::int64_t> datagrams_malformed{0};
+  std::atomic<std::int64_t> datagrams_lost{0};      ///< detected missing
+  std::atomic<std::int64_t> datagrams_repaired{0};  ///< rebuilt from parity
+  std::atomic<std::int64_t> parity_bytes{0};        ///< parity datagram bytes
+  std::atomic<std::int64_t> unrecoverable_generations{0};
+  std::atomic<std::int64_t> frames_sent{0};
+  std::atomic<std::int64_t> frames_delivered{0};
+  std::atomic<std::int64_t> frames_dropped{0};
+};
+
+/// Observability callbacks (optional). The transport layer stays
+/// metrics-free (adafl_net's dependencies are tensor-only); the CLIs bind
+/// these to tracer datagram_lost / fec_repair events.
+struct FecHooks {
+  std::function<void(std::int64_t bytes)> on_datagram_lost;
+  std::function<void(int shards, std::int64_t bytes)> on_fec_repair;
+};
+
+struct UdpFecConfig {
+  int data_shards = 16;             ///< k: data datagrams per generation
+  int parity_shards = 4;            ///< r: parity datagrams per generation
+  std::size_t max_shard_bytes = 1200;  ///< datagram payload target (~MTU)
+  std::size_t max_assemblies = 8;   ///< concurrent frames under reassembly
+  FecStats* stats = nullptr;        ///< optional shared counters
+  FecHooks hooks;                   ///< optional loss/repair callbacks
+};
+
+/// One-datagram medium: the seam under UdpTransport. send() is
+/// fire-and-forget (false only when the link itself is down); recv()
+/// returns one whole datagram or nullopt on timeout/close.
+class DatagramLink {
+ public:
+  virtual ~DatagramLink() = default;
+  virtual bool send(std::span<const std::uint8_t> datagram) = 0;
+  virtual std::optional<std::vector<std::uint8_t>> recv(
+      std::chrono::milliseconds timeout) = 0;
+  virtual bool closed() const = 0;
+  virtual void close() = 0;
+  virtual std::string peer() const = 0;
+};
+
+class LoopbackDatagramLink;
+
+/// In-process datagram pair (lossless, ordered — faults are injected by
+/// wrapping an end in FaultyDatagramLink). The UDP analogue of
+/// make_loopback_pair(): the sim-equivalence oracle for the datagram path.
+std::pair<std::unique_ptr<LoopbackDatagramLink>,
+          std::unique_ptr<LoopbackDatagramLink>>
+make_datagram_loopback_pair();
+
+class LoopbackDatagramLink final : public DatagramLink {
+ public:
+  ~LoopbackDatagramLink() override { close(); }
+
+  bool send(std::span<const std::uint8_t> datagram) override;
+  std::optional<std::vector<std::uint8_t>> recv(
+      std::chrono::milliseconds timeout) override;
+  bool closed() const override;
+  void close() override;
+  std::string peer() const override { return "dgram-loopback"; }
+
+ private:
+  friend std::pair<std::unique_ptr<LoopbackDatagramLink>,
+                   std::unique_ptr<LoopbackDatagramLink>>
+  make_datagram_loopback_pair();
+
+  struct Channel;
+  LoopbackDatagramLink(std::shared_ptr<Channel> tx,
+                       std::shared_ptr<Channel> rx);
+
+  std::shared_ptr<Channel> tx_;
+  std::shared_ptr<Channel> rx_;
+};
+
+/// Splits encoded frames into FEC generations of sequenced datagrams.
+class FrameFragmenter {
+ public:
+  explicit FrameFragmenter(const UdpFecConfig& cfg);
+
+  /// All datagrams for `f`, in send order (per generation: data then
+  /// parity). Each call consumes one frame_seq.
+  std::vector<std::vector<std::uint8_t>> fragment(const Frame& f);
+
+ private:
+  UdpFecConfig cfg_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Rebuilds frames from datagrams, repairing up to r erasures per
+/// generation. offer() never throws; hostile input is counted and dropped.
+class FrameReassembler {
+ public:
+  explicit FrameReassembler(const UdpFecConfig& cfg);
+
+  /// Feeds one received datagram.
+  void offer(std::span<const std::uint8_t> datagram);
+
+  /// Pops the oldest fully reassembled frame, if any.
+  std::optional<Frame> next();
+
+ private:
+  struct Gen {
+    std::uint8_t k = 0;
+    std::uint8_t r = 0;
+    std::uint16_t shard_len = 0;
+    std::uint32_t gen_off = 0;
+    std::uint16_t received = 0;
+    bool seen = false;
+    bool complete = false;
+    std::vector<std::vector<std::uint8_t>> shards;  ///< empty = missing
+  };
+  struct Assembly {
+    std::uint32_t frame_len = 0;
+    std::uint32_t gen_count = 0;
+    std::uint32_t gens_complete = 0;
+    std::vector<std::uint8_t> bytes;
+    std::vector<Gen> gens;
+  };
+
+  void drop_malformed();
+  void try_complete_gen(std::uint64_t seq, Assembly& a, Gen& g);
+  void evict_oldest();
+
+  UdpFecConfig cfg_;
+  std::map<std::uint64_t, Assembly> assemblies_;
+  std::deque<Frame> ready_;
+  std::deque<std::uint64_t> done_order_;  ///< recently delivered frame_seqs
+  std::map<std::uint64_t, bool> done_;    ///< late-datagram suppression
+};
+
+/// Frame Transport over any DatagramLink: fragments + FEC on send,
+/// reassembles + repairs on recv. Thread-safe like the session expects
+/// (send and recv may race from different threads).
+class UdpTransport final : public Transport {
+ public:
+  UdpTransport(std::unique_ptr<DatagramLink> link, UdpFecConfig cfg);
+
+  bool send(const Frame& f) override;
+  std::optional<Frame> recv(std::chrono::milliseconds timeout) override;
+  bool closed() const override;
+  void close() override;
+  std::string peer() const override;
+
+ private:
+  std::unique_ptr<DatagramLink> link_;
+  UdpFecConfig cfg_;
+  std::mutex send_mu_;
+  FrameFragmenter frag_;
+  std::mutex recv_mu_;
+  FrameReassembler reasm_;
+};
+
+/// Client-side connected UDP socket link.
+class UdpSocketLink final : public DatagramLink {
+ public:
+  /// Resolves host:port and connect()s a nonblocking UDP socket. Returns
+  /// nullptr on resolution/socket failure (mirrors TcpTransport::connect).
+  static std::unique_ptr<UdpSocketLink> connect(const std::string& host,
+                                                std::uint16_t port);
+  ~UdpSocketLink() override;
+
+  bool send(std::span<const std::uint8_t> datagram) override;
+  std::optional<std::vector<std::uint8_t>> recv(
+      std::chrono::milliseconds timeout) override;
+  bool closed() const override { return closed_.load(); }
+  void close() override;
+  std::string peer() const override { return peer_; }
+
+ private:
+  UdpSocketLink(int fd, std::string peer);
+
+  int fd_ = -1;
+  std::atomic<bool> closed_{false};
+  std::string peer_;
+};
+
+namespace detail {
+struct UdpMux;
+}
+
+/// Server-side UDP endpoint: one bound socket, peers demultiplexed by
+/// source address. accept() returns a ready UdpTransport for each
+/// previously-unseen source; datagrams for known peers are routed to their
+/// transport as a side effect of any accept()/recv() poll.
+class UdpListener {
+ public:
+  /// Binds 0.0.0.0:port (0 = ephemeral). Accepted transports use `cfg`
+  /// (typically sharing one FecStats across all peers). Throws CheckError
+  /// if the address is unavailable.
+  UdpListener(std::uint16_t port, UdpFecConfig cfg);
+  ~UdpListener();
+
+  UdpListener(const UdpListener&) = delete;
+  UdpListener& operator=(const UdpListener&) = delete;
+
+  std::uint16_t port() const;
+
+  /// Waits up to `timeout` for a datagram from a new source address;
+  /// nullptr on timeout or after close().
+  std::unique_ptr<Transport> accept(std::chrono::milliseconds timeout);
+
+  /// Stops the mux; pending and future accept()/recv() calls drain out.
+  /// Safe to call from another thread than accept().
+  void close();
+  bool closed() const;
+
+ private:
+  std::shared_ptr<detail::UdpMux> mux_;
+  UdpFecConfig cfg_;
+};
+
+}  // namespace adafl::net::transport

@@ -21,6 +21,7 @@
 #include "net/transport/loopback.h"
 #include "net/transport/session.h"
 #include "net/transport/tcp.h"
+#include "net/transport/udp.h"
 
 namespace adafl::testutil {
 
@@ -174,6 +175,65 @@ inline DeployedResult run_deployed_loopback(const cli::TaskSpec& spec,
             std::unique_ptr<Transport> t = std::move(pair.second);
             if (wrap) t = wrap(id, std::move(t));
             return t;
+          },
+          make_bootstrap(&bundles[static_cast<std::size_t>(id)]));
+      res.clients[static_cast<std::size_t>(id)] = cs.run();
+    });
+  }
+  res.log = server.run();
+  for (auto& t : threads) t.join();
+  res.global = server.global();
+  res.stats = server.stats();
+  return res;
+}
+
+/// Per-client decorator for the client-side datagram link of a UDP loopback
+/// run, applied on every (re)dial — wrap in a FaultyDatagramLink to script
+/// packet loss/reorder below the FEC layer.
+using DatagramWrapFn =
+    std::function<std::unique_ptr<net::transport::DatagramLink>(
+        int client_id, std::unique_ptr<net::transport::DatagramLink>)>;
+
+/// Full deployed run over the FEC-coded datagram transport on in-process
+/// loopback links: every frame is fragmented, Reed-Solomon-coded, and
+/// reassembled exactly as over a real UDP socket, minus the kernel. Both
+/// directions of each connection share `fec` (shape + hooks); `server_stats`,
+/// when given, overrides the stats sink for the server-side endpoints so
+/// tests can assert on repairs seen by the server alone.
+inline DeployedResult run_deployed_udp_loopback(
+    const cli::TaskSpec& spec, const fl::ClientTrainConfig& client,
+    const core::AdaFlParams& params, int rounds,
+    const net::transport::UdpFecConfig& fec,
+    metrics::Tracer* tracer = nullptr, DatagramWrapFn dwrap = nullptr,
+    net::transport::FecStats* server_stats = nullptr) {
+  using namespace net::transport;
+  auto task = cli::build_task(spec);
+  ServerSessionConfig scfg = make_server_config(spec, client, params, rounds);
+  scfg.tracer = tracer;
+  scfg.retransmit_nudge = std::chrono::milliseconds(300);
+  ServerSession server(scfg, task.factory, &task.test);
+
+  UdpFecConfig server_fec = fec;
+  if (server_stats != nullptr) server_fec.stats = server_stats;
+
+  const int n = spec.clients;
+  std::vector<std::optional<cli::TaskBundle>> bundles(
+      static_cast<std::size_t>(n));
+  DeployedResult res;
+  res.clients.resize(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int id = 0; id < n; ++id) {
+    threads.emplace_back([&, id] {
+      ClientSession cs(
+          test_client_config(id),
+          [&server, &server_fec, &fec, &dwrap,
+           id]() -> std::unique_ptr<Transport> {
+            auto [a, b] = make_datagram_loopback_pair();
+            server.add_transport(
+                std::make_unique<UdpTransport>(std::move(a), server_fec));
+            std::unique_ptr<DatagramLink> link = std::move(b);
+            if (dwrap) link = dwrap(id, std::move(link));
+            return std::make_unique<UdpTransport>(std::move(link), fec);
           },
           make_bootstrap(&bundles[static_cast<std::size_t>(id)]));
       res.clients[static_cast<std::size_t>(id)] = cs.run();

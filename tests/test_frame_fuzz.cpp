@@ -6,6 +6,7 @@
 // fixed seed so a failure reproduces exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <span>
@@ -14,6 +15,7 @@
 #include "compress/codec.h"
 #include "compress/wire.h"
 #include "net/transport/frame.h"
+#include "net/transport/udp.h"
 #include "tensor/check.h"
 #include "tensor/rng.h"
 
@@ -186,6 +188,137 @@ TEST(FrameFuzz, MutatedGradientPayloads) {
   }
   EXPECT_GT(accepted, 500);
   EXPECT_GT(rejected, 500);
+}
+
+// ---------------------------------------------------------------------------
+// Datagram-header fuzzing: the FEC reassembler receives raw UDP payloads, so
+// unlike the byte-stream FrameParser it must NEVER throw — hostile datagrams
+// are dropped (counted malformed) and the stream stays usable.
+
+using net::transport::FrameFragmenter;
+using net::transport::FrameReassembler;
+using net::transport::UdpFecConfig;
+
+UdpFecConfig fuzz_fec_config() {
+  UdpFecConfig cfg;
+  cfg.data_shards = 4;
+  cfg.parity_shards = 2;
+  cfg.max_shard_bytes = 48;  // small shards => multi-generation frames
+  cfg.max_assemblies = 4;
+  return cfg;
+}
+
+Frame make_random_frame(std::mt19937_64& rng) {
+  Frame f;
+  f.type = MsgType::kUpdate;
+  f.round = static_cast<std::uint32_t>(rng() % 1000);
+  f.client_id = static_cast<std::uint32_t>(rng() % 64);
+  f.payload.resize(rng() % 700);
+  for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng());
+  return f;
+}
+
+// ~6k cases: datagrams of a valid frame with one mutated member — bit flips
+// and byte overwrites across the header (bad generation/sequence numbers,
+// bad shard indices, bad lengths), truncations, duplicates, and drops.
+// offer() must never throw, and an unmutated set must reassemble the frame
+// byte-identically in any delivery order.
+TEST(DatagramFuzz, MutatedDatagrams) {
+  std::mt19937_64 rng(kFuzzSeed ^ 0xDA7A0001u);
+  const UdpFecConfig cfg = fuzz_fec_config();
+  FrameFragmenter frag(cfg);
+  FrameReassembler reasm(cfg);
+  int delivered = 0;
+  for (int i = 0; i < 6000; ++i) {
+    const Frame f = make_random_frame(rng);
+    auto dgrams = frag.fragment(f);
+    const int mode = i % 6;
+    if (mode == 0) {  // single bit flip somewhere (often the header)
+      auto& d = dgrams[rng() % dgrams.size()];
+      d[rng() % d.size()] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+    } else if (mode == 1) {  // byte overwrite targeted at the header
+      auto& d = dgrams[rng() % dgrams.size()];
+      d[rng() % std::min<std::size_t>(d.size(),
+                                      net::transport::kDatagramHeaderBytes)] =
+          static_cast<std::uint8_t>(rng());
+    } else if (mode == 2) {  // truncate one datagram
+      auto& d = dgrams[rng() % dgrams.size()];
+      d.resize(rng() % d.size());
+    } else if (mode == 3) {  // duplicate one datagram
+      dgrams.push_back(dgrams[rng() % dgrams.size()]);
+    } else if (mode == 4) {  // drop within the parity budget
+      if (dgrams.size() > 1) dgrams.erase(dgrams.begin() + static_cast<long>(
+                                              rng() % dgrams.size()));
+    }  // mode 5: intact
+    std::shuffle(dgrams.begin(), dgrams.end(), rng);
+    for (const auto& d : dgrams)
+      ASSERT_NO_THROW(reasm.offer(d)) << "offer threw at case " << i;
+    while (auto got = reasm.next()) {
+      ++delivered;
+      if (mode == 5) {
+        EXPECT_EQ(got->payload, f.payload) << "payload corrupted, case " << i;
+        EXPECT_EQ(got->round, f.round);
+      }
+    }
+  }
+  // Intact and single-drop cases must actually deliver (parity covers one
+  // loss), so a silent drop-everything reassembler cannot pass.
+  EXPECT_GT(delivered, 2000);
+}
+
+// ~2k cases of pure garbage, sometimes wearing a valid magic. Never throws,
+// never delivers.
+TEST(DatagramFuzz, GarbageDatagrams) {
+  std::mt19937_64 rng(kFuzzSeed ^ 0xDA7A0002u);
+  const UdpFecConfig cfg = fuzz_fec_config();
+  FrameReassembler reasm(cfg);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> d(rng() % 200);
+    for (auto& b : d) b = static_cast<std::uint8_t>(rng());
+    if (i % 3 == 0 && d.size() >= 4) {
+      d[0] = 'A'; d[1] = 'F'; d[2] = 'D'; d[3] = '1';
+    }
+    ASSERT_NO_THROW(reasm.offer(d));
+  }
+  EXPECT_FALSE(reasm.next().has_value());
+}
+
+// Every truncation length of a valid datagram, plus cross-generation and
+// cross-frame interleavings (~2k cases total). The reassembler must keep
+// accepting valid traffic afterwards.
+TEST(DatagramFuzz, TruncatedHeadersAndCrossFrameMixing) {
+  std::mt19937_64 rng(kFuzzSeed ^ 0xDA7A0003u);
+  const UdpFecConfig cfg = fuzz_fec_config();
+  FrameFragmenter frag(cfg);
+  FrameReassembler reasm(cfg);
+
+  // All prefixes of one valid datagram.
+  const Frame f0 = make_random_frame(rng);
+  const auto base = frag.fragment(f0);
+  for (std::size_t len = 0; len < base[0].size(); ++len)
+    ASSERT_NO_THROW(reasm.offer(std::span(base[0].data(), len)));
+
+  // Interleave datagrams of many concurrent frames (more than
+  // max_assemblies, forcing evictions), with occasional re-offers of stale
+  // datagrams from long-gone frames.
+  std::vector<std::vector<std::uint8_t>> stale;
+  int delivered = 0;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<std::vector<std::uint8_t>> mixed;
+    std::vector<Frame> frames;
+    for (int j = 0; j < 5; ++j) {
+      frames.push_back(make_random_frame(rng));
+      for (auto& d : frag.fragment(frames.back())) mixed.push_back(std::move(d));
+    }
+    if (!stale.empty() && i % 7 == 0)
+      mixed.push_back(stale[rng() % stale.size()]);
+    std::shuffle(mixed.begin(), mixed.end(), rng);
+    for (const auto& d : mixed) ASSERT_NO_THROW(reasm.offer(d));
+    while (reasm.next()) ++delivered;
+    stale.push_back(mixed[rng() % mixed.size()]);
+    if (stale.size() > 16) stale.erase(stale.begin());
+  }
+  EXPECT_GT(delivered, 1000);  // 5 frames x 400 rounds, nearly all complete
 }
 
 }  // namespace

@@ -1,0 +1,539 @@
+// The FEC-coded datagram transport, bottom to top: datagram header codec,
+// fragment/reassemble round trips, Reed-Solomon repair of lost datagrams,
+// deterministic datagram-level chaos, and the tier-1 oracle — a deployed
+// session over UDP loopback under scripted loss must finish bitwise- and
+// trace-identical to the simulator with ZERO retransmits and ZERO
+// reconnects, because parity absorbs the loss with no round trips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "deployed_test_util.h"
+#include "metrics/trace.h"
+#include "net/transport/faulty.h"
+#include "net/transport/frame.h"
+#include "net/transport/udp.h"
+
+namespace adafl {
+namespace {
+
+using namespace net::transport;
+using metrics::TraceEvent;
+using metrics::TraceEventType;
+using metrics::Tracer;
+
+constexpr std::uint64_t kSeed = 0x0DD5EED5u;
+
+Frame test_frame(std::size_t payload_bytes, std::uint32_t round = 3) {
+  Frame f;
+  f.type = MsgType::kUpdate;
+  f.round = round;
+  f.client_id = 7;
+  f.payload.resize(payload_bytes);
+  std::mt19937_64 rng(kSeed ^ payload_bytes);
+  for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng());
+  return f;
+}
+
+UdpFecConfig small_cfg(FecStats* stats = nullptr) {
+  UdpFecConfig cfg;
+  cfg.data_shards = 4;
+  cfg.parity_shards = 2;
+  cfg.max_shard_bytes = 64;
+  cfg.stats = stats;
+  return cfg;
+}
+
+// --- Header codec ----------------------------------------------------------
+
+TEST(DatagramCodec, HeaderRoundTrip) {
+  DatagramHeader h;
+  h.shard = 5;
+  h.k = 6;
+  h.r = 2;
+  h.frame_seq = 0x0123456789ABCDEFull;
+  h.gen_index = 3;
+  h.gen_count = 9;
+  h.frame_len = 100000;
+  h.gen_off = 4096;
+  h.shard_len = 11;
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  const auto wire = encode_datagram(h, payload);
+  ASSERT_EQ(wire.size(), kDatagramHeaderBytes + payload.size());
+
+  const auto got = parse_datagram(wire);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->shard, h.shard);
+  EXPECT_EQ(got->k, h.k);
+  EXPECT_EQ(got->r, h.r);
+  EXPECT_EQ(got->frame_seq, h.frame_seq);
+  EXPECT_EQ(got->gen_index, h.gen_index);
+  EXPECT_EQ(got->gen_count, h.gen_count);
+  EXPECT_EQ(got->frame_len, h.frame_len);
+  EXPECT_EQ(got->gen_off, h.gen_off);
+  EXPECT_EQ(got->shard_len, h.shard_len);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         wire.begin() + static_cast<long>(kDatagramHeaderBytes)));
+}
+
+TEST(DatagramCodec, RejectsCorruptionAndBadStructure) {
+  DatagramHeader h;
+  h.shard = 0;
+  h.k = 4;
+  h.r = 2;
+  h.frame_seq = 42;
+  h.gen_count = 2;
+  h.frame_len = 200;
+  h.gen_off = 0;
+  h.shard_len = 8;
+  const std::vector<std::uint8_t> payload(8, 0xAB);
+  const auto good = encode_datagram(h, payload);
+  ASSERT_TRUE(parse_datagram(good).has_value());
+
+  // Truncation: every proper prefix is rejected.
+  for (std::size_t len = 0; len < good.size(); ++len)
+    EXPECT_FALSE(parse_datagram(std::span(good.data(), len)).has_value())
+        << "accepted prefix of length " << len;
+
+  // Any single flipped bit dies on the CRC (or magic/version first).
+  std::mt19937_64 rng(kSeed);
+  for (int i = 0; i < 500; ++i) {
+    auto bad = good;
+    bad[rng() % bad.size()] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+    EXPECT_FALSE(parse_datagram(bad).has_value());
+  }
+
+  // Structurally invalid headers with VALID CRCs (encode computes the CRC
+  // over whatever the header says) must still be rejected.
+  auto rejects = [&](DatagramHeader bad_h, std::size_t payload_len) {
+    const std::vector<std::uint8_t> p(payload_len, 0x11);
+    EXPECT_FALSE(parse_datagram(encode_datagram(bad_h, p)).has_value());
+  };
+  DatagramHeader b = h;
+  b.k = 0;  // no data shards
+  rejects(b, 8);
+  b = h;
+  b.shard = 6;  // index == n
+  rejects(b, 8);
+  b = h;
+  b.gen_count = 0;
+  rejects(b, 8);
+  b = h;
+  b.gen_index = 2;  // == gen_count
+  rejects(b, 8);
+  b = h;
+  b.gen_count = kMaxGenerationsPerFrame + 1;
+  rejects(b, 8);
+  b = h;
+  b.frame_len = 2;  // below the frame header minimum
+  rejects(b, 8);
+  b = h;
+  b.gen_off = 200;  // == frame_len
+  rejects(b, 8);
+  b = h;
+  b.shard_len = 0;
+  rejects(b, 0);
+  b = h;
+  b.k = 4;
+  b.shard_len = 100;  // (k-1)*shard_len >= frame_len - gen_off
+  rejects(b, 100);
+}
+
+// --- Fragment / reassemble round trips -------------------------------------
+
+TEST(UdpFragmentation, RoundTripAcrossSizes) {
+  const UdpFecConfig cfg = small_cfg();
+  FrameFragmenter frag(cfg);
+  FrameReassembler reasm(cfg);
+  // Sub-shard, exact shard, exact generation, multi-generation, and
+  // off-by-one around each boundary. (Frame encoding adds its own header.)
+  const std::size_t sizes[] = {0,   1,   63,  64,  65,   255,  256,
+                               257, 512, 513, 999, 4096, 10000};
+  for (const std::size_t sz : sizes) {
+    const Frame f = test_frame(sz);
+    const auto dgrams = frag.fragment(f);
+    ASSERT_FALSE(dgrams.empty());
+    for (const auto& d : dgrams) reasm.offer(d);
+    const auto got = reasm.next();
+    ASSERT_TRUE(got.has_value()) << "size " << sz;
+    EXPECT_EQ(got->payload, f.payload);
+    EXPECT_EQ(got->round, f.round);
+    EXPECT_EQ(got->client_id, f.client_id);
+    EXPECT_EQ(static_cast<int>(got->type), static_cast<int>(f.type));
+    EXPECT_FALSE(reasm.next().has_value());
+  }
+}
+
+TEST(UdpFragmentation, ParityBytesAccounted) {
+  FecStats stats;
+  const UdpFecConfig cfg = small_cfg(&stats);
+  FrameFragmenter frag(cfg);
+  const auto dgrams = frag.fragment(test_frame(1000));
+  // ceil over generations: every generation ships its r parity datagrams.
+  std::int64_t parity = 0;
+  for (const auto& d : dgrams) {
+    const auto h = parse_datagram(d);
+    ASSERT_TRUE(h.has_value());
+    if (h->shard >= h->k) parity += static_cast<std::int64_t>(d.size());
+  }
+  EXPECT_GT(parity, 0);
+  EXPECT_EQ(stats.parity_bytes.load(), parity);
+  EXPECT_EQ(stats.datagrams_sent.load(),
+            static_cast<std::int64_t>(dgrams.size()));
+}
+
+TEST(UdpFragmentation, AnyLossWithinParityBudgetRepairs) {
+  std::mt19937_64 rng(kSeed ^ 11);
+  FecStats stats;
+  const UdpFecConfig cfg = small_cfg(&stats);
+  FrameFragmenter frag(cfg);
+  FrameReassembler reasm(cfg);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Frame f = test_frame(700 + trial);  // ~3 generations
+    auto dgrams = frag.fragment(f);
+    // Group indices by generation, drop up to r from each.
+    std::map<std::uint32_t, std::vector<std::size_t>> by_gen;
+    for (std::size_t i = 0; i < dgrams.size(); ++i)
+      by_gen[parse_datagram(dgrams[i])->gen_index].push_back(i);
+    std::vector<bool> drop(dgrams.size(), false);
+    for (auto& [gen, idx] : by_gen) {
+      std::shuffle(idx.begin(), idx.end(), rng);
+      const std::size_t e = rng() % (static_cast<std::size_t>(
+                                         cfg.parity_shards) + 1);
+      for (std::size_t i = 0; i < e && i < idx.size(); ++i)
+        drop[idx[i]] = true;
+    }
+    for (std::size_t i = 0; i < dgrams.size(); ++i)
+      if (!drop[i]) reasm.offer(dgrams[i]);
+    const auto got = reasm.next();
+    ASSERT_TRUE(got.has_value()) << "trial " << trial;
+    ASSERT_EQ(got->payload, f.payload) << "trial " << trial;
+  }
+  EXPECT_GT(stats.datagrams_repaired.load(), 0);
+  EXPECT_EQ(stats.datagrams_lost.load(), stats.datagrams_repaired.load());
+  EXPECT_EQ(stats.unrecoverable_generations.load(), 0);
+  EXPECT_EQ(stats.frames_dropped.load(), 0);
+}
+
+TEST(UdpFragmentation, LossBeyondBudgetIsUnrecoverableNeverCorrupt) {
+  FecStats stats;
+  UdpFecConfig cfg = small_cfg(&stats);
+  // One reassembly slot: the next frame must evict the stuck one.
+  cfg.max_assemblies = 1;
+  FrameFragmenter frag(cfg);
+  FrameReassembler reasm(cfg);
+
+  const Frame f = test_frame(200);  // one generation of 4 data + 2 parity
+  auto dgrams = frag.fragment(f);
+  ASSERT_GE(dgrams.size(), 6u);
+  // Deliver only k-1 shards of the first generation: under the k floor.
+  for (std::size_t i = 3; i < dgrams.size(); ++i) reasm.offer(dgrams[i]);
+  EXPECT_FALSE(reasm.next().has_value());
+
+  // The incomplete frame is evicted once newer frames need the slot; the
+  // failed generation is counted, and the NEXT send of the same frame (the
+  // session's retransmit-nudge fallback) still delivers cleanly.
+  for (int i = 0; i < 3; ++i) {
+    const Frame filler = test_frame(50, static_cast<std::uint32_t>(10 + i));
+    for (const auto& d : frag.fragment(filler)) reasm.offer(d);
+    ASSERT_TRUE(reasm.next().has_value());
+  }
+  EXPECT_GE(stats.unrecoverable_generations.load(), 1);
+  EXPECT_GE(stats.frames_dropped.load(), 1);
+
+  const auto resent = frag.fragment(f);  // new frame_seq, same content
+  for (const auto& d : resent) reasm.offer(d);
+  const auto got = reasm.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, f.payload);
+}
+
+TEST(UdpFragmentation, DuplicatesAndReorderAreHarmless) {
+  std::mt19937_64 rng(kSeed ^ 13);
+  const UdpFecConfig cfg = small_cfg();
+  FrameFragmenter frag(cfg);
+  FrameReassembler reasm(cfg);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Frame f = test_frame(600);
+    auto dgrams = frag.fragment(f);
+    auto doubled = dgrams;
+    doubled.insert(doubled.end(), dgrams.begin(), dgrams.end());
+    std::shuffle(doubled.begin(), doubled.end(), rng);
+    for (const auto& d : doubled) reasm.offer(d);
+    const auto got = reasm.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->payload, f.payload);
+    // The duplicates of an already-delivered frame must not re-deliver.
+    EXPECT_FALSE(reasm.next().has_value());
+    for (const auto& d : dgrams) reasm.offer(d);
+    EXPECT_FALSE(reasm.next().has_value());
+  }
+}
+
+// --- UdpTransport over loopback links --------------------------------------
+
+TEST(UdpTransportLoopback, BidirectionalFrames) {
+  auto [a, b] = make_datagram_loopback_pair();
+  const UdpFecConfig cfg = small_cfg();
+  UdpTransport ta(std::move(a), cfg);
+  UdpTransport tb(std::move(b), cfg);
+
+  const Frame f1 = test_frame(5000, 1);
+  const Frame f2 = test_frame(77, 2);
+  ASSERT_TRUE(ta.send(f1));
+  ASSERT_TRUE(tb.send(f2));
+
+  const auto got1 = tb.recv(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(got1.has_value());
+  EXPECT_EQ(got1->payload, f1.payload);
+  const auto got2 = ta.recv(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(got2.has_value());
+  EXPECT_EQ(got2->payload, f2.payload);
+
+  // Nonblocking poll with nothing pending.
+  EXPECT_FALSE(ta.recv(std::chrono::milliseconds(0)).has_value());
+
+  tb.close();
+  EXPECT_TRUE(tb.closed());
+  EXPECT_FALSE(ta.recv(std::chrono::milliseconds(10)).has_value());
+}
+
+// --- Deterministic datagram chaos ------------------------------------------
+
+// Same plan + same seed => identical drop/deliver decisions, independent of
+// timing: the fault stream advances on the SEND path only.
+TEST(FaultyDatagramLink, SameSeedSameDropPattern) {
+  auto run_once = [](std::uint64_t seed) {
+    auto [a, b] = make_datagram_loopback_pair();
+    auto faulty = std::make_unique<FaultyDatagramLink>(
+        std::move(a), DatagramFaultPlan::iid(0.3, seed));
+    FaultyDatagramLink* fp = faulty.get();
+    std::vector<std::size_t> delivered_sizes;
+    std::mt19937_64 rng(kSeed ^ 17);
+    for (int i = 0; i < 500; ++i) {
+      std::vector<std::uint8_t> d(1 + rng() % 64);
+      for (auto& x : d) x = static_cast<std::uint8_t>(rng());
+      fp->send(d);
+      while (auto got = b->recv(std::chrono::milliseconds(0)))
+        delivered_sizes.push_back(got->size());
+    }
+    return std::make_pair(fp->dropped(), delivered_sizes);
+  };
+  const auto [drop1, sizes1] = run_once(99);
+  const auto [drop2, sizes2] = run_once(99);
+  const auto [drop3, sizes3] = run_once(100);
+  EXPECT_GT(drop1, 50u);  // 30% of 500
+  EXPECT_EQ(drop1, drop2);
+  EXPECT_EQ(sizes1, sizes2);
+  EXPECT_NE(sizes1, sizes3);  // a different seed gives a different pattern
+}
+
+TEST(FaultyDatagramLink, BurstLossComesInBursts) {
+  // Gilbert-Elliott with mean burst 4 at 20% loss: the number of distinct
+  // loss runs must be well below the count an i.i.d. pattern would produce.
+  auto [a, b] = make_datagram_loopback_pair();
+  auto faulty = std::make_unique<FaultyDatagramLink>(
+      std::move(a), DatagramFaultPlan::burst(0.2, 4.0, 7));
+  const int n = 5000;
+  std::vector<std::uint8_t> d(8, 0x55);
+  int lost = 0, runs = 0;
+  bool in_run = false;
+  std::uint64_t prev_dropped = 0;
+  for (int i = 0; i < n; ++i) {
+    faulty->send(d);
+    const bool dropped_now = faulty->dropped() > prev_dropped;
+    prev_dropped = faulty->dropped();
+    lost += dropped_now ? 1 : 0;
+    if (dropped_now && !in_run) ++runs;
+    in_run = dropped_now;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.2, 0.05);
+  // i.i.d. 20% over 5000 sends would produce ~800 runs; mean-4 bursts ~250.
+  EXPECT_LT(runs, 500);
+  EXPECT_GT(runs, 50);
+}
+
+// --- The tier-1 oracle: deployed UDP == simulator under loss ---------------
+
+bool is_semantic(const TraceEvent& e) {
+  return e.type < TraceEventType::kFrameTx;
+}
+
+std::vector<TraceEvent> semantic_stream(const std::vector<TraceEvent>& evs) {
+  std::vector<TraceEvent> out;
+  for (TraceEvent e : evs) {
+    if (!is_semantic(e)) continue;
+    e.t = 0.0;
+    out.push_back(e);
+  }
+  return out;
+}
+
+int count_type(const std::vector<TraceEvent>& evs, TraceEventType t) {
+  int n = 0;
+  for (const auto& e : evs) n += e.type == t ? 1 : 0;
+  return n;
+}
+
+metrics::RunManifest udp_manifest(const char* producer,
+                                  const cli::TaskSpec& spec, int rounds) {
+  metrics::RunManifest m;
+  m.producer = producer;
+  m.algo = "adafl-sync";
+  m.seed = spec.seed;
+  m.rounds = rounds;
+  m.clients = spec.clients;
+  return m;
+}
+
+void run_udp_equivalence(const DatagramFaultPlan& plan,
+                         bool expect_zero_retransmits) {
+  constexpr int kRounds = 4;
+  const auto spec = testutil::small_task_spec();
+  const auto client = testutil::small_client_config();
+  const auto params = testutil::small_params();
+
+  const std::string sim_path = ::testing::TempDir() + "udp_eq_sim.jsonl";
+  const std::string dep_path = ::testing::TempDir() + "udp_eq_dep.jsonl";
+
+  Tracer sim_tracer;
+  sim_tracer.open(sim_path, udp_manifest("flsim", spec, kRounds));
+  const auto sim = testutil::run_simulator(spec, client, params, kRounds,
+                                           &sim_tracer);
+  sim_tracer.close();
+
+  // k=8/r=8 parity budget: at 10% i.i.d. loss the chance of any generation
+  // losing more than 8 of its 16 datagrams is ~1e-5 — the run must complete
+  // on FEC repair alone, with the retransmit path never taken.
+  FecStats server_stats;
+  FecStats client_stats;
+  UdpFecConfig fec;
+  fec.data_shards = 8;
+  fec.parity_shards = 8;
+  fec.max_shard_bytes = 700;  // several generations per MODEL/UPDATE frame
+  fec.stats = &client_stats;
+
+  Tracer dep_tracer;
+  // Bind the hooks exactly as the CLIs do: deployed-only transport events,
+  // round 0 / client -1 (the reassembler has no session context).
+  fec.hooks.on_datagram_lost = [&dep_tracer](std::int64_t bytes) {
+    dep_tracer.record(metrics::ev_datagram_lost(0, -1, bytes, 0.0));
+  };
+  fec.hooks.on_fec_repair = [&dep_tracer](int, std::int64_t bytes) {
+    dep_tracer.record(metrics::ev_fec_repair(0, -1, bytes, 0.0));
+  };
+  dep_tracer.open(dep_path, udp_manifest("deployed", spec, kRounds));
+  const auto dep = testutil::run_deployed_udp_loopback(
+      spec, client, params, kRounds, fec, &dep_tracer,
+      [&plan](int id, std::unique_ptr<DatagramLink> link)
+          -> std::unique_ptr<DatagramLink> {
+        DatagramFaultPlan p = plan;
+        p.seed += static_cast<std::uint64_t>(id) * 7919;
+        return std::make_unique<FaultyDatagramLink>(std::move(link), p);
+      },
+      &server_stats);
+  dep_tracer.close();
+
+  // Bitwise global weights: the deployed UDP path is the simulator.
+  ASSERT_EQ(sim.global, dep.global);
+
+  // Losses happened and were repaired by parity, not by round trips.
+  EXPECT_GT(server_stats.datagrams_repaired.load(), 0);
+  EXPECT_EQ(server_stats.unrecoverable_generations.load(), 0);
+  for (const auto& c : dep.clients) {
+    EXPECT_TRUE(c.completed);
+    EXPECT_EQ(c.reconnects, 0);
+  }
+  EXPECT_EQ(dep.log.ledger.total_reconnects(), 0);
+  if (expect_zero_retransmits)
+    EXPECT_EQ(dep.log.ledger.total_retransmitted_bytes(), 0);
+
+  // Semantic trace equality, exactly as scripts/trace_diff.py computes it;
+  // datagram_lost/fec_repair exist only on the deployed side and are
+  // excluded along with the other transport events.
+  const auto sim_trace = metrics::read_trace_file(sim_path);
+  const auto dep_trace = metrics::read_trace_file(dep_path);
+  EXPECT_GT(count_type(dep_trace.events, TraceEventType::kFecRepair), 0);
+  const auto sim_sem = semantic_stream(sim_trace.events);
+  const auto dep_sem = semantic_stream(dep_trace.events);
+  ASSERT_EQ(sim_sem.size(), dep_sem.size());
+  for (std::size_t i = 0; i < sim_sem.size(); ++i)
+    ASSERT_EQ(sim_sem[i], dep_sem[i])
+        << "divergence at event " << i << ": sim="
+        << Tracer::format_line(sim_sem[i])
+        << " deployed=" << Tracer::format_line(dep_sem[i]);
+
+  std::remove(sim_path.c_str());
+  std::remove(dep_path.c_str());
+}
+
+TEST(UdpDeployedEquivalence, TenPercentIidLossZeroRetransmits) {
+  run_udp_equivalence(DatagramFaultPlan::iid(0.10, 4242),
+                      /*expect_zero_retransmits=*/true);
+}
+
+TEST(UdpDeployedEquivalence, BurstLossWithinParityBudget) {
+  // 5% loss in mean-2 bursts: comfortably inside the r=8 budget; semantic
+  // equality and zero reconnects must hold (a rare >8 burst may nudge a
+  // retransmit, which the trace comparison rightly ignores).
+  run_udp_equivalence(DatagramFaultPlan::burst(0.05, 2.0, 31337),
+                      /*expect_zero_retransmits=*/false);
+}
+
+// --- Real sockets: UdpListener + UdpSocketLink smoke ------------------------
+
+TEST(UdpRealSocket, ListenerAcceptEchoAndStats) {
+  FecStats stats;
+  UdpFecConfig cfg = small_cfg(&stats);
+  UdpListener listener(0, cfg);
+  ASSERT_GT(listener.port(), 0);
+
+  std::atomic<bool> ok{false};
+  std::thread server([&] {
+    auto t = listener.accept(std::chrono::milliseconds(3000));
+    if (!t) return;
+    auto f = t->recv(std::chrono::milliseconds(3000));
+    if (!f) return;
+    f->round += 1;
+    if (!t->send(*f)) return;
+    // Hold the connection until the client has read the echo.
+    const auto fin = t->recv(std::chrono::milliseconds(3000));
+    ok.store(fin.has_value() && fin->type == MsgType::kPing);
+  });
+
+  auto link = UdpSocketLink::connect("127.0.0.1", listener.port());
+  ASSERT_NE(link, nullptr);
+  UdpTransport client(std::move(link), cfg);
+  const Frame f = test_frame(3000, 5);
+  ASSERT_TRUE(client.send(f));
+  const auto echo = client.recv(std::chrono::milliseconds(3000));
+  ASSERT_TRUE(echo.has_value());
+  EXPECT_EQ(echo->round, f.round + 1);
+  EXPECT_EQ(echo->payload, f.payload);
+  Frame fin;
+  fin.type = MsgType::kPing;
+  ASSERT_TRUE(client.send(fin));
+
+  server.join();
+  EXPECT_TRUE(ok.load());
+  listener.close();
+  EXPECT_TRUE(listener.closed());
+  EXPECT_GT(stats.datagrams_sent.load(), 0);
+  EXPECT_GT(stats.parity_bytes.load(), 0);
+}
+
+TEST(UdpRealSocket, ConnectToUnresolvableHostFails) {
+  EXPECT_EQ(UdpSocketLink::connect("definitely.invalid.adafl", 1), nullptr);
+}
+
+}  // namespace
+}  // namespace adafl
