@@ -14,11 +14,22 @@
 #    semantically identical to the uninterrupted simulator trace (transport
 #    and checkpoint/resume events explicitly ignored).
 #
-# Usage: scripts/chaos_soak.sh [build_dir]
+# Usage: scripts/chaos_soak.sh [build_dir] [--transport=tcp|udp]
 set -euo pipefail
 
 SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
-BUILD_DIR="${1:-build}"
+BUILD_DIR="build"
+TRANSPORT="tcp"
+for arg in "$@"; do
+  case "$arg" in
+    --transport=*) TRANSPORT="${arg#--transport=}" ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+if [[ "$TRANSPORT" != "tcp" && "$TRANSPORT" != "udp" ]]; then
+  echo "error: --transport must be tcp or udp" >&2
+  exit 2
+fi
 CLI_DIR="$BUILD_DIR/src/cli"
 CLIENTS=4
 ROUNDS=6
@@ -57,8 +68,8 @@ ckpt_dir="$workdir/ckpt"
 mkdir -p "$ckpt_dir"
 
 echo
-echo "== phase 1: deployed run, then kill -9 the server =="
-"$CLI_DIR/flserver" --port=0 "${TASK_FLAGS[@]}" \
+echo "== phase 1: deployed run ($TRANSPORT), then kill -9 the server =="
+"$CLI_DIR/flserver" --port=0 --transport="$TRANSPORT" "${TASK_FLAGS[@]}" \
   --checkpoint-dir="$ckpt_dir" --checkpoint-every=1 \
   --trace="$workdir/server1.jsonl" \
   > "$workdir/server1.log" 2>&1 &
@@ -82,6 +93,7 @@ echo "server listening on port $port"
 # keep redialing until the replacement comes up.
 for id in $(seq 0 $((CLIENTS - 1))); do
   "$CLI_DIR/flclient" --host=127.0.0.1 --port="$port" --id="$id" \
+    --transport="$TRANSPORT" \
     --backoff-initial-ms=50 --backoff-max-ms=500 --max-attempts=200 \
     > "$workdir/client$id.log" 2>&1 &
   client_pids+=($!)
@@ -107,7 +119,7 @@ echo "killed flserver (SIGKILL) after its first checkpoint"
 
 echo
 echo "== phase 2: resume on the same port and finish =="
-"$CLI_DIR/flserver" --port="$port" "${TASK_FLAGS[@]}" \
+"$CLI_DIR/flserver" --port="$port" --transport="$TRANSPORT" "${TASK_FLAGS[@]}" \
   --checkpoint-dir="$ckpt_dir" --checkpoint-every=1 --resume=1 \
   --trace="$workdir/server2.jsonl" \
   > "$workdir/server2.log" 2>&1 &
@@ -157,7 +169,7 @@ echo "== trace equivalence across the kill -9 boundary =="
 # events on the explicit ignore list.
 if ! python3 "$SCRIPT_DIR/trace_diff.py" \
     "$workdir/server1.jsonl,$workdir/server2.jsonl" "$workdir/sim.jsonl" \
-    --ignore=frame_tx,frame_rx,retransmit,reconnect,checkpoint,resume; then
+    --ignore=frame_tx,frame_rx,retransmit,reconnect,datagram_lost,fec_repair,checkpoint,resume; then
   echo "FAIL: stitched deployed trace diverged from the simulator trace" >&2
   exit 1
 fi

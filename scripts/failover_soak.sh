@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# Failover soak: prove hot-standby replication + automatic mid-run failover
+# end to end with real processes.
+#
+# 1. Reference: flsim --algo=adafl-sync records the expected weights-crc32.
+# 2. A primary flserver runs with --checkpoint-dir --checkpoint-every=1; a
+#    standby flserver attaches to it with --standby=host:port and tails its
+#    checkpoint stream into a second durable directory.
+# 3. Clients dial with a prioritized endpoint list
+#    --server=primary,standby so they can rotate on their own — nothing
+#    external tells them the primary died.
+# 4. Once the first replicated checkpoint lands on the standby's disk the
+#    primary is killed with SIGKILL. No handover message is ever sent: the
+#    standby's heartbeat lease expires, it promotes itself from the newest
+#    complete replicated checkpoint, and only then binds its client port.
+# 5. The promoted run must report the reference weights-crc32 — bitwise
+#    failover, not approximate — plus "promoted-at:"/"resumed-from:" lines,
+#    and every client must finish (exit 0 requires completed=1).
+# 6. The two server traces, stitched across the SIGKILL boundary by
+#    trace_diff.py's resume rule, must be semantically identical to the
+#    uninterrupted simulator trace.
+#
+# Usage: scripts/failover_soak.sh [build_dir]
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+BUILD_DIR="${1:-build}"
+CLI_DIR="$BUILD_DIR/src/cli"
+CLIENTS=4
+ROUNDS=6
+LEASE_MS=1000
+# Heavy enough per round (samples x steps) that the SIGKILL below reliably
+# lands mid-run rather than after the final round.
+TASK_FLAGS=(--model=mlp --clients=$CLIENTS --rounds=$ROUNDS --steps=8
+            --train-samples=2000 --test-samples=200 --seed=7)
+
+for bin in flsim flserver flclient; do
+  if [[ ! -x "$CLI_DIR/$bin" ]]; then
+    echo "error: $CLI_DIR/$bin not found (build first)" >&2
+    exit 2
+  fi
+done
+
+workdir="$(mktemp -d)"
+primary_pid=""
+standby_pid=""
+client_pids=()
+cleanup() {
+  [[ -n "$primary_pid" ]] && kill "$primary_pid" 2>/dev/null || true
+  [[ -n "$standby_pid" ]] && kill "$standby_pid" 2>/dev/null || true
+  for pid in "${client_pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+extract() { sed -n "s/^$2: //p" "$1" | head -n1; }
+
+echo "== reference run (flsim --algo=adafl-sync) =="
+"$CLI_DIR/flsim" --algo=adafl-sync "${TASK_FLAGS[@]}" --chart=0 \
+  --trace="$workdir/sim.jsonl" > "$workdir/sim.log"
+ref_crc="$(extract "$workdir/sim.log" weights-crc32)"
+ref_acc="$(extract "$workdir/sim.log" final-accuracy)"
+echo "reference: accuracy=$ref_acc weights-crc32=$ref_crc"
+
+ckpt_a="$workdir/ckpt-primary"
+ckpt_b="$workdir/ckpt-standby"
+mkdir -p "$ckpt_a" "$ckpt_b"
+
+echo
+echo "== phase 1: primary + hot standby + clients =="
+"$CLI_DIR/flserver" --port=0 "${TASK_FLAGS[@]}" \
+  --checkpoint-dir="$ckpt_a" --checkpoint-every=1 \
+  --trace="$workdir/primary.jsonl" \
+  > "$workdir/primary.log" 2>&1 &
+primary_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(extract "$workdir/primary.log" listening-on)"
+  [[ -n "$port" ]] && break
+  if ! kill -0 "$primary_pid" 2>/dev/null; then
+    echo "error: primary flserver exited early" >&2
+    cat "$workdir/primary.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -n "$port" ]] || { echo "error: no listening-on line" >&2; exit 1; }
+echo "primary listening on port $port"
+
+# The standby binds its client port only at promotion, so its port must be
+# chosen up front for the clients' endpoint list. Derive it from the PID to
+# keep concurrent soaks on one box from colliding.
+standby_port=$((20000 + $$ % 20000))
+"$CLI_DIR/flserver" --standby="127.0.0.1:$port" --port="$standby_port" \
+  "${TASK_FLAGS[@]}" \
+  --checkpoint-dir="$ckpt_b" --checkpoint-every=1 --lease-ms=$LEASE_MS \
+  --trace="$workdir/standby.jsonl" \
+  > "$workdir/standby.log" 2>&1 &
+standby_pid=$!
+
+# --max-attempts=0: never give up, rotate through the endpoint list forever.
+for id in $(seq 0 $((CLIENTS - 1))); do
+  "$CLI_DIR/flclient" --server="127.0.0.1:$port,127.0.0.1:$standby_port" \
+    --id="$id" \
+    --backoff-initial-ms=50 --backoff-max-ms=500 --max-attempts=0 \
+    > "$workdir/client$id.log" 2>&1 &
+  client_pids+=($!)
+done
+
+# Wait until at least one complete checkpoint has been replicated onto the
+# standby's own disk, then SIGKILL the primary: no goodbye frame, no final
+# write — promotion must come entirely from the replicated state + lease.
+for _ in $(seq 1 600); do
+  [[ -f "$ckpt_b/server.ckpt" ]] && break
+  if ! kill -0 "$primary_pid" 2>/dev/null; then
+    echo "error: primary died before replicating a checkpoint" >&2
+    cat "$workdir/primary.log" >&2
+    exit 1
+  fi
+  if ! kill -0 "$standby_pid" 2>/dev/null; then
+    echo "error: standby exited early" >&2
+    cat "$workdir/standby.log" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+[[ -f "$ckpt_b/server.ckpt" ]] || {
+  echo "error: no checkpoint was replicated to the standby" >&2; exit 1; }
+kill -9 "$primary_pid" 2>/dev/null || true
+wait "$primary_pid" 2>/dev/null || true
+primary_pid=""
+echo "killed primary (SIGKILL) after the first replicated checkpoint"
+
+echo
+echo "== phase 2: standby promotes itself and finishes the run =="
+for i in "${!client_pids[@]}"; do
+  if ! wait "${client_pids[$i]}"; then
+    echo "error: flclient $i failed" >&2
+    cat "$workdir/client$i.log" >&2
+    cat "$workdir/standby.log" >&2
+    exit 1
+  fi
+done
+client_pids=()
+wait "$standby_pid"
+standby_pid=""
+cat "$workdir/standby.log"
+
+promoted_at="$(extract "$workdir/standby.log" promoted-at | cut -d' ' -f1)"
+resumed_from="$(extract "$workdir/standby.log" resumed-from)"
+dep_crc="$(extract "$workdir/standby.log" weights-crc32)"
+dep_acc="$(extract "$workdir/standby.log" final-accuracy)"
+
+echo
+echo "promoted-at: ${promoted_at:-<missing>}"
+echo "resumed-from: ${resumed_from:-<missing>}"
+echo "recovered: accuracy=$dep_acc weights-crc32=$dep_crc"
+
+if [[ -z "$promoted_at" || "$promoted_at" -lt 2 ]]; then
+  echo "FAIL: standby never promoted from a replicated checkpoint" >&2
+  exit 1
+fi
+if [[ -z "$resumed_from" || "$resumed_from" -lt 2 ]]; then
+  echo "FAIL: promoted server did not resume from the replica" >&2
+  exit 1
+fi
+rotations=0
+for id in $(seq 0 $((CLIENTS - 1))); do
+  r="$(sed -n 's/.*endpoint-rotations=\([0-9]*\).*/\1/p' \
+       "$workdir/client$id.log" | head -n1)"
+  rotations=$((rotations + ${r:-0}))
+done
+if [[ "$rotations" -lt 1 ]]; then
+  echo "FAIL: no client ever rotated to the standby endpoint" >&2
+  exit 1
+fi
+if [[ -z "$ref_crc" || -z "$dep_crc" ]]; then
+  echo "FAIL: missing weights-crc32 line" >&2
+  exit 1
+fi
+if [[ "$dep_crc" != "$ref_crc" || "$dep_acc" != "$ref_acc" ]]; then
+  echo "FAIL: failed-over run diverged from the uninterrupted reference" >&2
+  exit 1
+fi
+echo "PASS: failover is bitwise identical to the uninterrupted run"
+
+echo
+echo "== trace equivalence across the failover boundary =="
+# The primary's trace ends in a SIGKILL-truncated line; the standby's
+# manifest rewinds the stitched stream to its promotion round. Replication
+# and promotion events only exist on the failing-over path, so they join
+# the transport and checkpoint/resume events on the explicit ignore list.
+if ! python3 "$SCRIPT_DIR/trace_diff.py" \
+    "$workdir/primary.jsonl,$workdir/standby.jsonl" "$workdir/sim.jsonl" \
+    --ignore=frame_tx,frame_rx,retransmit,reconnect,checkpoint,resume,replicate,promote; then
+  echo "FAIL: stitched failover trace diverged from the simulator trace" >&2
+  exit 1
+fi
+echo "PASS: stitched failover trace is semantically identical to flsim"

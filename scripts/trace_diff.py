@@ -16,9 +16,10 @@ Comparison semantics:
   * The wall-clock field "t" is stripped from every event unless --keep-time
     is given: "t" is simulated time in flsim and wall time in flserver, so it
     can never match across producers.
-  * Event types named by --ignore (default: the six transport-only event
+  * Event types named by --ignore (default: the eight deployed-only event
     types frame_tx,frame_rx,retransmit,reconnect,datagram_lost,fec_repair,
-    which flsim never emits) are dropped from both traces before comparison.
+    replicate,promote, which flsim never emits) are dropped from both
+    traces before comparison.
   * Manifests are compared modulo producer, git, and start_round; everything
     else (algo, seed, rounds, clients, config) must match exactly.
 
@@ -30,7 +31,10 @@ import argparse
 import json
 import sys
 
-DEFAULT_IGNORE = "frame_tx,frame_rx,retransmit,reconnect,datagram_lost,fec_repair"
+DEFAULT_IGNORE = (
+    "frame_tx,frame_rx,retransmit,reconnect,datagram_lost,fec_repair,"
+    "replicate,promote"
+)
 MANIFEST_IGNORED_KEYS = ("producer", "git", "start_round")
 
 

@@ -30,6 +30,11 @@ int main(int argc, char** argv) {
   cli::ArgParser args("flclient");
   args.option("host", "127.0.0.1", "server host")
       .option("port", "4242", "server port")
+      .option("server", "",
+              "prioritized endpoint list host:port[,host:port...] "
+              "(overrides --host/--port): when the current endpoint's "
+              "redial budget is exhausted the client rotates to the next "
+              "one — list the primary first, then its hot standbys")
       .option("id", "0", "this client's id (0-based, unique per fleet)")
       .option("connect-timeout-ms", "3000", "TCP connect timeout")
       .option("backoff-initial-ms", "200", "first reconnect delay")
@@ -86,10 +91,35 @@ int main(int argc, char** argv) {
     if (const std::string kb = args.get("kernel-backend"); !kb.empty())
       tensor::set_kernel_backend(tensor::resolve_kernel_backend(kb));
     metrics::PhaseProfiler::instance().set_enabled(args.get_bool("profile"));
-    const std::string host = args.get("host");
-    const auto port = static_cast<std::uint16_t>(args.get_int("port"));
     const auto connect_timeout =
         std::chrono::milliseconds(args.get_int("connect-timeout-ms"));
+
+    // Endpoint list: --server=host:port,host:port (primary first, standbys
+    // after), or the legacy --host/--port pair as a single-entry list.
+    struct Endpoint {
+      std::string host;
+      std::uint16_t port;
+    };
+    std::vector<Endpoint> endpoints;
+    std::string server_list = args.get("server");
+    if (server_list.empty())
+      server_list = args.get("host") + ":" + args.get("port");
+    for (std::size_t pos = 0; pos < server_list.size();) {
+      const auto comma = server_list.find(',', pos);
+      const std::string item = server_list.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      pos = comma == std::string::npos ? server_list.size() : comma + 1;
+      const auto colon = item.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == item.size()) {
+        std::cerr << "flclient: bad endpoint '" << item
+                  << "' (expected host:port)\n";
+        return 2;
+      }
+      endpoints.push_back(
+          {item.substr(0, colon),
+           static_cast<std::uint16_t>(std::stoi(item.substr(colon + 1)))});
+    }
 
     net::transport::ClientSessionConfig cfg;
     cfg.client_id = args.get_int("id");
@@ -114,8 +144,7 @@ int main(int argc, char** argv) {
       metrics::RunManifest manifest;
       manifest.producer = "flclient";
       manifest.algo = "adafl-sync";
-      manifest.config["host"] = host;
-      manifest.config["port"] = std::to_string(port);
+      manifest.config["server"] = server_list;
       manifest.config["client_id"] = std::to_string(cfg.client_id);
       manifest.config["kernel_backend"] = tensor::kernel_backend_name();
       tracer.open(trace_path, manifest);
@@ -189,12 +218,14 @@ int main(int argc, char** argv) {
 
     net::transport::ClientSession session(
         cfg,
-        [&, crash_fired,
-         dial_count]() -> std::unique_ptr<net::transport::Transport> {
+        [&, crash_fired, dial_count](
+            std::size_t ep) -> std::unique_ptr<net::transport::Transport> {
+          const Endpoint& target = endpoints[ep];
           std::unique_ptr<net::transport::Transport> t;
           if (use_udp) {
             std::unique_ptr<net::transport::DatagramLink> link =
-                net::transport::UdpSocketLink::connect(host, port);
+                net::transport::UdpSocketLink::connect(target.host,
+                                                       target.port);
             if (!link) return nullptr;
             if (dgram_faults) {
               net::transport::DatagramFaultPlan dplan =
@@ -212,7 +243,7 @@ int main(int argc, char** argv) {
             t = std::make_unique<net::transport::UdpTransport>(
                 std::move(link), fec_cfg);
           } else {
-            t = net::transport::TcpTransport::connect(host, port,
+            t = net::transport::TcpTransport::connect(target.host, target.port,
                                                       connect_timeout);
           }
           const bool want_crash = crash_round > 0 && !crash_fired->load();
@@ -231,6 +262,7 @@ int main(int argc, char** argv) {
               });
           return faulty;
         },
+        endpoints.size(),
         [&](const std::map<std::string, std::string>& kv, int id,
             const core::AdaFlParams& /*params*/) {
           cli::TaskSpec spec;
@@ -268,7 +300,7 @@ int main(int argc, char** argv) {
               << " rounds-trained=" << st.rounds_trained
               << " updates-sent=" << st.updates_sent
               << " skips=" << st.skips << " reconnects=" << st.reconnects
-              << std::endl;
+              << " endpoint-rotations=" << st.endpoint_rotations << std::endl;
     if (use_udp)
       std::cout << "udp-fec: datagrams-sent="
                 << fec_stats.datagrams_sent.load()

@@ -32,6 +32,7 @@
 #include "metrics/registry.h"
 #include "metrics/table.h"
 #include "metrics/trace.h"
+#include "net/replication/replication.h"
 #include "net/transport/crc32.h"
 #include "net/transport/session.h"
 #include "net/transport/udp.h"
@@ -60,6 +61,17 @@ int main(int argc, char** argv) {
               "scores needed to proceed past the round deadline (0 = all)")
       .option("rounds", "3", "communication rounds")
       .option("deadline-ms", "60000", "per-phase round deadline")
+      .option("round-deadline-ms", "0",
+              "whole-round cap (score + update combined): on expiry the "
+              "round aggregates what arrived, emits update_lost for the "
+              "rest, and continues (0 = off)")
+      .option("standby", "",
+              "run as hot standby of PRIMARY host:port — tail its "
+              "checkpoints over the framed transport and promote on lease "
+              "expiry (requires --checkpoint-dir; see docs/deployment.md)")
+      .option("lease-ms", "5000",
+              "standby heartbeat lease: promote after this long without "
+              "hearing from the primary")
       .option("k", "5", "AdaFL max selected clients")
       .option("tau", "0.5", "AdaFL utility threshold")
       .option("dataset", "mnist", "mnist|cifar10|cifar100 (synthetic)")
@@ -137,6 +149,8 @@ int main(int argc, char** argv) {
     cfg.quorum = args.get_int("quorum");
     cfg.round_deadline =
         std::chrono::milliseconds(args.get_int("deadline-ms"));
+    cfg.round_total_deadline =
+        std::chrono::milliseconds(args.get_int("round-deadline-ms"));
     cfg.client_config = cli::task_to_kv(spec, client);
     cfg.checkpoint_dir = args.get("checkpoint-dir");
     cfg.checkpoint_every = args.get_int_at_least("checkpoint-every", 1);
@@ -150,6 +164,91 @@ int main(int argc, char** argv) {
       return 2;
     }
     const bool use_udp = transport == "udp";
+
+    // --- Hot standby: tail the primary's checkpoint stream and serve only
+    // after promotion. The client listener stays unbound until then, so a
+    // client probing this endpoint fails fast and rotates back to the
+    // primary (docs/deployment.md, "Hot standby & failover").
+    bool promoted = false;
+    std::uint32_t promote_round = 0;
+    if (const std::string standby_of = args.get("standby");
+        !standby_of.empty()) {
+      if (cfg.checkpoint_dir.empty()) {
+        std::cerr << "flserver: --standby requires --checkpoint-dir (the "
+                     "replicated checkpoint must land somewhere durable)\n";
+        return 2;
+      }
+      const auto colon = standby_of.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == standby_of.size()) {
+        std::cerr << "flserver: --standby expects host:port\n";
+        return 2;
+      }
+      const std::string primary_host = standby_of.substr(0, colon);
+      const auto primary_port = static_cast<std::uint16_t>(
+          std::stoi(standby_of.substr(colon + 1)));
+
+      // Fingerprint of the run configuration THIS process would serve.
+      // Built exactly like ServerSession's WELCOME payload, so a checkpoint
+      // replicated from a differently-configured primary is rejected at
+      // replication time instead of corrupting the run at promotion.
+      net::transport::WelcomeInfo w;
+      w.rounds = static_cast<std::uint32_t>(cfg.rounds);
+      auto probe = task.factory();
+      w.param_count = probe.get_flat().size();
+      w.params = cfg.params;
+      w.config = cfg.client_config;
+
+      net::replication::StandbyConfig scfg;
+      scfg.checkpoint_dir = cfg.checkpoint_dir;
+      scfg.lease = std::chrono::milliseconds(
+          args.get_int_at_least("lease-ms", 1));
+      scfg.expected_config_crc =
+          net::transport::crc32(net::transport::encode_welcome(w));
+      net::replication::StandbyReplica replica(
+          scfg,
+          [&args, use_udp, primary_host,
+           primary_port]() -> std::unique_ptr<net::transport::Transport> {
+            if (use_udp) {
+              auto link = net::transport::UdpSocketLink::connect(primary_host,
+                                                                 primary_port);
+              if (!link) return nullptr;
+              net::transport::UdpFecConfig fec;
+              fec.data_shards = args.get_int_at_least("fec-generation", 1);
+              fec.parity_shards = args.get_int_at_least("fec-parity", 0);
+              fec.max_shard_bytes = args.get_int_at_least("fec-mtu", 1);
+              return std::make_unique<net::transport::UdpTransport>(
+                  std::move(link), fec);
+            }
+            return net::transport::TcpTransport::connect(
+                primary_host, primary_port, std::chrono::milliseconds(1000));
+          });
+      std::cout << "standby-of: " << standby_of
+                << " lease-ms=" << scfg.lease.count() << std::endl;
+      const auto outcome = replica.run();
+      if (outcome != net::replication::StandbyOutcome::kPromote) {
+        std::cout << "standby-stand-down: primary finished the run ("
+                  << replica.checkpoints_received()
+                  << " checkpoints replicated)" << std::endl;
+        return 0;
+      }
+      promote_round = replica.last_next_round();
+      if (promote_round > static_cast<std::uint32_t>(cfg.rounds)) {
+        std::cout << "standby: replicated run already complete; nothing to "
+                     "serve"
+                  << std::endl;
+        return 0;
+      }
+      // Resume from the newest complete replicated checkpoint. With nothing
+      // replicated (the primary died before its first checkpoint) a fresh
+      // same-seed start is the dead primary's deterministic twin.
+      cfg.resume = promote_round > 0;
+      promoted = true;
+      std::cout << "promoted-at: " << promote_round << " checkpoints-in="
+                << replica.checkpoints_received()
+                << " rejected-payloads=" << replica.rejected_payloads()
+                << std::endl;
+    }
 
     // --- Structured observability: tracer + metrics registry.
     metrics::Tracer tracer;
@@ -170,7 +269,15 @@ int main(int argc, char** argv) {
       tracer.open(trace_path, std::move(manifest));
       if (!metrics_path.empty()) tracer.attach_registry(&registry);
       cfg.tracer = &tracer;
+      if (promoted)
+        tracer.record(metrics::ev_promote(static_cast<int>(promote_round),
+                                          /*t=*/0.0));
     }
+
+    // Every server accepts STANDBY_HELLO peers and streams them each
+    // checkpoint it writes (no-op until a standby actually attaches).
+    net::replication::CheckpointPublisher publisher(cfg.tracer);
+    cfg.publisher = &publisher;
 
     // --- Listener: TCP byte-stream frames or FEC-coded UDP datagrams.
     net::transport::FecStats fec_stats;
@@ -289,6 +396,10 @@ int main(int argc, char** argv) {
 
     if (session.resumed_from() > 0)
       std::cout << "resumed-from: " << session.resumed_from() << std::endl;
+    if (publisher.checkpoints_replicated() > 0)
+      std::cout << "replication: checkpoints-replicated="
+                << publisher.checkpoints_replicated()
+                << " standbys=" << publisher.standby_count() << std::endl;
     if (log.interrupted)
       std::cout << "interrupted: 1 (checkpoint "
                 << (cfg.checkpoint_dir.empty() ? "not configured" : "written")

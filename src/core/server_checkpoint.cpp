@@ -86,8 +86,8 @@ std::string checkpoint_path(const std::string& dir) {
   return dir + "/server.ckpt";
 }
 
-void write_checkpoint_file(const std::string& path,
-                           const std::vector<CheckpointSection>& sections) {
+std::vector<std::uint8_t> encode_checkpoint_file_bytes(
+    const std::vector<CheckpointSection>& sections) {
   std::vector<std::uint8_t> buf;
   buf.insert(buf.end(), kMagic, kMagic + 4);
   bytes::put_u32(buf, kServerCheckpointVersion);
@@ -99,7 +99,11 @@ void write_checkpoint_file(const std::string& path,
     buf.insert(buf.end(), s.data.begin(), s.data.end());
   }
   bytes::put_u32(buf, crc32(buf));
+  return buf;
+}
 
+void write_checkpoint_bytes_atomic(const std::string& path,
+                                   std::span<const std::uint8_t> buf) {
   // Atomic replace: write + fsync a sibling tmp file, then rename() over the
   // destination. A crash at any point leaves either the old checkpoint or
   // the complete new one — never a torn file under `path`.
@@ -133,32 +137,33 @@ void write_checkpoint_file(const std::string& path,
   }
 }
 
-std::vector<CheckpointSection> read_checkpoint_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is)
-    fail(path, "cannot open (no checkpoint to resume from? pass a directory "
-               "that holds server.ckpt)");
-  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(is)),
-                                std::istreambuf_iterator<char>());
-  if (buf.size() < 16) fail(path, "truncated (too small to be a checkpoint)");
+void write_checkpoint_file(const std::string& path,
+                           const std::vector<CheckpointSection>& sections) {
+  write_checkpoint_bytes_atomic(path, encode_checkpoint_file_bytes(sections));
+}
+
+std::vector<CheckpointSection> decode_checkpoint_file_bytes(
+    std::span<const std::uint8_t> buf, const std::string& origin) {
+  if (buf.size() < 16)
+    fail(origin, "truncated (too small to be a checkpoint)");
 
   // Whole-file CRC first: catches truncation / bit rot anywhere, including
   // inside section headers.
   const std::span<const std::uint8_t> body(buf.data(), buf.size() - 4);
   bytes::Reader tail(
       std::span<const std::uint8_t>(buf.data() + buf.size() - 4, 4));
-  if (tail.u32() != crc32(body)) fail(path, "file CRC mismatch (torn write?)");
+  if (tail.u32() != crc32(body)) fail(origin, "file CRC mismatch (torn write?)");
 
   try {
     bytes::Reader r(body);
     const auto magic = r.raw(4);
     if (std::memcmp(magic.data(), kMagic, 4) != 0)
-      fail(path, "bad magic (not an ADFL file)");
+      fail(origin, "bad magic (not an ADFL file)");
     const std::uint32_t version = r.u32();
     if (version != kServerCheckpointVersion)
-      fail(path, "unsupported version " + std::to_string(version) +
-                     " (expected " +
-                     std::to_string(kServerCheckpointVersion) + ")");
+      fail(origin, "unsupported version " + std::to_string(version) +
+                       " (expected " +
+                       std::to_string(kServerCheckpointVersion) + ")");
     const std::uint32_t count = r.u32();
     std::vector<CheckpointSection> sections;
     sections.reserve(count);
@@ -173,14 +178,24 @@ std::vector<CheckpointSection> read_checkpoint_file(const std::string& path) {
       const auto data = r.raw(static_cast<std::size_t>(len));
       s.data.assign(data.begin(), data.end());
       if (crc32(s.data) != crc)
-        fail(path, "section '" + s.name + "' CRC mismatch");
+        fail(origin, "section '" + s.name + "' CRC mismatch");
       sections.push_back(std::move(s));
     }
     ADAFL_CHECK_MSG(r.remaining() == 0, "trailing bytes after sections");
     return sections;
   } catch (const CheckError& e) {
-    fail(path, e.what());
+    fail(origin, e.what());
   }
+}
+
+std::vector<CheckpointSection> read_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    fail(path, "cannot open (no checkpoint to resume from? pass a directory "
+               "that holds server.ckpt)");
+  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(is)),
+                                std::istreambuf_iterator<char>());
+  return decode_checkpoint_file_bytes(buf, path);
 }
 
 // --- Typed encode / decode. ----------------------------------------------

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,25 @@ struct CheckpointSection {
   std::string name;
   std::vector<std::uint8_t> data;
 };
+
+/// Encodes the sectioned container into the exact byte image a checkpoint
+/// file holds (magic, version, per-section CRCs, whole-file CRC trailer).
+/// These are also the bytes a REPLICATE frame ships to a hot standby, so
+/// wire validation and disk validation share one code path.
+std::vector<std::uint8_t> encode_checkpoint_file_bytes(
+    const std::vector<CheckpointSection>& sections);
+
+/// CRC-validates and decodes a checkpoint byte image (the whole-file CRC is
+/// checked first, then magic/version/section structure). `origin` names the
+/// source in error messages (a path, or e.g. "REPLICATE payload"). Throws
+/// std::runtime_error on any corruption, truncation, or version skew.
+std::vector<CheckpointSection> decode_checkpoint_file_bytes(
+    std::span<const std::uint8_t> bytes, const std::string& origin);
+
+/// Atomically writes a pre-encoded checkpoint image to `path` (tmp + rename,
+/// fsync'd). Throws std::runtime_error on I/O failure.
+void write_checkpoint_bytes_atomic(const std::string& path,
+                                   std::span<const std::uint8_t> bytes);
 
 /// Atomically writes the sectioned container to `path` (tmp + rename,
 /// fsync'd). Throws std::runtime_error on I/O failure.

@@ -28,7 +28,8 @@ const char* const kEventNames[] = {
     "update_delivered", "update_lost",     "round_end",
     "checkpoint",       "resume",          "frame_tx",
     "frame_rx",         "retransmit",      "reconnect",
-    "datagram_lost",    "fec_repair",
+    "datagram_lost",    "fec_repair",      "replicate",
+    "promote",
 };
 constexpr std::size_t kNumEventTypes =
     sizeof(kEventNames) / sizeof(kEventNames[0]);
@@ -368,6 +369,24 @@ TraceEvent ev_fec_repair(int round, int client, std::int64_t bytes, double t) {
   return e;
 }
 
+TraceEvent ev_replicate(int round, int client, std::int64_t bytes, double t) {
+  TraceEvent e;
+  e.type = TraceEventType::kReplicate;
+  e.round = round;
+  e.client = client;
+  e.bytes = bytes;
+  e.t = t;
+  return e;
+}
+
+TraceEvent ev_promote(int round, double t) {
+  TraceEvent e;
+  e.type = TraceEventType::kPromote;
+  e.round = round;
+  e.t = t;
+  return e;
+}
+
 // --- Serialization. ------------------------------------------------------
 
 std::string Tracer::format_line(const TraceEvent& e) {
@@ -421,12 +440,16 @@ std::string Tracer::format_line(const TraceEvent& e) {
     case TraceEventType::kRetransmit:
     case TraceEventType::kDatagramLost:
     case TraceEventType::kFecRepair:
+    case TraceEventType::kReplicate:
       append_int_field(out, "client", e.client);
       append_int_field(out, "bytes", e.bytes);
       append_f64_field(out, "t", e.t);
       break;
     case TraceEventType::kReconnect:
       append_int_field(out, "client", e.client);
+      append_f64_field(out, "t", e.t);
+      break;
+    case TraceEventType::kPromote:
       append_f64_field(out, "t", e.t);
       break;
   }

@@ -15,10 +15,10 @@
 //     events come from the shared core::AdaFlServerCore), so a deployed run
 //     must produce the same semantic stream as its simulated twin
 //     (scripts/trace_diff.py + tests/test_trace_equivalence.cpp).
-//   * transport events — frame_tx, frame_rx, retransmit, reconnect, and
-//     the datagram-path events datagram_lost / fec_repair. These only exist
-//     on the deployed path and must be *explicitly* ignored when diffing
-//     against a simulator trace.
+//   * transport events — frame_tx, frame_rx, retransmit, reconnect, the
+//     datagram-path events datagram_lost / fec_repair, and the replication
+//     events replicate / promote. These only exist on the deployed path and
+//     must be *explicitly* ignored when diffing against a simulator trace.
 //
 // Determinism contract: every field except `t` (seconds; simulated clock in
 // the simulator, wall clock in a deployment) is deterministic, so two
@@ -61,6 +61,8 @@ enum class TraceEventType : std::uint8_t {
   kReconnect,
   kDatagramLost,  ///< UDP transport: a datagram never arrived
   kFecRepair,     ///< UDP transport: lost datagrams rebuilt from parity
+  kReplicate,     ///< replication: a checkpoint image shipped to a standby
+  kPromote,       ///< replication: standby promoted itself to primary
 };
 
 const char* to_string(TraceEventType t);
@@ -108,6 +110,10 @@ TraceEvent ev_datagram_lost(int round, int client, std::int64_t bytes,
                             double t);
 /// `bytes` = payload bytes reconstructed from parity for one generation.
 TraceEvent ev_fec_repair(int round, int client, std::int64_t bytes, double t);
+/// `round` = checkpoint next_round; `client` = standby slot; `bytes` = image.
+TraceEvent ev_replicate(int round, int client, std::int64_t bytes, double t);
+/// `round` = first round the promoted standby will run.
+TraceEvent ev_promote(int round, double t);
 
 /// The trace header: everything needed to interpret (and re-run) the trace.
 struct RunManifest {

@@ -1,0 +1,247 @@
+#include "net/replication/replication.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "compress/bytes.h"
+#include "core/server_checkpoint.h"
+#include "metrics/trace.h"
+#include "net/transport/frame.h"
+#include "net/transport/session.h"
+#include "tensor/check.h"
+
+namespace adafl::net::replication {
+
+using transport::Frame;
+using transport::MsgType;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+Frame make_frame(MsgType type, std::uint32_t round,
+                 std::vector<std::uint8_t> payload = {}) {
+  Frame f;
+  f.type = type;
+  f.round = round;
+  f.client_id = transport::kServerId;
+  f.payload = std::move(payload);
+  return f;
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+// --- REPLICATE payload codec. --------------------------------------------
+
+std::vector<std::uint8_t> encode_replicate(const ReplicatePayload& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(12 + p.image.size());
+  bytes::put_u32(out, p.next_round);
+  bytes::put_u64(out, p.image.size());
+  out.insert(out.end(), p.image.begin(), p.image.end());
+  return out;
+}
+
+ReplicatePayload parse_replicate(std::span<const std::uint8_t> payload) {
+  bytes::Reader r(payload);
+  ReplicatePayload p;
+  p.next_round = r.u32();
+  const std::uint64_t n = r.u64();
+  auto img = r.raw(n);
+  ADAFL_CHECK_MSG(r.remaining() == 0,
+                  "replicate: " << r.remaining() << " trailing bytes");
+  p.image.assign(img.begin(), img.end());
+  return p;
+}
+
+// --- CheckpointPublisher. ------------------------------------------------
+
+void CheckpointPublisher::adopt(
+    std::unique_ptr<transport::Transport> standby) {
+  Slot s;
+  s.conn = std::move(standby);
+  s.id = next_slot_id_++;
+  if (!last_payload_.empty()) {
+    // Late attach: seed with the newest checkpoint right away.
+    if (s.conn->send(make_frame(MsgType::kReplicate, last_next_round_,
+                                last_payload_))) {
+      ++replicated_;
+    } else {
+      return;  // dead on arrival
+    }
+  }
+  standbys_.push_back(std::move(s));
+}
+
+void CheckpointPublisher::publish(std::uint32_t next_round,
+                                  const std::vector<std::uint8_t>& image,
+                                  double t) {
+  ReplicatePayload p;
+  p.next_round = next_round;
+  p.image = image;
+  last_payload_ = encode_replicate(p);
+  last_next_round_ = next_round;
+  for (auto& s : standbys_) {
+    if (s.conn == nullptr || s.conn->closed()) continue;
+    if (s.conn->send(make_frame(MsgType::kReplicate, next_round,
+                                last_payload_))) {
+      ++replicated_;
+      if (tracer_ != nullptr)
+        tracer_->record(metrics::ev_replicate(
+            static_cast<int>(next_round), s.id,
+            static_cast<std::int64_t>(last_payload_.size()), t));
+    } else {
+      s.conn->close();
+    }
+  }
+  service();  // reap anything the failed sends closed
+}
+
+void CheckpointPublisher::service() {
+  for (auto& s : standbys_) {
+    if (s.conn == nullptr || s.conn->closed()) continue;
+    try {
+      while (auto f = s.conn->recv(std::chrono::milliseconds(0))) {
+        if (f->type == MsgType::kPing)
+          s.conn->send(make_frame(MsgType::kPong, 0));
+        // Anything else from a standby is ignored; replication is one-way.
+      }
+    } catch (const CheckError&) {
+      s.conn->close();  // poisoned stream
+    }
+  }
+  standbys_.erase(
+      std::remove_if(standbys_.begin(), standbys_.end(),
+                     [](const Slot& s) {
+                       return s.conn == nullptr || s.conn->closed();
+                     }),
+      standbys_.end());
+}
+
+void CheckpointPublisher::shutdown_standbys() {
+  for (auto& s : standbys_) {
+    if (s.conn == nullptr || s.conn->closed()) continue;
+    s.conn->send(make_frame(MsgType::kShutdown, 0));
+    s.conn->close();
+  }
+  standbys_.clear();
+}
+
+// --- StandbyReplica. -----------------------------------------------------
+
+StandbyReplica::StandbyReplica(StandbyConfig cfg, DialFn dial)
+    : cfg_(std::move(cfg)), dial_(std::move(dial)) {}
+
+bool StandbyReplica::install(const Frame& f, double t) {
+  try {
+    ReplicatePayload p = parse_replicate(f.payload);
+    // Wire validation == disk validation: the image must decode exactly as
+    // a checkpoint file would (whole-file CRC first, then structure).
+    const auto sections =
+        core::decode_checkpoint_file_bytes(p.image, "REPLICATE payload");
+    const core::ServerCheckpoint ck = core::decode_server_checkpoint(sections);
+    ADAFL_CHECK_MSG(ck.next_round == p.next_round,
+                    "replicate: envelope round " << p.next_round
+                                                 << " != checkpoint round "
+                                                 << ck.next_round);
+    ADAFL_CHECK_MSG(cfg_.expected_config_crc == 0 ||
+                        ck.config_crc == cfg_.expected_config_crc,
+                    "replicate: config crc mismatch (primary and standby "
+                    "run different configurations)");
+    // Only now — a fully validated, complete image — touch the disk, and
+    // atomically: a crash mid-install leaves the previous checkpoint.
+    core::write_checkpoint_bytes_atomic(
+        core::checkpoint_path(cfg_.checkpoint_dir), p.image);
+    ++received_;
+    last_next_round_ = p.next_round;
+    if (cfg_.tracer != nullptr) {
+      cfg_.tracer->record(metrics::ev_replicate(
+          static_cast<int>(p.next_round), -1,
+          static_cast<std::int64_t>(p.image.size()), t));
+      cfg_.tracer->flush();
+    }
+    return true;
+  } catch (const std::exception&) {
+    // Truncated, bit-flipped, version-skewed, config-skewed: count it and
+    // keep the previous complete checkpoint.
+    ++rejected_;
+    return false;
+  }
+}
+
+StandbyOutcome StandbyReplica::run() {
+  const auto t0 = Clock::now();
+  auto lease_deadline = Clock::now() + cfg_.lease;
+  const auto ping_interval = cfg_.ping_interval.count() > 0
+                                 ? cfg_.ping_interval
+                                 : cfg_.lease / 3;
+  std::unique_ptr<transport::Transport> conn;
+  int attempt = 0;
+  auto last_tx = Clock::now();
+
+  for (;;) {
+    if (stop_.load()) return StandbyOutcome::kStopped;
+    const auto now = Clock::now();
+    if (now >= lease_deadline) return StandbyOutcome::kPromote;
+
+    if (conn == nullptr || conn->closed()) {
+      conn.reset();
+      if (attempt > 0) {
+        // Backoff, but never sleep past the lease — promotion latency is
+        // the product this loop sells.
+        const auto d = std::min<Clock::duration>(cfg_.backoff.delay(attempt),
+                                                 lease_deadline - now);
+        if (d > Clock::duration::zero()) std::this_thread::sleep_for(d);
+      }
+      ++attempt;
+      conn = dial_();
+      if (conn == nullptr) continue;
+      attempt = 0;
+      conn->send(make_frame(MsgType::kStandbyHello, 0,
+                            transport::encode_hello(
+                                transport::kProtocolVersion)));
+      last_tx = Clock::now();
+      continue;
+    }
+
+    const auto poll = std::min<Clock::duration>(
+        cfg_.recv_poll, lease_deadline - Clock::now());
+    std::optional<Frame> f;
+    try {
+      f = conn->recv(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::max<Clock::duration>(poll, Clock::duration::zero())));
+    } catch (const CheckError&) {
+      conn->close();  // poisoned stream; redial inside the lease
+      continue;
+    }
+    if (f.has_value()) {
+      lease_deadline = Clock::now() + cfg_.lease;  // any frame renews
+      switch (f->type) {
+        case MsgType::kReplicate:
+          install(*f, seconds_since(t0));
+          break;
+        case MsgType::kShutdown:
+          conn->close();
+          return StandbyOutcome::kStandDown;
+        case MsgType::kPing:
+          conn->send(make_frame(MsgType::kPong, 0));
+          last_tx = Clock::now();
+          break;
+        default:
+          break;  // kPong and anything else: lease renewal is the point
+      }
+    } else if (!conn->closed() &&
+               Clock::now() - last_tx >= ping_interval) {
+      conn->send(make_frame(MsgType::kPing, 0));
+      last_tx = Clock::now();
+    }
+  }
+}
+
+}  // namespace adafl::net::replication

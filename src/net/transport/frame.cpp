@@ -18,13 +18,15 @@ const char* to_string(MsgType t) {
     case MsgType::kPing: return "ping";
     case MsgType::kPong: return "pong";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kStandbyHello: return "standby_hello";
+    case MsgType::kReplicate: return "replicate";
   }
   return "?";
 }
 
 bool is_valid_msg_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<std::uint8_t>(MsgType::kShutdown);
+         raw <= static_cast<std::uint8_t>(MsgType::kReplicate);
 }
 
 std::vector<std::uint8_t> encode_frame(const Frame& f) {

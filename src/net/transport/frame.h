@@ -41,6 +41,8 @@ enum class MsgType : std::uint8_t {
   kPing = 8,      ///< liveness probe (either direction)
   kPong = 9,      ///< liveness reply
   kShutdown = 10, ///< server -> client: training complete, disconnect
+  kStandbyHello = 11,  ///< standby -> primary: subscribe as replication peer
+  kReplicate = 12,     ///< primary -> standby: full checkpoint snapshot
 };
 
 const char* to_string(MsgType t);

@@ -10,6 +10,7 @@
 #include "core/utility.h"
 #include "metrics/profile.h"
 #include "metrics/trace.h"
+#include "net/replication/replication.h"
 #include "net/transport/crc32.h"
 #include "tensor/check.h"
 #include "tensor/tensor.h"
@@ -256,8 +257,14 @@ void ServerSession::write_checkpoint(
   a.selected_sum = snap.selected_sum;
   a.rounds_planned = snap.rounds_planned;
   ck.adafl = std::move(a);
-  core::save_server_checkpoint(core::checkpoint_path(cfg_.checkpoint_dir),
-                               ck);
+  // Encode once: the byte image written to disk is the byte image every
+  // standby receives, so wire and disk validation are the same code path.
+  const std::vector<std::uint8_t> image =
+      core::encode_checkpoint_file_bytes(core::encode_server_checkpoint(ck));
+  core::write_checkpoint_bytes_atomic(
+      core::checkpoint_path(cfg_.checkpoint_dir), image);
+  if (cfg_.publisher != nullptr)
+    cfg_.publisher->publish(ck.next_round, image, trace_now());
 }
 
 int ServerSession::resume_from_checkpoint() {
@@ -435,6 +442,9 @@ void ServerSession::handle_frame(RoundCtx& rc, int id, const Frame& f) {
 bool ServerSession::service(RoundCtx& rc) {
   bool progress = false;
 
+  // 0) Keep standby leases alive (answer their PINGs) and reap dead ones.
+  if (cfg_.publisher != nullptr) cfg_.publisher->service();
+
   // 1) Handshake pending transports (HELLO -> WELCOME -> in-round catchup).
   std::vector<std::unique_ptr<Transport>> pending;
   {
@@ -456,6 +466,18 @@ bool ServerSession::service(RoundCtx& rc) {
       continue;
     }
     progress = true;
+    if (f->type == MsgType::kStandbyHello) {
+      // A replication peer, not a client: hand the connection to the
+      // publisher (or drop it when replication is not configured).
+      try {
+        ADAFL_CHECK_MSG(parse_hello(f->payload) == kProtocolVersion,
+                        "session: standby protocol version mismatch");
+      } catch (const CheckError&) {
+        continue;
+      }
+      if (cfg_.publisher != nullptr) cfg_.publisher->adopt(std::move(t));
+      continue;
+    }
     int id = -1;
     try {
       ADAFL_CHECK_MSG(f->type == MsgType::kHello,
@@ -601,6 +623,14 @@ fl::TrainLog ServerSession::run() {
     delivered_.assign(static_cast<std::size_t>(n), 0);
     delivered_count_ = 0;
 
+    // Whole-round cap (both phases share it); disabled when 0. A client
+    // that scores and then dies can otherwise pin the round to the full
+    // per-phase deadline twice over.
+    const auto round_deadline_at =
+        cfg_.round_total_deadline.count() > 0
+            ? Clock::now() + cfg_.round_total_deadline
+            : Clock::time_point::max();
+
     // --- Broadcast the round's model to everyone attached.
     for (int id = 0; id < n; ++id)
       if (conns_[static_cast<std::size_t>(id)]) send_model(rc, id);
@@ -617,7 +647,9 @@ fl::TrainLog ServerSession::run() {
       int live = 0;
       for (int id = 0; id < n; ++id)
         if (conns_[static_cast<std::size_t>(id)]) ++live;
-      if (scored >= quorum && (scored >= live || Clock::now() >= deadline))
+      if (scored >= quorum &&
+          (scored >= live || Clock::now() >= deadline ||
+           Clock::now() >= round_deadline_at))
         break;
       // The nudge interval deliberately does NOT reset on progress: a
       // steady trickle of PINGs would otherwise starve the retransmission
@@ -658,7 +690,7 @@ fl::TrainLog ServerSession::run() {
     deadline = Clock::now() + cfg_.round_deadline;
     next_nudge = Clock::now() + cfg_.retransmit_nudge;
     while (delivered_count_ < rc.awaiting.size() &&
-           Clock::now() < deadline) {
+           Clock::now() < deadline && Clock::now() < round_deadline_at) {
       if (stop_.load(std::memory_order_acquire)) break;
       const bool progress = service(rc);
       if (nudge_on && Clock::now() >= next_nudge) {
@@ -737,6 +769,9 @@ fl::TrainLog ServerSession::run() {
     for (auto& t : pending_) t->close();
     pending_.clear();
   }
+  // Standbys stand down on a completed run — SIGKILL never reaches this,
+  // which is exactly when promotion is wanted.
+  if (cfg_.publisher != nullptr) cfg_.publisher->shutdown_standbys();
 
   if (traced) tracer->flush();
   core_.set_tracer(nullptr);
@@ -747,14 +782,38 @@ fl::TrainLog ServerSession::run() {
 
 // --- ClientSession. ------------------------------------------------------
 
+namespace {
+
+/// Rotation budget per endpoint when backoff retries forever
+/// (max_attempts == 0): a multi-endpoint client must still fail over to
+/// its standby instead of pinning a dead primary indefinitely.
+constexpr int kUnboundedRotateAttempts = 4;
+
+}  // namespace
+
 ClientSession::ClientSession(ClientSessionConfig cfg, DialFn dial,
                              BootstrapFn bootstrap)
     : cfg_(std::move(cfg)),
+      endpoint_count_(1),
+      bootstrap_(std::move(bootstrap)) {
+  ADAFL_CHECK_MSG(cfg_.client_id >= 0, "ClientSession: negative client id");
+  ADAFL_CHECK_MSG(dial != nullptr && bootstrap_ != nullptr,
+                  "ClientSession: null callback");
+  dial_ = [d = std::move(dial)](std::size_t) { return d(); };
+}
+
+ClientSession::ClientSession(ClientSessionConfig cfg, IndexedDialFn dial,
+                             std::size_t endpoint_count,
+                             BootstrapFn bootstrap)
+    : cfg_(std::move(cfg)),
       dial_(std::move(dial)),
+      endpoint_count_(endpoint_count),
       bootstrap_(std::move(bootstrap)) {
   ADAFL_CHECK_MSG(cfg_.client_id >= 0, "ClientSession: negative client id");
   ADAFL_CHECK_MSG(dial_ != nullptr && bootstrap_ != nullptr,
                   "ClientSession: null callback");
+  ADAFL_CHECK_MSG(endpoint_count_ >= 1,
+                  "ClientSession: empty endpoint list");
 }
 
 ClientRunStats ClientSession::run() {
@@ -781,6 +840,17 @@ ClientRunStats ClientSession::run() {
   auto last_rx = Clock::now();
   auto last_ping = last_rx;
 
+  // Endpoint rotation + the redial budget. `ep_attempts` counts failed
+  // dials against the current endpoint and deliberately persists across
+  // disconnect episodes — a connection that comes up and dies again without
+  // the client finishing a round keeps draining the same budget, so a
+  // flapping endpoint is eventually abandoned. Completing a round (UPDATE
+  // sent or SKIP processed) resets it: periodic blips over a long healthy
+  // run can never cumulatively exhaust the schedule.
+  std::size_t endpoint = 0;
+  int ep_attempts = 0;
+  std::size_t dead_endpoints = 0;  ///< consecutive endpoints exhausted
+
   const auto run_t0 = Clock::now();
   metrics::Tracer* const tracer = cfg_.tracer;
   const bool traced = tracer != nullptr && tracer->enabled();
@@ -798,16 +868,32 @@ ClientRunStats ClientSession::run() {
   for (;;) {
     if (!conn || conn->closed()) {
       conn.reset();
-      for (int attempt = 0;; ++attempt) {
-        if (cfg_.backoff.max_attempts > 0 &&
-            attempt >= cfg_.backoff.max_attempts) {
-          if (traced) tracer->flush();
-          return st;  // gave up; completed stays false
+      const int budget = cfg_.backoff.max_attempts > 0
+                             ? cfg_.backoff.max_attempts
+                             : kUnboundedRotateAttempts;
+      for (;;) {
+        if (ep_attempts >= budget) {
+          // Endpoint exhausted: rotate to the next one with a fresh (fast)
+          // schedule. Give up only when a bounded budget has burned through
+          // the whole list with no endpoint answering in between.
+          if (cfg_.backoff.max_attempts > 0 &&
+              ++dead_endpoints >= endpoint_count_) {
+            if (traced) tracer->flush();
+            return st;  // gave up; completed stays false
+          }
+          endpoint = (endpoint + 1) % endpoint_count_;
+          ep_attempts = 0;
+          if (endpoint_count_ > 1) ++st.endpoint_rotations;
+          continue;
         }
-        if (attempt > 0 || ever_connected)
-          std::this_thread::sleep_for(cfg_.backoff.delay(attempt));
-        conn = dial_();
-        if (conn) break;
+        if (ep_attempts > 0 || ever_connected)
+          std::this_thread::sleep_for(cfg_.backoff.delay(ep_attempts));
+        conn = dial_(endpoint);
+        if (conn) {
+          dead_endpoints = 0;
+          break;
+        }
+        ++ep_attempts;
       }
       if (ever_connected) {
         ++st.reconnects;
@@ -909,6 +995,8 @@ ClientRunStats ClientSession::run() {
           // compressing twice would corrupt the DGC residual.
           send(make_frame(MsgType::kUpdate, f->round, cid, cached_update));
           ++st.updates_sent;
+          ep_attempts = 0;  // round completed: refill the redial budget
+          dead_endpoints = 0;
           break;
         }
         case MsgType::kSkip: {
@@ -918,6 +1006,8 @@ ClientRunStats ClientSession::run() {
           skipped_round = round;
           if (params.accumulate_unselected) comp->accumulate(res.delta);
           ++st.skips;
+          ep_attempts = 0;  // round completed: refill the redial budget
+          dead_endpoints = 0;
           break;
         }
         case MsgType::kPing:

@@ -40,6 +40,10 @@
 #include "net/transport/tcp.h"
 #include "net/transport/transport.h"
 
+namespace adafl::net::replication {
+class CheckpointPublisher;
+}
+
 namespace adafl::net::transport {
 
 /// Protocol version carried in HELLO; bumped on incompatible changes.
@@ -110,6 +114,14 @@ struct ServerSessionConfig {
   /// Per-phase deadline: after it expires the score phase proceeds with a
   /// quorum and the update phase aggregates what has arrived.
   std::chrono::milliseconds round_deadline{60000};
+  /// Whole-round cap (score + update phases combined); 0 disables. In the
+  /// score phase it takes effect only once a quorum has scored (cutting
+  /// below quorum would change selection semantics, not just timing). Guards
+  /// against a quorum-selected client dying between the score and update
+  /// phases pinning a round to the full per-phase deadline twice over: on
+  /// expiry the server aggregates what arrived, emits update_lost for the
+  /// rest, and moves on.
+  std::chrono::milliseconds round_total_deadline{0};
   /// Poll sleep while waiting for network activity.
   std::chrono::milliseconds idle_poll{20};
   /// Anti-wedge retransmission: while a phase is stalled (no frame
@@ -142,6 +154,13 @@ struct ServerSessionConfig {
   /// `t` fields carry wall-clock seconds since run() started. Not owned;
   /// must outlive run().
   metrics::Tracer* tracer = nullptr;
+
+  /// Optional hot-standby replication (net/replication/). When set, the
+  /// session routes kStandbyHello handshakes into it, ships every
+  /// checkpoint image it writes via publish(), keeps standby leases alive
+  /// from the poll loop, and stands standbys down on orderly completion.
+  /// Not owned; must outlive run().
+  replication::CheckpointPublisher* publisher = nullptr;
 };
 
 /// Runs the AdaFL server over any Transport mix (TCP and/or loopback).
@@ -261,6 +280,9 @@ struct ClientRunStats {
   int rounds_trained = 0;
   int updates_sent = 0;
   int skips = 0;
+  /// Times the session rotated to the next endpoint in its dial list
+  /// (failover to a standby shows up here).
+  int endpoint_rotations = 0;
   /// True if the server said SHUTDOWN; false if the session gave up
   /// redialing (backoff exhausted).
   bool completed = false;
@@ -274,6 +296,12 @@ class ClientSession {
  public:
   /// Returns a connected transport or nullptr (attempt failed).
   using DialFn = std::function<std::unique_ptr<Transport>()>;
+  /// Multi-endpoint dial: connects to endpoint `i` of a prioritized list
+  /// (`--server=host:port,host:port`). The session dials endpoint 0 until
+  /// its backoff budget is exhausted, then rotates to the next — the
+  /// client-side half of hot-standby failover.
+  using IndexedDialFn =
+      std::function<std::unique_ptr<Transport>(std::size_t endpoint)>;
   /// Builds this client's FlClient from the server-sent config. Must derive
   /// the client seed with fl::client_seed_at(run_seed ^
   /// core::kAdaFlClientSeedSalt, id) — via fl::make_client — so the deployed
@@ -282,14 +310,21 @@ class ClientSession {
       const std::map<std::string, std::string>& config, int client_id,
       const core::AdaFlParams& params)>;
 
+  /// Single-endpoint session (a one-entry dial list).
   ClientSession(ClientSessionConfig cfg, DialFn dial, BootstrapFn bootstrap);
+
+  /// Prioritized multi-endpoint session. `endpoint_count` must be >= 1;
+  /// `dial` is only called with indices in [0, endpoint_count).
+  ClientSession(ClientSessionConfig cfg, IndexedDialFn dial,
+                std::size_t endpoint_count, BootstrapFn bootstrap);
 
   /// Runs until SHUTDOWN or until reconnecting is abandoned.
   ClientRunStats run();
 
  private:
   ClientSessionConfig cfg_;
-  DialFn dial_;
+  IndexedDialFn dial_;
+  std::size_t endpoint_count_ = 1;
   BootstrapFn bootstrap_;
 };
 

@@ -581,14 +581,20 @@ struct UdpMux {
     std::deque<std::vector<std::uint8_t>> q;
     bool dead = false;
     std::string desc;
+    std::string key;  ///< raw-sockaddr map key (for tombstone eviction)
     sockaddr_storage addr{};
     socklen_t alen = 0;
   };
 
-  std::mutex mu;  ///< guards peers / pending / every Peer
+  /// Dead peers linger in the map this many retirements as tombstones
+  /// before their entries are reclaimed.
+  static constexpr std::size_t kTombstoneGrace = 64;
+
+  std::mutex mu;  ///< guards peers / pending / tombstones / every Peer
   std::condition_variable cv;
   std::map<std::string, std::shared_ptr<Peer>> peers;
   std::deque<std::shared_ptr<Peer>> pending;
+  std::deque<std::string> tombstones;  ///< retirement order (FIFO window)
   std::mutex pump_mu;  ///< at most one thread drains the socket at a time
 
   ~UdpMux() {
@@ -644,15 +650,36 @@ struct UdpMux {
       p->addr = ss;
       p->alen = sl;
       p->desc = describe(ss);
+      p->key = key;
       peers.emplace(key, p);
       pending.push_back(p);
     } else {
       p = it->second;
     }
     // Dead peers stay in the map as tombstones so stragglers from a closed
-    // connection don't masquerade as a new client.
+    // connection don't masquerade as a new client — but only for a bounded
+    // grace window (see retire()), so churn can't grow the map forever.
     if (!p->dead && p->q.size() < kMaxQueuedDatagrams)
       p->q.emplace_back(d.begin(), d.end());
+    cv.notify_all();
+  }
+
+  /// Marks a peer dead and schedules its address-map entry for eviction.
+  /// The entry survives as a tombstone while the FIFO window slides over
+  /// it; once kTombstoneGrace newer retirements have happened, the entry
+  /// is reclaimed and the address may join as a fresh peer again.
+  void retire(const std::shared_ptr<Peer>& p) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (!p->dead) {
+      p->dead = true;
+      p->q.clear();
+      tombstones.push_back(p->key);
+      while (tombstones.size() > kTombstoneGrace) {
+        auto it = peers.find(tombstones.front());
+        if (it != peers.end() && it->second->dead) peers.erase(it);
+        tombstones.pop_front();
+      }
+    }
     cv.notify_all();
   }
 
@@ -739,12 +766,7 @@ class MuxPeerLink final : public DatagramLink {
     return peer_->dead || mux_->closed.load();
   }
 
-  void close() override {
-    std::lock_guard<std::mutex> lk(mux_->mu);
-    peer_->dead = true;
-    peer_->q.clear();
-    mux_->cv.notify_all();
-  }
+  void close() override { mux_->retire(peer_); }
 
   std::string peer() const override { return peer_->desc; }
 
@@ -797,6 +819,11 @@ std::uint16_t UdpListener::port() const { return mux_->port; }
 void UdpListener::close() { mux_->shut(); }
 
 bool UdpListener::closed() const { return mux_->closed.load(); }
+
+std::size_t UdpListener::peer_count() const {
+  std::lock_guard<std::mutex> lk(mux_->mu);
+  return mux_->peers.size();
+}
 
 std::unique_ptr<Transport> UdpListener::accept(
     std::chrono::milliseconds timeout) {

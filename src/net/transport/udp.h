@@ -301,6 +301,11 @@ class UdpListener {
   void close();
   bool closed() const;
 
+  /// Address-map entries currently held (live peers + dead entries inside
+  /// the tombstone grace window). Dropped peers are evicted once the
+  /// window slides past them, so this stays bounded under churn.
+  std::size_t peer_count() const;
+
  private:
   std::shared_ptr<detail::UdpMux> mux_;
   UdpFecConfig cfg_;

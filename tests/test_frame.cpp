@@ -72,8 +72,10 @@ TEST(Frame, EmptyPayloadRoundTrip) {
 
 TEST(Frame, ValidMsgTypeRange) {
   EXPECT_FALSE(is_valid_msg_type(0));
-  for (std::uint8_t t = 1; t <= 10; ++t) EXPECT_TRUE(is_valid_msg_type(t));
-  EXPECT_FALSE(is_valid_msg_type(11));
+  // 1..10 are the session types; 11/12 are the replication pair
+  // (STANDBY_HELLO, REPLICATE).
+  for (std::uint8_t t = 1; t <= 12; ++t) EXPECT_TRUE(is_valid_msg_type(t));
+  EXPECT_FALSE(is_valid_msg_type(13));
   EXPECT_FALSE(is_valid_msg_type(0xFF));
 }
 
@@ -131,7 +133,7 @@ TEST(FrameParser, RejectsBadMagic) {
 }
 
 TEST(FrameParser, RejectsUnknownMessageType) {
-  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{11},
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{13},
                            std::uint8_t{0xEE}}) {
     auto bytes = encode_frame(sample_frame());
     bytes[4] = bad;  // type byte follows the 4-byte magic

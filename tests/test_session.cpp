@@ -9,6 +9,7 @@
 
 #include "compress/bytes.h"
 #include "compress/dgc.h"
+#include "metrics/registry.h"
 #include "net/transport/loopback.h"
 #include "net/transport/session.h"
 #include "tensor/check.h"
@@ -478,6 +479,144 @@ TEST(Session, ClientRedialsOnMalformedServerPayload) {
 
   EXPECT_TRUE(st.completed);
   EXPECT_EQ(st.reconnects, 1);
+}
+
+TEST(Session, BackoffBudgetRefillsAfterEachCompletedRound) {
+  // ISSUE 8 satellite 1: periodic connection blips must not cumulatively
+  // exhaust the redial budget. Client 1's link dies once per round for
+  // three rounds, and every redial episode burns one failed dial; with
+  // max_attempts=2 the run only completes if the budget refills after each
+  // completed round.
+  const cli::TaskSpec spec = testutil::small_task_spec();
+  const fl::ClientTrainConfig client = testutil::small_client_config();
+  const core::AdaFlParams params = testutil::small_params();
+  const int rounds = 4;
+  const testutil::SimResult sim =
+      testutil::run_simulator(spec, client, params, rounds);
+
+  auto task = cli::build_task(spec);
+  ServerSessionConfig scfg =
+      testutil::make_server_config(spec, client, params, rounds);
+  scfg.retransmit_nudge = milliseconds(150);
+  ServerSession server(scfg, task.factory, &task.test);
+
+  const int n = spec.clients;
+  std::vector<std::optional<cli::TaskBundle>> bundles(
+      static_cast<std::size_t>(n));
+  std::vector<ClientRunStats> stats(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int id = 0; id < n; ++id) {
+    threads.emplace_back([&, id] {
+      ClientSessionConfig ccfg = testutil::test_client_config(id);
+      ccfg.backoff.initial = milliseconds(1);
+      ccfg.backoff.max = milliseconds(10);
+      if (id == 1) ccfg.backoff.max_attempts = 2;
+      int dials = 0;
+      int conns = 0;
+      ClientSession cs(
+          ccfg,
+          [&, id]() -> std::unique_ptr<Transport> {
+            if (id == 1 && dials++ % 2 == 0) return nullptr;  // 1 fail/episode
+            auto pair = make_loopback_pair();
+            server.add_transport(std::move(pair.first));
+            std::unique_ptr<Transport> t = std::move(pair.second);
+            if (id == 1 && ++conns <= 3) {
+              // Connection c dies on receiving round c+1's MODEL — i.e.
+              // right after round c completed and refilled the budget.
+              FaultPlan plan;
+              plan.sever_on_recv(MsgType::kModel, conns + 1);
+              t = std::make_unique<FaultyTransport>(std::move(t),
+                                                    std::move(plan));
+            }
+            return t;
+          },
+          testutil::make_bootstrap(&bundles[static_cast<std::size_t>(id)]));
+      stats[static_cast<std::size_t>(id)] = cs.run();
+    });
+  }
+  const fl::TrainLog log = server.run();
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(log.interrupted);
+  for (const auto& st : stats) EXPECT_TRUE(st.completed);
+  EXPECT_EQ(stats[1].reconnects, 3);
+  // Every sever was absorbed by rejoin + catchup dedup: still bitwise.
+  EXPECT_EQ(server.global(), sim.global);
+}
+
+TEST(Session, RoundTotalDeadlineCapsAStalledUpdatePhase) {
+  // ISSUE 8 satellite 2: a quorum-selected client that dies between the
+  // score and update phases must not hang the round until the (long)
+  // per-phase deadline — the whole-round cap aggregates what arrived,
+  // emits update_lost, and moves on.
+  cli::TaskSpec spec = testutil::small_task_spec();
+  spec.clients = 2;
+  const fl::ClientTrainConfig client = testutil::small_client_config();
+  core::AdaFlParams params = testutil::small_params();
+  const int rounds = 3;
+
+  auto task = cli::build_task(spec);
+  ServerSessionConfig scfg =
+      testutil::make_server_config(spec, client, params, rounds);
+  scfg.quorum = 1;
+  scfg.round_deadline = milliseconds(20000);     // per-phase: generous
+  scfg.round_total_deadline = milliseconds(500);  // whole round: tight
+  scfg.retransmit_nudge = milliseconds(150);
+  metrics::Tracer tracer;
+  metrics::Registry registry;
+  metrics::RunManifest manifest;
+  manifest.producer = "test";
+  tracer.open(::testing::TempDir() + "round_deadline.trace.jsonl", manifest);
+  tracer.attach_registry(&registry);
+  scfg.tracer = &tracer;
+  ServerSession server(scfg, task.factory, &task.test);
+
+  const int n = spec.clients;
+  std::vector<std::optional<cli::TaskBundle>> bundles(
+      static_cast<std::size_t>(n));
+  std::vector<ClientRunStats> stats(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int id = 0; id < n; ++id) {
+    threads.emplace_back([&, id] {
+      ClientSessionConfig ccfg = testutil::test_client_config(id);
+      ccfg.backoff.initial = milliseconds(1);
+      ccfg.backoff.max = milliseconds(10);
+      ccfg.backoff.max_attempts = 2;
+      bool connected = false;
+      ClientSession cs(
+          ccfg,
+          [&, id]() -> std::unique_ptr<Transport> {
+            if (id == 1 && connected) return nullptr;  // dead for good
+            connected = true;
+            auto pair = make_loopback_pair();
+            server.add_transport(std::move(pair.first));
+            std::unique_ptr<Transport> t = std::move(pair.second);
+            if (id == 1) {
+              // Dies the moment it is selected: scored, then silent.
+              FaultPlan plan;
+              plan.sever_on_recv(MsgType::kSelect);
+              t = std::make_unique<FaultyTransport>(std::move(t),
+                                                    std::move(plan));
+            }
+            return t;
+          },
+          testutil::make_bootstrap(&bundles[static_cast<std::size_t>(id)]));
+      stats[static_cast<std::size_t>(id)] = cs.run();
+    });
+  }
+  const auto t0 = steady_clock::now();
+  const fl::TrainLog log = server.run();
+  const auto elapsed = steady_clock::now() - t0;
+  for (auto& t : threads) t.join();
+  tracer.close();
+
+  // Well under the 20 s per-phase deadline the stall would otherwise ride.
+  EXPECT_LT(elapsed, milliseconds(10000));
+  EXPECT_FALSE(log.interrupted);
+  EXPECT_EQ(log.records.size(), static_cast<std::size_t>(rounds));
+  EXPECT_GE(registry.counter("trace.events.update_lost").value(), 1);
+  EXPECT_TRUE(stats[0].completed);
+  EXPECT_FALSE(stats[1].completed);
 }
 
 }  // namespace

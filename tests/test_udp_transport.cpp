@@ -535,5 +535,32 @@ TEST(UdpRealSocket, ConnectToUnresolvableHostFails) {
   EXPECT_EQ(UdpSocketLink::connect("definitely.invalid.adafl", 1), nullptr);
 }
 
+TEST(UdpRealSocket, MuxEvictsDroppedPeersUnderChurn) {
+  // ISSUE 8 satellite 3: closing a peer's transport retires its address-map
+  // entry after a bounded tombstone grace window, so a long-lived listener
+  // facing connection churn does not grow its map without bound.
+  FecStats stats;
+  UdpFecConfig cfg = small_cfg(&stats);
+  UdpListener listener(0, cfg);
+  const int kChurn = 100;  // well past the grace window
+  // Client sockets stay open for the whole churn so the kernel cannot hand
+  // a later dial an ephemeral port that is still inside the tombstone
+  // window (a tombstone suppresses traffic from its address by design).
+  std::vector<std::unique_ptr<UdpTransport>> clients;
+  for (int i = 0; i < kChurn; ++i) {
+    auto link = UdpSocketLink::connect("127.0.0.1", listener.port());
+    ASSERT_NE(link, nullptr);
+    clients.push_back(std::make_unique<UdpTransport>(std::move(link), cfg));
+    ASSERT_TRUE(clients.back()->send(test_frame(9000 + i, 1)));
+    auto t = listener.accept(std::chrono::milliseconds(3000));
+    ASSERT_NE(t, nullptr);
+    EXPECT_TRUE(t->recv(std::chrono::milliseconds(3000)).has_value());
+    t->close();  // drops the peer: entry becomes a bounded tombstone
+  }
+  // Live entries: zero. Tombstoned entries: at most the grace window.
+  EXPECT_LE(listener.peer_count(), 70u);
+  listener.close();
+}
+
 }  // namespace
 }  // namespace adafl
