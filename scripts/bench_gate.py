@@ -19,6 +19,12 @@ versa). Every row must carry an explicit "backend" field — the committed
 baseline was re-recorded with backends long ago, so a row without one is
 a malformed input (exit 2), not a legacy scalar measurement.
 
+The gate also understands bench_results/BENCH_server_scaling.json
+(scripts/server_scaling_soak.sh with EMIT_JSON): those rows carry
+"clients" and "shards" instead of "size" and "threads", mapped into the
+same key slots, with seconds = mean round latency of the event-loop
+server at that fleet size.
+
 Beyond the regression check, the gate asserts the SIMD backend is
 actually fast: if the new run contains avx2 rows, avx2 matmul_nt at
 size 512 / 1 thread must be at least 3x faster than scalar in the same
@@ -64,7 +70,14 @@ def load(path):
             print(f"bench_gate: {path}: row {r.get('bench', '?')!r} has no "
                   "'backend' field (malformed bench output)", file=sys.stderr)
             sys.exit(2)
-        key = (r["bench"], r["size"], r["threads"], r["backend"])
+        # BENCH_server_scaling.json rows are keyed by fleet shape instead of
+        # problem size: clients maps to the size slot and event-loop shards
+        # to the threads slot, so the same calibration/tolerance machinery
+        # gates server round latency per (clients, shards) point.
+        if "size" not in r and "clients" in r:
+            key = (r["bench"], r["clients"], r["shards"], r["backend"])
+        else:
+            key = (r["bench"], r["size"], r["threads"], r["backend"])
         rows[key] = float(r["seconds"])
     if not rows:
         print(f"bench_gate: {path} has no results", file=sys.stderr)

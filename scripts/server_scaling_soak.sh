@@ -1,0 +1,203 @@
+#!/usr/bin/env bash
+# Server scaling soak: one flserver (epoll event loop) vs an flswarm fleet
+# of N in-process TCP clients on 127.0.0.1, checked against flsim.
+#
+# For every client count the deployed run must
+#   * complete every round (the swarm exits 0 with all clients SHUTDOWN),
+#   * report the same final accuracy AND bitwise-identical global weights
+#     (weights-crc32) as the simulator with the same seed and task,
+#   * be trace-equivalent to the simulator (scripts/trace_diff.py), and
+#   * record round latency + frame-dispatch p99 in the metrics registry.
+#
+# Usage: scripts/server_scaling_soak.sh [build_dir] [clients ...]
+#   default: build 1000     (the CI soak: one 1,000-client round trip)
+#
+# Environment:
+#   EMIT_JSON=path   also write a bench_results/BENCH_server_scaling.json
+#                    style document with one row per client count
+#                    (seconds = mean round latency; gated by bench_gate.py)
+#   SHARDS=n         event-loop shards for flserver (default 4)
+#   DRIVERS=n        flswarm driver threads (default 4)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+shift $(( $# > 0 ? 1 : 0 ))
+COUNTS=("${@:-1000}")
+SHARDS="${SHARDS:-4}"
+DRIVERS="${DRIVERS:-4}"
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+CLI_DIR="$BUILD_DIR/src/cli"
+
+for bin in flsim flserver flswarm; do
+  if [[ ! -x "$CLI_DIR/$bin" ]]; then
+    echo "error: $CLI_DIR/$bin not found (build first)" >&2
+    exit 2
+  fi
+done
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [[ -n "$server_pid" ]] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+extract() { sed -n "s/^$2: //p" "$1" | head -n1; }
+
+# The task scales its dataset with the fleet so every client owns at least
+# four examples (the noniid split shards the data 3x finer than the client
+# count); training is deliberately tiny (the soak measures the server's
+# transport + aggregation, not SGD).
+task_flags() {
+  local n="$1"
+  local train=$(( n * 4 > 800 ? n * 4 : 800 ))
+  echo "--dataset=mnist --model=mlp --dist=noniid --clients=$n --rounds=2 \
+--train-samples=$train --test-samples=200 --batch=8 --steps=1 --seed=7"
+}
+
+rows_json="$workdir/rows.jsonl"
+: > "$rows_json"
+fail=0
+
+for n in "${COUNTS[@]}"; do
+  dir="$workdir/n$n"
+  mkdir -p "$dir"
+  # shellcheck disable=SC2207
+  flags=($(task_flags "$n"))
+
+  echo "== clients=$n: simulator reference =="
+  "$CLI_DIR/flsim" --algo=adafl-sync "${flags[@]}" --chart=0 \
+      --trace="$dir/sim_trace.jsonl" > "$dir/sim.log"
+  sim_acc="$(extract "$dir/sim.log" final-accuracy)"
+  sim_crc="$(extract "$dir/sim.log" weights-crc32)"
+  echo "   sim: accuracy=$sim_acc weights-crc32=$sim_crc"
+
+  echo "== clients=$n: flserver (shards=$SHARDS) + flswarm =="
+  # --nudge-ms=0: the retransmit nudge exists for lossy UDP; TCP never
+  # loses frames and rejoin catch-up covers reconnects, so at fleet scale
+  # nudges are pure duplicate traffic (every duplicate SELECT makes the
+  # client re-send its cached update — a 10k-client resend storm).
+  # --deadline-ms=600000: a 10k-client round on few cores legitimately
+  # takes minutes; the default 60s per-phase deadline must not truncate
+  # the update phase (partial aggregation would diverge from the sim).
+  "$CLI_DIR/flserver" --port=0 --transport=tcp --shards="$SHARDS" \
+      --nudge-ms=0 --deadline-ms=600000 \
+      "${flags[@]}" --trace="$dir/srv_trace.jsonl" \
+      --metrics="$dir/metrics.json" > "$dir/server.log" 2>&1 &
+  server_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(extract "$dir/server.log" listening-on)"
+    [[ -n "$port" ]] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+      echo "FAIL(n=$n): flserver exited early" >&2
+      cat "$dir/server.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [[ -n "$port" ]] || { echo "FAIL(n=$n): no port" >&2; exit 1; }
+
+  swarm_t0=$SECONDS
+  if ! "$CLI_DIR/flswarm" --server="127.0.0.1:$port" --clients="$n" \
+      --drivers="$DRIVERS" --timeout-s=900 > "$dir/swarm.log" 2>&1; then
+    echo "FAIL(n=$n): flswarm did not complete" >&2
+    tail -n 20 "$dir/swarm.log" >&2
+    tail -n 20 "$dir/server.log" >&2
+    exit 1
+  fi
+  wait "$server_pid"
+  server_pid=""
+  swarm_wall=$(( SECONDS - swarm_t0 ))
+  grep "^swarm-done:" "$dir/swarm.log"
+  grep "^event-loop:" "$dir/server.log" || true
+
+  dep_acc="$(extract "$dir/server.log" final-accuracy)"
+  dep_crc="$(extract "$dir/server.log" weights-crc32)"
+  echo "   deployed: accuracy=$dep_acc weights-crc32=$dep_crc wall=${swarm_wall}s"
+  if [[ -z "$dep_crc" || "$dep_crc" != "$sim_crc" || "$dep_acc" != "$sim_acc" ]]; then
+    echo "FAIL(n=$n): deployed run diverged from the simulator" >&2
+    fail=1
+    continue
+  fi
+  if ! python3 "$SCRIPT_DIR/trace_diff.py" "$dir/sim_trace.jsonl" \
+      "$dir/srv_trace.jsonl"; then
+    echo "FAIL(n=$n): traces differ" >&2
+    fail=1
+    continue
+  fi
+
+  # Pull round latency + dispatch p99 out of the metrics registry dump and
+  # append one bench row (clients -> size, shards -> threads for the gate).
+  python3 - "$dir/metrics.json" "$n" "$SHARDS" >> "$rows_json" <<'PYEOF'
+import json, math, sys
+
+doc = json.load(open(sys.argv[1]))
+n, shards = int(sys.argv[2]), int(sys.argv[3])
+hists = doc.get("histograms", doc)
+
+def get_hist(name):
+    h = hists.get(name)
+    if h is None:
+        sys.exit(f"metrics file has no histogram {name!r}")
+    return h
+
+def percentile(h, p):
+    """Mirror of metrics::Histogram::percentile (log2 buckets)."""
+    count = h["count"]
+    if count == 0:
+        return 0.0
+    if p <= 0:
+        return h["min"]
+    if p >= 1:
+        return h["max"]
+    rank = p * count
+    seen = 0
+    buckets = h["buckets"]
+    for b, c in enumerate(buckets):
+        if c == 0:
+            continue
+        if seen + c >= rank:
+            lo = 0.0 if b == 0 else math.ldexp(1.0, b - 1)
+            hi = math.ldexp(1.0, b)
+            est = lo + (hi - lo) * (rank - seen) / c
+            return min(max(est, h["min"]), h["max"])
+        seen += c
+    return h["max"]
+
+rl = get_hist("server.round_latency_ms")
+fd = get_hist("server.frame_dispatch_ms")
+row = {
+    "bench": "server_round",
+    "clients": n,
+    "shards": shards,
+    "backend": "tcp-loop",
+    "seconds": rl["sum"] / rl["count"] / 1000.0,
+    "round_latency_ms_max": rl["max"],
+    "frame_dispatch_p99_ms": percentile(fd, 0.99),
+    "frames_dispatched": fd["count"],
+}
+print(json.dumps(row))
+PYEOF
+  row="$(tail -n1 "$rows_json")"
+  echo "   metrics: $row"
+  echo "PASS(n=$n): bitwise identical to the simulator, traces equivalent"
+  echo
+done
+
+[[ "$fail" -eq 0 ]] || exit 1
+
+if [[ -n "${EMIT_JSON:-}" ]]; then
+  python3 - "$rows_json" "$EMIT_JSON" <<'PYEOF'
+import json, sys
+rows = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+doc = {"bench": "server_scaling", "results": rows}
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {sys.argv[2]} ({len(rows)} rows)")
+PYEOF
+fi
+
+echo "PASS: server scaling soak (${COUNTS[*]} clients)"

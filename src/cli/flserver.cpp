@@ -85,6 +85,17 @@ int main(int argc, char** argv) {
       .option("test-samples", "400", "synthetic test examples")
       .option("seed", "1", "experiment seed")
       .option("threads", "0", "worker threads (0 = auto)")
+      .option("shards", "0",
+              "event-loop frame-queue shards / parallel decode lanes "
+              "(0 = worker thread count)")
+      .option("queue-depth", "1024",
+              "frames buffered per shard before the loop pauses reads on "
+              "that shard's connections (backpressure instead of memory "
+              "growth)")
+      .option("max-clients", "0",
+              "max concurrent connections; at the cap accepting pauses "
+              "(clients queue in the kernel backlog) until a connection "
+              "closes (0 = unlimited)")
       .option("kernel-backend", "",
               "auto|scalar|avx2 — SIMD kernel backend (empty = "
               "ADAFL_KERNEL_BACKEND env or the scalar reference)")
@@ -273,6 +284,11 @@ int main(int argc, char** argv) {
         tracer.record(metrics::ev_promote(static_cast<int>(promote_round),
                                           /*t=*/0.0));
     }
+    if (!metrics_path.empty()) {
+      // Round latency + frame-dispatch histograms land here; the p99 of
+      // server.frame_dispatch_ms is the scaling health metric.
+      cfg.registry = &registry;
+    }
 
     // Every server accepts STANDBY_HELLO peers and streams them each
     // checkpoint it writes (no-op until a standby actually attaches).
@@ -325,31 +341,36 @@ int main(int argc, char** argv) {
               << " transport=" << transport << std::endl;
 
     net::transport::ServerSession session(cfg, task.factory, &task.test);
-    std::atomic<bool> done{false};
-    std::thread acceptor([&] {
-      while (!done.load()) {
-        auto t = use_udp
-                     ? udp_listener->accept(std::chrono::milliseconds(200))
-                     : std::unique_ptr<net::transport::Transport>(
-                           tcp_listener->accept(std::chrono::milliseconds(200)));
-        if (t) session.add_transport(std::move(t));
-      }
-    });
-    // Stops and joins the acceptor on every exit path: if run() throws, the
-    // joinable thread would otherwise be destroyed during unwinding and
-    // std::terminate would mask the real error.
-    struct AcceptorGuard {
-      std::atomic<bool>& done;
-      net::transport::TcpListener* tcp;
-      net::transport::UdpListener* udp;
-      std::thread& thread;
-      ~AcceptorGuard() {
-        done.store(true);
-        if (tcp != nullptr) tcp->close();
-        if (udp != nullptr) udp->close();
-        if (thread.joinable()) thread.join();
-      }
-    } guard{done, tcp_listener.get(), udp_listener.get(), acceptor};
+
+    // --- Event-loop transport: ONE loop thread owns every socket. Accept
+    // is part of the loop (EMFILE/ENFILE pauses accepting with exponential
+    // backoff instead of killing the server; at --max-clients the kernel
+    // backlog absorbs the queue), reads are budgeted per connection, and
+    // completed frames land in bounded per-shard queues the session drains
+    // — backpressure, not memory growth, when a shard falls behind. The
+    // old dedicated acceptor thread is gone on both transports. The loop is
+    // destroyed before the session it feeds (declaration order below).
+    net::transport::EventLoopConfig lcfg;
+    const int shards_opt = args.get_int_at_least("shards", 0);
+    lcfg.shards = shards_opt > 0 ? shards_opt : std::max(1, core::num_threads());
+    lcfg.queue_depth =
+        static_cast<std::size_t>(args.get_int_at_least("queue-depth", 1));
+    lcfg.max_clients = args.get_int_at_least("max-clients", 0);
+    net::transport::EventLoop loop(lcfg);
+    if (use_udp) {
+      // The mux fd is watched, not adopted: when it turns readable the loop
+      // thread drains it (datagrams route to per-peer queues with no global
+      // lock) and hands fresh peers to the session as classic Transports.
+      net::transport::UdpListener* ul = udp_listener.get();
+      net::transport::ServerSession* sp = &session;
+      loop.watch_fd(ul->fd(), [ul, sp] {
+        while (auto t = ul->accept(std::chrono::milliseconds(0)))
+          sp->add_transport(std::move(t));
+      });
+    } else {
+      loop.adopt_listener(tcp_listener->fd());
+    }
+    session.attach_event_loop(&loop);  // run() starts and stops the loop
 
     g_session.store(&session);
     std::signal(SIGINT, handle_stop_signal);
@@ -360,10 +381,13 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
     g_session.store(nullptr);
-    done.store(true);
     if (tcp_listener) tcp_listener->close();
     if (udp_listener) udp_listener->close();
-    acceptor.join();
+
+    std::cout << "event-loop: shards=" << loop.shards()
+              << " peak-queue-depth=" << loop.peak_queue_depth()
+              << " accept-pauses=" << loop.accept_pauses()
+              << " read-pauses=" << loop.read_pauses() << std::endl;
 
     if (use_udp) {
       // Fold the transport's datagram counters into the run ledger so the

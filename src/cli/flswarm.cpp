@@ -1,0 +1,359 @@
+// flswarm — an in-process fleet of deployed AdaFL clients (load generator).
+//
+// Dials one flserver with N real TCP connections from a single process and
+// drives all N clients through the round protocol — the scaling half of
+// scripts/server_scaling_soak.sh and bench_results/BENCH_server_scaling.json.
+// Spawning 10,000 flclient processes would exhaust the box long before the
+// server breaks a sweat; flswarm multiplexes 10,000 protocol state machines
+// over a handful of driver threads instead, while the server still sees
+// 10,000 distinct sockets, handshakes, and per-client round interleavings.
+//
+// Fidelity: every client is built with fl::make_client(seed ^
+// kAdaFlClientSeedSalt, id) from ONE shared TaskBundle (the dataset and
+// partition are built once, not N times) and mirrors ClientSession's
+// handlers exactly — train once per round, compress once per selection,
+// re-send cached bytes on duplicate SELECT — so the server's final weights
+// are bitwise identical to flsim and to a fleet of real flclient processes.
+//
+//   flswarm --server=127.0.0.1:4242 --clients=1000 --drivers=4
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "cli/args.h"
+#include "cli/task.h"
+#include "compress/dgc.h"
+#include "core/parallel.h"
+#include "core/utility.h"
+#include "fl/client.h"
+#include "net/transport/session.h"
+#include "net/transport/tcp.h"
+#include "tensor/dispatch.h"
+#include "tensor/tensor.h"
+
+using namespace adafl;
+namespace nt = adafl::net::transport;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One client's protocol state machine; owned by exactly one driver thread.
+/// Mirrors ClientSession::run()'s handlers, minus the blocking recv —
+/// drivers sweep their clients with non-blocking polls.
+struct SwarmClient {
+  int id = 0;
+  std::unique_ptr<nt::Transport> conn;
+  std::optional<fl::FlClient> client;
+  std::optional<compress::DgcCompressor> comp;
+  core::AdaFlParams params;
+
+  // Round-local training state; survives reconnects by design (same
+  // contract as ClientSession): a redial never retrains a round or resets
+  // DGC error feedback.
+  fl::FlClient::LocalResult res;
+  int trained_round = 0;
+  int uploaded_round = 0;
+  int skipped_round = 0;
+  nt::UpdatePayload update;
+  std::vector<std::uint8_t> wire_scratch;
+  std::vector<std::uint8_t> cached_update;
+
+  bool done = false;
+  int rounds_trained = 0;
+  int updates_sent = 0;
+  int skips = 0;
+  int reconnects = 0;
+  int dial_failures = 0;
+  Clock::time_point next_dial_at{};  ///< linear redial backoff
+};
+
+nt::Frame make_frame(nt::MsgType type, std::uint32_t round,
+                     std::uint32_t client_id,
+                     std::vector<std::uint8_t> payload = {}) {
+  nt::Frame f;
+  f.type = type;
+  f.round = round;
+  f.client_id = client_id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+/// Shared, once-built task state. The first WELCOME to arrive builds the
+/// bundle under the mutex; every other client (on any driver) reuses it.
+struct SharedTask {
+  std::mutex mu;
+  std::optional<cli::TaskBundle> bundle;
+  fl::ClientTrainConfig client_cfg;
+  std::uint64_t seed = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::ArgParser args("flswarm");
+  args.option("host", "127.0.0.1", "server host")
+      .option("port", "4242", "server port")
+      .option("server", "", "host:port (overrides --host/--port)")
+      .option("clients", "100", "fleet size (drives client ids 0..N-1)")
+      .option("drivers", "4",
+              "driver threads; each sweeps its share of the fleet's "
+              "non-blocking state machines")
+      .option("connect-timeout-ms", "3000", "TCP connect timeout")
+      .option("redial-ms", "200", "delay before redialing a failed/dead "
+              "connection")
+      .option("timeout-s", "600",
+              "give up after this long without every client reaching "
+              "SHUTDOWN (0 = wait forever)")
+      .option("threads", "1",
+              "tensor worker threads (default 1: training is swept from "
+              "multiple driver threads; per-run results are thread-count "
+              "invariant either way)")
+      .option("kernel-backend", "",
+              "auto|scalar|avx2 — SIMD kernel backend (empty = "
+              "ADAFL_KERNEL_BACKEND env or the scalar reference)");
+  if (!args.parse(argc, argv)) {
+    std::cerr << "flswarm: " << args.error() << "\n\n" << args.usage();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  try {
+    core::set_num_threads(args.get_int_at_least("threads", 1));
+    if (const std::string kb = args.get("kernel-backend"); !kb.empty())
+      tensor::set_kernel_backend(tensor::resolve_kernel_backend(kb));
+
+    std::string host = args.get("host");
+    std::uint16_t port = static_cast<std::uint16_t>(args.get_int("port"));
+    if (const std::string server = args.get("server"); !server.empty()) {
+      const auto colon = server.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == server.size()) {
+        std::cerr << "flswarm: --server expects host:port\n";
+        return 2;
+      }
+      host = server.substr(0, colon);
+      port = static_cast<std::uint16_t>(std::stoi(server.substr(colon + 1)));
+    }
+
+    const int n = args.get_int_at_least("clients", 1);
+    const int drivers = std::min(args.get_int_at_least("drivers", 1), n);
+    const auto connect_timeout =
+        std::chrono::milliseconds(args.get_int("connect-timeout-ms"));
+    const auto redial = std::chrono::milliseconds(
+        args.get_int_at_least("redial-ms", 0));
+    const int timeout_s = args.get_int_at_least("timeout-s", 0);
+
+    SharedTask shared;
+    std::vector<SwarmClient> fleet(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      fleet[static_cast<std::size_t>(i)].id = i;
+
+    std::atomic<int> done_count{0};
+    std::atomic<bool> give_up{false};
+
+    // Ensures the WELCOME-driven bootstrap happened, then builds this
+    // client's simulator-twin (same partition slice, same forked seed).
+    auto bootstrap = [&](SwarmClient& c, const nt::WelcomeInfo& w) {
+      {
+        std::lock_guard<std::mutex> lk(shared.mu);
+        if (!shared.bundle) {
+          cli::TaskSpec spec;
+          cli::task_from_kv(w.config, &spec, &shared.client_cfg);
+          shared.seed = static_cast<std::uint64_t>(spec.seed);
+          std::cout << "bootstrapped: dataset=" << spec.dataset
+                    << " model=" << spec.model << " clients=" << spec.clients
+                    << " seed=" << spec.seed << std::endl;
+          shared.bundle.emplace(cli::build_task(spec));
+        }
+      }
+      c.params = w.params;
+      c.client.emplace(fl::make_client(
+          shared.bundle->factory, &shared.bundle->train, shared.bundle->parts,
+          shared.client_cfg, {}, shared.seed ^ core::kAdaFlClientSeedSalt,
+          c.id));
+      ADAFL_CHECK_MSG(
+          static_cast<std::uint64_t>(c.client->param_count()) ==
+              w.param_count,
+          "flswarm: bootstrap model has " << c.client->param_count()
+                                          << " params, server expects "
+                                          << w.param_count);
+      if (!c.comp)
+        c.comp.emplace(static_cast<std::int64_t>(w.param_count),
+                       c.params.dgc);
+    };
+
+    // One handler pass for one frame; mirrors ClientSession::run().
+    auto handle = [&](SwarmClient& c, const nt::Frame& f) {
+      const auto cid = static_cast<std::uint32_t>(c.id);
+      switch (f.type) {
+        case nt::MsgType::kWelcome:
+          bootstrap(c, nt::parse_welcome(f.payload));
+          break;
+        case nt::MsgType::kModel: {
+          if (!c.client) break;  // WELCOME must precede MODEL
+          const nt::ModelPayload m = nt::parse_model(f.payload);
+          ADAFL_CHECK_MSG(
+              m.global.size() ==
+                  static_cast<std::size_t>(c.client->param_count()),
+              "flswarm: MODEL dimension mismatch");
+          const int round = static_cast<int>(f.round);
+          if (c.trained_round != round) {  // a re-sent MODEL never retrains
+            c.client->train_from_into(m.global, c.res);
+            c.trained_round = round;
+            ++c.rounds_trained;
+          }
+          const double score = core::utility_score(
+              c.params.utility, c.res.delta, m.g_hat, c.params.utility.bw_ref,
+              c.params.utility.bw_ref);
+          c.conn->send(make_frame(nt::MsgType::kScore, f.round, cid,
+                                  nt::encode_f64(score)));
+          break;
+        }
+        case nt::MsgType::kSelect: {
+          const int round = static_cast<int>(f.round);
+          if (round != c.trained_round || !c.comp) break;  // stale selection
+          if (c.uploaded_round != round) {
+            const double ratio = nt::parse_f64(f.payload);
+            c.comp->compress_into(c.res.delta, ratio, c.update.msg);
+            c.update.num_examples = c.res.num_examples;
+            c.update.mean_loss = c.res.mean_loss;
+            c.update.raw_delta_norm = tensor::l2_norm(c.res.delta);
+            nt::encode_update_into(c.update, c.cached_update, c.wire_scratch);
+            c.uploaded_round = round;
+          }
+          // Duplicate SELECT re-sends the cached bytes — compressing twice
+          // would corrupt the DGC residual.
+          c.conn->send(
+              make_frame(nt::MsgType::kUpdate, f.round, cid, c.cached_update));
+          ++c.updates_sent;
+          break;
+        }
+        case nt::MsgType::kSkip: {
+          const int round = static_cast<int>(f.round);
+          if (round != c.trained_round || !c.comp || c.skipped_round == round)
+            break;
+          c.skipped_round = round;
+          if (c.params.accumulate_unselected) c.comp->accumulate(c.res.delta);
+          ++c.skips;
+          break;
+        }
+        case nt::MsgType::kPing:
+          c.conn->send(make_frame(nt::MsgType::kPong, f.round, cid));
+          break;
+        case nt::MsgType::kShutdown:
+          c.done = true;
+          c.conn->close();
+          c.conn.reset();
+          done_count.fetch_add(1);
+          break;
+        default:
+          break;  // PONG and anything unexpected: ignore
+      }
+    };
+
+    // One sweep over one client: (re)dial if needed, then drain its socket.
+    // Returns true on any progress (frame handled or connection made).
+    auto sweep = [&](SwarmClient& c) -> bool {
+      if (c.done) return false;
+      if (!c.conn || c.conn->closed()) {
+        const bool had_conn = static_cast<bool>(c.conn);
+        c.conn.reset();
+        if (Clock::now() < c.next_dial_at) return false;
+        c.conn = nt::TcpTransport::connect(host, port, connect_timeout);
+        if (!c.conn) {
+          ++c.dial_failures;
+          c.next_dial_at = Clock::now() + redial;
+          return false;
+        }
+        if (had_conn) ++c.reconnects;
+        c.conn->send(make_frame(nt::MsgType::kHello, 0,
+                                static_cast<std::uint32_t>(c.id),
+                                nt::encode_hello(nt::kProtocolVersion)));
+        return true;
+      }
+      bool progress = false;
+      while (c.conn && !c.done) {
+        std::optional<nt::Frame> f;
+        try {
+          f = c.conn->recv(std::chrono::milliseconds(0));
+        } catch (const CheckError&) {
+          c.conn->close();  // malformed stream: redial next sweep
+          break;
+        }
+        if (!f) break;
+        progress = true;
+        try {
+          handle(c, *f);
+        } catch (const CheckError&) {
+          if (c.conn) c.conn->close();  // malformed payload: redial
+          break;
+        }
+      }
+      return progress;
+    };
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(drivers));
+    for (int d = 0; d < drivers; ++d) {
+      pool.emplace_back([&, d] {
+        // Contiguous block ownership: no two drivers ever touch one client.
+        const int lo = d * n / drivers;
+        const int hi = (d + 1) * n / drivers;
+        while (!give_up.load()) {
+          bool progress = false;
+          int live = 0;
+          for (int i = lo; i < hi; ++i) {
+            SwarmClient& c = fleet[static_cast<std::size_t>(i)];
+            if (sweep(c)) progress = true;
+            if (!c.done) ++live;
+          }
+          if (live == 0) return;
+          if (!progress)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
+    while (done_count.load() < n && !give_up.load()) {
+      if (timeout_s > 0 &&
+          Clock::now() - t0 > std::chrono::seconds(timeout_s)) {
+        give_up.store(true);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    for (auto& t : pool) t.join();
+
+    int rounds_trained = 0, updates_sent = 0, skips = 0, reconnects = 0;
+    int dial_failures = 0;
+    for (const SwarmClient& c : fleet) {
+      rounds_trained += c.rounds_trained;
+      updates_sent += c.updates_sent;
+      skips += c.skips;
+      reconnects += c.reconnects;
+      dial_failures += c.dial_failures;
+    }
+    const int completed = done_count.load();
+    std::cout << "swarm-done: clients=" << n << " completed=" << completed
+              << " drivers=" << drivers
+              << " rounds-trained=" << rounds_trained
+              << " updates-sent=" << updates_sent << " skips=" << skips
+              << " reconnects=" << reconnects
+              << " dial-failures=" << dial_failures << " wall-s="
+              << std::chrono::duration<double>(Clock::now() - t0).count()
+              << std::endl;
+    return completed == n ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::cerr << "flswarm: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
 #include "metrics/trace.h"
 #include "tensor/check.h"
 #include "tensor/tensor.h"
@@ -122,15 +123,29 @@ AdaFlRoundOutcome AdaFlServerCore::apply_round(
   // Sparse error-feedback aggregation: sum the weighted sparse messages and
   // divide by the total delivered weight (the unbiased FedAvg estimate —
   // unsent mass stays in each client's DGC residual and is flushed in later
-  // rounds). Iteration is in selection order so floating-point accumulation
-  // matches the simulator exactly. The sum buffer is a member reused across
-  // rounds (assign keeps its capacity).
+  // rounds).
+  //
+  // The aggregation is sharded over the ELEMENT dimension, not over
+  // clients: each parallel chunk owns a contiguous slice [lo, hi) of the
+  // sum buffer and walks the deliveries in selection order, accumulating
+  // only the coordinates that fall in its slice (top-k indices are sorted
+  // ascending, so the in-range run is found by binary search). Every
+  // element's additions therefore happen in selection order — exactly the
+  // sequential order — making the result bitwise identical at any thread
+  // count, while the disjoint slices concatenated in chunk order are the
+  // deterministic shard-order reduction. All buffers are members reused
+  // across rounds (assign/clear keep capacity): zero allocations in steady
+  // state.
   std::vector<float>& sum_delta = sum_delta_;
   sum_delta.assign(d, 0.0f);
   double weight_sum = 0.0;
   double delta_norm_wsum = 0.0;  // for the server trust region
   AdaFlRoundOutcome out;
   const bool traced = tracer_ != nullptr && tracer_->enabled();
+  // Sequential pre-pass in selection order: validation (CheckError must
+  // never escape a pool thread), trace events (the tracer is not
+  // thread-safe), and the scalar accumulators.
+  delivered_ptrs_.clear();
   for (int id : plan.sel.selected) {
     const AdaFlDelivery* found = find(id);
     if (found == nullptr) {  // lost in transit
@@ -143,12 +158,14 @@ AdaFlRoundOutcome AdaFlServerCore::apply_round(
     ADAFL_CHECK_MSG(
         dl.msg.dense_size == static_cast<std::int64_t>(d),
         "apply_round: client " << id << " update dimension mismatch");
-    const float w = static_cast<float>(dl.num_examples);
     for (std::size_t e = 0; e < dl.msg.indices.size(); ++e) {
       ADAFL_CHECK_MSG(dl.msg.indices[e] < d,
                       "apply_round: update index out of range");
-      sum_delta[dl.msg.indices[e]] += w * dl.msg.values[e];
+      ADAFL_CHECK_MSG(e == 0 || dl.msg.indices[e - 1] <= dl.msg.indices[e],
+                      "apply_round: update indices not sorted ascending");
     }
+    delivered_ptrs_.push_back(&dl);
+    const float w = static_cast<float>(dl.num_examples);
     weight_sum += w;
     delta_norm_wsum += static_cast<double>(w) * dl.raw_delta_norm;
     out.loss_sum += dl.mean_loss;
@@ -163,18 +180,45 @@ AdaFlRoundOutcome AdaFlServerCore::apply_round(
           static_cast<double>(dl.mean_loss)));
   }
 
+  const auto dn = static_cast<std::int64_t>(d);
+  if (!delivered_ptrs_.empty()) {
+    parallel_for_blocked(0, dn, [&](std::int64_t lo, std::int64_t hi) {
+      const auto ulo = static_cast<std::uint32_t>(lo);
+      const auto uhi = static_cast<std::uint32_t>(hi);
+      for (const AdaFlDelivery* dlp : delivered_ptrs_) {
+        const auto& idx = dlp->msg.indices;
+        const auto& val = dlp->msg.values;
+        const float w = static_cast<float>(dlp->num_examples);
+        auto it = std::lower_bound(idx.begin(), idx.end(), ulo);
+        for (std::size_t e = static_cast<std::size_t>(it - idx.begin());
+             e < idx.size() && idx[e] < uhi; ++e)
+          sum_delta[idx[e]] += w * val[e];
+      }
+    });
+  }
+
   if (weight_sum > 0.0) {
     const float inv = static_cast<float>(1.0 / weight_sum);
-    for (auto& v : sum_delta) v *= inv;
+    parallel_for_blocked(0, dn, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i)
+        sum_delta[static_cast<std::size_t>(i)] *= inv;
+    });
     if (params_.server_trust_clip) {
       const double cap = delta_norm_wsum / weight_sum;
       const double norm2 = tensor::l2_norm(sum_delta);
       if (norm2 > cap && norm2 > 0.0) {
         const float s = static_cast<float>(cap / norm2);
-        for (auto& v : sum_delta) v *= s;
+        parallel_for_blocked(0, dn, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i)
+            sum_delta[static_cast<std::size_t>(i)] *= s;
+        });
       }
     }
-    for (std::size_t i = 0; i < d; ++i) global_[i] -= sum_delta[i];
+    parallel_for_blocked(0, dn, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i)
+        global_[static_cast<std::size_t>(i)] -=
+            sum_delta[static_cast<std::size_t>(i)];
+    });
     g_hat_ = sum_delta;  // similarity reference for the next round's scores
     out.applied = true;
   }

@@ -134,6 +134,9 @@ class AdaFlServerCore {
   std::int64_t selected_sum_ = 0;
   int rounds_planned_ = 0;
   std::vector<float> sum_delta_;  ///< per-round aggregation buffer, reused
+  /// Deliveries of the current round in selection order; reused across
+  /// rounds so the sharded aggregation allocates nothing in steady state.
+  std::vector<const AdaFlDelivery*> delivered_ptrs_;
   metrics::Tracer* tracer_ = nullptr;
 };
 

@@ -74,6 +74,36 @@ void Histogram::observe(double v) {
   ++buckets_[b];
 }
 
+double Histogram::percentile(double p) const {
+  ADAFL_CHECK_MSG(std::isfinite(p) && p >= 0.0 && p <= 1.0,
+                  "histogram: percentile p must be in [0,1], got " << p);
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 1.0) return max();
+  // Rank of the target observation (1-based), then walk the buckets.
+  const double rank = p * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t next = seen + buckets_[b];
+    if (static_cast<double>(next) >= rank) {
+      // Log-interpolate within [lo, hi) = [2^(b-1), 2^b), clamped to the
+      // exact observed range so the estimate never leaves [min, max].
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+      const double hi = std::ldexp(1.0, b);
+      const double frac =
+          (rank - static_cast<double>(seen)) /
+          static_cast<double>(buckets_[b]);
+      double est = lo + (hi - lo) * frac;
+      if (est < min_) est = min_;
+      if (est > max_) est = max_;
+      return est;
+    }
+    seen = next;
+  }
+  return max();
+}
+
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];

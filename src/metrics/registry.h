@@ -59,6 +59,14 @@ class Histogram {
 
   void observe(double v);
 
+  /// Estimated p-quantile (p in [0,1]) from the log2 buckets: finds the
+  /// bucket holding the p-th observation and log-interpolates within it.
+  /// Exact min/max anchor the tails (percentile(0) == min(),
+  /// percentile(1) == max()); returns 0 when empty. Estimation error is
+  /// bounded by the bucket's 2x width — plenty for latency reporting
+  /// (p50/p99 dashboards), not for arithmetic.
+  double percentile(double p) const;
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return count_ == 0 ? 0.0 : min_; }

@@ -112,6 +112,67 @@ void FrameParser::feed(std::span<const std::uint8_t> data) {
                buf_.begin() + static_cast<std::ptrdiff_t>(off));
 }
 
+bool FrameParser::try_complete_buffered() {
+  if (buf_.size() < kFrameHeaderBytes) return false;
+  std::uint32_t payload_len = 0, crc = 0;
+  Frame f = parse_header(
+      std::span<const std::uint8_t>(buf_).first(kFrameHeaderBytes),
+      &payload_len, &crc);
+  if (buf_.size() < kFrameHeaderBytes + payload_len) return false;
+  // Both feed() and consume() keep at most one partial frame buffered, so a
+  // complete frame here consumes the whole buffer.
+  auto payload =
+      std::span<const std::uint8_t>(buf_).subspan(kFrameHeaderBytes,
+                                                  payload_len);
+  ADAFL_CHECK_MSG(crc32(payload) == crc, "frame: payload CRC mismatch");
+  f.payload.assign(payload.begin(), payload.end());
+  ready_.push_back(std::move(f));
+  buf_.clear();
+  return true;
+}
+
+std::size_t FrameParser::consume(std::span<const std::uint8_t> data) {
+  std::size_t completed = 0;
+  // Finish the carried-over partial frame first, copying in only the bytes
+  // it still needs (header remainder, then payload remainder).
+  while (!buf_.empty() && !data.empty()) {
+    std::size_t need;
+    if (buf_.size() < kFrameHeaderBytes) {
+      need = kFrameHeaderBytes - buf_.size();
+    } else {
+      std::uint32_t payload_len = 0, crc = 0;
+      parse_header(
+          std::span<const std::uint8_t>(buf_).first(kFrameHeaderBytes),
+          &payload_len, &crc);
+      need = kFrameHeaderBytes + payload_len - buf_.size();
+    }
+    const std::size_t take = std::min(need, data.size());
+    buf_.insert(buf_.end(), data.begin(),
+                data.begin() + static_cast<std::ptrdiff_t>(take));
+    data = data.subspan(take);
+    if (try_complete_buffered()) ++completed;
+  }
+  // Decode frames wholly contained in the caller's buffer in place.
+  std::size_t off = 0;
+  while (data.size() - off >= kFrameHeaderBytes) {
+    std::uint32_t payload_len = 0, crc = 0;
+    Frame f = parse_header(data.subspan(off, kFrameHeaderBytes),
+                           &payload_len, &crc);
+    if (data.size() - off < kFrameHeaderBytes + payload_len) break;
+    auto payload = data.subspan(off + kFrameHeaderBytes, payload_len);
+    ADAFL_CHECK_MSG(crc32(payload) == crc, "frame: payload CRC mismatch");
+    f.payload.assign(payload.begin(), payload.end());
+    ready_.push_back(std::move(f));
+    ++completed;
+    off += kFrameHeaderBytes + payload_len;
+  }
+  // Retain only the trailing partial frame.
+  if (off < data.size())
+    buf_.insert(buf_.end(),
+                data.begin() + static_cast<std::ptrdiff_t>(off), data.end());
+  return completed;
+}
+
 std::optional<Frame> FrameParser::next() {
   if (ready_.empty()) return std::nullopt;
   Frame f = std::move(ready_.front());

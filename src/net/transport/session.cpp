@@ -1,14 +1,18 @@
 #include "net/transport/session.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <stdexcept>
 #include <thread>
 
 #include "compress/bytes.h"
 #include "compress/wire.h"
+#include "core/parallel.h"
 #include "core/server_checkpoint.h"
 #include "core/utility.h"
 #include "metrics/profile.h"
+#include "metrics/registry.h"
 #include "metrics/trace.h"
 #include "net/replication/replication.h"
 #include "net/transport/crc32.h"
@@ -30,6 +34,65 @@ Frame make_frame(MsgType type, std::uint32_t round, std::uint32_t client_id,
   f.payload = std::move(payload);
   return f;
 }
+
+}  // namespace
+
+/// Shared inbox between the session thread (which drains the event loop
+/// and routes a standby connection's frames here) and the replication
+/// publisher's Transport view of that connection.
+struct LoopPeerState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Frame> inbox;
+  std::atomic<bool> closed{false};
+};
+
+namespace {
+
+/// Transport adapter over one event-loop connection, handed to the
+/// replication publisher when a standby subscribes in event-loop mode.
+/// recv() pops from the shared inbox the session fills; send() queues
+/// encoded bytes on the loop.
+class LoopPeerTransport final : public Transport {
+ public:
+  LoopPeerTransport(EventLoop* loop, ConnId conn,
+                    std::shared_ptr<LoopPeerState> state)
+      : loop_(loop), conn_(conn), state_(std::move(state)) {}
+
+  bool send(const Frame& f) override {
+    if (state_->closed.load()) return false;
+    loop_->send(conn_, std::make_shared<const std::vector<std::uint8_t>>(
+                           encode_frame(f)));
+    return true;
+  }
+
+  std::optional<Frame> recv(std::chrono::milliseconds timeout) override {
+    std::unique_lock<std::mutex> lk(state_->mu);
+    if (state_->inbox.empty() && timeout.count() > 0)
+      state_->cv.wait_for(lk, timeout, [&] {
+        return !state_->inbox.empty() || state_->closed.load();
+      });
+    if (state_->inbox.empty()) return std::nullopt;
+    Frame f = std::move(state_->inbox.front());
+    state_->inbox.pop_front();
+    return f;
+  }
+
+  bool closed() const override { return state_->closed.load(); }
+
+  void close() override {
+    state_->closed.store(true);
+    state_->cv.notify_all();
+    loop_->close_conn(conn_);
+  }
+
+  std::string peer() const override { return "event-loop"; }
+
+ private:
+  EventLoop* loop_;
+  ConnId conn_;
+  std::shared_ptr<LoopPeerState> state_;
+};
 
 }  // namespace
 
@@ -233,6 +296,40 @@ void ServerSession::add_transport(std::unique_ptr<Transport> t) {
   pending_.push_back(std::move(t));
 }
 
+void ServerSession::attach_event_loop(EventLoop* loop) {
+  loop_ = loop;
+  client_conn_.assign(static_cast<std::size_t>(cfg_.expected_clients),
+                      kNoConn);
+  pending_decode_.assign(static_cast<std::size_t>(cfg_.expected_clients), 0);
+  welcome_frame_bytes_ = std::make_shared<const std::vector<std::uint8_t>>(
+      encode_frame(make_frame(MsgType::kWelcome, 0, kServerId,
+                              welcome_payload_)));
+}
+
+bool ServerSession::connected(int id) const {
+  if (loop_ != nullptr &&
+      client_conn_[static_cast<std::size_t>(id)] != kNoConn)
+    return true;
+  return static_cast<bool>(conns_[static_cast<std::size_t>(id)]);
+}
+
+void ServerSession::drop_loop_conn(ConnId conn) {
+  auto it = conn_client_.find(conn);
+  if (it != conn_client_.end()) {
+    const int id = it->second;
+    if (client_conn_[static_cast<std::size_t>(id)] == conn)
+      client_conn_[static_cast<std::size_t>(id)] = kNoConn;
+    conn_client_.erase(it);
+  }
+  auto st = standby_links_.find(conn);
+  if (st != standby_links_.end()) {
+    st->second->closed.store(true);
+    st->second->cv.notify_all();
+    standby_links_.erase(st);
+  }
+  loop_->close_conn(conn);
+}
+
 void ServerSession::request_stop(bool write_checkpoint) {
   // Only atomic stores: safe to call from a POSIX signal handler.
   if (write_checkpoint) stop_save_.store(true, std::memory_order_relaxed);
@@ -311,6 +408,16 @@ void ServerSession::drop_all_connections() {
     conn->close();  // abrupt: no SHUTDOWN, clients redial or back off
     conn.reset();
   }
+  if (loop_ != nullptr) {
+    for (auto& [conn, state] : standby_links_) {
+      state->closed.store(true);
+      state->cv.notify_all();
+    }
+    standby_links_.clear();
+    conn_client_.clear();
+    std::fill(client_conn_.begin(), client_conn_.end(), kNoConn);
+    loop_->stop();  // closes every loop-owned socket
+  }
   std::lock_guard<std::mutex> lock(pending_mu_);
   for (auto& t : pending_) t->close();
   pending_.clear();
@@ -320,7 +427,25 @@ double ServerSession::trace_now() const {
   return std::chrono::duration<double>(Clock::now() - trace_t0_).count();
 }
 
-std::size_t ServerSession::send_to(int id, const Frame& f) {
+std::size_t ServerSession::send_to(
+    int id, const Frame& f,
+    const std::shared_ptr<const std::vector<std::uint8_t>>* pre) {
+  if (loop_ != nullptr &&
+      client_conn_[static_cast<std::size_t>(id)] != kNoConn) {
+    // Queued on the loop thread; a dead peer surfaces via take_closed() on
+    // a later pass, exactly like a lost datagram would.
+    loop_->send(client_conn_[static_cast<std::size_t>(id)],
+                pre != nullptr
+                    ? *pre
+                    : std::make_shared<const std::vector<std::uint8_t>>(
+                          encode_frame(f)));
+    if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+      cfg_.tracer->record(metrics::ev_frame(
+          metrics::TraceEventType::kFrameTx, static_cast<int>(f.round), id,
+          to_string(f.type), static_cast<std::int64_t>(f.wire_size()),
+          trace_now()));
+    return f.wire_size();
+  }
   auto& conn = conns_[static_cast<std::size_t>(id)];
   if (!conn) return 0;
   if (!conn->send(f)) {
@@ -336,14 +461,24 @@ std::size_t ServerSession::send_to(int id, const Frame& f) {
 }
 
 void ServerSession::send_model(RoundCtx& rc, int id) {
-  ModelPayload m;
-  m.global = core_.global();
-  m.g_hat = core_.g_hat();
-  const Frame f = make_frame(MsgType::kModel,
-                             static_cast<std::uint32_t>(rc.round), kServerId,
-                             encode_model(m));
+  if (!rc.model_ready) {
+    ModelPayload m;
+    m.global = core_.global();
+    m.g_hat = core_.g_hat();
+    rc.model_frame = make_frame(MsgType::kModel,
+                                static_cast<std::uint32_t>(rc.round),
+                                kServerId, encode_model(m));
+    if (loop_ != nullptr)
+      // Encode the full wire frame once per round; every connection gets
+      // the same immutable buffer (10k-client broadcast = one encode).
+      rc.model_bytes = std::make_shared<const std::vector<std::uint8_t>>(
+          encode_frame(rc.model_frame));
+    rc.model_ready = true;
+  }
+  const Frame& f = rc.model_frame;
   const bool retransmit = rc.sent_model[static_cast<std::size_t>(id)];
-  const std::size_t sent = send_to(id, f);
+  const std::size_t sent =
+      send_to(id, f, rc.model_bytes ? &rc.model_bytes : nullptr);
   if (sent == 0) return;
   rc.sent_model[static_cast<std::size_t>(id)] = true;
   rc.ledger->record_download(id, static_cast<std::int64_t>(sent));
@@ -362,8 +497,7 @@ void ServerSession::nudge(RoundCtx& rc) {
     // deadline (or forever, with quorum == n). Clients never retrain a
     // round they already trained, so a redundant MODEL costs bytes only.
     for (int id = 0; id < cfg_.expected_clients; ++id) {
-      if (!conns_[static_cast<std::size_t>(id)] ||
-          rc.scored[static_cast<std::size_t>(id)])
+      if (!connected(id) || rc.scored[static_cast<std::size_t>(id)])
         continue;
       send_model(rc, id);
     }
@@ -373,9 +507,7 @@ void ServerSession::nudge(RoundCtx& rc) {
   // delivered. A duplicate SELECT makes the client re-send its cached
   // update bytes (it never compresses twice).
   for (int id : rc.awaiting) {
-    if (!conns_[static_cast<std::size_t>(id)] ||
-        delivered_[static_cast<std::size_t>(id)])
-      continue;
+    if (!connected(id) || delivered_[static_cast<std::size_t>(id)]) continue;
     const Frame sf =
         make_frame(MsgType::kSelect, static_cast<std::uint32_t>(rc.round),
                    kServerId, encode_f64(rc.ratio_of.at(id)));
@@ -444,6 +576,10 @@ bool ServerSession::service(RoundCtx& rc) {
 
   // 0) Keep standby leases alive (answer their PINGs) and reap dead ones.
   if (cfg_.publisher != nullptr) cfg_.publisher->service();
+
+  // Event-loop frames first; the classic Transport path below still runs so
+  // add_transport() connections (the UDP mux) work alongside the loop.
+  if (loop_ != nullptr && service_event_loop(rc)) progress = true;
 
   // 1) Handshake pending transports (HELLO -> WELCOME -> in-round catchup).
   std::vector<std::unique_ptr<Transport>> pending;
@@ -558,6 +694,209 @@ bool ServerSession::service(RoundCtx& rc) {
   return progress;
 }
 
+bool ServerSession::service_event_loop(RoundCtx& rc) {
+  // Accepted connections stay unbound (and unserviced) until their first
+  // frame — the HELLO — arrives; nothing to do for them here.
+  loop_->take_accepted();
+  for (const ConnId conn : loop_->take_closed()) {
+    auto it = conn_client_.find(conn);
+    if (it != conn_client_.end()) {
+      if (client_conn_[static_cast<std::size_t>(it->second)] == conn)
+        client_conn_[static_cast<std::size_t>(it->second)] = kNoConn;
+      conn_client_.erase(it);
+    }
+    auto st = standby_links_.find(conn);
+    if (st != standby_links_.end()) {
+      st->second->closed.store(true);
+      st->second->cv.notify_all();
+      standby_links_.erase(st);
+    }
+  }
+
+  frame_batch_.clear();
+  loop_->poll_all(frame_batch_);
+  if (frame_batch_.empty()) return false;
+
+  const bool traced = cfg_.tracer != nullptr && cfg_.tracer->enabled();
+
+  // Pass 1 (sequential, arrival order): dispatch-latency metric, standby
+  // routing, handshakes, and every non-UPDATE frame. Aggregatable UPDATE
+  // frames only get collected as decode jobs — one per client at most
+  // (pending_decode_), so every job owns a disjoint delivery slot.
+  decode_jobs_.clear();
+  const auto drained_at = Clock::now();
+  for (std::size_t i = 0; i < frame_batch_.size(); ++i) {
+    const InFrame& inf = frame_batch_[i];
+    if (dispatch_hist_ != nullptr)
+      dispatch_hist_->observe(
+          std::chrono::duration<double, std::milli>(drained_at - inf.enqueued)
+              .count());
+    auto st = standby_links_.find(inf.conn);
+    if (st != standby_links_.end()) {
+      // Replication peer: its frames belong to the publisher, delivered via
+      // the shared inbox its LoopPeerTransport recv()s from.
+      {
+        std::lock_guard<std::mutex> lk(st->second->mu);
+        st->second->inbox.push_back(inf.frame);
+      }
+      st->second->cv.notify_all();
+      continue;
+    }
+    auto bound = conn_client_.find(inf.conn);
+    if (bound == conn_client_.end()) {
+      handle_loop_handshake(rc, inf);
+      continue;
+    }
+    const int id = bound->second;
+    if (traced)
+      cfg_.tracer->record(metrics::ev_frame(
+          metrics::TraceEventType::kFrameRx,
+          static_cast<int>(inf.frame.round), id, to_string(inf.frame.type),
+          static_cast<std::int64_t>(inf.frame.wire_size()), trace_now()));
+    if (inf.frame.type == MsgType::kUpdate) {
+      if (rc.phase == Phase::kUpdate &&
+          inf.frame.round == static_cast<std::uint32_t>(rc.round) &&
+          rc.awaiting.count(id) != 0 &&
+          !delivered_[static_cast<std::size_t>(id)] &&
+          !pending_decode_[static_cast<std::size_t>(id)]) {
+        pending_decode_[static_cast<std::size_t>(id)] = 1;
+        decode_jobs_.push_back(DecodeJob{i, id});
+      }
+      continue;  // stale/duplicate UPDATE: ignored, as in handle_frame
+    }
+    try {
+      handle_frame(rc, id, inf.frame);
+    } catch (const CheckError&) {
+      drop_loop_conn(inf.conn);  // bad payload: drop, round degrades
+    }
+  }
+
+  // Pass 2 (parallel): decode every collected UPDATE into its client's
+  // private delivery slot. Jobs touch disjoint slots and no shared state;
+  // CheckError is captured per job — never thrown across the worker pool.
+  if (!decode_jobs_.empty()) {
+    decode_ok_.assign(decode_jobs_.size(), 0);
+    const auto jn = static_cast<std::int64_t>(decode_jobs_.size());
+    core::parallel_for_blocked(0, jn, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t j = lo; j < hi; ++j) {
+        const DecodeJob& job = decode_jobs_[static_cast<std::size_t>(j)];
+        core::AdaFlDelivery& dl =
+            delivery_slots_[static_cast<std::size_t>(job.client)];
+        try {
+          parse_update_fields(frame_batch_[job.batch_index].frame.payload,
+                              dl);
+          ADAFL_CHECK_MSG(dl.msg.kind == compress::CodecKind::kTopK,
+                          "session: UPDATE from client "
+                              << job.client
+                              << " carries a non-top-k message");
+          ADAFL_CHECK_MSG(
+              dl.msg.dense_size ==
+                  static_cast<std::int64_t>(core_.global().size()),
+              "session: UPDATE from client " << job.client
+                                             << " dimension mismatch");
+          decode_ok_[static_cast<std::size_t>(j)] = 1;
+        } catch (const CheckError&) {
+          // leave decode_ok_ 0; the offender is dropped below
+        }
+      }
+    });
+
+    // Pass 3 (sequential, batch order): commit decode results.
+    for (std::size_t j = 0; j < decode_jobs_.size(); ++j) {
+      const DecodeJob& job = decode_jobs_[j];
+      pending_decode_[static_cast<std::size_t>(job.client)] = 0;
+      if (!decode_ok_[j]) {
+        drop_loop_conn(frame_batch_[job.batch_index].conn);
+        continue;
+      }
+      delivered_[static_cast<std::size_t>(job.client)] = 1;
+      ++delivered_count_;
+      rc.ledger->record_upload(
+          job.client,
+          static_cast<std::int64_t>(
+              frame_batch_[job.batch_index].frame.wire_size()),
+          true);
+    }
+  }
+  return true;
+}
+
+void ServerSession::handle_loop_handshake(RoundCtx& rc, const InFrame& inf) {
+  const Frame& f = inf.frame;
+  const bool traced = cfg_.tracer != nullptr && cfg_.tracer->enabled();
+  if (f.type == MsgType::kStandbyHello) {
+    // A replication peer, not a client: hand the connection to the
+    // publisher (or drop it when replication is not configured).
+    try {
+      ADAFL_CHECK_MSG(parse_hello(f.payload) == kProtocolVersion,
+                      "session: standby protocol version mismatch");
+    } catch (const CheckError&) {
+      loop_->close_conn(inf.conn);
+      return;
+    }
+    if (cfg_.publisher == nullptr) {
+      loop_->close_conn(inf.conn);
+      return;
+    }
+    auto state = std::make_shared<LoopPeerState>();
+    standby_links_[inf.conn] = state;
+    cfg_.publisher->adopt(std::make_unique<LoopPeerTransport>(
+        loop_, inf.conn, std::move(state)));
+    return;
+  }
+  int id = -1;
+  try {
+    ADAFL_CHECK_MSG(f.type == MsgType::kHello,
+                    "session: expected HELLO, got " << to_string(f.type));
+    ADAFL_CHECK_MSG(parse_hello(f.payload) == kProtocolVersion,
+                    "session: protocol version mismatch");
+    ADAFL_CHECK_MSG(
+        f.client_id < static_cast<std::uint32_t>(cfg_.expected_clients),
+        "session: client id " << f.client_id << " out of range");
+    id = static_cast<int>(f.client_id);
+  } catch (const CheckError&) {
+    loop_->close_conn(inf.conn);  // bad handshake: drop
+    return;
+  }
+  const bool rejoin = ever_joined_[static_cast<std::size_t>(id)];
+  const ConnId old = client_conn_[static_cast<std::size_t>(id)];
+  if (old != kNoConn && old != inf.conn) {
+    conn_client_.erase(old);  // redial replaces any stale binding
+    loop_->close_conn(old);
+  }
+  client_conn_[static_cast<std::size_t>(id)] = inf.conn;
+  conn_client_[inf.conn] = id;
+  ever_joined_[static_cast<std::size_t>(id)] = true;
+  if (traced)
+    cfg_.tracer->record(metrics::ev_frame(
+        metrics::TraceEventType::kFrameRx, static_cast<int>(f.round), id,
+        to_string(f.type), static_cast<std::int64_t>(f.wire_size()),
+        trace_now()));
+  if (rejoin) {
+    rc.ledger->record_reconnect(id);
+    if (traced)
+      cfg_.tracer->record(metrics::ev_reconnect(rc.round, id, trace_now()));
+  }
+  send_to(id, make_frame(MsgType::kWelcome, 0, kServerId, welcome_payload_),
+          &welcome_frame_bytes_);
+  // Catch the joiner up with the in-flight round state.
+  if (rc.phase == Phase::kScore && !rc.scored[static_cast<std::size_t>(id)]) {
+    send_model(rc, id);
+  } else if (rc.phase == Phase::kUpdate && rc.awaiting.count(id) != 0 &&
+             !delivered_[static_cast<std::size_t>(id)]) {
+    const Frame sf = make_frame(MsgType::kSelect,
+                                static_cast<std::uint32_t>(rc.round),
+                                kServerId, encode_f64(rc.ratio_of.at(id)));
+    const std::size_t sent = send_to(id, sf);
+    if (sent != 0) {
+      rc.ledger->record_retransmit(id, static_cast<std::int64_t>(sent));
+      if (traced)
+        cfg_.tracer->record(metrics::ev_retransmit(
+            rc.round, id, static_cast<std::int64_t>(sent), trace_now()));
+    }
+  }
+}
+
 fl::TrainLog ServerSession::run() {
   const int n = cfg_.expected_clients;
   const int quorum = cfg_.quorum > 0 ? cfg_.quorum : n;
@@ -573,6 +912,15 @@ fl::TrainLog ServerSession::run() {
   metrics::Tracer* const tracer = cfg_.tracer;
   const bool traced = tracer != nullptr && tracer->enabled();
   core_.set_tracer(traced ? tracer : nullptr);
+
+  metrics::Histogram* const round_hist =
+      cfg_.registry != nullptr
+          ? &cfg_.registry->histogram("server.round_latency_ms")
+          : nullptr;
+  dispatch_hist_ = (cfg_.registry != nullptr && loop_ != nullptr)
+                       ? &cfg_.registry->histogram("server.frame_dispatch_ms")
+                       : nullptr;
+  if (loop_ != nullptr) loop_->start();
 
   int start_round = 1;
   if (cfg_.resume) {
@@ -609,6 +957,7 @@ fl::TrainLog ServerSession::run() {
     // apply_round commits the round, so a stop mid-round must persist the
     // state as of the round START, never a half-planned hybrid.
     const core::AdaFlServerCore::State round_start = core_.state();
+    const auto round_t0 = Clock::now();
 
     if (traced) tracer->record(metrics::ev_round_start(round, trace_now()));
 
@@ -633,12 +982,13 @@ fl::TrainLog ServerSession::run() {
 
     // --- Broadcast the round's model to everyone attached.
     for (int id = 0; id < n; ++id)
-      if (conns_[static_cast<std::size_t>(id)]) send_model(rc, id);
+      if (connected(id)) send_model(rc, id);
 
     // --- Score phase: wait until every live client scored, or the deadline
     // passed with at least a quorum. Late joiners are serviced throughout.
     auto deadline = Clock::now() + cfg_.round_deadline;
-    auto next_nudge = Clock::now() + cfg_.retransmit_nudge;
+    auto nudge_gap = cfg_.retransmit_nudge;
+    auto next_nudge = Clock::now() + nudge_gap;
     for (;;) {
       if (stop_.load(std::memory_order_acquire)) break;
       const bool progress = service(rc);
@@ -646,19 +996,32 @@ fl::TrainLog ServerSession::run() {
           std::count(rc.scored.begin(), rc.scored.end(), true));
       int live = 0;
       for (int id = 0; id < n; ++id)
-        if (conns_[static_cast<std::size_t>(id)]) ++live;
+        if (connected(id)) ++live;
       if (scored >= quorum &&
           (scored >= live || Clock::now() >= deadline ||
            Clock::now() >= round_deadline_at))
         break;
       // The nudge interval deliberately does NOT reset on progress: a
       // steady trickle of PINGs would otherwise starve the retransmission
-      // forever.
+      // forever. It DOES back off exponentially within the phase: each
+      // firing doubles the gap until the phase ends. A client that is
+      // slow because it is busy (a 10k-client fleet training on few
+      // cores) must not be spammed with retransmissions every interval —
+      // that feedback loop melts the server — while a genuinely lost
+      // frame is still recovered after at most the time already waited.
       if (nudge_on && Clock::now() >= next_nudge) {
         nudge(rc);
-        next_nudge = Clock::now() + cfg_.retransmit_nudge;
+        nudge_gap *= 2;
+        next_nudge = Clock::now() + nudge_gap;
       }
-      if (!progress) std::this_thread::sleep_for(cfg_.idle_poll);
+      if (!progress) {
+        // Loop mode blocks on the loop's activity signal instead of a dumb
+        // sleep: a frame landing mid-sleep wakes the service pass at once.
+        if (loop_ != nullptr)
+          loop_->wait_activity(cfg_.idle_poll);
+        else
+          std::this_thread::sleep_for(cfg_.idle_poll);
+      }
     }
     if (stop_.load(std::memory_order_acquire)) {
       stop_now(round, round_start);
@@ -688,16 +1051,23 @@ fl::TrainLog ServerSession::run() {
 
     // --- Update phase: aggregate what arrives by the deadline.
     deadline = Clock::now() + cfg_.round_deadline;
-    next_nudge = Clock::now() + cfg_.retransmit_nudge;
+    nudge_gap = cfg_.retransmit_nudge;  // backoff restarts with the phase
+    next_nudge = Clock::now() + nudge_gap;
     while (delivered_count_ < rc.awaiting.size() &&
            Clock::now() < deadline && Clock::now() < round_deadline_at) {
       if (stop_.load(std::memory_order_acquire)) break;
       const bool progress = service(rc);
       if (nudge_on && Clock::now() >= next_nudge) {
         nudge(rc);
-        next_nudge = Clock::now() + cfg_.retransmit_nudge;
+        nudge_gap *= 2;
+        next_nudge = Clock::now() + nudge_gap;
       }
-      if (!progress) std::this_thread::sleep_for(cfg_.idle_poll);
+      if (!progress) {
+        if (loop_ != nullptr)
+          loop_->wait_activity(cfg_.idle_poll);
+        else
+          std::this_thread::sleep_for(cfg_.idle_poll);
+      }
     }
     if (stop_.load(std::memory_order_acquire)) {
       stop_now(round, round_start);  // the interrupted round replays
@@ -746,6 +1116,11 @@ fl::TrainLog ServerSession::run() {
       tracer->flush();
     }
 
+    if (round_hist != nullptr)
+      round_hist->observe(
+          std::chrono::duration<double, std::milli>(Clock::now() - round_t0)
+              .count());
+
     // --- Durable progress: the round is committed, persist it.
     if (ckpt &&
         (round % cfg_.checkpoint_every == 0 || round == cfg_.rounds)) {
@@ -764,6 +1139,14 @@ fl::TrainLog ServerSession::run() {
     conn->close();
     conn.reset();
   }
+  if (loop_ != nullptr) {
+    const Frame sd = make_frame(MsgType::kShutdown, 0, kServerId);
+    const auto sd_bytes = std::make_shared<const std::vector<std::uint8_t>>(
+        encode_frame(sd));
+    for (int id = 0; id < n; ++id)
+      if (client_conn_[static_cast<std::size_t>(id)] != kNoConn)
+        send_to(id, sd, &sd_bytes);
+  }
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     for (auto& t : pending_) t->close();
@@ -772,6 +1155,20 @@ fl::TrainLog ServerSession::run() {
   // Standbys stand down on a completed run — SIGKILL never reaches this,
   // which is exactly when promotion is wanted.
   if (cfg_.publisher != nullptr) cfg_.publisher->shutdown_standbys();
+  if (loop_ != nullptr) {
+    // The SHUTDOWN broadcast (and the publisher's stand-down frames, which
+    // ride LoopPeerTransport) are async loop commands: drain them before
+    // stopping so the final frames actually leave the box.
+    loop_->flush(std::chrono::milliseconds(2000));
+    for (auto& [conn, state] : standby_links_) {
+      state->closed.store(true);
+      state->cv.notify_all();
+    }
+    standby_links_.clear();
+    conn_client_.clear();
+    std::fill(client_conn_.begin(), client_conn_.end(), kNoConn);
+    loop_->stop();
+  }
 
   if (traced) tracer->flush();
   core_.set_tracer(nullptr);

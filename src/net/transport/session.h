@@ -37,6 +37,7 @@
 #include "core/adafl_server.h"
 #include "fl/client.h"
 #include "fl/types.h"
+#include "net/transport/event_loop.h"
 #include "net/transport/tcp.h"
 #include "net/transport/transport.h"
 
@@ -44,10 +45,19 @@ namespace adafl::net::replication {
 class CheckpointPublisher;
 }
 
+namespace adafl::metrics {
+class Registry;
+class Histogram;
+}
+
 namespace adafl::net::transport {
 
 /// Protocol version carried in HELLO; bumped on incompatible changes.
 constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Shared inbox between an event-loop standby connection and the Transport
+/// adapter handed to the replication publisher (defined in session.cpp).
+struct LoopPeerState;
 
 // --- Message payload codecs (exposed for tests and scripted peers). ------
 
@@ -128,7 +138,12 @@ struct ServerSessionConfig {
   /// processed), periodically re-send the pending frame — MODEL to
   /// connected clients that have not scored, SELECT to selected clients
   /// that have not uploaded. Recovers from frames lost in flight without
-  /// waiting for the round deadline. <= 0 disables.
+  /// waiting for the round deadline. This is the FIRST gap only: each
+  /// firing doubles the gap until the phase ends (reset at the next
+  /// phase), so retransmission traffic grows logarithmically with phase
+  /// length instead of linearly — a fleet that is merely slow is not
+  /// spammed into a resend storm. <= 0 disables; pointless over TCP
+  /// (reliable stream + rejoin catch-up), essential over lossy UDP.
   std::chrono::milliseconds retransmit_nudge{2000};
   /// Opaque config forwarded to every client in WELCOME.
   std::map<std::string, std::string> client_config;
@@ -161,6 +176,13 @@ struct ServerSessionConfig {
   /// from the poll loop, and stands standbys down on orderly completion.
   /// Not owned; must outlive run().
   replication::CheckpointPublisher* publisher = nullptr;
+
+  /// Optional metrics registry. When set, the session records the
+  /// "server.round_latency_ms" histogram (wall time per committed round)
+  /// and — in event-loop mode — "server.frame_dispatch_ms" (enqueue on the
+  /// loop thread to drain on the session thread, the p99 of which is the
+  /// scaling health metric). Not owned; must outlive run().
+  metrics::Registry* registry = nullptr;
 };
 
 /// Runs the AdaFL server over any Transport mix (TCP and/or loopback).
@@ -175,6 +197,16 @@ class ServerSession {
   /// Hands a freshly-connected (not yet handshaken) transport to the
   /// session. Thread-safe.
   void add_transport(std::unique_ptr<Transport> t);
+
+  /// Switches the session onto an event-loop transport backend: the loop
+  /// (configured with its listener adopted, not yet started) owns every
+  /// TCP socket, run() starts/stops it, and the round loop drains the
+  /// loop's per-shard frame queues instead of polling Transports — UPDATE
+  /// payloads of one service pass decode in parallel on the worker pool
+  /// (one disjoint delivery slot per client), everything else is handled
+  /// on the session thread in arrival order. add_transport() connections
+  /// keep working alongside (the UDP path). Call before run().
+  void attach_event_loop(EventLoop* loop);
 
   /// Runs all configured rounds; returns the training log. Call once.
   fl::TrainLog run();
@@ -205,15 +237,38 @@ class ServerSession {
     std::map<int, double> ratio_of;  ///< selected id -> compression ratio
     std::set<int> awaiting;          ///< selected ids still owing an UPDATE
     metrics::CommLedger* ledger = nullptr;
+    /// The round's MODEL frame, built lazily on first send and reused for
+    /// every broadcast/nudge/rejoin (the global does not change within a
+    /// round). In event-loop mode `model_bytes` additionally caches the
+    /// encoded frame ONCE — the same immutable buffer is queued to every
+    /// connection, so a 10k-client broadcast encodes the model one time.
+    Frame model_frame;
+    std::shared_ptr<const std::vector<std::uint8_t>> model_bytes;
+    bool model_ready = false;
   };
 
   /// Sends `f` on client `id`'s connection; on failure the connection is
-  /// dropped. Returns delivered frame size (0 on failure).
-  std::size_t send_to(int id, const Frame& f);
+  /// dropped. Returns delivered frame size (0 on failure). When `pre` is
+  /// non-null in event-loop mode, the pre-encoded bytes are queued instead
+  /// of re-encoding `f` (broadcast fast path).
+  std::size_t send_to(
+      int id, const Frame& f,
+      const std::shared_ptr<const std::vector<std::uint8_t>>* pre = nullptr);
   void send_model(RoundCtx& rc, int id);
+  /// True when client `id` currently has a live connection (either mode).
+  bool connected(int id) const;
   /// Services pending handshakes and one poll pass over all connections.
   /// Returns true if any frame was processed (progress).
   bool service(RoundCtx& rc);
+  /// service() for event-loop mode: drain shard queues, parallel-decode
+  /// UPDATE frames, handle the rest sequentially in arrival order.
+  bool service_event_loop(RoundCtx& rc);
+  /// Handles the first frame of an unbound event-loop connection
+  /// (HELLO -> client binding + WELCOME + catchup; STANDBY_HELLO -> hand
+  /// to the replication publisher; anything else -> close).
+  void handle_loop_handshake(RoundCtx& rc, const InFrame& inf);
+  /// Closes an event-loop connection and forgets its client binding.
+  void drop_loop_conn(ConnId conn);
   void handle_frame(RoundCtx& rc, int id, const Frame& f);
   /// Re-sends the stalled phase's pending frame (MODEL / SELECT); books the
   /// bytes as retransmitted.
@@ -243,6 +298,26 @@ class ServerSession {
   std::vector<std::unique_ptr<Transport>> pending_;  ///< awaiting HELLO
   std::vector<std::unique_ptr<Transport>> conns_;    ///< by client id
   std::vector<bool> ever_joined_;
+
+  // --- Event-loop mode state (loop_ != nullptr). --------------------------
+  static constexpr ConnId kNoConn = ~ConnId{0};
+  EventLoop* loop_ = nullptr;
+  std::vector<ConnId> client_conn_;        ///< client id -> conn (kNoConn)
+  std::map<ConnId, int> conn_client_;      ///< conn -> bound client id
+  /// Standby connections adopted by the replication publisher: the session
+  /// forwards their frames into this shared inbox (see LoopPeerTransport
+  /// in session.cpp).
+  std::map<ConnId, std::shared_ptr<LoopPeerState>> standby_links_;
+  std::vector<InFrame> frame_batch_;       ///< reused per service pass
+  struct DecodeJob {
+    std::size_t batch_index = 0;
+    int client = 0;
+  };
+  std::vector<DecodeJob> decode_jobs_;     ///< reused per service pass
+  std::vector<char> decode_ok_;
+  std::vector<char> pending_decode_;       ///< per-client in-batch dedupe
+  std::shared_ptr<const std::vector<std::uint8_t>> welcome_frame_bytes_;
+  metrics::Histogram* dispatch_hist_ = nullptr;
 
   /// Per-client delivery slots reused across rounds (frame decoding lands
   /// straight in the slot, so steady-state rounds reuse the same storage);

@@ -88,6 +88,11 @@ class TcpListener {
   void close();
   bool closed() const { return closed_.load(); }
 
+  /// The listening socket, for EventLoop::adopt_listener. The listener
+  /// still owns the fd (close()/dtor semantics unchanged); do not accept()
+  /// on this object while an event loop drives the fd.
+  int fd() const { return fd_.load(); }
+
  private:
   std::atomic<int> fd_{-1};
   std::atomic<bool> closed_{false};

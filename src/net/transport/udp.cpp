@@ -578,8 +578,10 @@ struct UdpMux {
   std::atomic<bool> closed{false};
 
   struct Peer {
+    std::mutex mu;  ///< guards q only; never held with reg_mu or another peer
+    std::condition_variable cv;
     std::deque<std::vector<std::uint8_t>> q;
-    bool dead = false;
+    std::atomic<bool> dead{false};
     std::string desc;
     std::string key;  ///< raw-sockaddr map key (for tombstone eviction)
     sockaddr_storage addr{};
@@ -589,13 +591,25 @@ struct UdpMux {
   /// Dead peers linger in the map this many retirements as tombstones
   /// before their entries are reclaimed.
   static constexpr std::size_t kTombstoneGrace = 64;
+  /// Route-cache bound: past this the cache is simply cleared (it is a pure
+  /// cache over `peers`; a clear costs one reg_mu lookup per peer).
+  static constexpr std::size_t kRouteCacheMax = 4096;
 
-  std::mutex mu;  ///< guards peers / pending / tombstones / every Peer
-  std::condition_variable cv;
+  /// Registration state, cold path only: taken when a datagram arrives from
+  /// an unknown address, on accept(), and on retire — never per datagram
+  /// from a known peer.
+  std::mutex reg_mu;
+  std::condition_variable reg_cv;  ///< new pending peer / shutdown
   std::map<std::string, std::shared_ptr<Peer>> peers;
   std::deque<std::shared_ptr<Peer>> pending;
   std::deque<std::string> tombstones;  ///< retirement order (FIFO window)
-  std::mutex pump_mu;  ///< at most one thread drains the socket at a time
+
+  /// At most one thread drains the socket at a time; the holder owns
+  /// route_cache and pump_buf, so the hot receive path resolves known
+  /// senders without touching any shared lock at all.
+  std::mutex pump_mu;
+  std::map<std::string, std::shared_ptr<Peer>> route_cache;
+  std::vector<std::uint8_t> pump_buf;
 
   ~UdpMux() {
     // The fd is released only here: every transport and the listener hold a
@@ -605,63 +619,87 @@ struct UdpMux {
 
   void shut() {
     closed.store(true);
-    std::lock_guard<std::mutex> lk(mu);
-    for (auto& [key, p] : peers) p->dead = true;
-    cv.notify_all();
+    std::lock_guard<std::mutex> lk(reg_mu);
+    for (auto& [key, p] : peers) {
+      p->dead.store(true);
+      std::lock_guard<std::mutex> plk(p->mu);
+      p->cv.notify_all();
+    }
+    reg_cv.notify_all();
   }
 
   /// Drains the socket into per-peer queues, waiting up to `timeout` for
-  /// readability. If another thread is already pumping, waits on the cv
-  /// instead (it will route our datagrams for us).
-  void pump(std::chrono::milliseconds timeout) {
+  /// readability. Returns false without doing anything when another thread
+  /// already holds the pump (the caller then waits on its own peer's cv —
+  /// the drainer routes and notifies for everyone).
+  bool pump(std::chrono::milliseconds timeout) {
     std::unique_lock<std::mutex> plk(pump_mu, std::try_to_lock);
-    if (!plk.owns_lock()) {
-      std::unique_lock<std::mutex> lk(mu);
-      cv.wait_for(lk, timeout);
-      return;
-    }
-    if (closed.load()) return;
+    if (!plk.owns_lock()) return false;
+    if (closed.load()) return true;
     struct pollfd p{};
     p.fd = fd;
     p.events = POLLIN;
     const int rc = ::poll(&p, 1, static_cast<int>(timeout.count()));
-    if (rc <= 0 || closed.load()) return;
-    std::vector<std::uint8_t> buf(kRecvBufBytes);
+    if (rc <= 0 || closed.load()) return true;
+    if (pump_buf.size() < kRecvBufBytes) pump_buf.resize(kRecvBufBytes);
     for (;;) {
       sockaddr_storage ss{};
       socklen_t sl = sizeof(ss);
       const ssize_t n =
-          ::recvfrom(fd, buf.data(), buf.size(), MSG_DONTWAIT,
+          ::recvfrom(fd, pump_buf.data(), pump_buf.size(), MSG_DONTWAIT,
                      reinterpret_cast<sockaddr*>(&ss), &sl);
       if (n < 0) break;
-      route({buf.data(), static_cast<std::size_t>(n)}, ss, sl);
+      route({pump_buf.data(), static_cast<std::size_t>(n)}, ss, sl);
     }
+    return true;
   }
 
+  /// Routes one datagram to its peer. Caller holds pump_mu. The cache hit
+  /// path — every datagram after a peer's first — takes only that peer's
+  /// own lock; reg_mu is touched solely for unknown senders (registration)
+  /// and stale cache entries.
   void route(std::span<const std::uint8_t> d, const sockaddr_storage& ss,
              socklen_t sl) {
     const std::string key(reinterpret_cast<const char*>(&ss),
                           static_cast<std::size_t>(sl));
-    std::lock_guard<std::mutex> lk(mu);
-    auto it = peers.find(key);
     std::shared_ptr<Peer> p;
-    if (it == peers.end()) {
-      p = std::make_shared<Peer>();
-      p->addr = ss;
-      p->alen = sl;
-      p->desc = describe(ss);
-      p->key = key;
-      peers.emplace(key, p);
-      pending.push_back(p);
-    } else {
-      p = it->second;
+    auto cit = route_cache.find(key);
+    if (cit != route_cache.end()) {
+      if (cit->second->dead.load()) {
+        // Stale cache entry: the address may have been reclaimed past its
+        // tombstone window and re-registered — re-resolve from the map.
+        route_cache.erase(cit);
+      } else {
+        p = cit->second;
+      }
+    }
+    if (!p) {
+      std::lock_guard<std::mutex> lk(reg_mu);
+      auto it = peers.find(key);
+      if (it == peers.end()) {
+        p = std::make_shared<Peer>();
+        p->addr = ss;
+        p->alen = sl;
+        p->desc = describe(ss);
+        p->key = key;
+        peers.emplace(key, p);
+        pending.push_back(p);
+        reg_cv.notify_all();
+      } else {
+        p = it->second;
+      }
+      if (route_cache.size() >= kRouteCacheMax) route_cache.clear();
+      route_cache.emplace(key, p);
     }
     // Dead peers stay in the map as tombstones so stragglers from a closed
     // connection don't masquerade as a new client — but only for a bounded
     // grace window (see retire()), so churn can't grow the map forever.
-    if (!p->dead && p->q.size() < kMaxQueuedDatagrams)
-      p->q.emplace_back(d.begin(), d.end());
-    cv.notify_all();
+    if (!p->dead.load()) {
+      std::lock_guard<std::mutex> plk(p->mu);
+      if (p->q.size() < kMaxQueuedDatagrams)
+        p->q.emplace_back(d.begin(), d.end());
+      p->cv.notify_all();
+    }
   }
 
   /// Marks a peer dead and schedules its address-map entry for eviction.
@@ -669,18 +707,21 @@ struct UdpMux {
   /// it; once kTombstoneGrace newer retirements have happened, the entry
   /// is reclaimed and the address may join as a fresh peer again.
   void retire(const std::shared_ptr<Peer>& p) {
-    std::lock_guard<std::mutex> lk(mu);
-    if (!p->dead) {
-      p->dead = true;
+    const bool was_dead = p->dead.exchange(true);
+    {
+      std::lock_guard<std::mutex> plk(p->mu);
       p->q.clear();
-      tombstones.push_back(p->key);
-      while (tombstones.size() > kTombstoneGrace) {
-        auto it = peers.find(tombstones.front());
-        if (it != peers.end() && it->second->dead) peers.erase(it);
-        tombstones.pop_front();
-      }
+      p->cv.notify_all();
     }
-    cv.notify_all();
+    if (was_dead) return;
+    std::lock_guard<std::mutex> lk(reg_mu);
+    tombstones.push_back(p->key);
+    while (tombstones.size() > kTombstoneGrace) {
+      auto it = peers.find(tombstones.front());
+      if (it != peers.end() && it->second->dead.load()) peers.erase(it);
+      tombstones.pop_front();
+    }
+    reg_cv.notify_all();
   }
 
   bool send_to(const Peer& p, std::span<const std::uint8_t> d) {
@@ -724,10 +765,7 @@ class MuxPeerLink final : public DatagramLink {
   ~MuxPeerLink() override { close(); }
 
   bool send(std::span<const std::uint8_t> datagram) override {
-    {
-      std::lock_guard<std::mutex> lk(mux_->mu);
-      if (peer_->dead) return false;
-    }
+    if (peer_->dead.load()) return false;
     return mux_->send_to(*peer_, datagram);
   }
 
@@ -736,23 +774,30 @@ class MuxPeerLink final : public DatagramLink {
     const auto deadline = Clock::now() + timeout;
     for (;;) {
       {
-        std::lock_guard<std::mutex> lk(mux_->mu);
+        std::lock_guard<std::mutex> lk(peer_->mu);
         if (!peer_->q.empty()) {
           std::vector<std::uint8_t> d = std::move(peer_->q.front());
           peer_->q.pop_front();
           return d;
         }
-        if (peer_->dead || mux_->closed.load()) return std::nullopt;
       }
+      if (peer_->dead.load() || mux_->closed.load()) return std::nullopt;
       const auto now = Clock::now();
       if (now >= deadline && timeout.count() != 0) return std::nullopt;
       auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           deadline - now);
       if (left.count() < 0) left = std::chrono::milliseconds{0};
-      mux_->pump(std::min(left, kMuxSlice));
+      left = std::min(left, kMuxSlice);
+      if (!mux_->pump(left)) {
+        // Another thread holds the pump: sleep on our own queue's cv — the
+        // drainer routes into it and notifies (no global lock involved).
+        std::unique_lock<std::mutex> lk(peer_->mu);
+        if (peer_->q.empty() && !peer_->dead.load() && left.count() > 0)
+          peer_->cv.wait_for(lk, left);
+      }
       if (timeout.count() == 0) {
         // One nonblocking drain, then report whatever arrived.
-        std::lock_guard<std::mutex> lk(mux_->mu);
+        std::lock_guard<std::mutex> lk(peer_->mu);
         if (peer_->q.empty()) return std::nullopt;
         std::vector<std::uint8_t> d = std::move(peer_->q.front());
         peer_->q.pop_front();
@@ -762,8 +807,7 @@ class MuxPeerLink final : public DatagramLink {
   }
 
   bool closed() const override {
-    std::lock_guard<std::mutex> lk(mux_->mu);
-    return peer_->dead || mux_->closed.load();
+    return peer_->dead.load() || mux_->closed.load();
   }
 
   void close() override { mux_->retire(peer_); }
@@ -821,22 +865,28 @@ void UdpListener::close() { mux_->shut(); }
 bool UdpListener::closed() const { return mux_->closed.load(); }
 
 std::size_t UdpListener::peer_count() const {
-  std::lock_guard<std::mutex> lk(mux_->mu);
+  std::lock_guard<std::mutex> lk(mux_->reg_mu);
   return mux_->peers.size();
 }
+
+int UdpListener::fd() const { return mux_->fd; }
 
 std::unique_ptr<Transport> UdpListener::accept(
     std::chrono::milliseconds timeout) {
   const auto deadline = Clock::now() + timeout;
+  // accept(0ms) — the event-loop readable callback — still drains once:
+  // whatever the kernel has buffered registers its senders before the
+  // pending check below, without ever blocking.
+  if (timeout.count() == 0) mux_->pump(std::chrono::milliseconds(0));
   for (;;) {
     if (mux_->closed.load()) return nullptr;
     std::shared_ptr<detail::UdpMux::Peer> p;
     {
-      std::lock_guard<std::mutex> lk(mux_->mu);
+      std::lock_guard<std::mutex> lk(mux_->reg_mu);
       while (!mux_->pending.empty()) {
         auto cand = mux_->pending.front();
         mux_->pending.pop_front();
-        if (!cand->dead) {
+        if (!cand->dead.load()) {
           p = std::move(cand);
           break;
         }
@@ -847,9 +897,15 @@ std::unique_ptr<Transport> UdpListener::accept(
           std::make_unique<MuxPeerLink>(mux_, std::move(p)), cfg_);
     const auto now = Clock::now();
     if (now >= deadline) return nullptr;
-    const auto left =
+    auto left =
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-    mux_->pump(std::min(left, kMuxSlice));
+    left = std::min(left, kMuxSlice);
+    if (!mux_->pump(left)) {
+      // A transport thread is draining; wait for it to register someone.
+      std::unique_lock<std::mutex> lk(mux_->reg_mu);
+      if (mux_->pending.empty() && !mux_->closed.load())
+        mux_->reg_cv.wait_for(lk, left);
+    }
   }
 }
 

@@ -306,6 +306,11 @@ class UdpListener {
   /// window slides past them, so this stays bounded under churn.
   std::size_t peer_count() const;
 
+  /// The mux's UDP socket, for EventLoop::watch_fd: the loop thread calls
+  /// accept(0ms) when it turns readable instead of a thread blocking here.
+  /// The mux still owns the fd.
+  int fd() const;
+
  private:
   std::shared_ptr<detail::UdpMux> mux_;
   UdpFecConfig cfg_;

@@ -16,7 +16,9 @@
 #include "cli/task.h"
 #include "core/adafl_sync.h"
 #include "fl/client.h"
+#include "metrics/registry.h"
 #include "metrics/trace.h"
+#include "net/transport/event_loop.h"
 #include "net/transport/faulty.h"
 #include "net/transport/loopback.h"
 #include "net/transport/session.h"
@@ -318,6 +320,83 @@ inline DeployedResult run_deployed_tcp(
   done.store(true);
   listener.close();
   acceptor.join();
+  for (auto& t : threads) t.join();
+  res.global = server.global();
+  res.stats = server.stats();
+  return res;
+}
+
+/// Full deployed run over real TCP on 127.0.0.1 driven by the epoll event
+/// loop (the flserver production path): the loop owns the listening fd and
+/// every accepted socket, and the session runs in loop mode
+/// (attach_event_loop) with sharded parallel UPDATE decode. Mirrors
+/// run_deployed_tcp's crash-injection knobs so the rejoin/catch-up paths get
+/// exercised through the loop handshake.
+inline DeployedResult run_deployed_event_loop(
+    const cli::TaskSpec& spec, const fl::ClientTrainConfig& client,
+    const core::AdaFlParams& params, int rounds,
+    const net::transport::EventLoopConfig& lcfg =
+        net::transport::EventLoopConfig{},
+    metrics::Tracer* tracer = nullptr, int quorum = 0,
+    std::chrono::milliseconds deadline = std::chrono::milliseconds(30000),
+    int crash_client = -1, int crash_round = 0,
+    metrics::Registry* registry = nullptr) {
+  using namespace net::transport;
+  auto task = cli::build_task(spec);
+  ServerSessionConfig scfg = make_server_config(spec, client, params, rounds);
+  scfg.tracer = tracer;
+  scfg.registry = registry;
+  scfg.quorum = quorum;
+  scfg.round_deadline = deadline;
+  ServerSession server(scfg, task.factory, &task.test);
+
+  TcpListener listener(0);
+  const std::uint16_t port = listener.port();
+  // Declared after the session so it is destroyed (loop thread stopped)
+  // before the session members it feeds — same ordering as flserver.
+  EventLoop loop(lcfg);
+  loop.adopt_listener(listener.fd());
+  server.attach_event_loop(&loop);  // run() starts and stops the loop
+
+  const int n = spec.clients;
+  std::vector<std::optional<cli::TaskBundle>> bundles(
+      static_cast<std::size_t>(n));
+  DeployedResult res;
+  res.clients.resize(static_cast<std::size_t>(n));
+  std::vector<std::thread> threads;
+  for (int id = 0; id < n; ++id) {
+    threads.emplace_back([&, id] {
+      ClientSessionConfig ccfg = test_client_config(id);
+      auto crash_fired = std::make_shared<std::atomic<bool>>(false);
+      const bool crashes = id == crash_client && crash_round > 0;
+      if (crashes) {
+        ccfg.backoff.initial = std::chrono::milliseconds(1);
+        ccfg.backoff.max = std::chrono::milliseconds(50);
+      }
+      ClientSession cs(
+          ccfg,
+          [port, crashes, crash_round,
+           crash_fired]() -> std::unique_ptr<Transport> {
+            auto t = TcpTransport::connect("127.0.0.1", port,
+                                           std::chrono::milliseconds(1000));
+            if (!t || !crashes || crash_fired->load()) return t;
+            FaultPlan plan;
+            plan.sever_on_recv(MsgType::kModel, crash_round);
+            auto faulty = std::make_unique<FaultyTransport>(std::move(t),
+                                                            std::move(plan));
+            faulty->set_on_fault([crash_fired](const FaultRule&,
+                                               const Frame&) {
+              crash_fired->store(true);
+            });
+            return faulty;
+          },
+          make_bootstrap(&bundles[static_cast<std::size_t>(id)]));
+      res.clients[static_cast<std::size_t>(id)] = cs.run();
+    });
+  }
+
+  res.log = server.run();
+  listener.close();
   for (auto& t : threads) t.join();
   res.global = server.global();
   res.stats = server.stats();

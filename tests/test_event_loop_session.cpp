@@ -1,0 +1,155 @@
+// ServerSession in event-loop mode (the flserver production path): the
+// epoll loop owns the sockets, UPDATEs are decoded in parallel across
+// shards, and apply_round aggregates in parallel over element ranges — yet
+// the run must stay bitwise identical to the in-process simulator at every
+// shard count and worker-thread count, survive a mid-round client crash,
+// and populate the round-latency / frame-dispatch histograms.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/parallel.h"
+#include "deployed_test_util.h"
+
+namespace adafl::net::transport {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Restores the automatic pool size even when an assertion fails mid-test.
+struct ThreadGuard {
+  ~ThreadGuard() { core::set_num_threads(0); }
+};
+
+TEST(EventLoopSession, DeployedMatchesSimulatorBitwise) {
+  const auto spec = testutil::small_task_spec();
+  const auto client = testutil::small_client_config();
+  const auto params = testutil::small_params();
+  const int rounds = 3;
+
+  const auto sim = testutil::run_simulator(spec, client, params, rounds);
+
+  EventLoopConfig lcfg;
+  lcfg.shards = 2;
+  metrics::Registry registry;
+  const auto dep = testutil::run_deployed_event_loop(
+      spec, client, params, rounds, lcfg, /*tracer=*/nullptr, /*quorum=*/0,
+      milliseconds(30000), /*crash_client=*/-1, /*crash_round=*/0, &registry);
+
+  ASSERT_EQ(dep.global.size(), sim.global.size());
+  EXPECT_EQ(dep.global, sim.global);  // bitwise: float == float
+  ASSERT_EQ(dep.log.records.size(), sim.log.records.size());
+  for (std::size_t i = 0; i < sim.log.records.size(); ++i) {
+    EXPECT_EQ(dep.log.records[i].test_accuracy,
+              sim.log.records[i].test_accuracy)
+        << "round " << sim.log.records[i].round;
+  }
+  EXPECT_EQ(dep.stats.selected_updates, sim.stats.selected_updates);
+  EXPECT_EQ(dep.stats.skipped_clients, sim.stats.skipped_clients);
+  for (const auto& st : dep.clients) {
+    EXPECT_TRUE(st.completed);
+    EXPECT_EQ(st.rounds_trained, rounds);
+    EXPECT_EQ(st.reconnects, 0);
+  }
+
+  // The loop-mode observability: one latency sample per round, dispatch
+  // samples for every frame the session drained, and a sane percentile
+  // ordering on each.
+  const auto& rl = registry.histogram("server.round_latency_ms");
+  EXPECT_EQ(rl.count(), static_cast<std::uint64_t>(rounds));
+  const auto& fd = registry.histogram("server.frame_dispatch_ms");
+  EXPECT_GT(fd.count(), 0u);
+  EXPECT_LE(fd.percentile(0.5), fd.percentile(0.99));
+  EXPECT_GE(fd.percentile(0.99), fd.min());
+  EXPECT_LE(fd.percentile(0.99), fd.max());
+}
+
+// Shard count is a performance knob, never a semantics knob: 1 shard and 3
+// shards must both reproduce the simulator bitwise (decode batching and the
+// element-range parallel aggregation cannot depend on the partition).
+TEST(EventLoopSession, ShardCountInvariant) {
+  const auto spec = testutil::small_task_spec();
+  const auto client = testutil::small_client_config();
+  const auto params = testutil::small_params();
+  const int rounds = 3;
+
+  const auto sim = testutil::run_simulator(spec, client, params, rounds);
+  for (int shards : {1, 3}) {
+    EventLoopConfig lcfg;
+    lcfg.shards = shards;
+    const auto dep = testutil::run_deployed_event_loop(spec, client, params,
+                                                       rounds, lcfg);
+    EXPECT_EQ(dep.global, sim.global) << "shards=" << shards;
+  }
+}
+
+// Worker-thread count sweeps the parallel_for_blocked partition under the
+// sharded apply_round; the per-element accumulation order is fixed by
+// selection order, so the result is bitwise invariant.
+TEST(EventLoopSession, WorkerThreadCountInvariant) {
+  ThreadGuard guard;
+  const auto spec = testutil::small_task_spec();
+  const auto client = testutil::small_client_config();
+  const auto params = testutil::small_params();
+  const int rounds = 2;
+
+  core::set_num_threads(1);
+  const auto base = testutil::run_simulator(spec, client, params, rounds);
+  for (int threads : {2, 4}) {
+    core::set_num_threads(threads);
+    EventLoopConfig lcfg;
+    lcfg.shards = 2;
+    const auto dep = testutil::run_deployed_event_loop(spec, client, params,
+                                                       rounds, lcfg);
+    EXPECT_EQ(dep.global, base.global) << "threads=" << threads;
+  }
+}
+
+// Tiny queues force the backpressure path (reads paused mid-round) in a
+// real session; the run must still complete and match the simulator.
+TEST(EventLoopSession, SurvivesSaturatedQueues) {
+  const auto spec = testutil::small_task_spec();
+  const auto client = testutil::small_client_config();
+  const auto params = testutil::small_params();
+  const int rounds = 3;
+
+  const auto sim = testutil::run_simulator(spec, client, params, rounds);
+  EventLoopConfig lcfg;
+  lcfg.shards = 1;
+  lcfg.queue_depth = 2;
+  lcfg.read_budget = 4096;
+  const auto dep =
+      testutil::run_deployed_event_loop(spec, client, params, rounds, lcfg);
+  EXPECT_EQ(dep.global, sim.global);
+  for (const auto& st : dep.clients) EXPECT_TRUE(st.completed);
+}
+
+// A client that severs its connection on round 2's MODEL must be able to
+// rejoin through the event-loop handshake (rebind + catch-up) while the
+// server finishes every round on the survivors' quorum.
+TEST(EventLoopSession, CrashedClientRejoins) {
+  const auto spec = testutil::small_task_spec();
+  const auto client = testutil::small_client_config();
+  const auto params = testutil::small_params();
+  const int rounds = 4;
+
+  const auto dep = testutil::run_deployed_event_loop(
+      spec, client, params, rounds, EventLoopConfig{}, /*tracer=*/nullptr,
+      /*quorum=*/3, milliseconds(5000), /*crash_client=*/3,
+      /*crash_round=*/2);
+
+  ASSERT_EQ(dep.log.records.size(), static_cast<std::size_t>(rounds));
+  for (const auto& rec : dep.log.records) EXPECT_GE(rec.participants, 1);
+  EXPECT_GE(dep.clients[3].reconnects, 1);
+  EXPECT_GE(dep.log.ledger.total_reconnects(), 1);
+  for (int id = 0; id < 3; ++id) {
+    EXPECT_TRUE(dep.clients[static_cast<std::size_t>(id)].completed) << id;
+    EXPECT_EQ(dep.clients[static_cast<std::size_t>(id)].rounds_trained,
+              rounds)
+        << id;
+  }
+  EXPECT_GE(dep.clients[3].rounds_trained, 2);
+}
+
+}  // namespace
+}  // namespace adafl::net::transport

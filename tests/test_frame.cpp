@@ -200,5 +200,128 @@ TEST(Frame, EncodeRejectsOversizedPayload) {
   EXPECT_THROW(encode_frame(f), CheckError);
 }
 
+// --- consume(): the event loop's non-copying feed. ------------------------
+
+namespace {
+
+/// A stream of frames with varied payload sizes, including empty.
+std::vector<std::uint8_t> sample_stream(std::vector<Frame>* frames_out) {
+  std::vector<Frame> frames;
+  for (int i = 0; i < 5; ++i) {
+    Frame f;
+    f.type = i % 2 == 0 ? MsgType::kUpdate : MsgType::kScore;
+    f.round = static_cast<std::uint32_t>(i);
+    f.client_id = static_cast<std::uint32_t>(100 + i);
+    f.payload.resize(static_cast<std::size_t>(i) * 37);
+    for (std::size_t j = 0; j < f.payload.size(); ++j)
+      f.payload[j] = static_cast<std::uint8_t>(i * 31 + j * 7);
+    frames.push_back(std::move(f));
+  }
+  std::vector<std::uint8_t> stream;
+  for (const Frame& f : frames) {
+    const auto bytes = encode_frame(f);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  *frames_out = std::move(frames);
+  return stream;
+}
+
+std::vector<Frame> drain(FrameParser& p) {
+  std::vector<Frame> out;
+  while (auto f = p.next()) out.push_back(std::move(*f));
+  return out;
+}
+
+void expect_same_frames(const std::vector<Frame>& got,
+                        const std::vector<Frame>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].type, want[i].type) << "frame " << i;
+    EXPECT_EQ(got[i].round, want[i].round) << "frame " << i;
+    EXPECT_EQ(got[i].client_id, want[i].client_id) << "frame " << i;
+    EXPECT_EQ(got[i].payload, want[i].payload) << "frame " << i;
+  }
+}
+
+}  // namespace
+
+TEST(FrameParserConsume, WholeBufferMatchesFeed) {
+  std::vector<Frame> want;
+  const auto stream = sample_stream(&want);
+  FrameParser p;
+  std::size_t completed = p.consume(stream);
+  EXPECT_EQ(completed, want.size());
+  expect_same_frames(drain(p), want);
+  EXPECT_EQ(p.pending_bytes(), 0u);
+}
+
+// The pinned contract: ANY split of the stream across consume() calls —
+// byte-at-a-time being the worst case — yields the identical frame sequence
+// as one whole-buffer call.
+TEST(FrameParserConsume, ByteAtATimeMatchesWholeBuffer) {
+  std::vector<Frame> want;
+  const auto stream = sample_stream(&want);
+  FrameParser p;
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    completed += p.consume(std::span<const std::uint8_t>(&stream[i], 1));
+  EXPECT_EQ(completed, want.size());
+  expect_same_frames(drain(p), want);
+  EXPECT_EQ(p.pending_bytes(), 0u);
+}
+
+TEST(FrameParserConsume, EverySplitPointMatchesWholeBuffer) {
+  std::vector<Frame> want;
+  const auto stream = sample_stream(&want);
+  const std::span<const std::uint8_t> s(stream);
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    FrameParser p;
+    std::size_t completed = p.consume(s.subspan(0, cut));
+    completed += p.consume(s.subspan(cut));
+    EXPECT_EQ(completed, want.size()) << "split at " << cut;
+    expect_same_frames(drain(p), want);
+    EXPECT_EQ(p.pending_bytes(), 0u) << "split at " << cut;
+  }
+}
+
+// consume() and feed() interleave on one parser: a partial frame buffered by
+// consume() is finished by feed() and vice versa.
+TEST(FrameParserConsume, InterleavesWithFeed) {
+  std::vector<Frame> want;
+  const auto stream = sample_stream(&want);
+  const std::span<const std::uint8_t> s(stream);
+  FrameParser p;
+  bool use_consume = true;
+  const std::size_t chunk = 13;  // never aligned with a frame boundary
+  for (std::size_t off = 0; off < s.size(); off += chunk) {
+    const auto part = s.subspan(off, std::min(chunk, s.size() - off));
+    if (use_consume)
+      p.consume(part);
+    else
+      p.feed(part);
+    use_consume = !use_consume;
+  }
+  expect_same_frames(drain(p), want);
+  EXPECT_EQ(p.pending_bytes(), 0u);
+}
+
+TEST(FrameParserConsume, RejectsBadMagic) {
+  auto bytes = encode_frame(sample_frame());
+  bytes[0] ^= 0xFF;
+  FrameParser p;
+  EXPECT_THROW(p.consume(bytes), CheckError);
+}
+
+TEST(FrameParserConsume, RejectsCorruptedPayloadCrcInBufferedTail) {
+  auto bytes = encode_frame(sample_frame());
+  bytes.back() ^= 0x01;
+  // Split mid-payload so the corrupt tail goes through the buffered
+  // completion path, not the in-place decode.
+  FrameParser p;
+  const std::span<const std::uint8_t> s(bytes);
+  p.consume(s.subspan(0, bytes.size() - 5));
+  EXPECT_THROW(p.consume(s.subspan(bytes.size() - 5)), CheckError);
+}
+
 }  // namespace
 }  // namespace adafl::net::transport

@@ -237,6 +237,41 @@ TEST(Registry, CountersGaugesHistograms) {
   EXPECT_THROW(h.observe(-1.0), CheckError);
 }
 
+TEST(Registry, HistogramPercentile) {
+  Histogram empty;
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+
+  // Single sample: every percentile collapses to it (the log-bucket
+  // estimate is clamped to the exact observed [min, max]).
+  Histogram one;
+  one.observe(7.0);
+  for (double p : {0.0, 0.5, 0.99, 1.0}) EXPECT_EQ(one.percentile(p), 7.0);
+
+  // A spread over several buckets: tails anchor on the exact min/max, the
+  // estimate is monotone in p and never leaves the observed range.
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.percentile(0.0), 1.0);
+  EXPECT_EQ(h.percentile(1.0), 100.0);
+  double prev = 0.0;
+  for (double p : {0.1, 0.25, 0.5, 0.9, 0.95, 0.99}) {
+    const double est = h.percentile(p);
+    EXPECT_GE(est, prev) << "p=" << p;
+    EXPECT_GE(est, h.min());
+    EXPECT_LE(est, h.max());
+    prev = est;
+  }
+  // The p50 of uniform 1..100 lands in the [32,64) bucket; the estimate
+  // must be in the right neighbourhood even with log-bucket resolution.
+  EXPECT_GT(h.percentile(0.5), 30.0);
+  EXPECT_LT(h.percentile(0.5), 65.0);
+  // p99 must sit near the top of the range.
+  EXPECT_GE(h.percentile(0.99), 64.0);
+
+  EXPECT_THROW(h.percentile(-0.1), CheckError);
+  EXPECT_THROW(h.percentile(1.5), CheckError);
+}
+
 TEST(Registry, JsonIsDeterministicAndSorted) {
   auto build = [] {
     Registry reg;

@@ -5,6 +5,7 @@
 // trace-identical to the simulator with ZERO retransmits and ZERO
 // reconnects, because parity absorbs the loss with no round trips.
 #include <gtest/gtest.h>
+#include <poll.h>
 
 #include <algorithm>
 #include <atomic>
@@ -454,8 +455,9 @@ void run_udp_equivalence(const DatagramFaultPlan& plan,
     EXPECT_EQ(c.reconnects, 0);
   }
   EXPECT_EQ(dep.log.ledger.total_reconnects(), 0);
-  if (expect_zero_retransmits)
+  if (expect_zero_retransmits) {
     EXPECT_EQ(dep.log.ledger.total_retransmitted_bytes(), 0);
+  }
 
   // Semantic trace equality, exactly as scripts/trace_diff.py computes it;
   // datagram_lost/fec_repair exist only on the deployed side and are
@@ -559,6 +561,111 @@ TEST(UdpRealSocket, MuxEvictsDroppedPeersUnderChurn) {
   }
   // Live entries: zero. Tombstoned entries: at most the grace window.
   EXPECT_LE(listener.peer_count(), 70u);
+  listener.close();
+}
+
+TEST(UdpRealSocket, ZeroTimeoutAcceptDrainsReadableFd) {
+  // The event-loop integration contract: flserver watches listener.fd() in
+  // the epoll loop and, on readability, drains new peers with
+  // accept(0ms). A zero-timeout accept must therefore do one non-blocking
+  // pump (discovering any sender whose datagram is sitting in the socket
+  // buffer) instead of returning before ever reading the socket.
+  FecStats stats;
+  UdpFecConfig cfg = small_cfg(&stats);
+  UdpListener listener(0, cfg);
+  ASSERT_GE(listener.fd(), 0);
+
+  // Nothing pending: immediate nullptr, no blocking.
+  EXPECT_EQ(listener.accept(std::chrono::milliseconds(0)), nullptr);
+
+  auto link = UdpSocketLink::connect("127.0.0.1", listener.port());
+  ASSERT_NE(link, nullptr);
+  UdpTransport client(std::move(link), cfg);
+  ASSERT_TRUE(client.send(test_frame(64, 100)));
+
+  // Wait for readability exactly as the event loop would, then drain with
+  // zero timeout.
+  struct pollfd pfd{};
+  pfd.fd = listener.fd();
+  pfd.events = POLLIN;
+  ASSERT_GT(::poll(&pfd, 1, 3000), 0);
+  auto t = listener.accept(std::chrono::milliseconds(0));
+  ASSERT_NE(t, nullptr);
+  const auto f = t->recv(std::chrono::milliseconds(3000));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->round, 100u);
+  listener.close();
+}
+
+TEST(UdpRealSocket, ChurnConcurrentWithLiveTraffic) {
+  // The mux rework moves new-peer registration off the hot receive path:
+  // established peers exchanging frames (each recv pumps the shared socket
+  // or waits on its own per-peer cv) must not lose or stall traffic while
+  // other threads churn short-lived peers through the registration and
+  // tombstone paths.
+  FecStats stats;
+  UdpFecConfig cfg = small_cfg(&stats);
+  UdpListener listener(0, cfg);
+  constexpr int kPeers = 3;
+  constexpr int kFramesPerPeer = 20;
+  constexpr int kChurn = 30;
+
+  // Establish the persistent peers first so their server ends exist before
+  // the churn starts interleaving registrations.
+  std::vector<std::unique_ptr<UdpTransport>> clients;
+  std::vector<std::unique_ptr<Transport>> servers;
+  for (int p = 0; p < kPeers; ++p) {
+    auto link = UdpSocketLink::connect("127.0.0.1", listener.port());
+    ASSERT_NE(link, nullptr);
+    clients.push_back(std::make_unique<UdpTransport>(std::move(link), cfg));
+    ASSERT_TRUE(clients.back()->send(test_frame(64, 1000 + static_cast<std::uint32_t>(p))));
+    auto t = listener.accept(std::chrono::milliseconds(3000));
+    ASSERT_NE(t, nullptr);
+    ASSERT_TRUE(t->recv(std::chrono::milliseconds(3000)).has_value());
+    servers.push_back(std::move(t));
+  }
+
+  std::atomic<int> echoed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kPeers; ++p) {
+    threads.emplace_back([&, p] {  // server side: echo
+      for (int i = 0; i < kFramesPerPeer; ++i) {
+        auto f = servers[static_cast<std::size_t>(p)]->recv(
+            std::chrono::milliseconds(5000));
+        if (!f) return;
+        if (!servers[static_cast<std::size_t>(p)]->send(*f)) return;
+      }
+    });
+    threads.emplace_back([&, p] {  // client side: send + match echo
+      for (int i = 0; i < kFramesPerPeer; ++i) {
+        const Frame f = test_frame(
+            64, static_cast<std::uint32_t>(2000 + p * kFramesPerPeer + i));
+        if (!clients[static_cast<std::size_t>(p)]->send(f)) return;
+        const auto echo = clients[static_cast<std::size_t>(p)]->recv(
+            std::chrono::milliseconds(5000));
+        if (!echo || echo->round != f.round) return;
+        echoed.fetch_add(1);
+      }
+    });
+  }
+
+  // Churn transient peers through register -> retire while the echo
+  // traffic runs. Transient client sockets stay open (see
+  // MuxEvictsDroppedPeersUnderChurn for why).
+  std::vector<std::unique_ptr<UdpTransport>> transient;
+  for (int i = 0; i < kChurn; ++i) {
+    auto link = UdpSocketLink::connect("127.0.0.1", listener.port());
+    ASSERT_NE(link, nullptr);
+    transient.push_back(std::make_unique<UdpTransport>(std::move(link), cfg));
+    ASSERT_TRUE(transient.back()->send(test_frame(64, 5000 + static_cast<std::uint32_t>(i))));
+    auto t = listener.accept(std::chrono::milliseconds(3000));
+    ASSERT_NE(t, nullptr);
+    EXPECT_TRUE(t->recv(std::chrono::milliseconds(3000)).has_value());
+    t->close();
+  }
+
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(echoed.load(), kPeers * kFramesPerPeer);
   listener.close();
 }
 
