@@ -1,0 +1,224 @@
+#!/usr/bin/env bash
+# Hierarchical-tier soak: prove flrelay mid-tier aggregation end to end with
+# real processes, including kill -9 of an active relay with a hot standby.
+#
+# 1. Reference: flsim --algo=adafl-sync --agg-group=4 records the expected
+#    weights-crc32 and the semantic trace.
+# 2. An flserver runs with --agg-group=4; three flrelay processes attach:
+#    relay A covering clients [0, 4), a dormant --standby twin of A, and
+#    relay B covering [4, 8). Eight flclient processes dial the relays —
+#    never the server; clients 0-3 carry the standby in their --server
+#    endpoint list.
+# 3. After two committed rounds, relay A is killed with SIGKILL. No
+#    handover message is sent: its clients' redial budgets drain against the
+#    dead port, they rotate to the standby, and the standby claims the range
+#    from the server, which re-serves the round state mid-round.
+# 4. The run must finish with the reference weights-crc32 — bitwise tier
+#    transparency through the failover — every client completed, the
+#    standby promoted (completed=1, aggs-sent>0), and at least one client
+#    rotated endpoints.
+# 5. The server's trace must be semantically identical to the simulator's
+#    (scripts/trace_diff.py): the tree topology and the relay crash are
+#    invisible in the semantic stream.
+#
+# Usage: scripts/tier_soak.sh [build_dir]
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+BUILD_DIR="${1:-build}"
+CLI_DIR="$BUILD_DIR/src/cli"
+CLIENTS=8
+ROUNDS=6
+AGG_GROUP=4
+# Heavy enough per round (samples x steps) that the SIGKILL below reliably
+# lands mid-run rather than after the final round.
+TASK_FLAGS=(--model=mlp --clients=$CLIENTS --rounds=$ROUNDS --steps=8
+            --train-samples=2000 --test-samples=200 --seed=7 --k=3)
+
+for bin in flsim flserver flclient flrelay; do
+  if [[ ! -x "$CLI_DIR/$bin" ]]; then
+    echo "error: $CLI_DIR/$bin not found (build first)" >&2
+    exit 2
+  fi
+done
+
+workdir="$(mktemp -d)"
+server_pid=""
+relay_pids=()
+client_pids=()
+cleanup() {
+  [[ -n "$server_pid" ]] && kill "$server_pid" 2>/dev/null || true
+  for pid in "${relay_pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  for pid in "${client_pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+extract() { sed -n "s/^$2: //p" "$1" | head -n1; }
+# flrelay announces "flrelay: range [b, e) on port P ..." once listening.
+relay_port() { sed -n 's/.* on port \([0-9]*\).*/\1/p' "$1" | head -n1; }
+
+echo "== reference run (flsim --algo=adafl-sync --agg-group=$AGG_GROUP) =="
+"$CLI_DIR/flsim" --algo=adafl-sync "${TASK_FLAGS[@]}" \
+  --agg-group=$AGG_GROUP --chart=0 \
+  --trace="$workdir/sim.jsonl" > "$workdir/sim.log"
+ref_crc="$(extract "$workdir/sim.log" weights-crc32)"
+ref_acc="$(extract "$workdir/sim.log" final-accuracy)"
+echo "reference: accuracy=$ref_acc weights-crc32=$ref_crc"
+
+echo
+echo "== phase 1: server + relay tier + clients =="
+"$CLI_DIR/flserver" --port=0 "${TASK_FLAGS[@]}" --agg-group=$AGG_GROUP \
+  --nudge-ms=500 \
+  --trace="$workdir/server.jsonl" \
+  > "$workdir/server.log" 2>&1 &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(extract "$workdir/server.log" listening-on)"
+  [[ -n "$port" ]] && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "error: flserver exited early" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -n "$port" ]] || { echo "error: no listening-on line" >&2; exit 1; }
+echo "server listening on port $port"
+
+# Relay A (the victim), its standby twin, and relay B. Ephemeral ports,
+# parsed from each relay's announcement line.
+start_relay() {  # name base count standby
+  local name="$1" base="$2" count="$3" standby="$4"
+  "$CLI_DIR/flrelay" --port=0 --parent="127.0.0.1:$port" \
+    --base="$base" --count="$count" --standby="$standby" \
+    --backoff-initial-ms=100 --backoff-max-ms=500 --max-attempts=0 \
+    --nudge-ms=500 \
+    > "$workdir/$name.log" 2>&1 &
+  relay_pids+=($!)
+}
+start_relay relay_a 0 $AGG_GROUP 0
+start_relay relay_s 0 $AGG_GROUP 1
+start_relay relay_b $AGG_GROUP $AGG_GROUP 0
+
+port_a="" port_s="" port_b=""
+for _ in $(seq 1 100); do
+  port_a="$(relay_port "$workdir/relay_a.log")"
+  port_s="$(relay_port "$workdir/relay_s.log")"
+  port_b="$(relay_port "$workdir/relay_b.log")"
+  [[ -n "$port_a" && -n "$port_s" && -n "$port_b" ]] && break
+  sleep 0.1
+done
+[[ -n "$port_a" && -n "$port_s" && -n "$port_b" ]] || {
+  echo "error: a relay never announced its port" >&2
+  cat "$workdir"/relay_*.log >&2
+  exit 1
+}
+echo "relay A on $port_a (standby on $port_s), relay B on $port_b"
+
+# Clients 0-3 know relay A first and its standby second; a bounded
+# per-endpoint budget makes them rotate once A's port goes dead. Clients
+# 4-7 only ever talk to relay B.
+for id in $(seq 0 $((CLIENTS - 1))); do
+  if [[ "$id" -lt $AGG_GROUP ]]; then
+    servers="127.0.0.1:$port_a,127.0.0.1:$port_s"
+  else
+    servers="127.0.0.1:$port_b"
+  fi
+  "$CLI_DIR/flclient" --server="$servers" --id="$id" \
+    --backoff-initial-ms=50 --backoff-max-ms=500 --max-attempts=0 \
+    > "$workdir/client$id.log" 2>&1 &
+  client_pids+=($!)
+done
+
+# Let two rounds commit, then SIGKILL the active relay: no goodbye to its
+# children, no CHILD_GONE to the server — promotion must come entirely from
+# the clients' endpoint rotation + the standby claiming the range.
+for _ in $(seq 1 600); do
+  committed="$(grep -c '"ev":"round_end"' "$workdir/server.jsonl" 2>/dev/null || true)"
+  [[ "${committed:-0}" -ge 2 ]] && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "error: flserver died before two rounds committed" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+committed="$(grep -c '"ev":"round_end"' "$workdir/server.jsonl" 2>/dev/null || true)"
+[[ "${committed:-0}" -ge 2 ]] || {
+  echo "error: never saw two committed rounds" >&2; exit 1; }
+kill -9 "${relay_pids[0]}" 2>/dev/null || true
+wait "${relay_pids[0]}" 2>/dev/null || true
+echo "killed relay A (SIGKILL) after $committed committed rounds"
+
+echo
+echo "== phase 2: standby promotes and the run finishes =="
+for i in "${!client_pids[@]}"; do
+  if ! wait "${client_pids[$i]}"; then
+    echo "error: flclient $i failed" >&2
+    cat "$workdir/client$i.log" >&2
+    cat "$workdir/relay_s.log" >&2
+    exit 1
+  fi
+done
+client_pids=()
+for i in 1 2; do  # standby + relay B exit 0 on the forwarded SHUTDOWN
+  if ! wait "${relay_pids[$i]}"; then
+    echo "error: relay $i did not complete" >&2
+    cat "$workdir"/relay_*.log >&2
+    exit 1
+  fi
+done
+relay_pids=()
+wait "$server_pid"
+server_pid=""
+cat "$workdir/server.log"
+
+dep_crc="$(extract "$workdir/server.log" weights-crc32)"
+dep_acc="$(extract "$workdir/server.log" final-accuracy)"
+echo
+echo "recovered: accuracy=$dep_acc weights-crc32=$dep_crc"
+
+standby_done="$(sed -n 's/^relay-done: .*completed=\([0-9]*\).*/\1/p' \
+                "$workdir/relay_s.log" | head -n1)"
+standby_aggs="$(sed -n 's/^relay-done: .*aggs-sent=\([0-9]*\).*/\1/p' \
+                "$workdir/relay_s.log" | head -n1)"
+if [[ "${standby_done:-0}" != 1 || "${standby_aggs:-0}" -lt 1 ]]; then
+  echo "FAIL: the standby relay never promoted and aggregated" >&2
+  cat "$workdir/relay_s.log" >&2
+  exit 1
+fi
+rotations=0
+for id in $(seq 0 $((AGG_GROUP - 1))); do
+  r="$(sed -n 's/.*endpoint-rotations=\([0-9]*\).*/\1/p' \
+       "$workdir/client$id.log" | head -n1)"
+  rotations=$((rotations + ${r:-0}))
+done
+if [[ "$rotations" -lt 1 ]]; then
+  echo "FAIL: no client ever rotated to the standby relay" >&2
+  exit 1
+fi
+if [[ -z "$ref_crc" || -z "$dep_crc" ]]; then
+  echo "FAIL: missing weights-crc32 line" >&2
+  exit 1
+fi
+if [[ "$dep_crc" != "$ref_crc" || "$dep_acc" != "$ref_acc" ]]; then
+  echo "FAIL: tiered run diverged from the flat reference" >&2
+  exit 1
+fi
+echo "PASS: tiered run with a relay SIGKILL is bitwise identical to flsim"
+
+echo
+echo "== trace equivalence through the tier =="
+# The relay tier and the mid-run failover only exist in transport events;
+# the semantic stream (selection, deliveries, round commits) must be
+# identical to the flat simulator's.
+if ! python3 "$SCRIPT_DIR/trace_diff.py" \
+    "$workdir/server.jsonl" "$workdir/sim.jsonl" \
+    --ignore=frame_tx,frame_rx,retransmit,reconnect,checkpoint,resume,replicate,promote; then
+  echo "FAIL: tiered server trace diverged from the simulator trace" >&2
+  exit 1
+fi
+echo "PASS: tiered trace is semantically identical to flsim"

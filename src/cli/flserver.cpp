@@ -74,6 +74,11 @@ int main(int argc, char** argv) {
               "hearing from the primary")
       .option("k", "5", "AdaFL max selected clients")
       .option("tau", "0.5", "AdaFL utility threshold")
+      .option("agg-group", "0",
+              "AdaFL aggregation-group size G: deltas are summed within "
+              "contiguous id blocks of G, then blocks merged in order. "
+              "Required (non-zero, dividing relay ranges) when flrelay "
+              "mid-tiers ship UPDATE-AGG partials (0 = legacy order)")
       .option("dataset", "mnist", "mnist|cifar10|cifar100 (synthetic)")
       .option("model", "cnn", "cnn|resnet|vgg|mlp")
       .option("dist", "noniid", "iid|noniid|dirichlet")
@@ -154,6 +159,7 @@ int main(int argc, char** argv) {
     net::transport::ServerSessionConfig cfg;
     cfg.params.max_selected = args.get_int("k");
     cfg.params.tau = args.get_double("tau");
+    cfg.params.agg_group = args.get_int_at_least("agg-group", 0);
     cfg.rounds = args.get_int("rounds");
     cfg.eval_every = std::max(1, cfg.rounds / 12);
     cfg.expected_clients = spec.clients;

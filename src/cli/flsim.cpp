@@ -82,6 +82,11 @@ int main(int argc, char** argv) {
       .option("steps", "5", "local SGD steps per round")
       .option("k", "5", "AdaFL max selected clients")
       .option("tau", "0.5", "AdaFL utility threshold")
+      .option("agg-group", "0",
+              "AdaFL aggregation-group size G: deltas are summed within "
+              "contiguous id blocks of G, then blocks are merged in order — "
+              "the association a G-sized relay tier uses, so a flat run "
+              "with the same G is bitwise comparable (0 = legacy order)")
       .option("tiers", "3", "FedAT tier count")
       .option("network", "none", "none|good|mixed|congested|lossy")
       .option("train-samples", "1500", "synthetic training examples")
@@ -248,6 +253,7 @@ int main(int argc, char** argv) {
       cfg.seed = seed;
       cfg.params.max_selected = args.get_int("k");
       cfg.params.tau = args.get_double("tau");
+      cfg.params.agg_group = args.get_int_at_least("agg-group", 0);
       cfg.checkpoint_path = ckpt_path;
       cfg.checkpoint_every = ckpt_every;
       cfg.resume = resume;

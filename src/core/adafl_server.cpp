@@ -119,7 +119,18 @@ AdaFlRoundOutcome AdaFlServerCore::apply_round(
 AdaFlRoundOutcome AdaFlServerCore::apply_round(
     const AdaFlRoundPlan& plan,
     const std::function<const AdaFlDelivery*(int)>& find) {
+  return apply_round(plan, find, nullptr);
+}
+
+AdaFlRoundOutcome AdaFlServerCore::apply_round(
+    const AdaFlRoundPlan& plan,
+    const std::function<const AdaFlDelivery*(int)>& find,
+    const std::function<const compress::EncodedGradient*(int)>&
+        wire_partial) {
   const std::size_t d = global_.size();
+  const int group = params_.agg_group;
+  ADAFL_CHECK_MSG(group > 0 || wire_partial == nullptr,
+                  "apply_round: wire partials require agg_group > 0");
   // Sparse error-feedback aggregation: sum the weighted sparse messages and
   // divide by the total delivered weight (the unbiased FedAvg estimate —
   // unsent mass stays in each client's DGC residual and is flushed in later
@@ -146,6 +157,7 @@ AdaFlRoundOutcome AdaFlServerCore::apply_round(
   // never escape a pool thread), trace events (the tracer is not
   // thread-safe), and the scalar accumulators.
   delivered_ptrs_.clear();
+  delivered_by_id_.clear();
   for (int id : plan.sel.selected) {
     const AdaFlDelivery* found = find(id);
     if (found == nullptr) {  // lost in transit
@@ -153,18 +165,28 @@ AdaFlRoundOutcome AdaFlServerCore::apply_round(
       continue;
     }
     const AdaFlDelivery& dl = *found;
-    ADAFL_CHECK_MSG(dl.msg.kind == compress::CodecKind::kTopK,
-                    "apply_round: client " << id << " sent a non-top-k kind");
-    ADAFL_CHECK_MSG(
-        dl.msg.dense_size == static_cast<std::int64_t>(d),
-        "apply_round: client " << id << " update dimension mismatch");
-    for (std::size_t e = 0; e < dl.msg.indices.size(); ++e) {
-      ADAFL_CHECK_MSG(dl.msg.indices[e] < d,
-                      "apply_round: update index out of range");
-      ADAFL_CHECK_MSG(e == 0 || dl.msg.indices[e - 1] <= dl.msg.indices[e],
-                      "apply_round: update indices not sorted ascending");
+    if (dl.meta_only) {
+      // The coordinates live in a relay's wire partial; only the metadata
+      // is validated here, the partial itself below.
+      ADAFL_CHECK_MSG(group > 0,
+                      "apply_round: meta-only delivery for client "
+                          << id << " without grouped aggregation");
+    } else {
+      ADAFL_CHECK_MSG(
+          dl.msg.kind == compress::CodecKind::kTopK,
+          "apply_round: client " << id << " sent a non-top-k kind");
+      ADAFL_CHECK_MSG(
+          dl.msg.dense_size == static_cast<std::int64_t>(d),
+          "apply_round: client " << id << " update dimension mismatch");
+      for (std::size_t e = 0; e < dl.msg.indices.size(); ++e) {
+        ADAFL_CHECK_MSG(dl.msg.indices[e] < d,
+                        "apply_round: update index out of range");
+        ADAFL_CHECK_MSG(e == 0 || dl.msg.indices[e - 1] <= dl.msg.indices[e],
+                        "apply_round: update indices not sorted ascending");
+      }
     }
     delivered_ptrs_.push_back(&dl);
+    delivered_by_id_.emplace_back(id, &dl);
     const float w = static_cast<float>(dl.num_examples);
     weight_sum += w;
     delta_norm_wsum += static_cast<double>(w) * dl.raw_delta_norm;
@@ -181,7 +203,9 @@ AdaFlRoundOutcome AdaFlServerCore::apply_round(
   }
 
   const auto dn = static_cast<std::int64_t>(d);
-  if (!delivered_ptrs_.empty()) {
+  if (!delivered_ptrs_.empty() && group <= 0) {
+    // Classic flat association: every element accumulates the deliveries in
+    // selection order.
     parallel_for_blocked(0, dn, [&](std::int64_t lo, std::int64_t hi) {
       const auto ulo = static_cast<std::uint32_t>(lo);
       const auto uhi = static_cast<std::uint32_t>(hi);
@@ -193,6 +217,80 @@ AdaFlRoundOutcome AdaFlServerCore::apply_round(
         for (std::size_t e = static_cast<std::size_t>(it - idx.begin());
              e < idx.size() && idx[e] < uhi; ++e)
           sum_delta[idx[e]] += w * val[e];
+      }
+    });
+  } else if (!delivered_by_id_.empty()) {
+    // Grouped association (agg_group > 0): per-group partials in
+    // ascending-id order, merged in ascending group order. A group covered
+    // by a relay's wire partial uses it verbatim (the relay ran the same
+    // PartialAggregator arithmetic on the same fp32 inputs, and the kTopK
+    // wire codec is lossless, so the bytes match a local recomputation);
+    // every other group is computed here — which is also the flat-run path,
+    // making tiered and flat runs bitwise identical by construction.
+    std::sort(delivered_by_id_.begin(), delivered_by_id_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (group_partials_.size() < delivered_by_id_.size())
+      group_partials_.resize(delivered_by_id_.size());
+    group_ptrs_.clear();
+    std::size_t computed = 0;
+    for (std::size_t e = 0; e < delivered_by_id_.size();) {
+      const int base = (delivered_by_id_[e].first / group) * group;
+      const std::size_t begin = e;
+      while (e < delivered_by_id_.size() &&
+             delivered_by_id_[e].first < base + group)
+        ++e;
+      const compress::EncodedGradient* wp =
+          wire_partial == nullptr ? nullptr : wire_partial(base);
+      if (wp != nullptr) {
+        ADAFL_CHECK_MSG(wp->kind == compress::CodecKind::kTopK,
+                        "apply_round: wire partial for group "
+                            << base << " is not top-k");
+        ADAFL_CHECK_MSG(
+            wp->dense_size == static_cast<std::int64_t>(d) &&
+                wp->indices.size() == wp->values.size(),
+            "apply_round: wire partial for group " << base << " malformed");
+        for (std::size_t j = 0; j < wp->indices.size(); ++j) {
+          ADAFL_CHECK_MSG(wp->indices[j] < d,
+                          "apply_round: wire partial index out of range");
+          ADAFL_CHECK_MSG(j == 0 || wp->indices[j - 1] < wp->indices[j],
+                          "apply_round: wire partial indices not strictly "
+                          "ascending");
+        }
+        for (std::size_t j = begin; j < e; ++j)
+          ADAFL_CHECK_MSG(delivered_by_id_[j].second->meta_only,
+                          "apply_round: client "
+                              << delivered_by_id_[j].first
+                              << " delivered a full update inside a "
+                                 "wire-partial group");
+        group_ptrs_.push_back(wp);
+      } else {
+        partial_agg_.reset(d);
+        for (std::size_t j = begin; j < e; ++j) {
+          const AdaFlDelivery& dl = *delivered_by_id_[j].second;
+          ADAFL_CHECK_MSG(!dl.meta_only,
+                          "apply_round: meta-only delivery for client "
+                              << delivered_by_id_[j].first
+                              << " but no wire partial for its group");
+          partial_agg_.add(dl.msg, static_cast<float>(dl.num_examples));
+        }
+        partial_agg_.finish(group_partials_[computed]);
+        group_ptrs_.push_back(&group_partials_[computed]);
+        ++computed;
+      }
+    }
+    // Element-sharded merge of the group partials — same deterministic
+    // shard-order reduction as the flat loop, with partials (already
+    // weighted) in place of deliveries.
+    parallel_for_blocked(0, dn, [&](std::int64_t lo, std::int64_t hi) {
+      const auto ulo = static_cast<std::uint32_t>(lo);
+      const auto uhi = static_cast<std::uint32_t>(hi);
+      for (const compress::EncodedGradient* gp : group_ptrs_) {
+        const auto& idx = gp->indices;
+        const auto& val = gp->values;
+        auto it = std::lower_bound(idx.begin(), idx.end(), ulo);
+        for (std::size_t j = static_cast<std::size_t>(it - idx.begin());
+             j < idx.size() && idx[j] < uhi; ++j)
+          sum_delta[idx[j]] += val[j];
       }
     });
   }

@@ -20,6 +20,7 @@
 #include "compress/codec.h"
 #include "core/compression_ctrl.h"
 #include "core/config.h"
+#include "core/partial_agg.h"
 #include "core/selection.h"
 
 namespace adafl::metrics {
@@ -60,6 +61,12 @@ struct AdaFlDelivery {
   /// input. Clients report it with their update; the simulator computes it
   /// directly.
   double raw_delta_norm = 0.0;
+  /// Hierarchical deployments: the client's coordinates travelled inside a
+  /// relay's pre-summed UPDATE-AGG partial, so only the per-client metadata
+  /// above is populated (msg carries wire_bytes for the trace but no
+  /// indices/values). Requires agg_group > 0 and a wire partial covering
+  /// the client's group.
+  bool meta_only = false;
 };
 
 /// Result of applying one round.
@@ -93,6 +100,18 @@ class AdaFlServerCore {
   AdaFlRoundOutcome apply_round(
       const AdaFlRoundPlan& plan,
       const std::function<const AdaFlDelivery*(int)>& find);
+
+  /// Hierarchical variant: `wire_partial(base)` returns the relay-computed
+  /// partial covering client-id group [base, base+agg_group), or nullptr to
+  /// have the group's partial computed locally from the full deliveries.
+  /// Requires params().agg_group > 0 when any wire partial is supplied; a
+  /// group served by a wire partial must contain only meta-only deliveries
+  /// and vice versa (CheckError otherwise).
+  AdaFlRoundOutcome apply_round(
+      const AdaFlRoundPlan& plan,
+      const std::function<const AdaFlDelivery*(int)>& find,
+      const std::function<const compress::EncodedGradient*(int)>&
+          wire_partial);
 
   /// Complete serializable server-side round state for crash recovery.
   /// params/controller are pure functions of the config and are rebuilt from
@@ -137,6 +156,11 @@ class AdaFlServerCore {
   /// Deliveries of the current round in selection order; reused across
   /// rounds so the sharded aggregation allocates nothing in steady state.
   std::vector<const AdaFlDelivery*> delivered_ptrs_;
+  /// Grouped-association (agg_group > 0) working state, reused per round.
+  std::vector<std::pair<int, const AdaFlDelivery*>> delivered_by_id_;
+  PartialAggregator partial_agg_;
+  std::vector<compress::EncodedGradient> group_partials_;
+  std::vector<const compress::EncodedGradient*> group_ptrs_;
   metrics::Tracer* tracer_ = nullptr;
 };
 

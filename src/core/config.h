@@ -37,6 +37,16 @@ struct AdaFlParams {
   /// clip prevents the overshoot/oscillation this causes. Disable for the
   /// ablation bench.
   bool server_trust_clip = true;
+  /// Hierarchical-aggregation group size. 0 keeps the classic flat
+  /// association (deliveries summed per element in selection order). G > 0
+  /// switches to grouped association: client ids are partitioned into
+  /// contiguous blocks of G ([0,G), [G,2G), ...), each block's deliveries
+  /// are summed into a partial in ascending-id order, and the partials are
+  /// merged in ascending block order. Mid-tier relays compute exactly these
+  /// per-block partials, so a tiered deployment is bitwise identical to a
+  /// flat run *with the same agg_group* — but G > 0 is a different float
+  /// association than G == 0, so the two are not bitwise comparable.
+  int agg_group = 0;
 };
 
 }  // namespace adafl::core

@@ -1,0 +1,45 @@
+#include "core/partial_agg.h"
+
+#include "tensor/check.h"
+
+namespace adafl::core {
+
+void PartialAggregator::reset(std::size_t dense_size) {
+  acc_.assign(dense_size, 0.0f);
+  mask_.assign(dense_size, 0);
+}
+
+void PartialAggregator::add(const compress::EncodedGradient& msg,
+                            float weight) {
+  ADAFL_CHECK_MSG(msg.kind == compress::CodecKind::kTopK,
+                  "PartialAggregator: non-top-k message");
+  ADAFL_CHECK_MSG(msg.dense_size == static_cast<std::int64_t>(acc_.size()),
+                  "PartialAggregator: dense size " << msg.dense_size
+                                                   << " != " << acc_.size());
+  ADAFL_CHECK_MSG(msg.indices.size() == msg.values.size(),
+                  "PartialAggregator: index/value count mismatch");
+  for (std::size_t e = 0; e < msg.indices.size(); ++e) {
+    const std::uint32_t i = msg.indices[e];
+    ADAFL_CHECK_MSG(i < acc_.size(),
+                    "PartialAggregator: index out of range");
+    ADAFL_CHECK_MSG(e == 0 || msg.indices[e - 1] <= msg.indices[e],
+                    "PartialAggregator: indices not sorted ascending");
+    acc_[i] += weight * msg.values[e];
+    mask_[i] = 1;
+  }
+}
+
+void PartialAggregator::finish(compress::EncodedGradient& out) const {
+  out.kind = compress::CodecKind::kTopK;
+  out.dense_size = static_cast<std::int64_t>(acc_.size());
+  out.wire_bytes = 0;
+  out.indices.clear();
+  out.values.clear();
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    if (mask_[i] == 0) continue;
+    out.indices.push_back(static_cast<std::uint32_t>(i));
+    out.values.push_back(acc_[i]);
+  }
+}
+
+}  // namespace adafl::core

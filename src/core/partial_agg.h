@@ -1,0 +1,49 @@
+// Deterministic partial aggregation of sparse top-k updates — the shared
+// primitive behind hierarchical (relayed) aggregation.
+//
+// A mid-tier relay sums its children's weighted updates into one sparse
+// partial and ships that upstream; the root merges relay partials instead of
+// individual updates. Bitwise tier-transparency requires that a flat run
+// with AdaFlParams::agg_group == G performs EXACTLY the same float
+// operations: both paths therefore compute per-group partials with this
+// class (children added in ascending client-id order) and merge the
+// partials in ascending group order.
+//
+// The output support is mask-based, not value-filtered: an index whose
+// weighted sum cancelled to +-0.0 stays in the partial, so the downstream
+// `+=` sequence replays the flat aggregation exactly (adding -0.0 is not a
+// no-op for sign bits).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace adafl::core {
+
+class PartialAggregator {
+ public:
+  /// Clears the accumulator for a model of `dense_size` parameters. The
+  /// dense buffers are members reused across rounds (assign keeps
+  /// capacity): zero allocations in steady state.
+  void reset(std::size_t dense_size);
+
+  /// acc[idx] += weight * value for every coordinate of `msg`, in message
+  /// order. `msg` must be kTopK with matching dense_size and in-range,
+  /// ascending indices (CheckError otherwise — callers feed wire input).
+  void add(const compress::EncodedGradient& msg, float weight);
+
+  /// Writes the accumulated partial into `out` as a kTopK message over the
+  /// union support in ascending index order. wire_bytes is left for the
+  /// caller (serialize_into recomputes it on the wire path).
+  void finish(compress::EncodedGradient& out) const;
+
+  std::size_t dense_size() const { return acc_.size(); }
+
+ private:
+  std::vector<float> acc_;  ///< dense weighted sum
+  std::vector<char> mask_;  ///< 1 where any child touched the coordinate
+};
+
+}  // namespace adafl::core

@@ -20,13 +20,16 @@ const char* to_string(MsgType t) {
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kStandbyHello: return "standby_hello";
     case MsgType::kReplicate: return "replicate";
+    case MsgType::kUpdateAgg: return "update_agg";
+    case MsgType::kRelayHello: return "relay_hello";
+    case MsgType::kChildGone: return "child_gone";
   }
   return "?";
 }
 
 bool is_valid_msg_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         raw <= static_cast<std::uint8_t>(MsgType::kReplicate);
+         raw <= static_cast<std::uint8_t>(MsgType::kChildGone);
 }
 
 std::vector<std::uint8_t> encode_frame(const Frame& f) {

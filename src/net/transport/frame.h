@@ -43,6 +43,9 @@ enum class MsgType : std::uint8_t {
   kShutdown = 10, ///< server -> client: training complete, disconnect
   kStandbyHello = 11,  ///< standby -> primary: subscribe as replication peer
   kReplicate = 12,     ///< primary -> standby: full checkpoint snapshot
+  kUpdateAgg = 13,     ///< relay -> parent: pre-summed partial + child stats
+  kRelayHello = 14,    ///< relay -> parent: join as mid-tier aggregator
+  kChildGone = 15,     ///< relay -> parent: a leaf client disconnected
 };
 
 const char* to_string(MsgType t);

@@ -1,8 +1,10 @@
 #include "net/transport/session.h"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
+#include <set>
 #include <stdexcept>
 #include <thread>
 
@@ -134,6 +136,7 @@ std::vector<std::uint8_t> encode_welcome(const WelcomeInfo& w) {
   bytes::put_u8(out, p.accumulate_unselected ? 1 : 0);
   bytes::put_u32(out, static_cast<std::uint32_t>(p.max_consecutive_skips));
   bytes::put_u8(out, p.server_trust_clip ? 1 : 0);
+  bytes::put_u32(out, static_cast<std::uint32_t>(p.agg_group));
   bytes::put_u32(out, static_cast<std::uint32_t>(w.config.size()));
   for (const auto& [k, v] : w.config) {
     bytes::put_str(out, k);
@@ -170,6 +173,8 @@ WelcomeInfo parse_welcome(std::span<const std::uint8_t> payload) {
   p.accumulate_unselected = r.u8() != 0;
   p.max_consecutive_skips = static_cast<int>(r.u32());
   p.server_trust_clip = r.u8() != 0;
+  p.agg_group = static_cast<int>(r.u32());
+  ADAFL_CHECK_MSG(p.agg_group >= 0, "welcome: negative agg_group");
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
     std::string k = r.str();
@@ -266,6 +271,122 @@ void parse_update_into(std::span<const std::uint8_t> payload,
   parse_update_fields(payload, u);
 }
 
+// --- Hierarchical aggregation codecs. ------------------------------------
+
+std::vector<std::uint8_t> encode_relay_hello(const RelayHelloPayload& h) {
+  std::vector<std::uint8_t> out;
+  bytes::put_u32(out, h.version);
+  bytes::put_u32(out, h.base);
+  bytes::put_u32(out, h.count);
+  return out;
+}
+
+RelayHelloPayload parse_relay_hello(std::span<const std::uint8_t> payload) {
+  bytes::Reader r(payload);
+  RelayHelloPayload h;
+  h.version = r.u32();
+  h.base = r.u32();
+  h.count = r.u32();
+  ADAFL_CHECK_MSG(r.remaining() == 0, "relay_hello: trailing bytes");
+  ADAFL_CHECK_MSG(h.count > 0, "relay_hello: empty leaf range");
+  return h;
+}
+
+std::vector<std::uint8_t> encode_update_agg(const UpdateAggPayload& a) {
+  std::vector<std::uint8_t> out;
+  bytes::put_u32(out, a.base);
+  bytes::put_u32(out, a.count);
+  bytes::put_u32(out, static_cast<std::uint32_t>(a.children.size()));
+  for (const UpdateAggChild& c : a.children) {
+    bytes::put_u32(out, c.id);
+    bytes::put_u64(out, static_cast<std::uint64_t>(c.num_examples));
+    bytes::put_f32(out, c.mean_loss);
+    bytes::put_f64(out, c.raw_delta_norm);
+    bytes::put_u64(out, static_cast<std::uint64_t>(c.wire_bytes));
+  }
+  std::vector<std::uint8_t> wire;
+  compress::serialize_into(a.partial, wire);
+  bytes::put_u32(out, static_cast<std::uint32_t>(wire.size()));
+  out.insert(out.end(), wire.begin(), wire.end());
+  return out;
+}
+
+UpdateAggPayload parse_update_agg(std::span<const std::uint8_t> payload) {
+  bytes::Reader r(payload);
+  UpdateAggPayload a;
+  a.base = r.u32();
+  a.count = r.u32();
+  ADAFL_CHECK_MSG(a.count > 0, "update_agg: empty group");
+  const std::uint32_t nc = r.u32();
+  ADAFL_CHECK_MSG(nc >= 1 && nc <= a.count,
+                  "update_agg: child count " << nc << " outside [1, "
+                                             << a.count << "]");
+  const std::uint64_t end =
+      static_cast<std::uint64_t>(a.base) + a.count;
+  a.children.resize(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    UpdateAggChild& c = a.children[i];
+    c.id = r.u32();
+    ADAFL_CHECK_MSG(c.id >= a.base && c.id < end,
+                    "update_agg: child id " << c.id << " outside group");
+    ADAFL_CHECK_MSG(i == 0 || a.children[i - 1].id < c.id,
+                    "update_agg: child ids not strictly ascending");
+    c.num_examples = static_cast<std::int64_t>(r.u64());
+    ADAFL_CHECK_MSG(c.num_examples > 0,
+                    "update_agg: non-positive example count");
+    c.mean_loss = r.f32();
+    ADAFL_CHECK_MSG(std::isfinite(c.mean_loss),
+                    "update_agg: non-finite mean loss");
+    c.raw_delta_norm = r.f64();
+    ADAFL_CHECK_MSG(std::isfinite(c.raw_delta_norm) && c.raw_delta_norm >= 0,
+                    "update_agg: invalid raw delta norm");
+    c.wire_bytes = static_cast<std::int64_t>(r.u64());
+    ADAFL_CHECK_MSG(
+        c.wire_bytes >= 0 &&
+            c.wire_bytes <= static_cast<std::int64_t>(kMaxFramePayload),
+        "update_agg: child wire size out of range");
+  }
+  const std::uint32_t plen = r.u32();
+  ADAFL_CHECK_MSG(r.remaining() == plen, "update_agg: payload size mismatch");
+  compress::deserialize_into(r.raw(plen), a.partial);
+  ADAFL_CHECK_MSG(a.partial.kind == compress::CodecKind::kTopK,
+                  "update_agg: partial is not top-k");
+  ADAFL_CHECK_MSG(a.partial.indices.size() == a.partial.values.size(),
+                  "update_agg: partial index/value count mismatch");
+  for (std::size_t j = 0; j < a.partial.indices.size(); ++j) {
+    ADAFL_CHECK_MSG(
+        static_cast<std::int64_t>(a.partial.indices[j]) <
+            a.partial.dense_size,
+        "update_agg: partial index out of range");
+    ADAFL_CHECK_MSG(
+        j == 0 || a.partial.indices[j - 1] < a.partial.indices[j],
+        "update_agg: partial indices not strictly ascending");
+    ADAFL_CHECK_MSG(std::isfinite(a.partial.values[j]),
+                    "update_agg: non-finite partial value");
+  }
+  return a;
+}
+
+void validate_update_agg(const UpdateAggPayload& a, std::int64_t dense_size,
+                         int agg_group, int relay_base, int relay_count) {
+  ADAFL_CHECK_MSG(agg_group > 0,
+                  "update_agg: server has no aggregation grouping");
+  ADAFL_CHECK_MSG(a.count == static_cast<std::uint32_t>(agg_group),
+                  "update_agg: group size " << a.count << " != agg_group "
+                                            << agg_group);
+  ADAFL_CHECK_MSG(a.base % static_cast<std::uint32_t>(agg_group) == 0,
+                  "update_agg: group base " << a.base << " not aligned");
+  const auto lo = static_cast<std::int64_t>(a.base);
+  const auto hi = lo + a.count;
+  ADAFL_CHECK_MSG(lo >= relay_base &&
+                      hi <= static_cast<std::int64_t>(relay_base) +
+                                relay_count,
+                  "update_agg: group outside the relay's claimed range");
+  ADAFL_CHECK_MSG(a.partial.dense_size == dense_size,
+                  "update_agg: partial dimension " << a.partial.dense_size
+                                                   << " != " << dense_size);
+}
+
 // --- ServerSession. ------------------------------------------------------
 
 ServerSession::ServerSession(ServerSessionConfig cfg, nn::ModelFactory factory,
@@ -280,8 +401,12 @@ ServerSession::ServerSession(ServerSessionConfig cfg, nn::ModelFactory factory,
   ADAFL_CHECK_MSG(cfg_.rounds > 0, "ServerSession: rounds must be positive");
   ADAFL_CHECK_MSG(cfg_.quorum >= 0 && cfg_.quorum <= cfg_.expected_clients,
                   "ServerSession: quorum out of range");
+  ADAFL_CHECK_MSG(cfg_.params.agg_group >= 0,
+                  "ServerSession: negative agg_group");
   conns_.resize(static_cast<std::size_t>(cfg_.expected_clients));
   ever_joined_.assign(static_cast<std::size_t>(cfg_.expected_clients), false);
+  leaf_relay_.assign(static_cast<std::size_t>(cfg_.expected_clients), -1);
+  child_live_.assign(static_cast<std::size_t>(cfg_.expected_clients), 0);
   WelcomeInfo w;
   w.rounds = static_cast<std::uint32_t>(cfg_.rounds);
   w.param_count = core_.global().size();
@@ -306,11 +431,20 @@ void ServerSession::attach_event_loop(EventLoop* loop) {
                               welcome_payload_)));
 }
 
-bool ServerSession::connected(int id) const {
+bool ServerSession::direct_connected(int id) const {
   if (loop_ != nullptr &&
       client_conn_[static_cast<std::size_t>(id)] != kNoConn)
     return true;
   return static_cast<bool>(conns_[static_cast<std::size_t>(id)]);
+}
+
+bool ServerSession::connected(int id) const {
+  if (direct_connected(id)) return true;
+  // A live relay route counts a leaf as reachable only while the relay has
+  // announced it alive: the relay connection covers N leaves, not 1, so the
+  // quorum/deadline math never mistakes one healthy relay for one client.
+  return leaf_relay_[static_cast<std::size_t>(id)] >= 0 &&
+         child_live_[static_cast<std::size_t>(id)] != 0;
 }
 
 void ServerSession::drop_loop_conn(ConnId conn) {
@@ -408,6 +542,12 @@ void ServerSession::drop_all_connections() {
     conn->close();  // abrupt: no SHUTDOWN, clients redial or back off
     conn.reset();
   }
+  for (auto& rb : relays_)
+    if (rb.conn) rb.conn->close();
+  relays_.clear();
+  relay_conn_.clear();
+  std::fill(leaf_relay_.begin(), leaf_relay_.end(), -1);
+  std::fill(child_live_.begin(), child_live_.end(), 0);
   if (loop_ != nullptr) {
     for (auto& [conn, state] : standby_links_) {
       state->closed.store(true);
@@ -430,6 +570,16 @@ double ServerSession::trace_now() const {
 std::size_t ServerSession::send_to(
     int id, const Frame& f,
     const std::shared_ptr<const std::vector<std::uint8_t>>* pre) {
+  if (!direct_connected(id)) {
+    // Relay-covered leaf: route via its relay with the frame addressed to
+    // the leaf (client_id rewritten); the relay forwards it down.
+    const int ridx = leaf_relay_[static_cast<std::size_t>(id)];
+    if (ridx >= 0) {
+      Frame rf = f;
+      rf.client_id = static_cast<std::uint32_t>(id);
+      return send_to_relay(static_cast<std::size_t>(ridx), rf);
+    }
+  }
   if (loop_ != nullptr &&
       client_conn_[static_cast<std::size_t>(id)] != kNoConn) {
     // Queued on the loop thread; a dead peer surfaces via take_closed() on
@@ -460,21 +610,24 @@ std::size_t ServerSession::send_to(
   return f.wire_size();
 }
 
+void ServerSession::ensure_model_frame(RoundCtx& rc) {
+  if (rc.model_ready) return;
+  ModelPayload m;
+  m.global = core_.global();
+  m.g_hat = core_.g_hat();
+  rc.model_frame = make_frame(MsgType::kModel,
+                              static_cast<std::uint32_t>(rc.round),
+                              kServerId, encode_model(m));
+  if (loop_ != nullptr)
+    // Encode the full wire frame once per round; every connection gets
+    // the same immutable buffer (10k-client broadcast = one encode).
+    rc.model_bytes = std::make_shared<const std::vector<std::uint8_t>>(
+        encode_frame(rc.model_frame));
+  rc.model_ready = true;
+}
+
 void ServerSession::send_model(RoundCtx& rc, int id) {
-  if (!rc.model_ready) {
-    ModelPayload m;
-    m.global = core_.global();
-    m.g_hat = core_.g_hat();
-    rc.model_frame = make_frame(MsgType::kModel,
-                                static_cast<std::uint32_t>(rc.round),
-                                kServerId, encode_model(m));
-    if (loop_ != nullptr)
-      // Encode the full wire frame once per round; every connection gets
-      // the same immutable buffer (10k-client broadcast = one encode).
-      rc.model_bytes = std::make_shared<const std::vector<std::uint8_t>>(
-          encode_frame(rc.model_frame));
-    rc.model_ready = true;
-  }
+  ensure_model_frame(rc);
   const Frame& f = rc.model_frame;
   const bool retransmit = rc.sent_model[static_cast<std::size_t>(id)];
   const std::size_t sent =
@@ -490,6 +643,278 @@ void ServerSession::send_model(RoundCtx& rc, int id) {
   }
 }
 
+std::size_t ServerSession::send_to_relay(std::size_t ridx, const Frame& f) {
+  RelayBinding& rb = relays_[ridx];
+  if (rb.loop_conn != kNoConn) {
+    loop_->send(rb.loop_conn,
+                std::make_shared<const std::vector<std::uint8_t>>(
+                    encode_frame(f)));
+  } else if (rb.conn) {
+    if (!rb.conn->send(f)) {
+      // Dead relay link: close and let the poll pass reap the binding (a
+      // drop_relay here would invalidate indices mid-iteration in callers).
+      rb.conn->close();
+      return 0;
+    }
+  } else {
+    return 0;
+  }
+  if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+    cfg_.tracer->record(metrics::ev_frame(
+        metrics::TraceEventType::kFrameTx, static_cast<int>(f.round),
+        f.client_id == kServerId ? -1 : static_cast<int>(f.client_id),
+        to_string(f.type), static_cast<std::int64_t>(f.wire_size()),
+        trace_now()));
+  return f.wire_size();
+}
+
+void ServerSession::send_model_to_relay(RoundCtx& rc, std::size_t ridx) {
+  ensure_model_frame(rc);
+  const bool retransmit = relays_[ridx].sent_model;
+  const std::size_t sent = send_to_relay(ridx, rc.model_frame);
+  if (sent == 0) return;
+  RelayBinding& rb = relays_[ridx];
+  rb.sent_model = true;
+  // One MODEL feeds the whole subtree; book it against the range base.
+  rc.ledger->record_download(rb.base, static_cast<std::int64_t>(sent));
+  if (retransmit) {
+    rc.ledger->record_retransmit(rb.base, static_cast<std::int64_t>(sent));
+    if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+      cfg_.tracer->record(metrics::ev_retransmit(
+          rc.round, rb.base, static_cast<std::int64_t>(sent), trace_now()));
+  }
+}
+
+void ServerSession::drop_relay(std::size_t ridx) {
+  RelayBinding& rb = relays_[ridx];
+  // Clear the leaves' routes and liveness but keep their round state
+  // (scores, awaiting): a promoted standby re-binding the range can still
+  // recover the round; unrecovered loss falls to the round deadline exactly
+  // as a flat client crash does.
+  for (int id = rb.base; id < rb.base + rb.count; ++id) {
+    if (leaf_relay_[static_cast<std::size_t>(id)] ==
+        static_cast<int>(ridx)) {
+      leaf_relay_[static_cast<std::size_t>(id)] = -1;
+      child_live_[static_cast<std::size_t>(id)] = 0;
+    }
+  }
+  if (rb.loop_conn != kNoConn) {
+    relay_conn_.erase(rb.loop_conn);
+    loop_->close_conn(rb.loop_conn);
+  }
+  if (rb.conn) rb.conn->close();
+  relays_.erase(relays_.begin() + static_cast<std::ptrdiff_t>(ridx));
+  // Compact: bindings above ridx shifted down by one.
+  for (auto& r : leaf_relay_)
+    if (r > static_cast<int>(ridx)) --r;
+  for (auto& [conn, idx] : relay_conn_)
+    if (idx > ridx) --idx;
+}
+
+void ServerSession::handle_relay_hello(RoundCtx& rc,
+                                       const RelayHelloPayload& h,
+                                       std::unique_ptr<Transport> conn,
+                                       ConnId loop_conn) {
+  const int g = cfg_.params.agg_group;
+  ADAFL_CHECK_MSG(h.version == kProtocolVersion,
+                  "session: relay protocol version mismatch");
+  ADAFL_CHECK_MSG(g > 0,
+                  "session: relay joined but the run has agg_group == 0");
+  const auto base = static_cast<std::int64_t>(h.base);
+  const auto count = static_cast<std::int64_t>(h.count);
+  ADAFL_CHECK_MSG(base % g == 0 && count % g == 0 &&
+                      base + count <= cfg_.expected_clients,
+                  "session: relay range [" << base << ", " << base + count
+                                           << ") invalid for this run");
+  // A rebinding (redialed relay or promoted standby) supersedes any
+  // existing binding its range overlaps.
+  for (std::size_t i = relays_.size(); i-- > 0;) {
+    const RelayBinding& rb = relays_[i];
+    if (base < rb.base + rb.count && rb.base < base + count) drop_relay(i);
+  }
+  RelayBinding rb;
+  rb.base = static_cast<int>(base);
+  rb.count = static_cast<int>(count);
+  rb.conn = std::move(conn);
+  rb.loop_conn = loop_conn;
+  const std::size_t ridx = relays_.size();
+  relays_.push_back(std::move(rb));
+  if (loop_conn != kNoConn) relay_conn_[loop_conn] = ridx;
+  for (std::int64_t id = base; id < base + count; ++id) {
+    leaf_relay_[static_cast<std::size_t>(id)] = static_cast<int>(ridx);
+    child_live_[static_cast<std::size_t>(id)] = 0;  // until announced
+  }
+  // WELCOME: the relay caches the payload verbatim and serves its children.
+  send_to_relay(ridx,
+                make_frame(MsgType::kWelcome, 0, kServerId, welcome_payload_));
+  // In-round catch-up: the current MODEL (the relay re-broadcasts it), and
+  // pending SELECTs for its leaves when the update phase is in flight.
+  if (rc.model_ready) send_model_to_relay(rc, ridx);
+  if (rc.phase == Phase::kUpdate) {
+    for (std::int64_t id = base; id < base + count; ++id) {
+      const int lid = static_cast<int>(id);
+      if (rc.awaiting.count(lid) == 0 ||
+          delivered_[static_cast<std::size_t>(lid)])
+        continue;
+      const Frame sf = make_frame(MsgType::kSelect,
+                                  static_cast<std::uint32_t>(rc.round),
+                                  static_cast<std::uint32_t>(lid),
+                                  encode_f64(rc.ratio_of.at(lid)));
+      const std::size_t sent = send_to_relay(ridx, sf);
+      if (sent != 0) {
+        rc.ledger->record_retransmit(lid, static_cast<std::int64_t>(sent));
+        if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+          cfg_.tracer->record(metrics::ev_retransmit(
+              rc.round, lid, static_cast<std::int64_t>(sent), trace_now()));
+      }
+    }
+  }
+}
+
+void ServerSession::handle_relay_frame(RoundCtx& rc, std::size_t ridx,
+                                       const Frame& f) {
+  const RelayBinding& rb = relays_[ridx];
+  const auto in_range = [&rb](std::uint32_t cid) {
+    return cid >= static_cast<std::uint32_t>(rb.base) &&
+           cid < static_cast<std::uint32_t>(rb.base) +
+                     static_cast<std::uint32_t>(rb.count);
+  };
+  switch (f.type) {
+    case MsgType::kUpdateAgg:
+      handle_update_agg(rc, ridx, f);
+      return;
+    case MsgType::kScore: {
+      ADAFL_CHECK_MSG(in_range(f.client_id),
+                      "session: relayed SCORE for leaf " << f.client_id
+                                                         << " out of range");
+      const int id = static_cast<int>(f.client_id);
+      child_live_[static_cast<std::size_t>(id)] = 1;  // proof of life
+      handle_frame(rc, id, f);
+      return;
+    }
+    case MsgType::kHello: {
+      // A leaf joined (or rejoined) behind the relay. The relay serves
+      // WELCOME/MODEL locally; the root only tracks liveness and re-sends
+      // in-flight SELECT state through the route.
+      ADAFL_CHECK_MSG(in_range(f.client_id),
+                      "session: relayed HELLO for leaf " << f.client_id
+                                                         << " out of range");
+      const int id = static_cast<int>(f.client_id);
+      const bool rejoin = ever_joined_[static_cast<std::size_t>(id)];
+      ever_joined_[static_cast<std::size_t>(id)] = true;
+      child_live_[static_cast<std::size_t>(id)] = 1;
+      if (rejoin) {
+        rc.ledger->record_reconnect(id);
+        if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+          cfg_.tracer->record(
+              metrics::ev_reconnect(rc.round, id, trace_now()));
+      }
+      if (rc.phase == Phase::kUpdate && rc.awaiting.count(id) != 0 &&
+          !delivered_[static_cast<std::size_t>(id)]) {
+        const Frame sf = make_frame(MsgType::kSelect,
+                                    static_cast<std::uint32_t>(rc.round),
+                                    static_cast<std::uint32_t>(id),
+                                    encode_f64(rc.ratio_of.at(id)));
+        const std::size_t sent = send_to_relay(ridx, sf);
+        if (sent != 0) {
+          rc.ledger->record_retransmit(id, static_cast<std::int64_t>(sent));
+          if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+            cfg_.tracer->record(metrics::ev_retransmit(
+                rc.round, id, static_cast<std::int64_t>(sent), trace_now()));
+        }
+      }
+      return;
+    }
+    case MsgType::kChildGone: {
+      ADAFL_CHECK_MSG(in_range(f.client_id),
+                      "session: CHILD_GONE for leaf " << f.client_id
+                                                      << " out of range");
+      child_live_[static_cast<std::size_t>(f.client_id)] = 0;
+      return;
+    }
+    case MsgType::kPing:
+      send_to_relay(ridx, make_frame(MsgType::kPong, f.round, kServerId));
+      return;
+    default:
+      return;  // PONG, duplicates, unexpected types: ignore
+  }
+}
+
+void ServerSession::handle_update_agg(RoundCtx& rc, std::size_t ridx,
+                                      const Frame& f) {
+  if (rc.phase != Phase::kUpdate ||
+      f.round != static_cast<std::uint32_t>(rc.round))
+    return;  // stale
+  const RelayBinding& rb = relays_[ridx];
+  UpdateAggPayload a = parse_update_agg(f.payload);
+  validate_update_agg(a, static_cast<std::int64_t>(core_.global().size()),
+                      cfg_.params.agg_group, rb.base, rb.count);
+  const int base = static_cast<int>(a.base);
+  const bool upgrade = rc.wire_partials.count(base) != 0;
+  if (upgrade) {
+    // A group can be legitimately re-shipped with MORE children: the relay
+    // flushed without a crashed leaf, the leaf rejoined in-round, and the
+    // rebuilt AGG supersedes the committed one. The replacement must cover
+    // every previously-committed child (the partial is the whole group's
+    // sum) and strictly extend it; anything else is a nudge duplicate —
+    // first one won.
+    std::set<int> listed;
+    for (const UpdateAggChild& c : a.children)
+      listed.insert(static_cast<int>(c.id));
+    int prev_children = 0;
+    bool covers_prev = true;
+    for (int id = base; id < base + cfg_.params.agg_group; ++id)
+      if (delivered_[static_cast<std::size_t>(id)]) {
+        ++prev_children;
+        covers_prev = covers_prev && listed.count(id) != 0;
+      }
+    if (!covers_prev ||
+        static_cast<int>(a.children.size()) <= prev_children)
+      return;
+  }
+  for (const UpdateAggChild& c : a.children) {
+    const int id = static_cast<int>(c.id);
+    ADAFL_CHECK_MSG(rc.awaiting.count(id) != 0,
+                    "session: UPDATE-AGG lists unselected leaf " << id);
+    if (upgrade && delivered_[static_cast<std::size_t>(id)]) {
+      // Re-listed child of the superseded AGG: only valid over a
+      // metadata-only slot (a relay cannot claim a direct delivery).
+      ADAFL_CHECK_MSG(
+          delivery_slots_[static_cast<std::size_t>(id)].meta_only,
+          "session: UPDATE-AGG re-lists directly-delivered leaf " << id);
+      continue;
+    }
+    ADAFL_CHECK_MSG(!delivered_[static_cast<std::size_t>(id)],
+                    "session: UPDATE-AGG lists already-delivered leaf "
+                        << id);
+  }
+  // Commit: a metadata-only delivery per listed leaf — the coordinates
+  // travel pre-summed in the group partial, which apply_round merges in the
+  // identical ascending-group order a flat run with the same agg_group uses.
+  for (const UpdateAggChild& c : a.children) {
+    const int id = static_cast<int>(c.id);
+    const bool fresh = !delivered_[static_cast<std::size_t>(id)];
+    core::AdaFlDelivery& dl = delivery_slots_[static_cast<std::size_t>(id)];
+    dl.msg.kind = compress::CodecKind::kTopK;
+    dl.msg.dense_size = static_cast<std::int64_t>(core_.global().size());
+    dl.msg.wire_bytes = c.wire_bytes;
+    dl.msg.indices.clear();
+    dl.msg.values.clear();
+    dl.msg.levels.clear();
+    dl.num_examples = c.num_examples;
+    dl.mean_loss = c.mean_loss;
+    dl.raw_delta_norm = c.raw_delta_norm;
+    dl.meta_only = true;
+    if (fresh) {
+      delivered_[static_cast<std::size_t>(id)] = 1;
+      ++delivered_count_;
+      rc.ledger->record_upload(id, c.wire_bytes, true);
+    }
+    child_live_[static_cast<std::size_t>(id)] = 1;
+  }
+  rc.wire_partials[base] = std::move(a.partial);
+}
+
 void ServerSession::nudge(RoundCtx& rc) {
   if (rc.phase == Phase::kScore) {
     // Re-broadcast MODEL to connected clients that still owe a score: a
@@ -497,9 +922,19 @@ void ServerSession::nudge(RoundCtx& rc) {
     // deadline (or forever, with quorum == n). Clients never retrain a
     // round they already trained, so a redundant MODEL costs bytes only.
     for (int id = 0; id < cfg_.expected_clients; ++id) {
-      if (!connected(id) || rc.scored[static_cast<std::size_t>(id)])
+      if (!direct_connected(id) || rc.scored[static_cast<std::size_t>(id)])
         continue;
       send_model(rc, id);
+    }
+    // One MODEL per relay with any live unscored leaf; the relay re-serves
+    // it locally to exactly the children that still owe a score.
+    for (std::size_t ridx = 0; ridx < relays_.size(); ++ridx) {
+      const RelayBinding& rb = relays_[ridx];
+      bool owed = false;
+      for (int id = rb.base; id < rb.base + rb.count && !owed; ++id)
+        owed = child_live_[static_cast<std::size_t>(id)] != 0 &&
+               !rc.scored[static_cast<std::size_t>(id)];
+      if (owed) send_model_to_relay(rc, ridx);
     }
     return;
   }
@@ -546,6 +981,9 @@ void ServerSession::handle_frame(RoundCtx& rc, int id, const Frame& f) {
       // unmarked (and droppable), so a partial decode cannot be aggregated.
       core::AdaFlDelivery& dl = delivery_slots_[static_cast<std::size_t>(id)];
       parse_update_fields(f.payload, dl);
+      // Slots are reused across rounds; a slot that once held a relay
+      // partial's metadata must not poison a later direct delivery.
+      dl.meta_only = false;
       // Reject protocol-valid-but-wrong updates here, inside the service
       // loop's CheckError net: the offending peer is dropped and the round
       // degrades. deserialize() already bounds top-k indices by dense_size,
@@ -612,6 +1050,21 @@ bool ServerSession::service(RoundCtx& rc) {
         continue;
       }
       if (cfg_.publisher != nullptr) cfg_.publisher->adopt(std::move(t));
+      continue;
+    }
+    if (f->type == MsgType::kRelayHello) {
+      // A mid-tier aggregator announcing its leaf range.
+      if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+        cfg_.tracer->record(metrics::ev_frame(
+            metrics::TraceEventType::kFrameRx, static_cast<int>(f->round),
+            -1, to_string(f->type),
+            static_cast<std::int64_t>(f->wire_size()), trace_now()));
+      try {
+        const RelayHelloPayload h = parse_relay_hello(f->payload);
+        handle_relay_hello(rc, h, std::move(t), kNoConn);
+      } catch (const CheckError&) {
+        // invalid claim: drop the connection (t closes on destruction)
+      }
       continue;
     }
     int id = -1;
@@ -691,6 +1144,45 @@ bool ServerSession::service(RoundCtx& rc) {
       }
     }
   }
+
+  // 3) Poll classic-mode relay connections. A malformed or dead stream
+  // drops the whole binding; its leaves fall back to unreachable until a
+  // redial or standby promotion re-binds the range.
+  for (std::size_t ridx = 0; ridx < relays_.size();) {
+    bool dropped = false;
+    while (relays_[ridx].conn) {
+      std::optional<Frame> f;
+      try {
+        f = relays_[ridx].conn->recv(std::chrono::milliseconds(0));
+      } catch (const CheckError&) {
+        drop_relay(ridx);
+        dropped = true;
+        break;
+      }
+      if (!f) {
+        if (relays_[ridx].conn->closed()) {
+          drop_relay(ridx);
+          dropped = true;
+        }
+        break;
+      }
+      progress = true;
+      if (cfg_.tracer != nullptr && cfg_.tracer->enabled())
+        cfg_.tracer->record(metrics::ev_frame(
+            metrics::TraceEventType::kFrameRx, static_cast<int>(f->round),
+            f->client_id == kServerId ? -1 : static_cast<int>(f->client_id),
+            to_string(f->type), static_cast<std::int64_t>(f->wire_size()),
+            trace_now()));
+      try {
+        handle_relay_frame(rc, ridx, *f);
+      } catch (const CheckError&) {
+        drop_relay(ridx);
+        dropped = true;
+        break;
+      }
+    }
+    if (!dropped) ++ridx;
+  }
   return progress;
 }
 
@@ -699,6 +1191,11 @@ bool ServerSession::service_event_loop(RoundCtx& rc) {
   // frame — the HELLO — arrives; nothing to do for them here.
   loop_->take_accepted();
   for (const ConnId conn : loop_->take_closed()) {
+    auto rit = relay_conn_.find(conn);
+    if (rit != relay_conn_.end()) {
+      drop_relay(rit->second);
+      continue;
+    }
     auto it = conn_client_.find(conn);
     if (it != conn_client_.end()) {
       if (client_conn_[static_cast<std::size_t>(it->second)] == conn)
@@ -740,6 +1237,24 @@ bool ServerSession::service_event_loop(RoundCtx& rc) {
         st->second->inbox.push_back(inf.frame);
       }
       st->second->cv.notify_all();
+      continue;
+    }
+    auto rit = relay_conn_.find(inf.conn);
+    if (rit != relay_conn_.end()) {
+      if (traced)
+        cfg_.tracer->record(metrics::ev_frame(
+            metrics::TraceEventType::kFrameRx,
+            static_cast<int>(inf.frame.round),
+            inf.frame.client_id == kServerId
+                ? -1
+                : static_cast<int>(inf.frame.client_id),
+            to_string(inf.frame.type),
+            static_cast<std::int64_t>(inf.frame.wire_size()), trace_now()));
+      try {
+        handle_relay_frame(rc, rit->second, inf.frame);
+      } catch (const CheckError&) {
+        drop_relay(rit->second);  // hostile relay: drop the whole binding
+      }
       continue;
     }
     auto bound = conn_client_.find(inf.conn);
@@ -785,6 +1300,7 @@ bool ServerSession::service_event_loop(RoundCtx& rc) {
         try {
           parse_update_fields(frame_batch_[job.batch_index].frame.payload,
                               dl);
+          dl.meta_only = false;  // reused slot may hold stale relay metadata
           ADAFL_CHECK_MSG(dl.msg.kind == compress::CodecKind::kTopK,
                           "session: UPDATE from client "
                               << job.client
@@ -842,6 +1358,20 @@ void ServerSession::handle_loop_handshake(RoundCtx& rc, const InFrame& inf) {
     standby_links_[inf.conn] = state;
     cfg_.publisher->adopt(std::make_unique<LoopPeerTransport>(
         loop_, inf.conn, std::move(state)));
+    return;
+  }
+  if (f.type == MsgType::kRelayHello) {
+    if (traced)
+      cfg_.tracer->record(metrics::ev_frame(
+          metrics::TraceEventType::kFrameRx, static_cast<int>(f.round), -1,
+          to_string(f.type), static_cast<std::int64_t>(f.wire_size()),
+          trace_now()));
+    try {
+      const RelayHelloPayload h = parse_relay_hello(f.payload);
+      handle_relay_hello(rc, h, nullptr, inf.conn);
+    } catch (const CheckError&) {
+      loop_->close_conn(inf.conn);  // invalid claim: drop
+    }
     return;
   }
   int id = -1;
@@ -971,6 +1501,7 @@ fl::TrainLog ServerSession::run() {
     delivery_slots_.resize(static_cast<std::size_t>(n));
     delivered_.assign(static_cast<std::size_t>(n), 0);
     delivered_count_ = 0;
+    for (auto& rb : relays_) rb.sent_model = false;
 
     // Whole-round cap (both phases share it); disabled when 0. A client
     // that scores and then dies can otherwise pin the round to the full
@@ -980,9 +1511,13 @@ fl::TrainLog ServerSession::run() {
             ? Clock::now() + cfg_.round_total_deadline
             : Clock::time_point::max();
 
-    // --- Broadcast the round's model to everyone attached.
+    // --- Broadcast the round's model to everyone attached: each direct
+    // client gets its own MODEL; each relay gets one, which it re-serves to
+    // its whole subtree.
     for (int id = 0; id < n; ++id)
-      if (connected(id)) send_model(rc, id);
+      if (direct_connected(id)) send_model(rc, id);
+    for (std::size_t ridx = 0; ridx < relays_.size(); ++ridx)
+      send_model_to_relay(rc, ridx);
 
     // --- Score phase: wait until every live client scored, or the deadline
     // passed with at least a quorum. Late joiners are serviced throughout.
@@ -1077,12 +1612,21 @@ fl::TrainLog ServerSession::run() {
     core::AdaFlRoundOutcome out;
     {
       metrics::PhaseProfiler::Scope prof("aggregate");
-      out = core_.apply_round(
-          plan, [this](int id) -> const core::AdaFlDelivery* {
-            return delivered_[static_cast<std::size_t>(id)]
-                       ? &delivery_slots_[static_cast<std::size_t>(id)]
-                       : nullptr;
-          });
+      const auto find = [this](int id) -> const core::AdaFlDelivery* {
+        return delivered_[static_cast<std::size_t>(id)]
+                   ? &delivery_slots_[static_cast<std::size_t>(id)]
+                   : nullptr;
+      };
+      if (cfg_.params.agg_group > 0) {
+        out = core_.apply_round(
+            plan, find,
+            [&rc](int gbase) -> const compress::EncodedGradient* {
+              const auto it = rc.wire_partials.find(gbase);
+              return it == rc.wire_partials.end() ? nullptr : &it->second;
+            });
+      } else {
+        out = core_.apply_round(plan, find);
+      }
     }
 
     const double round_mean_loss =
@@ -1139,6 +1683,14 @@ fl::TrainLog ServerSession::run() {
     conn->close();
     conn.reset();
   }
+  // One SHUTDOWN per relay; it broadcasts to its subtree and exits.
+  for (std::size_t ridx = 0; ridx < relays_.size(); ++ridx)
+    send_to_relay(ridx, make_frame(MsgType::kShutdown, 0, kServerId));
+  for (auto& rb : relays_)
+    if (rb.conn) {
+      rb.conn->close();
+      rb.conn.reset();
+    }
   if (loop_ != nullptr) {
     const Frame sd = make_frame(MsgType::kShutdown, 0, kServerId);
     const auto sd_bytes = std::make_shared<const std::vector<std::uint8_t>>(

@@ -108,6 +108,53 @@ UpdatePayload parse_update(std::span<const std::uint8_t> payload);
 /// semantics: every field reset, vector capacity kept).
 void parse_update_into(std::span<const std::uint8_t> payload, UpdatePayload& u);
 
+// --- Hierarchical aggregation (mid-tier relays; src/net/relay/). ---------
+
+/// RELAY_HELLO: a mid-tier aggregator joins its parent, claiming the leaf
+/// client-id range [base, base + count). The range must be aligned to the
+/// run's AdaFlParams::agg_group.
+struct RelayHelloPayload {
+  std::uint32_t version = 0;
+  std::uint32_t base = 0;
+  std::uint32_t count = 0;
+};
+
+std::vector<std::uint8_t> encode_relay_hello(const RelayHelloPayload& h);
+RelayHelloPayload parse_relay_hello(std::span<const std::uint8_t> payload);
+
+/// One leaf client's metadata inside an UPDATE-AGG (everything the root
+/// needs to score, trust-clip, and trace the leaf as if it had uploaded
+/// directly — the coordinates travel pre-summed in the group partial).
+struct UpdateAggChild {
+  std::uint32_t id = 0;
+  std::int64_t num_examples = 0;
+  float mean_loss = 0.0f;
+  double raw_delta_norm = 0.0;
+  /// Codec-level serialized size of the leaf's original update, so the
+  /// root's update_delivered trace row matches a flat run byte for byte.
+  std::int64_t wire_bytes = 0;
+};
+
+/// UPDATE-AGG: one aggregation group's pre-summed partial. `children` lists
+/// the leaves whose updates are inside `partial`, strictly ascending, all
+/// within [base, base + count).
+struct UpdateAggPayload {
+  std::uint32_t base = 0;
+  std::uint32_t count = 0;
+  std::vector<UpdateAggChild> children;
+  compress::EncodedGradient partial;  ///< kTopK, lossless fp32 on the wire
+};
+
+std::vector<std::uint8_t> encode_update_agg(const UpdateAggPayload& a);
+/// Structural parse + hostile-input validation (counts, ranges, ordering,
+/// finiteness). Throws CheckError on anything malformed; the caller must
+/// drop the sending connection.
+UpdateAggPayload parse_update_agg(std::span<const std::uint8_t> payload);
+/// Root-side semantic validation of a parsed UPDATE-AGG against the run
+/// configuration and the sending relay's claimed range. Throws CheckError.
+void validate_update_agg(const UpdateAggPayload& a, std::int64_t dense_size,
+                         int agg_group, int relay_base, int relay_count);
+
 // --- Server side. --------------------------------------------------------
 
 struct ServerSessionConfig {
@@ -245,6 +292,9 @@ class ServerSession {
     Frame model_frame;
     std::shared_ptr<const std::vector<std::uint8_t>> model_bytes;
     bool model_ready = false;
+    /// Relay-delivered group partials of this round, keyed by group base
+    /// (first accepted UPDATE-AGG per group wins; duplicates are ignored).
+    std::map<int, compress::EncodedGradient> wire_partials;
   };
 
   /// Sends `f` on client `id`'s connection; on failure the connection is
@@ -255,8 +305,16 @@ class ServerSession {
       int id, const Frame& f,
       const std::shared_ptr<const std::vector<std::uint8_t>>* pre = nullptr);
   void send_model(RoundCtx& rc, int id);
-  /// True when client `id` currently has a live connection (either mode).
+  /// Builds rc.model_frame (and, in event-loop mode, rc.model_bytes) once
+  /// per round; later calls are no-ops.
+  void ensure_model_frame(RoundCtx& rc);
+  /// True when client `id` is reachable: a direct live connection, or a
+  /// live relay route with the leaf announced alive behind it. This is the
+  /// definition quorum/deadline math uses, so a relay connection counts as
+  /// its N live leaves, never as 1.
   bool connected(int id) const;
+  /// True only for a direct (non-relayed) live connection to `id`.
+  bool direct_connected(int id) const;
   /// Services pending handshakes and one poll pass over all connections.
   /// Returns true if any frame was processed (progress).
   bool service(RoundCtx& rc);
@@ -270,6 +328,25 @@ class ServerSession {
   /// Closes an event-loop connection and forgets its client binding.
   void drop_loop_conn(ConnId conn);
   void handle_frame(RoundCtx& rc, int id, const Frame& f);
+  /// Binds a freshly-handshaken mid-tier relay (classic `conn` XOR
+  /// event-loop `loop_conn`), replacing any binding overlapping its range,
+  /// and catches it up with the in-flight round (WELCOME + MODEL + pending
+  /// SELECTs for its leaves). Throws CheckError on an invalid claim.
+  void handle_relay_hello(RoundCtx& rc, const RelayHelloPayload& h,
+                          std::unique_ptr<Transport> conn, ConnId loop_conn);
+  /// Dispatches one frame arriving on relay `ridx`'s connection. Frames
+  /// carry the leaf id in frame.client_id; CheckError propagates to the
+  /// caller, which must drop the relay.
+  void handle_relay_frame(RoundCtx& rc, std::size_t ridx, const Frame& f);
+  void handle_update_agg(RoundCtx& rc, std::size_t ridx, const Frame& f);
+  /// Sends on relay `ridx`'s connection (either mode); returns bytes sent.
+  std::size_t send_to_relay(std::size_t ridx, const Frame& f);
+  /// Pushes the round's MODEL to relay `ridx` (once per round; re-sends
+  /// book as retransmissions). The relay re-broadcasts to its children.
+  void send_model_to_relay(RoundCtx& rc, std::size_t ridx);
+  /// Drops relay `ridx`: closes its connection, clears its leaves' routes
+  /// and liveness, and compacts the relay table.
+  void drop_relay(std::size_t ridx);
   /// Re-sends the stalled phase's pending frame (MODEL / SELECT); books the
   /// bytes as retransmitted.
   void nudge(RoundCtx& rc);
@@ -298,6 +375,20 @@ class ServerSession {
   std::vector<std::unique_ptr<Transport>> pending_;  ///< awaiting HELLO
   std::vector<std::unique_ptr<Transport>> conns_;    ///< by client id
   std::vector<bool> ever_joined_;
+
+  // --- Mid-tier relay state (hierarchical aggregation). -------------------
+  /// One relay connection covering leaves [base, base + count).
+  struct RelayBinding {
+    int base = 0;
+    int count = 0;
+    std::unique_ptr<Transport> conn;       ///< classic mode (else null)
+    std::uint64_t loop_conn = ~0ull;       ///< event-loop mode (else ~0)
+    bool sent_model = false;               ///< MODEL pushed this round
+  };
+  std::vector<RelayBinding> relays_;
+  std::vector<int> leaf_relay_;   ///< leaf id -> relays_ index, -1 = none
+  std::vector<char> child_live_;  ///< per-leaf liveness behind a relay
+  std::map<ConnId, std::size_t> relay_conn_;  ///< loop conn -> relays_ idx
 
   // --- Event-loop mode state (loop_ != nullptr). --------------------------
   static constexpr ConnId kNoConn = ~ConnId{0};

@@ -415,22 +415,32 @@ std::optional<std::vector<std::uint8_t>> LoopbackDatagramLink::recv(
 }
 
 bool LoopbackDatagramLink::closed() const {
+  // Own close is visible immediately; a PEER's close only once every
+  // queued datagram has been drained — so a final frame (e.g. SHUTDOWN)
+  // queued right before the peer closed is never lost to a racing closed()
+  // poll between recvs. A real UDP socket has no peer-close signal at all,
+  // so erring toward late detection is the faithful direction. (The rx
+  // queue may retain already-redundant parity datagrams of a delivered
+  // frame; one nullopt recv() drains them before closed() flips.)
   {
     std::lock_guard<std::mutex> lk(tx_->mu);
     if (tx_->closed) return true;
   }
   std::lock_guard<std::mutex> lk(rx_->mu);
-  return rx_->closed;
+  return rx_->closed && rx_->q.empty();
 }
 
 void LoopbackDatagramLink::close() {
+  // Closes only the OUTBOUND channel (a socket close's FIN analogue): the
+  // peer keeps draining what was already sent, and this end's closed()
+  // reports via the tx flag. Waking the rx waiter lets a blocked recv on
+  // this end re-check and time out instead of sleeping its full budget.
   {
     std::lock_guard<std::mutex> lk(tx_->mu);
     tx_->closed = true;
     tx_->cv.notify_all();
   }
   std::lock_guard<std::mutex> lk(rx_->mu);
-  rx_->closed = true;
   rx_->cv.notify_all();
 }
 

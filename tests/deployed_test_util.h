@@ -207,12 +207,13 @@ inline DeployedResult run_deployed_udp_loopback(
     const core::AdaFlParams& params, int rounds,
     const net::transport::UdpFecConfig& fec,
     metrics::Tracer* tracer = nullptr, DatagramWrapFn dwrap = nullptr,
-    net::transport::FecStats* server_stats = nullptr) {
+    net::transport::FecStats* server_stats = nullptr,
+    std::chrono::milliseconds nudge = std::chrono::milliseconds(300)) {
   using namespace net::transport;
   auto task = cli::build_task(spec);
   ServerSessionConfig scfg = make_server_config(spec, client, params, rounds);
   scfg.tracer = tracer;
-  scfg.retransmit_nudge = std::chrono::milliseconds(300);
+  scfg.retransmit_nudge = nudge;
   ServerSession server(scfg, task.factory, &task.test);
 
   UdpFecConfig server_fec = fec;

@@ -73,9 +73,10 @@ TEST(Frame, EmptyPayloadRoundTrip) {
 TEST(Frame, ValidMsgTypeRange) {
   EXPECT_FALSE(is_valid_msg_type(0));
   // 1..10 are the session types; 11/12 are the replication pair
-  // (STANDBY_HELLO, REPLICATE).
-  for (std::uint8_t t = 1; t <= 12; ++t) EXPECT_TRUE(is_valid_msg_type(t));
-  EXPECT_FALSE(is_valid_msg_type(13));
+  // (STANDBY_HELLO, REPLICATE); 13..15 are the relay tier trio
+  // (UPDATE_AGG, RELAY_HELLO, CHILD_GONE).
+  for (std::uint8_t t = 1; t <= 15; ++t) EXPECT_TRUE(is_valid_msg_type(t));
+  EXPECT_FALSE(is_valid_msg_type(16));
   EXPECT_FALSE(is_valid_msg_type(0xFF));
 }
 
@@ -133,7 +134,7 @@ TEST(FrameParser, RejectsBadMagic) {
 }
 
 TEST(FrameParser, RejectsUnknownMessageType) {
-  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{13},
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{16},
                            std::uint8_t{0xEE}}) {
     auto bytes = encode_frame(sample_frame());
     bytes[4] = bad;  // type byte follows the 4-byte magic

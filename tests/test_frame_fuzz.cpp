@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <random>
 #include <span>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "compress/codec.h"
 #include "compress/wire.h"
 #include "net/transport/frame.h"
+#include "net/transport/session.h"
 #include "net/transport/udp.h"
 #include "tensor/check.h"
 #include "tensor/rng.h"
@@ -319,6 +321,225 @@ TEST(DatagramFuzz, TruncatedHeadersAndCrossFrameMixing) {
     if (stale.size() > 16) stale.erase(stale.begin());
   }
   EXPECT_GT(delivered, 1000);  // 5 frames x 400 rounds, nearly all complete
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE-AGG fuzzing: the relay-tier aggregate message is the highest-trust
+// input the root accepts (one frame commits a whole group of leaves), so its
+// parser + validator pair must reject every malformed or hostile variant
+// with CheckError — the session layer's signal to drop the relay connection
+// — and never crash, over-read, or let a bad aggregate commit.
+
+using net::transport::UpdateAggChild;
+using net::transport::UpdateAggPayload;
+
+constexpr std::int64_t kAggDense = 512;
+constexpr int kAggGroup = 8;
+constexpr int kAggRelayBase = 8;
+constexpr int kAggRelayCount = 16;
+
+/// A structurally and semantically valid UPDATE-AGG for group [8, 16) of a
+/// relay claiming [8, 24), with a random child subset and top-k partial.
+UpdateAggPayload make_valid_agg(std::mt19937_64& rng) {
+  UpdateAggPayload a;
+  a.base = kAggRelayBase;
+  a.count = kAggGroup;
+  const std::uint32_t nc = 1 + rng() % kAggGroup;
+  std::vector<std::uint32_t> ids(kAggGroup);
+  for (std::uint32_t i = 0; i < kAggGroup; ++i) ids[i] = a.base + i;
+  std::shuffle(ids.begin(), ids.end(), rng);
+  ids.resize(nc);
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint32_t id : ids) {
+    UpdateAggChild c;
+    c.id = id;
+    c.num_examples = 1 + static_cast<std::int64_t>(rng() % 512);
+    c.mean_loss = static_cast<float>(static_cast<double>(rng() % 5000) / 1000.0);
+    c.raw_delta_norm = static_cast<double>(rng() % 10000) / 100.0;
+    c.wire_bytes = static_cast<std::int64_t>(rng() % 100000);
+    a.children.push_back(c);
+  }
+  a.partial.kind = compress::CodecKind::kTopK;
+  a.partial.dense_size = kAggDense;
+  a.partial.wire_bytes = 0;
+  const std::size_t k = 1 + rng() % 64;
+  std::vector<std::uint32_t> idx(kAggDense);
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    idx[i] = static_cast<std::uint32_t>(i);
+  std::shuffle(idx.begin(), idx.end(), rng);
+  idx.resize(k);
+  std::sort(idx.begin(), idx.end());
+  a.partial.indices = idx;
+  a.partial.values.resize(k);
+  for (auto& v : a.partial.values)
+    v = static_cast<float>(static_cast<double>(rng() % 2000) / 1000.0 - 1.0);
+  return a;
+}
+
+/// Full root-side acceptance: structural parse + semantic validation.
+/// Returns true when the bytes would commit, false when the root would drop
+/// the relay connection. Anything else (crash, hang, foreign exception)
+/// fails the test.
+bool root_accepts(std::span<const std::uint8_t> bytes) {
+  try {
+    const UpdateAggPayload a = net::transport::parse_update_agg(bytes);
+    net::transport::validate_update_agg(a, kAggDense, kAggGroup,
+                                        kAggRelayBase, kAggRelayCount);
+    return true;
+  } catch (const CheckError&) {
+    return false;
+  }
+}
+
+// ~5.5k cases: valid UPDATE-AGG bytes with a bit flip, byte overwrite,
+// truncation, or appended garbage. Every case must parse-or-reject; intact
+// bytes must always be accepted.
+TEST(UpdateAggFuzz, MutatedPayloads) {
+  std::mt19937_64 rng(kFuzzSeed ^ 0xA6600001u);
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < 5500; ++i) {
+    std::vector<std::uint8_t> bytes =
+        net::transport::encode_update_agg(make_valid_agg(rng));
+    const int mode = i % 5;
+    if (mode == 0) {
+      bytes[rng() % bytes.size()] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+    } else if (mode == 1) {
+      bytes[rng() % bytes.size()] = static_cast<std::uint8_t>(rng());
+    } else if (mode == 2) {
+      bytes.resize(rng() % bytes.size());
+    } else if (mode == 3) {
+      const std::size_t extra = 1 + rng() % 32;
+      for (std::size_t j = 0; j < extra; ++j)
+        bytes.push_back(static_cast<std::uint8_t>(rng()));
+    }  // mode 4: intact
+    const bool ok = root_accepts(bytes);
+    if (mode == 4) ASSERT_TRUE(ok) << "intact UPDATE-AGG rejected, case " << i;
+    if (mode == 2 || mode == 3)
+      ASSERT_FALSE(ok) << "resized UPDATE-AGG accepted, case " << i;
+    if (ok) ++accepted; else ++rejected;
+  }
+  EXPECT_GT(accepted, 1000);  // the intact fifth, at minimum
+  EXPECT_GT(rejected, 2000);  // truncation/append alone guarantee this
+}
+
+// ~4k cases of semantically hostile aggregates that are byte-wise
+// well-formed: every one must be rejected. These are the messages a buggy
+// or malicious relay could actually construct — each would corrupt the
+// round (double-counted leaf, foreign leaf, poisoned coordinates) if the
+// root committed it.
+TEST(UpdateAggFuzz, StructuredHostileAggregates) {
+  std::mt19937_64 rng(kFuzzSeed ^ 0xA6600002u);
+  constexpr int kModes = 16;
+  for (int i = 0; i < 4000; ++i) {
+    UpdateAggPayload a = make_valid_agg(rng);
+    const int mode = i % kModes;
+    switch (mode) {
+      case 0:  // duplicate child id
+        a.children.push_back(a.children.back());
+        break;
+      case 1:  // non-ascending child ids
+        if (a.children.size() < 2) a.children.push_back(a.children.back());
+        std::swap(a.children.front(), a.children.back());
+        if (a.children.front().id == a.children.back().id)
+          a.children.front().id = a.children.back().id + 1;
+        break;
+      case 2:  // child id outside the group
+        a.children.back().id = a.base + a.count + rng() % 100;
+        break;
+      case 3:  // empty child list
+        a.children.clear();
+        break;
+      case 4:  // more children than the group holds
+        a.count = 2;
+        break;
+      case 5:  // non-positive example count
+        a.children.front().num_examples = -static_cast<std::int64_t>(rng() % 2);
+        break;
+      case 6:  // non-finite mean loss
+        a.children.front().mean_loss =
+            i % 2 ? std::numeric_limits<float>::quiet_NaN()
+                  : std::numeric_limits<float>::infinity();
+        break;
+      case 7:  // invalid raw delta norm
+        a.children.front().raw_delta_norm =
+            i % 2 ? -1.0 : std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 8:  // absurd claimed wire size
+        a.children.front().wire_bytes =
+            static_cast<std::int64_t>(net::transport::kMaxFramePayload) + 1 +
+            static_cast<std::int64_t>(rng() % 1000);
+        break;
+      case 9:  // partial is not top-k
+        a.partial.kind = compress::CodecKind::kIdentity;
+        a.partial.indices.clear();
+        a.partial.values.assign(static_cast<std::size_t>(kAggDense), 0.0f);
+        break;
+      case 10:  // partial coordinate out of range
+        a.partial.indices.back() =
+            static_cast<std::uint32_t>(kAggDense + rng() % 100);
+        break;
+      case 11:  // partial coordinates not strictly ascending
+        if (a.partial.indices.size() < 2) {
+          a.partial.indices.push_back(a.partial.indices.back());
+          a.partial.values.push_back(0.5f);
+        } else {
+          a.partial.indices.back() = a.partial.indices.front();
+        }
+        break;
+      case 12:  // non-finite partial value
+        a.partial.values.front() =
+            i % 2 ? std::numeric_limits<float>::quiet_NaN()
+                  : -std::numeric_limits<float>::infinity();
+        break;
+      case 13:  // dense size disagrees with the model
+        a.partial.dense_size = kAggDense + 1 + static_cast<std::int64_t>(
+                                                  rng() % 64);
+        break;
+      case 14:  // group not aligned to agg_group
+        a.base += 1 + rng() % (kAggGroup - 1);
+        for (auto& c : a.children) c.id = a.base;  // keep ids in-group
+        a.children.resize(1);
+        break;
+      case 15:  // group outside the relay's claimed range
+        a.base = kAggRelayBase + kAggRelayCount;
+        for (std::size_t j = 0; j < a.children.size(); ++j)
+          a.children[j].id = a.base + static_cast<std::uint32_t>(j);
+        break;
+      default:
+        break;
+    }
+    const auto bytes = net::transport::encode_update_agg(a);
+    ASSERT_FALSE(root_accepts(bytes))
+        << "hostile aggregate accepted: mode " << mode << ", case " << i;
+  }
+}
+
+// Every prefix of one valid UPDATE-AGG plus a patched inner-payload length
+// field (~600 cases): a frame that lies about its partial's size — in
+// either direction — must be rejected, and no truncation may over-read.
+TEST(UpdateAggFuzz, TruncationsAndLengthLies) {
+  std::mt19937_64 rng(kFuzzSeed ^ 0xA6600003u);
+  const UpdateAggPayload a = make_valid_agg(rng);
+  const auto bytes = net::transport::encode_update_agg(a);
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    ASSERT_FALSE(root_accepts(std::span(bytes.data(), len)))
+        << "truncated UPDATE-AGG accepted at length " << len;
+  ASSERT_TRUE(root_accepts(bytes));
+
+  // plen sits right after the child records.
+  const std::size_t plen_off = 12 + a.children.size() * 32;
+  ASSERT_LT(plen_off + 4, bytes.size());
+  for (const std::int64_t delta : {-5, -1, 1, 5, 1000}) {
+    std::vector<std::uint8_t> lied = bytes;
+    std::uint32_t plen = 0;
+    for (int b = 0; b < 4; ++b)
+      plen |= static_cast<std::uint32_t>(lied[plen_off + b]) << (8 * b);
+    const std::uint32_t bad = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(plen) + delta);
+    for (int b = 0; b < 4; ++b)
+      lied[plen_off + b] = static_cast<std::uint8_t>((bad >> (8 * b)) & 0xFF);
+    ASSERT_FALSE(root_accepts(lied)) << "plen lie " << delta << " accepted";
+  }
 }
 
 }  // namespace

@@ -403,8 +403,12 @@ void run_udp_equivalence(const DatagramFaultPlan& plan,
   const auto client = testutil::small_client_config();
   const auto params = testutil::small_params();
 
-  const std::string sim_path = ::testing::TempDir() + "udp_eq_sim.jsonl";
-  const std::string dep_path = ::testing::TempDir() + "udp_eq_dep.jsonl";
+  // Seed-qualified paths: ctest runs each gtest case as its own process,
+  // so the two equivalence cases can execute concurrently and must not
+  // share trace files.
+  const std::string tag = "udp_eq_" + std::to_string(plan.seed);
+  const std::string sim_path = ::testing::TempDir() + tag + "_sim.jsonl";
+  const std::string dep_path = ::testing::TempDir() + tag + "_dep.jsonl";
 
   Tracer sim_tracer;
   sim_tracer.open(sim_path, udp_manifest("flsim", spec, kRounds));
@@ -433,6 +437,9 @@ void run_udp_equivalence(const DatagramFaultPlan& plan,
     dep_tracer.record(metrics::ev_fec_repair(0, -1, bytes, 0.0));
   };
   dep_tracer.open(dep_path, udp_manifest("deployed", spec, kRounds));
+  // A 5 s nudge: generous enough that CPU starvation under a fully parallel
+  // ctest run can't fire a retransmit and break the zero-retransmit
+  // assertion — losses must be absorbed by FEC repair alone either way.
   const auto dep = testutil::run_deployed_udp_loopback(
       spec, client, params, kRounds, fec, &dep_tracer,
       [&plan](int id, std::unique_ptr<DatagramLink> link)
@@ -441,7 +448,7 @@ void run_udp_equivalence(const DatagramFaultPlan& plan,
         p.seed += static_cast<std::uint64_t>(id) * 7919;
         return std::make_unique<FaultyDatagramLink>(std::move(link), p);
       },
-      &server_stats);
+      &server_stats, std::chrono::milliseconds(5000));
   dep_tracer.close();
 
   // Bitwise global weights: the deployed UDP path is the simulator.
